@@ -1,0 +1,133 @@
+// Ablation A8: SXNM against the related-work comparator algorithms of
+// Sec. 2 — DogmatiX-style all-pairs (with and without filter) and
+// DELPHI-style top-down — on dirty movie data with person descendants.
+// Reports per-candidate recall/precision and comparisons.
+//
+// The interesting cell is top-down person recall: persons duplicated
+// across *different* movies (the M:N case of Sec. 2) are invisible to the
+// top-down pruning but found by bottom-up SXNM.
+//
+// Usage: ablation_comparators [num_movies]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+#include "sxnm/comparators.h"
+#include "sxnm/detector.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  size_t num_movies = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1000;
+
+  std::printf("=== Ablation A8: SXNM vs all-pairs (DogmatiX-style) vs "
+              "top-down (DELPHI-style) ===\n");
+  std::printf("%zu movies with a SHARED actor pool (M:N parent/child, "
+              "Sec. 2); candidates person & movie; window 6\n\n",
+              num_movies);
+
+  // Shared-cast data: the same real-world actor appears in several
+  // movies, so duplicate persons exist across non-duplicate parents.
+  sxnm::datagen::SharedCastOptions gen;
+  gen.num_movies = num_movies;
+  gen.pool_size = num_movies / 4 + 10;
+  gen.seed = 20060326;
+  auto dirty = sxnm::util::Result<sxnm::xml::Document>(
+      sxnm::datagen::GenerateSharedCastMovies(gen));
+
+  auto config = sxnm::datagen::MovieScalabilityConfig(6);
+  if (!config.ok()) {
+    std::cerr << config.status().ToString() << "\n";
+    return 1;
+  }
+
+  sxnm::util::TablePrinter table({"algorithm", "candidate", "recall",
+                                  "precision", "comparisons",
+                                  "compare time(s)"});
+
+  auto add_rows = [&](const char* label,
+                      const sxnm::core::DetectionResult& result)
+      -> sxnm::util::Status {
+    for (const char* cand_name : {"person", "movie"}) {
+      const sxnm::core::CandidateResult* cand = result.Find(cand_name);
+      if (cand == nullptr) continue;
+      auto gold = sxnm::eval::GoldClusterSet(
+          dirty.value(), config->Find(cand_name)->absolute_path_str);
+      if (!gold.ok()) return gold.status();
+      auto metrics = sxnm::eval::PairwiseMetrics(gold.value(), cand->clusters);
+      table.AddRow({label, cand_name,
+                    sxnm::util::FormatDouble(metrics.recall, 4),
+                    sxnm::util::FormatDouble(metrics.precision, 4),
+                    std::to_string(cand->comparisons),
+                    sxnm::util::FormatDouble(result.SlidingWindowSeconds(),
+                                             4)});
+    }
+    return sxnm::util::Status::Ok();
+  };
+
+  {
+    auto result = sxnm::core::Detector(config.value()).Run(dirty.value());
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    if (auto s = add_rows("SXNM (bottom-up)", result.value()); !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  {
+    auto result =
+        sxnm::core::AllPairsDetector(config.value()).Run(dirty.value());
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    if (auto s = add_rows("All-pairs + filter", result.value()); !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  {
+    sxnm::core::AllPairsOptions no_filter;
+    no_filter.use_filter = false;
+    auto result = sxnm::core::AllPairsDetector(config.value(), no_filter)
+                      .Run(dirty.value());
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    if (auto s = add_rows("All-pairs (exhaustive)", result.value());
+        !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  {
+    sxnm::core::TopDownOptions options;
+    options.root_window = 6;
+    auto result = sxnm::core::TopDownDetector(config.value(), options)
+                      .Run(dirty.value());
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    if (auto s = add_rows("Top-down (DELPHI-style)", result.value());
+        !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "Top-down misses person duplicates across non-duplicate movies\n"
+      "(the M:N argument of Sec. 2); SXNM approaches the all-pairs recall\n"
+      "at a fraction of its comparisons.\n");
+  return 0;
+}

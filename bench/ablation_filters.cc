@@ -1,0 +1,70 @@
+// Ablation A6: edit-distance filters (the outlook's [17]) — plain
+// normalized edit similarity vs the thresholded variant (length filter +
+// bounded DP). Same data, keys, thresholds; decisions must coincide while
+// the sliding-window time drops.
+//
+// Usage: ablation_filters [num_discs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "datagen/freedb.h"
+#include "eval/experiment.h"
+#include "text/similarity.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  size_t num_discs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+
+  std::printf("=== Ablation A6: edit-distance filters (Data set 2 shape, "
+              "%zu+%zu discs, window 8) ===\n\n",
+              num_discs, num_discs);
+
+  auto doc = sxnm::datagen::GenerateDataSet2(num_discs, 7);
+  if (!doc.ok()) {
+    std::cerr << doc.status().ToString() << "\n";
+    return 1;
+  }
+
+  sxnm::util::TablePrinter table(
+      {"phi", "recall", "precision", "f1", "SW time(s)"});
+
+  for (const char* phi : {"edit", "edit_filtered:0.65"}) {
+    auto config = sxnm::datagen::CdConfig(8);
+    if (!config.ok()) {
+      std::cerr << config.status().ToString() << "\n";
+      return 1;
+    }
+    sxnm::core::CandidateConfig* disc = config->Find("disc");
+    disc->classifier.mode = sxnm::core::CombineMode::kOdOnly;
+    disc->classifier.od_threshold = 0.65;
+    for (sxnm::core::OdEntry& od : disc->od) {
+      od.similarity_name = phi;
+      od.similarity = sxnm::text::GetSimilarity(phi).value();
+    }
+    // Best-of-3 sliding-window time to smooth scheduler noise.
+    double best_sw = 1e9;
+    sxnm::eval::CandidateEvaluation last;
+    for (int run = 0; run < 3; ++run) {
+      auto eval =
+          sxnm::eval::RunAndEvaluate(config.value(), doc.value(), "disc");
+      if (!eval.ok()) {
+        std::cerr << eval.status().ToString() << "\n";
+        return 1;
+      }
+      best_sw = std::min(best_sw, eval->sw_seconds);
+      last = eval.value();
+    }
+    table.AddRow({phi, sxnm::util::FormatDouble(last.metrics.recall, 4),
+                  sxnm::util::FormatDouble(last.metrics.precision, 4),
+                  sxnm::util::FormatDouble(last.metrics.f1, 4),
+                  sxnm::util::FormatDouble(best_sw, 4)});
+  }
+  table.Print(std::cout);
+  std::printf("The filtered phi clamps sub-threshold similarities to 0;\n"
+              "weighted-sum decisions can differ marginally near the\n"
+              "threshold, the window time drops on dissimilar pairs.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation A3: choice of the φ^OD similarity function (Def. 2 allows any)
+// on Data set 2. Compares normalized edit distance (the paper's default),
+// transposition-aware OSA, Jaro-Winkler, trigram Dice and word Jaccard on
+// identical data/keys/thresholds.
+//
+// Usage: ablation_phi_functions [num_discs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "datagen/freedb.h"
+#include "eval/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  size_t num_discs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+
+  std::printf("=== Ablation A3: phi^OD function choice (Data set 2, "
+              "%zu+%zu discs, window 4, OD threshold 0.65) ===\n\n",
+              num_discs, num_discs);
+
+  auto doc = sxnm::datagen::GenerateDataSet2(num_discs, 7);
+  if (!doc.ok()) {
+    std::cerr << doc.status().ToString() << "\n";
+    return 1;
+  }
+
+  sxnm::util::TablePrinter table(
+      {"phi", "recall", "precision", "f_measure", "SW time(s)"});
+
+  for (const char* phi :
+       {"edit", "osa", "jaro_winkler", "qgram3", "word_jaccard"}) {
+    auto config = sxnm::datagen::CdConfig(4);
+    if (!config.ok()) {
+      std::cerr << config.status().ToString() << "\n";
+      return 1;
+    }
+    sxnm::core::CandidateConfig* disc = config->Find("disc");
+    disc->classifier.mode = sxnm::core::CombineMode::kOdOnly;
+    for (sxnm::core::OdEntry& od : disc->od) {
+      od.similarity_name = phi;
+      od.similarity = sxnm::text::GetSimilarity(phi).value();
+    }
+    auto eval =
+        sxnm::eval::RunAndEvaluate(config.value(), doc.value(), "disc");
+    if (!eval.ok()) {
+      std::cerr << eval.status().ToString() << "\n";
+      return 1;
+    }
+    table.AddRow({phi, sxnm::util::FormatDouble(eval->metrics.recall, 4),
+                  sxnm::util::FormatDouble(eval->metrics.precision, 4),
+                  sxnm::util::FormatDouble(eval->metrics.f1, 4),
+                  sxnm::util::FormatDouble(eval->sw_seconds, 4)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

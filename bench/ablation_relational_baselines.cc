@@ -1,0 +1,123 @@
+// Ablation A1: the relational substrate's algorithm zoo on one dirty
+// person table — multi-pass SNM vs DE-SNM vs blocking vs naive all-pairs.
+// Charts the comparisons/recall/time trade-off that motivates sorted
+// neighborhoods (Sec. 2.2) and the DE-SNM idea from the paper's outlook.
+//
+// Usage: ablation_relational_baselines [num_records] [window]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/vocab.h"
+#include "relational/snm.h"
+#include "sxnm/key_pattern.h"
+#include "text/edit_distance.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/union_find.h"
+
+namespace {
+
+using sxnm::relational::Record;
+using sxnm::relational::Table;
+
+std::pair<Table, std::vector<int>> BuildTable(size_t n, uint64_t seed) {
+  sxnm::util::Rng rng(seed);
+  sxnm::datagen::ErrorModel errors;
+  errors.field_error_probability = 0.6;
+  errors.max_edits = 2;
+
+  Table table(sxnm::relational::Schema({"name", "city", "year"}));
+  std::vector<int> gold;
+  static constexpr const char* kCities[] = {"Berlin",  "Hamburg", "Munich",
+                                            "Cologne", "Dresden", "Leipzig"};
+  int next_gold = 0;
+  while (table.NumRecords() < n) {
+    std::string name = sxnm::datagen::RandomPersonName(rng);
+    std::string city = kCities[rng.NextBelow(std::size(kCities))];
+    std::string year = std::to_string(rng.NextInt(1940, 2000));
+    int id = next_gold++;
+    table.AddRow({name, city, year});
+    gold.push_back(id);
+    if (rng.NextBool(0.3) && table.NumRecords() < n) {
+      table.AddRow({sxnm::datagen::PolluteValue(name, errors, rng),
+                    sxnm::datagen::PolluteValue(city, errors, rng), year});
+      gold.push_back(id);
+    }
+  }
+  return {std::move(table), std::move(gold)};
+}
+
+double PairRecall(const sxnm::relational::SnmResult& result,
+                  const std::vector<int>& gold) {
+  sxnm::util::UnionFind uf(gold.size());
+  for (const auto& [a, b] : result.duplicate_pairs) uf.Union(a, b);
+  size_t gold_pairs = 0, hit = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    for (size_t j = i + 1; j < gold.size(); ++j) {
+      if (gold[i] != gold[j]) continue;
+      ++gold_pairs;
+      if (uf.Connected(i, j)) ++hit;
+    }
+  }
+  return gold_pairs == 0 ? 1.0 : double(hit) / double(gold_pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
+  size_t window = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+
+  std::printf("=== Ablation A1: relational baselines (%zu records, "
+              "window %zu) ===\n\n",
+              n, window);
+
+  auto [table, gold] = BuildTable(n, 0xABCD);
+
+  auto name_pattern = sxnm::core::KeyPattern::Parse("K1-K5").value();
+  auto year_pattern = sxnm::core::KeyPattern::Parse("D3,D4").value();
+  std::vector<sxnm::relational::KeyFn> keys = {
+      [name_pattern](const Record& r) {
+        return name_pattern.Apply(r.field(0)) + r.field(1).substr(0, 2);
+      },
+      [year_pattern, name_pattern](const Record& r) {
+        return year_pattern.Apply(r.field(2)) +
+               name_pattern.Apply(r.field(0)).substr(0, 2);
+      },
+  };
+
+  sxnm::relational::MatchFn match = sxnm::relational::MakeWeightedFieldMatch(
+      {0, 1, 2}, {0.6, 0.2, 0.2},
+      {sxnm::text::NormalizedEditSimilarity,
+       sxnm::text::NormalizedEditSimilarity,
+       sxnm::text::NormalizedEditSimilarity},
+      0.8);
+
+  sxnm::relational::SnmOptions options;
+  options.window_size = window;
+
+  sxnm::util::TablePrinter out({"algorithm", "comparisons", "matched pairs",
+                                "recall", "compare time(s)"});
+  auto add = [&](const char* label, const sxnm::relational::SnmResult& r) {
+    out.AddRow({label, std::to_string(r.stats.comparisons),
+                std::to_string(r.duplicate_pairs.size()),
+                sxnm::util::FormatDouble(PairRecall(r, gold), 4),
+                sxnm::util::FormatDouble(r.stats.timer.Seconds("window"), 4)});
+  };
+
+  add("SNM (multi-pass)",
+      sxnm::relational::RunSnm(table, keys, match, options));
+  add("DE-SNM", sxnm::relational::RunDeSnm(table, keys, match, options));
+  add("Blocking (exact key)",
+      sxnm::relational::RunBlocking(table, keys, match));
+  add("Naive all-pairs", sxnm::relational::RunNaiveAllPairs(table, match));
+
+  out.Print(std::cout);
+  std::printf("SNM approaches the naive recall at a small fraction of its "
+              "comparisons — the efficiency argument SXNM inherits.\n");
+  return 0;
+}

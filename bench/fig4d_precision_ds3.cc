@@ -1,0 +1,83 @@
+// Figure 4(d): precision (and number of detected duplicates) vs window
+// size on Data set 3 — a large FreeDB-shaped catalog (the paper uses
+// 10,000 discs) with series discs, various-artists samplers and
+// unreadable entries as false-positive sources, keys per Tab. 3(c).
+//
+// Expected shape (paper): Key 2 (disc-id-led) has the highest precision
+// but detects few duplicates (48 at w=5); Key 1 (title-led) has lower
+// precision but detects far more (289 at w=5); multi-pass has the worst
+// precision because the false positives of both keys accumulate.
+//
+// Usage: fig4d_precision_ds3 [num_discs] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "datagen/freedb.h"
+#include "eval/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  size_t num_discs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 13;
+
+  std::printf("=== Figure 4(d): Data set 3 precision vs window size ===\n");
+  std::printf("synthetic FreeDB catalog: %zu discs (+3%% true duplicates; "
+              "series/VA/unreadable confusers), keys per Tab. 3(c)\n\n",
+              num_discs);
+
+  auto doc = sxnm::datagen::GenerateDataSet3(num_discs, seed, 0.03);
+  if (!doc.ok()) {
+    std::cerr << doc.status().ToString() << "\n";
+    return 1;
+  }
+  auto config = sxnm::datagen::Ds3Config(/*window=*/5);
+  if (!config.ok()) {
+    std::cerr << config.status().ToString() << "\n";
+    return 1;
+  }
+  // The paper's Fig. 4(d) evaluates the disc keys alone (no descendant
+  // veto): use OD-only so the confusers show up as false positives.
+  config->Find("disc")->classifier.mode = sxnm::core::CombineMode::kOdOnly;
+
+  std::vector<size_t> windows = {2, 3, 5, 7, 10};
+  auto points =
+      sxnm::eval::WindowSweep(config.value(), doc.value(), "disc", windows);
+  if (!points.ok()) {
+    std::cerr << points.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::map<size_t, std::map<std::string, const sxnm::eval::SweepPoint*>> grid;
+  for (const auto& point : points.value()) {
+    grid[point.window][point.label] = &point;
+  }
+
+  sxnm::util::TablePrinter table(
+      {"window", "prec(Key 1)", "dups(Key 1)", "prec(Key 2)", "dups(Key 2)",
+       "prec(MP)", "dups(MP)"});
+  for (size_t w : windows) {
+    const auto& row = grid[w];
+    auto prec = [&](const char* label) {
+      return sxnm::util::FormatDouble(
+          row.at(label)->eval.metrics.precision, 4);
+    };
+    auto dups = [&](const char* label) {
+      return std::to_string(row.at(label)->eval.detected_pair_count);
+    };
+    table.AddRow({std::to_string(w), prec("Key 1"), dups("Key 1"),
+                  prec("Key 2"), dups("Key 2"), prec("MP"), dups("MP")});
+  }
+  table.Print(std::cout);
+
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+  std::printf(
+      "\nNote: 'dups' counts accepted window pairs before closure, the\n"
+      "paper's 'detected duplicates'. Key 2 (disc-id) = precise but few;\n"
+      "Key 1 (title) = more finds, lower precision; MP = most finds,\n"
+      "lowest precision (false positives accumulate).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Figure 5: scalability of the SXNM phases with data size and duplicate
+// density. Four panels:
+//   (a) clean data            — no duplicates at all
+//   (b) "few duplicates"      — 20% dupProb for movie/title/person, 1 dup
+//   (c) "many duplicates"     — 100% dupProb movie/person (up to 2), 20% title
+//   (d) key-generation + sliding-window overhead of (b)/(c) vs clean
+//
+// Phases: KG = key generation, SW = sliding window, TC = transitive
+// closure, DD = SW + TC (the paper's "duplicate detection"). Window = 3,
+// candidates movie/title/person, exactly as Experiment set 2.
+//
+// Expected shape (paper): KG linear in size; SW dominates DD and grows
+// with dirty-data volume; TC is negligible on clean data but grows
+// sharply with "many duplicates"; few-duplicates overhead stays below
+// ~20% while many-duplicates costs several times the clean run.
+//
+// Usage: fig5_scalability [max_movies] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "sxnm/detector.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct PanelRow {
+  size_t clean_movies = 0;
+  size_t instances = 0;  // movie instances after pollution
+  double kg = 0, sw = 0, tc = 0;
+  double dd() const { return sw + tc; }
+};
+
+sxnm::util::Result<PanelRow> RunOne(const sxnm::xml::Document& doc,
+                                    size_t clean_movies) {
+  auto config = sxnm::datagen::MovieScalabilityConfig(/*window=*/3);
+  if (!config.ok()) return config.status();
+  sxnm::core::Detector detector(std::move(config).value());
+  auto result = detector.Run(doc);
+  if (!result.ok()) return result.status();
+  PanelRow row;
+  row.clean_movies = clean_movies;
+  row.instances = result->Find("movie")->num_instances;
+  row.kg = result->KeyGenerationSeconds();
+  row.sw = result->SlidingWindowSeconds();
+  row.tc = result->TransitiveClosureSeconds();
+  return row;
+}
+
+void PrintPanel(const char* title, const std::vector<PanelRow>& rows) {
+  std::printf("%s\n", title);
+  sxnm::util::TablePrinter table({"movies(clean)", "movie instances",
+                                  "KG(s)", "SW(s)", "TC(s)", "DD(s)"});
+  for (const PanelRow& row : rows) {
+    table.AddRow({std::to_string(row.clean_movies),
+                  std::to_string(row.instances),
+                  sxnm::util::FormatDouble(row.kg, 4),
+                  sxnm::util::FormatDouble(row.sw, 4),
+                  sxnm::util::FormatDouble(row.tc, 4),
+                  sxnm::util::FormatDouble(row.dd(), 4)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t max_movies = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8000;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  std::printf("=== Figure 5: scalability of the SXNM phases (window 3) ===\n\n");
+
+  std::vector<size_t> sizes;
+  for (size_t n = 500; n <= max_movies; n *= 2) sizes.push_back(n);
+
+  std::vector<PanelRow> clean_rows, few_rows, many_rows;
+  for (size_t n : sizes) {
+    sxnm::datagen::MovieDataOptions gen;
+    gen.num_movies = n;
+    gen.seed = seed + n;
+    sxnm::xml::Document clean = sxnm::datagen::GenerateCleanMovies(gen);
+
+    auto clean_row = RunOne(clean, n);
+    if (!clean_row.ok()) {
+      std::cerr << clean_row.status().ToString() << "\n";
+      return 1;
+    }
+    clean_rows.push_back(clean_row.value());
+
+    auto few =
+        sxnm::datagen::MakeDirty(clean, sxnm::datagen::FewDuplicatesPreset(seed));
+    if (!few.ok()) {
+      std::cerr << few.status().ToString() << "\n";
+      return 1;
+    }
+    auto few_row = RunOne(few.value(), n);
+    if (!few_row.ok()) {
+      std::cerr << few_row.status().ToString() << "\n";
+      return 1;
+    }
+    few_rows.push_back(few_row.value());
+
+    auto many = sxnm::datagen::MakeDirty(
+        clean, sxnm::datagen::ManyDuplicatesPreset(seed));
+    if (!many.ok()) {
+      std::cerr << many.status().ToString() << "\n";
+      return 1;
+    }
+    auto many_row = RunOne(many.value(), n);
+    if (!many_row.ok()) {
+      std::cerr << many_row.status().ToString() << "\n";
+      return 1;
+    }
+    many_rows.push_back(many_row.value());
+  }
+
+  PrintPanel("--- Panel (a): clean data ---", clean_rows);
+  PrintPanel("--- Panel (b): few duplicates (20% dupProb) ---", few_rows);
+  PrintPanel("--- Panel (c): many duplicates (100% movie/person dupProb) ---",
+             many_rows);
+
+  std::printf("--- Panel (d): KG+SW overhead vs clean data ---\n");
+  sxnm::util::TablePrinter overhead({"movies(clean)", "few dups overhead",
+                                     "many dups overhead"});
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    double base = clean_rows[i].kg + clean_rows[i].sw;
+    double few = few_rows[i].kg + few_rows[i].sw;
+    double many = many_rows[i].kg + many_rows[i].sw;
+    auto pct = [base](double v) {
+      return sxnm::util::FormatDouble(100.0 * (v - base) / base, 1) + "%";
+    };
+    overhead.AddRow({std::to_string(sizes[i]), pct(few), pct(many)});
+  }
+  overhead.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// M3: microbenchmarks for the SXNM pipeline stages — key generation,
+// GK sorting, one full detector run, and the transitive closure — on
+// generated movie data. These are the building blocks of Fig. 5's curves.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "sxnm/candidate_tree.h"
+#include "sxnm/detector.h"
+#include "sxnm/key_generation.h"
+#include "sxnm/transitive_closure.h"
+#include "util/rng.h"
+
+namespace {
+
+sxnm::xml::Document DirtyMovies(size_t n) {
+  sxnm::datagen::MovieDataOptions options;
+  options.num_movies = n;
+  options.seed = 7;
+  sxnm::xml::Document clean = sxnm::datagen::GenerateCleanMovies(options);
+  return sxnm::datagen::MakeDirty(clean,
+                                  sxnm::datagen::DataSet1DirtyPreset(1))
+      .value();
+}
+
+void BM_KeyGeneration(benchmark::State& state) {
+  sxnm::xml::Document doc = DirtyMovies(size_t(state.range(0)));
+  auto config = sxnm::datagen::MovieConfig(10).value();
+  auto forest = sxnm::core::CandidateForest::Build(config, doc).value();
+  const auto& instances = forest.candidates()[0];
+  for (auto _ : state) {
+    auto gk = sxnm::core::GenerateKeys(*instances.config, instances);
+    benchmark::DoNotOptimize(gk.rows.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(instances.NumInstances()));
+}
+BENCHMARK(BM_KeyGeneration)->Arg(500)->Arg(2000);
+
+void BM_GkSort(benchmark::State& state) {
+  sxnm::xml::Document doc = DirtyMovies(2000);
+  auto config = sxnm::datagen::MovieConfig(10).value();
+  auto forest = sxnm::core::CandidateForest::Build(config, doc).value();
+  auto gk = sxnm::core::GenerateKeys(*forest.candidates()[0].config,
+                                     forest.candidates()[0]);
+  for (auto _ : state) {
+    auto order = gk.SortedOrder(0);
+    benchmark::DoNotOptimize(order.size());
+  }
+}
+BENCHMARK(BM_GkSort);
+
+void BM_DetectorFullRun(benchmark::State& state) {
+  sxnm::xml::Document doc = DirtyMovies(size_t(state.range(0)));
+  sxnm::core::Detector detector(sxnm::datagen::MovieConfig(10).value());
+  for (auto _ : state) {
+    auto result = detector.Run(doc);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_DetectorFullRun)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  // Random pair soup over n instances.
+  size_t n = size_t(state.range(0));
+  sxnm::util::Rng rng(3);
+  std::vector<sxnm::core::OrdinalPair> pairs;
+  for (size_t i = 0; i < n / 2; ++i) {
+    size_t a = rng.NextBelow(n);
+    size_t b = rng.NextBelow(n);
+    if (a != b) pairs.push_back(std::minmax(a, b));
+  }
+  for (auto _ : state) {
+    auto clusters = sxnm::core::ComputeTransitiveClosure(n, pairs);
+    benchmark::DoNotOptimize(clusters.num_clusters());
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CandidateForestBuild(benchmark::State& state) {
+  sxnm::xml::Document doc = DirtyMovies(size_t(state.range(0)));
+  auto config = sxnm::datagen::MovieScalabilityConfig(3).value();
+  for (auto _ : state) {
+    auto forest = sxnm::core::CandidateForest::Build(config, doc);
+    benchmark::DoNotOptimize(forest.ok());
+  }
+}
+BENCHMARK(BM_CandidateForestBuild)->Arg(500)->Arg(2000);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// M1: microbenchmarks for the similarity functions (google-benchmark).
+// The sliding window's cost is dominated by φ^OD evaluations, so their
+// per-call cost drives the SW curves of Fig. 5.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "text/edit_distance.h"
+#include "text/jaro_winkler.h"
+#include "text/qgram.h"
+#include "text/soundex.h"
+#include "util/rng.h"
+
+namespace {
+
+std::string MakeString(size_t length, uint64_t seed) {
+  sxnm::util::Rng rng(seed);
+  static constexpr char kAlpha[] = "abcdefghijklmnopqrstuvwxyz ";
+  std::string s;
+  s.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    s.push_back(kAlpha[rng.NextBelow(sizeof(kAlpha) - 1)]);
+  }
+  return s;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = MakeString(size_t(state.range(0)), 1);
+  std::string b = MakeString(size_t(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sxnm::text::LevenshteinDistance(a, b));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  std::string a = MakeString(size_t(state.range(0)), 1);
+  std::string b = MakeString(size_t(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sxnm::text::BoundedLevenshteinDistance(a, b, 3));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_NormalizedEdit(benchmark::State& state) {
+  std::string a = MakeString(size_t(state.range(0)), 3);
+  std::string b = MakeString(size_t(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sxnm::text::NormalizedEditSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_NormalizedEdit)->Arg(16)->Arg(64);
+
+void BM_Osa(benchmark::State& state) {
+  std::string a = MakeString(size_t(state.range(0)), 5);
+  std::string b = MakeString(size_t(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sxnm::text::OsaDistance(a, b));
+  }
+}
+BENCHMARK(BM_Osa)->Arg(16)->Arg(64);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = MakeString(size_t(state.range(0)), 7);
+  std::string b = MakeString(size_t(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sxnm::text::JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler)->Arg(16)->Arg(64);
+
+void BM_QGram(benchmark::State& state) {
+  std::string a = MakeString(size_t(state.range(0)), 9);
+  std::string b = MakeString(size_t(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sxnm::text::QGramSimilarity(a, b, 3));
+  }
+}
+BENCHMARK(BM_QGram)->Arg(16)->Arg(64);
+
+void BM_Soundex(benchmark::State& state) {
+  std::string a = MakeString(16, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sxnm::text::Soundex(a));
+  }
+}
+BENCHMARK(BM_Soundex);
+
+}  // namespace

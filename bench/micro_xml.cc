@@ -1,0 +1,88 @@
+// M2: microbenchmarks for the XML substrate — parse, serialize and XPath
+// evaluation throughput on generated movie documents. Key generation
+// (Fig. 5's KG phase) is bounded by these.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/movies.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xpath.h"
+
+namespace {
+
+std::string MovieXml(size_t movies) {
+  sxnm::datagen::MovieDataOptions options;
+  options.num_movies = movies;
+  options.seed = 42;
+  return sxnm::xml::WriteDocument(
+      sxnm::datagen::GenerateCleanMovies(options));
+}
+
+void BM_Parse(benchmark::State& state) {
+  std::string text = MovieXml(size_t(state.range(0)));
+  for (auto _ : state) {
+    auto doc = sxnm::xml::Parse(text);
+    benchmark::DoNotOptimize(doc.ok());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(text.size()));
+}
+BENCHMARK(BM_Parse)->Arg(100)->Arg(1000);
+
+void BM_Write(benchmark::State& state) {
+  sxnm::datagen::MovieDataOptions options;
+  options.num_movies = size_t(state.range(0));
+  options.seed = 42;
+  sxnm::xml::Document doc = sxnm::datagen::GenerateCleanMovies(options);
+  for (auto _ : state) {
+    std::string out = sxnm::xml::WriteDocument(doc);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_Write)->Arg(100)->Arg(1000);
+
+void BM_XPathCandidates(benchmark::State& state) {
+  sxnm::datagen::MovieDataOptions options;
+  options.num_movies = size_t(state.range(0));
+  options.seed = 42;
+  sxnm::xml::Document doc = sxnm::datagen::GenerateCleanMovies(options);
+  auto path = sxnm::xml::XPath::Parse("movie_database/movies/movie").value();
+  for (auto _ : state) {
+    auto movies = path.SelectFromRoot(doc);
+    benchmark::DoNotOptimize(movies->size());
+  }
+}
+BENCHMARK(BM_XPathCandidates)->Arg(100)->Arg(1000);
+
+void BM_XPathRelativeValues(benchmark::State& state) {
+  sxnm::datagen::MovieDataOptions options;
+  options.num_movies = 1000;
+  options.seed = 42;
+  sxnm::xml::Document doc = sxnm::datagen::GenerateCleanMovies(options);
+  auto movies = sxnm::xml::XPath::Parse("movie_database/movies/movie")
+                    .value()
+                    .SelectFromRoot(doc)
+                    .value();
+  auto title = sxnm::xml::XPath::Parse("title/text()").value();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(title.SelectFirstValue(*movies[i]));
+    i = (i + 1) % movies.size();
+  }
+}
+BENCHMARK(BM_XPathRelativeValues);
+
+void BM_DocumentClone(benchmark::State& state) {
+  sxnm::datagen::MovieDataOptions options;
+  options.num_movies = size_t(state.range(0));
+  options.seed = 42;
+  sxnm::xml::Document doc = sxnm::datagen::GenerateCleanMovies(options);
+  for (auto _ : state) {
+    sxnm::xml::Document copy = doc.Clone();
+    benchmark::DoNotOptimize(copy.element_count());
+  }
+}
+BENCHMARK(BM_DocumentClone)->Arg(100)->Arg(1000);
+
+}  // namespace

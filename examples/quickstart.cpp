@@ -1,0 +1,117 @@
+// Quickstart: deduplicate a small inline XML movie collection with SXNM.
+//
+// Demonstrates the complete public API surface in ~100 lines:
+//   1. parse an XML document,
+//   2. configure a candidate (paths, object description, keys),
+//   3. run the detector,
+//   4. inspect duplicate pairs and clusters,
+//   5. write the de-duplicated document.
+
+#include <cstdio>
+#include <iostream>
+
+#include "sxnm/config.h"
+#include "sxnm/dedup_writer.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+constexpr const char* kMovies = R"xml(
+<movie_database>
+  <movies>
+    <movie year="1999" length="136">
+      <title>The Matrix</title>
+      <people>
+        <person><lastname>Reeves</lastname><firstname>Keanu</firstname></person>
+        <person><lastname>Fishburne</lastname><firstname>Laurence</firstname></person>
+      </people>
+    </movie>
+    <movie year="1999" length="136">
+      <title>Matrix, The</title>
+      <people>
+        <person><lastname>Reevs</lastname><firstname>Keanu</firstname></person>
+      </people>
+    </movie>
+    <movie year="1998" length="137">
+      <title>Mask of Zorro</title>
+      <people>
+        <person><lastname>Banderas</lastname><firstname>Antonio</firstname></person>
+      </people>
+    </movie>
+    <movie year="1998" length="137">
+      <title>The Mask of Zoro</title>
+    </movie>
+    <movie year="2001" length="112">
+      <title>Ocean Storm</title>
+    </movie>
+  </movies>
+</movie_database>
+)xml";
+
+}  // namespace
+
+int main() {
+  // 1. Parse.
+  auto doc = sxnm::xml::Parse(kMovies);
+  if (!doc.ok()) {
+    std::cerr << "parse failed: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 2. Configure one candidate: <movie>, identified by its title (weight
+  //    0.8) and year (0.2), with two sort keys for a multi-pass run.
+  auto movie =
+      sxnm::core::CandidateBuilder("movie", "movie_database/movies/movie")
+          .Path(1, "title/text()")
+          .Path(2, "@year")
+          .Od(1, 0.8, "edit")
+          .Od(2, 0.2, "numeric:5")
+          .Key({{1, "K1-K5"}, {2, "D3,D4"}})  // MSKFZ98-style keys
+          .Key({{2, "D3,D4"}, {1, "K1,K2"}})
+          .Window(3)
+          .OdThreshold(0.55)
+          .Build();
+  if (!movie.ok()) {
+    std::cerr << "config error: " << movie.status().ToString() << "\n";
+    return 1;
+  }
+  sxnm::core::Config config;
+  if (auto s = config.AddCandidate(std::move(movie).value()); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  // 3. Detect.
+  sxnm::core::Detector detector(std::move(config));
+  auto result = detector.Run(doc.value());
+  if (!result.ok()) {
+    std::cerr << "detection failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  const sxnm::core::CandidateResult* movies = result->Find("movie");
+
+  // 4. Report.
+  std::printf("instances:   %zu\n", movies->num_instances);
+  std::printf("comparisons: %zu\n", movies->comparisons);
+  std::printf("pairs found: %zu\n", movies->duplicate_pairs.size());
+  for (const auto& [a, b] : movies->duplicate_pairs) {
+    std::printf("  duplicate pair: instance %zu ~ instance %zu\n", a, b);
+  }
+  for (const auto& cluster : movies->clusters.NonTrivialClusters()) {
+    std::printf("  cluster:");
+    for (size_t member : cluster) std::printf(" %zu", member);
+    std::printf("\n");
+  }
+
+  // 5. De-duplicate and print the cleaned document.
+  auto deduped = sxnm::core::Deduplicate(doc.value(), result.value());
+  if (!deduped.ok()) {
+    std::cerr << "dedup failed: " << deduped.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("\nDe-duplicated document:\n%s",
+              sxnm::xml::WriteDocument(deduped.value()).c_str());
+  return 0;
+}

@@ -1,0 +1,162 @@
+// sxnm_cli — end-to-end command-line deduplicator.
+//
+//   sxnm_cli <config.xml> <data.xml> [-o out.xml] [--fuse|--first|--richest]
+//            [--report [--gold]] [--advise]
+//
+// Loads an SXNM configuration (see examples/config_tool for the format),
+// runs detection over the data file, prints a per-candidate report
+// (instances, comparisons, clusters, phase timings) and optionally writes
+// the de-duplicated document.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "eval/report.h"
+#include "eval/window_advisor.h"
+#include "sxnm/config_xml.h"
+#include "sxnm/dedup_writer.h"
+#include "sxnm/detector.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <config.xml> <data.xml> [-o out.xml] "
+               "[--fuse|--first|--richest]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  std::string config_path = argv[1];
+  std::string data_path = argv[2];
+  std::string out_path;
+  auto strategy = sxnm::core::RepresentativeStrategy::kRichest;
+  bool report = false;
+  bool with_gold = false;
+  bool advise = false;
+
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fuse") == 0) {
+      strategy = sxnm::core::RepresentativeStrategy::kFuse;
+    } else if (std::strcmp(argv[i], "--first") == 0) {
+      strategy = sxnm::core::RepresentativeStrategy::kFirst;
+    } else if (std::strcmp(argv[i], "--richest") == 0) {
+      strategy = sxnm::core::RepresentativeStrategy::kRichest;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report = true;
+    } else if (std::strcmp(argv[i], "--gold") == 0) {
+      with_gold = true;
+    } else if (std::strcmp(argv[i], "--advise") == 0) {
+      advise = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto config = sxnm::core::ConfigFromXmlFile(config_path);
+  if (!config.ok()) {
+    std::cerr << "config error: " << config.status().ToString() << "\n";
+    return 1;
+  }
+  auto doc = sxnm::xml::ParseFile(data_path);
+  if (!doc.ok()) {
+    std::cerr << "data error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+
+  sxnm::core::Config loaded_config = std::move(config).value();
+  sxnm::core::Detector detector(loaded_config);
+  auto result = detector.Run(doc.value());
+  if (!result.ok()) {
+    std::cerr << "detection error: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  sxnm::util::TablePrinter report_table({"candidate", "instances",
+                                         "comparisons", "duplicate pairs",
+                                         "clusters(>1)"});
+  for (const auto& cand : result->candidates) {
+    report_table.AddRow({cand.name, std::to_string(cand.num_instances),
+                   std::to_string(cand.comparisons),
+                   std::to_string(cand.duplicate_pairs.size()),
+                   std::to_string(cand.clusters.NonTrivialClusters().size())});
+  }
+  report_table.Print(std::cout);
+  std::printf("phases: KG=%.3fs SW=%.3fs TC=%.3fs (DD=%.3fs)\n",
+              result->KeyGenerationSeconds(),
+              result->SlidingWindowSeconds(),
+              result->TransitiveClosureSeconds(),
+              result->DuplicateDetectionSeconds());
+
+  if (advise) {
+    // Sampling-based window advice per candidate (outlook, Sec. 5).
+    std::printf("\nwindow advice (95%% coverage of sampled similar-pair "
+                "rank distances):\n");
+    for (const auto& cand : loaded_config.candidates()) {
+      auto advice = sxnm::eval::AdviseWindow(loaded_config, doc.value(),
+                                             cand.name);
+      if (!advice.ok()) {
+        std::printf("  %-12s <error: %s>\n", cand.name.c_str(),
+                    advice.status().ToString().c_str());
+        continue;
+      }
+      if (advice->similar_pairs == 0) {
+        std::printf("  %-12s no similar pairs in sample (keep window %zu)\n",
+                    cand.name.c_str(), cand.window_size);
+      } else {
+        std::printf("  %-12s configured=%zu advised=%zu (max observed "
+                    "distance %zu over %zu pairs)\n",
+                    cand.name.c_str(), cand.window_size,
+                    advice->recommended_window, advice->max_distance,
+                    advice->similar_pairs);
+      }
+    }
+  }
+
+  if (report) {
+    sxnm::eval::ReportOptions report_options;
+    report_options.with_gold = with_gold;
+    auto rendered = sxnm::eval::RenderReport(loaded_config, doc.value(),
+                                             result.value(), report_options);
+    if (!rendered.ok()) {
+      std::cerr << "report error: " << rendered.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("\n%s", rendered->c_str());
+  }
+
+  if (!out_path.empty()) {
+    sxnm::core::DedupStats stats;
+    auto deduped =
+        sxnm::core::Deduplicate(doc.value(), result.value(), strategy, &stats);
+    if (!deduped.ok()) {
+      std::cerr << "dedup error: " << deduped.status().ToString() << "\n";
+      return 1;
+    }
+    if (!sxnm::xml::WriteDocumentToFile(deduped.value(), out_path)) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::printf("wrote %s: removed %zu elements across %zu clusters",
+                out_path.c_str(), stats.elements_removed,
+                stats.clusters_collapsed);
+    if (strategy == sxnm::core::RepresentativeStrategy::kFuse) {
+      std::printf(" (fused %zu attributes, %zu children)",
+                  stats.attributes_fused, stats.children_fused);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

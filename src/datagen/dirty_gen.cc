@@ -1,0 +1,172 @@
+#include "datagen/dirty_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+#include "xml/xpath.h"
+
+namespace sxnm::datagen {
+
+namespace {
+
+// One random character edit in place. `value` may be empty (insert still
+// possible).
+void ApplyCharEdit(std::string& value, util::Rng& rng) {
+  enum { kDelete, kInsert, kSwap };
+  int op = rng.NextInt(0, 2);
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+  switch (op) {
+    case kDelete:
+      if (!value.empty()) {
+        value.erase(rng.NextBelow(value.size()), 1);
+      }
+      break;
+    case kInsert: {
+      char c = kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+      value.insert(value.begin() + static_cast<long>(
+                                        rng.NextBelow(value.size() + 1)),
+                   c);
+      break;
+    }
+    case kSwap:
+      if (value.size() >= 2) {
+        size_t i = rng.NextBelow(value.size() - 1);
+        std::swap(value[i], value[i + 1]);
+      }
+      break;
+  }
+}
+
+void ApplyWordSwap(std::string& value, util::Rng& rng) {
+  std::vector<std::string> words = util::SplitWhitespace(value);
+  if (words.size() < 2) return;
+  size_t i = rng.NextBelow(words.size() - 1);
+  std::swap(words[i], words[i + 1]);
+  value = util::Join(words, " ");
+}
+
+// Replaces the leading characters so that class-based keys (consonants,
+// characters, digits) sort far from the original.
+void ApplySevere(std::string& value, util::Rng& rng) {
+  static constexpr const char* kPrefixes[] = {"zz", "qx", "zq", "xz"};
+  value = std::string(kPrefixes[rng.NextBelow(4)]) + value;
+  // Also damage what was the first character to break K1/C1/D1 selectors.
+  if (value.size() > 2) value[2] = 'z';
+}
+
+// Recursively pollutes every text node and attribute value of `element`
+// (excluding the _gold attribute).
+void PolluteSubtree(xml::Element* element, const ErrorModel& errors,
+                    util::Rng& rng, DirtyStats* stats) {
+  // Attributes.
+  std::vector<std::pair<std::string, std::string>> updates;
+  for (const xml::Attribute& attr : element->attributes()) {
+    if (attr.name == "_gold") continue;
+    bool polluted = false;
+    std::string next = PolluteValue(attr.value, errors, rng, &polluted);
+    if (polluted) {
+      updates.emplace_back(attr.name, std::move(next));
+      if (stats != nullptr) ++stats->values_polluted;
+    }
+  }
+  for (const auto& [name, value] : updates) {
+    element->SetAttribute(name, value);
+  }
+
+  // Children: optional field drops and recursion. Iterate by index since
+  // children may be removed.
+  for (size_t i = element->NumChildren(); i > 0; --i) {
+    xml::Node* child = element->children()[i - 1].get();
+    if (xml::Element* e = child->AsElement()) {
+      // Only leaf elements can go missing (a missing <year> or <artist>;
+      // never a structural container like <tracks> or <people>).
+      bool is_leaf = e->ChildElements().empty();
+      if (is_leaf && errors.field_drop_probability > 0 &&
+          rng.NextBool(errors.field_drop_probability)) {
+        element->RemoveChild(i - 1);
+        continue;
+      }
+      PolluteSubtree(e, errors, rng, stats);
+    } else if (child->IsText()) {
+      auto* text = static_cast<xml::TextNode*>(child);
+      bool polluted = false;
+      std::string next = PolluteValue(text->text(), errors, rng, &polluted);
+      if (polluted) {
+        text->set_text(std::move(next));
+        if (stats != nullptr) ++stats->values_polluted;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string PolluteValue(const std::string& value, const ErrorModel& errors,
+                         util::Rng& rng, bool* polluted) {
+  if (polluted != nullptr) *polluted = false;
+  if (!rng.NextBool(errors.field_error_probability)) return value;
+
+  std::string out = value;
+  if (rng.NextBool(errors.severe_probability)) {
+    ApplySevere(out, rng);
+  } else {
+    int edits = rng.NextInt(errors.min_edits, errors.max_edits);
+    for (int e = 0; e < edits; ++e) ApplyCharEdit(out, rng);
+    if (rng.NextBool(errors.word_swap_probability)) ApplyWordSwap(out, rng);
+  }
+  if (polluted != nullptr) *polluted = (out != value);
+  return out;
+}
+
+util::Result<xml::Document> MakeDirty(const xml::Document& clean,
+                                      const DirtyOptions& options,
+                                      DirtyStats* stats) {
+  if (clean.root() == nullptr) {
+    return util::Status::FailedPrecondition("clean document has no root");
+  }
+
+  DirtyStats local;
+  util::Rng rng(options.seed);
+  xml::Document dirty = clean.Clone();
+
+  for (const DuplicationRule& rule : options.rules) {
+    auto path = xml::XPath::Parse(rule.path);
+    if (!path.ok()) return path.status();
+    if (path->SelectsValue()) {
+      return util::Status::InvalidArgument(
+          "duplication rule path must select elements: " + rule.path);
+    }
+
+    dirty.AssignElementIds();
+    auto targets = path->SelectFromRoot(dirty);
+    if (!targets.ok()) return targets.status();
+
+    for (xml::Element* target : targets.value()) {
+      ++local.elements_considered;
+      if (!rng.NextBool(rule.dup_probability)) continue;
+      ++local.elements_duplicated;
+
+      xml::Element* parent = target->parent();
+      if (parent == nullptr) {
+        return util::Status::InvalidArgument(
+            "cannot duplicate the document root (rule path '" + rule.path +
+            "')");
+      }
+      int copies = rng.NextInt(rule.min_duplicates, rule.max_duplicates);
+      for (int c = 0; c < copies; ++c) {
+        std::unique_ptr<xml::Element> copy = target->Clone();
+        PolluteSubtree(copy.get(), options.errors, rng, &local);
+        parent->AddChild(std::move(copy));
+        ++local.duplicates_created;
+      }
+    }
+  }
+
+  dirty.AssignElementIds();
+  if (stats != nullptr) *stats = local;
+  return dirty;
+}
+
+}  // namespace sxnm::datagen

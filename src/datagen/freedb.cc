@@ -1,0 +1,280 @@
+#include "datagen/freedb.h"
+
+#include <memory>
+#include <set>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/template_gen.h"
+#include "datagen/vocab.h"
+
+namespace sxnm::datagen {
+
+namespace {
+
+// A string with no Latin letters or digits: key patterns extract nothing,
+// and edit-distance comparisons are dominated by the remaining fields —
+// the paper's "format that failed to enter the database".
+std::string UnreadableString(util::Rng& rng) {
+  static constexpr const char* kGlyphs[] = {
+      "\xE3\x82\xAB", "\xE3\x83\xA9", "\xE3\x82\xAA", "\xE3\x82\xB1",
+      "\xD0\x96",     "\xD0\xA9",     "\xD0\xAE",     "\xD0\xAF",
+      "?",            "#",            "*",            "~",
+  };
+  int len = rng.NextInt(4, 10);
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    out += kGlyphs[rng.NextBelow(std::size(kGlyphs))];
+    if (i == len / 2) out += ' ';
+  }
+  return out;
+}
+
+struct DiscSpec {
+  std::string artist;
+  std::string dtitle;
+  std::string year;   // empty = absent
+  std::string did;    // empty = absent
+  std::string genre;  // empty = absent
+  int num_tracks = 0;
+};
+
+void EmitDisc(xml::Element* parent, const DiscSpec& spec, size_t gold_id,
+              util::Rng& rng, size_t* title_gold, size_t* artist_gold,
+              size_t* dtitle_gold) {
+  xml::Element* disc = parent->AddElement("disc");
+  disc->SetAttribute(kGoldAttribute, "disc-" + std::to_string(gold_id));
+
+  xml::Element* artist = disc->AddElement("artist");
+  artist->SetAttribute(kGoldAttribute,
+                       "artist-" + std::to_string((*artist_gold)++));
+  artist->AddText(spec.artist);
+
+  xml::Element* dtitle = disc->AddElement("dtitle");
+  dtitle->SetAttribute(kGoldAttribute,
+                       "dtitle-" + std::to_string((*dtitle_gold)++));
+  dtitle->AddText(spec.dtitle);
+
+  if (!spec.year.empty()) disc->AddElement("year")->AddText(spec.year);
+  if (!spec.did.empty()) disc->AddElement("did")->AddText(spec.did);
+  if (!spec.genre.empty()) disc->AddElement("genre")->AddText(spec.genre);
+
+  xml::Element* tracks = disc->AddElement("tracks");
+  for (int t = 0; t < spec.num_tracks; ++t) {
+    xml::Element* title = tracks->AddElement("title");
+    title->SetAttribute(kGoldAttribute,
+                        "track-" + std::to_string((*title_gold)++));
+    title->AddText(RandomTrackTitle(rng));
+  }
+}
+
+}  // namespace
+
+xml::Document GenerateFreeDbCatalog(const FreeDbOptions& options) {
+  util::Rng rng(options.seed);
+  auto root = std::make_unique<xml::Element>("freedb");
+
+  size_t disc_gold = 0, title_gold = 0, artist_gold = 0, dtitle_gold = 0;
+
+  std::set<std::string> used_titles;
+  while (disc_gold < options.num_discs) {
+    DiscSpec spec;
+    spec.artist = RandomArtist(rng);
+    // Distinct real-world discs get distinct titles (the clean catalog is
+    // duplicate-free by construction).
+    do {
+      spec.dtitle = RandomTitle(rng);
+    } while (!used_titles.insert(spec.dtitle).second);
+    if (rng.NextBool(options.year_presence)) {
+      spec.year = std::to_string(rng.NextInt(1960, 2005));
+    }
+    if (rng.NextBool(options.genre_presence)) {
+      spec.genre = MusicGenres()[rng.NextZipf(MusicGenres().size(), 0.7)];
+    }
+    spec.num_tracks = rng.NextInt(options.min_tracks, options.max_tracks);
+
+    bool various = rng.NextBool(options.various_artists_fraction);
+    bool unreadable = !various && rng.NextBool(options.unreadable_fraction);
+    bool series = rng.NextBool(options.series_fraction) ||
+                  (various && rng.NextBool(0.5));
+
+    if (various) spec.artist = rng.NextBool(0.5) ? "Various Artists" : "Various";
+    if (unreadable) {
+      spec.artist = UnreadableString(rng);
+      spec.dtitle = UnreadableString(rng);
+    }
+
+    int parts = series ? rng.NextInt(2, 3) : 1;
+    std::string base_title = spec.dtitle;
+    for (int p = 0; p < parts && disc_gold < options.num_discs; ++p) {
+      DiscSpec part = spec;
+      if (series) {
+        part.dtitle = base_title + " (CD" + std::to_string(p + 1) + ")";
+      }
+      if (rng.NextBool(options.did_presence)) part.did = RandomDiscId(rng);
+      part.num_tracks = rng.NextInt(options.min_tracks, options.max_tracks);
+      EmitDisc(root.get(), part, disc_gold++, rng, &title_gold, &artist_gold,
+               &dtitle_gold);
+    }
+  }
+
+  xml::Document doc;
+  doc.SetRoot(std::move(root));
+  return doc;
+}
+
+util::Result<xml::Document> GenerateDataSet2(size_t num_discs,
+                                             uint64_t seed) {
+  FreeDbOptions options;
+  options.num_discs = num_discs;
+  options.seed = seed;
+  xml::Document clean = GenerateFreeDbCatalog(options);
+
+  DirtyOptions dirty;
+  dirty.seed = seed + 1;
+  dirty.rules.push_back({"freedb/disc", /*dup_probability=*/1.0,
+                         /*min_duplicates=*/1, /*max_duplicates=*/1});
+  dirty.errors.field_error_probability = 0.3;
+  dirty.errors.min_edits = 1;
+  dirty.errors.max_edits = 2;
+  dirty.errors.word_swap_probability = 0.05;
+  dirty.errors.field_drop_probability = 0.03;
+  dirty.errors.severe_probability = 0.03;
+  return MakeDirty(clean, dirty);
+}
+
+util::Result<xml::Document> GenerateDataSet3(size_t num_discs, uint64_t seed,
+                                             double dup_fraction) {
+  FreeDbOptions options;
+  options.num_discs = num_discs;
+  options.seed = seed;
+  options.series_fraction = 0.06;
+  options.various_artists_fraction = 0.07;
+  options.unreadable_fraction = 0.04;
+  xml::Document clean = GenerateFreeDbCatalog(options);
+  if (dup_fraction <= 0.0) return clean;
+
+  DirtyOptions dirty;
+  dirty.seed = seed + 1;
+  dirty.rules.push_back({"freedb/disc", dup_fraction, 1, 1});
+  dirty.errors.field_error_probability = 0.4;
+  dirty.errors.min_edits = 1;
+  dirty.errors.max_edits = 2;
+  dirty.errors.field_drop_probability = 0.03;
+  auto doc = MakeDirty(clean, dirty);
+  if (!doc.ok()) return doc;
+
+  // FreeDB disc IDs are computed from track offsets, so a re-submitted
+  // duplicate usually carries a *different* did. Give most duplicates a
+  // fresh did: the did-led Key 2 then finds few but near-certain
+  // duplicates, exactly the Fig. 4(d) behaviour.
+  util::Rng rng(seed + 2);
+  auto discs = xml::XPath::Parse("freedb/disc")->SelectFromRoot(doc.value());
+  if (!discs.ok()) return discs.status();
+  std::set<std::string> seen_gold;
+  for (xml::Element* disc : discs.value()) {
+    const std::string* gold = disc->FindAttribute(kGoldAttribute);
+    if (gold == nullptr) continue;
+    bool is_duplicate = !seen_gold.insert(*gold).second;
+    if (!is_duplicate || !rng.NextBool(0.7)) continue;
+    if (xml::Element* did = disc->FirstChildElement("did")) {
+      if (did->NumChildren() > 0) did->RemoveChild(0);
+      did->AddText(RandomDiscId(rng));
+    }
+  }
+  return doc;
+}
+
+util::Result<core::Config> CdConfig(size_t window) {
+  auto track_title =
+      core::CandidateBuilder("track_title", "freedb/disc/tracks/title")
+          .Path(1, "text()")
+          .Od(1, 1.0)
+          .Key({{1, "C1-C6"}})
+          .ExactOdPrepass(true)
+          .Window(10)  // per-element window, independent of the disc sweep
+          .OdThreshold(0.8)
+          .Build();
+  if (!track_title.ok()) return track_title.status();
+
+  auto disc = core::CandidateBuilder("disc", "freedb/disc")
+                  .Path(1, "did/text()")
+                  .Path(2, "artist[1]/text()")
+                  .Path(3, "dtitle[1]/text()")
+                  .Path(4, "year/text()")
+                  .Path(5, "genre/text()")
+                  .Od(1, 0.4)
+                  .Od(2, 0.3)
+                  .Od(3, 0.3)
+                  .Key({{2, "K1-K4"}, {4, "D3,D4"}})              // Key 1
+                  .Key({{1, "C1-C4"}, {3, "C1-C4"}})              // Key 2
+                  .Key({{5, "C1,C2"}, {4, "D3,D4"}, {2, "K1,K2"}})  // Key 3
+                  .Window(window)
+                  .OdThreshold(0.65)
+                  .DescThreshold(0.3)
+                  .Mode(core::CombineMode::kOdOnly)
+                  .Build();
+  if (!disc.ok()) return disc.status();
+
+  core::Config config;
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(track_title).value()));
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(disc).value()));
+  return config;
+}
+
+util::Result<core::Config> Ds3Config(size_t window) {
+  auto dtitle = core::CandidateBuilder("dtitle", "freedb/disc/dtitle")
+                    .Path(1, "text()")
+                    .Od(1, 1.0)
+                    .Key({{1, "C1-C6"}})
+                    .ExactOdPrepass(true)
+                    .Window(10)
+                    .OdThreshold(0.8)
+                    .Build();
+  if (!dtitle.ok()) return dtitle.status();
+
+  auto artist = core::CandidateBuilder("artist", "freedb/disc/artist")
+                    .Path(1, "text()")
+                    .Od(1, 1.0)
+                    .Key({{1, "C1-C6"}})
+                    .ExactOdPrepass(true)
+                    .Window(10)
+                    .OdThreshold(0.8)
+                    .Build();
+  if (!artist.ok()) return artist.status();
+
+  auto track_title =
+      core::CandidateBuilder("track_title", "freedb/disc/tracks/title")
+          .Path(1, "text()")
+          .Od(1, 1.0)
+          .Key({{1, "C1-C6"}})
+          .ExactOdPrepass(true)
+          .Window(10)
+          .OdThreshold(0.8)
+          .Build();
+  if (!track_title.ok()) return track_title.status();
+
+  auto disc = core::CandidateBuilder("disc", "freedb/disc")
+                  .Path(1, "did/text()")
+                  .Path(2, "artist[1]/text()")
+                  .Path(3, "dtitle[1]/text()")
+                  .Od(1, 0.4)
+                  .Od(2, 0.3)
+                  .Od(3, 0.3)
+                  .Key({{3, "K1-K6"}, {2, "K1-K4"}})  // Key 1
+                  .Key({{1, "C1-C4"}, {3, "C1-C4"}})  // Key 2
+                  .Window(window)
+                  .OdThreshold(0.7)
+                  .DescThreshold(0.3)
+                  .Mode(core::CombineMode::kDescGate)
+                  .Build();
+  if (!disc.ok()) return disc.status();
+
+  core::Config config;
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(dtitle).value()));
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(artist).value()));
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(track_title).value()));
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(disc).value()));
+  return config;
+}
+
+}  // namespace sxnm::datagen

@@ -1,0 +1,77 @@
+// Synthetic FreeDB CD catalog — the substitute for the FreeDB dump used
+// by Data sets 2 and 3.
+//
+// Schema (Sec. 4.1): <disc> with at least one <artist> and <dtitle>,
+// optional <year>, <did> (FreeDB disc id) and <genre>, and several track
+// <title>s nested under <tracks>.
+//
+// The generator reproduces the three phenomena the paper identifies as
+// the dominant false-positive sources in real FreeDB data (Fig. 4(d)
+// discussion):
+//   * series discs:    "Christmas Songs (CD1)" vs "(CD2)" — same artist,
+//                      near-identical titles, distinct real objects;
+//   * various-artists samplers (often correlated with series);
+//   * "unreadable" entries whose title/artist carry no Latin characters,
+//     so keys collapse and comparisons degrade to year+genre.
+
+#ifndef SXNM_DATAGEN_FREEDB_H_
+#define SXNM_DATAGEN_FREEDB_H_
+
+#include <cstdint>
+
+#include "sxnm/config.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::datagen {
+
+struct FreeDbOptions {
+  size_t num_discs = 500;
+  uint64_t seed = 7;
+
+  /// Fraction of discs generated as 2-3 part series ("... (CD1)").
+  double series_fraction = 0.05;
+  /// Fraction of discs by "Various Artists".
+  double various_artists_fraction = 0.06;
+  /// Fraction of discs with unreadable (non-Latin) title and artist.
+  double unreadable_fraction = 0.03;
+
+  double year_presence = 0.85;
+  double did_presence = 0.90;
+  double genre_presence = 0.80;
+
+  int min_tracks = 3;
+  int max_tracks = 12;
+};
+
+/// Clean catalog <freedb> with `num_discs` gold-marked <disc> children
+/// (series members count toward num_discs). <dtitle>, <artist> and track
+/// <title> elements are gold-marked as well (candidates of Data set 3).
+xml::Document GenerateFreeDbCatalog(const FreeDbOptions& options);
+
+/// Data set 2: `num_discs` clean discs + one polluted duplicate for each
+/// (1000 discs total for the paper's 500), via the dirty generator.
+util::Result<xml::Document> GenerateDataSet2(size_t num_discs, uint64_t seed);
+
+/// Data set 3: a large catalog (the paper uses 10,000 discs) with the
+/// confuser phenomena dialed up and a small `dup_fraction` of true
+/// polluted duplicates so that precision is measurable against gold.
+util::Result<xml::Document> GenerateDataSet3(size_t num_discs, uint64_t seed,
+                                             double dup_fraction = 0.03);
+
+/// Configuration for Data set 2 (Tab. 3(b)): candidates disc and
+/// disc/tracks/title; disc OD = did (0.4), artist (0.3), dtitle (0.3).
+///   Key 1: artist[1] K1-K4, year D3,D4
+///   Key 2: did C1-C4, dtitle[1] C1-C4
+///   Key 3: genre C1,C2, year D3,D4, artist[1] K1,K2
+util::Result<core::Config> CdConfig(size_t window);
+
+/// Configuration for Data set 3 (Tab. 3(c)): candidates disc, disc/dtitle,
+/// disc/artist and disc/tracks/title.
+///   Key 1: dtitle[1] K1-K6, artist[1] K1-K4
+///   Key 2: did C1-C4, dtitle[1] C1-C4
+util::Result<core::Config> Ds3Config(size_t window);
+
+}  // namespace sxnm::datagen
+
+#endif  // SXNM_DATAGEN_FREEDB_H_

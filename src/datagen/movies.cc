@@ -1,0 +1,223 @@
+#include "datagen/movies.h"
+
+#include <memory>
+#include <set>
+
+#include "datagen/template_gen.h"
+#include "datagen/vocab.h"
+
+namespace sxnm::datagen {
+
+namespace {
+
+// Clean data must not contain accidental duplicates (ToXGene data is
+// duplicate-free by construction): movie titles are drawn until unique,
+// with a numeric suffix as a last resort.
+ValueGenerator UniqueTitleGenerator() {
+  auto used = std::make_shared<std::set<std::string>>();
+  return [used](util::Rng& rng) {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      std::string title = RandomTitle(rng);
+      if (used->insert(title).second) return title;
+    }
+    std::string title = RandomTitle(rng);
+    title += " " + std::to_string(used->size());
+    used->insert(title);
+    return title;
+  };
+}
+
+}  // namespace
+
+xml::Document GenerateCleanMovies(const MovieDataOptions& options) {
+  TemplateNode person{"person"};
+  person.Occurs(0, 4).Gold().Child(
+      TemplateNode{"lastname"}.Text([](util::Rng& rng) {
+        return std::string(
+            LastNames()[rng.NextZipf(LastNames().size(), 0.8)]);
+      }));
+  person.Child(TemplateNode{"firstname"}.Occurs(1, 2).Text(
+      [](util::Rng& rng) {
+        return std::string(
+            FirstNames()[rng.NextZipf(FirstNames().size(), 0.8)]);
+      }));
+
+  TemplateNode movie{"movie"};
+  movie.Gold()
+      .Attr("year",
+            [](util::Rng& rng) { return std::to_string(rng.NextInt(1950, 2005)); },
+            /*presence=*/0.92)
+      .Attr("length",
+            [](util::Rng& rng) { return std::to_string(rng.NextInt(60, 240)); })
+      .Child(TemplateNode{"title"}.Occurs(1, 2).Gold().Text(
+          UniqueTitleGenerator()))
+      .Child(TemplateNode{"people"}.Child(std::move(person)))
+      .Child(TemplateNode{"review"}.Occurs(0, 2).Text(RandomReviewSentence));
+
+  TemplateNode root{"movie_database"};
+  root.Child(TemplateNode{"movies"}.Child(
+      std::move(movie.Occurs(static_cast<int>(options.num_movies),
+                             static_cast<int>(options.num_movies)))));
+
+  util::Rng rng(options.seed);
+  return TemplateGenerator(std::move(root)).Generate(rng);
+}
+
+xml::Document GenerateSharedCastMovies(const SharedCastOptions& options) {
+  util::Rng rng(options.seed);
+
+  // The actor pool: distinct names (retry on collision so two pool
+  // members are never confusable by name alone).
+  std::vector<std::pair<std::string, std::string>> pool;  // (last, first)
+  std::set<std::string> used;
+  while (pool.size() < options.pool_size) {
+    std::string last(LastNames()[rng.NextZipf(LastNames().size(), 0.5)]);
+    std::string first(FirstNames()[rng.NextZipf(FirstNames().size(), 0.5)]);
+    if (used.insert(first + " " + last).second) {
+      pool.emplace_back(std::move(last), std::move(first));
+    }
+  }
+
+  auto root = std::make_unique<xml::Element>("movie_database");
+  xml::Element* movies = root->AddElement("movies");
+  std::set<std::string> used_titles;
+
+  for (size_t m = 0; m < options.num_movies; ++m) {
+    xml::Element* movie = movies->AddElement("movie");
+    movie->SetAttribute(kGoldAttribute, "movie-" + std::to_string(m));
+    movie->SetAttribute("year", std::to_string(rng.NextInt(1950, 2005)));
+    movie->SetAttribute("length", std::to_string(rng.NextInt(60, 240)));
+
+    std::string title;
+    do {
+      title = RandomTitle(rng);
+    } while (!used_titles.insert(title).second);
+    xml::Element* title_elem = movie->AddElement("title");
+    title_elem->SetAttribute(kGoldAttribute, "title-" + std::to_string(m));
+    title_elem->AddText(title);
+
+    xml::Element* people = movie->AddElement("people");
+    int cast = rng.NextInt(options.min_cast, options.max_cast);
+    std::set<size_t> picked;
+    for (int c = 0; c < cast; ++c) {
+      size_t k = rng.NextZipf(pool.size(), 0.6);  // stars recur more often
+      if (!picked.insert(k).second) continue;     // no repeats per movie
+      xml::Element* person = people->AddElement("person");
+      person->SetAttribute(kGoldAttribute, "cast-" + std::to_string(k));
+      person->AddElement("lastname")->AddText(pool[k].first);
+      person->AddElement("firstname")->AddText(pool[k].second);
+    }
+  }
+
+  xml::Document doc;
+  doc.SetRoot(std::move(root));
+  return doc;
+}
+
+DirtyOptions DataSet1DirtyPreset(uint64_t seed) {
+  DirtyOptions options;
+  options.seed = seed;
+  options.rules.push_back(
+      {"movie_database/movies/movie", /*dup_probability=*/0.4,
+       /*min_duplicates=*/1, /*max_duplicates=*/1});
+  options.errors.field_error_probability = 0.45;
+  options.errors.min_edits = 1;
+  options.errors.max_edits = 2;
+  options.errors.word_swap_probability = 0.05;
+  options.errors.severe_probability = 0.05;
+  return options;
+}
+
+DirtyOptions FewDuplicatesPreset(uint64_t seed) {
+  DirtyOptions options;
+  options.seed = seed;
+  options.rules.push_back({"movie_database/movies/movie", 0.2, 1, 1});
+  options.rules.push_back({"movie_database/movies/movie/title", 0.2, 1, 1});
+  options.rules.push_back(
+      {"movie_database/movies/movie/people/person", 0.2, 1, 1});
+  options.errors.field_error_probability = 0.5;
+  options.errors.min_edits = 1;
+  options.errors.max_edits = 3;
+  return options;
+}
+
+DirtyOptions ManyDuplicatesPreset(uint64_t seed) {
+  DirtyOptions options;
+  options.seed = seed;
+  options.rules.push_back({"movie_database/movies/movie", 1.0, 1, 2});
+  options.rules.push_back({"movie_database/movies/movie/title", 0.2, 1, 1});
+  options.rules.push_back(
+      {"movie_database/movies/movie/people/person", 1.0, 1, 2});
+  options.errors.field_error_probability = 0.5;
+  options.errors.min_edits = 1;
+  options.errors.max_edits = 3;
+  return options;
+}
+
+util::Result<core::Config> MovieConfig(size_t window) {
+  auto movie =
+      core::CandidateBuilder("movie", "movie_database/movies/movie")
+          .Path(1, "title/text()")
+          .Path(2, "@year")
+          .Path(3, "@length")
+          .Od(1, 0.8)
+          .Od(3, 0.2, "numeric:60")
+          .Key({{1, "K1-K5"}, {2, "D3,D4"}})   // Key 1
+          .Key({{2, "D3,D4"}, {1, "K1,K2"}})   // Key 2
+          .Key({{3, "D1,D2"}, {1, "K1,K2"}})   // Key 3
+          .Window(window)
+          .OdThreshold(0.75)
+          .Mode(core::CombineMode::kOdOnly)
+          .Build();
+  if (!movie.ok()) return movie.status();
+
+  core::Config config;
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(movie).value()));
+  return config;
+}
+
+util::Result<core::Config> MovieScalabilityConfig(size_t window) {
+  auto title =
+      core::CandidateBuilder("title", "movie_database/movies/movie/title")
+          .Path(1, "text()")
+          .Od(1, 1.0)
+          .Key({{1, "K1-K4"}})
+          .Window(window)
+          .OdThreshold(0.8)
+          .Build();
+  if (!title.ok()) return title.status();
+
+  auto person = core::CandidateBuilder(
+                    "person", "movie_database/movies/movie/people/person")
+                    .Path(1, "lastname/text()")
+                    .Path(2, "firstname[1]/text()")
+                    .Od(1, 0.6)
+                    .Od(2, 0.4)
+                    .Key({{1, "K1-K4"}, {2, "C1,C2"}})
+                    .Window(window)
+                    .OdThreshold(0.8)
+                    .Build();
+  if (!person.ok()) return person.status();
+
+  auto movie =
+      core::CandidateBuilder("movie", "movie_database/movies/movie")
+          .Path(1, "title/text()")
+          .Path(2, "@year")
+          .Path(3, "@length")
+          .Od(1, 0.8)
+          .Od(3, 0.2, "numeric:60")
+          .Key({{1, "K1-K5"}, {2, "D3,D4"}})
+          .Window(window)
+          .OdThreshold(0.7)
+          .Mode(core::CombineMode::kAverage)
+          .Build();
+  if (!movie.ok()) return movie.status();
+
+  core::Config config;
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(title).value()));
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(person).value()));
+  SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(movie).value()));
+  return config;
+}
+
+}  // namespace sxnm::datagen

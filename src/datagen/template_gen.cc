@@ -1,0 +1,92 @@
+#include "datagen/template_gen.h"
+
+#include <map>
+
+namespace sxnm::datagen {
+
+TemplateNode& TemplateNode::Occurs(int min_count, int max_count) {
+  min_occurs = min_count;
+  max_occurs = max_count;
+  return *this;
+}
+
+TemplateNode& TemplateNode::Text(ValueGenerator generator) {
+  text = std::move(generator);
+  return *this;
+}
+
+TemplateNode& TemplateNode::Attr(std::string attr_name,
+                                 ValueGenerator generator, double presence) {
+  attributes.push_back({std::move(attr_name), std::move(generator), presence});
+  return *this;
+}
+
+TemplateNode& TemplateNode::Child(TemplateNode child) {
+  children.push_back(std::move(child));
+  return *this;
+}
+
+TemplateNode& TemplateNode::Gold() {
+  mark_gold = true;
+  return *this;
+}
+
+ValueGenerator Fixed(std::string value) {
+  return [value = std::move(value)](util::Rng&) { return value; };
+}
+
+namespace {
+
+void Expand(const TemplateNode& node, xml::Element* element, util::Rng& rng,
+            std::map<std::string, size_t>& gold_counters) {
+  if (node.mark_gold) {
+    size_t id = gold_counters[node.name]++;
+    element->SetAttribute(kGoldAttribute,
+                          node.name + "-" + std::to_string(id));
+  }
+  for (const AttributeTemplate& attr : node.attributes) {
+    if (rng.NextBool(attr.presence)) {
+      element->SetAttribute(attr.name, attr.value(rng));
+    }
+  }
+  if (node.text) {
+    element->AddText(node.text(rng));
+  }
+  for (const TemplateNode& child : node.children) {
+    int count = rng.NextInt(child.min_occurs, child.max_occurs);
+    for (int i = 0; i < count; ++i) {
+      Expand(child, element->AddElement(child.name), rng, gold_counters);
+    }
+  }
+}
+
+}  // namespace
+
+xml::Document TemplateGenerator::Generate(util::Rng& rng) const {
+  auto root = std::make_unique<xml::Element>(root_.name);
+  std::map<std::string, size_t> gold_counters;
+  Expand(root_, root.get(), rng, gold_counters);
+
+  xml::Document doc;
+  doc.SetRoot(std::move(root));
+  return doc;
+}
+
+namespace {
+
+size_t StripGoldRecursive(xml::Element* element) {
+  size_t removed = element->RemoveAttribute(kGoldAttribute) ? 1 : 0;
+  for (xml::Element* child : element->ChildElements()) {
+    removed += StripGoldRecursive(child);
+  }
+  return removed;
+}
+
+}  // namespace
+
+size_t StripGoldAttributes(xml::Document& doc) {
+  if (doc.root() == nullptr) return 0;
+  return StripGoldRecursive(doc.root());
+}
+
+}  // namespace sxnm::datagen

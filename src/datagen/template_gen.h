@@ -1,0 +1,88 @@
+// Template-driven clean XML generation — our ToXGene substitute.
+//
+// A template is a tree of TemplateNode: each node describes an element
+// name, how many instances to emit under its parent (uniform in
+// [min_occurs, max_occurs]), attribute/text value generators, and child
+// templates. Nodes flagged `mark_gold` receive a fresh `_gold` attribute
+// identifying the generated real-world object, which the evaluation layer
+// uses as ground truth (and which is never visible to SXNM's configured
+// paths).
+
+#ifndef SXNM_DATAGEN_TEMPLATE_GEN_H_
+#define SXNM_DATAGEN_TEMPLATE_GEN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "xml/node.h"
+
+namespace sxnm::datagen {
+
+/// Attribute name carrying ground-truth object identity.
+inline constexpr char kGoldAttribute[] = "_gold";
+
+/// Generates one value (text content or attribute value).
+using ValueGenerator = std::function<std::string(util::Rng&)>;
+
+struct AttributeTemplate {
+  std::string name;
+  ValueGenerator value;
+  /// Probability that the attribute is present at all (missing data).
+  double presence = 1.0;
+};
+
+struct TemplateNode {
+  TemplateNode() = default;
+  explicit TemplateNode(std::string element_name)
+      : name(std::move(element_name)) {}
+
+  std::string name;
+
+  /// Number of instances emitted under the parent, uniform in
+  /// [min_occurs, max_occurs]. Ignored for the root (always 1).
+  int min_occurs = 1;
+  int max_occurs = 1;
+
+  /// Optional text content generator (emitted as a single text child).
+  ValueGenerator text;
+
+  std::vector<AttributeTemplate> attributes;
+  std::vector<TemplateNode> children;
+
+  /// Assign a `_gold` identity to every generated instance.
+  bool mark_gold = false;
+
+  // Fluent helpers for template construction.
+  TemplateNode& Occurs(int min_count, int max_count);
+  TemplateNode& Text(ValueGenerator generator);
+  TemplateNode& Attr(std::string attr_name, ValueGenerator generator,
+                     double presence = 1.0);
+  TemplateNode& Child(TemplateNode child);
+  TemplateNode& Gold();
+};
+
+/// Convenience: a generator returning a fixed string.
+ValueGenerator Fixed(std::string value);
+
+class TemplateGenerator {
+ public:
+  explicit TemplateGenerator(TemplateNode root) : root_(std::move(root)) {}
+
+  /// Expands the template into a document; element IDs are assigned.
+  /// Gold IDs are sequential per element name ("movie-0", "movie-1", ...),
+  /// unique across the document.
+  xml::Document Generate(util::Rng& rng) const;
+
+ private:
+  TemplateNode root_;
+};
+
+/// Removes every `_gold` attribute from the document (used before handing
+/// data to code that must not see ground truth).
+size_t StripGoldAttributes(xml::Document& doc);
+
+}  // namespace sxnm::datagen
+
+#endif  // SXNM_DATAGEN_TEMPLATE_GEN_H_

@@ -1,0 +1,203 @@
+#include "datagen/vocab.h"
+
+namespace sxnm::datagen {
+
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "James",    "Mary",      "Robert",   "Patricia", "John",     "Jennifer",
+    "Michael",  "Linda",     "David",    "Elizabeth", "William", "Barbara",
+    "Richard",  "Susan",     "Joseph",   "Jessica",  "Thomas",   "Sarah",
+    "Charles",  "Karen",     "Keanu",    "Carrie",   "Laurence", "Hugo",
+    "Daniel",   "Nancy",     "Matthew",  "Lisa",     "Anthony",  "Betty",
+    "Mark",     "Margaret",  "Donald",   "Sandra",   "Steven",   "Ashley",
+    "Paul",     "Kimberly",  "Andrew",   "Emily",    "Joshua",   "Donna",
+    "Kenneth",  "Michelle",  "Kevin",    "Dorothy",  "Brian",    "Carol",
+    "George",   "Amanda",    "Edward",   "Melissa",  "Ronald",   "Deborah",
+    "Timothy",  "Stephanie", "Jason",    "Rebecca",  "Jeffrey",  "Sharon",
+    "Ryan",     "Laura",     "Jacob",    "Cynthia",  "Gary",     "Kathleen",
+    "Nicholas", "Amy",       "Eric",     "Angela",   "Jonathan", "Shirley",
+    "Stephen",  "Anna",      "Larry",    "Brenda",   "Justin",   "Pamela",
+    "Scott",    "Emma",      "Brandon",  "Nicole",   "Benjamin", "Helen",
+    "Samuel",   "Samantha",  "Gregory",  "Katherine", "Frank",   "Christine",
+    "Alexander", "Debra",    "Raymond",  "Rachel",   "Patrick",  "Carolyn",
+    "Jack",     "Janet",     "Dennis",   "Catherine", "Jerry",   "Maria",
+    "Tyler",    "Heather",   "Aaron",    "Diane",    "Jose",     "Ruth",
+    "Adam",     "Julie",     "Nathan",   "Olivia",   "Henry",    "Joyce",
+    "Douglas",  "Virginia",  "Zachary",  "Victoria", "Peter",    "Kelly",
+    "Kyle",     "Lauren",    "Ethan",    "Christina", "Walter",  "Joan",
+    "Noah",     "Evelyn",    "Jeremy",   "Judith",   "Christian", "Megan",
+    "Don",      "Sofia",     "Sven",     "Greta",    "Felix",    "Melanie",
+};
+
+constexpr const char* kLastNames[] = {
+    "Smith",     "Johnson",   "Williams",  "Brown",     "Jones",
+    "Garcia",    "Miller",    "Davis",     "Rodriguez", "Martinez",
+    "Hernandez", "Lopez",     "Gonzalez",  "Wilson",    "Anderson",
+    "Thomas",    "Taylor",    "Moore",     "Jackson",   "Martin",
+    "Lee",       "Perez",     "Thompson",  "White",     "Harris",
+    "Sanchez",   "Clark",     "Ramirez",   "Lewis",     "Robinson",
+    "Walker",    "Young",     "Allen",     "King",      "Wright",
+    "Scott",     "Torres",    "Nguyen",    "Hill",      "Flores",
+    "Green",     "Adams",     "Nelson",    "Baker",     "Hall",
+    "Rivera",    "Campbell",  "Mitchell",  "Carter",    "Roberts",
+    "Reeves",    "Fishburne", "Weaving",   "Moss",      "Davies",
+    "Gomez",     "Phillips",  "Evans",     "Turner",    "Diaz",
+    "Parker",    "Cruz",      "Edwards",   "Collins",   "Reyes",
+    "Stewart",   "Morris",    "Morales",   "Murphy",    "Cook",
+    "Rogers",    "Gutierrez", "Ortiz",     "Morgan",    "Cooper",
+    "Peterson",  "Bailey",    "Reed",      "Kelly",     "Howard",
+    "Ramos",     "Kim",       "Cox",       "Ward",      "Richardson",
+    "Watson",    "Brooks",    "Chavez",    "Wood",      "James",
+    "Bennett",   "Gray",      "Mendoza",   "Ruiz",      "Hughes",
+    "Price",     "Alvarez",   "Castillo",  "Sanders",   "Patel",
+    "Myers",     "Long",      "Ross",      "Foster",    "Jimenez",
+    "Sterling",  "Naumann",   "Weis",      "Puhlmann",  "Stolfo",
+};
+
+constexpr const char* kTitleWords[] = {
+    "The",      "Matrix",   "Dark",     "Silent",   "Harbor",   "Night",
+    "Shadow",   "Golden",   "River",    "Storm",    "Broken",   "Crystal",
+    "Empire",   "Falling",  "Garden",   "Hidden",   "Iron",     "Journey",
+    "Kingdom",  "Last",     "Lost",     "Midnight", "Mountain", "Ocean",
+    "Phantom",  "Quiet",    "Rising",   "Secret",   "Thunder",  "Twilight",
+    "Velvet",   "Winter",   "Ancient",  "Burning",  "Crimson",  "Distant",
+    "Eternal",  "Frozen",   "Glass",    "Hollow",   "Infinite", "Jade",
+    "Lonely",   "Mystic",   "Northern", "Obsidian", "Pale",     "Radiant",
+    "Sacred",   "Tide",     "Uncharted", "Violet",  "Wandering", "Zero",
+    "Mask",     "Zorro",    "Return",   "Revenge",  "Dawn",     "Dusk",
+    "Fire",     "Water",    "Earth",    "Wind",     "Star",     "Moon",
+    "Sun",      "Sky",      "Dream",    "Memory",   "Echo",     "Whisper",
+    "Code",     "Cipher",   "Signal",   "Mirror",   "Labyrinth", "Horizon",
+    "Voyage",   "Odyssey",  "Legacy",   "Destiny",  "Fortune",  "Glory",
+    "Honor",    "Justice",  "Liberty",  "Paradise", "Serpent",  "Tiger",
+    "Wolf",     "Raven",    "Falcon",   "Dragon",   "Lion",     "Eagle",
+};
+
+constexpr const char* kMovieGenres[] = {
+    "Action",    "Adventure", "Animation", "Comedy",   "Crime",
+    "Documentary", "Drama",   "Family",    "Fantasy",  "Horror",
+    "Musical",   "Mystery",   "Romance",   "SciFi",    "Thriller",
+    "War",       "Western",
+};
+
+constexpr const char* kMusicGenres[] = {
+    "Rock",    "Pop",      "Jazz",    "Blues",     "Classical", "Country",
+    "Folk",    "Metal",    "Punk",    "Reggae",    "Soul",      "Funk",
+    "Electronic", "House", "Techno",  "Ambient",   "HipHop",    "Rap",
+    "Latin",   "World",    "Gospel",  "Soundtrack", "Indie",    "Alternative",
+};
+
+constexpr const char* kBandWords[] = {
+    "Velvet",   "Giants",   "Electric", "Monkeys",  "Stone",    "Roses",
+    "Midnight", "Riders",   "Neon",     "Tigers",   "Paper",    "Planes",
+    "Glass",    "Animals",  "Arctic",   "Foxes",    "Royal",    "Otters",
+    "Crimson",  "Kings",    "Silver",   "Arrows",   "Wild",     "Hearts",
+    "Broken",   "Strings",  "Golden",   "Echoes",   "Savage",   "Poets",
+    "Lunar",    "Drifters", "Cosmic",   "Pilots",   "Rusty",    "Nails",
+    "Phantom",  "Limbs",    "Hollow",   "Suns",     "Static",   "Waves",
+    "Iron",     "Sparrows", "Mystic",   "Rivers",   "Thunder",  "Birds",
+};
+
+constexpr const char* kTrackWords[] = {
+    "Love",     "Heart",   "Night",   "Day",      "Dance",    "Fire",
+    "Rain",     "Summer",  "Winter",  "Road",     "Home",     "Dream",
+    "Light",    "Dark",    "Blue",    "Red",      "Gold",     "Silver",
+    "Time",     "Memory",  "Story",   "Song",     "Melody",   "Rhythm",
+    "Freedom",  "Highway", "City",    "Ocean",    "Mountain", "Valley",
+    "Angel",    "Devil",   "Heaven",  "Stars",    "Moonlight", "Sunrise",
+    "Goodbye",  "Hello",   "Forever", "Yesterday", "Tomorrow", "Tonight",
+    "Crazy",    "Lonely",  "Happy",   "Sad",      "Young",    "Free",
+    "Running",  "Falling", "Flying",  "Waiting",  "Dreaming", "Burning",
+    "Christmas", "Holiday", "Party",  "Radio",    "Guitar",   "Piano",
+};
+
+constexpr const char* kReviewWords[] = {
+    "a",        "masterful", "stunning",  "dull",     "gripping",
+    "film",     "story",     "plot",      "visually", "remarkable",
+    "the",      "acting",    "direction", "score",    "pacing",
+    "is",       "was",       "feels",     "seems",    "remains",
+    "brilliant", "tedious",  "moving",    "shallow",  "unforgettable",
+    "with",     "without",   "despite",   "beyond",   "unlike",
+    "performance", "ending", "dialogue",  "camera",   "atmosphere",
+    "breathtaking", "predictable", "original", "haunting", "charming",
+};
+
+template <size_t N>
+std::span<const char* const> AsSpan(const char* const (&arr)[N]) {
+  return std::span<const char* const>(arr, N);
+}
+
+std::string PickZipf(util::Rng& rng, std::span<const char* const> words,
+                     double s = 0.8) {
+  return words[rng.NextZipf(words.size(), s)];
+}
+
+}  // namespace
+
+std::span<const char* const> FirstNames() { return AsSpan(kFirstNames); }
+std::span<const char* const> LastNames() { return AsSpan(kLastNames); }
+std::span<const char* const> TitleWords() { return AsSpan(kTitleWords); }
+std::span<const char* const> MovieGenres() { return AsSpan(kMovieGenres); }
+std::span<const char* const> MusicGenres() { return AsSpan(kMusicGenres); }
+std::span<const char* const> BandWords() { return AsSpan(kBandWords); }
+std::span<const char* const> TrackWords() { return AsSpan(kTrackWords); }
+std::span<const char* const> ReviewWords() { return AsSpan(kReviewWords); }
+
+std::string RandomPersonName(util::Rng& rng) {
+  return PickZipf(rng, FirstNames()) + " " + PickZipf(rng, LastNames());
+}
+
+std::string RandomTitle(util::Rng& rng) {
+  int words = rng.NextInt(2, 4);
+  std::string title;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) title += ' ';
+    title += PickZipf(rng, TitleWords(), 0.6);
+  }
+  return title;
+}
+
+std::string RandomArtist(util::Rng& rng) {
+  if (rng.NextBool(0.4)) {
+    // Solo artist: a person name.
+    return RandomPersonName(rng);
+  }
+  std::string name;
+  if (rng.NextBool(0.5)) name = "The ";
+  name += PickZipf(rng, BandWords(), 0.5);
+  name += ' ';
+  name += PickZipf(rng, BandWords(), 0.5);
+  return name;
+}
+
+std::string RandomTrackTitle(util::Rng& rng) {
+  int words = rng.NextInt(2, 3);
+  std::string title;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) title += ' ';
+    title += PickZipf(rng, TrackWords(), 0.5);
+  }
+  return title;
+}
+
+std::string RandomReviewSentence(util::Rng& rng) {
+  int words = rng.NextInt(5, 12);
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kReviewWords[rng.NextBelow(std::size(kReviewWords))];
+  }
+  out += '.';
+  return out;
+}
+
+std::string RandomDiscId(util::Rng& rng) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string id;
+  id.reserve(8);
+  for (int i = 0; i < 8; ++i) id.push_back(kHex[rng.NextBelow(16)]);
+  return id;
+}
+
+}  // namespace sxnm::datagen

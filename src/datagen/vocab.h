@@ -1,0 +1,45 @@
+// Vocabularies used by the synthetic data generators (our ToXGene /
+// FreeDB substitutes). All lists are embedded constants so that data
+// generation is hermetic and reproducible.
+
+#ifndef SXNM_DATAGEN_VOCAB_H_
+#define SXNM_DATAGEN_VOCAB_H_
+
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace sxnm::datagen {
+
+std::span<const char* const> FirstNames();
+std::span<const char* const> LastNames();
+std::span<const char* const> TitleWords();   // movie/CD title vocabulary
+std::span<const char* const> MovieGenres();
+std::span<const char* const> MusicGenres();
+std::span<const char* const> BandWords();    // artist/band name vocabulary
+std::span<const char* const> TrackWords();   // track title vocabulary
+std::span<const char* const> ReviewWords();  // review text filler
+
+/// "Keanu Reeves"-style person name; Zipf-skewed so popular names recur.
+std::string RandomPersonName(util::Rng& rng);
+
+/// A 1-4 word title ("The Silent Harbor"); word choice is Zipf-skewed so
+/// that similar-but-distinct titles occur naturally.
+std::string RandomTitle(util::Rng& rng);
+
+/// Band/artist name ("The Velvet Giants", "Anna Sterling").
+std::string RandomArtist(util::Rng& rng);
+
+/// Track title, 1-3 words.
+std::string RandomTrackTitle(util::Rng& rng);
+
+/// A short sentence of review filler.
+std::string RandomReviewSentence(util::Rng& rng);
+
+/// An 8-character lowercase hex string (FreeDB disc ID shape).
+std::string RandomDiscId(util::Rng& rng);
+
+}  // namespace sxnm::datagen
+
+#endif  // SXNM_DATAGEN_VOCAB_H_

@@ -1,0 +1,133 @@
+#include "eval/experiment.h"
+
+#include "eval/gold.h"
+
+namespace sxnm::eval {
+
+using util::Result;
+using util::Status;
+
+util::Result<core::Config> WithSingleKey(const core::Config& config,
+                                         const std::string& candidate_name,
+                                         size_t key_index) {
+  core::Config copy = config;
+  core::CandidateConfig* cand = copy.Find(candidate_name);
+  if (cand == nullptr) {
+    return Status::NotFound("no candidate named '" + candidate_name + "'");
+  }
+  if (key_index >= cand->keys.size()) {
+    return Status::InvalidArgument(
+        "candidate '" + candidate_name + "' has only " +
+        std::to_string(cand->keys.size()) + " keys, requested index " +
+        std::to_string(key_index));
+  }
+  cand->keys = {cand->keys[key_index]};
+  return copy;
+}
+
+core::Config WithWindow(const core::Config& config, size_t window) {
+  core::Config copy = config;
+  for (core::CandidateConfig& cand : copy.mutable_candidates()) {
+    cand.window_size = window;
+  }
+  return copy;
+}
+
+util::Result<core::Config> WithWindowFor(const core::Config& config,
+                                         const std::string& candidate_name,
+                                         size_t window) {
+  core::Config copy = config;
+  core::CandidateConfig* cand = copy.Find(candidate_name);
+  if (cand == nullptr) {
+    return Status::NotFound("no candidate named '" + candidate_name + "'");
+  }
+  cand->window_size = window;
+  return copy;
+}
+
+util::Result<core::Config> WithClassifier(const core::Config& config,
+                                          const std::string& candidate_name,
+                                          const core::ClassifierConfig& cls) {
+  core::Config copy = config;
+  core::CandidateConfig* cand = copy.Find(candidate_name);
+  if (cand == nullptr) {
+    return Status::NotFound("no candidate named '" + candidate_name + "'");
+  }
+  cand->classifier = cls;
+  return copy;
+}
+
+util::Result<CandidateEvaluation> RunAndEvaluate(
+    const core::Config& config, const xml::Document& doc,
+    const std::string& candidate_name) {
+  const core::CandidateConfig* cand = config.Find(candidate_name);
+  if (cand == nullptr) {
+    return Status::NotFound("no candidate named '" + candidate_name + "'");
+  }
+
+  auto gold = GoldClusterSet(doc, cand->absolute_path_str);
+  if (!gold.ok()) return gold.status();
+
+  core::Detector detector(config);
+  auto result = detector.Run(doc);
+  if (!result.ok()) return result.status();
+
+  const core::CandidateResult* cand_result = result->Find(candidate_name);
+  if (cand_result == nullptr) {
+    return Status::Internal("detector produced no result for candidate '" +
+                            candidate_name + "'");
+  }
+  if (gold->num_instances() != cand_result->clusters.num_instances()) {
+    return Status::Internal(
+        "gold/detected instance count mismatch for candidate '" +
+        candidate_name + "'");
+  }
+
+  CandidateEvaluation eval;
+  eval.metrics = PairwiseMetrics(gold.value(), cand_result->clusters);
+  eval.instances = cand_result->num_instances;
+  eval.comparisons = cand_result->comparisons;
+  eval.detected_pair_count = cand_result->duplicate_pairs.size();
+  eval.detected_clusters = cand_result->clusters.NonTrivialClusters().size();
+  eval.kg_seconds = result->KeyGenerationSeconds();
+  eval.sw_seconds = result->SlidingWindowSeconds();
+  eval.tc_seconds = result->TransitiveClosureSeconds();
+  return eval;
+}
+
+util::Result<std::vector<SweepPoint>> WindowSweep(
+    const core::Config& config, const xml::Document& doc,
+    const std::string& candidate_name, const std::vector<size_t>& windows,
+    bool include_single_keys, bool include_multipass) {
+  const core::CandidateConfig* cand = config.Find(candidate_name);
+  if (cand == nullptr) {
+    return Status::NotFound("no candidate named '" + candidate_name + "'");
+  }
+
+  std::vector<SweepPoint> points;
+  for (size_t window : windows) {
+    // Only the focal candidate's window is swept; other candidates keep
+    // their configured (per-element) window sizes.
+    auto windowed_or = WithWindowFor(config, candidate_name, window);
+    if (!windowed_or.ok()) return windowed_or.status();
+    core::Config windowed = std::move(windowed_or).value();
+    if (include_single_keys) {
+      for (size_t k = 0; k < cand->keys.size(); ++k) {
+        auto single = WithSingleKey(windowed, candidate_name, k);
+        if (!single.ok()) return single.status();
+        auto eval = RunAndEvaluate(single.value(), doc, candidate_name);
+        if (!eval.ok()) return eval.status();
+        points.push_back(
+            {window, "Key " + std::to_string(k + 1), std::move(eval).value()});
+      }
+    }
+    if (include_multipass) {
+      auto eval = RunAndEvaluate(windowed, doc, candidate_name);
+      if (!eval.ok()) return eval.status();
+      points.push_back({window, "MP", std::move(eval).value()});
+    }
+  }
+  return points;
+}
+
+}  // namespace sxnm::eval

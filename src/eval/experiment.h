@@ -1,0 +1,77 @@
+// Experiment harness shared by the figure-reproduction benches: config
+// manipulation helpers (single-key vs multi-pass, window overrides) and
+// one-call "run detector + evaluate candidate against gold" plumbing.
+
+#ifndef SXNM_EVAL_EXPERIMENT_H_
+#define SXNM_EVAL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "sxnm/config.h"
+#include "sxnm/detector.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::eval {
+
+/// Copy of `config` where candidate `candidate_name` keeps only its
+/// `key_index`-th key — the single-pass (SP) variants of Experiment set 1.
+/// Other candidates are untouched.
+util::Result<core::Config> WithSingleKey(const core::Config& config,
+                                         const std::string& candidate_name,
+                                         size_t key_index);
+
+/// Copy of `config` with every candidate's window size set to `window`.
+core::Config WithWindow(const core::Config& config, size_t window);
+
+/// Copy of `config` with only `candidate_name`'s window size changed
+/// (window sizes are per-element parameters in the paper, Sec. 3.4).
+util::Result<core::Config> WithWindowFor(const core::Config& config,
+                                         const std::string& candidate_name,
+                                         size_t window);
+
+/// Copy of `config` with candidate thresholds/mode overridden (Experiment
+/// set 3 sweeps). Applies to the named candidate only.
+util::Result<core::Config> WithClassifier(const core::Config& config,
+                                          const std::string& candidate_name,
+                                          const core::ClassifierConfig& cls);
+
+/// Result of one detector run evaluated for one candidate.
+struct CandidateEvaluation {
+  PairMetrics metrics;           // detected clusters vs gold clusters
+  size_t instances = 0;          // candidate instances in the document
+  size_t comparisons = 0;        // similarity calls for this candidate
+  size_t detected_pair_count = 0;  // accepted window pairs (pre-closure)
+  size_t detected_clusters = 0;  // non-trivial clusters
+  double kg_seconds = 0.0;       // whole-run key generation time
+  double sw_seconds = 0.0;       // whole-run sliding window time
+  double tc_seconds = 0.0;       // whole-run transitive closure time
+};
+
+/// Runs SXNM over `doc` and evaluates candidate `candidate_name` against
+/// the gold labels found under its absolute path.
+util::Result<CandidateEvaluation> RunAndEvaluate(
+    const core::Config& config, const xml::Document& doc,
+    const std::string& candidate_name);
+
+/// One point of a window sweep.
+struct SweepPoint {
+  size_t window = 0;
+  std::string label;  // e.g. "SP Key 1" / "MP"
+  CandidateEvaluation eval;
+};
+
+/// Sweeps window sizes for each single key of `candidate_name` and for
+/// the multi-pass configuration, as in Fig. 4. Labels are "Key <i>" and
+/// "MP".
+util::Result<std::vector<SweepPoint>> WindowSweep(
+    const core::Config& config, const xml::Document& doc,
+    const std::string& candidate_name, const std::vector<size_t>& windows,
+    bool include_single_keys = true, bool include_multipass = true);
+
+}  // namespace sxnm::eval
+
+#endif  // SXNM_EVAL_EXPERIMENT_H_

@@ -1,0 +1,50 @@
+#include "eval/gold.h"
+
+#include <map>
+
+#include "xml/xpath.h"
+
+namespace sxnm::eval {
+
+util::Result<std::vector<std::string>> GoldLabels(
+    const xml::Document& doc, const std::string& abs_path,
+    const std::string& attribute) {
+  auto path = xml::XPath::Parse(abs_path);
+  if (!path.ok()) return path.status();
+  auto elements = path->SelectFromRoot(doc);
+  if (!elements.ok()) return elements.status();
+
+  std::vector<std::string> labels;
+  labels.reserve(elements->size());
+  size_t synthetic = 0;
+  for (const xml::Element* e : elements.value()) {
+    const std::string* label = e->FindAttribute(attribute);
+    if (label != nullptr) {
+      labels.push_back(*label);
+    } else {
+      labels.push_back("__unlabeled_" + std::to_string(synthetic++));
+    }
+  }
+  return labels;
+}
+
+util::Result<core::ClusterSet> GoldClusterSet(const xml::Document& doc,
+                                              const std::string& abs_path,
+                                              const std::string& attribute) {
+  auto labels = GoldLabels(doc, abs_path, attribute);
+  if (!labels.ok()) return labels.status();
+
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < labels->size(); ++i) {
+    groups[(*labels)[i]].push_back(i);
+  }
+  std::vector<std::vector<size_t>> clusters;
+  clusters.reserve(groups.size());
+  for (auto& [label, members] : groups) {
+    (void)label;
+    clusters.push_back(std::move(members));
+  }
+  return core::ClusterSet::FromClusters(std::move(clusters), labels->size());
+}
+
+}  // namespace sxnm::eval

@@ -1,0 +1,34 @@
+// Ground-truth extraction: reads the `_gold` identity attributes written
+// by the data generators and turns them into gold cluster sets, aligned
+// with SXNM's candidate instance ordinals (both use the same
+// XPath-from-root document order).
+
+#ifndef SXNM_EVAL_GOLD_H_
+#define SXNM_EVAL_GOLD_H_
+
+#include <string>
+#include <vector>
+
+#include "sxnm/cluster_set.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::eval {
+
+/// Gold labels of the elements matched by the absolute path `abs_path`,
+/// in document order (== candidate instance ordinal order). Elements
+/// without the attribute get a unique synthetic label (they are their own
+/// real-world object).
+util::Result<std::vector<std::string>> GoldLabels(
+    const xml::Document& doc, const std::string& abs_path,
+    const std::string& attribute = "_gold");
+
+/// Gold cluster set over the instances of `abs_path`: instances sharing a
+/// label form one cluster.
+util::Result<core::ClusterSet> GoldClusterSet(
+    const xml::Document& doc, const std::string& abs_path,
+    const std::string& attribute = "_gold");
+
+}  // namespace sxnm::eval
+
+#endif  // SXNM_EVAL_GOLD_H_

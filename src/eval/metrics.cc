@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+#include <cassert>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace sxnm::eval {
+
+namespace {
+
+size_t PairsOf(size_t n) { return n * (n - 1) / 2; }
+
+void Finalize(PairMetrics& m) {
+  m.precision = m.detected_pairs == 0
+                    ? 1.0
+                    : static_cast<double>(m.true_positives) /
+                          static_cast<double>(m.detected_pairs);
+  m.recall = m.gold_pairs == 0 ? 1.0
+                               : static_cast<double>(m.true_positives) /
+                                     static_cast<double>(m.gold_pairs);
+  m.f1 = FMeasure(m.precision, m.recall);
+}
+
+}  // namespace
+
+std::string PairMetrics::ToString() const {
+  return "P=" + util::FormatDouble(precision, 4) +
+         " R=" + util::FormatDouble(recall, 4) +
+         " F1=" + util::FormatDouble(f1, 4) +
+         " (gold=" + std::to_string(gold_pairs) +
+         ", detected=" + std::to_string(detected_pairs) +
+         ", correct=" + std::to_string(true_positives) + ")";
+}
+
+double FMeasure(double precision, double recall) {
+  double sum = precision + recall;
+  if (sum <= 0.0) return 0.0;
+  return 2.0 * precision * recall / sum;
+}
+
+PairMetrics PairwiseMetrics(const core::ClusterSet& gold,
+                            const core::ClusterSet& detected) {
+  assert(gold.num_instances() == detected.num_instances());
+  PairMetrics m;
+  m.gold_pairs = gold.NumDuplicatePairs();
+  m.detected_pairs = detected.NumDuplicatePairs();
+
+  // Contingency: for every detected cluster, count members per gold
+  // cluster; pairs inside an overlap cell are true positives.
+  for (const auto& cluster : detected.clusters()) {
+    if (cluster.size() < 2) continue;
+    std::map<int, size_t> per_gold;
+    for (size_t ordinal : cluster) ++per_gold[gold.cid(ordinal)];
+    for (const auto& [gold_cid, count] : per_gold) {
+      (void)gold_cid;
+      m.true_positives += PairsOf(count);
+    }
+  }
+  Finalize(m);
+  return m;
+}
+
+PairMetrics PairwiseMetricsFromPairs(
+    const core::ClusterSet& gold,
+    const std::vector<core::OrdinalPair>& detected_pairs) {
+  PairMetrics m;
+  m.gold_pairs = gold.NumDuplicatePairs();
+  m.detected_pairs = detected_pairs.size();
+  for (const auto& [a, b] : detected_pairs) {
+    if (gold.cid(a) == gold.cid(b)) ++m.true_positives;
+  }
+  Finalize(m);
+  return m;
+}
+
+}  // namespace sxnm::eval

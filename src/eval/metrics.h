@@ -1,0 +1,49 @@
+// Pairwise duplicate-detection quality metrics: recall, precision and
+// f-measure over duplicate pairs, computed against a gold clustering.
+//
+// A pair counts as a true positive when both a detected cluster and a
+// gold cluster contain it. Counts are computed from the cluster-overlap
+// contingency table, so giant clusters do not require materializing
+// quadratically many pairs.
+
+#ifndef SXNM_EVAL_METRICS_H_
+#define SXNM_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sxnm/cluster_set.h"
+
+namespace sxnm::eval {
+
+struct PairMetrics {
+  size_t gold_pairs = 0;      // duplicate pairs in the gold clustering
+  size_t detected_pairs = 0;  // duplicate pairs in the detected clustering
+  size_t true_positives = 0;  // pairs present in both
+
+  double precision = 0.0;  // TP / detected  (1.0 when nothing detected)
+  double recall = 0.0;     // TP / gold      (1.0 when gold has no pairs)
+  double f1 = 0.0;         // harmonic mean; 0 when P + R == 0
+
+  std::string ToString() const;
+};
+
+/// Pairwise metrics of `detected` against `gold`. Both cluster sets must
+/// cover the same number of instances.
+PairMetrics PairwiseMetrics(const core::ClusterSet& gold,
+                            const core::ClusterSet& detected);
+
+/// Metrics when only a duplicate-pair list is available (pre-closure):
+/// precision counts a detected pair correct when its members share a gold
+/// cluster.
+PairMetrics PairwiseMetricsFromPairs(
+    const core::ClusterSet& gold,
+    const std::vector<core::OrdinalPair>& detected_pairs);
+
+/// F-measure from precision and recall (harmonic mean, 0 when both 0).
+double FMeasure(double precision, double recall);
+
+}  // namespace sxnm::eval
+
+#endif  // SXNM_EVAL_METRICS_H_

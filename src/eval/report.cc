@@ -1,0 +1,96 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "eval/gold.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace sxnm::eval {
+
+std::map<size_t, size_t> ClusterSizeHistogram(const core::ClusterSet& cs) {
+  std::map<size_t, size_t> histogram;
+  for (const auto& cluster : cs.clusters()) {
+    ++histogram[cluster.size()];
+  }
+  return histogram;
+}
+
+util::Result<std::string> RenderReport(const core::Config& config,
+                                       const xml::Document& doc,
+                                       const core::DetectionResult& result,
+                                       const ReportOptions& options) {
+  std::string out;
+  out += "SXNM detection report\n";
+  out += "=====================\n\n";
+
+  // Phase timing summary.
+  out += "phases: KG=" +
+         util::FormatDouble(result.KeyGenerationSeconds(), 4) + "s  SW=" +
+         util::FormatDouble(result.SlidingWindowSeconds(), 4) + "s  TC=" +
+         util::FormatDouble(result.TransitiveClosureSeconds(), 4) +
+         "s  DD=" +
+         util::FormatDouble(result.DuplicateDetectionSeconds(), 4) + "s\n";
+  out += "total comparisons: " + std::to_string(result.TotalComparisons()) +
+         "\n\n";
+
+  for (const core::CandidateResult& cand : result.candidates) {
+    const core::CandidateConfig* cand_config = config.Find(cand.name);
+    out += "candidate '" + cand.name + "'";
+    if (cand_config != nullptr) {
+      out += "  (" + cand_config->absolute_path.ToString() + ")";
+    }
+    out += "\n";
+    out += "  instances:       " + std::to_string(cand.num_instances) + "\n";
+    out += "  comparisons:     " + std::to_string(cand.comparisons) + "\n";
+    out += "  duplicate pairs: " +
+           std::to_string(cand.duplicate_pairs.size()) + "\n";
+    auto nontrivial = cand.clusters.NonTrivialClusters();
+    out += "  clusters (>1):   " + std::to_string(nontrivial.size()) + "\n";
+
+    // Cluster-size histogram, sizes >= 2.
+    auto histogram = ClusterSizeHistogram(cand.clusters);
+    std::string histo_line = "  cluster sizes:  ";
+    bool any = false;
+    for (const auto& [size, count] : histogram) {
+      if (size < 2) continue;
+      histo_line += " " + std::to_string(size) + "x" + std::to_string(count);
+      any = true;
+    }
+    if (any) out += histo_line + "\n";
+
+    // Largest clusters.
+    if (options.show_largest_clusters > 0 && !nontrivial.empty()) {
+      std::sort(nontrivial.begin(), nontrivial.end(),
+                [](const auto& a, const auto& b) {
+                  return a.size() > b.size();
+                });
+      size_t show = std::min(options.show_largest_clusters,
+                             nontrivial.size());
+      for (size_t c = 0; c < show; ++c) {
+        out += "  largest #" + std::to_string(c + 1) + " (" +
+               std::to_string(nontrivial[c].size()) + " members): eids";
+        for (size_t ordinal : nontrivial[c]) {
+          out += " " + std::to_string(cand.gk.rows[ordinal].eid);
+        }
+        out += "\n";
+      }
+    }
+
+    // Quality against gold labels, when requested and resolvable.
+    if (options.with_gold && cand_config != nullptr) {
+      auto gold = GoldClusterSet(doc, cand_config->absolute_path_str);
+      if (!gold.ok()) return gold.status();
+      if (gold->num_instances() != cand.clusters.num_instances()) {
+        return util::Status::FailedPrecondition(
+            "gold/instances mismatch for candidate '" + cand.name + "'");
+      }
+      PairMetrics metrics = PairwiseMetrics(gold.value(), cand.clusters);
+      out += "  quality:         " + metrics.ToString() + "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sxnm::eval

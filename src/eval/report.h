@@ -1,0 +1,40 @@
+// Human-readable detection reports: turns a DetectionResult (plus
+// optional gold data) into a plain-text summary — per-candidate counts,
+// cluster-size histogram, phase timings, and quality metrics when ground
+// truth is available. Used by the sxnm_cli tool and handy in notebooks /
+// logs.
+
+#ifndef SXNM_EVAL_REPORT_H_
+#define SXNM_EVAL_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "eval/metrics.h"
+#include "sxnm/detector.h"
+#include "xml/node.h"
+
+namespace sxnm::eval {
+
+struct ReportOptions {
+  /// Compute recall/precision/f1 against `_gold` labels in the document.
+  bool with_gold = false;
+
+  /// Show the N largest clusters with their member element IDs.
+  size_t show_largest_clusters = 3;
+};
+
+/// Per-candidate cluster-size histogram: size -> number of clusters.
+std::map<size_t, size_t> ClusterSizeHistogram(const core::ClusterSet& cs);
+
+/// Renders the full report. `doc` is the document the detector ran on
+/// (needed for gold extraction and element lookups); `config` supplies
+/// the candidates' absolute paths.
+util::Result<std::string> RenderReport(const core::Config& config,
+                                       const xml::Document& doc,
+                                       const core::DetectionResult& result,
+                                       const ReportOptions& options = {});
+
+}  // namespace sxnm::eval
+
+#endif  // SXNM_EVAL_REPORT_H_

@@ -1,0 +1,68 @@
+#include "eval/threshold_advisor.h"
+
+#include <algorithm>
+
+#include "eval/gold.h"
+#include "sxnm/detector.h"
+
+namespace sxnm::eval {
+
+using util::Result;
+using util::Status;
+
+util::Result<ThresholdAdvice> CalibrateOdThreshold(
+    const core::Config& config, const xml::Document& sample_doc,
+    const std::string& candidate_name,
+    const ThresholdAdviceOptions& options) {
+  if (options.step <= 0.0) {
+    return Status::InvalidArgument("step must be positive");
+  }
+  if (options.min_threshold > options.max_threshold ||
+      options.min_threshold < 0.0 || options.max_threshold > 1.0) {
+    return Status::InvalidArgument("threshold range must be within [0,1]");
+  }
+  const core::CandidateConfig* cand = config.Find(candidate_name);
+  if (cand == nullptr) {
+    return Status::NotFound("no candidate named '" + candidate_name + "'");
+  }
+
+  auto gold = GoldClusterSet(sample_doc, cand->absolute_path_str,
+                             options.gold_attribute);
+  if (!gold.ok()) return gold.status();
+  if (gold->NumDuplicatePairs() == 0) {
+    return Status::FailedPrecondition(
+        "sample has no labeled duplicate pairs for candidate '" +
+        candidate_name + "' — calibration needs positives");
+  }
+
+  ThresholdAdvice advice;
+  for (double threshold = options.min_threshold;
+       threshold <= options.max_threshold + 1e-9;
+       threshold += options.step) {
+    core::Config swept = config;
+    swept.Find(candidate_name)->classifier.od_threshold =
+        std::min(threshold, 1.0);
+
+    core::Detector detector(swept);
+    auto result = detector.Run(sample_doc);
+    if (!result.ok()) return result.status();
+    const core::CandidateResult* cand_result =
+        result->Find(candidate_name);
+    if (cand_result == nullptr) {
+      return Status::Internal("no result for candidate");
+    }
+
+    ThresholdPoint point;
+    point.threshold = std::min(threshold, 1.0);
+    point.metrics = PairwiseMetrics(gold.value(), cand_result->clusters);
+    // >= so that ties pick the higher (more conservative) threshold.
+    if (point.metrics.f1 >= advice.best_f1) {
+      advice.best_f1 = point.metrics.f1;
+      advice.recommended = point.threshold;
+    }
+    advice.sweep.push_back(point);
+  }
+  return advice;
+}
+
+}  // namespace sxnm::eval

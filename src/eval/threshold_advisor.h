@@ -1,0 +1,60 @@
+// Threshold calibration from a labeled sample — the outlook's "the choice
+// of the thresholds yet remains an open issue. In [5] the authors propose
+// a corresponding learning technique".
+//
+// The paper's own methodology (Sec. 3.4): "performing duplicate detection
+// both manually and automatically on a small sample can help determine
+// suitable parameter values". This module automates exactly that: given a
+// document whose candidate instances carry ground-truth labels (a
+// manually deduplicated sample, or generator gold), it sweeps the OD
+// threshold, evaluates pairwise f-measure per setting, and returns the
+// best one.
+
+#ifndef SXNM_EVAL_THRESHOLD_ADVISOR_H_
+#define SXNM_EVAL_THRESHOLD_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "sxnm/config.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::eval {
+
+struct ThresholdAdviceOptions {
+  double min_threshold = 0.5;
+  double max_threshold = 0.95;
+  double step = 0.05;
+
+  /// Attribute carrying the ground-truth labels on the sample document.
+  std::string gold_attribute = "_gold";
+};
+
+struct ThresholdPoint {
+  double threshold = 0.0;
+  PairMetrics metrics;
+};
+
+struct ThresholdAdvice {
+  /// Threshold with the best f-measure on the sample (ties: the higher
+  /// threshold, which generalizes more conservatively).
+  double recommended = 0.0;
+  double best_f1 = 0.0;
+
+  /// The whole sweep for inspection / plotting.
+  std::vector<ThresholdPoint> sweep;
+};
+
+/// Sweeps candidate `candidate_name`'s OD threshold over the labeled
+/// sample `sample_doc` and returns the f-optimal setting. The candidate's
+/// other parameters (keys, window, combine mode) are used as configured.
+util::Result<ThresholdAdvice> CalibrateOdThreshold(
+    const core::Config& config, const xml::Document& sample_doc,
+    const std::string& candidate_name,
+    const ThresholdAdviceOptions& options = {});
+
+}  // namespace sxnm::eval
+
+#endif  // SXNM_EVAL_THRESHOLD_ADVISOR_H_

@@ -1,0 +1,85 @@
+#include "eval/window_advisor.h"
+
+#include <algorithm>
+
+#include "sxnm/candidate_tree.h"
+#include "sxnm/key_generation.h"
+#include "sxnm/similarity_measure.h"
+#include "util/rng.h"
+
+namespace sxnm::eval {
+
+using util::Result;
+using util::Status;
+
+util::Result<WindowAdvice> AdviseWindow(const core::Config& config,
+                                        const xml::Document& doc,
+                                        const std::string& candidate_name,
+                                        const WindowAdviceOptions& options) {
+  if (options.coverage <= 0.0 || options.coverage > 1.0) {
+    return Status::InvalidArgument("coverage must be in (0, 1]");
+  }
+  if (options.sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be positive");
+  }
+  const core::CandidateConfig* cand = config.Find(candidate_name);
+  if (cand == nullptr) {
+    return Status::NotFound("no candidate named '" + candidate_name + "'");
+  }
+  if (options.key_index >= cand->keys.size()) {
+    return Status::InvalidArgument("key index out of range");
+  }
+
+  auto forest = core::CandidateForest::Build(config, doc);
+  if (!forest.ok()) return forest.status();
+  int index = forest->IndexOf(candidate_name);
+  const core::CandidateInstances& instances =
+      forest->candidates()[static_cast<size_t>(index)];
+  core::GkTable gk = core::GenerateKeys(*cand, instances);
+
+  size_t n = gk.rows.size();
+  WindowAdvice advice;
+  if (n < 2) return advice;
+
+  // Rank of each ordinal in the key-sorted order.
+  std::vector<size_t> order = gk.SortedOrder(options.key_index);
+  std::vector<size_t> rank(n);
+  for (size_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+
+  // Sample instances without replacement.
+  util::Rng rng(options.seed);
+  std::vector<size_t> population(n);
+  for (size_t i = 0; i < n; ++i) population[i] = i;
+  rng.Shuffle(population);
+  size_t sample = std::min(options.sample_size, n);
+
+  // OD-only similarity as the duplicate proxy (descendant clusters do not
+  // exist yet when one tunes the window).
+  core::SimilarityMeasure measure(*cand, instances, {});
+  for (size_t s = 0; s < sample; ++s) {
+    size_t a = population[s];
+    for (size_t b = 0; b < n; ++b) {
+      if (b == a) continue;
+      double sim = measure.OdSimilarity(gk.rows[a], gk.rows[b]);
+      if (sim < cand->classifier.od_threshold) continue;
+      size_t distance = rank[a] > rank[b] ? rank[a] - rank[b]
+                                          : rank[b] - rank[a];
+      advice.rank_distances.push_back(distance);
+    }
+  }
+
+  std::sort(advice.rank_distances.begin(), advice.rank_distances.end());
+  advice.similar_pairs = advice.rank_distances.size();
+  if (advice.similar_pairs == 0) return advice;
+
+  advice.max_distance = advice.rank_distances.back();
+  size_t idx = static_cast<size_t>(
+      options.coverage * static_cast<double>(advice.similar_pairs));
+  if (idx >= advice.similar_pairs) idx = advice.similar_pairs - 1;
+  // The window must exceed the covered rank distance.
+  advice.recommended_window =
+      std::max<size_t>(2, advice.rank_distances[idx] + 1);
+  return advice;
+}
+
+}  // namespace sxnm::eval

@@ -1,0 +1,66 @@
+// Sampling-based window-size advisor — the paper's closing outlook: "We
+// plan to examine how sampling techniques can help determine an
+// appropriate window size for each data set."
+//
+// Idea: the window must be at least as large as the *rank distance* (in
+// the key-sorted order) between members of a duplicate pair, or the pair
+// is never compared. Without ground truth we proxy "duplicate" by the
+// candidate's own OD similarity threshold: a random sample of instances
+// is compared against the whole candidate population, the rank distances
+// of the similar pairs are collected, and the advised window covers a
+// chosen percentile of them.
+
+#ifndef SXNM_EVAL_WINDOW_ADVISOR_H_
+#define SXNM_EVAL_WINDOW_ADVISOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sxnm/config.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::eval {
+
+struct WindowAdviceOptions {
+  /// How many candidate instances to sample (each is compared against the
+  /// whole population — cost O(sample_size * n)).
+  size_t sample_size = 50;
+
+  /// Fraction of observed similar-pair rank distances the advised window
+  /// must cover.
+  double coverage = 0.95;
+
+  uint64_t seed = 1;
+
+  /// Key (pass) whose sort order is analyzed.
+  size_t key_index = 0;
+};
+
+struct WindowAdvice {
+  /// Advised window size: covers `coverage` of observed rank distances
+  /// (>= 2 always). When the sample contains no similar pairs, this is 2
+  /// and `similar_pairs` is 0 — treat as "no evidence".
+  size_t recommended_window = 2;
+
+  /// Similar pairs observed in the sample.
+  size_t similar_pairs = 0;
+
+  /// Sorted rank distances of those pairs (diagnostics; distance 1 =
+  /// adjacent in sort order).
+  std::vector<size_t> rank_distances;
+
+  /// The largest observed distance (what full coverage would need).
+  size_t max_distance = 0;
+};
+
+/// Analyzes candidate `candidate_name` of `config` over `doc`.
+util::Result<WindowAdvice> AdviseWindow(
+    const core::Config& config, const xml::Document& doc,
+    const std::string& candidate_name,
+    const WindowAdviceOptions& options = {});
+
+}  // namespace sxnm::eval
+
+#endif  // SXNM_EVAL_WINDOW_ADVISOR_H_

@@ -1,0 +1,81 @@
+#include "relational/incremental_snm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/union_find.h"
+
+namespace sxnm::relational {
+
+IncrementalSnm::IncrementalSnm(Schema schema, std::vector<KeyFn> keys,
+                               MatchFn match, SnmOptions options)
+    : table_(std::move(schema)),
+      key_fns_(std::move(keys)),
+      match_(std::move(match)),
+      options_(options),
+      sorted_(key_fns_.size()) {
+  assert(options_.window_size >= 2);
+  stats_.passes = key_fns_.size();
+}
+
+std::vector<RecordPair> IncrementalSnm::AddBatch(std::vector<Record> batch) {
+  std::vector<RecordPair> newly_accepted;
+
+  for (Record& record : batch) {
+    size_t index = table_.AddRecord(std::move(record));
+
+    for (size_t pass = 0; pass < key_fns_.size(); ++pass) {
+      util::Stopwatch watch;
+      std::string key = key_fns_[pass](table_.record(index));
+      stats_.timer.Add("key_generation", watch.ElapsedSeconds());
+
+      watch.Restart();
+      auto& run = sorted_[pass];
+      // upper_bound keeps insertion order among equal keys (stability).
+      auto pos = std::upper_bound(
+          run.begin(), run.end(), key,
+          [](const std::string& k, const std::pair<std::string, size_t>& e) {
+            return k < e.first;
+          });
+      size_t insert_at = static_cast<size_t>(pos - run.begin());
+      stats_.timer.Add("sort", watch.ElapsedSeconds());
+
+      // Compare against w-1 neighbors on each side of the insertion
+      // position.
+      watch.Restart();
+      size_t w = options_.window_size;
+      size_t lo = insert_at >= (w - 1) ? insert_at - (w - 1) : 0;
+      size_t hi = std::min(run.size(), insert_at + (w - 1));
+      for (size_t j = lo; j < hi; ++j) {
+        RecordPair pair = std::minmax(run[j].second, index);
+        if (!compared_.insert(pair).second) continue;
+        ++stats_.comparisons;
+        if (match_(table_.record(pair.first), table_.record(pair.second))) {
+          ++stats_.matched_pairs;
+          accepted_.insert(pair);
+          newly_accepted.push_back(pair);
+        }
+      }
+      run.insert(run.begin() + static_cast<long>(insert_at),
+                 {std::move(key), index});
+      stats_.timer.Add("window", watch.ElapsedSeconds());
+    }
+  }
+
+  std::sort(newly_accepted.begin(), newly_accepted.end());
+  return newly_accepted;
+}
+
+SnmResult IncrementalSnm::Snapshot() const {
+  SnmResult result;
+  result.duplicate_pairs.assign(accepted_.begin(), accepted_.end());
+  result.stats = stats_;
+  if (options_.transitive_closure) {
+    util::UnionFind uf(table_.NumRecords());
+    for (const auto& [a, b] : result.duplicate_pairs) uf.Union(a, b);
+    result.clusters = uf.Clusters();
+  }
+  return result;
+}
+
+}  // namespace sxnm::relational

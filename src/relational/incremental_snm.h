@@ -1,0 +1,63 @@
+// Incremental Sorted Neighborhood Method (Sec. 2.2 of the paper: "for
+// large amounts of data as well as for repeatedly updated data there
+// exists an incremental version of the method dealing with how to combine
+// data that have already been deduplicated with new data packets").
+//
+// The detector keeps, per key, the sorted key sequence of everything seen
+// so far. A new data packet is merged in record by record: each new
+// record is compared against the w-1 records on *both* sides of its
+// insertion position. Old-old pairs are never re-compared.
+//
+// Guarantee (tested): after any sequence of AddBatch calls, the accepted
+// pairs are a superset of what one batch run of RunSnm over the full
+// table (same keys/window/match) would accept — insertions can only have
+// compared *more* neighborhoods, never fewer.
+
+#ifndef SXNM_RELATIONAL_INCREMENTAL_SNM_H_
+#define SXNM_RELATIONAL_INCREMENTAL_SNM_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/snm.h"
+
+namespace sxnm::relational {
+
+class IncrementalSnm {
+ public:
+  /// `keys`, `match` and `options` play the same roles as in RunSnm.
+  IncrementalSnm(Schema schema, std::vector<KeyFn> keys, MatchFn match,
+                 SnmOptions options);
+
+  /// Merges a packet of new records. Returns the pairs newly accepted
+  /// while processing this packet (global record indices, ordered).
+  std::vector<RecordPair> AddBatch(std::vector<Record> batch);
+
+  /// All records seen so far (indices are global and stable).
+  const Table& table() const { return table_; }
+
+  size_t NumRecords() const { return table_.NumRecords(); }
+
+  /// All accepted pairs so far, with the transitive closure applied
+  /// (unless options.transitive_closure is false) and cumulative stats.
+  SnmResult Snapshot() const;
+
+ private:
+  Table table_;
+  std::vector<KeyFn> key_fns_;
+  MatchFn match_;
+  SnmOptions options_;
+
+  // Per pass: (key, record index), sorted by key then insertion order.
+  std::vector<std::vector<std::pair<std::string, size_t>>> sorted_;
+
+  std::set<RecordPair> accepted_;
+  std::set<RecordPair> compared_;
+  SnmStats stats_;
+};
+
+}  // namespace sxnm::relational
+
+#endif  // SXNM_RELATIONAL_INCREMENTAL_SNM_H_

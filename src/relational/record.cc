@@ -1,0 +1,24 @@
+#include "relational/record.h"
+
+#include <cassert>
+
+namespace sxnm::relational {
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < field_names_.size(); ++i) {
+    if (field_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Table::AddRecord(Record record) {
+  assert(record.fields.size() == schema_.NumFields());
+  records_.push_back(std::move(record));
+  return records_.size() - 1;
+}
+
+size_t Table::AddRow(std::vector<std::string> fields) {
+  return AddRecord(Record{std::move(fields)});
+}
+
+}  // namespace sxnm::relational

@@ -1,0 +1,64 @@
+// Flat relational records — the substrate of the classic Sorted
+// Neighborhood Method (Sec. 2.2 of the paper), kept deliberately simple:
+// a schema (ordered field names) plus rows of string fields.
+
+#ifndef SXNM_RELATIONAL_RECORD_H_
+#define SXNM_RELATIONAL_RECORD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sxnm::relational {
+
+/// One tuple; fields positionally match the owning table's schema.
+struct Record {
+  std::vector<std::string> fields;
+
+  const std::string& field(size_t index) const { return fields[index]; }
+};
+
+/// Ordered field names of a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> field_names)
+      : field_names_(std::move(field_names)) {}
+
+  size_t NumFields() const { return field_names_.size(); }
+  const std::vector<std::string>& field_names() const { return field_names_; }
+
+  /// Index of `name`, or -1 when absent.
+  int FieldIndex(std::string_view name) const;
+
+ private:
+  std::vector<std::string> field_names_;
+};
+
+/// A relation instance: schema + rows. Row indices are the record IDs used
+/// in duplicate pairs and clusters.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t NumRecords() const { return records_.size(); }
+  const Record& record(size_t index) const { return records_[index]; }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Appends a record; must have exactly schema().NumFields() fields.
+  /// Returns the new record's index.
+  size_t AddRecord(Record record);
+
+  /// Convenience for tests: AddRecord from an initializer list.
+  size_t AddRow(std::vector<std::string> fields);
+
+ private:
+  Schema schema_;
+  std::vector<Record> records_;
+};
+
+}  // namespace sxnm::relational
+
+#endif  // SXNM_RELATIONAL_RECORD_H_

@@ -1,0 +1,229 @@
+#include "relational/snm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "util/union_find.h"
+
+namespace sxnm::relational {
+
+namespace {
+
+// Sorts record indices by their generated keys (stable: ties keep document
+// order, which makes results deterministic).
+std::vector<size_t> SortByKey(const std::vector<std::string>& keys) {
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
+  return order;
+}
+
+void FinishResult(const Table& table, const SnmOptions& options,
+                  std::set<RecordPair>& accepted, SnmResult& result) {
+  result.duplicate_pairs.assign(accepted.begin(), accepted.end());
+  if (options.transitive_closure) {
+    util::Stopwatch watch;
+    util::UnionFind uf(table.NumRecords());
+    for (const auto& [a, b] : result.duplicate_pairs) uf.Union(a, b);
+    result.clusters = uf.Clusters();
+    result.stats.timer.Add("closure", watch.ElapsedSeconds());
+  }
+}
+
+}  // namespace
+
+SnmResult RunSnm(const Table& table, const std::vector<KeyFn>& keys,
+                 const MatchFn& match, const SnmOptions& options) {
+  assert(options.window_size >= 2);
+  SnmResult result;
+  result.stats.passes = keys.size();
+  std::set<RecordPair> accepted;
+  std::set<RecordPair> compared;
+
+  for (const KeyFn& key_fn : keys) {
+    // Key generation.
+    util::Stopwatch watch;
+    std::vector<std::string> pass_keys;
+    pass_keys.reserve(table.NumRecords());
+    for (const Record& r : table.records()) pass_keys.push_back(key_fn(r));
+    result.stats.timer.Add("key_generation", watch.ElapsedSeconds());
+
+    // Sort.
+    watch.Restart();
+    std::vector<size_t> order = SortByKey(pass_keys);
+    result.stats.timer.Add("sort", watch.ElapsedSeconds());
+
+    // Sliding window.
+    watch.Restart();
+    size_t w = options.window_size;
+    for (size_t i = 0; i < order.size(); ++i) {
+      size_t lo = (i >= w - 1) ? i - (w - 1) : 0;
+      for (size_t j = lo; j < i; ++j) {
+        size_t a = order[j];
+        size_t b = order[i];
+        RecordPair pair = std::minmax(a, b);
+        if (!compared.insert(pair).second) continue;  // seen in earlier pass
+        ++result.stats.comparisons;
+        if (match(table.record(a), table.record(b))) {
+          accepted.insert(pair);
+          ++result.stats.matched_pairs;
+        }
+      }
+    }
+    result.stats.timer.Add("window", watch.ElapsedSeconds());
+  }
+
+  FinishResult(table, options, accepted, result);
+  return result;
+}
+
+SnmResult RunDeSnm(const Table& table, const std::vector<KeyFn>& keys,
+                   const MatchFn& match, const SnmOptions& options) {
+  assert(options.window_size >= 2);
+  SnmResult result;
+  result.stats.passes = keys.size();
+  std::set<RecordPair> accepted;
+  std::set<RecordPair> compared;
+
+  for (const KeyFn& key_fn : keys) {
+    util::Stopwatch watch;
+    std::vector<std::string> pass_keys;
+    pass_keys.reserve(table.NumRecords());
+    for (const Record& r : table.records()) pass_keys.push_back(key_fn(r));
+    result.stats.timer.Add("key_generation", watch.ElapsedSeconds());
+
+    // Duplicate elimination: group records by exact key.
+    watch.Restart();
+    std::map<std::string, std::vector<size_t>> groups;
+    for (size_t i = 0; i < pass_keys.size(); ++i) {
+      groups[pass_keys[i]].push_back(i);
+    }
+    // Exact-key groups are duplicates by definition of DE-SNM (the key is
+    // assumed discriminating); link members to the representative.
+    for (const auto& [key, members] : groups) {
+      (void)key;
+      for (size_t m = 1; m < members.size(); ++m) {
+        accepted.insert(std::minmax(members[0], members[m]));
+        ++result.stats.matched_pairs;
+      }
+    }
+    result.stats.timer.Add("sort", watch.ElapsedSeconds());
+
+    // Window over distinct keys only (std::map iteration is key-sorted).
+    watch.Restart();
+    std::vector<size_t> reps;
+    reps.reserve(groups.size());
+    for (const auto& [key, members] : groups) {
+      (void)key;
+      reps.push_back(members.front());
+    }
+    size_t w = options.window_size;
+    for (size_t i = 0; i < reps.size(); ++i) {
+      size_t lo = (i >= w - 1) ? i - (w - 1) : 0;
+      for (size_t j = lo; j < i; ++j) {
+        RecordPair pair = std::minmax(reps[j], reps[i]);
+        if (accepted.count(pair) != 0) continue;
+        if (!compared.insert(pair).second) continue;
+        ++result.stats.comparisons;
+        if (match(table.record(pair.first), table.record(pair.second))) {
+          accepted.insert(pair);
+          ++result.stats.matched_pairs;
+        }
+      }
+    }
+    result.stats.timer.Add("window", watch.ElapsedSeconds());
+  }
+
+  FinishResult(table, options, accepted, result);
+  return result;
+}
+
+SnmResult RunNaiveAllPairs(const Table& table, const MatchFn& match,
+                           bool transitive_closure) {
+  SnmResult result;
+  result.stats.passes = 1;
+  std::set<RecordPair> accepted;
+
+  util::Stopwatch watch;
+  for (size_t a = 0; a < table.NumRecords(); ++a) {
+    for (size_t b = a + 1; b < table.NumRecords(); ++b) {
+      ++result.stats.comparisons;
+      if (match(table.record(a), table.record(b))) {
+        accepted.insert({a, b});
+        ++result.stats.matched_pairs;
+      }
+    }
+  }
+  result.stats.timer.Add("window", watch.ElapsedSeconds());
+
+  SnmOptions options;
+  options.transitive_closure = transitive_closure;
+  FinishResult(table, options, accepted, result);
+  return result;
+}
+
+SnmResult RunBlocking(const Table& table, const std::vector<KeyFn>& keys,
+                      const MatchFn& match, bool transitive_closure) {
+  SnmResult result;
+  result.stats.passes = keys.size();
+  std::set<RecordPair> accepted;
+  std::set<RecordPair> compared;
+
+  for (const KeyFn& key_fn : keys) {
+    util::Stopwatch watch;
+    std::map<std::string, std::vector<size_t>> blocks;
+    for (size_t i = 0; i < table.NumRecords(); ++i) {
+      blocks[key_fn(table.record(i))].push_back(i);
+    }
+    result.stats.timer.Add("key_generation", watch.ElapsedSeconds());
+
+    watch.Restart();
+    for (const auto& [key, members] : blocks) {
+      (void)key;
+      for (size_t a = 0; a < members.size(); ++a) {
+        for (size_t b = a + 1; b < members.size(); ++b) {
+          RecordPair pair = std::minmax(members[a], members[b]);
+          if (!compared.insert(pair).second) continue;
+          ++result.stats.comparisons;
+          if (match(table.record(pair.first), table.record(pair.second))) {
+            accepted.insert(pair);
+            ++result.stats.matched_pairs;
+          }
+        }
+      }
+    }
+    result.stats.timer.Add("window", watch.ElapsedSeconds());
+  }
+
+  SnmOptions options;
+  options.transitive_closure = transitive_closure;
+  FinishResult(table, options, accepted, result);
+  return result;
+}
+
+MatchFn MakeWeightedFieldMatch(std::vector<size_t> fields,
+                               std::vector<double> weights,
+                               std::vector<text::SimilarityFn> sims,
+                               double threshold) {
+  assert(fields.size() == weights.size());
+  assert(fields.size() == sims.size());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) total = 1.0;
+  for (double& w : weights) w /= total;
+
+  return [fields = std::move(fields), weights = std::move(weights),
+          sims = std::move(sims),
+          threshold](const Record& a, const Record& b) {
+    double sim = 0.0;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      sim += weights[i] * sims[i](a.field(fields[i]), b.field(fields[i]));
+    }
+    return sim >= threshold;
+  };
+}
+
+}  // namespace sxnm::relational

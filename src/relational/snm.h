@@ -1,0 +1,106 @@
+// The classic Sorted Neighborhood Method of Hernández & Stolfo, plus the
+// baselines the paper positions itself against:
+//
+//   * Snm          — key generation, sort, sliding window; multi-pass;
+//                    transitive closure (Sec. 2.2 of the paper)
+//   * DeSnm        — Duplicate-Elimination SNM [Hernández '96]: records
+//                    with identical keys are merged before windowing, the
+//                    window slides over *distinct* keys (outlook, Sec. 5)
+//   * NaiveAllPairs— quadratic baseline, the effectiveness ceiling
+//   * Blocking     — compare only within equal-key blocks, the classic
+//                    cheap alternative to windowing
+//
+// All algorithms report comparison counts and duplicate pairs so the
+// ablation benches can chart effectiveness-vs-work trade-offs.
+
+#ifndef SXNM_RELATIONAL_SNM_H_
+#define SXNM_RELATIONAL_SNM_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/record.h"
+#include "text/similarity.h"
+#include "util/stopwatch.h"
+
+namespace sxnm::relational {
+
+/// Extracts the sort key of a record for one pass.
+using KeyFn = std::function<std::string(const Record&)>;
+
+/// Decides whether two records are duplicates (the "equational theory"
+/// combined with a similarity threshold).
+using MatchFn = std::function<bool(const Record&, const Record&)>;
+
+/// A record pair, ordered (first < second).
+using RecordPair = std::pair<size_t, size_t>;
+
+struct SnmOptions {
+  /// Sliding window size w >= 2. The window advances one position at a
+  /// time; each record is compared with the w-1 records preceding it in
+  /// sort order, so every pair within sort distance < w is compared once
+  /// per pass.
+  size_t window_size = 10;
+
+  /// Apply the transitive closure over pairs from all passes.
+  bool transitive_closure = true;
+};
+
+struct SnmStats {
+  size_t comparisons = 0;       // match-function invocations
+  size_t matched_pairs = 0;     // pairs the match function accepted
+  size_t passes = 0;            // number of keys used
+  util::PhaseTimer timer;       // "key_generation", "sort", "window",
+                                // "closure"
+};
+
+struct SnmResult {
+  /// Accepted pairs (deduplicated across passes), each ordered and sorted.
+  std::vector<RecordPair> duplicate_pairs;
+
+  /// Clusters after transitive closure (all records; singletons included),
+  /// ordered by smallest member. Empty when closure was disabled.
+  std::vector<std::vector<size_t>> clusters;
+
+  SnmStats stats;
+};
+
+/// Runs multi-pass SNM over `table`: one pass per entry of `keys`.
+/// `match` is consulted for every windowed pair.
+SnmResult RunSnm(const Table& table, const std::vector<KeyFn>& keys,
+                 const MatchFn& match, const SnmOptions& options);
+
+/// Duplicate-Elimination SNM: per pass, records with byte-identical keys
+/// are pre-merged (they are trivially duplicates of each other when the
+/// key is chosen to be discriminating); the window then slides over the
+/// distinct keys only, with each distinct key represented by its first
+/// record. Matches between representatives are expanded to their groups
+/// by the transitive closure.
+SnmResult RunDeSnm(const Table& table, const std::vector<KeyFn>& keys,
+                   const MatchFn& match, const SnmOptions& options);
+
+/// Quadratic baseline: every unordered pair is compared.
+SnmResult RunNaiveAllPairs(const Table& table, const MatchFn& match,
+                           bool transitive_closure = true);
+
+/// Standard blocking: records are grouped by each key's value; all pairs
+/// inside a block are compared. (Equivalent to windowing with unbounded
+/// window inside exact-key groups.)
+SnmResult RunBlocking(const Table& table, const std::vector<KeyFn>& keys,
+                      const MatchFn& match, bool transitive_closure = true);
+
+/// Builds a MatchFn from per-field weighted similarities: the weighted
+/// average of φ(field_i) is compared against `threshold`. `weights` must
+/// be parallel to the field indices in `fields`; weights are normalized
+/// internally.
+MatchFn MakeWeightedFieldMatch(std::vector<size_t> fields,
+                               std::vector<double> weights,
+                               std::vector<text::SimilarityFn> sims,
+                               double threshold);
+
+}  // namespace sxnm::relational
+
+#endif  // SXNM_RELATIONAL_SNM_H_

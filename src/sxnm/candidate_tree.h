@@ -1,0 +1,99 @@
+// Candidate forest extraction (Fig. 3 of the paper).
+//
+// From the configured candidates' absolute paths and a concrete document,
+// this module materializes
+//   * the instances of every candidate (in document order), and
+//   * the candidate *type* forest: candidate t is a child of candidate s
+//     when instances of t have an instance of s as their nearest candidate
+//     ancestor (intermediate non-candidate elements like <people> or
+//     <tracks> are skipped, preserving ancestor-descendant relationships),
+// together with, for every instance of s, the list of its nearest
+// descendant instances per child type — the l_e lists of Def. 3.
+//
+// The processing order for bottom-up detection is a reverse topological
+// order of the parent->child edges: leaves (largest depth δ) first, roots
+// last, exactly as in Sec. 3.4.
+
+#ifndef SXNM_SXNM_CANDIDATE_TREE_H_
+#define SXNM_SXNM_CANDIDATE_TREE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sxnm/config.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::core {
+
+/// Instances and relations of one candidate within a document.
+struct CandidateInstances {
+  const CandidateConfig* config = nullptr;
+
+  /// Instance ordinal -> element (document order).
+  std::vector<const xml::Element*> elements;
+
+  /// Instance ordinal -> document element ID (the paper's eid).
+  std::vector<xml::ElementId> eids;
+
+  /// Candidate indices (into CandidateForest::candidates()) of descendant
+  /// candidate types observed under this candidate's instances.
+  std::vector<size_t> child_types;
+
+  /// desc_instances[slot][ordinal] = ordinals (within child type
+  /// child_types[slot]) of the nearest candidate descendants of instance
+  /// `ordinal`. Parallel to `child_types`.
+  std::vector<std::vector<std::vector<size_t>>> desc_instances;
+
+  /// Distance δ from the extracted forest's root level (roots have 0).
+  int depth = 0;
+
+  size_t NumInstances() const { return elements.size(); }
+};
+
+class CandidateForest {
+ public:
+  /// Builds the forest. The forest keeps its own copy of `config`
+  /// (CandidateInstances::config points into that copy, so the caller's
+  /// Config may be a temporary); `doc` must outlive the forest. Fails when
+  ///   * two candidates' absolute paths select the same element, or
+  ///   * candidate nesting is cyclic at the type level (e.g. recursive
+  ///     elements), which bottom-up processing cannot order.
+  static util::Result<CandidateForest> Build(const Config& config,
+                                             const xml::Document& doc);
+
+  CandidateForest(const CandidateForest&) = delete;
+  CandidateForest& operator=(const CandidateForest&) = delete;
+  CandidateForest(CandidateForest&&) = default;
+  CandidateForest& operator=(CandidateForest&&) = default;
+
+  const std::vector<CandidateInstances>& candidates() const {
+    return candidates_;
+  }
+
+  /// Index of a candidate by name; -1 when absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Candidate indices in bottom-up processing order (children strictly
+  /// before parents).
+  const std::vector<size_t>& ProcessingOrder() const {
+    return processing_order_;
+  }
+
+  /// Total number of candidate instances across all types.
+  size_t TotalInstances() const;
+
+ private:
+  CandidateForest() = default;
+
+  // Owned copy of the configuration; CandidateInstances::config points
+  // into it. Held by unique_ptr so moves do not invalidate the pointers.
+  std::unique_ptr<Config> config_;
+  std::vector<CandidateInstances> candidates_;
+  std::vector<size_t> processing_order_;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_CANDIDATE_TREE_H_

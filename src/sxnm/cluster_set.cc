@@ -1,0 +1,67 @@
+#include "sxnm/cluster_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sxnm::core {
+
+ClusterSet ClusterSet::FromClusters(
+    std::vector<std::vector<size_t>> clusters, size_t num_instances) {
+  ClusterSet result;
+  result.cid_.assign(num_instances, -1);
+  for (auto& cluster : clusters) {
+    if (cluster.empty()) continue;
+    std::sort(cluster.begin(), cluster.end());
+    int cid = static_cast<int>(result.clusters_.size());
+    for (size_t ordinal : cluster) {
+      assert(ordinal < num_instances);
+      assert(result.cid_[ordinal] == -1 && "ordinal in two clusters");
+      result.cid_[ordinal] = cid;
+    }
+    result.clusters_.push_back(std::move(cluster));
+  }
+  // Any uncovered ordinal becomes a singleton cluster.
+  for (size_t i = 0; i < num_instances; ++i) {
+    if (result.cid_[i] == -1) {
+      result.cid_[i] = static_cast<int>(result.clusters_.size());
+      result.clusters_.push_back({i});
+    }
+  }
+  return result;
+}
+
+ClusterSet ClusterSet::Singletons(size_t num_instances) {
+  return FromClusters({}, num_instances);
+}
+
+std::vector<std::vector<size_t>> ClusterSet::NonTrivialClusters() const {
+  std::vector<std::vector<size_t>> out;
+  for (const auto& cluster : clusters_) {
+    if (cluster.size() >= 2) out.push_back(cluster);
+  }
+  return out;
+}
+
+size_t ClusterSet::NumDuplicatePairs() const {
+  size_t pairs = 0;
+  for (const auto& cluster : clusters_) {
+    pairs += cluster.size() * (cluster.size() - 1) / 2;
+  }
+  return pairs;
+}
+
+std::vector<OrdinalPair> ClusterSet::DuplicatePairs() const {
+  std::vector<OrdinalPair> out;
+  out.reserve(NumDuplicatePairs());
+  for (const auto& cluster : clusters_) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        out.emplace_back(cluster[i], cluster[j]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sxnm::core

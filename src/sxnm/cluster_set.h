@@ -1,0 +1,60 @@
+// Cluster sets (Def. 1 of the paper): the output of duplicate detection
+// for one candidate. Every instance of the candidate belongs to exactly
+// one cluster; a cluster groups the representations of one real-world
+// object and has a unique cluster ID (`cid`).
+
+#ifndef SXNM_SXNM_CLUSTER_SET_H_
+#define SXNM_SXNM_CLUSTER_SET_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sxnm::core {
+
+/// A pair of instance ordinals, ordered (first < second).
+using OrdinalPair = std::pair<size_t, size_t>;
+
+class ClusterSet {
+ public:
+  /// Empty set over zero instances.
+  ClusterSet() = default;
+
+  /// Builds from an explicit partition of ordinals 0..num_instances-1.
+  /// Every ordinal must appear exactly once across `clusters` (singleton
+  /// ordinals may be omitted; they are added as singleton clusters).
+  static ClusterSet FromClusters(std::vector<std::vector<size_t>> clusters,
+                                 size_t num_instances);
+
+  /// All-singletons partition.
+  static ClusterSet Singletons(size_t num_instances);
+
+  size_t num_instances() const { return cid_.size(); }
+  size_t num_clusters() const { return clusters_.size(); }
+
+  /// The paper's cid() function: cluster ID of an instance ordinal.
+  int cid(size_t ordinal) const { return cid_[ordinal]; }
+
+  /// Clusters, each a sorted list of ordinals; cluster index == its cid.
+  const std::vector<std::vector<size_t>>& clusters() const {
+    return clusters_;
+  }
+
+  /// Clusters with at least two members (actual duplicate groups).
+  std::vector<std::vector<size_t>> NonTrivialClusters() const;
+
+  /// Number of intra-cluster pairs: sum over clusters of C(|c|, 2). This is
+  /// the pair count used by the pairwise precision/recall metrics.
+  size_t NumDuplicatePairs() const;
+
+  /// All intra-cluster pairs, ordered.
+  std::vector<OrdinalPair> DuplicatePairs() const;
+
+ private:
+  std::vector<int> cid_;                       // ordinal -> cluster id
+  std::vector<std::vector<size_t>> clusters_;  // cid -> members
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_CLUSTER_SET_H_

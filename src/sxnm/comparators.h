@@ -1,0 +1,82 @@
+// Comparator algorithms from the paper's related work (Sec. 2), built on
+// the same configuration/similarity machinery as SXNM so that
+// effectiveness and efficiency are directly comparable:
+//
+//   * AllPairsDetector — DogmatiX-style exhaustive comparison ([8] in the
+//     paper): every pair of candidate instances is compared, optionally
+//     after a cheap filter that upper-bounds the OD similarity. "In the
+//     worst case, all pairs of elements need to be compared, unlike the
+//     sorted neighborhood method" — this detector realizes that worst
+//     case and provides the effectiveness ceiling.
+//
+//   * TopDownDetector — DELPHI-style top-down processing ([5]): the
+//     candidate forest is processed root-first, and instances of a child
+//     candidate are compared only when their parents landed in the same
+//     cluster ("compares only children with same or similar ancestors").
+//     Efficient, but — exactly as Sec. 2 argues — it cannot find
+//     duplicates across different parents (the movie/actor M:N case),
+//     which the bottom-up SXNM handles.
+//
+// Both reuse CandidateConfig (paths, ODs, thresholds); keys are ignored
+// by AllPairs (no sorting) and by TopDown (comparisons are scoped by the
+// parent cluster instead of a window).
+
+#ifndef SXNM_SXNM_COMPARATORS_H_
+#define SXNM_SXNM_COMPARATORS_H_
+
+#include "sxnm/detector.h"
+
+namespace sxnm::core {
+
+struct AllPairsOptions {
+  /// When true, a pair is fully compared only if the cheap filter cannot
+  /// rule it out: the filter upper-bounds each string φ by the length
+  /// ratio of the values (edit similarity can never exceed
+  /// min_len/max_len), so pairs whose weighted upper bound is below the
+  /// candidate's OD threshold are skipped.
+  bool use_filter = true;
+};
+
+/// DogmatiX-style detector: exhaustive pairwise comparison per candidate,
+/// bottom-up across candidates (descendant information is still used, as
+/// in DogmatiX). Phase accounting: the comparison work appears under
+/// kPhaseSlidingWindow for comparability; `comparisons` counts full
+/// similarity evaluations (pairs the filter ruled out are excluded).
+class AllPairsDetector {
+ public:
+  explicit AllPairsDetector(Config config, AllPairsOptions options = {})
+      : config_(std::move(config)), options_(options) {}
+
+  util::Result<DetectionResult> Run(const xml::Document& doc) const;
+
+ private:
+  Config config_;
+  AllPairsOptions options_;
+};
+
+struct TopDownOptions {
+  /// Root-level candidates have no parent clusters to scope them; they are
+  /// compared with a sorted window of this size (DELPHI similarly starts
+  /// from the top dimension). Use a large value for exhaustive roots.
+  size_t root_window = 10;
+};
+
+/// DELPHI-style top-down detector: parents first; children compared only
+/// within the same parent cluster. Descendant similarity is unavailable
+/// (children are not clustered yet when parents are compared), so parent
+/// decisions use the OD alone.
+class TopDownDetector {
+ public:
+  explicit TopDownDetector(Config config, TopDownOptions options = {})
+      : config_(std::move(config)), options_(options) {}
+
+  util::Result<DetectionResult> Run(const xml::Document& doc) const;
+
+ private:
+  Config config_;
+  TopDownOptions options_;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_COMPARATORS_H_

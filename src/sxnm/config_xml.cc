@@ -1,0 +1,313 @@
+#include "sxnm/config_xml.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace sxnm::core {
+
+namespace {
+
+using util::Result;
+using util::Status;
+using xml::Element;
+
+Result<int> RequiredIntAttr(const Element& e, std::string_view name) {
+  const std::string* value = e.FindAttribute(name);
+  if (value == nullptr) {
+    return Status::ParseError("<" + e.name() + "> missing attribute '" +
+                              std::string(name) + "'");
+  }
+  int parsed = util::ParseNonNegativeInt(util::TrimView(*value));
+  if (parsed < 0) {
+    return Status::ParseError("<" + e.name() + "> attribute '" +
+                              std::string(name) + "' is not a number: " +
+                              *value);
+  }
+  return parsed;
+}
+
+Result<std::string> RequiredAttr(const Element& e, std::string_view name) {
+  const std::string* value = e.FindAttribute(name);
+  if (value == nullptr) {
+    return Status::ParseError("<" + e.name() + "> missing attribute '" +
+                              std::string(name) + "'");
+  }
+  return *value;
+}
+
+Result<bool> BoolAttrOr(const Element& e, std::string_view name,
+                        bool fallback) {
+  const std::string* value = e.FindAttribute(name);
+  if (value == nullptr) return fallback;
+  std::string v = util::ToLower(util::Trim(*value));
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::ParseError("<" + e.name() + "> attribute '" +
+                            std::string(name) + "' is not a boolean: " +
+                            *value);
+}
+
+Result<CandidateConfig> ParseCandidate(const Element& elem) {
+  auto name = RequiredAttr(elem, "name");
+  if (!name.ok()) return name.status();
+  auto path = RequiredAttr(elem, "path");
+  if (!path.ok()) return path.status();
+
+  CandidateBuilder builder(name.value(), path.value());
+
+  if (const std::string* window = elem.FindAttribute("window")) {
+    int w = util::ParseNonNegativeInt(util::TrimView(*window));
+    if (w < 2) {
+      return Status::ParseError("candidate '" + name.value() +
+                                "': bad window '" + *window + "'");
+    }
+    builder.Window(static_cast<size_t>(w));
+  }
+  auto use_desc = BoolAttrOr(elem, "use-descendants", true);
+  if (!use_desc.ok()) return use_desc.status();
+  builder.UseDescendants(use_desc.value());
+  auto prepass = BoolAttrOr(elem, "exact-od-prepass", false);
+  if (!prepass.ok()) return prepass.status();
+  builder.ExactOdPrepass(prepass.value());
+
+  auto policy = ParseWindowPolicy(elem.AttributeOr("window-policy", "fixed"));
+  if (!policy.ok()) return policy.status();
+  if (policy.value() == WindowPolicy::kAdaptivePrefix) {
+    int prefix = util::ParseNonNegativeInt(
+        util::TrimView(elem.AttributeOr("adaptive-prefix", "4")));
+    int max_window = util::ParseNonNegativeInt(
+        util::TrimView(elem.AttributeOr("max-window", "100")));
+    if (prefix < 1 || max_window < 2) {
+      return Status::ParseError("candidate '" + name.value() +
+                                "': bad adaptive window attributes");
+    }
+    builder.AdaptiveWindow(static_cast<size_t>(prefix),
+                           static_cast<size_t>(max_window));
+  }
+
+  // <paths>
+  const Element* paths = elem.FirstChildElement("paths");
+  if (paths != nullptr) {
+    for (const Element* p : paths->ChildElements("path")) {
+      auto id = RequiredIntAttr(*p, "id");
+      if (!id.ok()) return id.status();
+      auto rel = RequiredAttr(*p, "rel");
+      if (!rel.ok()) return rel.status();
+      builder.Path(id.value(), rel.value());
+    }
+  }
+
+  // <od>
+  const Element* od = elem.FirstChildElement("od");
+  if (od != nullptr) {
+    for (const Element* entry : od->ChildElements("entry")) {
+      auto pid = RequiredIntAttr(*entry, "pid");
+      if (!pid.ok()) return pid.status();
+      double relevance = util::ParseDoubleOr(
+          entry->AttributeOr("relevance", "1"), -1.0);
+      if (relevance <= 0.0) {
+        return Status::ParseError("candidate '" + name.value() +
+                                  "': bad OD relevance");
+      }
+      builder.Od(pid.value(), relevance,
+                 entry->AttributeOr("similarity", "edit"));
+    }
+  }
+
+  // <keys>
+  const Element* keys = elem.FirstChildElement("keys");
+  if (keys != nullptr) {
+    for (const Element* key : keys->ChildElements("key")) {
+      // Collect parts with explicit order, then sort.
+      struct RawPart {
+        int pid;
+        int order;
+        std::string pattern;
+      };
+      std::vector<RawPart> raw;
+      int implicit_order = 1;
+      for (const Element* part : key->ChildElements("part")) {
+        auto pid = RequiredIntAttr(*part, "pid");
+        if (!pid.ok()) return pid.status();
+        auto pattern = RequiredAttr(*part, "pattern");
+        if (!pattern.ok()) return pattern.status();
+        int order = implicit_order++;
+        if (part->HasAttribute("order")) {
+          auto parsed = RequiredIntAttr(*part, "order");
+          if (!parsed.ok()) return parsed.status();
+          order = parsed.value();
+        }
+        raw.push_back({pid.value(), order, pattern.value()});
+      }
+      std::stable_sort(raw.begin(), raw.end(),
+                       [](const RawPart& a, const RawPart& b) {
+                         return a.order < b.order;
+                       });
+      std::vector<std::pair<int, std::string>> parts;
+      parts.reserve(raw.size());
+      for (auto& r : raw) parts.emplace_back(r.pid, std::move(r.pattern));
+      builder.Key(std::move(parts));
+    }
+  }
+
+  // <rules> (equational theory)
+  const Element* rules = elem.FirstChildElement("rules");
+  if (rules != nullptr) {
+    for (const Element* rule : rules->ChildElements("rule")) {
+      std::vector<std::pair<int, double>> conditions;
+      for (const Element* cond : rule->ChildElements("cond")) {
+        double min_sim =
+            util::ParseDoubleOr(cond->AttributeOr("min", ""), -1.0);
+        if (min_sim < 0.0 || min_sim > 1.0) {
+          return Status::ParseError("candidate '" + name.value() +
+                                    "': rule condition needs min in [0,1]");
+        }
+        if (cond->HasAttribute("pid")) {
+          auto pid = RequiredIntAttr(*cond, "pid");
+          if (!pid.ok()) return pid.status();
+          conditions.emplace_back(pid.value(), min_sim);
+        } else if (cond->AttributeOr("on", "") == "descendants") {
+          conditions.emplace_back(RuleCondition::kDescendants, min_sim);
+        } else {
+          return Status::ParseError(
+              "candidate '" + name.value() +
+              "': rule condition needs pid=... or on=\"descendants\"");
+        }
+      }
+      builder.TheoryRule(std::move(conditions));
+    }
+  }
+
+  // <classifier>
+  const Element* classifier = elem.FirstChildElement("classifier");
+  if (classifier != nullptr) {
+    auto mode = ParseCombineMode(classifier->AttributeOr("mode", "average"));
+    if (!mode.ok()) return mode.status();
+    builder.Mode(mode.value());
+    builder.OdThreshold(util::ParseDoubleOr(
+        classifier->AttributeOr("od-threshold", "0.75"), 0.75));
+    builder.DescThreshold(util::ParseDoubleOr(
+        classifier->AttributeOr("desc-threshold", "0.5"), 0.5));
+    builder.OdWeight(util::ParseDoubleOr(
+        classifier->AttributeOr("od-weight", "0.5"), 0.5));
+  }
+
+  return builder.Build();
+}
+
+}  // namespace
+
+util::Result<Config> ConfigFromXml(const xml::Document& doc) {
+  if (doc.root() == nullptr) {
+    return Status::ParseError("empty configuration document");
+  }
+  if (doc.root()->name() != "sxnm-config") {
+    return Status::ParseError("expected root element <sxnm-config>, found <" +
+                              doc.root()->name() + ">");
+  }
+  Config config;
+  for (const Element* elem : doc.root()->ChildElements("candidate")) {
+    auto candidate = ParseCandidate(*elem);
+    if (!candidate.ok()) return candidate.status();
+    SXNM_RETURN_IF_ERROR(config.AddCandidate(std::move(candidate).value()));
+  }
+  SXNM_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+util::Result<Config> ConfigFromXmlString(std::string_view text) {
+  auto doc = xml::Parse(text);
+  if (!doc.ok()) return doc.status();
+  return ConfigFromXml(doc.value());
+}
+
+util::Result<Config> ConfigFromXmlFile(const std::string& path) {
+  auto doc = xml::ParseFile(path);
+  if (!doc.ok()) return doc.status();
+  return ConfigFromXml(doc.value());
+}
+
+xml::Document ConfigToXml(const Config& config) {
+  auto root = std::make_unique<Element>("sxnm-config");
+  for (const CandidateConfig& c : config.candidates()) {
+    Element* cand = root->AddElement("candidate");
+    cand->SetAttribute("name", c.name);
+    cand->SetAttribute("path", c.absolute_path.ToString());
+    cand->SetAttribute("window", std::to_string(c.window_size));
+    cand->SetAttribute("use-descendants",
+                       c.use_descendants ? "true" : "false");
+    cand->SetAttribute("exact-od-prepass",
+                       c.exact_od_prepass ? "true" : "false");
+    cand->SetAttribute("window-policy", WindowPolicyName(c.window_policy));
+    if (c.window_policy == WindowPolicy::kAdaptivePrefix) {
+      cand->SetAttribute("adaptive-prefix",
+                         std::to_string(c.adaptive_prefix_len));
+      cand->SetAttribute("max-window", std::to_string(c.max_window));
+    }
+
+    Element* paths = cand->AddElement("paths");
+    for (const PathEntry& p : c.paths) {
+      Element* path = paths->AddElement("path");
+      path->SetAttribute("id", std::to_string(p.id));
+      path->SetAttribute("rel", p.path.ToString());
+    }
+
+    Element* od = cand->AddElement("od");
+    for (const OdEntry& entry : c.od) {
+      Element* e = od->AddElement("entry");
+      e->SetAttribute("pid", std::to_string(entry.pid));
+      e->SetAttribute("relevance", util::FormatDouble(entry.relevance, 4));
+      e->SetAttribute("similarity", entry.similarity_name);
+    }
+
+    Element* keys = cand->AddElement("keys");
+    for (const KeyDef& key : c.keys) {
+      Element* k = keys->AddElement("key");
+      for (const KeyPartRef& part : key.parts) {
+        Element* p = k->AddElement("part");
+        p->SetAttribute("pid", std::to_string(part.pid));
+        p->SetAttribute("order", std::to_string(part.order));
+        p->SetAttribute("pattern", part.pattern.ToString());
+      }
+    }
+
+    if (!c.theory.empty()) {
+      Element* rules = cand->AddElement("rules");
+      for (const Rule& rule : c.theory.rules()) {
+        Element* r = rules->AddElement("rule");
+        for (const RuleCondition& cond : rule.conditions) {
+          Element* e = r->AddElement("cond");
+          if (cond.pid == RuleCondition::kDescendants) {
+            e->SetAttribute("on", "descendants");
+          } else {
+            e->SetAttribute("pid", std::to_string(cond.pid));
+          }
+          e->SetAttribute("min",
+                          util::FormatDouble(cond.min_similarity, 4));
+        }
+      }
+    }
+
+    Element* classifier = cand->AddElement("classifier");
+    classifier->SetAttribute("mode", CombineModeName(c.classifier.mode));
+    classifier->SetAttribute(
+        "od-threshold", util::FormatDouble(c.classifier.od_threshold, 4));
+    classifier->SetAttribute(
+        "desc-threshold", util::FormatDouble(c.classifier.desc_threshold, 4));
+    classifier->SetAttribute("od-weight",
+                             util::FormatDouble(c.classifier.od_weight, 4));
+  }
+
+  xml::Document doc;
+  doc.SetRoot(std::move(root));
+  return doc;
+}
+
+std::string ConfigToXmlString(const Config& config) {
+  return xml::WriteDocument(ConfigToXml(config));
+}
+
+}  // namespace sxnm::core

@@ -1,0 +1,130 @@
+#include "sxnm/dedup_writer.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace sxnm::core {
+
+namespace {
+
+// Removes, below `element`, every child element whose ID is in `remove`;
+// recurses into kept children only (removed subtrees disappear wholesale).
+void RemoveMarked(xml::Element* element,
+                  const std::set<xml::ElementId>& remove, size_t* removed) {
+  for (size_t i = element->NumChildren(); i > 0; --i) {
+    xml::Node* child = element->children()[i - 1].get();
+    xml::Element* child_elem = child->AsElement();
+    if (child_elem == nullptr) continue;
+    if (remove.count(child_elem->id()) > 0) {
+      element->RemoveChild(i - 1);
+      ++*removed;
+    } else {
+      RemoveMarked(child_elem, remove, removed);
+    }
+  }
+}
+
+// Merges attributes and children of `donor` into `survivor` (see
+// RepresentativeStrategy::kFuse).
+void FuseInto(xml::Element* survivor, const xml::Element& donor,
+              DedupStats* stats) {
+  for (const xml::Attribute& attr : donor.attributes()) {
+    if (!survivor->HasAttribute(attr.name)) {
+      survivor->SetAttribute(attr.name, attr.value);
+      ++stats->attributes_fused;
+    }
+  }
+
+  // Existing child content of the survivor, as (name, deep text) pairs.
+  std::set<std::pair<std::string, std::string>> present;
+  for (const xml::Element* child : survivor->ChildElements()) {
+    present.insert({child->name(), child->DeepText()});
+  }
+  for (const xml::Element* child : donor.ChildElements()) {
+    std::pair<std::string, std::string> signature = {child->name(),
+                                                     child->DeepText()};
+    if (present.insert(signature).second) {
+      survivor->AddChild(child->Clone());
+      ++stats->children_fused;
+    }
+  }
+}
+
+}  // namespace
+
+util::Result<xml::Document> Deduplicate(const xml::Document& doc,
+                                        const DetectionResult& result,
+                                        RepresentativeStrategy strategy,
+                                        DedupStats* stats) {
+  if (doc.root() == nullptr) {
+    return util::Status::FailedPrecondition("document has no root");
+  }
+
+  DedupStats local_stats;
+  xml::Document deduped = doc.Clone();  // clone preserves pre-order IDs
+  deduped.AssignElementIds();
+
+  std::set<xml::ElementId> remove;
+  for (const CandidateResult& cand : result.candidates) {
+    for (const auto& cluster : cand.clusters.NonTrivialClusters()) {
+      ++local_stats.clusters_collapsed;
+
+      // Resolve ordinals to elements in the clone via the GK relation.
+      auto element_of =
+          [&](size_t ordinal) -> util::Result<xml::Element*> {
+        xml::ElementId eid = cand.gk.rows[ordinal].eid;
+        xml::Element* e = deduped.ElementById(eid);
+        if (e == nullptr) {
+          return util::Status::FailedPrecondition(
+              "detection result does not match document: missing eid " +
+              std::to_string(eid));
+        }
+        return e;
+      };
+
+      size_t representative = cluster.front();
+      if (strategy == RepresentativeStrategy::kRichest ||
+          strategy == RepresentativeStrategy::kFuse) {
+        size_t best_len = 0;
+        for (size_t ordinal : cluster) {
+          auto e = element_of(ordinal);
+          if (!e.ok()) return e.status();
+          size_t len = (*e)->DeepText().size();
+          if (len > best_len) {
+            best_len = len;
+            representative = ordinal;
+          }
+        }
+      }
+
+      if (strategy == RepresentativeStrategy::kFuse) {
+        auto survivor = element_of(representative);
+        if (!survivor.ok()) return survivor.status();
+        for (size_t ordinal : cluster) {
+          if (ordinal == representative) continue;
+          auto donor = element_of(ordinal);
+          if (!donor.ok()) return donor.status();
+          FuseInto(survivor.value(), *donor.value(), &local_stats);
+        }
+      }
+
+      for (size_t ordinal : cluster) {
+        if (ordinal == representative) continue;
+        remove.insert(cand.gk.rows[ordinal].eid);
+      }
+    }
+  }
+
+  if (deduped.root() != nullptr && remove.count(deduped.root()->id()) > 0) {
+    return util::Status::FailedPrecondition(
+        "cannot remove the document root as a duplicate");
+  }
+  RemoveMarked(deduped.root(), remove, &local_stats.elements_removed);
+  deduped.AssignElementIds();
+
+  if (stats != nullptr) *stats = local_stats;
+  return deduped;
+}
+
+}  // namespace sxnm::core

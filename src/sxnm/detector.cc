@@ -1,0 +1,157 @@
+#include "sxnm/detector.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sxnm/similarity_measure.h"
+#include "util/string_util.h"
+#include "sxnm/sliding_window.h"
+#include "sxnm/transitive_closure.h"
+
+namespace sxnm::core {
+
+using util::Result;
+using util::Status;
+
+const CandidateResult* DetectionResult::Find(std::string_view name) const {
+  for (const CandidateResult& c : candidates) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+double DetectionResult::KeyGenerationSeconds() const {
+  return timer.Seconds(kPhaseKeyGeneration);
+}
+
+double DetectionResult::SlidingWindowSeconds() const {
+  return timer.Seconds(kPhaseSlidingWindow);
+}
+
+double DetectionResult::TransitiveClosureSeconds() const {
+  return timer.Seconds(kPhaseTransitiveClosure);
+}
+
+double DetectionResult::DuplicateDetectionSeconds() const {
+  return SlidingWindowSeconds() + TransitiveClosureSeconds();
+}
+
+size_t DetectionResult::TotalComparisons() const {
+  size_t total = 0;
+  for (const CandidateResult& c : candidates) total += c.comparisons;
+  return total;
+}
+
+util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
+  SXNM_RETURN_IF_ERROR(config_.Validate());
+
+  DetectionResult result;
+
+  // --- Key generation phase (KG) -----------------------------------------
+  // Candidate discovery and GK construction happen together: both read the
+  // document once, mirroring the paper's single-pass key generation.
+  util::Stopwatch kg_watch;
+  auto forest_or = CandidateForest::Build(config_, doc);
+  if (!forest_or.ok()) return forest_or.status();
+  const CandidateForest& forest = forest_or.value();
+
+  std::vector<GkTable> gk(forest.candidates().size());
+  for (size_t t = 0; t < forest.candidates().size(); ++t) {
+    const CandidateInstances& instances = forest.candidates()[t];
+    gk[t] = GenerateKeys(*instances.config, instances);
+  }
+  result.timer.Add(kPhaseKeyGeneration, kg_watch.ElapsedSeconds());
+
+  // --- Duplicate detection phase (per candidate, bottom-up) ---------------
+  std::vector<ClusterSet> cluster_sets(forest.candidates().size());
+
+  for (size_t t : forest.ProcessingOrder()) {
+    const CandidateInstances& instances = forest.candidates()[t];
+    const CandidateConfig& cand = *instances.config;
+
+    // Child cluster sets are complete: children precede parents in the
+    // processing order.
+    std::vector<const ClusterSet*> child_sets;
+    if (cand.use_descendants && !instances.child_types.empty()) {
+      child_sets.reserve(instances.child_types.size());
+      for (size_t child : instances.child_types) {
+        child_sets.push_back(&cluster_sets[child]);
+      }
+    }
+    SimilarityMeasure measure(cand, instances, std::move(child_sets));
+
+    CandidateResult cand_result;
+    cand_result.name = cand.name;
+    cand_result.num_instances = instances.NumInstances();
+
+    // Multi-pass sorted window (SW).
+    util::Stopwatch sw_watch;
+    std::set<OrdinalPair> accepted;
+    std::set<OrdinalPair> compared;
+    const GkTable& table = gk[t];
+
+    if (cand.exact_od_prepass) {
+      // DE-SNM-style pre-pass: byte-identical normalized ODs are
+      // duplicates by definition; link members to the group's first
+      // instance (the closure expands the group).
+      std::map<std::string, size_t> first_of;
+      for (const GkRow& row : table.rows) {
+        std::string key;
+        for (const std::string& od : row.ods) {
+          key += util::ToLower(util::NormalizeWhitespace(od));
+          key += '\x1f';
+        }
+        auto [it, inserted] = first_of.emplace(std::move(key), row.ordinal);
+        if (!inserted) {
+          OrdinalPair pair = std::minmax(it->second, row.ordinal);
+          compared.insert(pair);
+          accepted.insert(pair);
+        }
+      }
+    }
+
+    for (size_t key_index = 0; key_index < table.num_keys; ++key_index) {
+      std::vector<size_t> order = table.SortedOrder(key_index);
+      auto visit = [&](size_t a, size_t b) {
+        OrdinalPair pair = std::minmax(a, b);
+        if (!compared.insert(pair).second) return;  // seen in earlier pass
+        ++cand_result.comparisons;
+        SimilarityVerdict verdict =
+            measure.Compare(table.rows[pair.first], table.rows[pair.second]);
+        if (verdict.is_duplicate) accepted.insert(pair);
+      };
+      if (cand.window_policy == WindowPolicy::kAdaptivePrefix) {
+        ForEachAdaptiveWindowPair(
+            order,
+            [&](size_t ordinal) -> const std::string& {
+              return table.rows[ordinal].keys[key_index];
+            },
+            cand.window_size, cand.max_window, cand.adaptive_prefix_len,
+            visit);
+      } else {
+        ForEachWindowPair(order, cand.window_size, visit);
+      }
+    }
+    cand_result.duplicate_pairs.assign(accepted.begin(), accepted.end());
+    for (const auto& [a, b] : cand_result.duplicate_pairs) {
+      cand_result.duplicate_eid_pairs.emplace_back(instances.eids[a],
+                                                   instances.eids[b]);
+    }
+    result.timer.Add(kPhaseSlidingWindow, sw_watch.ElapsedSeconds());
+
+    // Transitive closure (TC).
+    util::Stopwatch tc_watch;
+    cluster_sets[t] = ComputeTransitiveClosure(instances.NumInstances(),
+                                               cand_result.duplicate_pairs);
+    result.timer.Add(kPhaseTransitiveClosure, tc_watch.ElapsedSeconds());
+
+    cand_result.clusters = cluster_sets[t];
+    cand_result.gk = std::move(gk[t]);
+    result.candidates.push_back(std::move(cand_result));
+  }
+
+  return result;
+}
+
+}  // namespace sxnm::core

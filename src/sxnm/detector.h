@@ -1,0 +1,86 @@
+// The SXNM detector: orchestrates the full workflow of Fig. 1 —
+// key generation, then per-candidate multi-pass sorted-window duplicate
+// detection in bottom-up order, with per-phase wall-clock accounting
+// matching the paper's KG / SW / TC / DD breakdown (Experiment set 2).
+
+#ifndef SXNM_SXNM_DETECTOR_H_
+#define SXNM_SXNM_DETECTOR_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sxnm/candidate_tree.h"
+#include "sxnm/cluster_set.h"
+#include "sxnm/config.h"
+#include "sxnm/key_generation.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "xml/node.h"
+
+namespace sxnm::core {
+
+/// Phase names used in DetectionResult::timer.
+inline constexpr char kPhaseKeyGeneration[] = "key_generation";
+inline constexpr char kPhaseSlidingWindow[] = "sliding_window";
+inline constexpr char kPhaseTransitiveClosure[] = "transitive_closure";
+
+/// Detection output for one candidate.
+struct CandidateResult {
+  std::string name;
+  size_t num_instances = 0;
+
+  /// Pairs accepted by the similarity measure, as instance ordinals and as
+  /// document element IDs; deduplicated across passes, sorted.
+  std::vector<OrdinalPair> duplicate_pairs;
+  std::vector<std::pair<xml::ElementId, xml::ElementId>> duplicate_eid_pairs;
+
+  /// The cluster set CS_s after transitive closure.
+  ClusterSet clusters;
+
+  /// Similarity-measure invocations (windowed pairs actually compared).
+  size_t comparisons = 0;
+
+  /// The GK relation (kept for diagnostics, examples, and tests).
+  GkTable gk;
+};
+
+struct DetectionResult {
+  /// Per-candidate results in bottom-up processing order.
+  std::vector<CandidateResult> candidates;
+
+  /// Phase timings: kPhaseKeyGeneration / kPhaseSlidingWindow /
+  /// kPhaseTransitiveClosure.
+  util::PhaseTimer timer;
+
+  const CandidateResult* Find(std::string_view name) const;
+
+  double KeyGenerationSeconds() const;
+  double SlidingWindowSeconds() const;
+  double TransitiveClosureSeconds() const;
+  /// DD = SW + TC, the paper's "overall duplicate detection".
+  double DuplicateDetectionSeconds() const;
+
+  size_t TotalComparisons() const;
+};
+
+class Detector {
+ public:
+  /// The configuration is validated on first Run().
+  explicit Detector(Config config) : config_(std::move(config)) {}
+
+  const Config& config() const { return config_; }
+
+  /// Runs SXNM over `doc`. The document must have element IDs assigned
+  /// (xml::Parse does this; call doc.AssignElementIds() after manual
+  /// construction or mutation).
+  util::Result<DetectionResult> Run(const xml::Document& doc) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_DETECTOR_H_

@@ -1,0 +1,75 @@
+#include "sxnm/equational_theory.h"
+
+#include <algorithm>
+
+namespace sxnm::core {
+
+namespace {
+
+// Index of `pid` within `od_pids`, or -1.
+int IndexOfPid(const std::vector<int>& od_pids, int pid) {
+  for (size_t i = 0; i < od_pids.size(); ++i) {
+    if (od_pids[i] == pid) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool EquationalTheory::Fires(const std::vector<double>& od_sims,
+                             const std::vector<int>& od_pids,
+                             double desc_sim) const {
+  for (const Rule& rule : rules_) {
+    bool all_hold = !rule.conditions.empty();
+    for (const RuleCondition& cond : rule.conditions) {
+      double sim;
+      if (cond.pid == RuleCondition::kDescendants) {
+        if (desc_sim < 0.0) {
+          all_hold = false;
+          break;
+        }
+        sim = desc_sim;
+      } else {
+        int index = IndexOfPid(od_pids, cond.pid);
+        if (index < 0) {
+          all_hold = false;
+          break;
+        }
+        sim = od_sims[static_cast<size_t>(index)];
+      }
+      if (sim < cond.min_similarity) {
+        all_hold = false;
+        break;
+      }
+    }
+    if (all_hold) return true;
+  }
+  return false;
+}
+
+util::Status EquationalTheory::Validate(
+    const std::vector<int>& od_pids) const {
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const Rule& rule = rules_[r];
+    if (rule.conditions.empty()) {
+      return util::Status::InvalidArgument(
+          "rule " + std::to_string(r + 1) + " has no conditions");
+    }
+    for (const RuleCondition& cond : rule.conditions) {
+      if (cond.min_similarity < 0.0 || cond.min_similarity > 1.0) {
+        return util::Status::InvalidArgument(
+            "rule " + std::to_string(r + 1) +
+            ": min similarity out of [0,1]");
+      }
+      if (cond.pid != RuleCondition::kDescendants &&
+          IndexOfPid(od_pids, cond.pid) < 0) {
+        return util::Status::InvalidArgument(
+            "rule " + std::to_string(r + 1) + " references pid " +
+            std::to_string(cond.pid) + " which is not an OD entry");
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace sxnm::core

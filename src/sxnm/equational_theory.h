@@ -1,0 +1,81 @@
+// Equational theory for duplicate classification (Sec. 5 outlook; the
+// relational SNM of Hernández & Stolfo uses one instead of a plain
+// threshold).
+//
+// A theory is a *disjunction of rules*; a rule is a *conjunction of
+// conditions* over the per-component OD similarities and (optionally) the
+// descendant similarity:
+//
+//   rule 1: sim(did)   >= 0.95                         -> duplicates
+//   rule 2: sim(artist)>= 0.85 AND sim(dtitle) >= 0.8
+//           AND desc   >= 0.3                          -> duplicates
+//
+// When a candidate carries a theory, rule evaluation replaces the
+// threshold-based classification of the similarity measure (the OD and
+// descendant similarities are still computed the same way and reported in
+// the verdict).
+
+#ifndef SXNM_SXNM_EQUATIONAL_THEORY_H_
+#define SXNM_SXNM_EQUATIONAL_THEORY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sxnm::core {
+
+/// One conjunct of a rule.
+struct RuleCondition {
+  /// Path id of the OD entry the condition constrains, or kDescendants
+  /// for a condition on the descendant similarity.
+  static constexpr int kDescendants = -1;
+
+  int pid = 0;
+  double min_similarity = 1.0;
+
+  bool operator==(const RuleCondition&) const = default;
+};
+
+/// A conjunction of conditions; fires when all conditions hold.
+struct Rule {
+  std::vector<RuleCondition> conditions;
+
+  bool operator==(const Rule&) const = default;
+};
+
+/// A disjunction of rules. An empty theory never fires (callers fall back
+/// to threshold classification).
+class EquationalTheory {
+ public:
+  EquationalTheory() = default;
+  explicit EquationalTheory(std::vector<Rule> rules)
+      : rules_(std::move(rules)) {}
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<Rule>& rules() const { return rules_; }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Evaluates the theory.
+  ///   `od_sims`   — per-OD-entry similarities, parallel to the entries;
+  ///   `od_pids`   — the pid of each entry (same order);
+  ///   `desc_sim`  — descendant similarity, or a negative value when no
+  ///                 descendant information exists (conditions on
+  ///                 kDescendants then fail).
+  /// A condition referencing a pid that is not in `od_pids` fails.
+  bool Fires(const std::vector<double>& od_sims,
+             const std::vector<int>& od_pids, double desc_sim) const;
+
+  /// Validation helper: every condition pid must be kDescendants or a
+  /// member of `od_pids`, and min_similarity within [0, 1].
+  util::Status Validate(const std::vector<int>& od_pids) const;
+
+  bool operator==(const EquationalTheory&) const = default;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_EQUATIONAL_THEORY_H_

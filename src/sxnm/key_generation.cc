@@ -1,0 +1,79 @@
+#include "sxnm/key_generation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace sxnm::core {
+
+std::vector<size_t> GkTable::SortedOrder(size_t key_index) const {
+  assert(key_index < num_keys || (num_keys == 0 && key_index == 0));
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rows[a].keys[key_index] < rows[b].keys[key_index];
+  });
+  return order;
+}
+
+GkTable GenerateKeys(const CandidateConfig& candidate,
+                     const std::vector<const xml::Element*>& elements,
+                     const std::vector<xml::ElementId>& eids) {
+  assert(elements.size() == eids.size());
+  GkTable table;
+  table.num_keys = candidate.keys.size();
+  table.num_od = candidate.od.size();
+  table.rows.reserve(elements.size());
+
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const xml::Element& element = *elements[i];
+    GkRow row;
+    row.ordinal = i;
+    row.eid = eids[i];
+
+    // Each path referenced by a key or the OD is evaluated at most once.
+    std::map<int, std::string> value_cache;
+    auto value_of = [&](int pid) -> const std::string& {
+      auto it = value_cache.find(pid);
+      if (it == value_cache.end()) {
+        const PathEntry* path = candidate.FindPath(pid);
+        std::string value =
+            path != nullptr ? path->path.SelectFirstValue(element) : "";
+        it = value_cache.emplace(pid, std::move(value)).first;
+      }
+      return it->second;
+    };
+
+    row.keys.reserve(candidate.keys.size());
+    for (const KeyDef& key : candidate.keys) {
+      // Parts are applied in `order` sequence.
+      std::vector<const KeyPartRef*> parts;
+      parts.reserve(key.parts.size());
+      for (const KeyPartRef& part : key.parts) parts.push_back(&part);
+      std::stable_sort(parts.begin(), parts.end(),
+                       [](const KeyPartRef* a, const KeyPartRef* b) {
+                         return a->order < b->order;
+                       });
+      std::string generated;
+      for (const KeyPartRef* part : parts) {
+        generated += part->pattern.Apply(value_of(part->pid));
+      }
+      row.keys.push_back(std::move(generated));
+    }
+
+    row.ods.reserve(candidate.od.size());
+    for (const OdEntry& od : candidate.od) {
+      row.ods.push_back(value_of(od.pid));
+    }
+
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+GkTable GenerateKeys(const CandidateConfig& candidate,
+                     const CandidateInstances& instances) {
+  return GenerateKeys(candidate, instances.elements, instances.eids);
+}
+
+}  // namespace sxnm::core

@@ -1,0 +1,56 @@
+// Key generation phase (Sec. 3.3): builds the GK relation
+//   GK_s = (eid, key_1, ..., key_n, od_1, ..., od_m)
+// for a candidate. Keys and object descriptions are extracted together in
+// one traversal of the candidate's instances, exactly as the paper's key
+// generation reads the data in a single pass.
+
+#ifndef SXNM_SXNM_KEY_GENERATION_H_
+#define SXNM_SXNM_KEY_GENERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "sxnm/candidate_tree.h"
+#include "sxnm/config.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::core {
+
+/// One tuple of GK_s.
+struct GkRow {
+  size_t ordinal = 0;        // instance ordinal within the candidate
+  xml::ElementId eid = xml::kInvalidElementId;
+  std::vector<std::string> keys;  // one per KeyDef, in definition order
+  std::vector<std::string> ods;   // one per OdEntry, in definition order
+};
+
+/// The GK relation of one candidate.
+struct GkTable {
+  std::vector<GkRow> rows;
+  size_t num_keys = 0;
+  size_t num_od = 0;
+
+  /// Row indices sorted lexicographically by keys[key_index]
+  /// (stable: ties keep instance order). `key_index < num_keys`.
+  std::vector<size_t> SortedOrder(size_t key_index) const;
+};
+
+/// Builds GK for `candidate` over `elements`/`eids` (parallel vectors, as
+/// produced by CandidateForest). Each key is the concatenation of its
+/// parts in `order`-sequence, each part being the part's pattern applied
+/// to the first value of the part's relative path; missing values
+/// contribute an empty fragment (the paper's "missing year" case, which
+/// produces poorly sorted keys — Fig. 4 discussion). OD values are the
+/// first value of each OD path, empty when the path selects nothing.
+GkTable GenerateKeys(const CandidateConfig& candidate,
+                     const std::vector<const xml::Element*>& elements,
+                     const std::vector<xml::ElementId>& eids);
+
+/// Convenience overload over a CandidateInstances record.
+GkTable GenerateKeys(const CandidateConfig& candidate,
+                     const CandidateInstances& instances);
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_KEY_GENERATION_H_

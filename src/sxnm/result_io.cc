@@ -1,0 +1,121 @@
+#include "sxnm/result_io.h"
+
+#include <memory>
+
+#include "util/string_util.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace sxnm::core {
+
+using util::Result;
+using util::Status;
+
+const StoredCandidateResult* StoredDetectionResult::Find(
+    std::string_view name) const {
+  for (const StoredCandidateResult& c : candidates) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+xml::Document ResultToXml(const DetectionResult& result) {
+  auto root = std::make_unique<xml::Element>("sxnm-result");
+  for (const CandidateResult& cand : result.candidates) {
+    xml::Element* celem = root->AddElement("candidate");
+    celem->SetAttribute("name", cand.name);
+    celem->SetAttribute("instances", std::to_string(cand.num_instances));
+    for (const auto& cluster : cand.clusters.NonTrivialClusters()) {
+      xml::Element* cl = celem->AddElement("cluster");
+      cl->SetAttribute(
+          "cid", std::to_string(cand.clusters.cid(cluster.front())));
+      for (size_t ordinal : cluster) {
+        xml::Element* member = cl->AddElement("member");
+        member->SetAttribute("ordinal", std::to_string(ordinal));
+        member->SetAttribute("eid",
+                             std::to_string(cand.gk.rows[ordinal].eid));
+      }
+    }
+  }
+  xml::Document doc;
+  doc.SetRoot(std::move(root));
+  return doc;
+}
+
+std::string ResultToXmlString(const DetectionResult& result) {
+  return xml::WriteDocument(ResultToXml(result));
+}
+
+util::Result<StoredDetectionResult> ResultFromXml(const xml::Document& doc) {
+  if (doc.root() == nullptr || doc.root()->name() != "sxnm-result") {
+    return Status::ParseError("expected root element <sxnm-result>");
+  }
+
+  StoredDetectionResult stored;
+  for (const xml::Element* celem : doc.root()->ChildElements("candidate")) {
+    StoredCandidateResult cand;
+    cand.name = celem->AttributeOr("name", "");
+    if (cand.name.empty()) {
+      return Status::ParseError("<candidate> without name");
+    }
+    int instances = util::ParseNonNegativeInt(
+        util::TrimView(celem->AttributeOr("instances", "")));
+    if (instances < 0) {
+      return Status::ParseError("candidate '" + cand.name +
+                                "': bad instances attribute");
+    }
+    cand.num_instances = static_cast<size_t>(instances);
+    cand.eids.assign(cand.num_instances, xml::kInvalidElementId);
+
+    std::vector<std::vector<size_t>> clusters;
+    for (const xml::Element* cl : celem->ChildElements("cluster")) {
+      std::vector<size_t> members;
+      for (const xml::Element* member : cl->ChildElements("member")) {
+        int ordinal = util::ParseNonNegativeInt(
+            util::TrimView(member->AttributeOr("ordinal", "")));
+        if (ordinal < 0 ||
+            static_cast<size_t>(ordinal) >= cand.num_instances) {
+          return Status::ParseError("candidate '" + cand.name +
+                                    "': member ordinal out of range");
+        }
+        int eid = util::ParseNonNegativeInt(
+            util::TrimView(member->AttributeOr("eid", "")));
+        if (eid >= 0) {
+          cand.eids[static_cast<size_t>(ordinal)] =
+              static_cast<xml::ElementId>(eid);
+        }
+        members.push_back(static_cast<size_t>(ordinal));
+      }
+      if (members.size() < 2) {
+        return Status::ParseError("candidate '" + cand.name +
+                                  "': cluster with fewer than 2 members");
+      }
+      clusters.push_back(std::move(members));
+    }
+    // FromClusters asserts disjointness in debug; verify here for release.
+    std::vector<bool> seen(cand.num_instances, false);
+    for (const auto& cluster : clusters) {
+      for (size_t ordinal : cluster) {
+        if (seen[ordinal]) {
+          return Status::ParseError("candidate '" + cand.name +
+                                    "': ordinal " + std::to_string(ordinal) +
+                                    " appears in two clusters");
+        }
+        seen[ordinal] = true;
+      }
+    }
+    cand.clusters =
+        ClusterSet::FromClusters(std::move(clusters), cand.num_instances);
+    stored.candidates.push_back(std::move(cand));
+  }
+  return stored;
+}
+
+util::Result<StoredDetectionResult> ResultFromXmlString(
+    std::string_view text) {
+  auto doc = xml::Parse(text);
+  if (!doc.ok()) return doc.status();
+  return ResultFromXml(doc.value());
+}
+
+}  // namespace sxnm::core

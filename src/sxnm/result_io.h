@@ -1,0 +1,59 @@
+// Persistence for detection results — the paper's CS tables: "For every
+// candidate, the result of duplicate detection can be retrieved from the
+// corresponding CS table for further processing" (Sec. 3.1/3.4).
+//
+// The serialized form keeps, per candidate, the instance count and every
+// non-trivial cluster with its members' ordinals and element IDs:
+//
+//   <sxnm-result>
+//     <candidate name="movie" instances="279">
+//       <cluster cid="0">
+//         <member ordinal="3" eid="941"/>
+//         <member ordinal="17" eid="1797"/>
+//       </cluster>
+//     </candidate>
+//   </sxnm-result>
+//
+// Singleton clusters are implied. GK contents and timings are not
+// persisted (re-derivable / run-specific).
+
+#ifndef SXNM_SXNM_RESULT_IO_H_
+#define SXNM_SXNM_RESULT_IO_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sxnm/detector.h"
+
+namespace sxnm::core {
+
+/// A candidate's persisted cluster set.
+struct StoredCandidateResult {
+  std::string name;
+  size_t num_instances = 0;
+  ClusterSet clusters;
+  /// Element IDs per instance ordinal (kInvalidElementId where unknown —
+  /// only ordinals that appear in non-trivial clusters are stored).
+  std::vector<xml::ElementId> eids;
+};
+
+struct StoredDetectionResult {
+  std::vector<StoredCandidateResult> candidates;
+
+  const StoredCandidateResult* Find(std::string_view name) const;
+};
+
+/// Serializes the cluster sets of `result`.
+xml::Document ResultToXml(const DetectionResult& result);
+std::string ResultToXmlString(const DetectionResult& result);
+
+/// Parses a previously serialized result document.
+util::Result<StoredDetectionResult> ResultFromXml(const xml::Document& doc);
+util::Result<StoredDetectionResult> ResultFromXmlString(
+    std::string_view text);
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_RESULT_IO_H_

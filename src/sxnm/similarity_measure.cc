@@ -1,0 +1,152 @@
+#include "sxnm/similarity_measure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sxnm::core {
+
+SimilarityMeasure::SimilarityMeasure(
+    const CandidateConfig& config, const CandidateInstances& instances,
+    std::vector<const ClusterSet*> child_cluster_sets)
+    : config_(config),
+      instances_(instances),
+      child_cluster_sets_(std::move(child_cluster_sets)) {
+  assert(child_cluster_sets_.empty() ||
+         child_cluster_sets_.size() == instances_.child_types.size());
+}
+
+double SimilarityMeasure::OdSimilarity(const GkRow& a, const GkRow& b) const {
+  // Components missing on *both* sides carry no information and are
+  // excluded, with the relevancies renormalized over the remaining
+  // components — the paper's "comparisons were then only performed on
+  // 'readable' attributes" behaviour. A value present on one side only
+  // still counts (as dissimilarity evidence).
+  double sim = 0.0;
+  double weight = 0.0;
+  for (size_t i = 0; i < config_.od.size(); ++i) {
+    const OdEntry& od = config_.od[i];
+    if (a.ods[i].empty() && b.ods[i].empty()) continue;
+    sim += od.relevance * od.similarity(a.ods[i], b.ods[i]);
+    weight += od.relevance;
+  }
+  if (weight <= 0.0) return 0.0;  // nothing comparable at all
+  return sim / weight;
+}
+
+std::vector<double> SimilarityMeasure::ComponentSimilarities(
+    const GkRow& a, const GkRow& b) const {
+  std::vector<double> sims;
+  sims.reserve(config_.od.size());
+  for (size_t i = 0; i < config_.od.size(); ++i) {
+    if (a.ods[i].empty() && b.ods[i].empty()) {
+      sims.push_back(0.0);
+    } else {
+      sims.push_back(config_.od[i].similarity(a.ods[i], b.ods[i]));
+    }
+  }
+  return sims;
+}
+
+double SimilarityMeasure::DescendantSimilarity(size_t ordinal_a,
+                                               size_t ordinal_b) const {
+  if (child_cluster_sets_.empty()) return -1.0;
+
+  double sum = 0.0;
+  size_t comparable_types = 0;
+
+  for (size_t slot = 0; slot < child_cluster_sets_.size(); ++slot) {
+    const ClusterSet* clusters = child_cluster_sets_[slot];
+    if (clusters == nullptr) continue;
+    const auto& per_instance = instances_.desc_instances[slot];
+    const std::vector<size_t>& desc_a = per_instance[ordinal_a];
+    const std::vector<size_t>& desc_b = per_instance[ordinal_b];
+    if (desc_a.empty() && desc_b.empty()) continue;  // nothing to compare
+
+    // l_e lists of Def. 3, as cluster-ID sets.
+    std::set<int> cids_a, cids_b;
+    for (size_t d : desc_a) cids_a.insert(clusters->cid(d));
+    for (size_t d : desc_b) cids_b.insert(clusters->cid(d));
+
+    size_t overlap = 0;
+    for (int cid : cids_a) overlap += cids_b.count(cid);
+    size_t unions = cids_a.size() + cids_b.size() - overlap;
+    double phi_desc =
+        unions == 0 ? 0.0
+                    : static_cast<double>(overlap) / static_cast<double>(unions);
+    sum += phi_desc;
+    ++comparable_types;
+  }
+
+  if (comparable_types == 0) return -1.0;
+  return sum / static_cast<double>(comparable_types);  // agg() = average
+}
+
+SimilarityVerdict SimilarityMeasure::Compare(const GkRow& a,
+                                             const GkRow& b) const {
+  const ClassifierConfig& cls = config_.classifier;
+  SimilarityVerdict verdict;
+  verdict.od_sim = OdSimilarity(a, b);
+
+  double desc = -1.0;
+  if (config_.use_descendants &&
+      (cls.mode != CombineMode::kOdOnly || !config_.theory.empty())) {
+    desc = DescendantSimilarity(a.ordinal, b.ordinal);
+  }
+  verdict.used_descendants = desc >= 0.0;
+  verdict.desc_sim = verdict.used_descendants ? desc : 0.0;
+
+  if (!config_.theory.empty()) {
+    // Equational theory replaces the threshold classification (Sec. 5).
+    std::vector<int> od_pids;
+    od_pids.reserve(config_.od.size());
+    for (const OdEntry& od : config_.od) od_pids.push_back(od.pid);
+    verdict.combined = verdict.od_sim;
+    verdict.is_duplicate =
+        config_.theory.Fires(ComponentSimilarities(a, b), od_pids, desc);
+    return verdict;
+  }
+
+  if (!verdict.used_descendants) {
+    // Leaf candidate, descendants disabled, or no descendant info for the
+    // pair: classify on the object description alone.
+    verdict.combined = verdict.od_sim;
+    verdict.is_duplicate = verdict.od_sim >= cls.od_threshold;
+    return verdict;
+  }
+
+  switch (cls.mode) {
+    case CombineMode::kOdOnly:
+      verdict.combined = verdict.od_sim;
+      break;
+    case CombineMode::kAverage:
+      verdict.combined = 0.5 * (verdict.od_sim + verdict.desc_sim);
+      break;
+    case CombineMode::kWeighted:
+      verdict.combined = cls.od_weight * verdict.od_sim +
+                         (1.0 - cls.od_weight) * verdict.desc_sim;
+      break;
+    case CombineMode::kDescBoost: {
+      // The paper's Experiment set 3 reading: a descendant overlap above
+      // the descendants threshold means the children sets are similar
+      // (full credit), compensating the harsh Jaccard of non-overlapping
+      // children.
+      double boosted =
+          verdict.desc_sim >= cls.desc_threshold ? 1.0 : verdict.desc_sim;
+      verdict.combined = 0.5 * (verdict.od_sim + boosted);
+      break;
+    }
+    case CombineMode::kDescGate:
+      // The OD decides; descendants act as a veto: real duplicates share
+      // at least a small fraction of their children's clusters, whereas
+      // confusers (e.g. series CDs with disjoint track lists) do not.
+      verdict.combined = verdict.od_sim;
+      verdict.is_duplicate = verdict.od_sim >= cls.od_threshold &&
+                             verdict.desc_sim >= cls.desc_threshold;
+      return verdict;
+  }
+  verdict.is_duplicate = verdict.combined >= cls.od_threshold;
+  return verdict;
+}
+
+}  // namespace sxnm::core

@@ -1,0 +1,70 @@
+// SXNM similarity measure: OD similarity (Def. 2), descendant similarity
+// (Def. 3), and their combination into a duplicate classification.
+
+#ifndef SXNM_SXNM_SIMILARITY_MEASURE_H_
+#define SXNM_SXNM_SIMILARITY_MEASURE_H_
+
+#include <vector>
+
+#include "sxnm/candidate_tree.h"
+#include "sxnm/cluster_set.h"
+#include "sxnm/config.h"
+#include "sxnm/key_generation.h"
+
+namespace sxnm::core {
+
+/// Outcome of comparing two candidate instances.
+struct SimilarityVerdict {
+  double od_sim = 0.0;        // sim^OD (Def. 2)
+  double desc_sim = 0.0;      // sim^Desc (Def. 3); meaningful only when
+                              // used_descendants
+  double combined = 0.0;      // sim^comb
+  bool used_descendants = false;
+  bool is_duplicate = false;
+};
+
+/// Compares instances of one candidate. Descendant information is
+/// optional: pass the child cluster sets produced earlier in the
+/// bottom-up order (parallel to `instances.child_types`); pass an empty
+/// vector for leaf candidates or when descendants are disabled.
+class SimilarityMeasure {
+ public:
+  /// `instances` and each element of `child_cluster_sets` must outlive
+  /// this object. `child_cluster_sets` is either empty or parallel to
+  /// `instances.child_types`.
+  SimilarityMeasure(const CandidateConfig& config,
+                    const CandidateInstances& instances,
+                    std::vector<const ClusterSet*> child_cluster_sets);
+
+  /// Weighted φ^OD similarity of two GK rows (Def. 2). Relevancies are
+  /// normalized to sum to 1 over the *comparable* components: entries
+  /// whose value is missing on both sides are skipped (no information),
+  /// so e.g. two discs both lacking a <did> are compared on the remaining
+  /// fields alone. Returns 0 when nothing is comparable.
+  double OdSimilarity(const GkRow& a, const GkRow& b) const;
+
+  /// Per-OD-entry similarities (parallel to the config's OD entries).
+  /// Components missing on both sides yield 0.0 here (an equational-
+  /// theory condition on such a component fails).
+  std::vector<double> ComponentSimilarities(const GkRow& a,
+                                            const GkRow& b) const;
+
+  /// Descendant similarity (Def. 3): per child type, the Jaccard ratio of
+  /// the two instances' descendant cluster-ID sets; aggregated by
+  /// averaging over child types where at least one side has descendants.
+  /// Returns -1 when no child type yields a comparable pair (no
+  /// descendant information at all).
+  double DescendantSimilarity(size_t ordinal_a, size_t ordinal_b) const;
+
+  /// Full comparison as performed inside the sliding window.
+  SimilarityVerdict Compare(const GkRow& a, const GkRow& b) const;
+
+ private:
+  const CandidateConfig& config_;
+  const CandidateInstances& instances_;
+  std::vector<const ClusterSet*> child_cluster_sets_;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_SIMILARITY_MEASURE_H_

@@ -1,0 +1,48 @@
+// Sliding-window pair enumeration — the heart of SNM/SXNM efficiency.
+//
+// A window of size w advances one position at a time over a sorted order;
+// the element entering the window is compared with the w-1 elements
+// already inside. Thus every pair of elements within sort distance < w is
+// visited exactly once per pass, and a full pass costs (n - w + 1)·(w - 1)
+// + C(w-1, 2) comparisons — linear in n for fixed w.
+
+#ifndef SXNM_SXNM_SLIDING_WINDOW_H_
+#define SXNM_SXNM_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sxnm::core {
+
+/// Calls `visit(a, b)` for every pair of values of `order` at positions
+/// within distance < window of each other, in increasing position order;
+/// `a` precedes `b` in `order`. window >= 2; a window larger than the
+/// sequence degenerates to all pairs.
+void ForEachWindowPair(const std::vector<size_t>& order, size_t window,
+                       const std::function<void(size_t, size_t)>& visit);
+
+/// Number of pairs ForEachWindowPair visits for `n` elements.
+size_t WindowPairCount(size_t n, size_t window);
+
+/// Adaptive windowing (the paper's outlook cites Lehti & Fankhauser's
+/// precise blocking [20]): every pair within the base window is visited
+/// as usual, and the neighborhood *extends* beyond it — up to
+/// `max_window` — for as long as the sort keys still share a prefix of
+/// `prefix_len` characters with the entering element's key. Duplicates
+/// stranded in long runs of near-equal keys are reached without paying a
+/// large window everywhere.
+///
+/// `key_of(v)` returns the sort key of value `v` of `order` for the
+/// current pass. Requires 2 <= base_window <= max_window and
+/// prefix_len >= 1.
+void ForEachAdaptiveWindowPair(
+    const std::vector<size_t>& order,
+    const std::function<const std::string&(size_t)>& key_of,
+    size_t base_window, size_t max_window, size_t prefix_len,
+    const std::function<void(size_t, size_t)>& visit);
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_SLIDING_WINDOW_H_

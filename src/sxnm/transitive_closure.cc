@@ -1,0 +1,14 @@
+#include "sxnm/transitive_closure.h"
+
+#include "util/union_find.h"
+
+namespace sxnm::core {
+
+ClusterSet ComputeTransitiveClosure(size_t num_instances,
+                                    const std::vector<OrdinalPair>& pairs) {
+  util::UnionFind uf(num_instances);
+  for (const auto& [a, b] : pairs) uf.Union(a, b);
+  return ClusterSet::FromClusters(uf.Clusters(/*min_size=*/2), num_instances);
+}
+
+}  // namespace sxnm::core

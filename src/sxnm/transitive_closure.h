@@ -1,0 +1,23 @@
+// Transitive closure over duplicate pairs (Sec. 3.4): pairs accepted by the
+// sliding window across all passes are closed into the candidate's cluster
+// set (Def. 1) using union-find.
+
+#ifndef SXNM_SXNM_TRANSITIVE_CLOSURE_H_
+#define SXNM_SXNM_TRANSITIVE_CLOSURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sxnm/cluster_set.h"
+
+namespace sxnm::core {
+
+/// Closes `pairs` (ordinal pairs over 0..num_instances-1) transitively and
+/// returns the resulting partition; instances untouched by any pair become
+/// singleton clusters.
+ClusterSet ComputeTransitiveClosure(size_t num_instances,
+                                    const std::vector<OrdinalPair>& pairs);
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_TRANSITIVE_CLOSURE_H_

@@ -1,0 +1,104 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sxnm::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+
+  // Single-row DP over the shorter string.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];  // D[i-1][j]
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                  size_t limit) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > limit) return limit + 1;
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    size_t row_min = row[0];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (row_min > limit) return limit + 1;
+  }
+  return std::min(row[b.size()], limit + 1);
+}
+
+size_t OsaDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+
+  // Three rolling rows: i-2, i-1, i.
+  size_t width = b.size() + 1;
+  std::vector<size_t> prev2(width), prev(width), cur(width);
+  for (size_t j = 0; j < width; ++j) prev[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({cur[j - 1] + 1, prev[j] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+namespace {
+
+double NormalizeDistance(size_t distance, size_t len_a, size_t len_b) {
+  size_t longest = std::max(len_a, len_b);
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+}  // namespace
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  return NormalizeDistance(LevenshteinDistance(a, b), a.size(), b.size());
+}
+
+double OsaSimilarity(std::string_view a, std::string_view b) {
+  return NormalizeDistance(OsaDistance(a, b), a.size(), b.size());
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  std::string na = util::ToLower(util::NormalizeWhitespace(a));
+  std::string nb = util::ToLower(util::NormalizeWhitespace(b));
+  return EditSimilarity(na, nb);
+}
+
+}  // namespace sxnm::text

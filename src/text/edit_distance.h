@@ -1,0 +1,46 @@
+// Edit-distance based string similarity — the paper's default φ^OD
+// function (Def. 2 cites the classic dynamic-programming string distance).
+//
+// All similarity functions in sxnm::text map two strings to [0, 1], where
+// 1 means identical. The shared convention for missing data: two empty
+// strings are perfectly similar (1.0); an empty vs a non-empty string has
+// similarity 0.0.
+
+#ifndef SXNM_TEXT_EDIT_DISTANCE_H_
+#define SXNM_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace sxnm::text {
+
+/// Levenshtein distance (unit-cost insert/delete/substitute).
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with early exit: returns `limit + 1` as soon as the
+/// distance provably exceeds `limit`. Used by filters and benchmarks.
+size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                  size_t limit);
+
+/// Optimal-string-alignment (restricted Damerau-Levenshtein) distance:
+/// like Levenshtein plus transposition of two adjacent characters as a
+/// single operation. A good match for the dirty-data generator's
+/// "swap characters" error.
+size_t OsaDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(|a|, |b|), i.e. normalized Levenshtein similarity.
+/// Returns 1.0 for two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Normalized OSA similarity (transposition-aware).
+double OsaSimilarity(std::string_view a, std::string_view b);
+
+/// Case-insensitive, whitespace-normalized edit similarity: both inputs
+/// are lowercased and whitespace-collapsed before comparison. This is the
+/// φ^OD default used throughout the experiments.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace sxnm::text
+
+#endif  // SXNM_TEXT_EDIT_DISTANCE_H_

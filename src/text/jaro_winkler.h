@@ -1,0 +1,24 @@
+// Jaro and Jaro-Winkler similarity — an alternative φ^OD for short,
+// name-like strings (persons, artists). Used in the φ-function ablation
+// bench (A3 in DESIGN.md).
+
+#ifndef SXNM_TEXT_JARO_WINKLER_H_
+#define SXNM_TEXT_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace sxnm::text {
+
+/// Classic Jaro similarity in [0, 1]. Two empty strings score 1.0;
+/// one empty string scores 0.0.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by a common-prefix bonus.
+/// `prefix_scale` is Winkler's p (default 0.1, capped so that the result
+/// stays within [0, 1] for prefixes up to 4 characters).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace sxnm::text
+
+#endif  // SXNM_TEXT_JARO_WINKLER_H_

@@ -1,0 +1,99 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "text/edit_distance.h"
+#include "util/string_util.h"
+
+namespace sxnm::text {
+
+std::vector<std::string> QGramProfile(std::string_view s, size_t q) {
+  std::vector<std::string> grams;
+  if (q == 0) return grams;
+  std::string padded(q - 1, '#');
+  padded += s;
+  padded.append(q - 1, '#');
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+
+  std::map<std::string, size_t> counts;
+  for (auto& g : QGramProfile(a, q)) ++counts[std::move(g)];
+  size_t size_a = 0, size_b = 0, overlap = 0;
+  for (const auto& [gram, count] : counts) size_a += count;
+
+  for (auto& g : QGramProfile(b, q)) {
+    ++size_b;
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++overlap;
+    }
+  }
+  return 2.0 * static_cast<double>(overlap) /
+         static_cast<double>(size_a + size_b);
+}
+
+double WordJaccardSimilarity(std::string_view a, std::string_view b) {
+  std::set<std::string> words_a, words_b;
+  for (auto& w : util::SplitWhitespace(a)) words_a.insert(util::ToLower(w));
+  for (auto& w : util::SplitWhitespace(b)) words_b.insert(util::ToLower(w));
+  if (words_a.empty() && words_b.empty()) return 1.0;
+  if (words_a.empty() || words_b.empty()) return 0.0;
+
+  size_t overlap = 0;
+  for (const auto& w : words_a) overlap += words_b.count(w);
+  size_t unions = words_a.size() + words_b.size() - overlap;
+  return static_cast<double>(overlap) / static_cast<double>(unions);
+}
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> tokens_a = util::SplitWhitespace(util::ToLower(a));
+  std::vector<std::string> tokens_b = util::SplitWhitespace(util::ToLower(b));
+  if (tokens_a.empty() && tokens_b.empty()) return 1.0;
+  if (tokens_a.empty() || tokens_b.empty()) return 0.0;
+
+  // Iterate over the shorter token list so that supersets score well
+  // symmetrically ("Keanu Reeves" ⊂ "Keanu Charles Reeves").
+  const std::vector<std::string>* outer = &tokens_a;
+  const std::vector<std::string>* inner = &tokens_b;
+  if (outer->size() > inner->size()) std::swap(outer, inner);
+
+  // Strip leading/trailing ASCII punctuation ("reeves," vs "reeves");
+  // falls back to the raw token when stripping would empty it (non-Latin
+  // tokens).
+  auto strip = [](const std::string& s) -> std::string_view {
+    auto is_word = [](char c) {
+      return util::IsAsciiAlpha(c) || util::IsAsciiDigit(c) ||
+             static_cast<unsigned char>(c) >= 0x80;
+    };
+    size_t b = 0, e = s.size();
+    while (b < e && !is_word(s[b])) ++b;
+    while (e > b && !is_word(s[e - 1])) --e;
+    if (b >= e) return s;
+    return std::string_view(s).substr(b, e - b);
+  };
+
+  double total = 0.0;
+  for (const std::string& t : *outer) {
+    double best = 0.0;
+    for (const std::string& u : *inner) {
+      best = std::max(best, EditSimilarity(strip(t), strip(u)));
+      if (best >= 1.0) break;
+    }
+    total += best;
+  }
+  return total / static_cast<double>(outer->size());
+}
+
+}  // namespace sxnm::text

@@ -1,0 +1,36 @@
+// Positional-free q-gram similarity — a token-level alternative φ^OD that
+// is robust to word reorderings ("Reeves, Keanu" vs "Keanu Reeves").
+
+#ifndef SXNM_TEXT_QGRAM_H_
+#define SXNM_TEXT_QGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sxnm::text {
+
+/// Produces the multiset of q-grams of `s` after padding with q-1 copies of
+/// '#' on both sides (so short strings still produce grams).
+/// Profile("ab", 2) == {"#a", "ab", "b#"}.
+std::vector<std::string> QGramProfile(std::string_view s, size_t q);
+
+/// Dice coefficient over q-gram multisets: 2*|A∩B| / (|A|+|B|).
+/// Two empty strings score 1.0; one empty string scores 0.0.
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q);
+
+/// Jaccard coefficient over *word* sets (whitespace tokens, lowercased):
+/// |A∩B| / |A∪B|. Useful for multi-word titles.
+double WordJaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Monge-Elkan similarity (the domain-independent matcher of Monge &
+/// Elkan, [14] in the paper): tokenize both strings; for every token of
+/// the shorter side take its best edit-similarity match on the other
+/// side; return the average of those best matches. Robust to token
+/// reordering and extra tokens ("Keanu Reeves" vs "Reeves, Keanu C.").
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace sxnm::text
+
+#endif  // SXNM_TEXT_QGRAM_H_

@@ -1,0 +1,127 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/edit_distance.h"
+#include "text/jaro_winkler.h"
+#include "text/qgram.h"
+#include "text/soundex.h"
+#include "util/string_util.h"
+
+namespace sxnm::text {
+
+double NumericSimilarity(std::string_view a, std::string_view b,
+                         double scale) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  double va = util::ParseDoubleOr(a, kNan);
+  double vb = util::ParseDoubleOr(b, kNan);
+  if (std::isnan(va) || std::isnan(vb)) {
+    return ExactNormalizedSimilarity(a, b);
+  }
+  if (scale <= 0) return va == vb ? 1.0 : 0.0;
+  double diff = std::fabs(va - vb);
+  return diff >= scale ? 0.0 : 1.0 - diff / scale;
+}
+
+double ThresholdedEditSimilarity(std::string_view a, std::string_view b,
+                                 double threshold) {
+  std::string na = util::ToLower(util::NormalizeWhitespace(a));
+  std::string nb = util::ToLower(util::NormalizeWhitespace(b));
+  size_t longest = std::max(na.size(), nb.size());
+  if (longest == 0) return 1.0;
+
+  // sim >= threshold  <=>  distance <= (1 - threshold) * longest.
+  // The epsilon keeps exact boundary cases (e.g. t=0.8, len=10, d=2) on
+  // the inclusive side despite floating-point rounding.
+  double budget_f = (1.0 - threshold) * static_cast<double>(longest);
+  size_t budget = static_cast<size_t>(budget_f + 1e-9);
+
+  // Length filter: |len_a - len_b| is a lower bound on the distance.
+  size_t len_gap = na.size() > nb.size() ? na.size() - nb.size()
+                                         : nb.size() - na.size();
+  if (len_gap > budget) return 0.0;
+
+  size_t distance = BoundedLevenshteinDistance(na, nb, budget);
+  if (distance > budget) return 0.0;
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+double ExactSimilarity(std::string_view a, std::string_view b) {
+  return a == b ? 1.0 : 0.0;
+}
+
+double ExactNormalizedSimilarity(std::string_view a, std::string_view b) {
+  return util::ToLower(util::NormalizeWhitespace(a)) ==
+                 util::ToLower(util::NormalizeWhitespace(b))
+             ? 1.0
+             : 0.0;
+}
+
+util::Result<SimilarityFn> GetSimilarity(std::string_view name) {
+  std::string n = util::ToLower(util::Trim(name));
+  if (n.empty() || n == "edit" || n == "levenshtein") {
+    return SimilarityFn(NormalizedEditSimilarity);
+  }
+  if (n == "edit_raw") return SimilarityFn(EditSimilarity);
+  if (n == "osa") return SimilarityFn(OsaSimilarity);
+  if (n == "jaro") return SimilarityFn(JaroSimilarity);
+  if (n == "jaro_winkler") {
+    return SimilarityFn([](std::string_view a, std::string_view b) {
+      return JaroWinklerSimilarity(a, b);
+    });
+  }
+  if (n == "qgram2") {
+    return SimilarityFn([](std::string_view a, std::string_view b) {
+      return QGramSimilarity(a, b, 2);
+    });
+  }
+  if (n == "qgram3") {
+    return SimilarityFn([](std::string_view a, std::string_view b) {
+      return QGramSimilarity(a, b, 3);
+    });
+  }
+  if (n == "word_jaccard") return SimilarityFn(WordJaccardSimilarity);
+  if (n == "monge_elkan") return SimilarityFn(MongeElkanSimilarity);
+  if (n == "soundex") return SimilarityFn(SoundexSimilarity);
+  if (n == "exact") return SimilarityFn(ExactSimilarity);
+  if (n == "exact_norm") return SimilarityFn(ExactNormalizedSimilarity);
+  if (n == "numeric") {
+    return SimilarityFn([](std::string_view a, std::string_view b) {
+      return NumericSimilarity(a, b, 10.0);
+    });
+  }
+  if (util::StartsWith(n, "edit_filtered:")) {
+    double threshold =
+        util::ParseDoubleOr(std::string_view(n).substr(14), -1.0);
+    if (threshold < 0.0 || threshold > 1.0) {
+      return util::Status::InvalidArgument(
+          "bad edit_filtered threshold in '" + std::string(name) + "'");
+    }
+    return SimilarityFn([threshold](std::string_view a, std::string_view b) {
+      return ThresholdedEditSimilarity(a, b, threshold);
+    });
+  }
+  if (util::StartsWith(n, "numeric:")) {
+    double scale =
+        util::ParseDoubleOr(std::string_view(n).substr(8), -1.0);
+    if (scale <= 0) {
+      return util::Status::InvalidArgument(
+          "bad numeric similarity scale in '" + std::string(name) + "'");
+    }
+    return SimilarityFn([scale](std::string_view a, std::string_view b) {
+      return NumericSimilarity(a, b, scale);
+    });
+  }
+  return util::Status::NotFound("unknown similarity function '" +
+                                std::string(name) + "'");
+}
+
+std::vector<std::string> SimilarityNames() {
+  return {"edit",         "edit_raw", "osa",    "jaro",
+          "jaro_winkler", "qgram2",   "qgram3", "word_jaccard",
+          "monge_elkan",  "soundex",  "numeric", "exact",
+          "exact_norm"};
+}
+
+}  // namespace sxnm::text

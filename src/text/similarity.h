@@ -1,0 +1,70 @@
+// Similarity-function registry.
+//
+// The paper's Def. 2 allows a different φ^OD per object-description entry
+// ("using domain-knowledge, more accurate φ functions can be used, e.g., a
+// numeric distance function for numerical values"). Configurations refer
+// to φ functions by name; this registry resolves the names.
+
+#ifndef SXNM_TEXT_SIMILARITY_H_
+#define SXNM_TEXT_SIMILARITY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sxnm::text {
+
+/// A φ^OD function: maps two field values to a similarity in [0, 1].
+using SimilarityFn =
+    std::function<double(std::string_view, std::string_view)>;
+
+/// Numeric similarity: both inputs are parsed as doubles; similarity decays
+/// linearly with the absolute difference, reaching 0 at `scale`:
+///   sim = max(0, 1 - |a-b| / scale)
+/// Unparsable inputs fall back to exact string comparison (1 or 0).
+double NumericSimilarity(std::string_view a, std::string_view b, double scale);
+
+/// Filtered edit similarity (the paper's outlook, citing [17]): returns
+/// the exact normalized edit similarity when it is >= `threshold` and 0.0
+/// otherwise, but computes cheaply:
+///   * a length filter rejects pairs whose size difference alone implies
+///     a similarity below the threshold, without any DP;
+///   * otherwise a *bounded* Levenshtein computation stops as soon as the
+///     distance provably exceeds the allowed budget.
+/// Exact above the threshold; values below are clamped to 0 (fine for
+/// classification, slightly pessimistic inside weighted sums).
+double ThresholdedEditSimilarity(std::string_view a, std::string_view b,
+                                 double threshold);
+
+/// 1.0 when the strings are byte-identical, else 0.0.
+double ExactSimilarity(std::string_view a, std::string_view b);
+
+/// Case/whitespace-insensitive exact match.
+double ExactNormalizedSimilarity(std::string_view a, std::string_view b);
+
+/// Names understood by GetSimilarity:
+///   "edit"            NormalizedEditSimilarity (default φ^OD)
+///   "edit_raw"        EditSimilarity (case-sensitive)
+///   "osa"             OsaSimilarity (transposition-aware)
+///   "jaro"            JaroSimilarity
+///   "jaro_winkler"    JaroWinklerSimilarity
+///   "qgram2"/"qgram3" QGramSimilarity with q = 2 / 3
+///   "word_jaccard"    WordJaccardSimilarity
+///   "monge_elkan"     MongeElkanSimilarity (token best-match average)
+///   "soundex"         SoundexSimilarity
+///   "numeric"         NumericSimilarity with scale 10 (years etc.)
+///   "numeric:<scale>" NumericSimilarity with a custom scale
+///   "edit_filtered:<t>" ThresholdedEditSimilarity with threshold t
+///   "exact"           ExactSimilarity
+///   "exact_norm"      ExactNormalizedSimilarity
+util::Result<SimilarityFn> GetSimilarity(std::string_view name);
+
+/// All fixed registry names (excludes the parameterized "numeric:<scale>").
+std::vector<std::string> SimilarityNames();
+
+}  // namespace sxnm::text
+
+#endif  // SXNM_TEXT_SIMILARITY_H_

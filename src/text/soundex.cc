@@ -1,0 +1,84 @@
+#include "text/soundex.h"
+
+#include "util/string_util.h"
+
+namespace sxnm::text {
+
+namespace {
+
+// Soundex digit for a letter; '0' for vowels and h/w/y (non-coding).
+char SoundexDigit(char c) {
+  switch (util::AsciiToLower(c)) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+bool IsHW(char c) {
+  char lower = util::AsciiToLower(c);
+  return lower == 'h' || lower == 'w';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view s) {
+  // Find the first letter.
+  size_t first = 0;
+  while (first < s.size() && !util::IsAsciiAlpha(s[first])) ++first;
+  if (first == s.size()) return "0000";
+
+  std::string code(1, util::AsciiToUpper(s[first]));
+  char last_digit = SoundexDigit(s[first]);
+
+  for (size_t i = first + 1; i < s.size() && code.size() < 4; ++i) {
+    char c = s[i];
+    if (!util::IsAsciiAlpha(c)) {
+      last_digit = '0';
+      continue;
+    }
+    char digit = SoundexDigit(c);
+    if (digit == '0') {
+      // h/w do not reset the adjacency rule; vowels do.
+      if (!IsHW(c)) last_digit = '0';
+      continue;
+    }
+    if (digit != last_digit) code.push_back(digit);
+    last_digit = digit;
+  }
+  code.resize(4, '0');
+  return code;
+}
+
+double SoundexSimilarity(std::string_view a, std::string_view b) {
+  std::string ca = Soundex(a);
+  std::string cb = Soundex(b);
+  int matching = 0;
+  for (size_t i = 0; i < 4; ++i) matching += (ca[i] == cb[i]) ? 1 : 0;
+  return matching / 4.0;
+}
+
+}  // namespace sxnm::text

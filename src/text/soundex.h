@@ -1,0 +1,24 @@
+// American Soundex phonetic encoding. Offered as an additional key
+// transform for SXNM key generation (extension over the paper's K/C/D
+// patterns): sorting by a phonetic code places differently-misspelled
+// names adjacently.
+
+#ifndef SXNM_TEXT_SOUNDEX_H_
+#define SXNM_TEXT_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace sxnm::text {
+
+/// Classic 4-character Soundex code ("Robert" -> "R163"). Non-ASCII-alpha
+/// characters are ignored; an input without letters encodes to "0000".
+std::string Soundex(std::string_view s);
+
+/// 1.0 when codes are equal, otherwise the fraction of matching code
+/// positions — a coarse phonetic similarity.
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace sxnm::text
+
+#endif  // SXNM_TEXT_SOUNDEX_H_

@@ -1,0 +1,118 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sxnm::util {
+
+namespace {
+
+// SplitMix64: seeds the xoshiro state and hashes sub-stream labels.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+uint64_t HashString(const std::string& s) {
+  // FNV-1a 64-bit.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : state_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of `bound` that fits in 64 bits.
+  uint64_t threshold = -bound % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return mean + stddev * spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-12);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double z0 = mag * std::cos(2.0 * M_PI * u2);
+  double z1 = mag * std::sin(2.0 * M_PI * u2);
+  spare_gaussian_ = z1;
+  have_gaussian_ = true;
+  return mean + stddev * z0;
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF sampling over the truncated zeta distribution. n is small
+  // in our generators (vocabulary sizes), so the linear scan is fine.
+  double norm = 0.0;
+  for (size_t r = 0; r < n; ++r) norm += 1.0 / std::pow(double(r + 1), s);
+  double target = NextDouble() * norm;
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(double(r + 1), s);
+    if (acc >= target) return r;
+  }
+  return n - 1;
+}
+
+Rng Rng::Fork(const std::string& label) {
+  uint64_t mix = state_[0] ^ Rotl(state_[3], 13) ^ HashString(label);
+  return Rng(mix);
+}
+
+}  // namespace sxnm::util

@@ -1,0 +1,137 @@
+// Lightweight error-handling primitives used across the SXNM codebase.
+//
+// The library does not throw exceptions across API boundaries (parsing user
+// input, loading configuration, evaluating XPath expressions can all fail for
+// data-dependent reasons). Fallible operations return `Status` or
+// `Result<T>`, both of which carry a human-readable error message.
+
+#ifndef SXNM_UTIL_STATUS_H_
+#define SXNM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sxnm::util {
+
+// Broad machine-readable classification of an error. Kept deliberately
+// small; the message carries the details.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed (bad pattern, ...)
+  kParseError,        // malformed input data (XML, config, ...)
+  kNotFound,          // a referenced entity does not exist (path id, ...)
+  kFailedPrecondition,// operation not valid in the current state
+  kInternal,          // invariant violation inside the library
+};
+
+/// Returns a short stable name for `code`, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be kOk — use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code_ != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error, in the spirit of absl::StatusOr / std::expected.
+///
+/// Usage:
+///   Result<Document> doc = Parser::Parse(input);
+///   if (!doc.ok()) return doc.status();
+///   Use(doc.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sxnm::util
+
+// Propagates a non-OK Status from an expression, mirroring
+// absl's RETURN_IF_ERROR.
+#define SXNM_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::sxnm::util::Status sxnm_status__ = (expr);     \
+    if (!sxnm_status__.ok()) return sxnm_status__;   \
+  } while (false)
+
+#endif  // SXNM_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+#include "util/stopwatch.h"
+
+namespace sxnm::util {
+
+void PhaseTimer::Add(const std::string& name, double seconds) {
+  auto [it, inserted] = seconds_.try_emplace(name, 0.0);
+  if (inserted) order_.push_back(name);
+  it->second += seconds;
+}
+
+double PhaseTimer::Seconds(const std::string& name) const {
+  auto it = seconds_.find(name);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::SecondsOf(const std::vector<std::string>& names) const {
+  double total = 0.0;
+  for (const auto& n : names) total += Seconds(n);
+  return total;
+}
+
+std::vector<std::pair<std::string, double>> PhaseTimer::Phases() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) out.emplace_back(name, Seconds(name));
+  return out;
+}
+
+void PhaseTimer::Clear() {
+  order_.clear();
+  seconds_.clear();
+}
+
+void PhaseTimer::Merge(const PhaseTimer& other) {
+  for (const auto& [name, secs] : other.Phases()) Add(name, secs);
+}
+
+}  // namespace sxnm::util

@@ -1,0 +1,81 @@
+// Wall-clock timing utilities for the scalability experiments (Fig. 5).
+//
+// `Stopwatch` measures one interval; `PhaseTimer` accumulates named phases
+// (key generation, sliding window, transitive closure) across an entire
+// detection run, mirroring the KG/SW/TC/DD breakdown in the paper.
+
+#ifndef SXNM_UTIL_STOPWATCH_H_
+#define SXNM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sxnm::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds into named phases. Not thread-safe (the
+/// detector is single-threaded, as in the paper).
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to phase `name`, creating it on first use.
+  void Add(const std::string& name, double seconds);
+
+  /// Total accumulated seconds for `name`; 0 if the phase never ran.
+  double Seconds(const std::string& name) const;
+
+  /// Sum over a set of phases (e.g. DD = SW + TC).
+  double SecondsOf(const std::vector<std::string>& names) const;
+
+  /// All phases in insertion order as (name, seconds).
+  std::vector<std::pair<std::string, double>> Phases() const;
+
+  void Clear();
+
+  /// Merges another timer's phases into this one.
+  void Merge(const PhaseTimer& other);
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, double> seconds_;
+};
+
+/// RAII helper: measures its own lifetime into `timer`/`phase`.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+  ~ScopedPhase() { timer_->Add(phase_, watch_.ElapsedSeconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_STOPWATCH_H_

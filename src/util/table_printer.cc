@@ -1,0 +1,71 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sxnm::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddNumericRow(const std::vector<double>& cells,
+                                 int digits) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, size_t w) {
+    return std::string(w - s.size(), ' ') + s;
+  };
+
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += pad(headers_[c], width[c]);
+  }
+  out += '\n';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += pad(row[c], width[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out = Join(headers_, ",");
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += Join(row, ",");
+    out += '\n';
+  }
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString() << "\n"; }
+
+}  // namespace sxnm::util

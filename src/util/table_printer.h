@@ -1,0 +1,49 @@
+// Plain-text table formatting for the benchmark harnesses.
+//
+// Every figure-reproduction bench prints its series as an aligned ASCII
+// table (one row per sweep point, one column per line in the paper's graph)
+// plus an optional CSV block for downstream plotting.
+
+#ifndef SXNM_UTIL_TABLE_PRINTER_H_
+#define SXNM_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sxnm::util {
+
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `digits` decimals.
+  void AddNumericRow(const std::vector<double>& cells, int digits = 4);
+
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders an aligned table:
+  ///   window | recall(K1) | recall(K2)
+  ///   -------+------------+-----------
+  ///        2 |     0.6120 |     0.4010
+  std::string ToString() const;
+
+  /// Renders as CSV (headers + rows, comma-separated, no quoting — cell
+  /// content in this project never contains commas).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to `os` followed by a newline.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_TABLE_PRINTER_H_

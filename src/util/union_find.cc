@@ -1,0 +1,62 @@
+#include "util/union_find.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sxnm::util {
+
+UnionFind::UnionFind(size_t n) : parent_(n), size_of_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
+
+void UnionFind::Resize(size_t n) {
+  if (n <= parent_.size()) return;
+  size_t old = parent_.size();
+  parent_.resize(n);
+  size_of_.resize(n, 1);
+  for (size_t i = old; i < n; ++i) parent_[i] = i;
+  num_sets_ += n - old;
+}
+
+size_t UnionFind::Find(size_t x) const {
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_of_[ra] < size_of_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_of_[ra] += size_of_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::vector<size_t>> UnionFind::Clusters(size_t min_size) const {
+  // Group members by root, preserving ascending element order within each
+  // cluster (elements are visited in increasing index order).
+  std::vector<std::vector<size_t>> by_root(parent_.size());
+  for (size_t i = 0; i < parent_.size(); ++i) by_root[Find(i)].push_back(i);
+
+  std::vector<std::vector<size_t>> clusters;
+  for (auto& members : by_root) {
+    if (members.size() >= min_size && !members.empty()) {
+      clusters.push_back(std::move(members));
+    }
+  }
+  // `by_root[root]` is keyed by root index; order clusters by smallest member.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return clusters;
+}
+
+}  // namespace sxnm::util

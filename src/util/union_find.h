@@ -1,0 +1,56 @@
+// Disjoint-set (union-find) structure with union-by-size and path
+// compression. Backs the transitive-closure phase of SNM/SXNM: duplicate
+// pairs are unions, the resulting partition is the cluster set.
+
+#ifndef SXNM_UTIL_UNION_FIND_H_
+#define SXNM_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sxnm::util {
+
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets, elements 0..n-1.
+  explicit UnionFind(size_t n);
+
+  /// Grows the universe to at least `n` elements (new elements are
+  /// singletons). Shrinking is not supported; smaller `n` is a no-op.
+  void Resize(size_t n);
+
+  /// Number of elements in the universe.
+  size_t size() const { return parent_.size(); }
+
+  /// Returns the canonical representative of `x`'s set. `x < size()`.
+  /// Amortized near-O(1); mutates internal state (path compression) but is
+  /// logically const.
+  size_t Find(size_t x) const;
+
+  /// Merges the sets containing `a` and `b`. Returns true when they were
+  /// previously distinct sets.
+  bool Union(size_t a, size_t b);
+
+  /// True when `a` and `b` are in the same set.
+  bool Connected(size_t a, size_t b) const { return Find(a) == Find(b); }
+
+  /// Number of elements in the set containing `x`.
+  size_t SetSize(size_t x) const { return size_of_[Find(x)]; }
+
+  /// Number of disjoint sets.
+  size_t NumSets() const { return num_sets_; }
+
+  /// Materializes the partition as a list of clusters, each a sorted list
+  /// of element indices. Clusters are ordered by their smallest element.
+  /// Set `min_size` to 2 to get only non-trivial clusters.
+  std::vector<std::vector<size_t>> Clusters(size_t min_size = 1) const;
+
+ private:
+  mutable std::vector<size_t> parent_;
+  std::vector<size_t> size_of_;
+  size_t num_sets_ = 0;
+};
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_UNION_FIND_H_

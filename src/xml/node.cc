@@ -1,0 +1,243 @@
+#include "xml/node.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace sxnm::xml {
+
+Element* Node::AsElement() {
+  return IsElement() ? static_cast<Element*>(this) : nullptr;
+}
+
+const Element* Node::AsElement() const {
+  return IsElement() ? static_cast<const Element*>(this) : nullptr;
+}
+
+const std::string* Element::FindAttribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+std::string Element::AttributeOr(std::string_view name,
+                                 std::string fallback) const {
+  const std::string* value = FindAttribute(name);
+  return value != nullptr ? *value : std::move(fallback);
+}
+
+void Element::SetAttribute(std::string_view name, std::string_view value) {
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+bool Element::RemoveAttribute(std::string_view name) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) {
+      attributes_.erase(attributes_.begin() + i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Node* Element::AddChild(std::unique_ptr<Node> child) {
+  assert(child != nullptr);
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Element* Element::AddElement(std::string name) {
+  return static_cast<Element*>(
+      AddChild(std::make_unique<Element>(std::move(name))));
+}
+
+TextNode* Element::AddText(std::string text) {
+  return static_cast<TextNode*>(
+      AddChild(std::make_unique<TextNode>(std::move(text))));
+}
+
+void Element::RemoveChild(size_t index) {
+  assert(index < children_.size());
+  children_.erase(children_.begin() + index);
+}
+
+std::unique_ptr<Node> Element::TakeChild(size_t index) {
+  assert(index < children_.size());
+  std::unique_ptr<Node> node = std::move(children_[index]);
+  children_.erase(children_.begin() + index);
+  node->parent_ = nullptr;
+  return node;
+}
+
+std::vector<Element*> Element::ChildElements() {
+  std::vector<Element*> out;
+  for (const auto& child : children_) {
+    if (Element* e = child->AsElement()) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::ChildElements() const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (const Element* e = child->AsElement()) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Element*> Element::ChildElements(std::string_view name) {
+  std::vector<Element*> out;
+  for (const auto& child : children_) {
+    if (Element* e = child->AsElement(); e != nullptr && e->name() == name) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::ChildElements(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (const Element* e = child->AsElement();
+        e != nullptr && e->name() == name) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Element* Element::FirstChildElement(std::string_view name) {
+  for (const auto& child : children_) {
+    if (Element* e = child->AsElement(); e != nullptr && e->name() == name) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+const Element* Element::FirstChildElement(std::string_view name) const {
+  return const_cast<Element*>(this)->FirstChildElement(name);
+}
+
+std::string Element::DirectText() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->IsText()) {
+      out += static_cast<const TextNode*>(child.get())->text();
+    }
+  }
+  return util::NormalizeWhitespace(out);
+}
+
+namespace {
+
+void CollectDeepText(const Element& element, std::string& out) {
+  for (const auto& child : element.children()) {
+    if (child->IsText()) {
+      out += static_cast<const TextNode*>(child.get())->text();
+      out += ' ';
+    } else if (const Element* e = child->AsElement()) {
+      CollectDeepText(*e, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Element::DeepText() const {
+  std::string out;
+  CollectDeepText(*this, out);
+  return util::NormalizeWhitespace(out);
+}
+
+std::unique_ptr<Element> Element::Clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->attributes_ = attributes_;
+  for (const auto& child : children_) {
+    switch (child->kind()) {
+      case NodeKind::kElement:
+        copy->AddChild(static_cast<const Element*>(child.get())->Clone());
+        break;
+      case NodeKind::kText:
+      case NodeKind::kCdata: {
+        const auto* t = static_cast<const TextNode*>(child.get());
+        copy->AddChild(std::make_unique<TextNode>(
+            t->text(), t->kind() == NodeKind::kCdata));
+        break;
+      }
+      case NodeKind::kComment:
+        copy->AddChild(std::make_unique<CommentNode>(
+            static_cast<const CommentNode*>(child.get())->text()));
+        break;
+    }
+  }
+  return copy;
+}
+
+size_t Element::SubtreeElementCount() const {
+  size_t count = 1;
+  for (const auto& child : children_) {
+    if (const Element* e = child->AsElement()) {
+      count += e->SubtreeElementCount();
+    }
+  }
+  return count;
+}
+
+Element* Document::SetRoot(std::unique_ptr<Element> root) {
+  root_ = std::move(root);
+  if (root_ != nullptr) root_->parent_ = nullptr;
+  AssignElementIds();
+  return root_.get();
+}
+
+size_t Document::AssignElementIds() {
+  elements_by_id_.clear();
+  if (root_ == nullptr) return 0;
+  // Iterative pre-order traversal (documents can be deep; avoid recursion).
+  std::vector<Element*> stack = {root_.get()};
+  while (!stack.empty()) {
+    Element* e = stack.back();
+    stack.pop_back();
+    e->id_ = static_cast<ElementId>(elements_by_id_.size());
+    elements_by_id_.push_back(e);
+    // Push children in reverse so they pop in document order.
+    const auto& children = e->children_;
+    for (size_t i = children.size(); i > 0; --i) {
+      if (Element* child = children[i - 1]->AsElement()) {
+        stack.push_back(child);
+      }
+    }
+  }
+  return elements_by_id_.size();
+}
+
+Element* Document::ElementById(ElementId id) {
+  if (id < 0 || static_cast<size_t>(id) >= elements_by_id_.size()) {
+    return nullptr;
+  }
+  return elements_by_id_[static_cast<size_t>(id)];
+}
+
+const Element* Document::ElementById(ElementId id) const {
+  return const_cast<Document*>(this)->ElementById(id);
+}
+
+Document Document::Clone() const {
+  Document copy;
+  copy.version_ = version_;
+  copy.encoding_ = encoding_;
+  if (root_ != nullptr) copy.SetRoot(root_->Clone());
+  return copy;
+}
+
+}  // namespace sxnm::xml

@@ -1,0 +1,412 @@
+#include "xml/parser.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/string_util.h"
+
+namespace sxnm::xml {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+bool IsNameStartChar(char c) {
+  return util::IsAsciiAlpha(c) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || util::IsAsciiDigit(c) || c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Document> Run() {
+    Document doc;
+    SkipProlog(doc);
+
+    if (AtEnd()) return Error("document has no root element");
+    if (Peek() != '<') return Error("expected '<' at document start");
+
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    doc.SetRoot(std::move(root).value());
+
+    // Trailing misc: whitespace, comments, PIs.
+    SkipMisc();
+    if (!AtEnd()) return Error("content after root element");
+    return doc;
+  }
+
+ private:
+  // --- Character-level helpers -------------------------------------------
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t i = pos_ + offset;
+    return i < input_.size() ? input_[i] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    Advance();
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (input_.substr(pos_, literal.size()) != literal) return false;
+    for (size_t i = 0; i < literal.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && util::IsAsciiSpace(Peek())) Advance();
+  }
+
+  Status Error(const std::string& message) const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " at line %zu, column %zu", line_,
+                  column_);
+    return Status::ParseError(message + buf);
+  }
+
+  // --- Prolog / misc -------------------------------------------------------
+
+  void SkipProlog(Document& doc) {
+    SkipWhitespace();
+    // Optional XML declaration.
+    if (input_.substr(pos_, 5) == "<?xml" &&
+        (util::IsAsciiSpace(PeekAt(5)) || PeekAt(5) == '?')) {
+      size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) {
+        // Malformed declaration; leave it for ParseElement to report.
+        return;
+      }
+      std::string decl(input_.substr(pos_, end - pos_));
+      doc.set_declaration(ExtractPseudoAttr(decl, "version"),
+                          ExtractPseudoAttr(decl, "encoding"));
+      while (pos_ <= end + 1) Advance();
+      SkipWhitespace();
+    }
+    SkipMisc();
+  }
+
+  static std::string ExtractPseudoAttr(const std::string& decl,
+                                       std::string_view name) {
+    size_t at = decl.find(name);
+    if (at == std::string::npos) return "";
+    size_t eq = decl.find('=', at);
+    if (eq == std::string::npos) return "";
+    size_t q1 = decl.find_first_of("\"'", eq);
+    if (q1 == std::string::npos) return "";
+    size_t q2 = decl.find(decl[q1], q1 + 1);
+    if (q2 == std::string::npos) return "";
+    return decl.substr(q1 + 1, q2 - q1 - 1);
+  }
+
+  // Skips whitespace, comments, PIs, and DOCTYPE between top-level items.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (input_.substr(pos_, 4) == "<!--") {
+        size_t end = input_.find("-->", pos_ + 4);
+        size_t stop = (end == std::string_view::npos) ? input_.size() : end + 3;
+        while (pos_ < stop) Advance();
+      } else if (input_.substr(pos_, 2) == "<?") {
+        size_t end = input_.find("?>", pos_ + 2);
+        size_t stop = (end == std::string_view::npos) ? input_.size() : end + 2;
+        while (pos_ < stop) Advance();
+      } else if (input_.substr(pos_, 9) == "<!DOCTYPE") {
+        // Skip to the matching '>' accounting for an optional internal
+        // subset in brackets.
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = Peek();
+          Advance();
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  // --- Names, references, attributes --------------------------------------
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // Decodes one entity/character reference after the '&' was consumed.
+  Result<std::string> ParseReference() {
+    size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 10) {
+      return Error("unterminated entity reference");
+    }
+    std::string name(input_.substr(pos_, semi - pos_));
+    while (pos_ <= semi) Advance();
+
+    if (name == "amp") return std::string("&");
+    if (name == "lt") return std::string("<");
+    if (name == "gt") return std::string(">");
+    if (name == "apos") return std::string("'");
+    if (name == "quot") return std::string("\"");
+    if (!name.empty() && name[0] == '#') {
+      long code = -1;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        code = 0;
+        for (size_t i = 2; i < name.size(); ++i) {
+          char c = util::AsciiToLower(name[i]);
+          int digit;
+          if (util::IsAsciiDigit(c)) {
+            digit = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else {
+            return Error("malformed hex character reference");
+          }
+          code = code * 16 + digit;
+          if (code > 0x10FFFF) break;
+        }
+      } else {
+        int parsed = util::ParseNonNegativeInt(
+            std::string_view(name).substr(1));
+        if (parsed < 0) return Error("malformed character reference");
+        code = parsed;
+      }
+      if (code <= 0 || code > 0x10FFFF) {
+        return Error("character reference out of range");
+      }
+      return EncodeUtf8(static_cast<uint32_t>(code));
+    }
+    return Error("unknown entity '&" + name + ";'");
+  }
+
+  static std::string EncodeUtf8(uint32_t cp) {
+    std::string out;
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return out;
+  }
+
+  Result<Attribute> ParseAttribute() {
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    SkipWhitespace();
+    if (!Consume('=')) return Error("expected '=' after attribute name");
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      char c = Peek();
+      if (c == '<') return Error("'<' not allowed in attribute value");
+      if (c == '&') {
+        Advance();
+        auto ref = ParseReference();
+        if (!ref.ok()) return ref.status();
+        value += ref.value();
+      } else {
+        value.push_back(c);
+        Advance();
+      }
+    }
+    if (!Consume(quote)) return Error("unterminated attribute value");
+    return Attribute{std::move(name).value(), std::move(value)};
+  }
+
+  // --- Elements and content ------------------------------------------------
+
+  Result<std::unique_ptr<Element>> ParseElement() {
+    if (!Consume('<')) return Error("expected '<'");
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto element = std::make_unique<Element>(std::move(name).value());
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      char c = Peek();
+      if (c == '>' || c == '/') break;
+      auto attr = ParseAttribute();
+      if (!attr.ok()) return attr.status();
+      if (element->HasAttribute(attr->name)) {
+        return Error("duplicate attribute '" + attr->name + "'");
+      }
+      element->SetAttribute(attr->name, attr->value);
+    }
+
+    if (Consume('/')) {
+      if (!Consume('>')) return Error("expected '>' after '/'");
+      return element;  // empty-element tag
+    }
+    if (!Consume('>')) return Error("expected '>' to close start tag");
+
+    SXNM_RETURN_IF_ERROR(ParseContent(element.get()));
+
+    // End tag: "</name>" — '<' and '/' already consumed by ParseContent.
+    auto end_name = ParseName();
+    if (!end_name.ok()) return end_name.status();
+    if (end_name.value() != element->name()) {
+      return Error("mismatched end tag </" + end_name.value() +
+                   ">, expected </" + element->name() + ">");
+    }
+    SkipWhitespace();
+    if (!Consume('>')) return Error("expected '>' in end tag");
+    return element;
+  }
+
+  // Parses children of `parent` until the matching end tag's "</" was
+  // consumed.
+  Status ParseContent(Element* parent) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (!options_.skip_whitespace_text ||
+          !util::TrimView(text).empty()) {
+        parent->AddChild(std::make_unique<TextNode>(text));
+      }
+      text.clear();
+    };
+
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + parent->name() + ">");
+      char c = Peek();
+      if (c == '<') {
+        if (PeekAt(1) == '/') {
+          flush_text();
+          Advance();  // '<'
+          Advance();  // '/'
+          return Status::Ok();
+        }
+        if (input_.substr(pos_, 4) == "<!--") {
+          flush_text();
+          size_t end = input_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) {
+            return Error("unterminated comment");
+          }
+          if (options_.keep_comments) {
+            parent->AddChild(std::make_unique<CommentNode>(
+                std::string(input_.substr(pos_ + 4, end - pos_ - 4))));
+          }
+          while (pos_ < end + 3) Advance();
+          continue;
+        }
+        if (input_.substr(pos_, 9) == "<![CDATA[") {
+          flush_text();
+          size_t end = input_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          parent->AddChild(std::make_unique<TextNode>(
+              std::string(input_.substr(pos_ + 9, end - pos_ - 9)),
+              /*cdata=*/true));
+          while (pos_ < end + 3) Advance();
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          flush_text();
+          size_t end = input_.find("?>", pos_ + 2);
+          if (end == std::string_view::npos) {
+            return Error("unterminated processing instruction");
+          }
+          while (pos_ < end + 2) Advance();
+          continue;
+        }
+        flush_text();
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        parent->AddChild(std::move(child).value());
+      } else if (c == '&') {
+        Advance();
+        auto ref = ParseReference();
+        if (!ref.ok()) return ref.status();
+        text += ref.value();
+      } else {
+        text.push_back(c);
+        Advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace
+
+util::Result<Document> Parse(std::string_view input,
+                             const ParseOptions& options) {
+  return Parser(input, options).Run();
+}
+
+util::Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open file: " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return util::Status::Internal("error reading file: " + path);
+  }
+  return data;
+}
+
+util::Result<Document> ParseFile(const std::string& path,
+                                 const ParseOptions& options) {
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  return Parse(data.value(), options);
+}
+
+}  // namespace sxnm::xml

@@ -1,0 +1,49 @@
+// Recursive-descent XML parser.
+//
+// Supports the subset of XML 1.0 needed for the paper's data sets and
+// configuration documents:
+//   * one root element, arbitrarily nested elements
+//   * attributes in single or double quotes
+//   * character data, CDATA sections, comments
+//   * the five predefined entities plus decimal/hex character references
+//   * an optional XML declaration; processing instructions are skipped
+//   * DOCTYPE declarations are skipped verbatim (no DTD processing)
+//
+// Errors are reported with line/column positions via util::Result.
+
+#ifndef SXNM_XML_PARSER_H_
+#define SXNM_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::xml {
+
+struct ParseOptions {
+  /// Drop text nodes that consist solely of whitespace (typical for
+  /// pretty-printed documents). Defaults to true: the paper's data is
+  /// element-structured and inter-element whitespace is insignificant.
+  bool skip_whitespace_text = true;
+
+  /// Keep comment nodes in the DOM (needed for faithful round-trips).
+  bool keep_comments = false;
+};
+
+/// Parses an XML document from a string. On success the returned document
+/// has document-order element IDs already assigned.
+util::Result<Document> Parse(std::string_view input,
+                             const ParseOptions& options = {});
+
+/// Reads and parses a file.
+util::Result<Document> ParseFile(const std::string& path,
+                                 const ParseOptions& options = {});
+
+/// Reads a whole file into a string.
+util::Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace sxnm::xml
+
+#endif  // SXNM_XML_PARSER_H_

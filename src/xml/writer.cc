@@ -1,0 +1,165 @@
+#include "xml/writer.h"
+
+#include <cstdio>
+
+namespace sxnm::xml {
+
+namespace {
+
+void AppendEscaped(std::string_view s, bool attribute, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        if (attribute) {
+          out += "&quot;";
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+// True when the element has any text child. Such elements (pure-text like
+// <title>The Matrix</title> and mixed content like <p>a <b>x</b> b</p>)
+// are rendered inline even when pretty-printing: inserting indentation
+// whitespace into mixed content would change the text on re-parse.
+bool HasTextChild(const Element& element) {
+  for (const auto& child : element.children()) {
+    if (child->IsText()) return true;
+  }
+  return false;
+}
+
+void WriteNode(const Node& node, const WriteOptions& options, int depth,
+               std::string& out);
+
+void WriteElementImpl(const Element& element, const WriteOptions& options,
+                      int depth, std::string& out) {
+  std::string pad(options.indent > 0 ? size_t(depth) * size_t(options.indent)
+                                     : 0,
+                  ' ');
+  out += pad;
+  out += '<';
+  out += element.name();
+  for (const auto& attr : element.attributes()) {
+    out += ' ';
+    out += attr.name;
+    out += "=\"";
+    AppendEscaped(attr.value, /*attribute=*/true, out);
+    out += '"';
+  }
+
+  if (element.children().empty()) {
+    out += "/>";
+    if (options.indent > 0) out += '\n';
+    return;
+  }
+
+  out += '>';
+  if (HasTextChild(element) || options.indent <= 0) {
+    // Inline rendering: children written without added whitespace.
+    WriteOptions inline_options = options;
+    inline_options.indent = 0;
+    for (const auto& child : element.children()) {
+      WriteNode(*child, inline_options, 0, out);
+    }
+  } else {
+    out += '\n';
+    for (const auto& child : element.children()) {
+      WriteNode(*child, options, depth + 1, out);
+    }
+    out += pad;
+  }
+  out += "</";
+  out += element.name();
+  out += '>';
+  if (options.indent > 0) out += '\n';
+}
+
+void WriteNode(const Node& node, const WriteOptions& options, int depth,
+               std::string& out) {
+  switch (node.kind()) {
+    case NodeKind::kElement:
+      WriteElementImpl(static_cast<const Element&>(node), options, depth, out);
+      break;
+    case NodeKind::kText:
+      AppendEscaped(static_cast<const TextNode&>(node).text(),
+                    /*attribute=*/false, out);
+      break;
+    case NodeKind::kCdata:
+      out += "<![CDATA[";
+      out += static_cast<const TextNode&>(node).text();
+      out += "]]>";
+      break;
+    case NodeKind::kComment:
+      out += "<!--";
+      out += static_cast<const CommentNode&>(node).text();
+      out += "-->";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendEscaped(s, /*attribute=*/false, out);
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendEscaped(s, /*attribute=*/true, out);
+  return out;
+}
+
+std::string WriteElement(const Element& element, const WriteOptions& options) {
+  std::string out;
+  WriteElementImpl(element, options, 0, out);
+  // Trim the trailing newline the pretty-printer leaves on the root.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string WriteDocument(const Document& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"";
+    out += doc.version().empty() ? "1.0" : doc.version();
+    out += "\" encoding=\"";
+    out += doc.encoding().empty() ? "UTF-8" : doc.encoding();
+    out += "\"?>";
+    out += options.indent > 0 ? "\n" : "";
+  }
+  if (doc.root() != nullptr) {
+    out += WriteElement(*doc.root(), options);
+    if (options.indent > 0) out += '\n';
+  }
+  return out;
+}
+
+bool WriteDocumentToFile(const Document& doc, const std::string& path,
+                         const WriteOptions& options) {
+  std::string data = WriteDocument(doc, options);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  return written == data.size() && close_rc == 0;
+}
+
+}  // namespace sxnm::xml

@@ -1,0 +1,42 @@
+// XML serialization: Document / Element back to text, with optional
+// pretty-printing. Inverse of xml::Parse for the supported subset
+// (whitespace-only text nodes excepted when pretty-printing).
+
+#ifndef SXNM_XML_WRITER_H_
+#define SXNM_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace sxnm::xml {
+
+struct WriteOptions {
+  /// Pretty-print with this many spaces per nesting level; 0 writes the
+  /// document on a single line with no inter-element whitespace.
+  int indent = 2;
+
+  /// Emit an <?xml version="1.0" encoding="UTF-8"?> declaration.
+  bool declaration = true;
+};
+
+/// Escapes `s` for use as XML character data (&, <, >).
+std::string EscapeText(std::string_view s);
+
+/// Escapes `s` for use inside a double-quoted attribute value
+/// (&, <, >, ").
+std::string EscapeAttribute(std::string_view s);
+
+/// Serializes a subtree rooted at `element`.
+std::string WriteElement(const Element& element, const WriteOptions& options = {});
+
+/// Serializes a whole document.
+std::string WriteDocument(const Document& doc, const WriteOptions& options = {});
+
+/// Writes the serialized document to a file. Returns false on I/O error.
+bool WriteDocumentToFile(const Document& doc, const std::string& path,
+                         const WriteOptions& options = {});
+
+}  // namespace sxnm::xml
+
+#endif  // SXNM_XML_WRITER_H_

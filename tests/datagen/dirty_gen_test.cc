@@ -1,0 +1,225 @@
+#include "datagen/dirty_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/template_gen.h"
+#include "xml/parser.h"
+#include "xml/xpath.h"
+
+namespace sxnm::datagen {
+namespace {
+
+xml::Document CleanItems(size_t n) {
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"item"}
+                 .Occurs(static_cast<int>(n), static_cast<int>(n))
+                 .Gold()
+                 .Text([](util::Rng& rng) {
+                   return "value number " + std::to_string(rng.NextInt(0, 1 << 20));
+                 }));
+  util::Rng rng(11);
+  return TemplateGenerator(root).Generate(rng);
+}
+
+size_t CountItems(const xml::Document& doc) {
+  return xml::XPath::Parse("db/item").value().SelectFromRoot(doc)->size();
+}
+
+TEST(DirtyGenTest, DupProbabilityOneDoublesEveryElement) {
+  xml::Document clean = CleanItems(50);
+  DirtyOptions options;
+  options.seed = 1;
+  options.rules.push_back({"db/item", 1.0, 1, 1});
+  DirtyStats stats;
+  auto dirty = MakeDirty(clean, options, &stats);
+  ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+  EXPECT_EQ(CountItems(dirty.value()), 100u);
+  EXPECT_EQ(stats.elements_considered, 50u);
+  EXPECT_EQ(stats.elements_duplicated, 50u);
+  EXPECT_EQ(stats.duplicates_created, 50u);
+}
+
+TEST(DirtyGenTest, DupProbabilityZeroChangesNothing) {
+  xml::Document clean = CleanItems(30);
+  DirtyOptions options;
+  options.rules.push_back({"db/item", 0.0, 1, 1});
+  auto dirty = MakeDirty(clean, options);
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_EQ(CountItems(dirty.value()), 30u);
+}
+
+TEST(DirtyGenTest, DuplicateCountRange) {
+  xml::Document clean = CleanItems(40);
+  DirtyOptions options;
+  options.seed = 3;
+  options.rules.push_back({"db/item", 1.0, 1, 2});
+  DirtyStats stats;
+  auto dirty = MakeDirty(clean, options, &stats);
+  ASSERT_TRUE(dirty.ok());
+  size_t total = CountItems(dirty.value());
+  EXPECT_GE(total, 80u);
+  EXPECT_LE(total, 120u);
+  EXPECT_GT(total, 85u) << "some elements should get 2 duplicates";
+}
+
+TEST(DirtyGenTest, DuplicatesInheritGoldIdentity) {
+  xml::Document clean = CleanItems(20);
+  DirtyOptions options;
+  options.seed = 5;
+  options.rules.push_back({"db/item", 1.0, 1, 1});
+  auto dirty = MakeDirty(clean, options);
+  ASSERT_TRUE(dirty.ok());
+
+  std::map<std::string, int> by_gold;
+  auto items = xml::XPath::Parse("db/item").value().SelectFromRoot(
+      dirty.value());
+  for (const xml::Element* item : items.value()) {
+    ++by_gold[item->AttributeOr(kGoldAttribute, "?")];
+  }
+  EXPECT_EQ(by_gold.size(), 20u);
+  for (const auto& [gold, count] : by_gold) {
+    EXPECT_EQ(count, 2) << gold;
+  }
+}
+
+TEST(DirtyGenTest, PollutionChangesSomeText) {
+  xml::Document clean = CleanItems(100);
+  DirtyOptions options;
+  options.seed = 7;
+  options.rules.push_back({"db/item", 1.0, 1, 1});
+  options.errors.field_error_probability = 0.8;
+  DirtyStats stats;
+  auto dirty = MakeDirty(clean, options, &stats);
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_GT(stats.values_polluted, 30u);
+
+  // Originals keep their exact text (pollution applies to copies only):
+  // group by gold id; at least one member must equal the clean text.
+  std::map<std::string, std::vector<std::string>> texts;
+  auto items =
+      xml::XPath::Parse("db/item").value().SelectFromRoot(dirty.value());
+  for (const xml::Element* item : items.value()) {
+    texts[item->AttributeOr(kGoldAttribute, "?")].push_back(
+        item->DirectText());
+  }
+  auto clean_items =
+      xml::XPath::Parse("db/item").value().SelectFromRoot(clean);
+  for (const xml::Element* item : clean_items.value()) {
+    const auto& group = texts[item->AttributeOr(kGoldAttribute, "?")];
+    EXPECT_NE(std::find(group.begin(), group.end(), item->DirectText()),
+              group.end());
+  }
+}
+
+TEST(DirtyGenTest, SeedDeterminism) {
+  xml::Document clean = CleanItems(25);
+  DirtyOptions options;
+  options.seed = 13;
+  options.rules.push_back({"db/item", 0.5, 1, 2});
+  auto d1 = MakeDirty(clean, options);
+  auto d2 = MakeDirty(clean, options);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->element_count(), d2->element_count());
+  EXPECT_EQ(d1->root()->DeepText(), d2->root()->DeepText());
+}
+
+TEST(DirtyGenTest, InvalidRulePathRejected) {
+  xml::Document clean = CleanItems(5);
+  DirtyOptions options;
+  options.rules.push_back({"db/item/text()", 1.0, 1, 1});
+  EXPECT_FALSE(MakeDirty(clean, options).ok());
+  options.rules = {{"bad[path", 1.0, 1, 1}};
+  EXPECT_FALSE(MakeDirty(clean, options).ok());
+}
+
+TEST(DirtyGenTest, DuplicatingRootRejected) {
+  xml::Document clean = CleanItems(5);
+  DirtyOptions options;
+  options.rules.push_back({"db", 1.0, 1, 1});
+  auto result = MakeDirty(clean, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DirtyGenTest, EmptyDocumentRejected) {
+  xml::Document empty;
+  DirtyOptions options;
+  EXPECT_FALSE(MakeDirty(empty, options).ok());
+}
+
+TEST(PolluteValueTest, NoPollutionWhenProbabilityZero) {
+  ErrorModel errors;
+  errors.field_error_probability = 0.0;
+  util::Rng rng(1);
+  bool polluted = true;
+  EXPECT_EQ(PolluteValue("unchanged", errors, rng, &polluted), "unchanged");
+  EXPECT_FALSE(polluted);
+}
+
+TEST(PolluteValueTest, EditsStayBounded) {
+  ErrorModel errors;
+  errors.field_error_probability = 1.0;
+  errors.min_edits = 1;
+  errors.max_edits = 2;
+  errors.severe_probability = 0.0;
+  errors.word_swap_probability = 0.0;
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    std::string out = PolluteValue("abcdefghij", errors, rng);
+    // 1-2 single-char edits: length can change by at most 2.
+    EXPECT_GE(out.size(), 8u);
+    EXPECT_LE(out.size(), 12u);
+  }
+}
+
+TEST(PolluteValueTest, SevereCorruptionChangesPrefix) {
+  ErrorModel errors;
+  errors.field_error_probability = 1.0;
+  errors.severe_probability = 1.0;
+  util::Rng rng(3);
+  std::string out = PolluteValue("Matrix", errors, rng);
+  EXPECT_NE(out.substr(0, 1), "M") << "severe corruption moves the key";
+  EXPECT_GT(out.size(), 6u);
+}
+
+TEST(PolluteValueTest, EmptyValueSurvives) {
+  ErrorModel errors;
+  errors.field_error_probability = 1.0;
+  errors.severe_probability = 0.0;
+  util::Rng rng(4);
+  // Inserts are the only applicable edit; must not crash.
+  for (int i = 0; i < 50; ++i) {
+    std::string out = PolluteValue("", errors, rng);
+    EXPECT_LE(out.size(), 3u);
+  }
+}
+
+TEST(DirtyGenTest, FieldDropRemovesOnlyLeafElements) {
+  // Items have a container <wrap> with leaves inside; only leaves drop.
+  auto clean = xml::Parse(R"(
+<db>
+  <item _gold="g0"><wrap><leaf>a</leaf><leaf>b</leaf></wrap></item>
+</db>)");
+  ASSERT_TRUE(clean.ok());
+  DirtyOptions options;
+  options.seed = 17;
+  options.rules.push_back({"db/item", 1.0, 1, 1});
+  options.errors.field_error_probability = 0.0;
+  options.errors.field_drop_probability = 1.0;
+  auto dirty = MakeDirty(clean.value(), options);
+  ASSERT_TRUE(dirty.ok());
+  auto wraps =
+      xml::XPath::Parse("db/item/wrap").value().SelectFromRoot(dirty.value());
+  ASSERT_TRUE(wraps.ok());
+  EXPECT_EQ(wraps->size(), 2u) << "containers never dropped";
+  auto leaves = xml::XPath::Parse("db/item/wrap/leaf")
+                    .value()
+                    .SelectFromRoot(dirty.value());
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(leaves->size(), 2u) << "the copy's leaves all dropped";
+}
+
+}  // namespace
+}  // namespace sxnm::datagen

@@ -1,0 +1,194 @@
+#include "datagen/movies.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/template_gen.h"
+#include "xml/xpath.h"
+
+namespace sxnm::datagen {
+namespace {
+
+TEST(MovieGenTest, StructureMatchesDataSet1Schema) {
+  MovieDataOptions options;
+  options.num_movies = 50;
+  xml::Document doc = GenerateCleanMovies(options);
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->name(), "movie_database");
+
+  auto movies = xml::XPath::Parse("movie_database/movies/movie")
+                    .value()
+                    .SelectFromRoot(doc);
+  ASSERT_TRUE(movies.ok());
+  ASSERT_EQ(movies->size(), 50u);
+
+  for (const xml::Element* movie : movies.value()) {
+    EXPECT_TRUE(movie->HasAttribute("length"));
+    EXPECT_TRUE(movie->HasAttribute(kGoldAttribute));
+    EXPECT_GE(movie->ChildElements("title").size(), 1u);
+    EXPECT_LE(movie->ChildElements("title").size(), 2u);
+    const xml::Element* people = movie->FirstChildElement("people");
+    ASSERT_NE(people, nullptr);
+    for (const xml::Element* person : people->ChildElements("person")) {
+      EXPECT_NE(person->FirstChildElement("lastname"), nullptr);
+      EXPECT_GE(person->ChildElements("firstname").size(), 1u);
+    }
+  }
+}
+
+TEST(MovieGenTest, TitlesAreUnique) {
+  MovieDataOptions options;
+  options.num_movies = 300;
+  xml::Document doc = GenerateCleanMovies(options);
+  auto titles = xml::XPath::Parse("movie_database/movies/movie/title")
+                    .value()
+                    .SelectFromRoot(doc);
+  ASSERT_TRUE(titles.ok());
+  std::set<std::string> unique;
+  for (const xml::Element* t : titles.value()) {
+    EXPECT_TRUE(unique.insert(t->DirectText()).second)
+        << "duplicate clean title: " << t->DirectText();
+  }
+}
+
+TEST(MovieGenTest, YearSometimesMissing) {
+  MovieDataOptions options;
+  options.num_movies = 400;
+  xml::Document doc = GenerateCleanMovies(options);
+  auto movies = xml::XPath::Parse("movie_database/movies/movie")
+                    .value()
+                    .SelectFromRoot(doc);
+  size_t without_year = 0;
+  for (const xml::Element* movie : movies.value()) {
+    if (!movie->HasAttribute("year")) ++without_year;
+  }
+  EXPECT_GT(without_year, 0u) << "missing years drive Key 2's weakness";
+  EXPECT_LT(without_year, 100u);
+}
+
+TEST(MovieGenTest, DeterministicUnderSeed) {
+  MovieDataOptions options;
+  options.num_movies = 20;
+  options.seed = 77;
+  xml::Document a = GenerateCleanMovies(options);
+  xml::Document b = GenerateCleanMovies(options);
+  EXPECT_EQ(a.element_count(), b.element_count());
+  EXPECT_EQ(a.root()->DeepText(), b.root()->DeepText());
+}
+
+TEST(SharedCastTest, ActorsRecurAcrossMovies) {
+  SharedCastOptions options;
+  options.num_movies = 200;
+  options.pool_size = 40;
+  options.seed = 9;
+  xml::Document doc = GenerateSharedCastMovies(options);
+
+  auto persons =
+      xml::XPath::Parse("movie_database/movies/movie/people/person")
+          .value()
+          .SelectFromRoot(doc);
+  ASSERT_TRUE(persons.ok());
+  ASSERT_GT(persons->size(), 200u);
+
+  // Gold ids reference the pool; the same actor must appear in several
+  // movies (the M:N property), and identical gold means identical name.
+  std::map<std::string, std::set<std::string>> names_by_gold;
+  for (const xml::Element* p : persons.value()) {
+    names_by_gold[p->AttributeOr(kGoldAttribute, "?")].insert(p->DeepText());
+  }
+  size_t recurring = 0;
+  for (const auto& [gold, names] : names_by_gold) {
+    EXPECT_EQ(names.size(), 1u) << "clean data: one spelling per actor "
+                                << gold;
+    (void)gold;
+  }
+  std::map<std::string, int> appearances;
+  for (const xml::Element* p : persons.value()) {
+    ++appearances[p->AttributeOr(kGoldAttribute, "?")];
+  }
+  for (const auto& [gold, count] : appearances) {
+    (void)gold;
+    if (count > 1) ++recurring;
+  }
+  EXPECT_GT(recurring, 20u) << "most pool actors play in several movies";
+}
+
+TEST(SharedCastTest, MovieTitlesUniqueAndGoldDistinct) {
+  SharedCastOptions options;
+  options.num_movies = 100;
+  options.seed = 4;
+  xml::Document doc = GenerateSharedCastMovies(options);
+  auto movies = xml::XPath::Parse("movie_database/movies/movie")
+                    .value()
+                    .SelectFromRoot(doc);
+  ASSERT_TRUE(movies.ok());
+  ASSERT_EQ(movies->size(), 100u);
+  std::set<std::string> titles, golds;
+  for (const xml::Element* m : movies.value()) {
+    EXPECT_TRUE(
+        titles.insert(m->FirstChildElement("title")->DirectText()).second);
+    EXPECT_TRUE(golds.insert(m->AttributeOr(kGoldAttribute, "?")).second);
+  }
+}
+
+TEST(MoviePresetTest, DirtyPresetsHaveExpectedRules) {
+  DirtyOptions ds1 = DataSet1DirtyPreset(1);
+  ASSERT_EQ(ds1.rules.size(), 1u);
+  EXPECT_DOUBLE_EQ(ds1.rules[0].dup_probability, 0.4);
+
+  DirtyOptions few = FewDuplicatesPreset(1);
+  ASSERT_EQ(few.rules.size(), 3u);
+  for (const auto& rule : few.rules) {
+    EXPECT_DOUBLE_EQ(rule.dup_probability, 0.2);
+    EXPECT_EQ(rule.max_duplicates, 1);
+  }
+
+  DirtyOptions many = ManyDuplicatesPreset(1);
+  ASSERT_EQ(many.rules.size(), 3u);
+  EXPECT_DOUBLE_EQ(many.rules[0].dup_probability, 1.0);
+  EXPECT_EQ(many.rules[0].max_duplicates, 2);
+  EXPECT_DOUBLE_EQ(many.rules[1].dup_probability, 0.2);
+}
+
+TEST(MoviePresetTest, PresetsApplyCleanly) {
+  MovieDataOptions options;
+  options.num_movies = 60;
+  xml::Document clean = GenerateCleanMovies(options);
+  for (auto preset :
+       {DataSet1DirtyPreset(9), FewDuplicatesPreset(9),
+        ManyDuplicatesPreset(9)}) {
+    auto dirty = MakeDirty(clean, preset);
+    ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+    EXPECT_GT(dirty->element_count(), clean.element_count());
+  }
+}
+
+TEST(MovieConfigTest, MatchesTable3a) {
+  auto config = MovieConfig(10);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  ASSERT_EQ(config->candidates().size(), 1u);
+  const core::CandidateConfig& movie = config->candidates()[0];
+  EXPECT_EQ(movie.name, "movie");
+  EXPECT_EQ(movie.window_size, 10u);
+  ASSERT_EQ(movie.keys.size(), 3u) << "three keys as in Tab. 3(a)";
+  EXPECT_EQ(movie.keys[0].parts[0].pattern.ToString(), "K1-K5");
+  EXPECT_EQ(movie.od.size(), 2u);
+  EXPECT_DOUBLE_EQ(movie.od[0].relevance, 0.8);
+  EXPECT_DOUBLE_EQ(movie.od[1].relevance, 0.2);
+  EXPECT_TRUE(config->Validate().ok());
+}
+
+TEST(MovieConfigTest, ScalabilityConfigIsBottomUpReady) {
+  auto config = MovieScalabilityConfig(3);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->candidates().size(), 3u);
+  EXPECT_NE(config->Find("movie"), nullptr);
+  EXPECT_NE(config->Find("title"), nullptr);
+  EXPECT_NE(config->Find("person"), nullptr);
+  EXPECT_TRUE(config->Validate().ok());
+}
+
+}  // namespace
+}  // namespace sxnm::datagen

@@ -1,0 +1,135 @@
+#include "datagen/template_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xml/xpath.h"
+
+namespace sxnm::datagen {
+namespace {
+
+TEST(TemplateGenTest, FixedStructure) {
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"item"}.Occurs(3, 3).Text(Fixed("x")));
+  util::Rng rng(1);
+  xml::Document doc = TemplateGenerator(root).Generate(rng);
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->name(), "db");
+  auto items = doc.root()->ChildElements("item");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0]->DirectText(), "x");
+}
+
+TEST(TemplateGenTest, OccursRangeRespected) {
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"item"}.Occurs(2, 5));
+  util::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    xml::Document doc = TemplateGenerator(root).Generate(rng);
+    size_t n = doc.root()->ChildElements("item").size();
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 5u);
+  }
+}
+
+TEST(TemplateGenTest, AttributesGenerated) {
+  TemplateNode root{"db"};
+  root.Attr("version", Fixed("7"));
+  util::Rng rng(3);
+  xml::Document doc = TemplateGenerator(root).Generate(rng);
+  EXPECT_EQ(doc.root()->AttributeOr("version", ""), "7");
+}
+
+TEST(TemplateGenTest, AttributePresenceProbability) {
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"item"}.Occurs(500, 500).Attr(
+      "opt", Fixed("v"), /*presence=*/0.5));
+  util::Rng rng(4);
+  xml::Document doc = TemplateGenerator(root).Generate(rng);
+  size_t with = 0;
+  for (const xml::Element* item : doc.root()->ChildElements("item")) {
+    if (item->HasAttribute("opt")) ++with;
+  }
+  EXPECT_GT(with, 400u / 2);
+  EXPECT_LT(with, 600u / 2 + 100);
+}
+
+TEST(TemplateGenTest, GoldIdsUniqueAndSequentialPerName) {
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"a"}.Occurs(3, 3).Gold());
+  root.Child(TemplateNode{"b"}.Occurs(2, 2).Gold());
+  util::Rng rng(5);
+  xml::Document doc = TemplateGenerator(root).Generate(rng);
+
+  std::set<std::string> ids;
+  for (const xml::Element* a : doc.root()->ChildElements("a")) {
+    ids.insert(a->AttributeOr(kGoldAttribute, ""));
+  }
+  for (const xml::Element* b : doc.root()->ChildElements("b")) {
+    ids.insert(b->AttributeOr(kGoldAttribute, ""));
+  }
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_TRUE(ids.count("a-0"));
+  EXPECT_TRUE(ids.count("a-2"));
+  EXPECT_TRUE(ids.count("b-1"));
+}
+
+TEST(TemplateGenTest, NestedChildren) {
+  TemplateNode person{"person"};
+  person.Child(TemplateNode{"lastname"}.Text(Fixed("Doe")));
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"people"}.Child(
+      std::move(person.Occurs(2, 2))));
+  util::Rng rng(6);
+  xml::Document doc = TemplateGenerator(root).Generate(rng);
+  auto path = xml::XPath::Parse("db/people/person/lastname").value();
+  auto found = path.SelectFromRoot(doc);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->size(), 2u);
+}
+
+TEST(TemplateGenTest, ElementIdsAssigned) {
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"x"}.Occurs(4, 4));
+  util::Rng rng(7);
+  xml::Document doc = TemplateGenerator(root).Generate(rng);
+  EXPECT_EQ(doc.element_count(), 5u);
+  EXPECT_EQ(doc.root()->id(), 0);
+}
+
+TEST(TemplateGenTest, DeterministicUnderSeed) {
+  TemplateNode root{"db"};
+  root.Child(TemplateNode{"item"}.Occurs(1, 10).Text(
+      [](util::Rng& rng) { return std::to_string(rng.NextInt(0, 999)); }));
+  util::Rng rng1(99), rng2(99);
+  xml::Document d1 = TemplateGenerator(root).Generate(rng1);
+  xml::Document d2 = TemplateGenerator(root).Generate(rng2);
+  EXPECT_EQ(d1.element_count(), d2.element_count());
+  EXPECT_EQ(d1.root()->DeepText(), d2.root()->DeepText());
+}
+
+TEST(StripGoldTest, RemovesAllGoldAttributes) {
+  TemplateNode root{"db"};
+  root.Gold();
+  root.Child(TemplateNode{"a"}.Occurs(3, 3).Gold().Child(
+      TemplateNode{"b"}.Gold()));
+  util::Rng rng(8);
+  xml::Document doc = TemplateGenerator(root).Generate(rng);
+  size_t removed = StripGoldAttributes(doc);
+  EXPECT_EQ(removed, 7u);  // db + 3*a + 3*b
+  auto all = xml::XPath::Parse("//*").value().SelectFromRoot(doc);
+  ASSERT_TRUE(all.ok());
+  for (const xml::Element* e : all.value()) {
+    EXPECT_FALSE(e->HasAttribute(kGoldAttribute));
+  }
+  EXPECT_TRUE(doc.root()->HasAttribute(kGoldAttribute) == false);
+}
+
+TEST(StripGoldTest, EmptyDocument) {
+  xml::Document doc;
+  EXPECT_EQ(StripGoldAttributes(doc), 0u);
+}
+
+}  // namespace
+}  // namespace sxnm::datagen

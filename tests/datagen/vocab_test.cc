@@ -1,0 +1,80 @@
+#include "datagen/vocab.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace sxnm::datagen {
+namespace {
+
+TEST(VocabTest, ListsNonEmptyAndReasonable) {
+  EXPECT_GT(FirstNames().size(), 100u);
+  EXPECT_GT(LastNames().size(), 100u);
+  EXPECT_GT(TitleWords().size(), 80u);
+  EXPECT_GT(MusicGenres().size(), 15u);
+  EXPECT_GT(MovieGenres().size(), 10u);
+  EXPECT_GT(BandWords().size(), 30u);
+  EXPECT_GT(TrackWords().size(), 40u);
+}
+
+TEST(VocabTest, RandomPersonNameShape) {
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    std::string name = RandomPersonName(rng);
+    auto parts = util::SplitWhitespace(name);
+    EXPECT_EQ(parts.size(), 2u) << name;
+  }
+}
+
+TEST(VocabTest, RandomTitleWordCount) {
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    auto words = util::SplitWhitespace(RandomTitle(rng));
+    EXPECT_GE(words.size(), 2u);
+    EXPECT_LE(words.size(), 4u);
+  }
+}
+
+TEST(VocabTest, RandomTitlesAreDiverse) {
+  util::Rng rng(3);
+  std::set<std::string> titles;
+  for (int i = 0; i < 500; ++i) titles.insert(RandomTitle(rng));
+  EXPECT_GT(titles.size(), 300u) << "titles should rarely collide";
+}
+
+TEST(VocabTest, RandomArtistNonEmpty) {
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(RandomArtist(rng).empty());
+  }
+}
+
+TEST(VocabTest, RandomDiscIdShape) {
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string id = RandomDiscId(rng);
+    ASSERT_EQ(id.size(), 8u);
+    for (char c : id) {
+      EXPECT_TRUE(util::IsAsciiDigit(c) || (c >= 'a' && c <= 'f')) << id;
+    }
+  }
+}
+
+TEST(VocabTest, DeterministicUnderSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(RandomTitle(a), RandomTitle(b));
+  }
+}
+
+TEST(VocabTest, ReviewSentenceEndsWithPeriod) {
+  util::Rng rng(6);
+  std::string s = RandomReviewSentence(rng);
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.back(), '.');
+}
+
+}  // namespace
+}  // namespace sxnm::datagen

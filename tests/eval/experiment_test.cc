@@ -1,0 +1,138 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace sxnm::eval {
+namespace {
+
+constexpr const char* kDoc = R"(
+<db>
+  <movies>
+    <movie _gold="m0" year="1999"><title>The Matrix</title></movie>
+    <movie _gold="m0" year="1999"><title>The Matrxi</title></movie>
+    <movie _gold="m1" year="1998"><title>Mask of Zorro</title></movie>
+    <movie _gold="m2" year="2001"><title>Ocean Storm</title></movie>
+  </movies>
+</db>
+)";
+
+core::Config BaseConfig() {
+  core::Config config;
+  auto movie = core::CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Path(2, "@year")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Key({{2, "D3,D4"}})
+                   .Window(3)
+                   .OdThreshold(0.8)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+TEST(WithSingleKeyTest, KeepsOnlyRequestedKey) {
+  auto single = WithSingleKey(BaseConfig(), "movie", 1);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single->Find("movie")->keys.size(), 1u);
+  EXPECT_EQ(single->Find("movie")->keys[0].parts[0].pattern.ToString(),
+            "D3,D4");
+}
+
+TEST(WithSingleKeyTest, OutOfRangeRejected) {
+  EXPECT_FALSE(WithSingleKey(BaseConfig(), "movie", 2).ok());
+  EXPECT_FALSE(WithSingleKey(BaseConfig(), "nope", 0).ok());
+}
+
+TEST(WithWindowTest, OverridesAllCandidates) {
+  core::Config windowed = WithWindow(BaseConfig(), 17);
+  EXPECT_EQ(windowed.Find("movie")->window_size, 17u);
+}
+
+TEST(WithWindowForTest, TargetsOneCandidate) {
+  auto windowed = WithWindowFor(BaseConfig(), "movie", 9);
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_EQ(windowed->Find("movie")->window_size, 9u);
+  EXPECT_FALSE(WithWindowFor(BaseConfig(), "nope", 9).ok());
+}
+
+TEST(WithClassifierTest, OverridesThresholds) {
+  core::ClassifierConfig cls;
+  cls.od_threshold = 0.42;
+  cls.mode = core::CombineMode::kDescGate;
+  auto overridden = WithClassifier(BaseConfig(), "movie", cls);
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_DOUBLE_EQ(overridden->Find("movie")->classifier.od_threshold, 0.42);
+  EXPECT_EQ(overridden->Find("movie")->classifier.mode,
+            core::CombineMode::kDescGate);
+  EXPECT_FALSE(WithClassifier(BaseConfig(), "nope", cls).ok());
+}
+
+TEST(RunAndEvaluateTest, ComputesMetricsAgainstGold) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto eval = RunAndEvaluate(BaseConfig(), doc.value(), "movie");
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  EXPECT_EQ(eval->instances, 4u);
+  EXPECT_EQ(eval->metrics.gold_pairs, 1u);
+  EXPECT_EQ(eval->metrics.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(eval->metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(eval->metrics.precision, 1.0);
+  EXPECT_GT(eval->comparisons, 0u);
+  EXPECT_EQ(eval->detected_clusters, 1u);
+}
+
+TEST(RunAndEvaluateTest, UnknownCandidateRejected) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(RunAndEvaluate(BaseConfig(), doc.value(), "ghost").ok());
+}
+
+TEST(WindowSweepTest, ProducesPointsPerKeyAndMp) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto points = WindowSweep(BaseConfig(), doc.value(), "movie", {2, 4});
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  // 2 windows x (2 single keys + MP) = 6 points.
+  ASSERT_EQ(points->size(), 6u);
+  EXPECT_EQ((*points)[0].label, "Key 1");
+  EXPECT_EQ((*points)[1].label, "Key 2");
+  EXPECT_EQ((*points)[2].label, "MP");
+  EXPECT_EQ((*points)[0].window, 2u);
+  EXPECT_EQ((*points)[3].window, 4u);
+}
+
+TEST(WindowSweepTest, MultipassRecallAtLeastSingleKey) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto points = WindowSweep(BaseConfig(), doc.value(), "movie", {2, 3, 4});
+  ASSERT_TRUE(points.ok());
+  // Within each window, MP recall >= every single-key recall (MP compares
+  // a superset of pairs).
+  for (size_t i = 0; i < points->size(); i += 3) {
+    double mp_recall = (*points)[i + 2].eval.metrics.recall;
+    EXPECT_GE(mp_recall, (*points)[i].eval.metrics.recall);
+    EXPECT_GE(mp_recall, (*points)[i + 1].eval.metrics.recall);
+  }
+}
+
+TEST(WindowSweepTest, CanDisableSingleOrMultipass) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto mp_only = WindowSweep(BaseConfig(), doc.value(), "movie", {3},
+                             /*include_single_keys=*/false,
+                             /*include_multipass=*/true);
+  ASSERT_TRUE(mp_only.ok());
+  EXPECT_EQ(mp_only->size(), 1u);
+  auto sp_only = WindowSweep(BaseConfig(), doc.value(), "movie", {3},
+                             /*include_single_keys=*/true,
+                             /*include_multipass=*/false);
+  ASSERT_TRUE(sp_only.ok());
+  EXPECT_EQ(sp_only->size(), 2u);
+}
+
+}  // namespace
+}  // namespace sxnm::eval

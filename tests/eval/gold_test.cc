@@ -1,0 +1,78 @@
+#include "eval/gold.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace sxnm::eval {
+namespace {
+
+constexpr const char* kDoc = R"(
+<db>
+  <item _gold="a"/>
+  <item _gold="b"/>
+  <item _gold="a"/>
+  <item/>
+  <item _gold="b"/>
+  <item/>
+</db>
+)";
+
+TEST(GoldLabelsTest, ReadsAttributesInDocumentOrder) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto labels = GoldLabels(doc.value(), "db/item");
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->size(), 6u);
+  EXPECT_EQ((*labels)[0], "a");
+  EXPECT_EQ((*labels)[1], "b");
+  EXPECT_EQ((*labels)[2], "a");
+  EXPECT_EQ((*labels)[4], "b");
+}
+
+TEST(GoldLabelsTest, UnlabeledGetUniqueSyntheticLabels) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto labels = GoldLabels(doc.value(), "db/item");
+  ASSERT_TRUE(labels.ok());
+  EXPECT_NE((*labels)[3], (*labels)[5]);
+}
+
+TEST(GoldClusterSetTest, GroupsByLabel) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto gold = GoldClusterSet(doc.value(), "db/item");
+  ASSERT_TRUE(gold.ok());
+  EXPECT_EQ(gold->num_instances(), 6u);
+  EXPECT_EQ(gold->num_clusters(), 4u);  // {0,2}, {1,4}, {3}, {5}
+  EXPECT_EQ(gold->cid(0), gold->cid(2));
+  EXPECT_EQ(gold->cid(1), gold->cid(4));
+  EXPECT_NE(gold->cid(0), gold->cid(1));
+  EXPECT_EQ(gold->NumDuplicatePairs(), 2u);
+}
+
+TEST(GoldClusterSetTest, CustomAttributeName) {
+  auto doc = xml::Parse("<db><x key=\"k\"/><x key=\"k\"/></db>");
+  ASSERT_TRUE(doc.ok());
+  auto gold = GoldClusterSet(doc.value(), "db/x", "key");
+  ASSERT_TRUE(gold.ok());
+  EXPECT_EQ(gold->NumDuplicatePairs(), 1u);
+}
+
+TEST(GoldClusterSetTest, BadPathRejected) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(GoldClusterSet(doc.value(), "db/item[").ok());
+  EXPECT_FALSE(GoldClusterSet(doc.value(), "db/item/@x").ok());
+}
+
+TEST(GoldClusterSetTest, NoMatchesIsEmpty) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto gold = GoldClusterSet(doc.value(), "db/none");
+  ASSERT_TRUE(gold.ok());
+  EXPECT_EQ(gold->num_instances(), 0u);
+}
+
+}  // namespace
+}  // namespace sxnm::eval

@@ -1,0 +1,107 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::eval {
+namespace {
+
+using core::ClusterSet;
+using core::OrdinalPair;
+
+TEST(FMeasureTest, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(FMeasure(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FMeasure(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FMeasure(1.0, 0.0), 0.0);
+  EXPECT_NEAR(FMeasure(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PairwiseMetricsTest, PerfectDetection) {
+  ClusterSet gold = ClusterSet::FromClusters({{0, 1}, {2, 3, 4}}, 6);
+  PairMetrics m = PairwiseMetrics(gold, gold);
+  EXPECT_EQ(m.gold_pairs, 4u);
+  EXPECT_EQ(m.detected_pairs, 4u);
+  EXPECT_EQ(m.true_positives, 4u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(PairwiseMetricsTest, NothingDetected) {
+  ClusterSet gold = ClusterSet::FromClusters({{0, 1}}, 4);
+  ClusterSet detected = ClusterSet::Singletons(4);
+  PairMetrics m = PairwiseMetrics(gold, detected);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0) << "no detections, no false positives";
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(PairwiseMetricsTest, PartialOverlap) {
+  // Gold: {0,1,2}; detected: {0,1}, {2,3}.
+  ClusterSet gold = ClusterSet::FromClusters({{0, 1, 2}}, 4);
+  ClusterSet detected = ClusterSet::FromClusters({{0, 1}, {2, 3}}, 4);
+  PairMetrics m = PairwiseMetrics(gold, detected);
+  EXPECT_EQ(m.gold_pairs, 3u);
+  EXPECT_EQ(m.detected_pairs, 2u);
+  EXPECT_EQ(m.true_positives, 1u);  // only (0,1)
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PairwiseMetricsTest, OverMergedCluster) {
+  // Detector lumped two gold clusters together.
+  ClusterSet gold = ClusterSet::FromClusters({{0, 1}, {2, 3}}, 4);
+  ClusterSet detected = ClusterSet::FromClusters({{0, 1, 2, 3}}, 4);
+  PairMetrics m = PairwiseMetrics(gold, detected);
+  EXPECT_EQ(m.detected_pairs, 6u);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_NEAR(m.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(PairwiseMetricsTest, NoGoldDuplicates) {
+  ClusterSet gold = ClusterSet::Singletons(3);
+  ClusterSet detected = ClusterSet::FromClusters({{0, 1}}, 3);
+  PairMetrics m = PairwiseMetrics(gold, detected);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0) << "vacuous recall";
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+TEST(PairwiseMetricsTest, LargeClustersComputedAnalytically) {
+  // 1000-member detected cluster should not blow up.
+  std::vector<size_t> big(1000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i;
+  ClusterSet gold = ClusterSet::FromClusters({big}, 1000);
+  ClusterSet detected = ClusterSet::FromClusters({big}, 1000);
+  PairMetrics m = PairwiseMetrics(gold, detected);
+  EXPECT_EQ(m.true_positives, 1000u * 999u / 2);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(PairwiseMetricsFromPairsTest, PrecisionOverPairList) {
+  ClusterSet gold = ClusterSet::FromClusters({{0, 1, 2}}, 5);
+  std::vector<OrdinalPair> detected = {{0, 1}, {3, 4}};
+  PairMetrics m = PairwiseMetricsFromPairs(gold, detected);
+  EXPECT_EQ(m.detected_pairs, 2u);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PairwiseMetricsFromPairsTest, EmptyPairList) {
+  ClusterSet gold = ClusterSet::FromClusters({{0, 1}}, 3);
+  PairMetrics m = PairwiseMetricsFromPairs(gold, {});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(PairMetricsTest, ToStringContainsNumbers) {
+  ClusterSet gold = ClusterSet::FromClusters({{0, 1}}, 2);
+  PairMetrics m = PairwiseMetrics(gold, gold);
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("P=1.0000"), std::string::npos) << s;
+  EXPECT_NE(s.find("R=1.0000"), std::string::npos) << s;
+  EXPECT_NE(s.find("gold=1"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace sxnm::eval

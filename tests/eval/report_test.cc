@@ -1,0 +1,103 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include "sxnm/config.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+
+namespace sxnm::eval {
+namespace {
+
+constexpr const char* kDoc = R"(
+<db>
+  <movies>
+    <movie _gold="m0"><title>The Matrix</title></movie>
+    <movie _gold="m0"><title>The Matrxi</title></movie>
+    <movie _gold="m1"><title>Ocean Storm</title></movie>
+  </movies>
+</db>
+)";
+
+core::Config MovieConfig() {
+  core::Config config;
+  auto movie = core::CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Window(3)
+                   .OdThreshold(0.8)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = xml::Parse(kDoc);
+    ASSERT_TRUE(parsed.ok());
+    doc_ = std::move(parsed).value();
+    config_ = MovieConfig();
+    auto result = core::Detector(config_).Run(doc_);
+    ASSERT_TRUE(result.ok());
+    result_ = std::move(result).value();
+  }
+
+  xml::Document doc_;
+  core::Config config_;
+  core::DetectionResult result_;
+};
+
+TEST_F(ReportTest, ContainsCandidateSummary) {
+  auto report = RenderReport(config_, doc_, result_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("candidate 'movie'"), std::string::npos);
+  EXPECT_NE(report->find("instances:       3"), std::string::npos);
+  EXPECT_NE(report->find("duplicate pairs: 1"), std::string::npos);
+  EXPECT_NE(report->find("clusters (>1):   1"), std::string::npos);
+  EXPECT_NE(report->find("db/movies/movie"), std::string::npos);
+}
+
+TEST_F(ReportTest, ContainsPhaseTimings) {
+  auto report = RenderReport(config_, doc_, result_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("KG="), std::string::npos);
+  EXPECT_NE(report->find("DD="), std::string::npos);
+  EXPECT_NE(report->find("total comparisons:"), std::string::npos);
+}
+
+TEST_F(ReportTest, GoldMetricsWhenRequested) {
+  ReportOptions options;
+  options.with_gold = true;
+  auto report = RenderReport(config_, doc_, result_, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("quality:"), std::string::npos);
+  EXPECT_NE(report->find("R=1.0000"), std::string::npos) << *report;
+}
+
+TEST_F(ReportTest, NoGoldSectionByDefault) {
+  auto report = RenderReport(config_, doc_, result_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->find("quality:"), std::string::npos);
+}
+
+TEST_F(ReportTest, LargestClustersListEids) {
+  auto report = RenderReport(config_, doc_, result_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("largest #1 (2 members)"), std::string::npos)
+      << *report;
+}
+
+TEST(ClusterSizeHistogramTest, CountsBySize) {
+  core::ClusterSet cs =
+      core::ClusterSet::FromClusters({{0, 1}, {2, 3}, {4, 5, 6}}, 8);
+  auto histogram = ClusterSizeHistogram(cs);
+  EXPECT_EQ(histogram[1], 1u);  // singleton {7}
+  EXPECT_EQ(histogram[2], 2u);
+  EXPECT_EQ(histogram[3], 1u);
+}
+
+}  // namespace
+}  // namespace sxnm::eval

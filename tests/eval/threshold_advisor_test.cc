@@ -1,0 +1,116 @@
+#include "eval/threshold_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/freedb.h"
+#include "datagen/movies.h"
+#include "eval/experiment.h"
+#include "xml/parser.h"
+
+namespace sxnm::eval {
+namespace {
+
+TEST(ThresholdAdvisorTest, FindsGoodThresholdOnLabeledSample) {
+  auto sample = datagen::GenerateDataSet2(120, 11);
+  ASSERT_TRUE(sample.ok());
+  auto config = datagen::CdConfig(4);
+  ASSERT_TRUE(config.ok());
+  config->Find("disc")->classifier.mode = core::CombineMode::kOdOnly;
+
+  auto advice = CalibrateOdThreshold(config.value(), sample.value(), "disc");
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_GE(advice->recommended, 0.5);
+  EXPECT_LE(advice->recommended, 0.95);
+  EXPECT_GT(advice->best_f1, 0.8);
+  EXPECT_FALSE(advice->sweep.empty());
+
+  // The recommended threshold performs at least as well as the sweep's
+  // endpoints on the same sample.
+  EXPECT_GE(advice->best_f1, advice->sweep.front().metrics.f1);
+  EXPECT_GE(advice->best_f1, advice->sweep.back().metrics.f1);
+}
+
+TEST(ThresholdAdvisorTest, SweepCoversRequestedRange) {
+  auto sample = datagen::GenerateDataSet2(60, 3);
+  ASSERT_TRUE(sample.ok());
+  auto config = datagen::CdConfig(4);
+  ASSERT_TRUE(config.ok());
+
+  ThresholdAdviceOptions options;
+  options.min_threshold = 0.6;
+  options.max_threshold = 0.8;
+  options.step = 0.1;
+  auto advice = CalibrateOdThreshold(config.value(), sample.value(), "disc",
+                                     options);
+  ASSERT_TRUE(advice.ok());
+  ASSERT_EQ(advice->sweep.size(), 3u);
+  EXPECT_DOUBLE_EQ(advice->sweep[0].threshold, 0.6);
+  EXPECT_DOUBLE_EQ(advice->sweep[2].threshold, 0.8);
+}
+
+TEST(ThresholdAdvisorTest, CalibratedThresholdTransfersToLargerData) {
+  // Calibrate on a small sample, evaluate on a 4x larger data set from a
+  // different seed: the learned threshold should stay near-optimal.
+  auto sample = datagen::GenerateDataSet2(100, 21);
+  ASSERT_TRUE(sample.ok());
+  auto big = datagen::GenerateDataSet2(400, 22);
+  ASSERT_TRUE(big.ok());
+  auto config = datagen::CdConfig(4);
+  ASSERT_TRUE(config.ok());
+  config->Find("disc")->classifier.mode = core::CombineMode::kOdOnly;
+
+  auto advice = CalibrateOdThreshold(config.value(), sample.value(), "disc");
+  ASSERT_TRUE(advice.ok());
+
+  core::ClassifierConfig tuned = config->Find("disc")->classifier;
+  tuned.od_threshold = advice->recommended;
+  auto eval_tuned = RunAndEvaluate(
+      WithClassifier(config.value(), "disc", tuned).value(), big.value(),
+      "disc");
+  ASSERT_TRUE(eval_tuned.ok());
+
+  // A deliberately bad threshold must do worse.
+  core::ClassifierConfig bad = tuned;
+  bad.od_threshold = 0.5;
+  auto eval_bad = RunAndEvaluate(
+      WithClassifier(config.value(), "disc", bad).value(), big.value(),
+      "disc");
+  ASSERT_TRUE(eval_bad.ok());
+  EXPECT_GT(eval_tuned->metrics.f1, eval_bad->metrics.f1);
+}
+
+TEST(ThresholdAdvisorTest, RejectsUnlabeledSample) {
+  auto doc = xml::Parse("<freedb><disc><artist>A</artist>"
+                        "<dtitle>T</dtitle><tracks/></disc></freedb>");
+  ASSERT_TRUE(doc.ok());
+  auto config = datagen::CdConfig(4);
+  ASSERT_TRUE(config.ok());
+  auto advice = CalibrateOdThreshold(config.value(), doc.value(), "disc");
+  ASSERT_FALSE(advice.ok());
+  EXPECT_EQ(advice.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ThresholdAdvisorTest, InputValidation) {
+  auto sample = datagen::GenerateDataSet2(30, 1);
+  ASSERT_TRUE(sample.ok());
+  auto config = datagen::CdConfig(4);
+  ASSERT_TRUE(config.ok());
+
+  ThresholdAdviceOptions bad_step;
+  bad_step.step = 0.0;
+  EXPECT_FALSE(CalibrateOdThreshold(config.value(), sample.value(), "disc",
+                                    bad_step)
+                   .ok());
+  ThresholdAdviceOptions bad_range;
+  bad_range.min_threshold = 0.9;
+  bad_range.max_threshold = 0.5;
+  EXPECT_FALSE(CalibrateOdThreshold(config.value(), sample.value(), "disc",
+                                    bad_range)
+                   .ok());
+  EXPECT_FALSE(
+      CalibrateOdThreshold(config.value(), sample.value(), "ghost").ok());
+}
+
+}  // namespace
+}  // namespace sxnm::eval

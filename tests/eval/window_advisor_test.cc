@@ -1,0 +1,168 @@
+#include "eval/window_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "eval/experiment.h"
+#include "xml/parser.h"
+
+namespace sxnm::eval {
+namespace {
+
+// Movies whose duplicate pair sorts at a known rank distance: the keys of
+// the pair are equal, but `gap` unrelated movies with the same key prefix
+// sit between them in document order (equal keys keep document order).
+xml::Document DocWithGap(size_t gap) {
+  std::string xml = "<db><movies>";
+  xml += "<movie><title>Silent Harbor Alpha</title></movie>";
+  static constexpr const char* kSuffixes[] = {
+      "Bqqqw", "Cwwwz", "Dzzzk", "Ekkkp", "Fpppm",
+      "Gmmmv", "Hvvvr", "Jrrrg", "Kgggt", "Ltttb"};
+  for (size_t i = 0; i < gap; ++i) {
+    xml += std::string("<movie><title>Silent Harbor ") +
+           kSuffixes[i % 10] + "</title></movie>";
+  }
+  xml += "<movie><title>Silent Harbor Alphaz</title></movie>";
+  xml += "</movies></db>";
+  auto doc = xml::Parse(xml);
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+core::Config GapConfig() {
+  core::Config config;
+  auto movie = core::CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})  // SLNTH for every movie
+                   .Window(3)
+                   .OdThreshold(0.9)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+TEST(WindowAdvisorTest, RecommendsWindowCoveringKnownGap) {
+  for (size_t gap : {2u, 5u, 8u}) {
+    xml::Document doc = DocWithGap(gap);
+    WindowAdviceOptions options;
+    options.sample_size = 100;  // sample everything
+    options.coverage = 1.0;
+    auto advice = AdviseWindow(GapConfig(), doc, "movie", options);
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+    // The only similar pair sits gap+1 ranks apart.
+    EXPECT_EQ(advice->max_distance, gap + 1) << "gap " << gap;
+    EXPECT_EQ(advice->recommended_window, gap + 2) << "gap " << gap;
+    EXPECT_GE(advice->similar_pairs, 1u);
+  }
+}
+
+TEST(WindowAdvisorTest, AdvisedWindowActuallyFindsThePair) {
+  xml::Document doc = DocWithGap(6);
+  WindowAdviceOptions options;
+  options.sample_size = 100;
+  options.coverage = 1.0;
+  core::Config config = GapConfig();
+  auto advice = AdviseWindow(config, doc, "movie", options);
+  ASSERT_TRUE(advice.ok());
+
+  // With the original window 3 the pair is missed...
+  auto before = core::Detector(config).Run(doc);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->Find("movie")->duplicate_pairs.empty());
+
+  // ...with the advised window it is found.
+  auto tuned = WithWindowFor(config, "movie", advice->recommended_window);
+  ASSERT_TRUE(tuned.ok());
+  auto after = core::Detector(tuned.value()).Run(doc);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->Find("movie")->duplicate_pairs.size(), 1u);
+}
+
+TEST(WindowAdvisorTest, NoSimilarPairsMeansNoEvidence) {
+  auto doc = xml::Parse(
+      "<db><movies>"
+      "<movie><title>Aaaa Bbbb</title></movie>"
+      "<movie><title>Qqqq Wwww</title></movie>"
+      "<movie><title>Zzzz Kkkk</title></movie>"
+      "</movies></db>");
+  ASSERT_TRUE(doc.ok());
+  auto advice = AdviseWindow(GapConfig(), doc.value(), "movie", {});
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->similar_pairs, 0u);
+  EXPECT_EQ(advice->recommended_window, 2u);
+}
+
+TEST(WindowAdvisorTest, CoveragePercentileTrimsOutliers) {
+  // 10 adjacent duplicate pairs plus one far-apart outlier: 1.0 coverage
+  // demands a big window, 0.9 coverage keeps it small.
+  std::string xml = "<db><movies>";
+  static constexpr const char* kPairs[] = {"Qq", "Ww", "Ee", "Rr", "Tt",
+                                           "Yy", "Uu", "Pp", "Ss", "Dd"};
+  for (const char* p : kPairs) {
+    xml += std::string("<movie><title>Pair ") + p + " Xxxx</title></movie>";
+    xml += std::string("<movie><title>Pair ") + p + " Xxxz</title></movie>";
+  }
+  // Outlier duplicate whose partner sorts far away (key differs at K1).
+  xml += "<movie><title>Aaaa Harbor Qrst</title></movie>";
+  xml += "<movie><title>zAaaa Harbor Qrst</title></movie>";
+  xml += "</movies></db>";
+  auto doc = xml::Parse(xml);
+  ASSERT_TRUE(doc.ok());
+
+  WindowAdviceOptions full;
+  full.sample_size = 100;
+  full.coverage = 1.0;
+  auto advice_full = AdviseWindow(GapConfig(), doc.value(), "movie", full);
+  ASSERT_TRUE(advice_full.ok());
+
+  WindowAdviceOptions trimmed = full;
+  trimmed.coverage = 0.9;
+  auto advice_trimmed =
+      AdviseWindow(GapConfig(), doc.value(), "movie", trimmed);
+  ASSERT_TRUE(advice_trimmed.ok());
+
+  EXPECT_GT(advice_full->recommended_window,
+            advice_trimmed->recommended_window);
+}
+
+TEST(WindowAdvisorTest, InputValidation) {
+  xml::Document doc = DocWithGap(2);
+  core::Config config = GapConfig();
+  WindowAdviceOptions options;
+  options.coverage = 0.0;
+  EXPECT_FALSE(AdviseWindow(config, doc, "movie", options).ok());
+  options.coverage = 0.95;
+  options.sample_size = 0;
+  EXPECT_FALSE(AdviseWindow(config, doc, "movie", options).ok());
+  options.sample_size = 10;
+  options.key_index = 5;
+  EXPECT_FALSE(AdviseWindow(config, doc, "movie", options).ok());
+  options.key_index = 0;
+  EXPECT_FALSE(AdviseWindow(config, doc, "ghost", options).ok());
+}
+
+TEST(WindowAdvisorTest, WorksOnGeneratedData) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 200;
+  gen.seed = 5;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(3));
+  ASSERT_TRUE(dirty.ok());
+  auto config = datagen::MovieConfig(10);
+  ASSERT_TRUE(config.ok());
+
+  WindowAdviceOptions options;
+  options.sample_size = 40;
+  auto advice = AdviseWindow(config.value(), dirty.value(), "movie", options);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_GT(advice->similar_pairs, 10u);
+  EXPECT_GE(advice->recommended_window, 2u);
+  EXPECT_LE(advice->recommended_window,
+            dirty->element_count());
+}
+
+}  // namespace
+}  // namespace sxnm::eval

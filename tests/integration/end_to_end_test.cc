@@ -1,0 +1,240 @@
+// End-to-end integration tests: full generated-data pipelines through
+// SXNM, asserting quality floors against ground truth, plus whole-system
+// round trips (serialize -> reparse -> detect; config from XML; dedup).
+
+#include <gtest/gtest.h>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/freedb.h"
+#include "datagen/movies.h"
+#include "datagen/template_gen.h"
+#include "eval/experiment.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+#include "sxnm/config_xml.h"
+#include "sxnm/dedup_writer.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xpath.h"
+
+namespace sxnm {
+namespace {
+
+TEST(EndToEndMovies, QualityFloorOnDataSet1) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 500;
+  gen.seed = 101;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(7));
+  ASSERT_TRUE(dirty.ok());
+
+  auto config = datagen::MovieConfig(/*window=*/10);
+  ASSERT_TRUE(config.ok());
+  auto eval = eval::RunAndEvaluate(config.value(), dirty.value(), "movie");
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+
+  EXPECT_GT(eval->metrics.recall, 0.6) << eval->metrics.ToString();
+  EXPECT_GT(eval->metrics.precision, 0.85) << eval->metrics.ToString();
+  // Efficiency: far fewer comparisons than all-pairs.
+  size_t all_pairs = eval->instances * (eval->instances - 1) / 2;
+  EXPECT_LT(eval->comparisons, all_pairs / 5);
+}
+
+TEST(EndToEndMovies, CleanDataYieldsNoOrFewDuplicates) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 400;
+  gen.seed = 55;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto config = datagen::MovieConfig(/*window=*/5);
+  ASSERT_TRUE(config.ok());
+  auto eval = eval::RunAndEvaluate(config.value(), clean, "movie");
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->metrics.gold_pairs, 0u);
+  // A handful of near-title false positives is tolerable, a flood is not.
+  EXPECT_LT(eval->detected_pair_count, 8u);
+}
+
+TEST(EndToEndMovies, SerializeReparseDetectIsIdentical) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 120;
+  gen.seed = 9;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(3));
+  ASSERT_TRUE(dirty.ok());
+
+  auto reparsed = xml::Parse(xml::WriteDocument(dirty.value()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+
+  auto config = datagen::MovieConfig(6);
+  ASSERT_TRUE(config.ok());
+  core::Detector detector(config.value());
+  auto direct = detector.Run(dirty.value());
+  auto roundtrip = detector.Run(reparsed.value());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(roundtrip.ok());
+  EXPECT_EQ(direct->Find("movie")->duplicate_pairs,
+            roundtrip->Find("movie")->duplicate_pairs);
+}
+
+TEST(EndToEndMovies, ConfigThroughXmlRoundTripGivesSameResult) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 150;
+  gen.seed = 21;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(4));
+  ASSERT_TRUE(dirty.ok());
+
+  auto config = datagen::MovieConfig(8);
+  ASSERT_TRUE(config.ok());
+  auto reparsed_config =
+      core::ConfigFromXmlString(core::ConfigToXmlString(config.value()));
+  ASSERT_TRUE(reparsed_config.ok()) << reparsed_config.status().ToString();
+
+  auto a = core::Detector(config.value()).Run(dirty.value());
+  auto b = core::Detector(reparsed_config.value()).Run(dirty.value());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Find("movie")->duplicate_pairs,
+            b->Find("movie")->duplicate_pairs);
+}
+
+TEST(EndToEndMovies, DedupRemovesDetectedDuplicates) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 200;
+  gen.seed = 31;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(5));
+  ASSERT_TRUE(dirty.ok());
+
+  auto config = datagen::MovieConfig(10);
+  ASSERT_TRUE(config.ok());
+  core::Detector detector(config.value());
+  auto result = detector.Run(dirty.value());
+  ASSERT_TRUE(result.ok());
+
+  core::DedupStats stats;
+  auto deduped = core::Deduplicate(dirty.value(), result.value(),
+                                   core::RepresentativeStrategy::kRichest,
+                                   &stats);
+  ASSERT_TRUE(deduped.ok());
+
+  auto count = [](const xml::Document& d) {
+    return xml::XPath::Parse("movie_database/movies/movie")
+        .value()
+        .SelectFromRoot(d)
+        ->size();
+  };
+  EXPECT_EQ(count(deduped.value()),
+            count(dirty.value()) - stats.elements_removed);
+  EXPECT_GT(stats.elements_removed, 0u);
+
+  // Re-running detection on the deduplicated output finds fewer pairs.
+  auto second = detector.Run(deduped.value());
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second->Find("movie")->duplicate_pairs.size(),
+            result->Find("movie")->duplicate_pairs.size());
+}
+
+TEST(EndToEndCds, DescendantGateBeatsOdOnlyOnF1) {
+  // The Experiment set 3 headline: using descendants yields a better best
+  // f-measure than the object description alone.
+  auto doc = datagen::GenerateDataSet2(300, 77);
+  ASSERT_TRUE(doc.ok());
+  auto config = datagen::CdConfig(6);
+  ASSERT_TRUE(config.ok());
+
+  core::ClassifierConfig od_only = config->Find("disc")->classifier;
+  od_only.mode = core::CombineMode::kOdOnly;
+  auto eval_od = eval::RunAndEvaluate(
+      eval::WithClassifier(config.value(), "disc", od_only).value(),
+      doc.value(), "disc");
+  ASSERT_TRUE(eval_od.ok());
+
+  core::ClassifierConfig gated = od_only;
+  gated.mode = core::CombineMode::kDescGate;
+  gated.desc_threshold = 0.1;  // "low descendants threshold is best"
+  auto eval_gate = eval::RunAndEvaluate(
+      eval::WithClassifier(config.value(), "disc", gated).value(),
+      doc.value(), "disc");
+  ASSERT_TRUE(eval_gate.ok());
+
+  EXPECT_GT(eval_gate->metrics.f1, eval_od->metrics.f1)
+      << "od-only: " << eval_od->metrics.ToString()
+      << "\nwith descendants: " << eval_gate->metrics.ToString();
+  EXPECT_GT(eval_gate->metrics.precision, eval_od->metrics.precision);
+}
+
+TEST(EndToEndCds, ScalesTo2kDiscsQuickly) {
+  auto doc = datagen::GenerateDataSet3(1000, 5, 0.03);
+  ASSERT_TRUE(doc.ok());
+  auto config = datagen::Ds3Config(5);
+  ASSERT_TRUE(config.ok());
+  core::Detector detector(config.value());
+  util::Stopwatch watch;
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(watch.ElapsedSeconds(), 30.0);
+  EXPECT_GT(result->Find("disc")->num_instances, 1000u - 10);
+}
+
+TEST(EndToEndScalability, BottomUpCandidatesAllProduceClusters) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 150;
+  gen.seed = 41;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::FewDuplicatesPreset(6));
+  ASSERT_TRUE(dirty.ok());
+
+  auto config = datagen::MovieScalabilityConfig(3);
+  ASSERT_TRUE(config.ok());
+  core::Detector detector(config.value());
+  auto result = detector.Run(dirty.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  for (const char* name : {"title", "person", "movie"}) {
+    const core::CandidateResult* cand = result->Find(name);
+    ASSERT_NE(cand, nullptr) << name;
+    EXPECT_GT(cand->num_instances, 0u) << name;
+    // Each candidate had ~20% duplication: expect at least some found.
+    EXPECT_GT(cand->duplicate_pairs.size(), 0u) << name;
+  }
+
+  // Processing order: title and person strictly before movie.
+  ASSERT_EQ(result->candidates.size(), 3u);
+  EXPECT_EQ(result->candidates[2].name, "movie");
+}
+
+TEST(EndToEndGold, GoldOrdinalsAlignWithDetectorOrdinals) {
+  // The gold extraction and the candidate forest must agree on instance
+  // ordering, otherwise every metric would be garbage.
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 80;
+  gen.seed = 61;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(8));
+  ASSERT_TRUE(dirty.ok());
+
+  auto config = datagen::MovieConfig(10);
+  ASSERT_TRUE(config.ok());
+  core::Detector detector(config.value());
+  auto result = detector.Run(dirty.value());
+  ASSERT_TRUE(result.ok());
+  const core::CandidateResult* movie = result->Find("movie");
+
+  auto labels =
+      eval::GoldLabels(dirty.value(), "movie_database/movies/movie");
+  ASSERT_TRUE(labels.ok());
+  ASSERT_EQ(labels->size(), movie->num_instances);
+
+  // Every instance's gold label matches the one on its element.
+  for (const core::GkRow& row : movie->gk.rows) {
+    const xml::Element* e = dirty->ElementById(row.eid);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->AttributeOr(datagen::kGoldAttribute, ""),
+              (*labels)[row.ordinal]);
+  }
+}
+
+}  // namespace
+}  // namespace sxnm

@@ -1,0 +1,203 @@
+// Cross-module property tests: invariants of the SXNM pipeline that must
+// hold for any data, checked over generated corpora.
+
+#include <gtest/gtest.h>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "eval/experiment.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+#include "sxnm/detector.h"
+#include "sxnm/sliding_window.h"
+#include "xml/parser.h"
+
+namespace sxnm {
+namespace {
+
+xml::Document DirtyMovies(size_t n, uint64_t seed) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = n;
+  gen.seed = seed;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(seed));
+  EXPECT_TRUE(dirty.ok());
+  return std::move(dirty).value();
+}
+
+class WindowMonotonicity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WindowMonotonicity, RecallNonDecreasingInWindowSize) {
+  // Larger windows compare supersets of pairs, so the set of accepted
+  // pairs (and hence recall) can only grow.
+  xml::Document doc = DirtyMovies(150, GetParam());
+  auto config = datagen::MovieConfig(2);
+  ASSERT_TRUE(config.ok());
+  auto single = eval::WithSingleKey(config.value(), "movie", 0);
+  ASSERT_TRUE(single.ok());
+
+  double previous_recall = -1.0;
+  size_t previous_pairs = 0;
+  for (size_t w : {2u, 4u, 8u, 16u}) {
+    auto eval = eval::RunAndEvaluate(
+        eval::WithWindowFor(single.value(), "movie", w).value(), doc,
+        "movie");
+    ASSERT_TRUE(eval.ok());
+    EXPECT_GE(eval->metrics.recall, previous_recall)
+        << "window " << w << " seed " << GetParam();
+    EXPECT_GE(eval->detected_pair_count, previous_pairs);
+    previous_recall = eval->metrics.recall;
+    previous_pairs = eval->detected_pair_count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowMonotonicity,
+                         ::testing::Values(1, 2, 3));
+
+TEST(WindowEqualsAllPairsProperty, HugeWindowMatchesExhaustive) {
+  // With window >= n, SXNM accepts exactly the pairs an exhaustive
+  // comparison would accept (for a single pass; multi-pass is a subset
+  // union of identical all-pairs sets).
+  xml::Document doc = DirtyMovies(60, 4);
+  auto config = datagen::MovieConfig(2);
+  ASSERT_TRUE(config.ok());
+  auto single = eval::WithSingleKey(config.value(), "movie", 0);
+  ASSERT_TRUE(single.ok());
+
+  auto small = core::Detector(
+                   eval::WithWindowFor(single.value(), "movie", 4).value())
+                   .Run(doc);
+  auto huge = core::Detector(
+                  eval::WithWindowFor(single.value(), "movie", 10000).value())
+                  .Run(doc);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(huge.ok());
+
+  const auto& small_pairs = small->Find("movie")->duplicate_pairs;
+  const auto& huge_pairs = huge->Find("movie")->duplicate_pairs;
+  // Small-window accepted pairs are a subset of the all-pairs result.
+  for (const auto& pair : small_pairs) {
+    EXPECT_NE(std::find(huge_pairs.begin(), huge_pairs.end(), pair),
+              huge_pairs.end());
+  }
+  size_t n = huge->Find("movie")->num_instances;
+  EXPECT_EQ(huge->Find("movie")->comparisons, n * (n - 1) / 2);
+}
+
+TEST(MultiPassProperty, MpPairsSupersetOfEachSinglePass) {
+  xml::Document doc = DirtyMovies(120, 5);
+  auto config = datagen::MovieConfig(6);
+  ASSERT_TRUE(config.ok());
+
+  auto mp = core::Detector(config.value()).Run(doc);
+  ASSERT_TRUE(mp.ok());
+  const auto& mp_pairs = mp->Find("movie")->duplicate_pairs;
+
+  for (size_t k = 0; k < 3; ++k) {
+    auto sp_config = eval::WithSingleKey(config.value(), "movie", k);
+    ASSERT_TRUE(sp_config.ok());
+    auto sp = core::Detector(sp_config.value()).Run(doc);
+    ASSERT_TRUE(sp.ok());
+    for (const auto& pair : sp->Find("movie")->duplicate_pairs) {
+      EXPECT_NE(std::find(mp_pairs.begin(), mp_pairs.end(), pair),
+                mp_pairs.end())
+          << "pair from single pass " << k << " missing in multi-pass";
+    }
+  }
+}
+
+TEST(DeterminismProperty, SameInputSameOutput) {
+  xml::Document doc = DirtyMovies(100, 6);
+  auto config = datagen::MovieConfig(8);
+  ASSERT_TRUE(config.ok());
+  core::Detector detector(config.value());
+  auto a = detector.Run(doc);
+  auto b = detector.Run(doc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Find("movie")->duplicate_pairs,
+            b->Find("movie")->duplicate_pairs);
+  EXPECT_EQ(a->Find("movie")->clusters.clusters(),
+            b->Find("movie")->clusters.clusters());
+}
+
+TEST(ClusterPartitionProperty, EveryInstanceInExactlyOneCluster) {
+  xml::Document doc = DirtyMovies(200, 7);
+  auto config = datagen::MovieConfig(10);
+  ASSERT_TRUE(config.ok());
+  auto result = core::Detector(config.value()).Run(doc);
+  ASSERT_TRUE(result.ok());
+  const core::CandidateResult* movie = result->Find("movie");
+
+  std::vector<int> seen(movie->num_instances, 0);
+  for (const auto& cluster : movie->clusters.clusters()) {
+    for (size_t ordinal : cluster) ++seen[ordinal];
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "ordinal " << i;
+  }
+}
+
+TEST(ClosureProperty, AcceptedPairsAlwaysIntraCluster) {
+  xml::Document doc = DirtyMovies(150, 8);
+  auto config = datagen::MovieConfig(8);
+  ASSERT_TRUE(config.ok());
+  auto result = core::Detector(config.value()).Run(doc);
+  ASSERT_TRUE(result.ok());
+  const core::CandidateResult* movie = result->Find("movie");
+  for (const auto& [a, b] : movie->duplicate_pairs) {
+    EXPECT_EQ(movie->clusters.cid(a), movie->clusters.cid(b));
+  }
+}
+
+TEST(ComparisonBoundProperty, ComparisonsBoundedByWindowFormula) {
+  xml::Document doc = DirtyMovies(180, 9);
+  for (size_t w : {2u, 5u, 9u}) {
+    auto config = datagen::MovieConfig(w);
+    ASSERT_TRUE(config.ok());
+    auto result = core::Detector(config.value()).Run(doc);
+    ASSERT_TRUE(result.ok());
+    const core::CandidateResult* movie = result->Find("movie");
+    size_t per_pass = core::WindowPairCount(movie->num_instances, w);
+    EXPECT_LE(movie->comparisons, 3 * per_pass)
+        << "multi-pass with 3 keys compares at most 3x one pass";
+    EXPECT_GE(movie->comparisons, per_pass)
+        << "at least the first pass is fully compared";
+  }
+}
+
+TEST(MetricsConsistencyProperty, DetectedPairsMatchMetricsDenominator) {
+  xml::Document doc = DirtyMovies(150, 10);
+  auto config = datagen::MovieConfig(6);
+  ASSERT_TRUE(config.ok());
+  const core::CandidateConfig* cand = config->Find("movie");
+  auto gold = eval::GoldClusterSet(doc, cand->absolute_path_str);
+  ASSERT_TRUE(gold.ok());
+  auto result = core::Detector(config.value()).Run(doc);
+  ASSERT_TRUE(result.ok());
+  const core::CandidateResult* movie = result->Find("movie");
+
+  eval::PairMetrics m = eval::PairwiseMetrics(gold.value(), movie->clusters);
+  EXPECT_EQ(m.detected_pairs, movie->clusters.NumDuplicatePairs());
+  EXPECT_EQ(m.gold_pairs, gold->NumDuplicatePairs());
+  EXPECT_GE(m.detected_pairs, movie->duplicate_pairs.size())
+      << "closure can only add pairs";
+}
+
+TEST(ThresholdMonotonicityProperty, HigherThresholdFewerPairs) {
+  xml::Document doc = DirtyMovies(150, 11);
+  size_t previous = SIZE_MAX;
+  for (double threshold : {0.5, 0.65, 0.8, 0.95}) {
+    auto config = datagen::MovieConfig(8);
+    ASSERT_TRUE(config.ok());
+    config->Find("movie")->classifier.od_threshold = threshold;
+    auto result = core::Detector(config.value()).Run(doc);
+    ASSERT_TRUE(result.ok());
+    size_t pairs = result->Find("movie")->duplicate_pairs.size();
+    EXPECT_LE(pairs, previous) << "threshold " << threshold;
+    previous = pairs;
+  }
+}
+
+}  // namespace
+}  // namespace sxnm

@@ -1,0 +1,164 @@
+// Robustness tests at unusual scales and shapes: large documents, deep
+// nesting, wide fan-out, degenerate configurations. These guard the
+// substrate against the failure modes a downstream user will hit first.
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xpath.h"
+
+namespace sxnm {
+namespace {
+
+TEST(StressTest, LargeDocumentRoundTrip) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 5000;
+  gen.seed = 1;
+  xml::Document doc = datagen::GenerateCleanMovies(gen);
+  size_t elements = doc.element_count();
+  EXPECT_GT(elements, 20000u);
+
+  std::string text = xml::WriteDocument(doc);
+  auto reparsed = xml::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->element_count(), elements);
+}
+
+TEST(StressTest, DeeplyNestedDocument) {
+  constexpr int kDepth = 500;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) text += "<d>";
+  text += "payload";
+  for (int i = 0; i < kDepth; ++i) text += "</d>";
+
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->element_count(), size_t(kDepth));
+  // Descendant XPath reaches the bottom.
+  auto leaves = xml::XPath::Parse("//d")->SelectFromRoot(doc.value());
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(leaves->size(), size_t(kDepth));
+  // Round-trips.
+  auto again = xml::Parse(xml::WriteDocument(doc.value()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->element_count(), size_t(kDepth));
+}
+
+TEST(StressTest, VeryWideElement) {
+  constexpr int kWidth = 20000;
+  std::string text = "<r>";
+  for (int i = 0; i < kWidth; ++i) text += "<c/>";
+  text += "</r>";
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->NumChildren(), size_t(kWidth));
+  EXPECT_EQ(doc->element_count(), size_t(kWidth) + 1);
+}
+
+TEST(StressTest, DetectorOnSingleInstance) {
+  auto doc = xml::Parse("<db><movies><movie><title>Only</title></movie>"
+                        "</movies></db>");
+  ASSERT_TRUE(doc.ok());
+  core::Config config;
+  auto movie = core::CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K4"}})
+                   .Build();
+  ASSERT_TRUE(movie.ok());
+  ASSERT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  auto result = core::Detector(config).Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("movie")->num_instances, 1u);
+  EXPECT_EQ(result->Find("movie")->comparisons, 0u);
+  EXPECT_EQ(result->Find("movie")->clusters.num_clusters(), 1u);
+}
+
+TEST(StressTest, ManyCandidateTypes) {
+  // 20 sibling candidate types in one config; detector must handle the
+  // forest and ordering without quadratic blowup or confusion.
+  std::string text = "<db>";
+  core::Config config;
+  for (int t = 0; t < 20; ++t) {
+    std::string name = "type" + std::to_string(t);
+    text += "<" + name + ">v" + std::to_string(t) + "</" + name + ">";
+    text += "<" + name + ">v" + std::to_string(t) + "</" + name + ">";
+    auto cand = core::CandidateBuilder(name, "db/" + name)
+                    .Path(1, "text()")
+                    .Od(1, 1.0)
+                    .Key({{1, "C1-C4"}})
+                    .Window(2)
+                    .OdThreshold(0.9)
+                    .Build();
+    ASSERT_TRUE(cand.ok());
+    ASSERT_TRUE(config.AddCandidate(std::move(cand).value()).ok());
+  }
+  text += "</db>";
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  auto result = core::Detector(config).Run(doc.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->candidates.size(), 20u);
+  for (const auto& cand : result->candidates) {
+    EXPECT_EQ(cand.num_instances, 2u);
+    EXPECT_EQ(cand.duplicate_pairs.size(), 1u)
+        << cand.name << ": identical values must match";
+  }
+}
+
+TEST(StressTest, PathologicalKeyAllEmpty) {
+  // Every instance produces an empty key (no digits in titles): the sort
+  // degenerates but the algorithm must stay correct.
+  auto doc = xml::Parse(
+      "<db><movies>"
+      "<movie><title>Alpha Beta</title></movie>"
+      "<movie><title>Alpha Betb</title></movie>"
+      "<movie><title>Gamma Delta</title></movie>"
+      "</movies></db>");
+  ASSERT_TRUE(doc.ok());
+  core::Config config;
+  auto movie = core::CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "D1-D4"}})  // titles have no digits
+                   .Window(3)
+                   .OdThreshold(0.85)
+                   .Build();
+  ASSERT_TRUE(movie.ok());
+  ASSERT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  auto result = core::Detector(config).Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  // All keys equal "": document order kept, window 3 compares all pairs.
+  EXPECT_EQ(result->Find("movie")->duplicate_pairs.size(), 1u);
+}
+
+TEST(StressTest, UnicodeHeavyDocumentSurvivesPipeline) {
+  std::string text =
+      "<db><movies>"
+      "<movie><title>\xE3\x82\xAB\xE3\x83\xA9 \xD0\x96\xD0\xA9</title></movie>"
+      "<movie><title>\xE3\x82\xAB\xE3\x83\xA9 \xD0\x96\xD0\xAE</title></movie>"
+      "</movies></db>";
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  core::Config config;
+  auto movie = core::CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "C1-C6"}})
+                   .Window(2)
+                   .OdThreshold(0.5)
+                   .Build();
+  ASSERT_TRUE(movie.ok());
+  ASSERT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  auto result = core::Detector(config).Run(doc.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Keys are empty (no ASCII alnum); byte-level edit similarity still
+  // compares the pair sensibly.
+  EXPECT_EQ(result->Find("movie")->comparisons, 1u);
+}
+
+}  // namespace
+}  // namespace sxnm

@@ -1,0 +1,177 @@
+#include "relational/incremental_snm.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/vocab.h"
+#include "text/edit_distance.h"
+#include "util/rng.h"
+
+namespace sxnm::relational {
+namespace {
+
+Schema NameSchema() { return Schema({"name"}); }
+
+KeyFn FirstFieldKey() {
+  return [](const Record& r) { return r.field(0); };
+}
+
+MatchFn EditMatch(double threshold) {
+  return [threshold](const Record& a, const Record& b) {
+    return text::NormalizedEditSimilarity(a.field(0), b.field(0)) >=
+           threshold;
+  };
+}
+
+SnmOptions Options(size_t window) {
+  SnmOptions options;
+  options.window_size = window;
+  return options;
+}
+
+TEST(IncrementalSnmTest, SingleBatchFindsAdjacentDuplicates) {
+  IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.8),
+                     Options(2));
+  auto pairs = inc.AddBatch({{{"Hernandez"}},
+                             {{"Hernadez"}},
+                             {{"Stolfo"}},
+                             {{"Naumann"}},
+                             {{"Nauman"}}});
+  EXPECT_EQ(pairs, (std::vector<RecordPair>{{0, 1}, {3, 4}}));
+  EXPECT_EQ(inc.NumRecords(), 5u);
+}
+
+TEST(IncrementalSnmTest, CrossBatchDuplicatesFound) {
+  IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.8),
+                     Options(2));
+  auto first = inc.AddBatch({{{"Hernandez"}}, {{"Stolfo"}}});
+  EXPECT_TRUE(first.empty());
+  // The new packet's record is a duplicate of an old one.
+  auto second = inc.AddBatch({{{"Hernadez"}}});
+  EXPECT_EQ(second, (std::vector<RecordPair>{{0, 2}}));
+}
+
+TEST(IncrementalSnmTest, NewlyAcceptedOnlyReportsNewPairs) {
+  IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.8),
+                     Options(3));
+  auto first = inc.AddBatch({{{"aaaaa"}}, {{"aaaab"}}});
+  EXPECT_EQ(first.size(), 1u);
+  auto second = inc.AddBatch({{{"zzzz"}}});
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(inc.Snapshot().duplicate_pairs.size(), 1u);
+}
+
+TEST(IncrementalSnmTest, EmptyBatchIsNoOp) {
+  IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.8),
+                     Options(2));
+  EXPECT_TRUE(inc.AddBatch({}).empty());
+  EXPECT_EQ(inc.NumRecords(), 0u);
+}
+
+TEST(IncrementalSnmTest, SnapshotClustersMatchClosure) {
+  IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.75),
+                     Options(3));
+  inc.AddBatch({{{"aaaa"}}, {{"aaab"}}});
+  inc.AddBatch({{{"aabb"}}});
+  SnmResult snapshot = inc.Snapshot();
+  // Closure merges the chain 0~1~2.
+  std::vector<size_t> biggest;
+  for (const auto& c : snapshot.clusters) {
+    if (c.size() > biggest.size()) biggest = c;
+  }
+  EXPECT_EQ(biggest, (std::vector<size_t>{0, 1, 2}));
+}
+
+// Property: incremental pairs are a superset of one-shot batch SNM pairs
+// over the same final table, for any batch split.
+TEST(IncrementalSnmTest, SupersetOfBatchSnm) {
+  // Generate a dirty person table.
+  util::Rng rng(99);
+  datagen::ErrorModel errors;
+  errors.field_error_probability = 0.7;
+  std::vector<Record> records;
+  for (int i = 0; i < 200; ++i) {
+    std::string name = datagen::RandomPersonName(rng);
+    records.push_back({{name}});
+    if (rng.NextBool(0.3)) {
+      records.push_back({{datagen::PolluteValue(name, errors, rng)}});
+    }
+  }
+
+  for (size_t batch_size : {1u, 7u, 50u, 1000u}) {
+    IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.8),
+                       Options(4));
+    Table full(NameSchema());
+    for (size_t start = 0; start < records.size(); start += batch_size) {
+      std::vector<Record> batch(
+          records.begin() + static_cast<long>(start),
+          records.begin() +
+              static_cast<long>(std::min(start + batch_size, records.size())));
+      inc.AddBatch(batch);
+    }
+    for (const Record& r : records) full.AddRecord(r);
+
+    SnmResult batch_result =
+        RunSnm(full, {FirstFieldKey()}, EditMatch(0.8), Options(4));
+    SnmResult inc_result = inc.Snapshot();
+
+    for (const RecordPair& pair : batch_result.duplicate_pairs) {
+      EXPECT_NE(std::find(inc_result.duplicate_pairs.begin(),
+                          inc_result.duplicate_pairs.end(), pair),
+                inc_result.duplicate_pairs.end())
+          << "batch pair (" << pair.first << "," << pair.second
+          << ") missing incrementally at batch size " << batch_size;
+    }
+  }
+}
+
+TEST(IncrementalSnmTest, OneBigBatchEqualsBatchSnmExactly) {
+  // When everything arrives in one packet in sorted-insertion order, the
+  // neighborhoods coincide with the batch window, so the accepted pairs
+  // are identical (both directions).
+  std::vector<Record> records = {{{"aaaa"}}, {{"aaab"}}, {{"bbbb"}},
+                                 {{"bbbc"}}, {{"cccc"}}};
+  IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.75),
+                     Options(2));
+  inc.AddBatch(records);
+
+  Table full(NameSchema());
+  for (const Record& r : records) full.AddRecord(r);
+  SnmResult batch =
+      RunSnm(full, {FirstFieldKey()}, EditMatch(0.75), Options(2));
+
+  EXPECT_EQ(inc.Snapshot().duplicate_pairs, batch.duplicate_pairs);
+}
+
+TEST(IncrementalSnmTest, MultiPassKeys) {
+  // Key 2 catches what key 1's window misses, incrementally.
+  Schema schema({"name", "city"});
+  std::vector<KeyFn> keys = {
+      [](const Record& r) { return r.field(0); },
+      [](const Record& r) { return r.field(1); },
+  };
+  MatchFn match = [](const Record& a, const Record& b) {
+    return text::NormalizedEditSimilarity(a.field(0), b.field(0)) >= 0.85;
+  };
+  IncrementalSnm inc(schema, keys, match, Options(2));
+  inc.AddBatch({{{"John Smith", "Berlin"}},
+                {{"Johnny A", "Munich"}},
+                {{"Johnson B", "Hamburg"}},
+                {{"Jolly C", "Dresden"}}});
+  auto pairs = inc.AddBatch({{{"Jon Smith", "Berlin"}}});
+  EXPECT_EQ(pairs, (std::vector<RecordPair>{{0, 4}}))
+      << "found via the city key although the name key separates them";
+}
+
+TEST(IncrementalSnmTest, StatsAccumulate) {
+  IncrementalSnm inc(NameSchema(), {FirstFieldKey()}, EditMatch(0.8),
+                     Options(2));
+  inc.AddBatch({{{"a"}}, {{"b"}}});
+  size_t after_first = inc.Snapshot().stats.comparisons;
+  inc.AddBatch({{{"c"}}});
+  EXPECT_GT(inc.Snapshot().stats.comparisons, after_first);
+  EXPECT_EQ(inc.Snapshot().stats.passes, 1u);
+}
+
+}  // namespace
+}  // namespace sxnm::relational

@@ -1,0 +1,42 @@
+#include "relational/record.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::relational {
+namespace {
+
+TEST(SchemaTest, FieldIndexLookup) {
+  Schema schema({"title", "year", "length"});
+  EXPECT_EQ(schema.NumFields(), 3u);
+  EXPECT_EQ(schema.FieldIndex("title"), 0);
+  EXPECT_EQ(schema.FieldIndex("length"), 2);
+  EXPECT_EQ(schema.FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema schema;
+  EXPECT_EQ(schema.NumFields(), 0u);
+  EXPECT_EQ(schema.FieldIndex("x"), -1);
+}
+
+TEST(TableTest, AddAndAccessRecords) {
+  Table table(Schema({"a", "b"}));
+  EXPECT_EQ(table.NumRecords(), 0u);
+  size_t i0 = table.AddRow({"1", "2"});
+  size_t i1 = table.AddRow({"3", "4"});
+  EXPECT_EQ(i0, 0u);
+  EXPECT_EQ(i1, 1u);
+  EXPECT_EQ(table.NumRecords(), 2u);
+  EXPECT_EQ(table.record(0).field(0), "1");
+  EXPECT_EQ(table.record(1).field(1), "4");
+}
+
+TEST(TableTest, RecordsVectorMatches) {
+  Table table(Schema({"x"}));
+  table.AddRow({"v"});
+  ASSERT_EQ(table.records().size(), 1u);
+  EXPECT_EQ(table.records()[0].fields[0], "v");
+}
+
+}  // namespace
+}  // namespace sxnm::relational

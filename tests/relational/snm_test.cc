@@ -1,0 +1,241 @@
+#include "relational/snm.h"
+
+#include <gtest/gtest.h>
+
+#include "text/edit_distance.h"
+
+namespace sxnm::relational {
+namespace {
+
+// Table of names where records 0/1 and 3/4 are fuzzy duplicates.
+Table SampleTable() {
+  Table table(Schema({"name"}));
+  table.AddRow({"Hernandez"});   // 0
+  table.AddRow({"Hernadez"});    // 1 ~ 0
+  table.AddRow({"Stolfo"});      // 2
+  table.AddRow({"Naumann"});     // 3
+  table.AddRow({"Nauman"});      // 4 ~ 3
+  table.AddRow({"Weis"});        // 5
+  return table;
+}
+
+KeyFn FirstFieldKey() {
+  return [](const Record& r) { return r.field(0); };
+}
+
+MatchFn EditMatch(double threshold) {
+  return [threshold](const Record& a, const Record& b) {
+    return text::NormalizedEditSimilarity(a.field(0), b.field(0)) >=
+           threshold;
+  };
+}
+
+TEST(SnmTest, FindsAdjacentDuplicates) {
+  SnmOptions options;
+  options.window_size = 2;
+  SnmResult result =
+      RunSnm(SampleTable(), {FirstFieldKey()}, EditMatch(0.8), options);
+  // Sorted by name: Hernadez, Hernandez, Nauman, Naumann, Stolfo, Weis.
+  EXPECT_EQ(result.duplicate_pairs,
+            (std::vector<RecordPair>{{0, 1}, {3, 4}}));
+  EXPECT_EQ(result.stats.passes, 1u);
+}
+
+TEST(SnmTest, WindowTwoComparesNMinusOnePairs) {
+  SnmOptions options;
+  options.window_size = 2;
+  SnmResult result =
+      RunSnm(SampleTable(), {FirstFieldKey()}, EditMatch(0.99), options);
+  EXPECT_EQ(result.stats.comparisons, 5u);
+  EXPECT_TRUE(result.duplicate_pairs.empty());
+}
+
+TEST(SnmTest, LargeWindowEqualsAllPairs) {
+  SnmOptions options;
+  options.window_size = 100;
+  SnmResult snm =
+      RunSnm(SampleTable(), {FirstFieldKey()}, EditMatch(0.8), options);
+  SnmResult naive = RunNaiveAllPairs(SampleTable(), EditMatch(0.8));
+  EXPECT_EQ(snm.duplicate_pairs, naive.duplicate_pairs);
+  EXPECT_EQ(snm.stats.comparisons, naive.stats.comparisons);
+}
+
+TEST(SnmTest, MultiPassFindsWhatSinglePassMisses) {
+  // Key 1 sorts by name; key 2 sorts by the city field. The two John
+  // Smiths are separated under key 1 by a run of interposed names, but
+  // adjacent under key 2.
+  Table table(Schema({"name", "city"}));
+  table.AddRow({"John Smith", "Berlin"});   // 0
+  table.AddRow({"Jon Smith", "Berlin"});    // 1 (dup of 0)
+  // Lexicographically between "John Smith" and "Jon Smith":
+  table.AddRow({"Johnny A", "Munich"});
+  table.AddRow({"Johnson B", "Hamburg"});
+  table.AddRow({"Jolly C", "Dresden"});
+
+  MatchFn match = [](const Record& a, const Record& b) {
+    return text::NormalizedEditSimilarity(a.field(0), b.field(0)) >= 0.85;
+  };
+  KeyFn by_name = [](const Record& r) { return r.field(0); };
+  KeyFn by_city = [](const Record& r) { return r.field(1); };
+
+  SnmOptions options;
+  options.window_size = 2;
+  SnmResult single = RunSnm(table, {by_name}, match, options);
+  EXPECT_TRUE(single.duplicate_pairs.empty())
+      << "window 2 on name key misses the pair";
+
+  SnmResult multi = RunSnm(table, {by_name, by_city}, match, options);
+  EXPECT_EQ(multi.duplicate_pairs, (std::vector<RecordPair>{{0, 1}}));
+  EXPECT_EQ(multi.stats.passes, 2u);
+}
+
+TEST(SnmTest, PairsNotRecomparedAcrossPasses) {
+  SnmOptions options;
+  options.window_size = 3;
+  // Same key twice: second pass visits identical windows; every pair must
+  // be counted once.
+  SnmResult once =
+      RunSnm(SampleTable(), {FirstFieldKey()}, EditMatch(0.8), options);
+  SnmResult twice = RunSnm(SampleTable(), {FirstFieldKey(), FirstFieldKey()},
+                           EditMatch(0.8), options);
+  EXPECT_EQ(once.stats.comparisons, twice.stats.comparisons);
+  EXPECT_EQ(once.duplicate_pairs, twice.duplicate_pairs);
+}
+
+TEST(SnmTest, TransitiveClosureBuildsClusters) {
+  Table table(Schema({"name"}));
+  table.AddRow({"aaaa"});
+  table.AddRow({"aaab"});  // ~ 0
+  table.AddRow({"aabb"});  // ~ 1 but not ~ 0
+  SnmOptions options;
+  options.window_size = 3;
+  SnmResult result = RunSnm(table, {FirstFieldKey()}, EditMatch(0.75),
+                            options);
+  // 0~1 (sim .75), 1~2 (sim .75), 0~2 (sim .5): closure merges all three.
+  ASSERT_FALSE(result.clusters.empty());
+  std::vector<size_t> big;
+  for (const auto& c : result.clusters) {
+    if (c.size() > big.size()) big = c;
+  }
+  EXPECT_EQ(big, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(SnmTest, ClosureCanBeDisabled) {
+  SnmOptions options;
+  options.window_size = 2;
+  options.transitive_closure = false;
+  SnmResult result =
+      RunSnm(SampleTable(), {FirstFieldKey()}, EditMatch(0.8), options);
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_FALSE(result.duplicate_pairs.empty());
+}
+
+TEST(SnmTest, EmptyTable) {
+  Table table(Schema({"name"}));
+  SnmOptions options;
+  SnmResult result = RunSnm(table, {FirstFieldKey()}, EditMatch(0.5),
+                            options);
+  EXPECT_EQ(result.stats.comparisons, 0u);
+  EXPECT_TRUE(result.duplicate_pairs.empty());
+}
+
+TEST(DeSnmTest, ExactKeyGroupsMergedWithoutComparison) {
+  Table table(Schema({"name"}));
+  table.AddRow({"same"});
+  table.AddRow({"same"});
+  table.AddRow({"same"});
+  table.AddRow({"other"});
+  SnmOptions options;
+  options.window_size = 2;
+  SnmResult result =
+      RunDeSnm(table, {FirstFieldKey()}, EditMatch(0.99), options);
+  // The three "same" records form one cluster; only representative pairs
+  // are compared in the window (other vs same).
+  std::vector<size_t> big;
+  for (const auto& c : result.clusters) {
+    if (c.size() > big.size()) big = c;
+  }
+  EXPECT_EQ(big, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(result.stats.comparisons, 1u)
+      << "window slides over 2 distinct keys only";
+}
+
+TEST(DeSnmTest, FewerComparisonsThanSnmWithDuplicateKeys) {
+  Table table(Schema({"name"}));
+  for (int i = 0; i < 10; ++i) table.AddRow({"dup"});
+  table.AddRow({"unique"});
+  SnmOptions options;
+  options.window_size = 5;
+  SnmResult snm = RunSnm(table, {FirstFieldKey()}, EditMatch(0.9), options);
+  SnmResult desnm =
+      RunDeSnm(table, {FirstFieldKey()}, EditMatch(0.9), options);
+  EXPECT_LT(desnm.stats.comparisons, snm.stats.comparisons);
+  // Both find the same 10-record cluster.
+  auto biggest = [](const SnmResult& r) {
+    size_t best = 0;
+    for (const auto& c : r.clusters) best = std::max(best, c.size());
+    return best;
+  };
+  EXPECT_EQ(biggest(snm), 10u);
+  EXPECT_EQ(biggest(desnm), 10u);
+}
+
+TEST(BlockingTest, ComparesOnlyWithinBlocks) {
+  Table table(Schema({"name", "block"}));
+  table.AddRow({"aaaa", "x"});
+  table.AddRow({"aaab", "x"});
+  table.AddRow({"aaac", "y"});  // similar but different block
+  KeyFn block_key = [](const Record& r) { return r.field(1); };
+  SnmResult result = RunBlocking(table, {block_key}, EditMatch(0.75));
+  EXPECT_EQ(result.duplicate_pairs, (std::vector<RecordPair>{{0, 1}}));
+  EXPECT_EQ(result.stats.comparisons, 1u);
+}
+
+TEST(NaiveTest, ComparesEveryPair) {
+  SnmResult result = RunNaiveAllPairs(SampleTable(), EditMatch(0.8));
+  EXPECT_EQ(result.stats.comparisons, 15u);  // C(6,2)
+  EXPECT_EQ(result.duplicate_pairs,
+            (std::vector<RecordPair>{{0, 1}, {3, 4}}));
+}
+
+TEST(WeightedFieldMatchTest, WeightsNormalized) {
+  // Weights 2 and 2 act like 0.5/0.5.
+  MatchFn match = MakeWeightedFieldMatch(
+      {0, 1}, {2.0, 2.0},
+      {text::NormalizedEditSimilarity, text::NormalizedEditSimilarity},
+      /*threshold=*/0.75);
+  Record a{{"same", "same"}};
+  Record b{{"same", "xxxx"}};
+  EXPECT_FALSE(match(a, b)) << "0.5*1 + 0.5*0 = 0.5 < 0.75";
+  Record c{{"same", "samx"}};
+  EXPECT_TRUE(match(a, c)) << "0.5*1 + 0.5*0.75 = 0.875";
+}
+
+TEST(WeightedFieldMatchTest, ThresholdBoundary) {
+  MatchFn match = MakeWeightedFieldMatch(
+      {0}, {1.0}, {text::NormalizedEditSimilarity}, /*threshold=*/0.75);
+  Record a{{"abcd"}};
+  Record b{{"abcx"}};
+  EXPECT_TRUE(match(a, b)) << "exactly at threshold counts as duplicate";
+}
+
+TEST(SnmStatsTest, PhaseTimersPopulated) {
+  SnmOptions options;
+  options.window_size = 3;
+  SnmResult result =
+      RunSnm(SampleTable(), {FirstFieldKey()}, EditMatch(0.8), options);
+  auto phases = result.stats.timer.Phases();
+  std::vector<std::string> names;
+  for (const auto& [name, secs] : phases) {
+    names.push_back(name);
+    EXPECT_GE(secs, 0.0);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "key_generation"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "sort"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "window"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "closure"), names.end());
+}
+
+}  // namespace
+}  // namespace sxnm::relational

@@ -1,0 +1,79 @@
+#include "sxnm/cluster_set.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::core {
+namespace {
+
+TEST(ClusterSetTest, SingletonsPartition) {
+  ClusterSet cs = ClusterSet::Singletons(4);
+  EXPECT_EQ(cs.num_instances(), 4u);
+  EXPECT_EQ(cs.num_clusters(), 4u);
+  EXPECT_EQ(cs.NumDuplicatePairs(), 0u);
+  EXPECT_TRUE(cs.NonTrivialClusters().empty());
+  // Distinct cids.
+  EXPECT_NE(cs.cid(0), cs.cid(1));
+}
+
+TEST(ClusterSetTest, FromClustersFillsSingletons) {
+  ClusterSet cs = ClusterSet::FromClusters({{1, 3}}, 5);
+  EXPECT_EQ(cs.num_instances(), 5u);
+  EXPECT_EQ(cs.num_clusters(), 4u);  // {1,3}, {0}, {2}, {4}
+  EXPECT_EQ(cs.cid(1), cs.cid(3));
+  EXPECT_NE(cs.cid(0), cs.cid(1));
+  EXPECT_NE(cs.cid(0), cs.cid(2));
+}
+
+TEST(ClusterSetTest, CidMatchesClusterIndex) {
+  ClusterSet cs = ClusterSet::FromClusters({{0, 2}, {1, 4}}, 5);
+  for (size_t c = 0; c < cs.clusters().size(); ++c) {
+    for (size_t member : cs.clusters()[c]) {
+      EXPECT_EQ(cs.cid(member), static_cast<int>(c));
+    }
+  }
+}
+
+TEST(ClusterSetTest, MembersSortedWithinCluster) {
+  ClusterSet cs = ClusterSet::FromClusters({{4, 1, 2}}, 5);
+  EXPECT_EQ(cs.clusters()[0], (std::vector<size_t>{1, 2, 4}));
+}
+
+TEST(ClusterSetTest, DuplicatePairCount) {
+  // Cluster of 3 -> 3 pairs; cluster of 2 -> 1 pair.
+  ClusterSet cs = ClusterSet::FromClusters({{0, 1, 2}, {3, 4}}, 6);
+  EXPECT_EQ(cs.NumDuplicatePairs(), 4u);
+  auto pairs = cs.DuplicatePairs();
+  EXPECT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs, (std::vector<OrdinalPair>{{0, 1}, {0, 2}, {1, 2}, {3, 4}}));
+}
+
+TEST(ClusterSetTest, NonTrivialClustersOnly) {
+  ClusterSet cs = ClusterSet::FromClusters({{0, 1}}, 4);
+  auto nontrivial = cs.NonTrivialClusters();
+  ASSERT_EQ(nontrivial.size(), 1u);
+  EXPECT_EQ(nontrivial[0], (std::vector<size_t>{0, 1}));
+}
+
+TEST(ClusterSetTest, EmptySet) {
+  ClusterSet cs;
+  EXPECT_EQ(cs.num_instances(), 0u);
+  EXPECT_EQ(cs.num_clusters(), 0u);
+  EXPECT_EQ(cs.NumDuplicatePairs(), 0u);
+}
+
+TEST(ClusterSetTest, EmptyClustersIgnored) {
+  ClusterSet cs = ClusterSet::FromClusters({{}, {0, 1}, {}}, 2);
+  EXPECT_EQ(cs.num_clusters(), 1u);
+}
+
+TEST(ClusterSetTest, EveryInstanceInExactlyOneCluster) {
+  ClusterSet cs = ClusterSet::FromClusters({{2, 5}, {1, 7, 8}}, 10);
+  std::vector<int> seen(10, 0);
+  for (const auto& cluster : cs.clusters()) {
+    for (size_t m : cluster) ++seen[m];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,255 @@
+#include "sxnm/comparators.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+
+namespace sxnm::core {
+namespace {
+
+Config MovieOnlyConfig(size_t window, double threshold = 0.75) {
+  Config config;
+  auto movie = CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Window(window)
+                   .OdThreshold(threshold)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+constexpr const char* kSmall = R"(
+<db><movies>
+  <movie><title>Silent Harbor</title></movie>
+  <movie><title>Silent Harbour</title></movie>
+  <movie><title>Ocean Storm</title></movie>
+  <movie><title>Q</title></movie>
+</movies></db>
+)";
+
+TEST(AllPairsDetectorTest, ComparesEveryPairWithoutFilter) {
+  auto doc = xml::Parse(kSmall);
+  ASSERT_TRUE(doc.ok());
+  AllPairsOptions options;
+  options.use_filter = false;
+  AllPairsDetector detector(MovieOnlyConfig(2), options);
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->Find("movie")->comparisons, 6u);  // C(4,2)
+  EXPECT_EQ(result->Find("movie")->duplicate_pairs,
+            (std::vector<OrdinalPair>{{0, 1}}));
+}
+
+TEST(AllPairsDetectorTest, FilterSkipsHopelessPairsOnly) {
+  auto doc = xml::Parse(kSmall);
+  ASSERT_TRUE(doc.ok());
+  AllPairsDetector with_filter(MovieOnlyConfig(2));
+  AllPairsOptions no_filter_options;
+  no_filter_options.use_filter = false;
+  AllPairsDetector without(MovieOnlyConfig(2), no_filter_options);
+
+  auto filtered = with_filter.Run(doc.value());
+  auto unfiltered = without.Run(doc.value());
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_TRUE(unfiltered.ok());
+  EXPECT_EQ(filtered->Find("movie")->duplicate_pairs,
+            unfiltered->Find("movie")->duplicate_pairs)
+      << "the filter must not change the result";
+  EXPECT_LT(filtered->Find("movie")->comparisons,
+            unfiltered->Find("movie")->comparisons)
+      << "length-incompatible pairs skipped";
+}
+
+TEST(AllPairsDetectorTest, RecallCeilingOverSxnm) {
+  // All-pairs accepts a superset of what any window accepts.
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 120;
+  gen.seed = 3;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(5));
+  ASSERT_TRUE(dirty.ok());
+
+  auto sxnm_config = datagen::MovieConfig(4).value();
+  auto result_sxnm = Detector(sxnm_config).Run(dirty.value());
+  ASSERT_TRUE(result_sxnm.ok());
+  auto result_all = AllPairsDetector(sxnm_config).Run(dirty.value());
+  ASSERT_TRUE(result_all.ok());
+
+  const auto& all_pairs = result_all->Find("movie")->duplicate_pairs;
+  for (const auto& pair : result_sxnm->Find("movie")->duplicate_pairs) {
+    EXPECT_NE(std::find(all_pairs.begin(), all_pairs.end(), pair),
+              all_pairs.end());
+  }
+  EXPECT_GE(all_pairs.size(),
+            result_sxnm->Find("movie")->duplicate_pairs.size());
+}
+
+// The paper's Sec. 2 motivating scenario: two movies share an actor; the
+// movies themselves are NOT duplicates. Bottom-up SXNM finds the
+// duplicate actors; DELPHI-style top-down cannot, because it only
+// compares actors whose movies were clustered together.
+constexpr const char* kMnScenario = R"(
+<db><movies>
+  <movie><title>First Unrelated Film</title>
+    <cast><actor>Keanu Reeves</actor><actor>Don Davis</actor></cast>
+  </movie>
+  <movie><title>Second Distinct Movie</title>
+    <cast><actor>Keanu Reeves</actor><actor>Hugo Weaving</actor></cast>
+  </movie>
+</movies></db>
+)";
+
+Config MovieActorConfig() {
+  Config config;
+  auto actor = CandidateBuilder("actor", "db/movies/movie/cast/actor")
+                   .Path(1, "text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K4"}})
+                   .Window(4)
+                   .OdThreshold(0.9)
+                   .Build();
+  EXPECT_TRUE(actor.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(actor).value()).ok());
+  auto movie = CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Window(4)
+                   .OdThreshold(0.8)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+TEST(TopDownDetectorTest, MissesMnActorDuplicates) {
+  auto doc = xml::Parse(kMnScenario);
+  ASSERT_TRUE(doc.ok());
+  Config config = MovieActorConfig();
+
+  // Bottom-up SXNM: the two Keanu Reeves instances cluster.
+  auto bottom_up = Detector(config).Run(doc.value());
+  ASSERT_TRUE(bottom_up.ok());
+  EXPECT_EQ(bottom_up->Find("actor")->duplicate_pairs.size(), 1u);
+
+  // Top-down: movies are not duplicates, so their actors are never
+  // compared with each other.
+  auto top_down = TopDownDetector(config).Run(doc.value());
+  ASSERT_TRUE(top_down.ok());
+  EXPECT_TRUE(top_down->Find("movie")->duplicate_pairs.empty());
+  EXPECT_TRUE(top_down->Find("actor")->duplicate_pairs.empty())
+      << "the 1:N pruning assumption misses the shared actor";
+  EXPECT_EQ(top_down->Find("actor")->comparisons, 2u)
+      << "only the intra-movie actor pairs are compared (one per movie)";
+}
+
+TEST(TopDownDetectorTest, FindsChildrenOfDuplicateParents) {
+  constexpr const char* kDupMovies = R"(
+<db><movies>
+  <movie><title>The Matrix</title>
+    <cast><actor>Keanu Reeves</actor></cast>
+  </movie>
+  <movie><title>The Matrxi</title>
+    <cast><actor>Keanu Reevs</actor></cast>
+  </movie>
+</movies></db>
+)";
+  auto doc = xml::Parse(kDupMovies);
+  ASSERT_TRUE(doc.ok());
+  auto result = TopDownDetector(MovieActorConfig()).Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("movie")->duplicate_pairs.size(), 1u);
+  EXPECT_EQ(result->Find("actor")->duplicate_pairs.size(), 1u)
+      << "actors of clustered movies are compared and matched";
+}
+
+TEST(TopDownDetectorTest, ProcessesParentsBeforeChildren) {
+  auto doc = xml::Parse(kMnScenario);
+  ASSERT_TRUE(doc.ok());
+  auto result = TopDownDetector(MovieActorConfig()).Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->candidates.size(), 2u);
+  EXPECT_EQ(result->candidates[0].name, "movie");
+  EXPECT_EQ(result->candidates[1].name, "actor");
+}
+
+TEST(TopDownDetectorTest, RootWindowValidated) {
+  auto doc = xml::Parse(kMnScenario);
+  ASSERT_TRUE(doc.ok());
+  TopDownOptions options;
+  options.root_window = 1;
+  auto result =
+      TopDownDetector(MovieActorConfig(), options).Run(doc.value());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ComparatorsTest, AllDetectorsAgreeOnGeneratedDataQualityOrder) {
+  // All-pairs recall >= SXNM recall >= top-down recall for descendants-
+  // free movie config (top-down == SXNM for a root-only candidate with
+  // same window, so use the movie/actor config on dirty data).
+  datagen::MovieDataOptions gen;
+  gen.num_movies = 150;
+  gen.seed = 77;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(clean, datagen::FewDuplicatesPreset(7));
+  ASSERT_TRUE(dirty.ok());
+
+  Config config;
+  auto person = CandidateBuilder(
+                    "person", "movie_database/movies/movie/people/person")
+                    .Path(1, "lastname/text()")
+                    .Path(2, "firstname[1]/text()")
+                    .Od(1, 0.6)
+                    .Od(2, 0.4)
+                    .Key({{1, "K1-K4"}})
+                    .Window(6)
+                    .OdThreshold(0.8)
+                    .Build();
+  ASSERT_TRUE(person.ok());
+  ASSERT_TRUE(config.AddCandidate(std::move(person).value()).ok());
+  auto movie = CandidateBuilder("movie", "movie_database/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Window(6)
+                   .OdThreshold(0.75)
+                   .Build();
+  ASSERT_TRUE(movie.ok());
+  ASSERT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+
+  auto gold = eval::GoldClusterSet(dirty.value(),
+                                   "movie_database/movies/movie/people/person");
+  ASSERT_TRUE(gold.ok());
+
+  auto recall_of = [&](const DetectionResult& r) {
+    return eval::PairwiseMetrics(gold.value(), r.Find("person")->clusters)
+        .recall;
+  };
+
+  auto all = AllPairsDetector(config).Run(dirty.value());
+  auto sxnm = Detector(config).Run(dirty.value());
+  auto top = TopDownDetector(config).Run(dirty.value());
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(sxnm.ok());
+  ASSERT_TRUE(top.ok());
+
+  // All-pairs is the recall ceiling for both windowed/pruned algorithms.
+  EXPECT_GE(recall_of(all.value()), recall_of(sxnm.value()));
+  EXPECT_GE(recall_of(all.value()), recall_of(top.value()));
+  // And it pays for that with the most comparisons.
+  EXPECT_GE(all->Find("person")->comparisons,
+            sxnm->Find("person")->comparisons);
+  EXPECT_GE(all->Find("person")->comparisons,
+            top->Find("person")->comparisons);
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,214 @@
+#include "sxnm/config_xml.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::core {
+namespace {
+
+constexpr const char* kConfigXml = R"xml(
+<sxnm-config>
+  <candidate name="movie" path="movie_database/movies/movie" window="10"
+             use-descendants="true">
+    <paths>
+      <path id="1" rel="title/text()"/>
+      <path id="2" rel="@ID"/>
+      <path id="3" rel="@year"/>
+    </paths>
+    <od>
+      <entry pid="1" relevance="0.8"/>
+      <entry pid="3" relevance="0.2" similarity="numeric:10"/>
+    </od>
+    <keys>
+      <key>
+        <part pid="1" order="1" pattern="K1,K2"/>
+        <part pid="3" order="2" pattern="D3,D4"/>
+      </key>
+      <key>
+        <part pid="2" order="1" pattern="D1"/>
+        <part pid="1" order="2" pattern="C1,C2"/>
+      </key>
+    </keys>
+    <classifier mode="average" od-threshold="0.7" desc-threshold="0.4"
+                od-weight="0.6"/>
+  </candidate>
+  <candidate name="person" path="movie_database/movies/movie/people/person"
+             window="4">
+    <paths><path id="1" rel="text()"/></paths>
+    <od><entry pid="1" relevance="1"/></od>
+    <keys><key><part pid="1" pattern="K1-K4"/></key></keys>
+  </candidate>
+</sxnm-config>
+)xml";
+
+TEST(ConfigXmlTest, ParsesPaperStyleConfig) {
+  auto config = ConfigFromXmlString(kConfigXml);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  ASSERT_EQ(config->candidates().size(), 2u);
+
+  const CandidateConfig* movie = config->Find("movie");
+  ASSERT_NE(movie, nullptr);
+  EXPECT_EQ(movie->absolute_path.ToString(), "movie_database/movies/movie");
+  EXPECT_EQ(movie->window_size, 10u);
+  EXPECT_EQ(movie->paths.size(), 3u);
+  EXPECT_EQ(movie->od.size(), 2u);
+  EXPECT_DOUBLE_EQ(movie->od[0].relevance, 0.8);
+  EXPECT_EQ(movie->od[1].similarity_name, "numeric:10");
+  ASSERT_EQ(movie->keys.size(), 2u);
+  EXPECT_EQ(movie->keys[0].parts[0].pattern.ToString(), "K1,K2");
+  EXPECT_EQ(movie->keys[1].parts[0].pid, 2);
+  EXPECT_EQ(movie->classifier.mode, CombineMode::kAverage);
+  EXPECT_DOUBLE_EQ(movie->classifier.od_threshold, 0.7);
+  EXPECT_DOUBLE_EQ(movie->classifier.desc_threshold, 0.4);
+  EXPECT_DOUBLE_EQ(movie->classifier.od_weight, 0.6);
+
+  const CandidateConfig* person = config->Find("person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(person->window_size, 4u);
+}
+
+TEST(ConfigXmlTest, PartsSortedByExplicitOrder) {
+  auto config = ConfigFromXmlString(R"xml(
+<sxnm-config>
+  <candidate name="m" path="db/m">
+    <paths><path id="1" rel="a/text()"/><path id="2" rel="b/text()"/></paths>
+    <od><entry pid="1" relevance="1"/></od>
+    <keys>
+      <key>
+        <part pid="2" order="2" pattern="C1"/>
+        <part pid="1" order="1" pattern="K1"/>
+      </key>
+    </keys>
+  </candidate>
+</sxnm-config>)xml");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const auto& parts = config->Find("m")->keys[0].parts;
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].pid, 1) << "order=1 part first";
+  EXPECT_EQ(parts[1].pid, 2);
+}
+
+TEST(ConfigXmlTest, RoundTripsThroughXml) {
+  auto original = ConfigFromXmlString(kConfigXml);
+  ASSERT_TRUE(original.ok());
+  std::string serialized = ConfigToXmlString(original.value());
+  auto reparsed = ConfigFromXmlString(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                             << "\n" << serialized;
+  ASSERT_EQ(reparsed->candidates().size(), original->candidates().size());
+  for (size_t i = 0; i < original->candidates().size(); ++i) {
+    const CandidateConfig& a = original->candidates()[i];
+    const CandidateConfig& b = reparsed->candidates()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.absolute_path, b.absolute_path);
+    EXPECT_EQ(a.window_size, b.window_size);
+    EXPECT_EQ(a.use_descendants, b.use_descendants);
+    EXPECT_EQ(a.classifier.mode, b.classifier.mode);
+    EXPECT_DOUBLE_EQ(a.classifier.od_threshold, b.classifier.od_threshold);
+    ASSERT_EQ(a.paths.size(), b.paths.size());
+    for (size_t p = 0; p < a.paths.size(); ++p) {
+      EXPECT_EQ(a.paths[p].id, b.paths[p].id);
+      EXPECT_EQ(a.paths[p].path, b.paths[p].path);
+    }
+    ASSERT_EQ(a.keys.size(), b.keys.size());
+    for (size_t k = 0; k < a.keys.size(); ++k) {
+      ASSERT_EQ(a.keys[k].parts.size(), b.keys[k].parts.size());
+      for (size_t q = 0; q < a.keys[k].parts.size(); ++q) {
+        EXPECT_EQ(a.keys[k].parts[q].pid, b.keys[k].parts[q].pid);
+        EXPECT_EQ(a.keys[k].parts[q].pattern, b.keys[k].parts[q].pattern);
+      }
+    }
+  }
+}
+
+TEST(ConfigXmlTest, WrongRootRejected) {
+  auto config = ConfigFromXmlString("<not-a-config/>");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(ConfigXmlTest, MissingRequiredAttributesRejected) {
+  EXPECT_FALSE(ConfigFromXmlString(
+                   "<sxnm-config><candidate name=\"x\"/></sxnm-config>")
+                   .ok())
+      << "missing path attribute";
+  EXPECT_FALSE(ConfigFromXmlString(
+                   "<sxnm-config><candidate path=\"a/b\"/></sxnm-config>")
+                   .ok())
+      << "missing name attribute";
+}
+
+TEST(ConfigXmlTest, InvalidConfigFailsValidation) {
+  // Parses but has no OD/keys: Validate() must reject.
+  auto config = ConfigFromXmlString(R"xml(
+<sxnm-config>
+  <candidate name="m" path="db/m">
+    <paths><path id="1" rel="t/text()"/></paths>
+  </candidate>
+</sxnm-config>)xml");
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(ConfigXmlTest, BadWindowRejected) {
+  auto config = ConfigFromXmlString(R"xml(
+<sxnm-config>
+  <candidate name="m" path="db/m" window="1">
+    <paths><path id="1" rel="t/text()"/></paths>
+    <od><entry pid="1"/></od>
+    <keys><key><part pid="1" pattern="C1"/></key></keys>
+  </candidate>
+</sxnm-config>)xml");
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(ConfigXmlTest, BadBooleanRejected) {
+  auto config = ConfigFromXmlString(R"xml(
+<sxnm-config>
+  <candidate name="m" path="db/m" use-descendants="maybe">
+    <paths><path id="1" rel="t/text()"/></paths>
+    <od><entry pid="1"/></od>
+    <keys><key><part pid="1" pattern="C1"/></key></keys>
+  </candidate>
+</sxnm-config>)xml");
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(ConfigXmlTest, BadCombineModeRejected) {
+  auto config = ConfigFromXmlString(R"xml(
+<sxnm-config>
+  <candidate name="m" path="db/m">
+    <paths><path id="1" rel="t/text()"/></paths>
+    <od><entry pid="1"/></od>
+    <keys><key><part pid="1" pattern="C1"/></key></keys>
+    <classifier mode="nonsense"/>
+  </candidate>
+</sxnm-config>)xml");
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(ConfigXmlTest, MalformedXmlRejected) {
+  EXPECT_FALSE(ConfigFromXmlString("<sxnm-config>").ok());
+}
+
+TEST(ConfigXmlTest, MissingFileRejected) {
+  EXPECT_FALSE(ConfigFromXmlFile("/no/such/config.xml").ok());
+}
+
+TEST(ConfigXmlTest, DefaultsApplied) {
+  auto config = ConfigFromXmlString(R"xml(
+<sxnm-config>
+  <candidate name="m" path="db/m">
+    <paths><path id="1" rel="t/text()"/></paths>
+    <od><entry pid="1"/></od>
+    <keys><key><part pid="1" pattern="C1"/></key></keys>
+  </candidate>
+</sxnm-config>)xml");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const CandidateConfig* m = config->Find("m");
+  EXPECT_EQ(m->window_size, 10u) << "builder default";
+  EXPECT_TRUE(m->use_descendants);
+  EXPECT_DOUBLE_EQ(m->od[0].relevance, 1.0);
+  EXPECT_EQ(m->od[0].similarity_name, "edit");
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,146 @@
+#include "sxnm/dedup_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xpath.h"
+
+namespace sxnm::core {
+namespace {
+
+constexpr const char* kDoc = R"(
+<db>
+  <movies>
+    <movie><title>The Matrix</title><note>rich version with extras</note></movie>
+    <movie><title>The Matrxi</title></movie>
+    <movie><title>Unique Film</title></movie>
+  </movies>
+</db>
+)";
+
+Config MovieConfig() {
+  Config config;
+  auto movie = CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Window(3)
+                   .OdThreshold(0.8)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+TEST(DedupWriterTest, RemovesAllButRepresentative) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->Find("movie")->duplicate_pairs.size(), 1u);
+
+  DedupStats stats;
+  auto deduped = Deduplicate(doc.value(), result.value(),
+                             RepresentativeStrategy::kFirst, &stats);
+  ASSERT_TRUE(deduped.ok()) << deduped.status().ToString();
+  EXPECT_EQ(stats.clusters_collapsed, 1u);
+  EXPECT_EQ(stats.elements_removed, 1u);
+
+  auto movies = xml::XPath::Parse("db/movies/movie")
+                    .value()
+                    .SelectFromRoot(deduped.value());
+  ASSERT_TRUE(movies.ok());
+  EXPECT_EQ(movies->size(), 2u);
+}
+
+TEST(DedupWriterTest, FirstStrategyKeepsDocumentOrderFirst) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  auto deduped =
+      Deduplicate(doc.value(), result.value(), RepresentativeStrategy::kFirst);
+  ASSERT_TRUE(deduped.ok());
+  std::string out = xml::WriteDocument(deduped.value());
+  EXPECT_NE(out.find("The Matrix"), std::string::npos);
+  EXPECT_EQ(out.find("The Matrxi"), std::string::npos);
+}
+
+TEST(DedupWriterTest, RichestStrategyKeepsMostContent) {
+  // Make the *second* instance the rich one.
+  constexpr const char* kRichSecond = R"(
+<db><movies>
+  <movie><title>The Matrix</title></movie>
+  <movie><title>The Matrxi</title><note>much longer subtree text here</note></movie>
+</movies></db>
+)";
+  auto doc = xml::Parse(kRichSecond);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->Find("movie")->duplicate_pairs.size(), 1u);
+
+  auto deduped = Deduplicate(doc.value(), result.value(),
+                             RepresentativeStrategy::kRichest);
+  ASSERT_TRUE(deduped.ok());
+  std::string out = xml::WriteDocument(deduped.value());
+  EXPECT_NE(out.find("The Matrxi"), std::string::npos)
+      << "richest member kept";
+  EXPECT_EQ(out.find("<title>The Matrix</title>"), std::string::npos);
+}
+
+TEST(DedupWriterTest, OriginalDocumentUntouched) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  size_t before = doc->element_count();
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  auto deduped = Deduplicate(doc.value(), result.value());
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(doc->element_count(), before);
+  EXPECT_LT(deduped->element_count(), before);
+}
+
+TEST(DedupWriterTest, NoDuplicatesIsIdentityModuloClone) {
+  auto doc = xml::Parse("<db><movies><movie><title>Only One</title></movie>"
+                        "</movies></db>");
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  DedupStats stats;
+  auto deduped = Deduplicate(doc.value(), result.value(),
+                             RepresentativeStrategy::kRichest, &stats);
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(stats.clusters_collapsed, 0u);
+  EXPECT_EQ(stats.elements_removed, 0u);
+  EXPECT_EQ(xml::WriteDocument(deduped.value()),
+            xml::WriteDocument(doc.value()));
+}
+
+TEST(DedupWriterTest, OutputIsWellFormed) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  auto deduped = Deduplicate(doc.value(), result.value());
+  ASSERT_TRUE(deduped.ok());
+  auto reparsed = xml::Parse(xml::WriteDocument(deduped.value()));
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+TEST(DedupWriterTest, EmptyDocumentRejected) {
+  xml::Document empty;
+  DetectionResult result;
+  EXPECT_FALSE(Deduplicate(empty, result).ok());
+}
+
+}  // namespace
+}  // namespace sxnm::core

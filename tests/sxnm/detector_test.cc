@@ -1,0 +1,281 @@
+#include "sxnm/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace sxnm::core {
+namespace {
+
+constexpr const char* kMovies = R"(
+<db>
+  <movies>
+    <movie year="1999"><title>The Matrix</title></movie>
+    <movie year="1999"><title>The Matrxi</title></movie>
+    <movie year="1998"><title>Mask of Zorro</title></movie>
+    <movie year="2001"><title>Ocean Storm</title></movie>
+  </movies>
+</db>
+)";
+
+Config MovieConfig(size_t window = 4, double threshold = 0.8) {
+  Config config;
+  auto movie = CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Path(2, "@year")
+                   .Od(1, 0.8)
+                   .Od(2, 0.2, "numeric:5")
+                   .Key({{1, "K1-K5"}, {2, "D3,D4"}})
+                   .Key({{2, "D3,D4"}, {1, "K1,K2"}})
+                   .Window(window)
+                   .OdThreshold(threshold)
+                   .Build();
+  EXPECT_TRUE(movie.ok()) << movie.status().ToString();
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+TEST(DetectorTest, FindsSimilarMovies) {
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const CandidateResult* movie = result->Find("movie");
+  ASSERT_NE(movie, nullptr);
+  EXPECT_EQ(movie->num_instances, 4u);
+  ASSERT_EQ(movie->duplicate_pairs.size(), 1u);
+  EXPECT_EQ(movie->duplicate_pairs[0], (OrdinalPair{0, 1}));
+  EXPECT_EQ(movie->clusters.NonTrivialClusters().size(), 1u);
+  EXPECT_GT(movie->comparisons, 0u);
+}
+
+TEST(DetectorTest, EidPairsMatchOrdinalPairs) {
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  const CandidateResult* movie = result->Find("movie");
+  ASSERT_EQ(movie->duplicate_eid_pairs.size(),
+            movie->duplicate_pairs.size());
+  for (size_t i = 0; i < movie->duplicate_pairs.size(); ++i) {
+    auto [a, b] = movie->duplicate_pairs[i];
+    auto [ea, eb] = movie->duplicate_eid_pairs[i];
+    EXPECT_EQ(movie->gk.rows[a].eid, ea);
+    EXPECT_EQ(movie->gk.rows[b].eid, eb);
+    EXPECT_EQ(doc->ElementById(ea)->name(), "movie");
+  }
+}
+
+TEST(DetectorTest, PhaseTimersPopulated) {
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->KeyGenerationSeconds(), 0.0);
+  EXPECT_GE(result->SlidingWindowSeconds(), 0.0);
+  EXPECT_GE(result->TransitiveClosureSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(result->DuplicateDetectionSeconds(),
+                   result->SlidingWindowSeconds() +
+                       result->TransitiveClosureSeconds());
+}
+
+TEST(DetectorTest, InvalidConfigRejectedAtRun) {
+  Config config;  // empty
+  Detector detector(config);
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(detector.Run(doc.value()).ok());
+}
+
+TEST(DetectorTest, HighThresholdFindsNothing) {
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig(4, 1.0));
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Find("movie")->duplicate_pairs.empty());
+}
+
+TEST(DetectorTest, ZeroThresholdMergesWindowedPairs) {
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig(4, 0.0));
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  const CandidateResult* movie = result->Find("movie");
+  // Window 4 over 4 instances compares all pairs; threshold 0 accepts all.
+  EXPECT_EQ(movie->duplicate_pairs.size(), 6u);
+  EXPECT_EQ(movie->clusters.num_clusters(), 1u);
+}
+
+TEST(DetectorTest, BottomUpDescendantsHelpParents) {
+  // Two books whose titles differ beyond the OD threshold but whose
+  // authors coincide; desc-average mode pulls them over the line.
+  constexpr const char* kBooks = R"(
+<lib>
+  <book><name>Completely Different A</name>
+    <authors><author>Jane Q Doe</author><author>Max Power</author></authors>
+  </book>
+  <book><name>Unrelated Title Zq</name>
+    <authors><author>Jane Q Doe</author><author>Max Power</author></authors>
+  </book>
+</lib>
+)";
+  auto doc = xml::Parse(kBooks);
+  ASSERT_TRUE(doc.ok());
+
+  Config config;
+  auto author = CandidateBuilder("author", "lib/book/authors/author")
+                    .Path(1, "text()")
+                    .Od(1, 1.0)
+                    .Key({{1, "K1-K4"}})
+                    .Window(4)
+                    .OdThreshold(0.9)
+                    .Build();
+  ASSERT_TRUE(author.ok());
+  ASSERT_TRUE(config.AddCandidate(std::move(author).value()).ok());
+
+  auto book = CandidateBuilder("book", "lib/book")
+                  .Path(1, "name/text()")
+                  .Od(1, 1.0)
+                  .Key({{1, "K1-K4"}})
+                  .Window(4)
+                  .OdThreshold(0.6)
+                  .Mode(CombineMode::kAverage)
+                  .Build();
+  ASSERT_TRUE(book.ok());
+  ASSERT_TRUE(config.AddCandidate(std::move(book).value()).ok());
+
+  Detector detector(config);
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Authors deduplicate (identical names).
+  const CandidateResult* authors = result->Find("author");
+  ASSERT_NE(authors, nullptr);
+  EXPECT_EQ(authors->clusters.NonTrivialClusters().size(), 2u);
+
+  // Books: OD sim is low, but desc sim = 1.0 lifts the average over 0.6.
+  const CandidateResult* books = result->Find("book");
+  ASSERT_NE(books, nullptr);
+  EXPECT_EQ(books->duplicate_pairs.size(), 1u)
+      << "shared author clusters should make the books duplicates";
+
+  // Control: with kOdOnly the same books do not match.
+  Config od_only = config;
+  od_only.Find("book")->classifier.mode = CombineMode::kOdOnly;
+  auto control = Detector(od_only).Run(doc.value());
+  ASSERT_TRUE(control.ok());
+  EXPECT_TRUE(control->Find("book")->duplicate_pairs.empty());
+}
+
+TEST(DetectorTest, ProcessingOrderChildrenFirst) {
+  constexpr const char* kNested = R"(
+<db><outer><inner>x</inner></outer><outer><inner>y</inner></outer></db>
+)";
+  auto doc = xml::Parse(kNested);
+  ASSERT_TRUE(doc.ok());
+  Config config;
+  ASSERT_TRUE(config
+                  .AddCandidate(CandidateBuilder("outer", "db/outer")
+                                    .Path(1, "inner/text()")
+                                    .Od(1, 1.0)
+                                    .Key({{1, "C1"}})
+                                    .Build()
+                                    .value())
+                  .ok());
+  ASSERT_TRUE(config
+                  .AddCandidate(CandidateBuilder("inner", "db/outer/inner")
+                                    .Path(1, "text()")
+                                    .Od(1, 1.0)
+                                    .Key({{1, "C1"}})
+                                    .Build()
+                                    .value())
+                  .ok());
+  Detector detector(config);
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  // Results listed in processing order: inner before outer.
+  ASSERT_EQ(result->candidates.size(), 2u);
+  EXPECT_EQ(result->candidates[0].name, "inner");
+  EXPECT_EQ(result->candidates[1].name, "outer");
+}
+
+TEST(DetectorTest, ExactOdPrepassLinksIdenticalValues) {
+  // Ten identical leaf values, far apart in a window of 2 thanks to
+  // interleaving: without the prepass the window misses most pairs.
+  std::string body;
+  for (int i = 0; i < 10; ++i) {
+    body += "<item><v>same value</v></item>";
+    body += "<item><v>filler" + std::to_string(i) + "</v></item>";
+  }
+  auto doc = xml::Parse("<db>" + body + "</db>");
+  ASSERT_TRUE(doc.ok());
+
+  auto make_config = [](bool prepass) {
+    Config config;
+    EXPECT_TRUE(config
+                    .AddCandidate(CandidateBuilder("item", "db/item")
+                                      .Path(1, "v/text()")
+                                      .Od(1, 1.0)
+                                      .Key({{1, "C1-C4"}})
+                                      .Window(2)
+                                      .OdThreshold(0.95)
+                                      .ExactOdPrepass(prepass)
+                                      .Build()
+                                      .value())
+                    .ok());
+    return config;
+  };
+
+  auto with = Detector(make_config(true)).Run(doc.value());
+  ASSERT_TRUE(with.ok());
+  auto without = Detector(make_config(false)).Run(doc.value());
+  ASSERT_TRUE(without.ok());
+
+  size_t biggest_with = 0, biggest_without = 0;
+  for (const auto& c : with->Find("item")->clusters.clusters()) {
+    biggest_with = std::max(biggest_with, c.size());
+  }
+  for (const auto& c : without->Find("item")->clusters.clusters()) {
+    biggest_without = std::max(biggest_without, c.size());
+  }
+  EXPECT_EQ(biggest_with, 10u) << "prepass links all identical values";
+  EXPECT_GE(biggest_with, biggest_without);
+}
+
+TEST(DetectorTest, EmptyDocumentNoInstances) {
+  auto doc = xml::Parse("<db><movies/></db>");
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("movie")->num_instances, 0u);
+  EXPECT_EQ(result->Find("movie")->comparisons, 0u);
+}
+
+TEST(DetectorTest, WindowLargerThanInstances) {
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig(/*window=*/100));
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  // Degenerates to all-pairs: C(4,2) = 6 comparisons.
+  EXPECT_EQ(result->Find("movie")->comparisons, 6u);
+}
+
+TEST(DetectorTest, FindMissingCandidateReturnsNull) {
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace sxnm::core

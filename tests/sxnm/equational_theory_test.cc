@@ -1,0 +1,149 @@
+#include "sxnm/equational_theory.h"
+
+#include <gtest/gtest.h>
+
+#include "sxnm/config.h"
+#include "sxnm/config_xml.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+
+namespace sxnm::core {
+namespace {
+
+TEST(EquationalTheoryTest, EmptyTheoryNeverFires) {
+  EquationalTheory theory;
+  EXPECT_TRUE(theory.empty());
+  EXPECT_FALSE(theory.Fires({1.0}, {1}, 1.0));
+}
+
+TEST(EquationalTheoryTest, SingleConditionRule) {
+  EquationalTheory theory({Rule{{{1, 0.9}}}});
+  EXPECT_TRUE(theory.Fires({0.95}, {1}, -1.0));
+  EXPECT_TRUE(theory.Fires({0.9}, {1}, -1.0)) << "boundary inclusive";
+  EXPECT_FALSE(theory.Fires({0.89}, {1}, -1.0));
+}
+
+TEST(EquationalTheoryTest, ConjunctionWithinRule) {
+  EquationalTheory theory({Rule{{{1, 0.8}, {2, 0.7}}}});
+  EXPECT_TRUE(theory.Fires({0.9, 0.75}, {1, 2}, -1.0));
+  EXPECT_FALSE(theory.Fires({0.9, 0.6}, {1, 2}, -1.0));
+  EXPECT_FALSE(theory.Fires({0.7, 0.9}, {1, 2}, -1.0));
+}
+
+TEST(EquationalTheoryTest, DisjunctionAcrossRules) {
+  EquationalTheory theory({
+      Rule{{{1, 0.95}}},            // near-exact id match suffices...
+      Rule{{{2, 0.8}, {3, 0.8}}},   // ...or both names match well
+  });
+  EXPECT_TRUE(theory.Fires({0.99, 0.0, 0.0}, {1, 2, 3}, -1.0));
+  EXPECT_TRUE(theory.Fires({0.0, 0.85, 0.82}, {1, 2, 3}, -1.0));
+  EXPECT_FALSE(theory.Fires({0.9, 0.85, 0.5}, {1, 2, 3}, -1.0));
+}
+
+TEST(EquationalTheoryTest, DescendantCondition) {
+  EquationalTheory theory(
+      {Rule{{{1, 0.7}, {RuleCondition::kDescendants, 0.3}}}});
+  EXPECT_TRUE(theory.Fires({0.8}, {1}, 0.5));
+  EXPECT_FALSE(theory.Fires({0.8}, {1}, 0.1));
+  EXPECT_FALSE(theory.Fires({0.8}, {1}, -1.0))
+      << "no descendant info -> descendant condition fails";
+}
+
+TEST(EquationalTheoryTest, UnknownPidFailsCondition) {
+  EquationalTheory theory({Rule{{{99, 0.1}}}});
+  EXPECT_FALSE(theory.Fires({1.0}, {1}, 1.0));
+}
+
+TEST(EquationalTheoryTest, ValidateCatchesProblems) {
+  EXPECT_TRUE(EquationalTheory({Rule{{{1, 0.5}}}}).Validate({1, 2}).ok());
+  EXPECT_FALSE(EquationalTheory({Rule{}}).Validate({1}).ok())
+      << "empty rule";
+  EXPECT_FALSE(EquationalTheory({Rule{{{7, 0.5}}}}).Validate({1}).ok())
+      << "unknown pid";
+  EXPECT_FALSE(EquationalTheory({Rule{{{1, 1.5}}}}).Validate({1}).ok())
+      << "similarity out of range";
+  EXPECT_TRUE(EquationalTheory(
+                  {Rule{{{RuleCondition::kDescendants, 0.3}}}})
+                  .Validate({1})
+                  .ok())
+      << "descendant condition needs no pid";
+}
+
+// --- Integration: theory drives the detector ------------------------------
+
+constexpr const char* kDoc = R"(
+<db>
+  <disc><did>abc12345</did><dtitle>Silent Harbor</dtitle></disc>
+  <disc><did>abc12345</did><dtitle>Completely Other</dtitle></disc>
+  <disc><did>zzz99999</did><dtitle>Silent Harbour</dtitle></disc>
+  <disc><did>qqq11111</did><dtitle>Unrelated Disc</dtitle></disc>
+</db>
+)";
+
+Config TheoryConfig() {
+  Config config;
+  auto disc = CandidateBuilder("disc", "db/disc")
+                  .Path(1, "did/text()")
+                  .Path(2, "dtitle/text()")
+                  .Od(1, 0.5)
+                  .Od(2, 0.5)
+                  .Key({{2, "K1-K5"}})
+                  .Window(4)
+                  .OdThreshold(0.99)  // would find almost nothing alone
+                  .TheoryRule({{1, 1.0}})          // exact disc id match
+                  .TheoryRule({{2, 0.9}})          // or near-equal title
+                  .Build()
+                  .value();
+  EXPECT_TRUE(config.AddCandidate(std::move(disc)).ok());
+  return config;
+}
+
+TEST(EquationalTheoryDetectorTest, RulesReplaceThreshold) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(TheoryConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const CandidateResult* disc = result->Find("disc");
+  // Rule 1 links discs 0 and 1 (same did, very different titles, so the
+  // 0.99 OD threshold alone would reject); rule 2 links 0 and 2 (titles
+  // within edit sim 0.9, different dids). Disc 3 stays alone.
+  ASSERT_EQ(disc->duplicate_pairs.size(), 2u);
+  EXPECT_EQ(disc->duplicate_pairs[0], (OrdinalPair{0, 1}));
+  EXPECT_EQ(disc->duplicate_pairs[1], (OrdinalPair{0, 2}));
+}
+
+TEST(EquationalTheoryDetectorTest, InvalidTheoryRejectedByValidate) {
+  Config config;
+  auto disc = CandidateBuilder("disc", "db/disc")
+                  .Path(1, "did/text()")
+                  .Od(1, 1.0)
+                  .Key({{1, "C1-C4"}})
+                  .TheoryRule({{42, 0.5}})  // pid 42 is not an OD entry
+                  .Build()
+                  .value();
+  ASSERT_TRUE(config.AddCandidate(std::move(disc)).ok());
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(EquationalTheoryDetectorTest, RoundTripsThroughConfigXml) {
+  Config config = TheoryConfig();
+  // Serialize, reparse, compare theories.
+  auto reparsed = ConfigFromXmlString(ConfigToXmlString(config));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->Find("disc")->theory, config.Find("disc")->theory);
+
+  // Same detection outcome.
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  auto a = Detector(config).Run(doc.value());
+  auto b = Detector(reparsed.value()).Run(doc.value());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Find("disc")->duplicate_pairs,
+            b->Find("disc")->duplicate_pairs);
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,147 @@
+// Tests for the data-fusion representative strategy (kFuse) of the dedup
+// writer.
+
+#include <gtest/gtest.h>
+
+#include "sxnm/config.h"
+#include "sxnm/dedup_writer.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xpath.h"
+
+namespace sxnm::core {
+namespace {
+
+// Two duplicate movies with complementary information: the first has the
+// year and a review, the second has the genre attribute and a person.
+constexpr const char* kDoc = R"(
+<db>
+  <movies>
+    <movie year="1999">
+      <title>The Matrix Reloaded Again</title>
+      <review>great stuff indeed truly</review>
+    </movie>
+    <movie genre="SciFi">
+      <title>The Matrix Reloaded Again</title>
+      <person>Keanu Reeves</person>
+    </movie>
+    <movie><title>Unrelated Other Film</title></movie>
+  </movies>
+</db>
+)";
+
+Config MovieConfig() {
+  Config config;
+  auto movie = CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Window(3)
+                   .OdThreshold(0.9)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  return config;
+}
+
+TEST(FusionTest, SurvivorCarriesUnionOfInformation) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->Find("movie")->duplicate_pairs.size(), 1u);
+
+  DedupStats stats;
+  auto fused = Deduplicate(doc.value(), result.value(),
+                           RepresentativeStrategy::kFuse, &stats);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+
+  auto movies =
+      xml::XPath::Parse("db/movies/movie")->SelectFromRoot(fused.value());
+  ASSERT_TRUE(movies.ok());
+  ASSERT_EQ(movies->size(), 2u);
+
+  const xml::Element* survivor = (*movies)[0];
+  // Both attributes present.
+  EXPECT_EQ(survivor->AttributeOr("year", ""), "1999");
+  EXPECT_EQ(survivor->AttributeOr("genre", ""), "SciFi");
+  // Children from both members, title not duplicated.
+  EXPECT_EQ(survivor->ChildElements("title").size(), 1u);
+  EXPECT_EQ(survivor->ChildElements("review").size(), 1u);
+  EXPECT_EQ(survivor->ChildElements("person").size(), 1u);
+
+  EXPECT_EQ(stats.clusters_collapsed, 1u);
+  EXPECT_EQ(stats.elements_removed, 1u);
+  EXPECT_GE(stats.attributes_fused, 1u);
+  EXPECT_GE(stats.children_fused, 1u);
+}
+
+TEST(FusionTest, IdenticalChildrenNotDuplicated) {
+  constexpr const char* kSame = R"(
+<db><movies>
+  <movie><title>Same Long Example Title</title><tag>x</tag></movie>
+  <movie><title>Same Long Example Title</title><tag>x</tag></movie>
+</movies></db>
+)";
+  auto doc = xml::Parse(kSame);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+
+  DedupStats stats;
+  auto fused = Deduplicate(doc.value(), result.value(),
+                           RepresentativeStrategy::kFuse, &stats);
+  ASSERT_TRUE(fused.ok());
+  auto movies =
+      xml::XPath::Parse("db/movies/movie")->SelectFromRoot(fused.value());
+  ASSERT_EQ(movies->size(), 1u);
+  EXPECT_EQ((*movies)[0]->ChildElements("tag").size(), 1u);
+  EXPECT_EQ(stats.children_fused, 0u);
+}
+
+TEST(FusionTest, FusedOutputIsWellFormed) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  auto fused = Deduplicate(doc.value(), result.value(),
+                           RepresentativeStrategy::kFuse);
+  ASSERT_TRUE(fused.ok());
+  auto reparsed = xml::Parse(xml::WriteDocument(fused.value()));
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+TEST(FusionTest, RichestMemberIsTheSurvivorBase) {
+  // The second member has more text, so fusion builds on it (its title
+  // spelling survives).
+  constexpr const char* kRichSecond = R"(
+<db><movies>
+  <movie><title>Fusion Example Record</title></movie>
+  <movie year="2001"><title>Fusion Example Recorb</title>
+    <review>long extra content making this the richest member</review>
+  </movie>
+</movies></db>
+)";
+  auto doc = xml::Parse(kRichSecond);
+  ASSERT_TRUE(doc.ok());
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->Find("movie")->duplicate_pairs.size(), 1u);
+
+  auto fused = Deduplicate(doc.value(), result.value(),
+                           RepresentativeStrategy::kFuse);
+  ASSERT_TRUE(fused.ok());
+  std::string out = xml::WriteDocument(fused.value());
+  EXPECT_NE(out.find("Recorb"), std::string::npos) << out;
+  // The other member's differing title is fused in as extra child content
+  // (different deep text), preserving all variants.
+  EXPECT_NE(out.find("Record<"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace sxnm::core

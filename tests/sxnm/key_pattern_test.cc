@@ -1,0 +1,101 @@
+#include "sxnm/key_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::core {
+namespace {
+
+std::string Apply(const char* pattern, const char* value) {
+  auto parsed = KeyPattern::Parse(pattern);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? parsed->Apply(value) : std::string("<parse error>");
+}
+
+TEST(KeyPatternTest, PaperRunningExample) {
+  // Sec. 2.2: MOVIE("Mask of Zorro", 1998), key = first four consonants of
+  // the title + third and fourth digit of the year = MSKF98.
+  EXPECT_EQ(Apply("K1-K4", "Mask of Zorro"), "MSKF");
+  EXPECT_EQ(Apply("D3,D4", "1998"), "98");
+  EXPECT_EQ(Apply("K1-K4", "Mask of Zorro") + Apply("D3,D4", "1998"),
+            "MSKF98");
+}
+
+TEST(KeyPatternTest, PaperTable1Example) {
+  // Tab. 1: movie "Matrix" (1999): key 1 = K1,K2 of title + D3,D4 of year
+  // = MT99; key 2 = D1 of @ID (5...) + C1,C2 of title = 5MA.
+  EXPECT_EQ(Apply("K1,K2", "Matrix"), "MT");
+  EXPECT_EQ(Apply("D3,D4", "1999"), "99");
+  EXPECT_EQ(Apply("D1", "5342"), "5");
+  EXPECT_EQ(Apply("C1,C2", "Matrix"), "MA");
+}
+
+TEST(KeyPatternTest, RangesAndSingles) {
+  EXPECT_EQ(Apply("K1-K5", "The Matrix"), "THMTR");
+  EXPECT_EQ(Apply("C1-C4", "ab 12"), "AB12");
+  EXPECT_EQ(Apply("D1,D3", "a1b2c3"), "13");
+  EXPECT_EQ(Apply("K2", "Matrix"), "T");
+}
+
+TEST(KeyPatternTest, PositionsBeyondValueAreSkipped) {
+  // "Mask of Zorro" has 7 consonants; K1-K9 yields all 7.
+  EXPECT_EQ(Apply("K1-K9", "Mask of Zorro"), "MSKFZRR");
+  EXPECT_EQ(Apply("D3,D4", "19"), "");
+  EXPECT_EQ(Apply("D1,D2", ""), "");
+  EXPECT_EQ(Apply("C5", "abc"), "");
+}
+
+TEST(KeyPatternTest, MixedClassesInOnePattern) {
+  EXPECT_EQ(Apply("K1,D1,C1", "a1b2"), "B1A");
+}
+
+TEST(KeyPatternTest, CaseNormalizedToUpper) {
+  EXPECT_EQ(Apply("C1-C6", "matrix"), "MATRIX");
+  EXPECT_EQ(Apply("K1-K3", "zorro"), "ZRR");
+}
+
+TEST(KeyPatternTest, WhitespaceTolerated) {
+  EXPECT_EQ(Apply(" K1 , K2 ", "Matrix"), "MT");
+  EXPECT_EQ(Apply("K1 - K3", "Matrix"), "MTR");
+}
+
+TEST(KeyPatternTest, SoundexSelector) {
+  auto pattern = KeyPattern::Parse("S");
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(pattern->Apply("Robert"), "R163");
+  EXPECT_EQ(pattern->Apply("Rupert"), "R163");
+  EXPECT_EQ(Apply("S,D3,D4", "Robert 1998"), "R16398");
+}
+
+TEST(KeyPatternTest, ToStringCanonicalForm) {
+  EXPECT_EQ(KeyPattern::Parse("K1-K5")->ToString(), "K1-K5");
+  EXPECT_EQ(KeyPattern::Parse("D3,D4")->ToString(), "D3,D4");
+  EXPECT_EQ(KeyPattern::Parse(" k1 , c2-c4 ")->ToString(), "K1,C2-C4");
+  EXPECT_EQ(KeyPattern::Parse("S")->ToString(), "S");
+}
+
+TEST(KeyPatternTest, ParseToStringParseRoundTrip) {
+  for (const char* p : {"K1-K5", "D3,D4", "C1,C2", "K1,K2,D1-D4", "S,K1"}) {
+    auto first = KeyPattern::Parse(p);
+    ASSERT_TRUE(first.ok()) << p;
+    auto second = KeyPattern::Parse(first->ToString());
+    ASSERT_TRUE(second.ok()) << first->ToString();
+    EXPECT_EQ(first.value(), second.value());
+  }
+}
+
+TEST(KeyPatternTest, ParseErrors) {
+  for (const char* p : {"", "  ", ",", "K1,", "X1", "K0", "K-1", "Kx",
+                        "K1-D2", "K5-K2", "K1-", "-K2", "K", "S1", "S-S",
+                        "K1--K3"}) {
+    EXPECT_FALSE(KeyPattern::Parse(p).ok()) << "should reject: '" << p << "'";
+  }
+}
+
+TEST(KeyPatternTest, NonAsciiValueYieldsNoSelections) {
+  // Unreadable entries (Fig. 4(d) discussion) produce empty keys.
+  EXPECT_EQ(Apply("C1-C6", "\xE3\x82\xAB\xE3\x83\xA9"), "");
+  EXPECT_EQ(Apply("K1-K4", "????"), "");
+}
+
+}  // namespace
+}  // namespace sxnm::core

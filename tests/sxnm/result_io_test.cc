@@ -1,0 +1,141 @@
+#include "sxnm/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include "sxnm/config.h"
+#include "sxnm/detector.h"
+#include "xml/parser.h"
+
+namespace sxnm::core {
+namespace {
+
+constexpr const char* kDoc = R"(
+<db><movies>
+  <movie><title>The Matrix</title></movie>
+  <movie><title>The Matrxi</title></movie>
+  <movie><title>Ocean Storm</title></movie>
+  <movie><title>Ocean Stor</title></movie>
+  <movie><title>Unique Film Here</title></movie>
+</movies></db>
+)";
+
+DetectionResult RunDetection(const xml::Document& doc) {
+  Config config;
+  auto movie = CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Od(1, 1.0)
+                   .Key({{1, "K1-K5"}})
+                   .Window(5)
+                   .OdThreshold(0.8)
+                   .Build();
+  EXPECT_TRUE(movie.ok());
+  EXPECT_TRUE(config.AddCandidate(std::move(movie).value()).ok());
+  auto result = Detector(config).Run(doc);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(ResultIoTest, RoundTripPreservesClusters) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  DetectionResult result = RunDetection(doc.value());
+  ASSERT_EQ(result.Find("movie")->clusters.NonTrivialClusters().size(), 2u);
+
+  std::string serialized = ResultToXmlString(result);
+  auto stored = ResultFromXmlString(serialized);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString() << "\n"
+                           << serialized;
+
+  const StoredCandidateResult* movie = stored->Find("movie");
+  ASSERT_NE(movie, nullptr);
+  EXPECT_EQ(movie->num_instances, 5u);
+  EXPECT_EQ(movie->clusters.clusters(),
+            result.Find("movie")->clusters.clusters());
+  // cid lookups agree for every instance.
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(movie->clusters.cid(i) == movie->clusters.cid(j),
+                result.Find("movie")->clusters.cid(i) ==
+                    result.Find("movie")->clusters.cid(j));
+    }
+  }
+}
+
+TEST(ResultIoTest, EidsPreservedForClusterMembers) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  DetectionResult result = RunDetection(doc.value());
+  auto stored = ResultFromXmlString(ResultToXmlString(result));
+  ASSERT_TRUE(stored.ok());
+  const StoredCandidateResult* movie = stored->Find("movie");
+  const CandidateResult* original = result.Find("movie");
+  for (const auto& cluster : original->clusters.NonTrivialClusters()) {
+    for (size_t ordinal : cluster) {
+      EXPECT_EQ(movie->eids[ordinal], original->gk.rows[ordinal].eid);
+    }
+  }
+}
+
+TEST(ResultIoTest, SingletonsImplied) {
+  auto doc = xml::Parse(kDoc);
+  ASSERT_TRUE(doc.ok());
+  DetectionResult result = RunDetection(doc.value());
+  std::string serialized = ResultToXmlString(result);
+  // The unique movie (ordinal 4) must not appear in the serialization...
+  EXPECT_EQ(serialized.find("ordinal=\"4\""), std::string::npos);
+  // ...but reappears as a singleton after parsing.
+  auto stored = ResultFromXmlString(serialized);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->Find("movie")->clusters.num_instances(), 5u);
+}
+
+TEST(ResultIoTest, FindMissingReturnsNull) {
+  StoredDetectionResult stored;
+  EXPECT_EQ(stored.Find("nope"), nullptr);
+}
+
+TEST(ResultIoTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ResultFromXmlString("<wrong-root/>").ok());
+  EXPECT_FALSE(ResultFromXmlString(
+                   "<sxnm-result><candidate instances=\"2\"/></sxnm-result>")
+                   .ok())
+      << "candidate without name";
+  EXPECT_FALSE(
+      ResultFromXmlString(
+          "<sxnm-result><candidate name=\"x\" instances=\"abc\"/>"
+          "</sxnm-result>")
+          .ok())
+      << "bad instances";
+  EXPECT_FALSE(ResultFromXmlString(R"(
+<sxnm-result><candidate name="x" instances="3">
+  <cluster cid="0"><member ordinal="9" eid="1"/>
+  <member ordinal="1" eid="2"/></cluster>
+</candidate></sxnm-result>)")
+                   .ok())
+      << "ordinal out of range";
+  EXPECT_FALSE(ResultFromXmlString(R"(
+<sxnm-result><candidate name="x" instances="3">
+  <cluster cid="0"><member ordinal="1" eid="1"/></cluster>
+</candidate></sxnm-result>)")
+                   .ok())
+      << "cluster with one member";
+  EXPECT_FALSE(ResultFromXmlString(R"(
+<sxnm-result><candidate name="x" instances="4">
+  <cluster cid="0"><member ordinal="0" eid="1"/>
+    <member ordinal="1" eid="2"/></cluster>
+  <cluster cid="1"><member ordinal="1" eid="2"/>
+    <member ordinal="2" eid="3"/></cluster>
+</candidate></sxnm-result>)")
+                   .ok())
+      << "ordinal in two clusters";
+}
+
+TEST(ResultIoTest, EmptyResultRoundTrips) {
+  DetectionResult empty;
+  auto stored = ResultFromXmlString(ResultToXmlString(empty));
+  ASSERT_TRUE(stored.ok());
+  EXPECT_TRUE(stored->candidates.empty());
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,286 @@
+#include "sxnm/similarity_measure.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::core {
+namespace {
+
+// Builds a minimal candidate with two OD entries (edit 0.8, exact 0.2).
+CandidateConfig TwoFieldCandidate() {
+  return CandidateBuilder("m", "db/m")
+      .Path(1, "a/text()")
+      .Path(2, "b/text()")
+      .Od(1, 0.8)
+      .Od(2, 0.2, "exact")
+      .Key({{1, "C1"}})
+      .OdThreshold(0.75)
+      .Build()
+      .value();
+}
+
+GkRow Row(size_t ordinal, std::vector<std::string> ods) {
+  GkRow row;
+  row.ordinal = ordinal;
+  row.eid = static_cast<xml::ElementId>(ordinal);
+  row.ods = std::move(ods);
+  return row;
+}
+
+// Instances record with a single child type slot holding the given
+// per-instance descendant lists.
+CandidateInstances WithDescendants(
+    const CandidateConfig* config,
+    std::vector<std::vector<size_t>> per_instance) {
+  CandidateInstances instances;
+  instances.config = config;
+  instances.elements.resize(per_instance.size(), nullptr);
+  instances.eids.resize(per_instance.size(), 0);
+  instances.child_types = {1};  // dummy type index
+  instances.desc_instances = {std::move(per_instance)};
+  return instances;
+}
+
+CandidateInstances NoDescendants(const CandidateConfig* config, size_t n) {
+  CandidateInstances instances;
+  instances.config = config;
+  instances.elements.resize(n, nullptr);
+  instances.eids.resize(n, 0);
+  return instances;
+}
+
+TEST(OdSimilarityTest, WeightedSumPerDef2) {
+  CandidateConfig cand = TwoFieldCandidate();
+  CandidateInstances instances = NoDescendants(&cand, 2);
+  SimilarityMeasure measure(cand, instances, {});
+
+  // Field 1 identical (sim 1), field 2 different (exact -> 0):
+  // 0.8*1 + 0.2*0 = 0.8.
+  EXPECT_NEAR(measure.OdSimilarity(Row(0, {"same", "x"}),
+                                   Row(1, {"same", "y"})),
+              0.8, 1e-12);
+  // Both identical: 1.0.
+  EXPECT_NEAR(measure.OdSimilarity(Row(0, {"same", "x"}),
+                                   Row(1, {"same", "x"})),
+              1.0, 1e-12);
+}
+
+TEST(OdSimilarityTest, RelevanciesNormalized) {
+  // Relevancies 8 and 2 behave like 0.8 and 0.2.
+  CandidateConfig cand = CandidateBuilder("m", "db/m")
+                             .Path(1, "a/text()")
+                             .Path(2, "b/text()")
+                             .Od(1, 8.0)
+                             .Od(2, 2.0, "exact")
+                             .Key({{1, "C1"}})
+                             .Build()
+                             .value();
+  CandidateInstances instances = NoDescendants(&cand, 2);
+  SimilarityMeasure measure(cand, instances, {});
+  EXPECT_NEAR(measure.OdSimilarity(Row(0, {"same", "x"}),
+                                   Row(1, {"same", "y"})),
+              0.8, 1e-12);
+}
+
+TEST(OdSimilarityTest, MissingValueHandling) {
+  CandidateConfig cand = TwoFieldCandidate();
+  CandidateInstances instances = NoDescendants(&cand, 2);
+  SimilarityMeasure measure(cand, instances, {});
+  // Nothing comparable at all: not a duplicate signal.
+  EXPECT_NEAR(measure.OdSimilarity(Row(0, {"", ""}), Row(1, {"", ""})), 0.0,
+              1e-12);
+  // One empty vs non-empty: component counts with similarity 0.
+  EXPECT_NEAR(measure.OdSimilarity(Row(0, {"", "x"}), Row(1, {"abc", "x"})),
+              0.2, 1e-12);
+  // Both-empty component is skipped and weights renormalize: the second
+  // field alone decides.
+  EXPECT_NEAR(measure.OdSimilarity(Row(0, {"", "x"}), Row(1, {"", "x"})),
+              1.0, 1e-12);
+  EXPECT_NEAR(measure.OdSimilarity(Row(0, {"", "x"}), Row(1, {"", "y"})),
+              0.0, 1e-12);
+}
+
+TEST(DescendantSimilarityTest, JaccardOfClusterIdSets) {
+  CandidateConfig cand = TwoFieldCandidate();
+  // Child clusters: {0,1} share a cluster, 2 and 3 are singletons.
+  ClusterSet child = ClusterSet::FromClusters({{0, 1}}, 4);
+  // Instance 0 has descendants {0, 2}; instance 1 has {1, 3}.
+  // Cluster-id sets: {cid0, cid2} and {cid0, cid3} -> overlap 1, union 3.
+  CandidateInstances instances =
+      WithDescendants(&cand, {{0, 2}, {1, 3}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  EXPECT_NEAR(measure.DescendantSimilarity(0, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DescendantSimilarityTest, DisjointAndIdentical) {
+  CandidateConfig cand = TwoFieldCandidate();
+  ClusterSet child = ClusterSet::Singletons(4);
+  CandidateInstances disjoint = WithDescendants(&cand, {{0, 1}, {2, 3}});
+  SimilarityMeasure m1(cand, disjoint, {&child});
+  EXPECT_DOUBLE_EQ(m1.DescendantSimilarity(0, 1), 0.0);
+
+  CandidateInstances same = WithDescendants(&cand, {{0, 1}, {0, 1}});
+  SimilarityMeasure m2(cand, same, {&child});
+  EXPECT_DOUBLE_EQ(m2.DescendantSimilarity(0, 1), 1.0);
+}
+
+TEST(DescendantSimilarityTest, PaperFig2bScenario) {
+  // e1 and e2 are movies with three persons each; two persons coincide
+  // (Tab. 2(b)): l_e1 = (1, 4, 1), l_e2 = (4, 1, 8).
+  // Cluster-id sets {1,4} and {4,1,8}: overlap 2, union 3.
+  CandidateConfig cand = TwoFieldCandidate();
+  // persons 0..5; clusters: {0,2,4} (id 0... construct to match).
+  // Build clusters so that cid(p0)=cid(p2)=cid(p4)=A, cid(p1)=cid(p3)=B,
+  // cid(p5)=C.
+  ClusterSet child = ClusterSet::FromClusters({{0, 2, 4}, {1, 3}}, 6);
+  CandidateInstances instances =
+      WithDescendants(&cand, {{0, 1, 2}, {3, 4, 5}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  // Sets: e1 -> {A, B}; e2 -> {B, A, C}. Overlap 2, union 3.
+  EXPECT_NEAR(measure.DescendantSimilarity(0, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DescendantSimilarityTest, NoDescendantInfoReturnsMinusOne) {
+  CandidateConfig cand = TwoFieldCandidate();
+  CandidateInstances instances = NoDescendants(&cand, 2);
+  SimilarityMeasure measure(cand, instances, {});
+  EXPECT_DOUBLE_EQ(measure.DescendantSimilarity(0, 1), -1.0);
+}
+
+TEST(DescendantSimilarityTest, BothEmptyListsSkipType) {
+  CandidateConfig cand = TwoFieldCandidate();
+  ClusterSet child = ClusterSet::Singletons(2);
+  CandidateInstances instances = WithDescendants(&cand, {{}, {}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  EXPECT_DOUBLE_EQ(measure.DescendantSimilarity(0, 1), -1.0)
+      << "no comparable type -> no descendant information";
+}
+
+TEST(DescendantSimilarityTest, OneEmptyListIsZero) {
+  CandidateConfig cand = TwoFieldCandidate();
+  ClusterSet child = ClusterSet::Singletons(2);
+  CandidateInstances instances = WithDescendants(&cand, {{0}, {}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  EXPECT_DOUBLE_EQ(measure.DescendantSimilarity(0, 1), 0.0);
+}
+
+TEST(CompareTest, OdOnlyMode) {
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kOdOnly;
+  ClusterSet child = ClusterSet::Singletons(2);
+  CandidateInstances instances = WithDescendants(&cand, {{0}, {1}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  auto verdict =
+      measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+  EXPECT_FALSE(verdict.used_descendants);
+  EXPECT_TRUE(verdict.is_duplicate);
+  EXPECT_DOUBLE_EQ(verdict.combined, 1.0);
+}
+
+TEST(CompareTest, AverageMode) {
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kAverage;
+  cand.classifier.od_threshold = 0.7;
+  ClusterSet child = ClusterSet::FromClusters({{0, 1}}, 2);
+  CandidateInstances instances = WithDescendants(&cand, {{0}, {1}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  // od = 1.0, desc = 1.0 -> combined 1.0.
+  auto verdict =
+      measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+  EXPECT_TRUE(verdict.used_descendants);
+  EXPECT_DOUBLE_EQ(verdict.desc_sim, 1.0);
+  EXPECT_DOUBLE_EQ(verdict.combined, 1.0);
+  EXPECT_TRUE(verdict.is_duplicate);
+}
+
+TEST(CompareTest, WeightedMode) {
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kWeighted;
+  cand.classifier.od_weight = 0.75;
+  cand.classifier.od_threshold = 0.9;
+  ClusterSet child = ClusterSet::Singletons(2);
+  CandidateInstances instances = WithDescendants(&cand, {{0}, {1}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  // od = 1.0, desc = 0 -> 0.75*1 + 0.25*0 = 0.75 < 0.9.
+  auto verdict =
+      measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+  EXPECT_NEAR(verdict.combined, 0.75, 1e-12);
+  EXPECT_FALSE(verdict.is_duplicate);
+}
+
+TEST(CompareTest, DescBoostMode) {
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kDescBoost;
+  cand.classifier.od_threshold = 0.7;
+  cand.classifier.desc_threshold = 0.3;
+  // desc jaccard = 1/3 >= 0.3 -> boosted to 1.0.
+  ClusterSet child = ClusterSet::FromClusters({{0, 1}}, 4);
+  CandidateInstances instances = WithDescendants(&cand, {{0, 2}, {1, 3}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  // od = 0.8*edit("aaaa","aaxx")+0.2*0 = 0.8*0.5 = 0.4; boosted desc -> 1;
+  // combined = (0.4 + 1)/2 = 0.7 -> duplicate at threshold 0.7.
+  auto verdict =
+      measure.Compare(Row(0, {"aaaa", "p"}), Row(1, {"aaxx", "q"}));
+  EXPECT_TRUE(verdict.used_descendants);
+  EXPECT_NEAR(verdict.combined, 0.7, 1e-12);
+  EXPECT_TRUE(verdict.is_duplicate);
+}
+
+TEST(CompareTest, DescGateVetoesDisjointChildren) {
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kDescGate;
+  cand.classifier.od_threshold = 0.7;
+  cand.classifier.desc_threshold = 0.3;
+  ClusterSet child = ClusterSet::Singletons(4);
+  CandidateInstances instances = WithDescendants(&cand, {{0, 1}, {2, 3}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  // od passes (1.0) but children disjoint -> vetoed.
+  auto verdict =
+      measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+  EXPECT_FALSE(verdict.is_duplicate);
+}
+
+TEST(CompareTest, DescGatePassesWithOverlap) {
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kDescGate;
+  cand.classifier.od_threshold = 0.7;
+  cand.classifier.desc_threshold = 0.3;
+  ClusterSet child = ClusterSet::FromClusters({{0, 2}, {1, 3}}, 4);
+  CandidateInstances instances = WithDescendants(&cand, {{0, 1}, {2, 3}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  auto verdict =
+      measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+  EXPECT_TRUE(verdict.is_duplicate) << "full cluster overlap passes gate";
+}
+
+TEST(CompareTest, LeafFallsBackToOdInEveryMode) {
+  for (CombineMode mode :
+       {CombineMode::kAverage, CombineMode::kWeighted, CombineMode::kDescBoost,
+        CombineMode::kDescGate}) {
+    CandidateConfig cand = TwoFieldCandidate();
+    cand.classifier.mode = mode;
+    CandidateInstances instances = NoDescendants(&cand, 2);
+    SimilarityMeasure measure(cand, instances, {});
+    auto verdict =
+        measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+    EXPECT_FALSE(verdict.used_descendants);
+    EXPECT_TRUE(verdict.is_duplicate)
+        << "mode " << CombineModeName(mode);
+  }
+}
+
+TEST(CompareTest, UseDescendantsFalseIgnoresChildren) {
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kDescGate;
+  cand.use_descendants = false;
+  ClusterSet child = ClusterSet::Singletons(4);
+  CandidateInstances instances = WithDescendants(&cand, {{0, 1}, {2, 3}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  auto verdict =
+      measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+  EXPECT_FALSE(verdict.used_descendants);
+  EXPECT_TRUE(verdict.is_duplicate)
+      << "gate disabled because descendants are disabled";
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,88 @@
+#include "sxnm/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sxnm::core {
+namespace {
+
+std::vector<std::pair<size_t, size_t>> Collect(const std::vector<size_t>& order,
+                                               size_t window) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  ForEachWindowPair(order, window, [&](size_t a, size_t b) {
+    pairs.emplace_back(a, b);
+  });
+  return pairs;
+}
+
+TEST(SlidingWindowTest, WindowTwoIsAdjacentPairs) {
+  auto pairs = Collect({10, 20, 30, 40}, 2);
+  EXPECT_EQ(pairs, (std::vector<std::pair<size_t, size_t>>{
+                       {10, 20}, {20, 30}, {30, 40}}));
+}
+
+TEST(SlidingWindowTest, WindowThree) {
+  auto pairs = Collect({0, 1, 2, 3}, 3);
+  // i=1: (0,1); i=2: (0,2),(1,2); i=3: (1,3),(2,3).
+  EXPECT_EQ(pairs, (std::vector<std::pair<size_t, size_t>>{
+                       {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}));
+}
+
+TEST(SlidingWindowTest, WindowCoversExactlyDistanceLessThanW) {
+  // Property: pair (i, j) with |i - j| < w visited exactly once.
+  const size_t n = 20;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t w : {2u, 3u, 5u, 7u, 19u, 50u}) {
+    std::set<std::pair<size_t, size_t>> seen;
+    size_t visits = 0;
+    ForEachWindowPair(order, w, [&](size_t a, size_t b) {
+      ++visits;
+      EXPECT_LT(a, b);
+      EXPECT_LT(b - a, w) << "pair outside window";
+      EXPECT_TRUE(seen.insert({a, b}).second) << "pair visited twice";
+    });
+    // Every pair within distance < w is present.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n && j - i < w; ++j) {
+        EXPECT_TRUE(seen.count({i, j})) << i << "," << j << " w=" << w;
+      }
+    }
+    EXPECT_EQ(visits, WindowPairCount(n, w));
+  }
+}
+
+TEST(SlidingWindowTest, WindowAtLeastNIsAllPairs) {
+  std::vector<size_t> order = {0, 1, 2, 3, 4};
+  auto pairs = Collect(order, 5);
+  EXPECT_EQ(pairs.size(), 10u);  // C(5,2)
+  auto pairs_larger = Collect(order, 100);
+  EXPECT_EQ(pairs_larger.size(), 10u);
+}
+
+TEST(SlidingWindowTest, EmptyAndSingleton) {
+  EXPECT_TRUE(Collect({}, 3).empty());
+  EXPECT_TRUE(Collect({7}, 3).empty());
+}
+
+TEST(WindowPairCountTest, ClosedForm) {
+  EXPECT_EQ(WindowPairCount(0, 2), 0u);
+  EXPECT_EQ(WindowPairCount(1, 2), 0u);
+  EXPECT_EQ(WindowPairCount(5, 2), 4u);
+  EXPECT_EQ(WindowPairCount(5, 5), 10u);
+  EXPECT_EQ(WindowPairCount(5, 50), 10u);
+  // n=10, w=3: 1 + 2*8 = 17.
+  EXPECT_EQ(WindowPairCount(10, 3), 17u);
+}
+
+TEST(SlidingWindowTest, LinearInNForFixedWindow) {
+  // Comparisons grow linearly with n (the paper's efficiency argument):
+  // doubling n roughly doubles the count for fixed w.
+  size_t c1 = WindowPairCount(1000, 10);
+  size_t c2 = WindowPairCount(2000, 10);
+  EXPECT_NEAR(static_cast<double>(c2) / static_cast<double>(c1), 2.0, 0.02);
+}
+
+}  // namespace
+}  // namespace sxnm::core

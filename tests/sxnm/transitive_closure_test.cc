@@ -1,0 +1,52 @@
+#include "sxnm/transitive_closure.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::core {
+namespace {
+
+TEST(TransitiveClosureTest, NoPairsAllSingletons) {
+  ClusterSet cs = ComputeTransitiveClosure(4, {});
+  EXPECT_EQ(cs.num_instances(), 4u);
+  EXPECT_EQ(cs.num_clusters(), 4u);
+  EXPECT_TRUE(cs.NonTrivialClusters().empty());
+}
+
+TEST(TransitiveClosureTest, ChainsMerge) {
+  // 0-1, 1-2, 3-4: clusters {0,1,2}, {3,4}, {5}.
+  ClusterSet cs = ComputeTransitiveClosure(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(cs.cid(0), cs.cid(2));
+  EXPECT_EQ(cs.cid(3), cs.cid(4));
+  EXPECT_NE(cs.cid(0), cs.cid(3));
+  EXPECT_NE(cs.cid(5), cs.cid(0));
+  EXPECT_EQ(cs.NonTrivialClusters().size(), 2u);
+}
+
+TEST(TransitiveClosureTest, DuplicatePairsIdempotent) {
+  ClusterSet a = ComputeTransitiveClosure(3, {{0, 1}});
+  ClusterSet b = ComputeTransitiveClosure(3, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(a.clusters(), b.clusters());
+}
+
+TEST(TransitiveClosureTest, ClosureOfClosureIsStable) {
+  std::vector<OrdinalPair> pairs = {{0, 3}, {3, 5}, {1, 2}};
+  ClusterSet once = ComputeTransitiveClosure(6, pairs);
+  // Re-closing the already-closed pairs changes nothing.
+  ClusterSet twice = ComputeTransitiveClosure(6, once.DuplicatePairs());
+  EXPECT_EQ(once.clusters(), twice.clusters());
+}
+
+TEST(TransitiveClosureTest, StarTopology) {
+  ClusterSet cs = ComputeTransitiveClosure(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(cs.num_clusters(), 1u);
+  EXPECT_EQ(cs.clusters()[0].size(), 5u);
+  EXPECT_EQ(cs.NumDuplicatePairs(), 10u);
+}
+
+TEST(TransitiveClosureTest, ZeroInstances) {
+  ClusterSet cs = ComputeTransitiveClosure(0, {});
+  EXPECT_EQ(cs.num_instances(), 0u);
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,109 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace sxnm::text {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2u) << "swap costs 2 in plain LD";
+  EXPECT_EQ(LevenshteinDistance("book", "back"), 2u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("saturday", "sunday"),
+            LevenshteinDistance("sunday", "saturday"));
+}
+
+TEST(BoundedLevenshteinTest, ExactBelowLimit) {
+  EXPECT_EQ(BoundedLevenshteinDistance("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedLevenshteinDistance("abc", "abc", 0), 0u);
+}
+
+TEST(BoundedLevenshteinTest, CapsAboveLimit) {
+  EXPECT_EQ(BoundedLevenshteinDistance("kitten", "sitting", 2), 3u)
+      << "returns limit + 1";
+  EXPECT_EQ(BoundedLevenshteinDistance("aaaaaaaaaa", "bbbbbbbbbb", 3), 4u);
+  EXPECT_EQ(BoundedLevenshteinDistance("short", "muchlongerstring", 2), 3u)
+      << "length gap alone exceeds limit";
+}
+
+TEST(OsaTest, TranspositionCostsOne) {
+  EXPECT_EQ(OsaDistance("ab", "ba"), 1u);
+  EXPECT_EQ(OsaDistance("matrix", "matrxi"), 1u);
+  EXPECT_EQ(OsaDistance("ca", "abc"), 3u) << "OSA (not full Damerau)";
+  EXPECT_EQ(OsaDistance("", "abc"), 3u);
+  EXPECT_EQ(OsaDistance("abc", ""), 3u);
+}
+
+TEST(EditSimilarityTest, NormalizedRange) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abcd", "abce"), 0.75);
+}
+
+TEST(OsaSimilarityTest, TranspositionFriendlier) {
+  EXPECT_GT(OsaSimilarity("matrix", "matrxi"),
+            EditSimilarity("matrix", "matrxi"));
+}
+
+TEST(NormalizedEditSimilarityTest, CaseAndWhitespaceInsensitive) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("The  Matrix", "the matrix"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity(" A ", "a"), 1.0);
+  EXPECT_LT(NormalizedEditSimilarity("The Matrix", "Mask of Zorro"), 0.5);
+}
+
+// Metric axioms over a string corpus (property-style sweep).
+class EditMetricProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(EditMetricProperty, Axioms) {
+  const auto& [a, b] = GetParam();
+  size_t d_ab = LevenshteinDistance(a, b);
+  size_t d_ba = LevenshteinDistance(b, a);
+  EXPECT_EQ(d_ab, d_ba) << "symmetry";
+  EXPECT_EQ(LevenshteinDistance(a, a), 0u) << "identity";
+  if (a != b) {
+    EXPECT_GT(d_ab, 0u) << "positivity";
+  }
+  // Distance is bounded by max length; similarity within [0, 1].
+  EXPECT_LE(d_ab, std::max(a.size(), b.size()));
+  double sim = EditSimilarity(a, b);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+  // OSA never exceeds Levenshtein (it has a superset of operations).
+  EXPECT_LE(OsaDistance(a, b), d_ab);
+  // Bounded agrees when limit is generous.
+  EXPECT_EQ(BoundedLevenshteinDistance(a, b, 64), d_ab);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, EditMetricProperty,
+    ::testing::Combine(
+        ::testing::Values("", "a", "matrix", "The Mask of Zorro",
+                          "Keanu Reeves", "1999", "zzzz"),
+        ::testing::Values("", "b", "matrxi", "Mask of Zorro", "Keanu Reevs",
+                          "1998", "zzzz")));
+
+TEST_P(EditMetricProperty, TriangleInequality) {
+  const auto& [a, b] = GetParam();
+  const std::string c = "pivot string";
+  EXPECT_LE(LevenshteinDistance(a, b),
+            LevenshteinDistance(a, c) + LevenshteinDistance(c, b));
+}
+
+}  // namespace
+}  // namespace sxnm::text

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "text/edit_distance.h"
+#include "text/similarity.h"
+
+namespace sxnm::text {
+namespace {
+
+TEST(ThresholdedEditTest, ExactAboveThreshold) {
+  // Pairs whose true similarity is >= t must get the exact value.
+  for (const auto& [a, b] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"The Matrix", "The Matrxi"},
+           {"Mask of Zorro", "Mask of Zoro"},
+           {"identical", "identical"}}) {
+    double exact = NormalizedEditSimilarity(a, b);
+    ASSERT_GE(exact, 0.8);
+    EXPECT_DOUBLE_EQ(ThresholdedEditSimilarity(a, b, 0.8), exact);
+  }
+}
+
+TEST(ThresholdedEditTest, ClampsBelowThreshold) {
+  double exact = NormalizedEditSimilarity("completely", "different!!");
+  ASSERT_LT(exact, 0.8);
+  EXPECT_DOUBLE_EQ(ThresholdedEditSimilarity("completely", "different!!", 0.8),
+                   0.0);
+}
+
+TEST(ThresholdedEditTest, LengthFilterShortCircuits) {
+  // Size gap alone decides: "ab" vs a 100-char string at t=0.9.
+  std::string longer(100, 'x');
+  EXPECT_DOUBLE_EQ(ThresholdedEditSimilarity("ab", longer, 0.9), 0.0);
+}
+
+TEST(ThresholdedEditTest, EmptyStrings) {
+  EXPECT_DOUBLE_EQ(ThresholdedEditSimilarity("", "", 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(ThresholdedEditSimilarity("", "abc", 0.5), 0.0);
+}
+
+TEST(ThresholdedEditTest, ThresholdZeroIsPlainSimilarity) {
+  for (const auto& [a, b] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"abc", "xyz"}, {"Matrix", "matriX"}, {"", "q"}}) {
+    EXPECT_DOUBLE_EQ(ThresholdedEditSimilarity(a, b, 0.0),
+                     NormalizedEditSimilarity(a, b))
+        << a << " / " << b;
+  }
+}
+
+TEST(ThresholdedEditTest, BoundaryDecisionAgreesWithExact) {
+  // Classification property: (filtered >= t) == (exact >= t).
+  const char* corpus[] = {"Mask of Zorro", "Mask of Zoro", "Masc of Zorro",
+                          "The Matrix",    "The Matrxi",   "Ocean Storm",
+                          "ocean storm!",  "", "x", "Silent Harbor"};
+  for (const char* a : corpus) {
+    for (const char* b : corpus) {
+      for (double t : {0.5, 0.75, 0.9}) {
+        bool exact_pass = NormalizedEditSimilarity(a, b) >= t;
+        bool filtered_pass = ThresholdedEditSimilarity(a, b, t) >= t;
+        EXPECT_EQ(exact_pass, filtered_pass)
+            << a << " / " << b << " @ " << t;
+      }
+    }
+  }
+}
+
+TEST(ThresholdedEditTest, RegistryIntegration) {
+  auto fn = GetSimilarity("edit_filtered:0.8");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_GE(fn.value()("The Matrix", "The Matrxi"), 0.8);
+  EXPECT_DOUBLE_EQ(fn.value()("aaaa", "zzzz"), 0.0);
+  EXPECT_FALSE(GetSimilarity("edit_filtered:1.5").ok());
+  EXPECT_FALSE(GetSimilarity("edit_filtered:").ok());
+}
+
+}  // namespace
+}  // namespace sxnm::text

@@ -1,0 +1,64 @@
+#include "text/jaro_winkler.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::text {
+namespace {
+
+TEST(JaroTest, IdenticalAndEmpty) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+}
+
+TEST(JaroTest, ClassicReferenceValues) {
+  // Standard textbook values.
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+}
+
+TEST(JaroTest, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("CRATE", "TRACE"),
+                   JaroSimilarity("TRACE", "CRATE"));
+}
+
+TEST(JaroWinklerTest, ClassicReferenceValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsOverJaro) {
+  double jaro = JaroSimilarity("prefixed", "prefixes");
+  double jw = JaroWinklerSimilarity("prefixed", "prefixes");
+  EXPECT_GT(jw, jaro);
+}
+
+TEST(JaroWinklerTest, NoPrefixMeansNoBoost) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("xabc", "yabc"),
+                   JaroSimilarity("xabc", "yabc"));
+}
+
+TEST(JaroWinklerTest, StaysWithinUnitInterval) {
+  for (const char* a : {"", "a", "aaaa", "Keanu", "The Matrix"}) {
+    for (const char* b : {"", "a", "aaab", "Keanu Reeves", "Matrix"}) {
+      double v = JaroWinklerSimilarity(a, b);
+      EXPECT_GE(v, 0.0) << a << " / " << b;
+      EXPECT_LE(v, 1.0) << a << " / " << b;
+    }
+  }
+}
+
+TEST(JaroWinklerTest, PrefixScaleClamped) {
+  // Even with an absurd scale the result must not exceed 1.
+  double v = JaroWinklerSimilarity("aaaa", "aaab", /*prefix_scale=*/0.9);
+  EXPECT_LE(v, 1.0);
+}
+
+}  // namespace
+}  // namespace sxnm::text

@@ -1,0 +1,125 @@
+#include "text/qgram.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::text {
+namespace {
+
+TEST(QGramProfileTest, BigramsWithPadding) {
+  auto grams = QGramProfile("ab", 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "#a");
+  EXPECT_EQ(grams[1], "ab");
+  EXPECT_EQ(grams[2], "b#");
+}
+
+TEST(QGramProfileTest, TrigramsOfShortString) {
+  auto grams = QGramProfile("a", 3);
+  // padded: ##a## -> ##a, #a#, a##
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "##a");
+}
+
+TEST(QGramProfileTest, EmptyStringStillHasPaddingGrams) {
+  auto grams = QGramProfile("", 2);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "##");
+}
+
+TEST(QGramProfileTest, QZeroIsEmpty) {
+  EXPECT_TRUE(QGramProfile("abc", 0).empty());
+}
+
+TEST(QGramSimilarityTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(QGramSimilarity("matrix", "matrix", 2), 1.0);
+  EXPECT_DOUBLE_EQ(QGramSimilarity("", "", 2), 1.0);
+  EXPECT_DOUBLE_EQ(QGramSimilarity("abc", "", 2), 0.0);
+  EXPECT_EQ(QGramSimilarity("aaa", "zzz", 2), 0.0);
+}
+
+TEST(QGramSimilarityTest, PartialOverlap) {
+  double sim = QGramSimilarity("night", "nacht", 2);
+  EXPECT_GT(sim, 0.2);
+  EXPECT_LT(sim, 0.8);
+}
+
+TEST(QGramSimilarityTest, SymmetricAndBounded) {
+  for (const char* a : {"abc", "matrix", "zorro", ""}) {
+    for (const char* b : {"abcd", "matrxi", "zorro!", "x"}) {
+      double ab = QGramSimilarity(a, b, 3);
+      EXPECT_DOUBLE_EQ(ab, QGramSimilarity(b, a, 3));
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+  }
+}
+
+TEST(QGramSimilarityTest, MultisetSemantics) {
+  // "aaaa" has repeated grams; dice must respect multiplicities.
+  double sim = QGramSimilarity("aaaa", "aa", 2);
+  EXPECT_LT(sim, 1.0);
+  EXPECT_GT(sim, 0.0);
+}
+
+TEST(WordJaccardTest, ExactTokensReordered) {
+  EXPECT_DOUBLE_EQ(WordJaccardSimilarity("Keanu Reeves", "Reeves Keanu"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(WordJaccardSimilarity("the matrix", "The  MATRIX"), 1.0)
+      << "case and whitespace insensitive";
+}
+
+TEST(WordJaccardTest, PartialOverlap) {
+  // {mask, of, zorro} vs {mask, zorro} -> 2/3.
+  EXPECT_NEAR(WordJaccardSimilarity("Mask of Zorro", "Mask Zorro"), 2.0 / 3,
+              1e-12);
+}
+
+TEST(WordJaccardTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(WordJaccardSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(WordJaccardSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(WordJaccardSimilarity("   ", "a"), 0.0);
+}
+
+TEST(WordJaccardTest, DisjointWords) {
+  EXPECT_DOUBLE_EQ(WordJaccardSimilarity("alpha beta", "gamma delta"), 0.0);
+}
+
+TEST(MongeElkanTest, ReorderedTokensScorePerfect) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("Keanu Reeves", "Reeves Keanu"),
+                   1.0);
+}
+
+TEST(MongeElkanTest, PunctuationStripped) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("Reeves, Keanu", "Keanu Reeves"),
+                   1.0);
+}
+
+TEST(MongeElkanTest, SupersetScoresWell) {
+  // Extra middle name: shorter side's tokens all match perfectly.
+  EXPECT_DOUBLE_EQ(
+      MongeElkanSimilarity("Keanu Reeves", "Keanu Charles Reeves"), 1.0);
+}
+
+TEST(MongeElkanTest, FuzzyTokensAveraged) {
+  // "reevs" vs "reeves": edit sim 5/6; "keanu" matches exactly.
+  EXPECT_NEAR(MongeElkanSimilarity("Keanu Reevs", "Reeves Keanu"),
+              (1.0 + 5.0 / 6.0) / 2.0, 1e-12);
+}
+
+TEST(MongeElkanTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("x", ""), 0.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", "x"), 0.0);
+}
+
+TEST(MongeElkanTest, SymmetricByConstruction) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("a b c", "c a"),
+                   MongeElkanSimilarity("c a", "a b c"));
+}
+
+TEST(MongeElkanTest, DisjointIsLow) {
+  EXPECT_LT(MongeElkanSimilarity("alpha beta", "qqqq wwww"), 0.4);
+}
+
+}  // namespace
+}  // namespace sxnm::text

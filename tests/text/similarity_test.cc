@@ -1,0 +1,83 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::text {
+namespace {
+
+TEST(NumericSimilarityTest, LinearDecay) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("100", "100", 10), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("100", "105", 10), 0.5);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("100", "110", 10), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("100", "200", 10), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("1999", "1998", 5), 0.8);
+}
+
+TEST(NumericSimilarityTest, UnparsableFallsBackToExact) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("abc", "abc", 10), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("abc", "abd", 10), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("", "", 10), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("12", "", 10), 0.0);
+}
+
+TEST(NumericSimilarityTest, NonPositiveScaleMeansEquality) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("5", "5", 0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("5", "6", 0), 0.0);
+}
+
+TEST(ExactSimilarityTest, ByteIdentity) {
+  EXPECT_DOUBLE_EQ(ExactSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(ExactSimilarity("abc", "ABC"), 0.0);
+  EXPECT_DOUBLE_EQ(ExactNormalizedSimilarity("The  Matrix", "the matrix"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(ExactNormalizedSimilarity("a", "b"), 0.0);
+}
+
+TEST(RegistryTest, AllAdvertisedNamesResolve) {
+  for (const std::string& name : SimilarityNames()) {
+    auto fn = GetSimilarity(name);
+    ASSERT_TRUE(fn.ok()) << name;
+    double v = fn.value()("abc", "abd");
+    EXPECT_GE(v, 0.0) << name;
+    EXPECT_LE(v, 1.0) << name;
+  }
+}
+
+TEST(RegistryTest, DefaultIsEdit) {
+  auto fn = GetSimilarity("");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_DOUBLE_EQ(fn.value()("The Matrix", "the matrix"), 1.0);
+}
+
+TEST(RegistryTest, NamesAreCaseInsensitive) {
+  EXPECT_TRUE(GetSimilarity("Jaro_Winkler").ok());
+  EXPECT_TRUE(GetSimilarity(" EDIT ").ok());
+}
+
+TEST(RegistryTest, ParameterizedNumeric) {
+  auto fn = GetSimilarity("numeric:5");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_DOUBLE_EQ(fn.value()("10", "12.5"), 0.5);
+}
+
+TEST(RegistryTest, BadNumericScaleRejected) {
+  EXPECT_FALSE(GetSimilarity("numeric:0").ok());
+  EXPECT_FALSE(GetSimilarity("numeric:-1").ok());
+  EXPECT_FALSE(GetSimilarity("numeric:abc").ok());
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto fn = GetSimilarity("does_not_exist");
+  ASSERT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, QGramVariantsDiffer) {
+  auto q2 = GetSimilarity("qgram2").value();
+  auto q3 = GetSimilarity("qgram3").value();
+  // Same inputs, different gram size -> generally different values.
+  EXPECT_NE(q2("matrix", "matrxi"), q3("matrix", "matrxi"));
+}
+
+}  // namespace
+}  // namespace sxnm::text

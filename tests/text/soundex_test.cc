@@ -1,0 +1,52 @@
+#include "text/soundex.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::text {
+namespace {
+
+TEST(SoundexTest, ClassicReferenceCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("robert"), Soundex("ROBERT"));
+}
+
+TEST(SoundexTest, ShortNamesPadded) {
+  EXPECT_EQ(Soundex("A"), "A000");
+  EXPECT_EQ(Soundex("Lee"), "L000");
+}
+
+TEST(SoundexTest, NonAlphaSkipped) {
+  EXPECT_EQ(Soundex("  Robert!"), "R163");
+  EXPECT_EQ(Soundex("123"), "0000");
+  EXPECT_EQ(Soundex(""), "0000");
+}
+
+TEST(SoundexTest, SimilarSpellingsShareCode) {
+  EXPECT_EQ(Soundex("Reeves"), Soundex("Reevs"));
+  EXPECT_EQ(Soundex("Smith"), Soundex("Smyth"));
+}
+
+TEST(SoundexSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Robert", "Rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Robert", "Robert"), 1.0);
+  double partial = SoundexSimilarity("Robert", "Roger");
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(SoundexSimilarityTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Smith", "Schmidt"),
+                   SoundexSimilarity("Schmidt", "Smith"));
+}
+
+}  // namespace
+}  // namespace sxnm::text

@@ -1,0 +1,96 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::util {
+namespace {
+
+void BusyWait(double seconds) {
+  Stopwatch w;
+  while (w.ElapsedSeconds() < seconds) {
+  }
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch w;
+  double t1 = w.ElapsedSeconds();
+  double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch w;
+  BusyWait(0.002);
+  double before = w.ElapsedSeconds();
+  w.Restart();
+  EXPECT_LT(w.ElapsedSeconds(), before);
+}
+
+TEST(StopwatchTest, MillisMatchesSeconds) {
+  Stopwatch w;
+  BusyWait(0.001);
+  double s = w.ElapsedSeconds();
+  double ms = w.ElapsedMillis();
+  EXPECT_NEAR(ms, s * 1000.0, 5.0);
+}
+
+TEST(PhaseTimerTest, AccumulatesByName) {
+  PhaseTimer timer;
+  timer.Add("kg", 1.0);
+  timer.Add("sw", 2.0);
+  timer.Add("kg", 0.5);
+  EXPECT_DOUBLE_EQ(timer.Seconds("kg"), 1.5);
+  EXPECT_DOUBLE_EQ(timer.Seconds("sw"), 2.0);
+  EXPECT_DOUBLE_EQ(timer.Seconds("missing"), 0.0);
+}
+
+TEST(PhaseTimerTest, SecondsOfSumsPhases) {
+  PhaseTimer timer;
+  timer.Add("sw", 2.0);
+  timer.Add("tc", 3.0);
+  EXPECT_DOUBLE_EQ(timer.SecondsOf({"sw", "tc"}), 5.0);
+  EXPECT_DOUBLE_EQ(timer.SecondsOf({"sw", "absent"}), 2.0);
+}
+
+TEST(PhaseTimerTest, PhasesPreserveInsertionOrder) {
+  PhaseTimer timer;
+  timer.Add("z_first", 1.0);
+  timer.Add("a_second", 2.0);
+  timer.Add("z_first", 1.0);
+  auto phases = timer.Phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].first, "z_first");
+  EXPECT_DOUBLE_EQ(phases[0].second, 2.0);
+  EXPECT_EQ(phases[1].first, "a_second");
+}
+
+TEST(PhaseTimerTest, ClearEmpties) {
+  PhaseTimer timer;
+  timer.Add("x", 1.0);
+  timer.Clear();
+  EXPECT_TRUE(timer.Phases().empty());
+  EXPECT_DOUBLE_EQ(timer.Seconds("x"), 0.0);
+}
+
+TEST(PhaseTimerTest, MergeAddsOtherTimer) {
+  PhaseTimer a, b;
+  a.Add("kg", 1.0);
+  b.Add("kg", 2.0);
+  b.Add("tc", 4.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Seconds("kg"), 3.0);
+  EXPECT_DOUBLE_EQ(a.Seconds("tc"), 4.0);
+}
+
+TEST(ScopedPhaseTest, MeasuresOwnLifetime) {
+  PhaseTimer timer;
+  {
+    ScopedPhase phase(&timer, "scope");
+    BusyWait(0.002);
+  }
+  EXPECT_GE(timer.Seconds("scope"), 0.0015);
+}
+
+}  // namespace
+}  // namespace sxnm::util

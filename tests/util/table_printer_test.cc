@@ -1,0 +1,75 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sxnm::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"window", "recall"});
+  table.AddRow({"2", "0.61"});
+  table.AddRow({"10", "0.85"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("window | recall"), std::string::npos);
+  EXPECT_NE(out.find("     2 |   0.61"), std::string::npos);
+  EXPECT_NE(out.find("    10 |   0.85"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderSeparatorLine) {
+  TablePrinter table({"a", "bb"});
+  table.AddRow({"1", "2"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("--+---"), std::string::npos)
+      << "separator row between header and body:\n"
+      << out;
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter table({"x", "y", "z"});
+  table.AddRow({"1"});
+  std::string out = table.ToString();
+  // Row still has all three columns.
+  EXPECT_NE(out.find("1 |   |  "), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, ExtraCellsDropped) {
+  TablePrinter table({"x"});
+  table.AddRow({"1", "overflow"});
+  EXPECT_EQ(table.ToString().find("overflow"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatting) {
+  TablePrinter table({"p", "r"});
+  table.AddNumericRow({0.123456, 0.9}, /*digits=*/3);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("0.123"), std::string::npos);
+  EXPECT_NE(out.find("0.900"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, PrintWritesToStream) {
+  TablePrinter table({"h"});
+  table.AddRow({"v"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("h"), std::string::npos);
+  EXPECT_NE(os.str().find("v"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter table({"h"});
+  EXPECT_EQ(table.NumRows(), 0u);
+  table.AddRow({"v"});
+  EXPECT_EQ(table.NumRows(), 1u);
+}
+
+}  // namespace
+}  // namespace sxnm::util

@@ -1,0 +1,106 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace sxnm::util {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNewness) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1)) << "already merged";
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_EQ(uf.SetSize(1), 2u);
+}
+
+TEST(UnionFindTest, TransitivityThroughChains) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(4, 5);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(2, 4));
+  uf.Union(2, 4);
+  EXPECT_TRUE(uf.Connected(0, 5));
+  EXPECT_EQ(uf.NumSets(), 2u);  // {0,1,2,4,5} and {3}
+  EXPECT_EQ(uf.SetSize(5), 5u);
+}
+
+TEST(UnionFindTest, ClustersArePartition) {
+  UnionFind uf(7);
+  uf.Union(0, 3);
+  uf.Union(3, 6);
+  uf.Union(1, 2);
+  auto clusters = uf.Clusters();
+  // Every element exactly once.
+  std::vector<bool> seen(7, false);
+  for (const auto& c : clusters) {
+    for (size_t m : c) {
+      EXPECT_FALSE(seen[m]);
+      seen[m] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_EQ(clusters.size(), uf.NumSets());
+}
+
+TEST(UnionFindTest, ClustersMinSizeFilters) {
+  UnionFind uf(5);
+  uf.Union(0, 4);
+  auto nontrivial = uf.Clusters(/*min_size=*/2);
+  ASSERT_EQ(nontrivial.size(), 1u);
+  EXPECT_EQ(nontrivial[0], (std::vector<size_t>{0, 4}));
+}
+
+TEST(UnionFindTest, ClustersOrderedBySmallestMember) {
+  UnionFind uf(6);
+  uf.Union(4, 5);
+  uf.Union(0, 2);
+  auto clusters = uf.Clusters(2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].front(), 0u);
+  EXPECT_EQ(clusters[1].front(), 4u);
+}
+
+TEST(UnionFindTest, ResizeAddsSingletons) {
+  UnionFind uf(2);
+  uf.Union(0, 1);
+  uf.Resize(4);
+  EXPECT_EQ(uf.size(), 4u);
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_FALSE(uf.Connected(1, 3));
+  uf.Resize(2);  // shrink is a no-op
+  EXPECT_EQ(uf.size(), 4u);
+}
+
+TEST(UnionFindTest, LargeChainCompresses) {
+  constexpr size_t kN = 10000;
+  UnionFind uf(kN);
+  for (size_t i = 1; i < kN; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.NumSets(), 1u);
+  EXPECT_EQ(uf.SetSize(0), kN);
+  EXPECT_TRUE(uf.Connected(0, kN - 1));
+}
+
+TEST(UnionFindTest, EmptyUniverse) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.size(), 0u);
+  EXPECT_EQ(uf.NumSets(), 0u);
+  EXPECT_TRUE(uf.Clusters().empty());
+}
+
+}  // namespace
+}  // namespace sxnm::util

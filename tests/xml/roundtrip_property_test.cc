@@ -1,0 +1,105 @@
+// Property test: for randomly generated documents of varied shapes,
+// serialize -> parse -> serialize reaches a fixpoint, structure is
+// preserved, and XPath evaluation agrees before and after the round trip.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xpath.h"
+
+namespace sxnm::xml {
+namespace {
+
+// Grows a random tree: random names, attributes (with escapable
+// characters), text (with entities-requiring content), varying fan-out.
+void GrowRandom(Element* element, util::Rng& rng, int depth) {
+  static constexpr const char* kNames[] = {"alpha", "beta", "gamma",
+                                           "delta", "item",  "node"};
+  static constexpr const char* kTexts[] = {
+      "plain text",       "with & ampersand", "less < than",
+      "greater > than",   "quo\"tes and 'apostrophes'",
+      "unicode \xC3\xA9\xE3\x82\xAB", "  spaced  out  "};
+
+  int attrs = rng.NextInt(0, 3);
+  for (int a = 0; a < attrs; ++a) {
+    element->SetAttribute(std::string("attr") + std::to_string(a),
+                          kTexts[rng.NextBelow(std::size(kTexts))]);
+  }
+  if (depth <= 0) {
+    if (rng.NextBool(0.7)) {
+      element->AddText(kTexts[rng.NextBelow(std::size(kTexts))]);
+    }
+    return;
+  }
+  int children = rng.NextInt(0, 4);
+  if (children == 0 && rng.NextBool(0.5)) {
+    element->AddText(kTexts[rng.NextBelow(std::size(kTexts))]);
+  }
+  for (int c = 0; c < children; ++c) {
+    Element* child =
+        element->AddElement(kNames[rng.NextBelow(std::size(kNames))]);
+    GrowRandom(child, rng, depth - 1);
+  }
+}
+
+Document RandomDocument(uint64_t seed) {
+  util::Rng rng(seed);
+  auto root = std::make_unique<Element>("root");
+  GrowRandom(root.get(), rng, 4);
+  Document doc;
+  doc.SetRoot(std::move(root));
+  return doc;
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripProperty, SerializeParseFixpoint) {
+  Document original = RandomDocument(GetParam());
+  std::string first = WriteDocument(original);
+  auto parsed = Parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << first;
+  std::string second = WriteDocument(parsed.value());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(parsed->element_count(), original.element_count());
+}
+
+TEST_P(RoundTripProperty, CompactAndPrettyAgreeStructurally) {
+  Document original = RandomDocument(GetParam());
+  WriteOptions compact;
+  compact.indent = 0;
+  auto from_compact = Parse(WriteDocument(original, compact));
+  auto from_pretty = Parse(WriteDocument(original));
+  ASSERT_TRUE(from_compact.ok());
+  ASSERT_TRUE(from_pretty.ok());
+  EXPECT_EQ(from_compact->element_count(), from_pretty->element_count());
+  // Deep text agrees modulo whitespace normalization.
+  EXPECT_EQ(from_compact->root()->DeepText(),
+            from_pretty->root()->DeepText());
+}
+
+TEST_P(RoundTripProperty, XPathResultsSurviveRoundTrip) {
+  Document original = RandomDocument(GetParam());
+  auto parsed = Parse(WriteDocument(original));
+  ASSERT_TRUE(parsed.ok());
+  for (const char* path : {"//item", "//alpha", "root/*", "//node/@attr0"}) {
+    auto xp = XPath::Parse(path);
+    ASSERT_TRUE(xp.ok()) << path;
+    if (xp->SelectsValue()) continue;
+    auto before = xp->SelectFromRoot(original);
+    auto after = xp->SelectFromRoot(parsed.value());
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(before->size(), after->size()) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace sxnm::xml

@@ -1,0 +1,137 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace sxnm::xml {
+namespace {
+
+TEST(EscapeTest, TextEscaping) {
+  EXPECT_EQ(EscapeText("a & b < c > d"), "a &amp; b &lt; c &gt; d");
+  EXPECT_EQ(EscapeText("\"quotes\" stay"), "\"quotes\" stay");
+  EXPECT_EQ(EscapeText(""), "");
+}
+
+TEST(EscapeTest, AttributeEscaping) {
+  EXPECT_EQ(EscapeAttribute("a \"b\" & c"), "a &quot;b&quot; &amp; c");
+}
+
+TEST(WriterTest, CompactSingleLine) {
+  auto doc = Parse("<a><b>x</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(WriteDocument(doc.value(), options), "<a><b>x</b><c/></a>");
+}
+
+TEST(WriterTest, PrettyPrintIndents) {
+  auto doc = Parse("<a><b>x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.declaration = false;
+  std::string out = WriteDocument(doc.value(), options);
+  EXPECT_NE(out.find("<a>\n  <b>x</b>\n</a>"), std::string::npos) << out;
+}
+
+TEST(WriterTest, DeclarationEmittedWithDefaults) {
+  auto doc = Parse("<r/>");
+  ASSERT_TRUE(doc.ok());
+  std::string out = WriteDocument(doc.value());
+  EXPECT_NE(out.find("<?xml version=\"1.0\" encoding=\"UTF-8\"?>"),
+            std::string::npos);
+}
+
+TEST(WriterTest, DeclarationPreservesParsedValues) {
+  auto doc = Parse("<?xml version=\"1.1\" encoding=\"latin1\"?><r/>");
+  ASSERT_TRUE(doc.ok());
+  std::string out = WriteDocument(doc.value());
+  EXPECT_NE(out.find("version=\"1.1\""), std::string::npos);
+  EXPECT_NE(out.find("encoding=\"latin1\""), std::string::npos);
+}
+
+TEST(WriterTest, AttributesQuotedAndEscaped) {
+  Document doc;
+  auto root = std::make_unique<Element>("r");
+  root->SetAttribute("a", "x \"y\" & z");
+  doc.SetRoot(std::move(root));
+  WriteOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(WriteDocument(doc, options),
+            "<r a=\"x &quot;y&quot; &amp; z\"/>");
+}
+
+TEST(WriterTest, CdataPreserved) {
+  auto doc = Parse("<t><![CDATA[a < b]]></t>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(WriteDocument(doc.value(), options),
+            "<t><![CDATA[a < b]]></t>");
+}
+
+TEST(WriterTest, CommentsPreservedWhenKept) {
+  ParseOptions parse_options;
+  parse_options.keep_comments = true;
+  auto doc = Parse("<t><!-- note --></t>", parse_options);
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(WriteDocument(doc.value(), options), "<t><!-- note --></t>");
+}
+
+TEST(WriterTest, WriteElementSubtree) {
+  auto doc = Parse("<a><b attr=\"1\">x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  const Element* b = doc->root()->FirstChildElement("b");
+  EXPECT_EQ(WriteElement(*b, {.indent = 0, .declaration = false}),
+            "<b attr=\"1\">x</b>");
+}
+
+// Property: parse(write(parse(x))) produces the same serialization as
+// parse(x) for a corpus of documents.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, WriteParseWriteIsStable) {
+  auto doc1 = Parse(GetParam());
+  ASSERT_TRUE(doc1.ok()) << doc1.status().ToString();
+  std::string first = WriteDocument(doc1.value());
+  auto doc2 = Parse(first);
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString();
+  std::string second = WriteDocument(doc2.value());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(doc1->element_count(), doc2->element_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "<r/>", "<r a=\"1\" b=\"2\"/>", "<r>text</r>",
+        "<a><b><c><d>deep</d></c></b></a>",
+        "<m year=\"1999\"><title>The &amp; Matrix</title></m>",
+        "<t>mixed <b>inline</b> content</t>",
+        "<t><![CDATA[<raw>]]></t>",
+        "<movies><movie><title>A</title></movie>"
+        "<movie><title>B</title></movie></movies>",
+        "<u>\xC3\xBC\xE3\x82\xAB</u>"));
+
+TEST(WriterTest, MixedContentKeptInline) {
+  auto doc = Parse("<p>before <em>x</em> after</p>");
+  ASSERT_TRUE(doc.ok());
+  std::string out =
+      WriteDocument(doc.value(), {.indent = 0, .declaration = false});
+  EXPECT_EQ(out, "<p>before <em>x</em> after</p>");
+}
+
+TEST(WriterFileTest, FailsOnUnwritablePath) {
+  Document doc;
+  doc.SetRoot(std::make_unique<Element>("r"));
+  EXPECT_FALSE(WriteDocumentToFile(doc, "/nonexistent_dir/x.xml"));
+}
+
+}  // namespace
+}  // namespace sxnm::xml
