@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_window.dir/ablation_adaptive_window.cc.o"
+  "CMakeFiles/ablation_adaptive_window.dir/ablation_adaptive_window.cc.o.d"
+  "ablation_adaptive_window"
+  "ablation_adaptive_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combine_modes.dir/ablation_combine_modes.cc.o"
+  "CMakeFiles/ablation_combine_modes.dir/ablation_combine_modes.cc.o.d"
+  "ablation_combine_modes"
+  "ablation_combine_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combine_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

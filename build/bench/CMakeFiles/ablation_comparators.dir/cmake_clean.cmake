@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comparators.dir/ablation_comparators.cc.o"
+  "CMakeFiles/ablation_comparators.dir/ablation_comparators.cc.o.d"
+  "ablation_comparators"
+  "ablation_comparators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

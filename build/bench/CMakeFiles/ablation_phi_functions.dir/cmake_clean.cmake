@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phi_functions.dir/ablation_phi_functions.cc.o"
+  "CMakeFiles/ablation_phi_functions.dir/ablation_phi_functions.cc.o.d"
+  "ablation_phi_functions"
+  "ablation_phi_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phi_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_relational_baselines.cc" "bench/CMakeFiles/ablation_relational_baselines.dir/ablation_relational_baselines.cc.o" "gcc" "bench/CMakeFiles/ablation_relational_baselines.dir/ablation_relational_baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sxnm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sxnm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxnm/CMakeFiles/sxnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sxnm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sxnm_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

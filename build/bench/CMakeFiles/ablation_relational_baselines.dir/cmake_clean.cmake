@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relational_baselines.dir/ablation_relational_baselines.cc.o"
+  "CMakeFiles/ablation_relational_baselines.dir/ablation_relational_baselines.cc.o.d"
+  "ablation_relational_baselines"
+  "ablation_relational_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relational_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_vs_allpairs.dir/ablation_window_vs_allpairs.cc.o"
+  "CMakeFiles/ablation_window_vs_allpairs.dir/ablation_window_vs_allpairs.cc.o.d"
+  "ablation_window_vs_allpairs"
+  "ablation_window_vs_allpairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_vs_allpairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_precision_ds1.dir/fig4b_precision_ds1.cc.o"
+  "CMakeFiles/fig4b_precision_ds1.dir/fig4b_precision_ds1.cc.o.d"
+  "fig4b_precision_ds1"
+  "fig4b_precision_ds1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_precision_ds1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

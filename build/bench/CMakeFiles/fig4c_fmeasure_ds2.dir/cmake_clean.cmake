@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_fmeasure_ds2.dir/fig4c_fmeasure_ds2.cc.o"
+  "CMakeFiles/fig4c_fmeasure_ds2.dir/fig4c_fmeasure_ds2.cc.o.d"
+  "fig4c_fmeasure_ds2"
+  "fig4c_fmeasure_ds2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_fmeasure_ds2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

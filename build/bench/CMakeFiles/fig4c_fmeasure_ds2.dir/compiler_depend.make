@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4c_fmeasure_ds2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_precision_ds3.dir/fig4d_precision_ds3.cc.o"
+  "CMakeFiles/fig4d_precision_ds3.dir/fig4d_precision_ds3.cc.o.d"
+  "fig4d_precision_ds3"
+  "fig4d_precision_ds3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_precision_ds3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4d_precision_ds3.
+# This may be replaced when dependencies are built.

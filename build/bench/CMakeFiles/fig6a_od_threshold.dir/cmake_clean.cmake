@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_od_threshold.dir/fig6a_od_threshold.cc.o"
+  "CMakeFiles/fig6a_od_threshold.dir/fig6a_od_threshold.cc.o.d"
+  "fig6a_od_threshold"
+  "fig6a_od_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_od_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_desc_threshold.dir/fig6b_desc_threshold.cc.o"
+  "CMakeFiles/fig6b_desc_threshold.dir/fig6b_desc_threshold.cc.o.d"
+  "fig6b_desc_threshold"
+  "fig6b_desc_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_desc_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_tool.dir/config_tool.cpp.o"
+  "CMakeFiles/config_tool.dir/config_tool.cpp.o.d"
+  "config_tool"
+  "config_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

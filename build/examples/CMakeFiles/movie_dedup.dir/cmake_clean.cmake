@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_dedup.dir/movie_dedup.cpp.o"
+  "CMakeFiles/movie_dedup.dir/movie_dedup.cpp.o.d"
+  "movie_dedup"
+  "movie_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_snm.dir/relational_snm.cpp.o"
+  "CMakeFiles/relational_snm.dir/relational_snm.cpp.o.d"
+  "relational_snm"
+  "relational_snm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_snm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

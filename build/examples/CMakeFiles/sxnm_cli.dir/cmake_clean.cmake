@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_cli.dir/sxnm_cli.cpp.o"
+  "CMakeFiles/sxnm_cli.dir/sxnm_cli.cpp.o.d"
+  "sxnm_cli"
+  "sxnm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dirty_gen.cc" "src/datagen/CMakeFiles/sxnm_datagen.dir/dirty_gen.cc.o" "gcc" "src/datagen/CMakeFiles/sxnm_datagen.dir/dirty_gen.cc.o.d"
+  "/root/repo/src/datagen/freedb.cc" "src/datagen/CMakeFiles/sxnm_datagen.dir/freedb.cc.o" "gcc" "src/datagen/CMakeFiles/sxnm_datagen.dir/freedb.cc.o.d"
+  "/root/repo/src/datagen/movies.cc" "src/datagen/CMakeFiles/sxnm_datagen.dir/movies.cc.o" "gcc" "src/datagen/CMakeFiles/sxnm_datagen.dir/movies.cc.o.d"
+  "/root/repo/src/datagen/template_gen.cc" "src/datagen/CMakeFiles/sxnm_datagen.dir/template_gen.cc.o" "gcc" "src/datagen/CMakeFiles/sxnm_datagen.dir/template_gen.cc.o.d"
+  "/root/repo/src/datagen/vocab.cc" "src/datagen/CMakeFiles/sxnm_datagen.dir/vocab.cc.o" "gcc" "src/datagen/CMakeFiles/sxnm_datagen.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sxnm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxnm/CMakeFiles/sxnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_datagen.dir/dirty_gen.cc.o"
+  "CMakeFiles/sxnm_datagen.dir/dirty_gen.cc.o.d"
+  "CMakeFiles/sxnm_datagen.dir/freedb.cc.o"
+  "CMakeFiles/sxnm_datagen.dir/freedb.cc.o.d"
+  "CMakeFiles/sxnm_datagen.dir/movies.cc.o"
+  "CMakeFiles/sxnm_datagen.dir/movies.cc.o.d"
+  "CMakeFiles/sxnm_datagen.dir/template_gen.cc.o"
+  "CMakeFiles/sxnm_datagen.dir/template_gen.cc.o.d"
+  "CMakeFiles/sxnm_datagen.dir/vocab.cc.o"
+  "CMakeFiles/sxnm_datagen.dir/vocab.cc.o.d"
+  "libsxnm_datagen.a"
+  "libsxnm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/sxnm_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/sxnm_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/gold.cc" "src/eval/CMakeFiles/sxnm_eval.dir/gold.cc.o" "gcc" "src/eval/CMakeFiles/sxnm_eval.dir/gold.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/sxnm_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/sxnm_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/sxnm_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/sxnm_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/threshold_advisor.cc" "src/eval/CMakeFiles/sxnm_eval.dir/threshold_advisor.cc.o" "gcc" "src/eval/CMakeFiles/sxnm_eval.dir/threshold_advisor.cc.o.d"
+  "/root/repo/src/eval/window_advisor.cc" "src/eval/CMakeFiles/sxnm_eval.dir/window_advisor.cc.o" "gcc" "src/eval/CMakeFiles/sxnm_eval.dir/window_advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sxnm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxnm/CMakeFiles/sxnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_eval.dir/experiment.cc.o"
+  "CMakeFiles/sxnm_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/sxnm_eval.dir/gold.cc.o"
+  "CMakeFiles/sxnm_eval.dir/gold.cc.o.d"
+  "CMakeFiles/sxnm_eval.dir/metrics.cc.o"
+  "CMakeFiles/sxnm_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/sxnm_eval.dir/report.cc.o"
+  "CMakeFiles/sxnm_eval.dir/report.cc.o.d"
+  "CMakeFiles/sxnm_eval.dir/threshold_advisor.cc.o"
+  "CMakeFiles/sxnm_eval.dir/threshold_advisor.cc.o.d"
+  "CMakeFiles/sxnm_eval.dir/window_advisor.cc.o"
+  "CMakeFiles/sxnm_eval.dir/window_advisor.cc.o.d"
+  "libsxnm_eval.a"
+  "libsxnm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

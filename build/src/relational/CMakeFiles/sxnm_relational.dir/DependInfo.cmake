@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/incremental_snm.cc" "src/relational/CMakeFiles/sxnm_relational.dir/incremental_snm.cc.o" "gcc" "src/relational/CMakeFiles/sxnm_relational.dir/incremental_snm.cc.o.d"
+  "/root/repo/src/relational/record.cc" "src/relational/CMakeFiles/sxnm_relational.dir/record.cc.o" "gcc" "src/relational/CMakeFiles/sxnm_relational.dir/record.cc.o.d"
+  "/root/repo/src/relational/snm.cc" "src/relational/CMakeFiles/sxnm_relational.dir/snm.cc.o" "gcc" "src/relational/CMakeFiles/sxnm_relational.dir/snm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_relational.dir/incremental_snm.cc.o"
+  "CMakeFiles/sxnm_relational.dir/incremental_snm.cc.o.d"
+  "CMakeFiles/sxnm_relational.dir/record.cc.o"
+  "CMakeFiles/sxnm_relational.dir/record.cc.o.d"
+  "CMakeFiles/sxnm_relational.dir/snm.cc.o"
+  "CMakeFiles/sxnm_relational.dir/snm.cc.o.d"
+  "libsxnm_relational.a"
+  "libsxnm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

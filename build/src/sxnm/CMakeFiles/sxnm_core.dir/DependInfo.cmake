@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sxnm/candidate_tree.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/candidate_tree.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/candidate_tree.cc.o.d"
+  "/root/repo/src/sxnm/cluster_set.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/cluster_set.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/cluster_set.cc.o.d"
+  "/root/repo/src/sxnm/comparators.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/comparators.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/comparators.cc.o.d"
+  "/root/repo/src/sxnm/config.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/config.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/config.cc.o.d"
+  "/root/repo/src/sxnm/config_xml.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/config_xml.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/config_xml.cc.o.d"
+  "/root/repo/src/sxnm/dedup_writer.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/dedup_writer.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/dedup_writer.cc.o.d"
+  "/root/repo/src/sxnm/detector.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/detector.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/detector.cc.o.d"
+  "/root/repo/src/sxnm/equational_theory.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/equational_theory.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/equational_theory.cc.o.d"
+  "/root/repo/src/sxnm/key_generation.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/key_generation.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/key_generation.cc.o.d"
+  "/root/repo/src/sxnm/key_pattern.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/key_pattern.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/key_pattern.cc.o.d"
+  "/root/repo/src/sxnm/result_io.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/result_io.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/result_io.cc.o.d"
+  "/root/repo/src/sxnm/similarity_measure.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/similarity_measure.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/similarity_measure.cc.o.d"
+  "/root/repo/src/sxnm/sliding_window.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/sliding_window.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/sliding_window.cc.o.d"
+  "/root/repo/src/sxnm/transitive_closure.cc" "src/sxnm/CMakeFiles/sxnm_core.dir/transitive_closure.cc.o" "gcc" "src/sxnm/CMakeFiles/sxnm_core.dir/transitive_closure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sxnm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

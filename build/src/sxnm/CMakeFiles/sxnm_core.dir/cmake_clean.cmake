@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_core.dir/candidate_tree.cc.o"
+  "CMakeFiles/sxnm_core.dir/candidate_tree.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/cluster_set.cc.o"
+  "CMakeFiles/sxnm_core.dir/cluster_set.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/comparators.cc.o"
+  "CMakeFiles/sxnm_core.dir/comparators.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/config.cc.o"
+  "CMakeFiles/sxnm_core.dir/config.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/config_xml.cc.o"
+  "CMakeFiles/sxnm_core.dir/config_xml.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/dedup_writer.cc.o"
+  "CMakeFiles/sxnm_core.dir/dedup_writer.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/detector.cc.o"
+  "CMakeFiles/sxnm_core.dir/detector.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/equational_theory.cc.o"
+  "CMakeFiles/sxnm_core.dir/equational_theory.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/key_generation.cc.o"
+  "CMakeFiles/sxnm_core.dir/key_generation.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/key_pattern.cc.o"
+  "CMakeFiles/sxnm_core.dir/key_pattern.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/result_io.cc.o"
+  "CMakeFiles/sxnm_core.dir/result_io.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/similarity_measure.cc.o"
+  "CMakeFiles/sxnm_core.dir/similarity_measure.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/sliding_window.cc.o"
+  "CMakeFiles/sxnm_core.dir/sliding_window.cc.o.d"
+  "CMakeFiles/sxnm_core.dir/transitive_closure.cc.o"
+  "CMakeFiles/sxnm_core.dir/transitive_closure.cc.o.d"
+  "libsxnm_core.a"
+  "libsxnm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

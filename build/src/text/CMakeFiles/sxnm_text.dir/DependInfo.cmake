@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/sxnm_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/sxnm_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/jaro_winkler.cc" "src/text/CMakeFiles/sxnm_text.dir/jaro_winkler.cc.o" "gcc" "src/text/CMakeFiles/sxnm_text.dir/jaro_winkler.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/text/CMakeFiles/sxnm_text.dir/qgram.cc.o" "gcc" "src/text/CMakeFiles/sxnm_text.dir/qgram.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/sxnm_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/sxnm_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/soundex.cc" "src/text/CMakeFiles/sxnm_text.dir/soundex.cc.o" "gcc" "src/text/CMakeFiles/sxnm_text.dir/soundex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_text.dir/edit_distance.cc.o"
+  "CMakeFiles/sxnm_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/sxnm_text.dir/jaro_winkler.cc.o"
+  "CMakeFiles/sxnm_text.dir/jaro_winkler.cc.o.d"
+  "CMakeFiles/sxnm_text.dir/qgram.cc.o"
+  "CMakeFiles/sxnm_text.dir/qgram.cc.o.d"
+  "CMakeFiles/sxnm_text.dir/similarity.cc.o"
+  "CMakeFiles/sxnm_text.dir/similarity.cc.o.d"
+  "CMakeFiles/sxnm_text.dir/soundex.cc.o"
+  "CMakeFiles/sxnm_text.dir/soundex.cc.o.d"
+  "libsxnm_text.a"
+  "libsxnm_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_util.dir/rng.cc.o"
+  "CMakeFiles/sxnm_util.dir/rng.cc.o.d"
+  "CMakeFiles/sxnm_util.dir/status.cc.o"
+  "CMakeFiles/sxnm_util.dir/status.cc.o.d"
+  "CMakeFiles/sxnm_util.dir/stopwatch.cc.o"
+  "CMakeFiles/sxnm_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/sxnm_util.dir/string_util.cc.o"
+  "CMakeFiles/sxnm_util.dir/string_util.cc.o.d"
+  "CMakeFiles/sxnm_util.dir/table_printer.cc.o"
+  "CMakeFiles/sxnm_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/sxnm_util.dir/union_find.cc.o"
+  "CMakeFiles/sxnm_util.dir/union_find.cc.o.d"
+  "libsxnm_util.a"
+  "libsxnm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

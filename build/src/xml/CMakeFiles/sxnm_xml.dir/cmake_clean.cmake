@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxnm_xml.dir/node.cc.o"
+  "CMakeFiles/sxnm_xml.dir/node.cc.o.d"
+  "CMakeFiles/sxnm_xml.dir/parser.cc.o"
+  "CMakeFiles/sxnm_xml.dir/parser.cc.o.d"
+  "CMakeFiles/sxnm_xml.dir/writer.cc.o"
+  "CMakeFiles/sxnm_xml.dir/writer.cc.o.d"
+  "CMakeFiles/sxnm_xml.dir/xpath.cc.o"
+  "CMakeFiles/sxnm_xml.dir/xpath.cc.o.d"
+  "libsxnm_xml.a"
+  "libsxnm_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxnm_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

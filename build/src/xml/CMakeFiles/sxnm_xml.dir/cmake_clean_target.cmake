@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsxnm_xml.a"
+)

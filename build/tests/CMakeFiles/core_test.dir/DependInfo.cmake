@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sxnm/adaptive_window_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/adaptive_window_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/adaptive_window_test.cc.o.d"
+  "/root/repo/tests/sxnm/candidate_tree_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/candidate_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/candidate_tree_test.cc.o.d"
+  "/root/repo/tests/sxnm/cluster_set_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/cluster_set_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/cluster_set_test.cc.o.d"
+  "/root/repo/tests/sxnm/comparators_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/comparators_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/comparators_test.cc.o.d"
+  "/root/repo/tests/sxnm/config_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/config_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/config_test.cc.o.d"
+  "/root/repo/tests/sxnm/config_xml_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/config_xml_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/config_xml_test.cc.o.d"
+  "/root/repo/tests/sxnm/dedup_writer_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/dedup_writer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/dedup_writer_test.cc.o.d"
+  "/root/repo/tests/sxnm/detector_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/detector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/detector_test.cc.o.d"
+  "/root/repo/tests/sxnm/equational_theory_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/equational_theory_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/equational_theory_test.cc.o.d"
+  "/root/repo/tests/sxnm/fusion_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/fusion_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/fusion_test.cc.o.d"
+  "/root/repo/tests/sxnm/key_generation_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/key_generation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/key_generation_test.cc.o.d"
+  "/root/repo/tests/sxnm/key_pattern_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/key_pattern_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/key_pattern_test.cc.o.d"
+  "/root/repo/tests/sxnm/result_io_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/result_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/result_io_test.cc.o.d"
+  "/root/repo/tests/sxnm/similarity_measure_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/similarity_measure_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/similarity_measure_test.cc.o.d"
+  "/root/repo/tests/sxnm/sliding_window_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/sliding_window_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/sliding_window_test.cc.o.d"
+  "/root/repo/tests/sxnm/transitive_closure_test.cc" "tests/CMakeFiles/core_test.dir/sxnm/transitive_closure_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/sxnm/transitive_closure_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sxnm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sxnm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxnm/CMakeFiles/sxnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sxnm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sxnm_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

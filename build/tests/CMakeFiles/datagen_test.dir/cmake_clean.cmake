@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_test.dir/datagen/dirty_gen_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/dirty_gen_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/freedb_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/freedb_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/movies_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/movies_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/template_gen_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/template_gen_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/vocab_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/vocab_test.cc.o.d"
+  "datagen_test"
+  "datagen_test.pdb"
+  "datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

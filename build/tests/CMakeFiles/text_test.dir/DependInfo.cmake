@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text/edit_distance_test.cc" "tests/CMakeFiles/text_test.dir/text/edit_distance_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/edit_distance_test.cc.o.d"
+  "/root/repo/tests/text/filtered_similarity_test.cc" "tests/CMakeFiles/text_test.dir/text/filtered_similarity_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/filtered_similarity_test.cc.o.d"
+  "/root/repo/tests/text/jaro_winkler_test.cc" "tests/CMakeFiles/text_test.dir/text/jaro_winkler_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/jaro_winkler_test.cc.o.d"
+  "/root/repo/tests/text/qgram_test.cc" "tests/CMakeFiles/text_test.dir/text/qgram_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/qgram_test.cc.o.d"
+  "/root/repo/tests/text/similarity_test.cc" "tests/CMakeFiles/text_test.dir/text/similarity_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/similarity_test.cc.o.d"
+  "/root/repo/tests/text/soundex_test.cc" "tests/CMakeFiles/text_test.dir/text/soundex_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/soundex_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sxnm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sxnm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxnm/CMakeFiles/sxnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sxnm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sxnm_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

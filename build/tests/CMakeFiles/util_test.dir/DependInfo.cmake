@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/stopwatch_test.cc" "tests/CMakeFiles/util_test.dir/util/stopwatch_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stopwatch_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/table_printer_test.cc" "tests/CMakeFiles/util_test.dir/util/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_printer_test.cc.o.d"
+  "/root/repo/tests/util/union_find_test.cc" "tests/CMakeFiles/util_test.dir/util/union_find_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/union_find_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sxnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sxnm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sxnm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sxnm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxnm/CMakeFiles/sxnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sxnm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sxnm_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
