@@ -1,0 +1,125 @@
+// Minimal streaming JSON writer for benchmark outputs (--json flags).
+// Emits machine-readable phase timings and comparison counts next to the
+// human-readable tables; see docs/BENCHMARKS.md for the file formats.
+//
+// Deliberately tiny: objects/arrays with string, integer, double, and
+// bool fields, pretty-printed with two-space indentation. Not a general
+// JSON library — benchmark names and keys must not need escaping beyond
+// the basic characters handled here.
+
+#ifndef SXNM_BENCH_BENCH_JSON_H_
+#define SXNM_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sxnm::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void BeginObject(std::string_view key = {}) { Open('{', key); }
+  void EndObject() { Close('}'); }
+  void BeginArray(std::string_view key = {}) { Open('[', key); }
+  void EndArray() { Close(']'); }
+
+  void Field(std::string_view key, std::string_view value) {
+    Prefix(key);
+    WriteString(value);
+  }
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(std::string_view key, double value) {
+    Prefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out_ << buf;
+  }
+  void Field(std::string_view key, size_t value) {
+    Prefix(key);
+    out_ << value;
+  }
+  void Field(std::string_view key, bool value) {
+    Prefix(key);
+    out_ << (value ? "true" : "false");
+  }
+
+ private:
+  void Open(char bracket, std::string_view key) {
+    Prefix(key);
+    out_ << bracket;
+    needs_comma_.push_back(false);
+  }
+
+  void Close(char bracket) {
+    needs_comma_.pop_back();
+    out_ << '\n';
+    Indent();
+    out_ << bracket;
+    if (needs_comma_.empty()) out_ << '\n';
+  }
+
+  // Comma/newline/indent bookkeeping before a value; writes `"key": `
+  // inside objects (pass an empty key for array elements).
+  void Prefix(std::string_view key) {
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ << ',';
+      needs_comma_.back() = true;
+      out_ << '\n';
+      Indent();
+    }
+    if (!key.empty()) {
+      WriteString(key);
+      out_ << ": ";
+    }
+  }
+
+  void Indent() {
+    for (size_t i = 0; i < needs_comma_.size(); ++i) out_ << "  ";
+  }
+
+  void WriteString(std::string_view s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default: out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> needs_comma_;
+};
+
+/// Pulls `--json <path>` (or `--json=<path>`) out of argv, compacting the
+/// remaining arguments in place. Returns the path, or "" when absent.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = std::string(arg.substr(7));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+}  // namespace sxnm::bench
+
+#endif  // SXNM_BENCH_BENCH_JSON_H_

@@ -14,12 +14,18 @@
 // sharply with "many duplicates"; few-duplicates overhead stays below
 // ~20% while many-duplicates costs several times the clean run.
 //
-// Usage: fig5_scalability [max_movies] [seed]
+// Usage: fig5_scalability [--json <path>] [max_movies] [seed]
+//
+// --json additionally writes the panels machine-readably (per-size phase
+// timings and comparison counts); format in docs/BENCHMARKS.md.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "bench_json.h"
 #include "datagen/dirty_gen.h"
 #include "datagen/movies.h"
 #include "sxnm/detector.h"
@@ -32,6 +38,7 @@ struct PanelRow {
   size_t clean_movies = 0;
   size_t instances = 0;  // movie instances after pollution
   double kg = 0, sw = 0, tc = 0;
+  size_t comparisons = 0;
   double dd() const { return sw + tc; }
 };
 
@@ -48,7 +55,27 @@ sxnm::util::Result<PanelRow> RunOne(const sxnm::xml::Document& doc,
   row.kg = result->KeyGenerationSeconds();
   row.sw = result->SlidingWindowSeconds();
   row.tc = result->TransitiveClosureSeconds();
+  row.comparisons = result->TotalComparisons();
   return row;
+}
+
+void WritePanelJson(sxnm::bench::JsonWriter& json, const char* name,
+                    const std::vector<PanelRow>& rows) {
+  json.BeginArray(name);
+  for (const PanelRow& row : rows) {
+    json.BeginObject();
+    json.Field("clean_movies", row.clean_movies);
+    json.Field("movie_instances", row.instances);
+    json.BeginObject("phases");
+    json.Field("key_generation_s", row.kg);
+    json.Field("sliding_window_s", row.sw);
+    json.Field("transitive_closure_s", row.tc);
+    json.Field("duplicate_detection_s", row.dd());
+    json.EndObject();
+    json.Field("comparisons", row.comparisons);
+    json.EndObject();
+  }
+  json.EndArray();
 }
 
 void PrintPanel(const char* title, const std::vector<PanelRow>& rows) {
@@ -69,6 +96,7 @@ void PrintPanel(const char* title, const std::vector<PanelRow>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path = sxnm::bench::ExtractJsonFlag(&argc, argv);
   size_t max_movies = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8000;
   uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
 
@@ -136,5 +164,23 @@ int main(int argc, char** argv) {
     overhead.AddRow({std::to_string(sizes[i]), pct(few), pct(many)});
   }
   overhead.Print(std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open " << json_path << "\n";
+      return 1;
+    }
+    sxnm::bench::JsonWriter json(out);
+    json.BeginObject();
+    json.Field("bench", "fig5_scalability");
+    json.Field("window", size_t{3});
+    json.Field("seed", size_t(seed));
+    WritePanelJson(json, "clean", clean_rows);
+    WritePanelJson(json, "few_duplicates", few_rows);
+    WritePanelJson(json, "many_duplicates", many_rows);
+    json.EndObject();
+    std::printf("panel data written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,15 +1,29 @@
 // M3: microbenchmarks for the SXNM pipeline stages — key generation,
 // GK sorting, one full detector run, and the transitive closure — on
 // generated movie data. These are the building blocks of Fig. 5's curves.
+//
+// Usage:
+//   micro_pipeline [google-benchmark flags]   runs the microbenchmarks
+//   micro_pipeline --json <path>              writes the pipeline engine
+//       profile (phase timings + comparison counts for the serial legacy
+//       kernels, serial fast kernels, and multi-threaded fast kernels)
+//       to <path> instead; format in docs/BENCHMARKS.md.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_json.h"
 #include "datagen/dirty_gen.h"
 #include "datagen/movies.h"
 #include "sxnm/candidate_tree.h"
 #include "sxnm/detector.h"
 #include "sxnm/key_generation.h"
 #include "sxnm/transitive_closure.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -89,4 +103,127 @@ void BM_CandidateForestBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CandidateForestBuild)->Arg(500)->Arg(2000);
 
+// ---------------------------------------------------------------------------
+// --json: pipeline engine profile (docs/BENCHMARKS.md).
+
+struct EngineVariant {
+  const char* name;
+  size_t num_threads;
+  bool fast_paths;
+};
+
+struct EngineProfile {
+  double kg = 0, sw = 0, tc = 0;
+  size_t comparisons = 0;
+  size_t duplicate_pairs = 0;
+};
+
+// Best-of-`repeats` phase timings of one engine variant over `doc`.
+EngineProfile ProfileVariant(const sxnm::xml::Document& doc,
+                             const EngineVariant& variant, int repeats) {
+  auto config = sxnm::datagen::MovieConfig(10).value();
+  config.set_num_threads(variant.num_threads);
+  for (auto& cand : config.mutable_candidates()) {
+    cand.enable_fast_paths = variant.fast_paths;
+  }
+  sxnm::core::Detector detector(std::move(config));
+
+  EngineProfile best;
+  for (int r = 0; r < repeats; ++r) {
+    auto result = detector.Run(doc);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      std::exit(1);
+    }
+    if (r == 0) {
+      best.comparisons = result->TotalComparisons();
+      best.duplicate_pairs = result->Find("movie")->duplicate_pairs.size();
+      best.kg = result->KeyGenerationSeconds();
+      best.sw = result->SlidingWindowSeconds();
+      best.tc = result->TransitiveClosureSeconds();
+    } else {
+      best.kg = std::min(best.kg, result->KeyGenerationSeconds());
+      best.sw = std::min(best.sw, result->SlidingWindowSeconds());
+      best.tc = std::min(best.tc, result->TransitiveClosureSeconds());
+    }
+  }
+  return best;
+}
+
+int WritePipelineJson(const std::string& path) {
+  constexpr size_t kMovies = 2000;
+  constexpr int kRepeats = 3;
+  sxnm::xml::Document doc = DirtyMovies(kMovies);
+
+  // "serial_legacy" is the pre-fast-path engine: one thread, set-based
+  // descendant Jaccard, unbounded edit distances, per-pair OD
+  // normalization. The other variants isolate the kernel fast paths and
+  // the thread scaling on top of them.
+  const EngineVariant variants[] = {
+      {"serial_legacy", 1, false},
+      {"serial_fast", 1, true},
+      {"threads4_fast", 4, true},
+  };
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  sxnm::bench::JsonWriter json(out);
+  json.BeginObject();
+  json.Field("bench", "micro_pipeline");
+  json.BeginObject("dataset");
+  json.Field("generator", "movies+DataSet1DirtyPreset");
+  json.Field("clean_movies", kMovies);
+  json.Field("window", size_t{10});
+  json.Field("repeats", size_t{kRepeats});
+  json.EndObject();
+  json.Field("hardware_threads", sxnm::util::HardwareThreads());
+
+  EngineProfile baseline;
+  EngineProfile last;
+  json.BeginArray("engines");
+  for (const EngineVariant& variant : variants) {
+    EngineProfile profile = ProfileVariant(doc, variant, kRepeats);
+    if (variant.num_threads == 1 && !variant.fast_paths) baseline = profile;
+    last = profile;
+
+    json.BeginObject();
+    json.Field("name", variant.name);
+    json.Field("num_threads", variant.num_threads);
+    json.Field("fast_paths", variant.fast_paths);
+    json.BeginObject("phases");
+    json.Field("key_generation_s", profile.kg);
+    json.Field("sliding_window_s", profile.sw);
+    json.Field("transitive_closure_s", profile.tc);
+    json.Field("duplicate_detection_s", profile.sw + profile.tc);
+    json.EndObject();
+    json.Field("comparisons", profile.comparisons);
+    json.Field("movie_duplicate_pairs", profile.duplicate_pairs);
+    if (baseline.sw > 0) {
+      json.Field("sliding_window_speedup_vs_serial_legacy",
+                 baseline.sw / profile.sw);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::printf("pipeline profile written to %s\n", path.c_str());
+  std::printf("SW: serial_legacy %.4fs -> threads4_fast %.4fs (%.2fx)\n",
+              baseline.sw, last.sw, baseline.sw / last.sw);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = sxnm::bench::ExtractJsonFlag(&argc, argv);
+  if (!json_path.empty()) return WritePipelineJson(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

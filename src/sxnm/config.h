@@ -137,6 +137,14 @@ struct CandidateConfig {
   /// OD similarities (and optionally the descendant similarity).
   EquationalTheory theory;
 
+  /// Comparison-kernel fast paths inside the sliding-window phase:
+  /// precomputed normalized ODs for the "edit" φ, bounded edit-distance
+  /// pruning against the classifier threshold, and sorted-vector
+  /// descendant Jaccard. They never change which pairs are accepted (the
+  /// verdict is identical up to floating-point ties ~1e-9 at the
+  /// threshold); disable only to measure their effect (bench baselines).
+  bool enable_fast_paths = true;
+
   /// Resolves a pid to its PathEntry, nullptr when absent.
   const PathEntry* FindPath(int pid) const;
 };
@@ -158,6 +166,14 @@ class Config {
   const CandidateConfig* Find(std::string_view name) const;
   CandidateConfig* Find(std::string_view name);
 
+  /// Worker threads for the duplicate-detection phase: window passes and
+  /// independent candidates at the same forest depth run concurrently; the
+  /// merge of pass results is deterministic, so any thread count produces
+  /// the same detection result. 1 = serial (default), 0 = all hardware
+  /// threads.
+  size_t num_threads() const { return num_threads_; }
+  void set_num_threads(size_t n) { num_threads_ = n; }
+
   /// Structural validation: every candidate has >= 1 key and >= 1 OD
   /// entry, every pid resolves, relevancies are positive, window sizes
   /// >= 2, thresholds within [0, 1], similarity functions resolved.
@@ -165,6 +181,7 @@ class Config {
 
  private:
   std::vector<CandidateConfig> candidates_;
+  size_t num_threads_ = 1;
 };
 
 /// Fluent construction helper used by examples, tests, and benches:
@@ -195,6 +212,7 @@ class CandidateBuilder {
   CandidateBuilder& Mode(CombineMode mode);
   CandidateBuilder& UseDescendants(bool use);
   CandidateBuilder& ExactOdPrepass(bool enable);
+  CandidateBuilder& FastPaths(bool enable);
   /// Adds one equational-theory rule: conditions as (pid, min_similarity)
   /// pairs; use RuleCondition::kDescendants (-1) as pid for a condition
   /// on the descendant similarity.

@@ -72,6 +72,9 @@ Result<CandidateConfig> ParseCandidate(const Element& elem) {
   auto prepass = BoolAttrOr(elem, "exact-od-prepass", false);
   if (!prepass.ok()) return prepass.status();
   builder.ExactOdPrepass(prepass.value());
+  auto fast_paths = BoolAttrOr(elem, "fast-paths", true);
+  if (!fast_paths.ok()) return fast_paths.status();
+  builder.FastPaths(fast_paths.value());
 
   auto policy = ParseWindowPolicy(elem.AttributeOr("window-policy", "fixed"));
   if (!policy.ok()) return policy.status();
@@ -209,6 +212,14 @@ util::Result<Config> ConfigFromXml(const xml::Document& doc) {
                               doc.root()->name() + ">");
   }
   Config config;
+  if (const std::string* threads = doc.root()->FindAttribute("num-threads")) {
+    int n = util::ParseNonNegativeInt(util::TrimView(*threads));
+    if (n < 0) {
+      return Status::ParseError("bad num-threads '" + *threads +
+                                "' (0 = all hardware threads)");
+    }
+    config.set_num_threads(static_cast<size_t>(n));
+  }
   for (const Element* elem : doc.root()->ChildElements("candidate")) {
     auto candidate = ParseCandidate(*elem);
     if (!candidate.ok()) return candidate.status();
@@ -232,6 +243,9 @@ util::Result<Config> ConfigFromXmlFile(const std::string& path) {
 
 xml::Document ConfigToXml(const Config& config) {
   auto root = std::make_unique<Element>("sxnm-config");
+  if (config.num_threads() != 1) {
+    root->SetAttribute("num-threads", std::to_string(config.num_threads()));
+  }
   for (const CandidateConfig& c : config.candidates()) {
     Element* cand = root->AddElement("candidate");
     cand->SetAttribute("name", c.name);
@@ -241,6 +255,7 @@ xml::Document ConfigToXml(const Config& config) {
                        c.use_descendants ? "true" : "false");
     cand->SetAttribute("exact-od-prepass",
                        c.exact_od_prepass ? "true" : "false");
+    cand->SetAttribute("fast-paths", c.enable_fast_paths ? "true" : "false");
     cand->SetAttribute("window-policy", WindowPolicyName(c.window_policy));
     if (c.window_policy == WindowPolicy::kAdaptivePrefix) {
       cand->SetAttribute("adaptive-prefix",

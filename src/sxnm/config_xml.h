@@ -3,7 +3,7 @@
 //
 // Format:
 //
-//   <sxnm-config>
+//   <sxnm-config num-threads="4">   <!-- optional; 1 = serial, 0 = auto -->
 //     <candidate name="movie" path="movie_database/movies/movie"
 //                window="10" use-descendants="true">
 //       <paths>

@@ -1,13 +1,18 @@
 #include "sxnm/detector.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <map>
-#include <set>
+#include <memory>
+#include <unordered_set>
+#include <utility>
 
 #include "sxnm/similarity_measure.h"
-#include "util/string_util.h"
 #include "sxnm/sliding_window.h"
 #include "sxnm/transitive_closure.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
 
 namespace sxnm::core {
 
@@ -43,114 +48,229 @@ size_t DetectionResult::TotalComparisons() const {
   return total;
 }
 
+namespace {
+
+// Pairs are packed into one word for the flat hash sets of the merge
+// (ordinals beyond 2^32 instances per candidate are far outside any
+// supported document size).
+uint64_t PackPair(OrdinalPair pair) {
+  return (static_cast<uint64_t>(pair.first) << 32) |
+         static_cast<uint64_t>(pair.second);
+}
+
+// One windowed pair as recorded by a pass worker. Only the verdict's
+// classification survives into the merge; everything else about the
+// verdict is pair-deterministic and need not be kept.
+struct PassHit {
+  OrdinalPair pair;
+  bool is_duplicate;
+};
+
+// Per-candidate state for one depth level of the bottom-up order.
+struct CandidateRun {
+  size_t index = 0;  // candidate index t within the forest
+  const CandidateInstances* instances = nullptr;
+  const CandidateConfig* cand = nullptr;
+  const GkTable* table = nullptr;
+  std::unique_ptr<SimilarityMeasure> measure;
+
+  // DE-SNM exact-OD pre-pass output: byte-identical normalized ODs are
+  // duplicates by definition. Both sets are read-only while the window
+  // passes run.
+  std::unordered_set<uint64_t> prepass_pairs;
+  std::vector<OrdinalPair> prepass_accepted;
+
+  // pass_hits[key_index]: the pass's windowed pairs with verdicts, in
+  // visit order. Written by exactly one pass task each.
+  std::vector<std::vector<PassHit>> pass_hits;
+};
+
+// DE-SNM-style pre-pass (runs before the window passes so their workers
+// can skip the already-accepted pairs): link every instance whose whole
+// normalized OD matches an earlier instance's to the group's first
+// instance (the closure expands the group).
+void RunExactOdPrepass(CandidateRun& run) {
+  std::map<std::string, size_t> first_of;
+  for (const GkRow& row : run.table->rows) {
+    std::string key;
+    for (size_t i = 0; i < row.ods.size(); ++i) {
+      // The normalized ODs are precomputed at key generation; rows built
+      // by hand may lack them.
+      key += i < row.norm_ods.size()
+                 ? row.norm_ods[i]
+                 : util::ToLower(util::NormalizeWhitespace(row.ods[i]));
+      key += '\x1f';
+    }
+    auto [it, inserted] = first_of.emplace(std::move(key), row.ordinal);
+    if (!inserted) {
+      OrdinalPair pair = std::minmax(it->second, row.ordinal);
+      run.prepass_pairs.insert(PackPair(pair));
+      run.prepass_accepted.push_back(pair);
+    }
+  }
+}
+
+// One window pass: sorts the GK relation by the pass key and compares
+// every windowed pair, buffering (pair, verdict) locally. Pairs already
+// accepted by the exact-OD pre-pass are skipped, exactly as the serial
+// detector skips pairs in its `compared` set. Cross-pass duplicates are
+// *not* filtered here — the deterministic merge drops them — so a pair
+// shared by two key passes is compared twice when the passes run
+// concurrently; the verdict is a pure function of the pair, making the
+// redundant work invisible in the output.
+void RunWindowPass(CandidateRun& run, size_t key_index) {
+  const GkTable& table = *run.table;
+  std::vector<size_t> order = table.SortedOrder(key_index);
+  std::vector<PassHit>& hits = run.pass_hits[key_index];
+  auto visit = [&](size_t a, size_t b) {
+    OrdinalPair pair = std::minmax(a, b);
+    if (run.prepass_pairs.count(PackPair(pair)) != 0) return;
+    SimilarityVerdict verdict = run.measure->CompareFast(
+        table.rows[pair.first], table.rows[pair.second]);
+    hits.push_back({pair, verdict.is_duplicate});
+  };
+  if (run.cand->window_policy == WindowPolicy::kAdaptivePrefix) {
+    ForEachAdaptiveWindowPair(
+        order,
+        [&](size_t ordinal) -> const std::string& {
+          return table.rows[ordinal].keys[key_index];
+        },
+        run.cand->window_size, run.cand->max_window,
+        run.cand->adaptive_prefix_len, visit);
+  } else {
+    ForEachWindowPair(order, run.cand->window_size, visit);
+  }
+}
+
+// Deterministic merge: replays the pass buffers in key order against a
+// flat hash set, so the accepted pairs, their order, and the comparison
+// count are those of the serial single-pass-at-a-time detector no matter
+// how the passes were interleaved across threads.
+void MergePasses(CandidateRun& run, CandidateResult& result) {
+  std::unordered_set<uint64_t> seen = run.prepass_pairs;
+  std::vector<OrdinalPair> accepted = run.prepass_accepted;
+  size_t total_hits = 0;
+  for (const auto& hits : run.pass_hits) total_hits += hits.size();
+  seen.reserve(seen.size() + total_hits);
+
+  for (const std::vector<PassHit>& hits : run.pass_hits) {
+    for (const PassHit& hit : hits) {
+      if (!seen.insert(PackPair(hit.pair)).second) continue;
+      ++result.comparisons;
+      if (hit.is_duplicate) accepted.push_back(hit.pair);
+    }
+  }
+  std::sort(accepted.begin(), accepted.end());
+  result.duplicate_pairs = std::move(accepted);
+  for (const auto& [a, b] : result.duplicate_pairs) {
+    result.duplicate_eid_pairs.emplace_back(run.instances->eids[a],
+                                            run.instances->eids[b]);
+  }
+}
+
+}  // namespace
+
 util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
   SXNM_RETURN_IF_ERROR(config_.Validate());
 
   DetectionResult result;
+  size_t num_threads = util::ResolveNumThreads(config_.num_threads());
 
   // --- Key generation phase (KG) -----------------------------------------
   // Candidate discovery and GK construction happen together: both read the
-  // document once, mirroring the paper's single-pass key generation.
+  // document once, mirroring the paper's single-pass key generation. The
+  // per-candidate GK tables are independent, so they build concurrently.
   util::Stopwatch kg_watch;
   auto forest_or = CandidateForest::Build(config_, doc);
   if (!forest_or.ok()) return forest_or.status();
   const CandidateForest& forest = forest_or.value();
 
   std::vector<GkTable> gk(forest.candidates().size());
-  for (size_t t = 0; t < forest.candidates().size(); ++t) {
+  util::ParallelFor(forest.candidates().size(), num_threads, [&](size_t t) {
     const CandidateInstances& instances = forest.candidates()[t];
     gk[t] = GenerateKeys(*instances.config, instances);
-  }
+  });
   result.timer.Add(kPhaseKeyGeneration, kg_watch.ElapsedSeconds());
 
   // --- Duplicate detection phase (per candidate, bottom-up) ---------------
-  std::vector<ClusterSet> cluster_sets(forest.candidates().size());
-
+  // Candidates are processed level by level: depths are longest root
+  // distances, so every child type sits at a strictly greater depth than
+  // its parents and all cluster sets a level needs are complete before it
+  // starts. Within a level, every (candidate, key) window pass is an
+  // independent task; a level-wide parallel-for covers both pass-level and
+  // candidate-level parallelism without nesting.
+  std::map<int, std::vector<size_t>, std::greater<int>> levels;
   for (size_t t : forest.ProcessingOrder()) {
-    const CandidateInstances& instances = forest.candidates()[t];
-    const CandidateConfig& cand = *instances.config;
+    levels[forest.candidates()[t].depth].push_back(t);
+  }
 
-    // Child cluster sets are complete: children precede parents in the
-    // processing order.
-    std::vector<const ClusterSet*> child_sets;
-    if (cand.use_descendants && !instances.child_types.empty()) {
-      child_sets.reserve(instances.child_types.size());
-      for (size_t child : instances.child_types) {
-        child_sets.push_back(&cluster_sets[child]);
-      }
-    }
-    SimilarityMeasure measure(cand, instances, std::move(child_sets));
+  std::vector<ClusterSet> cluster_sets(forest.candidates().size());
+  std::vector<CandidateResult> cand_results(forest.candidates().size());
 
-    CandidateResult cand_result;
-    cand_result.name = cand.name;
-    cand_result.num_instances = instances.NumInstances();
-
-    // Multi-pass sorted window (SW).
+  for (auto& [depth, members] : levels) {
+    (void)depth;
+    // Serial setup: similarity measures (which snapshot the child cluster
+    // sets into sorted cid lists) and the exact-OD pre-pass.
     util::Stopwatch sw_watch;
-    std::set<OrdinalPair> accepted;
-    std::set<OrdinalPair> compared;
-    const GkTable& table = gk[t];
+    std::vector<CandidateRun> runs(members.size());
+    std::vector<std::pair<size_t, size_t>> pass_tasks;  // (run, key_index)
+    for (size_t r = 0; r < members.size(); ++r) {
+      CandidateRun& run = runs[r];
+      run.index = members[r];
+      run.instances = &forest.candidates()[run.index];
+      run.cand = run.instances->config;
+      run.table = &gk[run.index];
 
-    if (cand.exact_od_prepass) {
-      // DE-SNM-style pre-pass: byte-identical normalized ODs are
-      // duplicates by definition; link members to the group's first
-      // instance (the closure expands the group).
-      std::map<std::string, size_t> first_of;
-      for (const GkRow& row : table.rows) {
-        std::string key;
-        for (const std::string& od : row.ods) {
-          key += util::ToLower(util::NormalizeWhitespace(od));
-          key += '\x1f';
+      std::vector<const ClusterSet*> child_sets;
+      if (run.cand->use_descendants && !run.instances->child_types.empty()) {
+        child_sets.reserve(run.instances->child_types.size());
+        for (size_t child : run.instances->child_types) {
+          child_sets.push_back(&cluster_sets[child]);
         }
-        auto [it, inserted] = first_of.emplace(std::move(key), row.ordinal);
-        if (!inserted) {
-          OrdinalPair pair = std::minmax(it->second, row.ordinal);
-          compared.insert(pair);
-          accepted.insert(pair);
-        }
+      }
+      run.measure = std::make_unique<SimilarityMeasure>(
+          *run.cand, *run.instances, std::move(child_sets));
+
+      if (run.cand->exact_od_prepass) RunExactOdPrepass(run);
+
+      run.pass_hits.resize(run.table->num_keys);
+      for (size_t k = 0; k < run.table->num_keys; ++k) {
+        pass_tasks.emplace_back(r, k);
       }
     }
 
-    for (size_t key_index = 0; key_index < table.num_keys; ++key_index) {
-      std::vector<size_t> order = table.SortedOrder(key_index);
-      auto visit = [&](size_t a, size_t b) {
-        OrdinalPair pair = std::minmax(a, b);
-        if (!compared.insert(pair).second) return;  // seen in earlier pass
-        ++cand_result.comparisons;
-        SimilarityVerdict verdict =
-            measure.Compare(table.rows[pair.first], table.rows[pair.second]);
-        if (verdict.is_duplicate) accepted.insert(pair);
-      };
-      if (cand.window_policy == WindowPolicy::kAdaptivePrefix) {
-        ForEachAdaptiveWindowPair(
-            order,
-            [&](size_t ordinal) -> const std::string& {
-              return table.rows[ordinal].keys[key_index];
-            },
-            cand.window_size, cand.max_window, cand.adaptive_prefix_len,
-            visit);
-      } else {
-        ForEachWindowPair(order, cand.window_size, visit);
-      }
-    }
-    cand_result.duplicate_pairs.assign(accepted.begin(), accepted.end());
-    for (const auto& [a, b] : cand_result.duplicate_pairs) {
-      cand_result.duplicate_eid_pairs.emplace_back(instances.eids[a],
-                                                   instances.eids[b]);
+    // Multi-pass sorted window (SW): all passes of the level in parallel.
+    util::ParallelFor(pass_tasks.size(), num_threads, [&](size_t i) {
+      auto [r, key_index] = pass_tasks[i];
+      RunWindowPass(runs[r], key_index);
+    });
+
+    // Deterministic merge + transitive closure (TC), serially in
+    // processing order.
+    for (CandidateRun& run : runs) {
+      CandidateResult& cand_result = cand_results[run.index];
+      cand_result.name = run.cand->name;
+      cand_result.num_instances = run.instances->NumInstances();
+      MergePasses(run, cand_result);
     }
     result.timer.Add(kPhaseSlidingWindow, sw_watch.ElapsedSeconds());
 
-    // Transitive closure (TC).
-    util::Stopwatch tc_watch;
-    cluster_sets[t] = ComputeTransitiveClosure(instances.NumInstances(),
-                                               cand_result.duplicate_pairs);
-    result.timer.Add(kPhaseTransitiveClosure, tc_watch.ElapsedSeconds());
-
-    cand_result.clusters = cluster_sets[t];
-    cand_result.gk = std::move(gk[t]);
-    result.candidates.push_back(std::move(cand_result));
+    for (CandidateRun& run : runs) {
+      util::Stopwatch tc_watch;
+      cluster_sets[run.index] = ComputeTransitiveClosure(
+          run.instances->NumInstances(),
+          cand_results[run.index].duplicate_pairs);
+      result.timer.Add(kPhaseTransitiveClosure, tc_watch.ElapsedSeconds());
+      cand_results[run.index].clusters = cluster_sets[run.index];
+    }
   }
 
+  // Assemble in the canonical bottom-up order, independent of the level
+  // grouping above.
+  for (size_t t : forest.ProcessingOrder()) {
+    cand_results[t].gk = std::move(gk[t]);
+    result.candidates.push_back(std::move(cand_results[t]));
+  }
   return result;
 }
 

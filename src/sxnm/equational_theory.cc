@@ -16,6 +16,15 @@ int IndexOfPid(const std::vector<int>& od_pids, int pid) {
 
 }  // namespace
 
+bool EquationalTheory::UsesDescendants() const {
+  for (const Rule& rule : rules_) {
+    for (const RuleCondition& cond : rule.conditions) {
+      if (cond.pid == RuleCondition::kDescendants) return true;
+    }
+  }
+  return false;
+}
+
 bool EquationalTheory::Fires(const std::vector<double>& od_sims,
                              const std::vector<int>& od_pids,
                              double desc_sim) const {

@@ -56,6 +56,11 @@ class EquationalTheory {
   const std::vector<Rule>& rules() const { return rules_; }
   void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
 
+  /// True when any rule has a condition on the descendant similarity —
+  /// only then does Fires() ever read `desc_sim`, so callers may skip
+  /// computing it otherwise.
+  bool UsesDescendants() const;
+
   /// Evaluates the theory.
   ///   `od_sims`   — per-OD-entry similarities, parallel to the entries;
   ///   `od_pids`   — the pid of each entry (same order);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "util/string_util.h"
+
 namespace sxnm::core {
 
 std::vector<size_t> GkTable::SortedOrder(size_t key_index) const {
@@ -62,8 +64,11 @@ GkTable GenerateKeys(const CandidateConfig& candidate,
     }
 
     row.ods.reserve(candidate.od.size());
+    row.norm_ods.reserve(candidate.od.size());
     for (const OdEntry& od : candidate.od) {
       row.ods.push_back(value_of(od.pid));
+      row.norm_ods.push_back(
+          util::ToLower(util::NormalizeWhitespace(row.ods.back())));
     }
 
     table.rows.push_back(std::move(row));

@@ -23,6 +23,13 @@ struct GkRow {
   xml::ElementId eid = xml::kInvalidElementId;
   std::vector<std::string> keys;  // one per KeyDef, in definition order
   std::vector<std::string> ods;   // one per OdEntry, in definition order
+
+  /// Lowercased, whitespace-collapsed `ods`, computed once at key
+  /// generation so the default "edit" φ^OD never re-normalizes inside the
+  /// O(n·w) comparison loop. Parallel to `ods`; may be empty on rows
+  /// constructed by hand (the comparison kernels then fall back to
+  /// normalizing on the fly).
+  std::vector<std::string> norm_ods;
 };
 
 /// The GK relation of one candidate.

@@ -4,7 +4,32 @@
 #include <cassert>
 #include <set>
 
+#include "text/edit_distance.h"
+
 namespace sxnm::core {
+
+namespace {
+
+// Size of the intersection of two sorted unique sequences.
+size_t SortedOverlap(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t overlap = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++overlap;
+      ++ia;
+      ++ib;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace
 
 SimilarityMeasure::SimilarityMeasure(
     const CandidateConfig& config, const CandidateInstances& instances,
@@ -14,6 +39,43 @@ SimilarityMeasure::SimilarityMeasure(
       child_cluster_sets_(std::move(child_cluster_sets)) {
   assert(child_cluster_sets_.empty() ||
          child_cluster_sets_.size() == instances_.child_types.size());
+
+  // The l_e lists of Def. 3 as sorted unique cluster-ID vectors, built
+  // once per candidate instead of once per compared pair.
+  desc_cids_.resize(child_cluster_sets_.size());
+  for (size_t slot = 0; slot < child_cluster_sets_.size(); ++slot) {
+    const ClusterSet* clusters = child_cluster_sets_[slot];
+    if (clusters == nullptr) continue;
+    const auto& per_instance = instances_.desc_instances[slot];
+    desc_cids_[slot].resize(per_instance.size());
+    for (size_t ordinal = 0; ordinal < per_instance.size(); ++ordinal) {
+      std::vector<int>& cids = desc_cids_[slot][ordinal];
+      cids.reserve(per_instance[ordinal].size());
+      for (size_t d : per_instance[ordinal]) cids.push_back(clusters->cid(d));
+      std::sort(cids.begin(), cids.end());
+      cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
+    }
+  }
+
+  od_is_norm_edit_.reserve(config_.od.size());
+  for (const OdEntry& od : config_.od) {
+    od_is_norm_edit_.push_back(od.similarity_name == "edit");
+  }
+}
+
+double SimilarityMeasure::ComponentSimilarity(const GkRow& a, const GkRow& b,
+                                              size_t i, double min_sim,
+                                              bool* pruned_out) const {
+  if (config_.enable_fast_paths && od_is_norm_edit_[i] &&
+      a.norm_ods.size() == a.ods.size() &&
+      b.norm_ods.size() == b.ods.size()) {
+    // "edit" is NormalizedEditSimilarity: lowercase + collapse whitespace,
+    // then plain edit similarity. The normalization already happened at
+    // key generation, so only the (bounded) DP remains.
+    return text::BoundedEditSimilarity(a.norm_ods[i], b.norm_ods[i], min_sim,
+                                       pruned_out);
+  }
+  return config_.od[i].similarity(a.ods[i], b.ods[i]);
 }
 
 double SimilarityMeasure::OdSimilarity(const GkRow& a, const GkRow& b) const {
@@ -22,16 +84,52 @@ double SimilarityMeasure::OdSimilarity(const GkRow& a, const GkRow& b) const {
   // components — the paper's "comparisons were then only performed on
   // 'readable' attributes" behaviour. A value present on one side only
   // still counts (as dissimilarity evidence).
+  return OdSimilarityBounded(a, b, /*min_required=*/0.0, nullptr);
+}
+
+double SimilarityMeasure::OdSimilarityBounded(const GkRow& a, const GkRow& b,
+                                              double min_required,
+                                              bool* pruned_out) const {
+  if (pruned_out != nullptr) *pruned_out = false;
+
+  double total_weight = 0.0;
+  for (size_t i = 0; i < config_.od.size(); ++i) {
+    if (a.ods[i].empty() && b.ods[i].empty()) continue;
+    total_weight += config_.od[i].relevance;
+  }
+  if (total_weight <= 0.0) return 0.0;  // nothing comparable at all
+
   double sim = 0.0;
-  double weight = 0.0;
+  double remaining = total_weight;
   for (size_t i = 0; i < config_.od.size(); ++i) {
     const OdEntry& od = config_.od[i];
     if (a.ods[i].empty() && b.ods[i].empty()) continue;
-    sim += od.relevance * od.similarity(a.ods[i], b.ods[i]);
-    weight += od.relevance;
+    remaining -= od.relevance;
+
+    // Smallest value this component may take while the pair can still
+    // reach min_required with perfect scores on everything after it:
+    //   (sim + relevance*s + remaining) / total_weight >= min_required.
+    double comp_min = 0.0;
+    if (min_required > 0.0) {
+      double needed = min_required * total_weight - sim - remaining;
+      if (needed > 0.0) comp_min = needed / od.relevance;
+    }
+
+    bool comp_pruned = false;
+    double s = ComponentSimilarity(a, b, i, comp_min, &comp_pruned);
+    sim += od.relevance * s;
+
+    if (min_required > 0.0) {
+      double upper_bound = (sim + remaining) / total_weight;
+      if (comp_pruned || upper_bound < min_required) {
+        // `s` may itself be an upper bound when comp_pruned; either way
+        // the true OD similarity cannot reach min_required anymore.
+        if (pruned_out != nullptr) *pruned_out = true;
+        return upper_bound;
+      }
+    }
   }
-  if (weight <= 0.0) return 0.0;  // nothing comparable at all
-  return sim / weight;
+  return sim / total_weight;
 }
 
 std::vector<double> SimilarityMeasure::ComponentSimilarities(
@@ -42,7 +140,7 @@ std::vector<double> SimilarityMeasure::ComponentSimilarities(
     if (a.ods[i].empty() && b.ods[i].empty()) {
       sims.push_back(0.0);
     } else {
-      sims.push_back(config_.od[i].similarity(a.ods[i], b.ods[i]));
+      sims.push_back(ComponentSimilarity(a, b, i, /*min_sim=*/0.0, nullptr));
     }
   }
   return sims;
@@ -51,7 +149,34 @@ std::vector<double> SimilarityMeasure::ComponentSimilarities(
 double SimilarityMeasure::DescendantSimilarity(size_t ordinal_a,
                                                size_t ordinal_b) const {
   if (child_cluster_sets_.empty()) return -1.0;
+  if (!config_.enable_fast_paths) {
+    return DescendantSimilaritySetBased(ordinal_a, ordinal_b);
+  }
 
+  double sum = 0.0;
+  size_t comparable_types = 0;
+
+  for (size_t slot = 0; slot < child_cluster_sets_.size(); ++slot) {
+    if (child_cluster_sets_[slot] == nullptr) continue;
+    const std::vector<int>& cids_a = desc_cids_[slot][ordinal_a];
+    const std::vector<int>& cids_b = desc_cids_[slot][ordinal_b];
+    if (cids_a.empty() && cids_b.empty()) continue;  // nothing to compare
+
+    size_t overlap = SortedOverlap(cids_a, cids_b);
+    size_t unions = cids_a.size() + cids_b.size() - overlap;
+    double phi_desc =
+        unions == 0 ? 0.0
+                    : static_cast<double>(overlap) / static_cast<double>(unions);
+    sum += phi_desc;
+    ++comparable_types;
+  }
+
+  if (comparable_types == 0) return -1.0;
+  return sum / static_cast<double>(comparable_types);  // agg() = average
+}
+
+double SimilarityMeasure::DescendantSimilaritySetBased(
+    size_t ordinal_a, size_t ordinal_b) const {
   double sum = 0.0;
   size_t comparable_types = 0;
 
@@ -79,52 +204,171 @@ double SimilarityMeasure::DescendantSimilarity(size_t ordinal_a,
   }
 
   if (comparable_types == 0) return -1.0;
-  return sum / static_cast<double>(comparable_types);  // agg() = average
+  return sum / static_cast<double>(comparable_types);
+}
+
+double SimilarityMeasure::MinUsefulOd(bool desc_possible) const {
+  const ClassifierConfig& cls = config_.classifier;
+  double t = cls.od_threshold;
+  double m = t;
+  if (desc_possible) {
+    switch (cls.mode) {
+      case CombineMode::kOdOnly:
+      case CombineMode::kDescGate:
+        m = t;  // the OD must clear the threshold by itself
+        break;
+      case CombineMode::kAverage:
+      case CombineMode::kDescBoost:
+        m = 2.0 * t - 1.0;  // descendants (boosted or not) at most 1
+        break;
+      case CombineMode::kWeighted:
+        m = cls.od_weight > 0.0
+                ? (t - (1.0 - cls.od_weight)) / cls.od_weight
+                : 0.0;  // weight 0: the OD never matters, never prune
+        break;
+    }
+  }
+  // Safety margin: pruning must never flip a borderline accept into a
+  // reject through bound arithmetic rounding differently than the exact
+  // path.
+  return std::max(0.0, m - 1e-9);
 }
 
 SimilarityVerdict SimilarityMeasure::Compare(const GkRow& a,
                                              const GkRow& b) const {
+  return CompareImpl(a, b, /*bounded=*/false);
+}
+
+SimilarityVerdict SimilarityMeasure::CompareFast(const GkRow& a,
+                                                 const GkRow& b) const {
+  return CompareImpl(a, b, /*bounded=*/config_.enable_fast_paths);
+}
+
+SimilarityVerdict SimilarityMeasure::CompareImpl(const GkRow& a,
+                                                 const GkRow& b,
+                                                 bool bounded) const {
   const ClassifierConfig& cls = config_.classifier;
   SimilarityVerdict verdict;
-  verdict.od_sim = OdSimilarity(a, b);
-
-  double desc = -1.0;
-  if (config_.use_descendants &&
-      (cls.mode != CombineMode::kOdOnly || !config_.theory.empty())) {
-    desc = DescendantSimilarity(a.ordinal, b.ordinal);
-  }
-  verdict.used_descendants = desc >= 0.0;
-  verdict.desc_sim = verdict.used_descendants ? desc : 0.0;
 
   if (!config_.theory.empty()) {
     // Equational theory replaces the threshold classification (Sec. 5).
+    // Rules read the per-component similarities, so OD pruning does not
+    // apply; the OD similarity is derived from the same component values
+    // (identical arithmetic to OdSimilarity).
+    std::vector<double> comp = ComponentSimilarities(a, b);
+    double sim = 0.0, weight = 0.0;
+    for (size_t i = 0; i < config_.od.size(); ++i) {
+      if (a.ods[i].empty() && b.ods[i].empty()) continue;
+      sim += config_.od[i].relevance * comp[i];
+      weight += config_.od[i].relevance;
+    }
+    verdict.od_sim = weight > 0.0 ? sim / weight : 0.0;
+
+    // The descendant similarity is only worth computing when some rule
+    // actually conditions on it.
+    double desc = -1.0;
+    if (config_.use_descendants && config_.theory.UsesDescendants()) {
+      desc = DescendantSimilarity(a.ordinal, b.ordinal);
+    }
+    verdict.used_descendants = desc >= 0.0;
+    verdict.desc_sim = verdict.used_descendants ? desc : 0.0;
+
     std::vector<int> od_pids;
     od_pids.reserve(config_.od.size());
     for (const OdEntry& od : config_.od) od_pids.push_back(od.pid);
     verdict.combined = verdict.od_sim;
-    verdict.is_duplicate =
-        config_.theory.Fires(ComponentSimilarities(a, b), od_pids, desc);
+    verdict.is_duplicate = config_.theory.Fires(comp, od_pids, desc);
     return verdict;
   }
 
+  bool desc_possible = config_.use_descendants &&
+                       !child_cluster_sets_.empty() &&
+                       cls.mode != CombineMode::kOdOnly;
+
+  double min_od = bounded ? MinUsefulOd(desc_possible) : 0.0;
+  bool pruned = false;
+  double od = OdSimilarityBounded(a, b, min_od, &pruned);
+  verdict.od_sim = od;
+  if (pruned) {
+    // Even the upper bound stays below every branch's requirement: not a
+    // duplicate, whatever the descendants say.
+    verdict.combined = od;
+    verdict.pruned = true;
+    return verdict;
+  }
+
+  if (!desc_possible) {
+    // Leaf candidate, descendants disabled, or OD-only mode: classify on
+    // the object description alone.
+    verdict.combined = od;
+    verdict.is_duplicate = od >= cls.od_threshold;
+    return verdict;
+  }
+
+  // Descendant short-circuit: skip the Jaccard when every possible value
+  // (including "no descendant info", which falls back to the plain OD
+  // threshold) yields the same verdict. The bounds are evaluated with the
+  // same formulas as the exact combination below, so floating-point
+  // monotonicity keeps the classification identical.
+  double t = cls.od_threshold;
+  switch (cls.mode) {
+    case CombineMode::kOdOnly:
+      break;  // unreachable: desc_possible excludes kOdOnly
+    case CombineMode::kAverage:
+    case CombineMode::kDescBoost:
+      if (0.5 * (od + 1.0) < t && od < t) {
+        verdict.combined = od;
+        return verdict;  // reject in every branch
+      }
+      if (0.5 * od >= t && od >= t) {
+        verdict.combined = od;
+        verdict.is_duplicate = true;
+        return verdict;  // accept in every branch
+      }
+      break;
+    case CombineMode::kWeighted: {
+      double w = cls.od_weight;
+      if (w * od + (1.0 - w) < t && od < t) {
+        verdict.combined = od;
+        return verdict;
+      }
+      if (w * od >= t && od >= t) {
+        verdict.combined = od;
+        verdict.is_duplicate = true;
+        return verdict;
+      }
+      break;
+    }
+    case CombineMode::kDescGate:
+      if (od < t) {
+        verdict.combined = od;
+        return verdict;  // the gate can only veto, never rescue
+      }
+      break;
+  }
+
+  double desc = DescendantSimilarity(a.ordinal, b.ordinal);
+  verdict.used_descendants = desc >= 0.0;
+  verdict.desc_sim = verdict.used_descendants ? desc : 0.0;
+
   if (!verdict.used_descendants) {
-    // Leaf candidate, descendants disabled, or no descendant info for the
-    // pair: classify on the object description alone.
-    verdict.combined = verdict.od_sim;
-    verdict.is_duplicate = verdict.od_sim >= cls.od_threshold;
+    // No descendant info for the pair: classify on the object
+    // description alone.
+    verdict.combined = od;
+    verdict.is_duplicate = od >= t;
     return verdict;
   }
 
   switch (cls.mode) {
     case CombineMode::kOdOnly:
-      verdict.combined = verdict.od_sim;
+      verdict.combined = od;
       break;
     case CombineMode::kAverage:
-      verdict.combined = 0.5 * (verdict.od_sim + verdict.desc_sim);
+      verdict.combined = 0.5 * (od + verdict.desc_sim);
       break;
     case CombineMode::kWeighted:
-      verdict.combined = cls.od_weight * verdict.od_sim +
-                         (1.0 - cls.od_weight) * verdict.desc_sim;
+      verdict.combined =
+          cls.od_weight * od + (1.0 - cls.od_weight) * verdict.desc_sim;
       break;
     case CombineMode::kDescBoost: {
       // The paper's Experiment set 3 reading: a descendant overlap above
@@ -133,19 +377,19 @@ SimilarityVerdict SimilarityMeasure::Compare(const GkRow& a,
       // children.
       double boosted =
           verdict.desc_sim >= cls.desc_threshold ? 1.0 : verdict.desc_sim;
-      verdict.combined = 0.5 * (verdict.od_sim + boosted);
+      verdict.combined = 0.5 * (od + boosted);
       break;
     }
     case CombineMode::kDescGate:
       // The OD decides; descendants act as a veto: real duplicates share
       // at least a small fraction of their children's clusters, whereas
       // confusers (e.g. series CDs with disjoint track lists) do not.
-      verdict.combined = verdict.od_sim;
-      verdict.is_duplicate = verdict.od_sim >= cls.od_threshold &&
-                             verdict.desc_sim >= cls.desc_threshold;
+      verdict.combined = od;
+      verdict.is_duplicate =
+          od >= t && verdict.desc_sim >= cls.desc_threshold;
       return verdict;
   }
-  verdict.is_duplicate = verdict.combined >= cls.od_threshold;
+  verdict.is_duplicate = verdict.combined >= t;
   return verdict;
 }
 

@@ -101,4 +101,23 @@ double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
   return EditSimilarity(na, nb);
 }
 
+double BoundedEditSimilarity(std::string_view a, std::string_view b,
+                             double min_sim, bool* pruned_out) {
+  if (pruned_out != nullptr) *pruned_out = false;
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  if (min_sim <= 0.0) return EditSimilarity(a, b);
+
+  // sim >= min_sim  <=>  distance <= (1 - min_sim) * longest. The +1e-9
+  // guards against the product rounding just below an integer budget,
+  // which would wrongly shrink the limit by one.
+  size_t limit = static_cast<size_t>(
+      (1.0 - std::min(min_sim, 1.0)) * static_cast<double>(longest) + 1e-9);
+  size_t distance = BoundedLevenshteinDistance(a, b, limit);
+  if (distance > limit && pruned_out != nullptr) *pruned_out = true;
+  // When bailed out, distance == limit + 1 <= true distance, so the
+  // normalized value is an upper bound of the true similarity.
+  return NormalizeDistance(distance, a.size(), b.size());
+}
+
 }  // namespace sxnm::text

@@ -41,6 +41,19 @@ double OsaSimilarity(std::string_view a, std::string_view b);
 /// φ^OD default used throughout the experiments.
 double NormalizedEditSimilarity(std::string_view a, std::string_view b);
 
+/// Edit similarity with upper-bound pruning: returns the exact
+/// EditSimilarity(a, b) whenever it is >= `min_sim`; otherwise returns an
+/// *upper bound* of the true similarity that is itself < `min_sim`, at a
+/// fraction of the DP cost (the bounded Levenshtein bails out as soon as
+/// the distance budget implied by `min_sim` is provably exceeded).
+/// Callers that only need to know whether the similarity clears `min_sim`
+/// can therefore test the returned value against `min_sim` directly.
+/// `min_sim <= 0` degenerates to the exact computation. When `pruned_out`
+/// is non-null it is set to true iff the DP bailed out (the result is an
+/// upper bound rather than the exact similarity).
+double BoundedEditSimilarity(std::string_view a, std::string_view b,
+                             double min_sim, bool* pruned_out = nullptr);
+
 }  // namespace sxnm::text
 
 #endif  // SXNM_TEXT_EDIT_DISTANCE_H_

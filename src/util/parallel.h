@@ -1,0 +1,80 @@
+// Small threading utilities for the parallel sliding-window engine.
+//
+// The detector's window passes are independent of each other (they only
+// read the GK relation and append to pass-local buffers), so the natural
+// execution model is a parallel-for over pass descriptors followed by a
+// deterministic serial merge. `ParallelFor` covers that pattern;
+// `ThreadPool` is the underlying reusable pool for callers that want to
+// submit heterogeneous tasks.
+
+#ifndef SXNM_UTIL_PARALLEL_H_
+#define SXNM_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sxnm::util {
+
+/// Number of hardware threads, at least 1 (hardware_concurrency may
+/// report 0 on exotic platforms).
+size_t HardwareThreads();
+
+/// Resolves a `num_threads` configuration value: 0 means "auto" (all
+/// hardware threads), anything else is used as-is.
+size_t ResolveNumThreads(size_t configured);
+
+/// A fixed-size pool of worker threads draining one shared task queue.
+/// Tasks must not block on other tasks of the same pool (no nested
+/// Submit+Wait from inside a task), which is all the detector needs: it
+/// submits one flat batch per depth level and waits.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks may run in any order and on any worker.
+  /// Exceptions must not escape the task (the pool has no channel to
+  /// report them; the detector's tasks are noexcept by construction).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // queue became non-empty / shutdown
+  std::condition_variable all_done_;     // pending_ dropped to zero
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `fn(i)` for every i in [0, n), distributing iterations over up to
+/// `num_threads` threads (work-stealing via a shared atomic index, so
+/// uneven iteration costs balance out). `num_threads <= 1` or `n <= 1`
+/// runs inline on the calling thread — the zero-dependency serial path.
+///
+/// `fn` must be safe to call concurrently for distinct `i` and must not
+/// throw. The call returns after every iteration has finished.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_PARALLEL_H_

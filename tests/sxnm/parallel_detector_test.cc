@@ -1,0 +1,163 @@
+// Parallel engine determinism: the detector must produce bit-identical
+// results for every thread count and with the comparison-kernel fast
+// paths on or off. These tests drive full dirty-generated datasets
+// through Detector::Run at several thread counts and diff every
+// observable output. They also serve as the TSan workload (the `tsan`
+// CMake preset's test filter selects names containing "Parallel").
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/freedb.h"
+#include "datagen/movies.h"
+#include "sxnm/detector.h"
+#include "xml/node.h"
+
+namespace sxnm::core {
+namespace {
+
+xml::Document DirtyMovies(size_t num_movies, unsigned data_seed,
+                          unsigned dirty_seed) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = num_movies;
+  gen.seed = data_seed;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty =
+      datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(dirty_seed));
+  EXPECT_TRUE(dirty.ok());
+  return std::move(dirty).value();
+}
+
+// Diffs every observable output of two detection results.
+void ExpectIdenticalResults(const DetectionResult& a,
+                            const DetectionResult& b) {
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateResult& ca = a.candidates[i];
+    const CandidateResult& cb = b.candidates[i];
+    SCOPED_TRACE(ca.name);
+    EXPECT_EQ(ca.name, cb.name) << "candidate order must be bottom-up";
+    EXPECT_EQ(ca.num_instances, cb.num_instances);
+    EXPECT_EQ(ca.duplicate_pairs, cb.duplicate_pairs);
+    EXPECT_EQ(ca.duplicate_eid_pairs, cb.duplicate_eid_pairs);
+    EXPECT_EQ(ca.comparisons, cb.comparisons);
+    EXPECT_EQ(ca.clusters.clusters(), cb.clusters.clusters());
+    EXPECT_EQ(ca.gk.rows.size(), cb.gk.rows.size());
+  }
+  EXPECT_EQ(a.TotalComparisons(), b.TotalComparisons());
+}
+
+TEST(ParallelDetectorTest, ThreadCountDoesNotChangeMovieResults) {
+  xml::Document dirty = DirtyMovies(300, 101, 7);
+  auto config = datagen::MovieConfig(/*window=*/10);
+  ASSERT_TRUE(config.ok());
+
+  auto serial = Detector(config.value()).Run(dirty);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{0}}) {
+    Config parallel_config = config.value();
+    parallel_config.set_num_threads(threads);
+    auto parallel = Detector(parallel_config).Run(dirty);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    ExpectIdenticalResults(serial.value(), parallel.value());
+  }
+}
+
+TEST(ParallelDetectorTest, BottomUpMultiCandidateIsDeterministic) {
+  // Three candidates across two forest depths (title and person feed
+  // movie): exercises the level-parallel candidate scheduling, not just
+  // concurrent passes of a single candidate.
+  xml::Document dirty = DirtyMovies(200, 41, 6);
+  auto config = datagen::MovieScalabilityConfig(/*window=*/5);
+  ASSERT_TRUE(config.ok());
+
+  auto serial = Detector(config.value()).Run(dirty);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial->candidates.size(), 3u);
+
+  Config parallel_config = config.value();
+  parallel_config.set_num_threads(4);
+  auto parallel = Detector(parallel_config).Run(dirty);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectIdenticalResults(serial.value(), parallel.value());
+}
+
+TEST(ParallelDetectorTest, FastPathsDoNotChangeAcceptedPairs) {
+  xml::Document dirty = DirtyMovies(250, 13, 3);
+  auto config = datagen::MovieConfig(/*window=*/8);
+  ASSERT_TRUE(config.ok());
+
+  Config slow_config = config.value();
+  for (CandidateConfig& cand : slow_config.mutable_candidates()) {
+    cand.enable_fast_paths = false;
+  }
+
+  auto fast = Detector(config.value()).Run(dirty);
+  auto slow = Detector(slow_config).Run(dirty);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  ExpectIdenticalResults(fast.value(), slow.value());
+}
+
+TEST(ParallelDetectorTest, FastPathsOffParallelStillDeterministic) {
+  // The legacy kernels under the parallel engine: isolates engine
+  // determinism from the kernel rewrites.
+  xml::Document dirty = DirtyMovies(150, 9, 4);
+  auto config = datagen::MovieConfig(/*window=*/6);
+  ASSERT_TRUE(config.ok());
+  Config base = config.value();
+  for (CandidateConfig& cand : base.mutable_candidates()) {
+    cand.enable_fast_paths = false;
+  }
+
+  auto serial = Detector(base).Run(dirty);
+  ASSERT_TRUE(serial.ok());
+  Config parallel_config = base;
+  parallel_config.set_num_threads(3);
+  auto parallel = Detector(parallel_config).Run(dirty);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalResults(serial.value(), parallel.value());
+}
+
+TEST(ParallelDetectorTest, DescendantHeavyCdDataIsDeterministic) {
+  // DataSet2: discs with track children, descendant similarity in play.
+  auto doc = datagen::GenerateDataSet2(150, 77);
+  ASSERT_TRUE(doc.ok());
+  auto config = datagen::CdConfig(/*window=*/6);
+  ASSERT_TRUE(config.ok());
+
+  auto serial = Detector(config.value()).Run(doc.value());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  Config parallel_config = config.value();
+  parallel_config.set_num_threads(4);
+  auto parallel = Detector(parallel_config).Run(doc.value());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalResults(serial.value(), parallel.value());
+}
+
+TEST(ParallelDetectorTest, RepeatedParallelRunsAgree) {
+  // Flushes out scheduling-dependent nondeterminism that a single run
+  // might get lucky on.
+  xml::Document dirty = DirtyMovies(120, 5, 2);
+  auto config = datagen::MovieConfig(/*window=*/6);
+  ASSERT_TRUE(config.ok());
+  Config parallel_config = config.value();
+  parallel_config.set_num_threads(4);
+  Detector detector(parallel_config);
+
+  auto first = detector.Run(dirty);
+  ASSERT_TRUE(first.ok());
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto again = detector.Run(dirty);
+    ASSERT_TRUE(again.ok());
+    ExpectIdenticalResults(first.value(), again.value());
+  }
+}
+
+}  // namespace
+}  // namespace sxnm::core

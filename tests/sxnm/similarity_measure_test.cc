@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
 namespace sxnm::core {
 namespace {
 
@@ -161,6 +167,144 @@ TEST(DescendantSimilarityTest, OneEmptyListIsZero) {
   CandidateInstances instances = WithDescendants(&cand, {{0}, {}});
   SimilarityMeasure measure(cand, instances, {&child});
   EXPECT_DOUBLE_EQ(measure.DescendantSimilarity(0, 1), 0.0);
+}
+
+TEST(DescendantSimilarityTest, SortedVectorMatchesSetBasedReference) {
+  // The precomputed sorted-vector Jaccard (fast paths on) against the
+  // original per-pair std::set implementation (fast paths off), over
+  // random descendant lists with duplicates and empties.
+  std::mt19937 rng(9001);
+  constexpr size_t kInstances = 24;
+  constexpr size_t kChildren = 40;
+  std::uniform_int_distribution<size_t> list_len(0, 8);
+  std::uniform_int_distribution<size_t> child(0, kChildren - 1);
+
+  std::vector<std::vector<size_t>> per_instance(kInstances);
+  for (auto& list : per_instance) {
+    list.resize(list_len(rng));
+    for (size_t& d : list) d = child(rng);  // duplicates allowed
+  }
+  ClusterSet clusters = ClusterSet::FromClusters(
+      {{0, 5, 11}, {1, 2}, {7, 13, 21, 33}, {8, 39}}, kChildren);
+
+  CandidateConfig fast = TwoFieldCandidate();
+  CandidateConfig slow = TwoFieldCandidate();
+  slow.enable_fast_paths = false;
+
+  CandidateInstances instances = WithDescendants(&fast, per_instance);
+  SimilarityMeasure fast_measure(fast, instances, {&clusters});
+  CandidateInstances instances_slow = WithDescendants(&slow, per_instance);
+  SimilarityMeasure slow_measure(slow, instances_slow, {&clusters});
+
+  for (size_t a = 0; a < kInstances; ++a) {
+    for (size_t b = a + 1; b < kInstances; ++b) {
+      ASSERT_DOUBLE_EQ(fast_measure.DescendantSimilarity(a, b),
+                       slow_measure.DescendantSimilarity(a, b))
+          << "ordinals " << a << ", " << b;
+    }
+  }
+}
+
+// Random GK rows with properly precomputed normalized ODs, as key
+// generation would produce them.
+GkRow RandomRow(size_t ordinal, std::mt19937& rng) {
+  static const std::vector<std::string> kWords = {
+      "The  Matrix", "the matrix", "The Matrix Reloaded", "Mask of Zorro",
+      "MASK OF ZORRO", "Keanu Reeves", "Keanu Reevs", "", "1999", "1998",
+      "12 Monkeys", "Twelve Monkeys", "zzzz"};
+  std::uniform_int_distribution<size_t> word(0, kWords.size() - 1);
+  GkRow row = Row(ordinal, {kWords[word(rng)], kWords[word(rng)]});
+  for (const std::string& od : row.ods) {
+    row.norm_ods.push_back(util::ToLower(util::NormalizeWhitespace(od)));
+  }
+  return row;
+}
+
+TEST(CompareFastTest, ClassifiesIdenticallyToExactAcrossModes) {
+  // CompareFast may report pruned upper bounds, but is_duplicate must
+  // match Compare exactly — for every combine mode, with and without
+  // descendant information.
+  std::mt19937 rng(31337);
+  ClusterSet child = ClusterSet::FromClusters({{0, 1}, {2, 3}}, 6);
+  std::uniform_int_distribution<size_t> desc(0, 5);
+
+  for (CombineMode mode :
+       {CombineMode::kOdOnly, CombineMode::kAverage, CombineMode::kWeighted,
+        CombineMode::kDescBoost, CombineMode::kDescGate}) {
+    CandidateConfig cand = TwoFieldCandidate();
+    cand.classifier.mode = mode;
+    cand.classifier.od_threshold = 0.72;
+    cand.classifier.desc_threshold = 0.4;
+    cand.classifier.od_weight = 0.7;
+
+    std::vector<std::vector<size_t>> per_instance(2);
+    for (auto& list : per_instance) list = {desc(rng), desc(rng)};
+    CandidateInstances instances = WithDescendants(&cand, per_instance);
+    SimilarityMeasure measure(cand, instances, {&child});
+
+    for (int iter = 0; iter < 300; ++iter) {
+      GkRow a = RandomRow(0, rng);
+      GkRow b = RandomRow(1, rng);
+      SimilarityVerdict exact = measure.Compare(a, b);
+      SimilarityVerdict fast = measure.CompareFast(a, b);
+      ASSERT_EQ(fast.is_duplicate, exact.is_duplicate)
+          << CombineModeName(mode) << ": \"" << a.ods[0] << "\"/\""
+          << a.ods[1] << "\" vs \"" << b.ods[0] << "\"/\"" << b.ods[1]
+          << "\" (exact combined " << exact.combined << ")";
+      if (!fast.pruned) {
+        ASSERT_DOUBLE_EQ(fast.od_sim, exact.od_sim);
+      } else {
+        ASSERT_FALSE(fast.is_duplicate);
+        ASSERT_GE(fast.od_sim + 1e-12, exact.od_sim)
+            << "pruned od_sim must be an upper bound";
+      }
+    }
+  }
+}
+
+TEST(CompareFastTest, FallsBackWithoutPrecomputedNormOds) {
+  // Hand-built rows without norm_ods must take the exact path.
+  CandidateConfig cand = TwoFieldCandidate();
+  CandidateInstances instances = NoDescendants(&cand, 2);
+  SimilarityMeasure measure(cand, instances, {});
+  GkRow a = Row(0, {"The  Matrix", "x"});
+  GkRow b = Row(1, {"the matrix", "x"});
+  SimilarityVerdict fast = measure.CompareFast(a, b);
+  SimilarityVerdict exact = measure.Compare(a, b);
+  EXPECT_DOUBLE_EQ(fast.od_sim, exact.od_sim);
+  EXPECT_DOUBLE_EQ(fast.combined, exact.combined);
+  EXPECT_EQ(fast.is_duplicate, exact.is_duplicate);
+  EXPECT_TRUE(fast.is_duplicate) << "normalization still applies on the fly";
+}
+
+TEST(CompareTest, DescendantJaccardSkippedWhenVerdictDecided) {
+  // od = 1.0 with threshold 0.7 in kAverage: every descendant value
+  // (including "no info") accepts, so the Jaccard is skipped and the
+  // verdict reports used_descendants == false.
+  CandidateConfig cand = TwoFieldCandidate();
+  cand.classifier.mode = CombineMode::kAverage;
+  cand.classifier.od_threshold = 0.5;
+  ClusterSet child = ClusterSet::Singletons(4);
+  CandidateInstances instances = WithDescendants(&cand, {{0, 1}, {2, 3}});
+  SimilarityMeasure measure(cand, instances, {&child});
+  auto verdict =
+      measure.Compare(Row(0, {"same", "x"}), Row(1, {"same", "x"}));
+  EXPECT_TRUE(verdict.is_duplicate);
+  EXPECT_FALSE(verdict.used_descendants)
+      << "desc cannot change an od=1.0 accept at threshold 0.5";
+
+  // Conversely at threshold 0.9, od = 0 rejects in every branch: even a
+  // perfect descendant score only reaches (0 + 1)/2 = 0.5.
+  CandidateConfig strict = TwoFieldCandidate();
+  strict.classifier.mode = CombineMode::kAverage;
+  strict.classifier.od_threshold = 0.9;
+  CandidateInstances strict_instances =
+      WithDescendants(&strict, {{0, 1}, {2, 3}});
+  SimilarityMeasure strict_measure(strict, strict_instances, {&child});
+  auto reject = strict_measure.Compare(Row(0, {"aaaa", "x"}),
+                                       Row(1, {"zzzz", "y"}));
+  EXPECT_FALSE(reject.is_duplicate);
+  EXPECT_FALSE(reject.used_descendants);
 }
 
 TEST(CompareTest, OdOnlyMode) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -36,6 +38,88 @@ TEST(BoundedLevenshteinTest, CapsAboveLimit) {
   EXPECT_EQ(BoundedLevenshteinDistance("aaaaaaaaaa", "bbbbbbbbbb", 3), 4u);
   EXPECT_EQ(BoundedLevenshteinDistance("short", "muchlongerstring", 2), 3u)
       << "length gap alone exceeds limit";
+}
+
+TEST(BoundedLevenshteinProperty, EqualsMinOfExactAndLimitPlusOne) {
+  // The bounded DP's contract over random inputs: for every limit,
+  //   BoundedLevenshteinDistance(a, b, limit) == min(LD(a, b), limit + 1).
+  // A small alphabet makes near-misses (distances straddling the limit)
+  // common.
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> len_dist(0, 24);
+  std::uniform_int_distribution<int> chr(0, 3);
+  auto make_string = [&] {
+    std::string s(static_cast<size_t>(len_dist(rng)), 'a');
+    for (char& c : s) c = static_cast<char>('a' + chr(rng));
+    return s;
+  };
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string a = make_string();
+    const std::string b = make_string();
+    const size_t exact = LevenshteinDistance(a, b);
+    for (size_t limit : {0u, 1u, 2u, 3u, 5u, 10u, 30u}) {
+      ASSERT_EQ(BoundedLevenshteinDistance(a, b, limit),
+                std::min(exact, limit + 1))
+          << "a=\"" << a << "\" b=\"" << b << "\" limit=" << limit;
+    }
+  }
+}
+
+TEST(BoundedEditSimilarityTest, ExactWhenClearingMinSim) {
+  bool pruned = true;
+  EXPECT_DOUBLE_EQ(BoundedEditSimilarity("kitten", "sitten", 0.5, &pruned),
+                   EditSimilarity("kitten", "sitten"));
+  EXPECT_FALSE(pruned);
+  EXPECT_DOUBLE_EQ(BoundedEditSimilarity("", "", 0.9, &pruned), 1.0);
+  EXPECT_FALSE(pruned);
+}
+
+TEST(BoundedEditSimilarityTest, PrunedResultIsUpperBoundBelowMinSim) {
+  bool pruned = false;
+  double bound = BoundedEditSimilarity("aaaaaaaaaa", "bbbbbbbbbb", 0.9,
+                                       &pruned);
+  EXPECT_TRUE(pruned);
+  EXPECT_LT(bound, 0.9);
+  EXPECT_GE(bound, EditSimilarity("aaaaaaaaaa", "bbbbbbbbbb"));
+}
+
+TEST(BoundedEditSimilarityTest, MinSimZeroIsExact) {
+  bool pruned = true;
+  EXPECT_DOUBLE_EQ(BoundedEditSimilarity("abcd", "wxyz", 0.0, &pruned),
+                   EditSimilarity("abcd", "wxyz"));
+  EXPECT_FALSE(pruned);
+}
+
+TEST(BoundedEditSimilarityProperty, ThresholdDecisionMatchesExact) {
+  // The kernel contract the similarity measure relies on: testing the
+  // returned value against min_sim gives the same answer as testing the
+  // exact similarity, and un-pruned results are bit-exact.
+  std::mt19937 rng(424242);
+  std::uniform_int_distribution<int> len_dist(0, 20);
+  std::uniform_int_distribution<int> chr(0, 4);
+  auto make_string = [&] {
+    std::string s(static_cast<size_t>(len_dist(rng)), 'a');
+    for (char& c : s) c = static_cast<char>('a' + chr(rng));
+    return s;
+  };
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string a = make_string();
+    const std::string b = make_string();
+    const double exact = EditSimilarity(a, b);
+    for (double min_sim : {0.3, 0.5, 0.75, 0.9, 1.0}) {
+      bool pruned = false;
+      double got = BoundedEditSimilarity(a, b, min_sim, &pruned);
+      if (!pruned) {
+        ASSERT_DOUBLE_EQ(got, exact)
+            << "a=\"" << a << "\" b=\"" << b << "\" min_sim=" << min_sim;
+      } else {
+        ASSERT_LT(got, min_sim);
+        ASSERT_GE(got + 1e-12, exact) << "bound must dominate the exact value";
+      }
+      ASSERT_EQ(got >= min_sim, exact >= min_sim)
+          << "a=\"" << a << "\" b=\"" << b << "\" min_sim=" << min_sim;
+    }
+  }
 }
 
 TEST(OsaTest, TranspositionCostsOne) {

@@ -1,0 +1,82 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sxnm::util {
+namespace {
+
+TEST(HardwareThreadsTest, AtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1u);
+  EXPECT_EQ(ResolveNumThreads(0), HardwareThreads());
+  EXPECT_EQ(ResolveNumThreads(3), 3u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(kN, threads, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, InlineWhenSerialOrTiny) {
+  std::vector<int> out(3, 0);
+  ParallelFor(3, 1, [&](size_t i) { out[i] = static_cast<int>(i) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  ParallelFor(0, 8, [&](size_t) { FAIL() << "no iterations expected"; });
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(2);
+  ParallelFor(2, 16, [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ParallelForTest, ConcurrentSumMatchesSerial) {
+  constexpr size_t kN = 4096;
+  std::vector<long> values(kN);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long> sum{0};
+  ParallelFor(kN, 4, [&](size_t i) { sum.fetch_add(values[i]); });
+  EXPECT_EQ(sum.load(), static_cast<long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sxnm::util
