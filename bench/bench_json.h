@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sxnm::bench {
 
 class JsonWriter {
@@ -100,6 +102,37 @@ class JsonWriter {
   std::ostream& out_;
   std::vector<bool> needs_comma_;
 };
+
+/// Writes an engine metrics snapshot (DetectionResult::metrics) as one
+/// object field: counters and gauges flat by name, histograms summarized
+/// as {count, sum, p50, p90, p99}. Empty snapshots write an empty object
+/// so the schema shape is stable.
+inline void WriteMetricsField(JsonWriter& json, std::string_view key,
+                              const sxnm::obs::MetricsSnapshot& snapshot) {
+  json.BeginObject(key);
+  json.BeginObject("counters");
+  for (const auto& counter : snapshot.counters) {
+    json.Field(counter.name, size_t{counter.value});
+  }
+  json.EndObject();
+  json.BeginObject("gauges");
+  for (const auto& gauge : snapshot.gauges) {
+    json.Field(gauge.name, gauge.value);
+  }
+  json.EndObject();
+  json.BeginObject("histograms");
+  for (const auto& histogram : snapshot.histograms) {
+    json.BeginObject(histogram.name);
+    json.Field("count", size_t{histogram.total_count});
+    json.Field("sum", histogram.sum);
+    json.Field("p50", histogram.Quantile(0.5));
+    json.Field("p90", histogram.Quantile(0.9));
+    json.Field("p99", histogram.Quantile(0.99));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
 
 /// Pulls `--json <path>` (or `--json=<path>`) out of argv, compacting the
 /// remaining arguments in place. Returns the path, or "" when absent.

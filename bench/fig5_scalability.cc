@@ -38,7 +38,12 @@ struct PanelRow {
   size_t clean_movies = 0;
   size_t instances = 0;  // movie instances after pollution
   double kg = 0, sw = 0, tc = 0;
-  size_t comparisons = 0;
+  // From the observability registry (the engine's own counters, not
+  // bench-side bookkeeping):
+  size_t comparisons = 0;         // unique merged comparisons
+  size_t kernel_comparisons = 0;  // per-pass kernel invocations
+  size_t pairs_windowed = 0;      // windowed pairs enumerated
+  size_t ed_bailouts = 0;         // bounded edit-distance bailouts
   double dd() const { return sw + tc; }
 };
 
@@ -46,6 +51,7 @@ sxnm::util::Result<PanelRow> RunOne(const sxnm::xml::Document& doc,
                                     size_t clean_movies) {
   auto config = sxnm::datagen::MovieScalabilityConfig(/*window=*/3);
   if (!config.ok()) return config.status();
+  config->mutable_observability().metrics = true;
   sxnm::core::Detector detector(std::move(config).value());
   auto result = detector.Run(doc);
   if (!result.ok()) return result.status();
@@ -55,7 +61,10 @@ sxnm::util::Result<PanelRow> RunOne(const sxnm::xml::Document& doc,
   row.kg = result->KeyGenerationSeconds();
   row.sw = result->SlidingWindowSeconds();
   row.tc = result->TransitiveClosureSeconds();
-  row.comparisons = result->TotalComparisons();
+  row.comparisons = size_t(result->metrics.CounterOr("sw.unique_comparisons"));
+  row.kernel_comparisons = size_t(result->metrics.CounterOr("sw.comparisons"));
+  row.pairs_windowed = size_t(result->metrics.CounterOr("sw.pairs_windowed"));
+  row.ed_bailouts = size_t(result->metrics.CounterOr("sw.ed_bailouts"));
   return row;
 }
 
@@ -73,6 +82,9 @@ void WritePanelJson(sxnm::bench::JsonWriter& json, const char* name,
     json.Field("duplicate_detection_s", row.dd());
     json.EndObject();
     json.Field("comparisons", row.comparisons);
+    json.Field("kernel_comparisons", row.kernel_comparisons);
+    json.Field("pairs_windowed", row.pairs_windowed);
+    json.Field("ed_bailouts", row.ed_bailouts);
     json.EndObject();
   }
   json.EndArray();
@@ -174,6 +186,7 @@ int main(int argc, char** argv) {
     sxnm::bench::JsonWriter json(out);
     json.BeginObject();
     json.Field("bench", "fig5_scalability");
+    json.Field("schema_version", size_t{2});
     json.Field("window", size_t{3});
     json.Field("seed", size_t(seed));
     WritePanelJson(json, "clean", clean_rows);

@@ -114,15 +114,24 @@ struct EngineVariant {
 
 struct EngineProfile {
   double kg = 0, sw = 0, tc = 0;
-  size_t comparisons = 0;
   size_t duplicate_pairs = 0;
+  // Engine metrics of the first repeat (counts are run-deterministic;
+  // only the timings vary, and those take the best-of-repeats).
+  sxnm::obs::MetricsSnapshot metrics;
+
+  size_t comparisons() const {
+    return size_t(metrics.CounterOr("sw.unique_comparisons"));
+  }
 };
 
 // Best-of-`repeats` phase timings of one engine variant over `doc`.
+// Comparison counts come from the observability registry rather than
+// hand-maintained bench counters.
 EngineProfile ProfileVariant(const sxnm::xml::Document& doc,
                              const EngineVariant& variant, int repeats) {
   auto config = sxnm::datagen::MovieConfig(10).value();
   config.set_num_threads(variant.num_threads);
+  config.mutable_observability().metrics = true;
   for (auto& cand : config.mutable_candidates()) {
     cand.enable_fast_paths = variant.fast_paths;
   }
@@ -136,7 +145,7 @@ EngineProfile ProfileVariant(const sxnm::xml::Document& doc,
       std::exit(1);
     }
     if (r == 0) {
-      best.comparisons = result->TotalComparisons();
+      best.metrics = result->metrics;
       best.duplicate_pairs = result->Find("movie")->duplicate_pairs.size();
       best.kg = result->KeyGenerationSeconds();
       best.sw = result->SlidingWindowSeconds();
@@ -173,6 +182,7 @@ int WritePipelineJson(const std::string& path) {
   sxnm::bench::JsonWriter json(out);
   json.BeginObject();
   json.Field("bench", "micro_pipeline");
+  json.Field("schema_version", size_t{2});
   json.BeginObject("dataset");
   json.Field("generator", "movies+DataSet1DirtyPreset");
   json.Field("clean_movies", kMovies);
@@ -199,12 +209,13 @@ int WritePipelineJson(const std::string& path) {
     json.Field("transitive_closure_s", profile.tc);
     json.Field("duplicate_detection_s", profile.sw + profile.tc);
     json.EndObject();
-    json.Field("comparisons", profile.comparisons);
+    json.Field("comparisons", profile.comparisons());
     json.Field("movie_duplicate_pairs", profile.duplicate_pairs);
     if (baseline.sw > 0) {
       json.Field("sliding_window_speedup_vs_serial_legacy",
                  baseline.sw / profile.sw);
     }
+    sxnm::bench::WriteMetricsField(json, "metrics", profile.metrics);
     json.EndObject();
   }
   json.EndArray();

@@ -1,9 +1,14 @@
 // Movie-database deduplication on generated data (the paper's Data set 1
 // scenario): generate a clean artificial movie collection, pollute it with
-// duplicates, run SXNM, and report recall / precision / f-measure against
-// the known ground truth, plus the phase timing breakdown.
+// duplicates, run SXNM with the observability layer on, and report
+// recall / precision / f-measure against the known ground truth plus the
+// engine's own per-pass DetectionReport and metrics.
 //
-// Usage: movie_dedup [num_movies] [window]
+// Usage: movie_dedup [num_movies] [window] [trace.json] [report.json]
+//
+// When given a third argument the run's span trace is written there as
+// Chrome trace_event JSON (open in chrome://tracing or Perfetto); a
+// fourth argument saves the DetectionReport as JSON.
 
 #include <cstdio>
 #include <cstdlib>
@@ -11,7 +16,6 @@
 
 #include "datagen/dirty_gen.h"
 #include "datagen/movies.h"
-#include "eval/experiment.h"
 #include "eval/gold.h"
 #include "eval/metrics.h"
 #include "sxnm/detector.h"
@@ -40,37 +44,68 @@ int main(int argc, char** argv) {
   std::printf("duplicates added:  %zu\n", dirty_stats.duplicates_created);
   std::printf("values polluted:   %zu\n\n", dirty_stats.values_polluted);
 
-  // Configure (Tab. 3(a)) and run.
+  // Configure (Tab. 3(a)) with observability on and run.
   auto config = sxnm::datagen::MovieConfig(window);
   if (!config.ok()) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
+  config->mutable_observability().metrics = true;
+  if (argc > 3) config->mutable_observability().trace_path = argv[3];
+  if (argc > 4) config->mutable_observability().report_path = argv[4];
 
-  auto eval = sxnm::eval::RunAndEvaluate(config.value(), dirty.value(),
-                                         "movie");
-  if (!eval.ok()) {
-    std::cerr << eval.status().ToString() << "\n";
+  auto result = sxnm::core::Detector(config.value()).Run(dirty.value());
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
     return 1;
   }
+  const sxnm::core::CandidateResult* movie = result->Find("movie");
+
+  auto gold = sxnm::eval::GoldClusterSet(
+      dirty.value(), config->Find("movie")->absolute_path.ToString());
+  if (!gold.ok()) {
+    std::cerr << gold.status().ToString() << "\n";
+    return 1;
+  }
+  sxnm::eval::PairMetrics quality =
+      sxnm::eval::PairwiseMetrics(gold.value(), movie->clusters);
 
   std::printf("window size:       %zu\n", window);
-  std::printf("movie instances:   %zu\n", eval->instances);
+  std::printf("movie instances:   %zu\n", movie->num_instances);
   std::printf("comparisons:       %zu  (naive all-pairs: %zu)\n",
-              eval->comparisons,
-              eval->instances * (eval->instances - 1) / 2);
-  std::printf("quality:           %s\n\n", eval->metrics.ToString().c_str());
+              movie->comparisons,
+              movie->num_instances * (movie->num_instances - 1) / 2);
+  std::printf("quality:           %s\n\n", quality.ToString().c_str());
 
   sxnm::util::TablePrinter phases({"phase", "seconds"});
   phases.AddRow({"key generation (KG)",
-                 sxnm::util::FormatDouble(eval->kg_seconds, 4)});
+                 sxnm::util::FormatDouble(result->KeyGenerationSeconds(), 4)});
   phases.AddRow({"sliding window (SW)",
-                 sxnm::util::FormatDouble(eval->sw_seconds, 4)});
+                 sxnm::util::FormatDouble(result->SlidingWindowSeconds(), 4)});
   phases.AddRow({"transitive closure (TC)",
-                 sxnm::util::FormatDouble(eval->tc_seconds, 4)});
+                 sxnm::util::FormatDouble(
+                     result->TransitiveClosureSeconds(), 4)});
   phases.AddRow({"duplicate detection (SW+TC)",
                  sxnm::util::FormatDouble(
-                     eval->sw_seconds + eval->tc_seconds, 4)});
+                     result->DuplicateDetectionSeconds(), 4)});
   phases.Print(std::cout);
+
+  // The engine's own accounting: one row per (candidate, pass).
+  std::printf("\nper-pass detection report:\n%s",
+              result->report.ToTable().c_str());
+
+  // The report and the registry describe the same kernel invocations.
+  uint64_t counter = result->metrics.CounterOr("sw.comparisons");
+  std::printf("\nregistry sw.comparisons:   %llu\n",
+              static_cast<unsigned long long>(counter));
+  std::printf("report total comparisons:  %llu  (%s)\n",
+              static_cast<unsigned long long>(
+                  result->report.TotalComparisons()),
+              result->report.TotalComparisons() == counter ? "match"
+                                                           : "MISMATCH");
+  if (result->report.TotalComparisons() != counter) return 1;
+
+  if (argc > 3) std::printf("trace written to %s\n", argv[3]);
+  if (argc > 4) std::printf("report written to %s\n", argv[4]);
   return 0;
 }

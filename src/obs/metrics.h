@@ -1,0 +1,236 @@
+// Engine-wide metrics layer (`sxnm_obs`): counters, gauges, and
+// fixed-bucket histograms behind a registry, designed for the parallel
+// sliding-window engine.
+//
+// Writes are sharded: every metric keeps one cache-line-padded slot per
+// thread shard, and a writer only touches its own shard with a relaxed
+// atomic add — hot-path increments stay wait-free no matter how many
+// pool workers flush pass statistics concurrently. Reads (`Value`,
+// `Snapshot`) sum the shards and may race with writers; they are meant
+// for the quiescent points between pipeline phases or after a run.
+//
+// A registry constructed disabled is the no-op registry: handles are
+// still handed out (callers keep unconditional pointers) but every write
+// is a single predictable branch, so observability-off costs nothing
+// measurable.
+
+#ifndef SXNM_OBS_METRICS_H_
+#define SXNM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sxnm::obs {
+
+/// Number of write shards per metric. Threads beyond this many share
+/// shards (correctness is unaffected; only contention grows).
+inline constexpr size_t kNumShards = 16;
+
+/// Stable shard index of the calling thread in [0, kNumShards). The first
+/// kNumShards distinct threads get distinct shards; later threads wrap.
+/// Also used by the tracer as the exported thread id.
+size_t ThisThreadShard();
+
+/// A monotonically increasing sum. Create through MetricsRegistry.
+class Counter {
+ public:
+  /// Wait-free: relaxed add on the calling thread's shard.
+  void Add(uint64_t delta = 1) {
+    if (!enabled_) return;
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Racy while writers run; exact once they stop.
+  uint64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+  Counter(std::string name, bool enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  void Reset();
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  bool enabled_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// A last-write-wins scalar (thread counts, dataset sizes, ratios).
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!enabled_) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+  Gauge(std::string name, bool enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  bool enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram. Bucket i counts observations with
+/// value <= bounds[i] (first matching bound); one implicit overflow
+/// bucket catches everything above bounds.back(). Like the counters,
+/// bucket increments are sharded and wait-free.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Total number of observations across all buckets.
+  uint64_t TotalCount() const;
+
+  /// Sum of all observed values.
+  double Sum() const;
+
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Quantile estimate from the bucket counts, q in [0, 1]: linear
+  /// interpolation inside the bucket holding the rank, with the first
+  /// bucket spanning [0, bounds[0]] and the overflow bucket collapsing
+  /// to bounds.back(). Returns 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+  Histogram(std::string name, std::vector<double> bounds, bool enabled);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  void Reset();
+
+  struct alignas(64) Shard {
+    // counts[kMaxBuckets]; allocated to bounds.size() + 1 entries.
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<double> sum{0.0};
+  };
+  std::string name_;
+  bool enabled_;
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// Quantile estimate from explicit bucket data (the math behind
+/// Histogram::Quantile; also usable on snapshot samples). `counts` has
+/// bounds.size() + 1 entries, the last being the overflow bucket.
+double BucketQuantile(const std::vector<double>& bounds,
+                      const std::vector<uint64_t>& counts, double q);
+
+/// Default histogram bounds for per-task wall times, in seconds
+/// (64 us .. ~4 s, roughly ×4 per bucket).
+std::vector<double> DefaultTimeBounds();
+
+/// Default histogram bounds for small integral sizes (cluster sizes,
+/// window lengths): 2, 3, 4, 6, 8, 12, 16, 32, 64, 128.
+std::vector<double> DefaultSizeBounds();
+
+/// One read-only, copyable view of a registry at a point in time.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow
+    double sum = 0.0;
+    uint64_t total_count = 0;
+
+    /// Same estimate as Histogram::Quantile, from the sampled buckets.
+    double Quantile(double q) const { return BucketQuantile(bounds, counts, q); }
+  };
+
+  std::vector<CounterSample> counters;      // sorted by name
+  std::vector<GaugeSample> gauges;          // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter value by name; `fallback` when absent.
+  uint64_t CounterOr(std::string_view name, uint64_t fallback = 0) const;
+  double GaugeOr(std::string_view name, double fallback = 0.0) const;
+  const HistogramSample* FindHistogram(std::string_view name) const;
+
+  /// Flat JSON object: counters as integers, gauges as doubles,
+  /// histograms as {count, sum, buckets: [{le, count}]}.
+  void WriteJson(std::ostream& os) const;
+};
+
+/// Owns the metrics of one engine run (or one process, if long-lived).
+/// Metric creation takes a mutex; returned references stay valid for the
+/// registry's lifetime, so hot paths resolve names once and then only
+/// touch their handles.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Finds or creates. Names are dotted paths ("sw.comparisons").
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must be ascending and non-empty; only the first call for a
+  /// name sets the bounds, later calls return the existing histogram.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (keeps registrations). Not safe against
+  /// concurrent writers.
+  void Reset();
+
+ private:
+  bool enabled_;
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*, std::less<>> counter_by_name_;
+  std::map<std::string, Gauge*, std::less<>> gauge_by_name_;
+  std::map<std::string, Histogram*, std::less<>> histogram_by_name_;
+};
+
+}  // namespace sxnm::obs
+
+#endif  // SXNM_OBS_METRICS_H_

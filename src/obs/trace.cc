@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+namespace sxnm::obs {
+
+namespace {
+
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+void WriteMicros(std::ostream& os, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  os << buf;
+}
+
+}  // namespace
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    name_ = std::move(other.name_);
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Tracer::Span::End() { EndWithArgs(std::string()); }
+
+void Tracer::Span::EndWithArgs(std::string args_json) {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+
+  auto now = std::chrono::steady_clock::now();
+  Event event;
+  event.name = std::move(name_);
+  event.args_json = std::move(args_json);
+  event.tid = ThisThreadShard();
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(start_ - tracer->epoch_)
+          .count();
+  event.dur_us = std::chrono::duration<double, std::micro>(now - start_).count();
+  tracer->Record(std::move(event));
+}
+
+Tracer::Tracer(bool enabled)
+    : enabled_(enabled), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::Span Tracer::StartSpan(std::string name) {
+  if (!enabled_) return Span();
+  return Span(this, std::move(name));
+}
+
+void Tracer::Record(Event event) {
+  if (!enabled_) return;
+  Buffer& buffer = buffers_[ThisThreadShard()];
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<Tracer::Event> Tracer::Events() const {
+  std::vector<Event> all;
+  for (Buffer& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    all.insert(all.end(), buffer.events.begin(), buffer.events.end());
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.ts_us, a.tid, a.name) < std::tie(b.ts_us, b.tid, b.name);
+  });
+  return all;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const Event& event : Events()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": ";
+    WriteJsonString(os, event.name);
+    os << ", \"cat\": \"sxnm\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << event.tid << ", \"ts\": ";
+    WriteMicros(os, event.ts_us);
+    os << ", \"dur\": ";
+    WriteMicros(os, event.dur_us);
+    if (!event.args_json.empty()) {
+      os << ", \"args\": " << event.args_json;
+    }
+    os << "}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+util::Status Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::FailedPrecondition("cannot open trace file '" +
+                                            path + "' for writing");
+  }
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out) {
+    return util::Status::FailedPrecondition("failed writing trace file '" +
+                                            path + "'");
+  }
+  return util::Status::Ok();
+}
+
+void Tracer::Clear() {
+  for (Buffer& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.events.clear();
+  }
+}
+
+}  // namespace sxnm::obs

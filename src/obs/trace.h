@@ -1,0 +1,107 @@
+// Span tracer for the detection pipeline: RAII spans opened anywhere in
+// the engine (document run → depth level → candidate → window pass) are
+// buffered per thread shard and exported as Chrome `trace_event` JSON —
+// the file loads directly in chrome://tracing and Perfetto, with one
+// track per worker shard, so pool utilization and per-pass costs are
+// visible at a glance.
+//
+// Spans record steady-clock microseconds relative to the tracer's
+// construction. A disabled tracer hands out inert spans whose
+// construction and destruction cost one branch.
+
+#ifndef SXNM_OBS_TRACE_H_
+#define SXNM_OBS_TRACE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // kNumShards / ThisThreadShard
+#include "util/status.h"
+
+namespace sxnm::obs {
+
+class Tracer {
+ public:
+  /// One complete ("ph":"X") trace event.
+  struct Event {
+    std::string name;
+    std::string args_json;  // pre-rendered JSON object ("{...}") or empty
+    uint64_t tid = 0;       // thread shard the span ran on
+    double ts_us = 0.0;     // start, microseconds since tracer epoch
+    double dur_us = 0.0;
+  };
+
+  /// RAII span: records one Event covering its lifetime. Inert when
+  /// default-constructed or handed out by a disabled tracer.
+  class Span {
+   public:
+    Span() = default;
+    ~Span() { End(); }
+
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Ends the span now (idempotent; the destructor calls it too).
+    void End();
+
+    /// Ends the span and attaches a pre-rendered JSON object as the
+    /// event's "args" (e.g. R"({"pairs": 12})").
+    void EndWithArgs(std::string args_json);
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name)
+        : tracer_(tracer),
+          name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+
+    Tracer* tracer_ = nullptr;  // nullptr = inert / already ended
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  explicit Tracer(bool enabled = true);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Opens a span on the calling thread. Thread-safe.
+  Span StartSpan(std::string name);
+
+  /// Records a fully specified event (tests and callers that measure
+  /// time themselves). Thread-safe; ignored when disabled.
+  void Record(Event event);
+
+  /// All recorded events, sorted by (ts_us, tid, name).
+  std::vector<Event> Events() const;
+
+  /// Writes the Chrome trace_event JSON ({"traceEvents": [...]}).
+  void WriteChromeTrace(std::ostream& os) const;
+
+  /// WriteChromeTrace to a file; fails when the path is unwritable.
+  util::Status WriteChromeTraceFile(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  struct Buffer {
+    std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  bool enabled_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::array<Buffer, kNumShards> buffers_;
+};
+
+}  // namespace sxnm::obs
+
+#endif  // SXNM_OBS_TRACE_H_

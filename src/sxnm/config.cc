@@ -165,6 +165,11 @@ util::Status Config::Validate() const {
   if (candidates_.empty()) {
     return Status::InvalidArgument("configuration has no candidates");
   }
+  if (!observability_.report_path.empty() && !observability_.metrics) {
+    return Status::InvalidArgument(
+        "observability: report path set but metrics are off (the report "
+        "is built from the metrics collection)");
+  }
   std::set<std::string> abs_paths;
   for (const CandidateConfig& c : candidates_) {
     SXNM_RETURN_IF_ERROR(ValidateCandidate(c));

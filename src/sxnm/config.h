@@ -149,6 +149,28 @@ struct CandidateConfig {
   const PathEntry* FindPath(int pid) const;
 };
 
+/// Observability switches for a detection run (the `sxnm_obs` layer).
+/// With `metrics` on, the detector collects engine-wide counters and
+/// histograms plus the per-candidate × per-pass DetectionReport; with a
+/// trace path set, it records phase/pass spans and writes a Chrome
+/// trace_event JSON there. Everything off (the default) routes the hot
+/// paths through no-op handles — observability costs nothing unless
+/// asked for.
+struct ObservabilityConfig {
+  /// Collect metrics and build DetectionResult::report / ::metrics.
+  bool metrics = false;
+
+  /// When non-empty, write a chrome://tracing / Perfetto compatible
+  /// trace of the run to this path.
+  std::string trace_path;
+
+  /// When non-empty, serialize the DetectionReport as JSON to this path
+  /// (requires `metrics`; validated).
+  std::string report_path;
+
+  bool any() const { return metrics || !trace_path.empty(); }
+};
+
 /// The full parameter set P = union of P_s over all candidates.
 class Config {
  public:
@@ -174,6 +196,10 @@ class Config {
   size_t num_threads() const { return num_threads_; }
   void set_num_threads(size_t n) { num_threads_ = n; }
 
+  /// Observability switches (metrics registry, tracing, report files).
+  const ObservabilityConfig& observability() const { return observability_; }
+  ObservabilityConfig& mutable_observability() { return observability_; }
+
   /// Structural validation: every candidate has >= 1 key and >= 1 OD
   /// entry, every pid resolves, relevancies are positive, window sizes
   /// >= 2, thresholds within [0, 1], similarity functions resolved.
@@ -182,6 +208,7 @@ class Config {
  private:
   std::vector<CandidateConfig> candidates_;
   size_t num_threads_ = 1;
+  ObservabilityConfig observability_;
 };
 
 /// Fluent construction helper used by examples, tests, and benches:

@@ -43,11 +43,22 @@ Result<bool> BoolAttrOr(const Element& e, std::string_view name,
   const std::string* value = e.FindAttribute(name);
   if (value == nullptr) return fallback;
   std::string v = util::ToLower(util::Trim(*value));
-  if (v == "true" || v == "1" || v == "yes") return true;
-  if (v == "false" || v == "0" || v == "no") return false;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   return Status::ParseError("<" + e.name() + "> attribute '" +
                             std::string(name) + "' is not a boolean: " +
                             *value);
+}
+
+// <observability metrics="on" trace="trace.json" report="report.json"/>
+Result<ObservabilityConfig> ParseObservability(const Element& elem) {
+  ObservabilityConfig obs;
+  auto metrics = BoolAttrOr(elem, "metrics", false);
+  if (!metrics.ok()) return metrics.status();
+  obs.metrics = metrics.value();
+  obs.trace_path = elem.AttributeOr("trace", "");
+  obs.report_path = elem.AttributeOr("report", "");
+  return obs;
 }
 
 Result<CandidateConfig> ParseCandidate(const Element& elem) {
@@ -220,6 +231,11 @@ util::Result<Config> ConfigFromXml(const xml::Document& doc) {
     }
     config.set_num_threads(static_cast<size_t>(n));
   }
+  if (const Element* obs = doc.root()->FirstChildElement("observability")) {
+    auto parsed = ParseObservability(*obs);
+    if (!parsed.ok()) return parsed.status();
+    config.mutable_observability() = std::move(parsed).value();
+  }
   for (const Element* elem : doc.root()->ChildElements("candidate")) {
     auto candidate = ParseCandidate(*elem);
     if (!candidate.ok()) return candidate.status();
@@ -245,6 +261,13 @@ xml::Document ConfigToXml(const Config& config) {
   auto root = std::make_unique<Element>("sxnm-config");
   if (config.num_threads() != 1) {
     root->SetAttribute("num-threads", std::to_string(config.num_threads()));
+  }
+  const ObservabilityConfig& obs = config.observability();
+  if (obs.metrics || !obs.trace_path.empty() || !obs.report_path.empty()) {
+    Element* e = root->AddElement("observability");
+    e->SetAttribute("metrics", obs.metrics ? "on" : "off");
+    if (!obs.trace_path.empty()) e->SetAttribute("trace", obs.trace_path);
+    if (!obs.report_path.empty()) e->SetAttribute("report", obs.report_path);
   }
   for (const CandidateConfig& c : config.candidates()) {
     Element* cand = root->AddElement("candidate");

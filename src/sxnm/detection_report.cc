@@ -1,0 +1,157 @@
+#include "sxnm/detection_report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace sxnm::core {
+
+void PassStats::Accumulate(const PassStats& other) {
+  pairs_windowed += other.pairs_windowed;
+  prepass_skips += other.prepass_skips;
+  comparisons += other.comparisons;
+  hits += other.hits;
+  ed_bailouts += other.ed_bailouts;
+  desc_invocations += other.desc_invocations;
+  desc_short_circuits += other.desc_short_circuits;
+  wall_seconds += other.wall_seconds;
+}
+
+size_t DetectionReport::TotalComparisons() const {
+  size_t total = 0;
+  for (const Row& row : rows) total += row.stats.comparisons;
+  return total;
+}
+
+size_t DetectionReport::TotalHits() const {
+  size_t total = 0;
+  for (const Row& row : rows) total += row.stats.hits;
+  return total;
+}
+
+PassStats DetectionReport::Totals() const {
+  PassStats totals;
+  for (const Row& row : rows) totals.Accumulate(row.stats);
+  return totals;
+}
+
+namespace {
+
+std::string Ms(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << seconds * 1e3;
+  return os.str();
+}
+
+std::vector<std::string> StatsCells(const PassStats& s) {
+  return {std::to_string(s.pairs_windowed),
+          std::to_string(s.prepass_skips),
+          std::to_string(s.comparisons),
+          std::to_string(s.hits),
+          std::to_string(s.ed_bailouts),
+          std::to_string(s.desc_invocations),
+          std::to_string(s.desc_short_circuits),
+          Ms(s.wall_seconds)};
+}
+
+void WriteStatsJson(std::ostream& os, const PassStats& s) {
+  os << "{\"pairs_windowed\": " << s.pairs_windowed
+     << ", \"prepass_skips\": " << s.prepass_skips
+     << ", \"comparisons\": " << s.comparisons << ", \"hits\": " << s.hits
+     << ", \"ed_bailouts\": " << s.ed_bailouts
+     << ", \"desc_invocations\": " << s.desc_invocations
+     << ", \"desc_short_circuits\": " << s.desc_short_circuits
+     << ", \"wall_seconds\": " << s.wall_seconds << "}";
+}
+
+// JSON string escaping for candidate names (config-controlled, but a
+// report must not emit malformed JSON for any name).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DetectionReport::ToTable() const {
+  util::TablePrinter table({"candidate", "pass", "instances", "windowed",
+                            "prepass_skips", "comparisons", "hits",
+                            "ed_bailouts", "desc_jaccard", "desc_shortcut",
+                            "wall_ms"});
+  for (const Row& row : rows) {
+    std::vector<std::string> cells = {row.candidate,
+                                      std::to_string(row.key_index + 1),
+                                      std::to_string(row.num_instances)};
+    for (std::string& cell : StatsCells(row.stats)) {
+      cells.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(cells));
+  }
+  PassStats totals = Totals();
+  std::vector<std::string> cells = {"TOTAL", "", ""};
+  for (std::string& cell : StatsCells(totals)) cells.push_back(std::move(cell));
+  table.AddRow(std::move(cells));
+  return table.ToString();
+}
+
+void DetectionReport::WriteJson(std::ostream& os) const {
+  os << "{\n  \"rows\": [";
+  bool first = true;
+  for (const Row& row : rows) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"candidate\": \"" << JsonEscape(row.candidate)
+       << "\", \"pass\": " << row.key_index + 1
+       << ", \"num_instances\": " << row.num_instances << ", \"stats\": ";
+    WriteStatsJson(os, row.stats);
+    os << "}";
+  }
+  os << "\n  ],\n  \"totals\": ";
+  WriteStatsJson(os, Totals());
+  os << "\n}\n";
+}
+
+std::string DetectionReport::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+util::Status DetectionReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::FailedPrecondition(
+        "cannot open detection report path '" + path + "' for writing");
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    return util::Status::FailedPrecondition(
+        "failed writing detection report to '" + path + "'");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace sxnm::core

@@ -1,0 +1,70 @@
+// Structured per-run detection report: one row per (candidate, pass)
+// with the pass's window, comparison, fast-path, and timing statistics.
+// Built by the detector when observability metrics are on; printable as
+// an aligned table (util::TablePrinter) and serializable to JSON for
+// tooling.
+
+#ifndef SXNM_SXNM_DETECTION_REPORT_H_
+#define SXNM_SXNM_DETECTION_REPORT_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sxnm::core {
+
+/// Statistics of one sorted-window pass over one candidate. Counts refer
+/// to this pass alone, before the cross-pass deduplicating merge.
+struct PassStats {
+  size_t pairs_windowed = 0;       // pairs the window enumeration visited
+  size_t prepass_skips = 0;        // skipped: accepted by the exact-OD
+                                   // pre-pass before windowing
+  size_t comparisons = 0;          // similarity-kernel invocations
+  size_t hits = 0;                 // pairs classified duplicate
+  size_t ed_bailouts = 0;          // bounded edit-distance pruned verdicts
+  size_t desc_invocations = 0;     // descendant Jaccard evaluations
+  size_t desc_short_circuits = 0;  // verdict fixed by OD bounds alone,
+                                   // descendant Jaccard skipped
+  double wall_seconds = 0.0;       // pass task wall time
+
+  /// Element-wise sum (wall times add too).
+  void Accumulate(const PassStats& other);
+};
+
+/// Per-candidate × per-pass table for one detection run.
+struct DetectionReport {
+  struct Row {
+    std::string candidate;
+    size_t key_index = 0;      // pass number within the candidate, 0-based
+    size_t num_instances = 0;  // instances of the candidate
+    PassStats stats;
+  };
+
+  /// Rows in bottom-up candidate order, passes in key-definition order.
+  std::vector<Row> rows;
+
+  bool empty() const { return rows.empty(); }
+
+  /// Sum of kernel invocations over all rows. With metrics on this equals
+  /// the registry's "sw.comparisons" counter.
+  size_t TotalComparisons() const;
+  size_t TotalHits() const;
+  PassStats Totals() const;
+
+  /// Aligned ASCII table (one row per pass plus a totals row).
+  std::string ToTable() const;
+
+  /// JSON: {"rows": [...], "totals": {...}}.
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+  /// WriteJson to a file; fails when the path is unwritable.
+  util::Status WriteJsonFile(const std::string& path) const;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_DETECTION_REPORT_H_

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/trace.h"
 #include "sxnm/similarity_measure.h"
 #include "sxnm/sliding_window.h"
 #include "sxnm/transitive_closure.h"
@@ -83,6 +84,12 @@ struct CandidateRun {
   // pass_hits[key_index]: the pass's windowed pairs with verdicts, in
   // visit order. Written by exactly one pass task each.
   std::vector<std::vector<PassHit>> pass_hits;
+
+  // pass_stats[key_index]: the pass's report row, written by the same
+  // single task. Collected unconditionally — a handful of integer
+  // increments next to an edit-distance DP — and only published to the
+  // registry / report when metrics are on.
+  std::vector<PassStats> pass_stats;
 };
 
 // DE-SNM-style pre-pass (runs before the window passes so their workers
@@ -118,19 +125,32 @@ void RunExactOdPrepass(CandidateRun& run) {
 // shared by two key passes is compared twice when the passes run
 // concurrently; the verdict is a pure function of the pair, making the
 // redundant work invisible in the output.
-void RunWindowPass(CandidateRun& run, size_t key_index) {
+void RunWindowPass(CandidateRun& run, size_t key_index,
+                   obs::MetricsRegistry& metrics, obs::Tracer& tracer) {
+  obs::Tracer::Span span = tracer.StartSpan(run.cand->name + "/pass" +
+                                            std::to_string(key_index + 1));
+  util::Stopwatch watch;
   const GkTable& table = *run.table;
   std::vector<size_t> order = table.SortedOrder(key_index);
   std::vector<PassHit>& hits = run.pass_hits[key_index];
+  PassStats& stats = run.pass_stats[key_index];
   auto visit = [&](size_t a, size_t b) {
     OrdinalPair pair = std::minmax(a, b);
-    if (run.prepass_pairs.count(PackPair(pair)) != 0) return;
+    if (run.prepass_pairs.count(PackPair(pair)) != 0) {
+      ++stats.prepass_skips;
+      return;
+    }
     SimilarityVerdict verdict = run.measure->CompareFast(
         table.rows[pair.first], table.rows[pair.second]);
+    ++stats.comparisons;
+    if (verdict.is_duplicate) ++stats.hits;
+    if (verdict.pruned) ++stats.ed_bailouts;
+    if (verdict.desc_evaluated) ++stats.desc_invocations;
+    if (verdict.desc_short_circuit) ++stats.desc_short_circuits;
     hits.push_back({pair, verdict.is_duplicate});
   };
   if (run.cand->window_policy == WindowPolicy::kAdaptivePrefix) {
-    ForEachAdaptiveWindowPair(
+    stats.pairs_windowed = ForEachAdaptiveWindowPair(
         order,
         [&](size_t ordinal) -> const std::string& {
           return table.rows[ordinal].keys[key_index];
@@ -138,15 +158,35 @@ void RunWindowPass(CandidateRun& run, size_t key_index) {
         run.cand->window_size, run.cand->max_window,
         run.cand->adaptive_prefix_len, visit);
   } else {
-    ForEachWindowPair(order, run.cand->window_size, visit);
+    stats.pairs_windowed = ForEachWindowPair(order, run.cand->window_size,
+                                             visit);
   }
+  stats.wall_seconds = watch.ElapsedSeconds();
+
+  // Publish from the worker thread itself: each add lands on the worker's
+  // own shard, exercising the wait-free hot path under the pool.
+  if (metrics.enabled()) {
+    metrics.counter("sw.pairs_windowed").Add(stats.pairs_windowed);
+    metrics.counter("sw.prepass_skips").Add(stats.prepass_skips);
+    metrics.counter("sw.comparisons").Add(stats.comparisons);
+    metrics.counter("sw.hits").Add(stats.hits);
+    metrics.counter("sw.ed_bailouts").Add(stats.ed_bailouts);
+    metrics.counter("sw.desc_jaccard").Add(stats.desc_invocations);
+    metrics.counter("sw.desc_short_circuits").Add(stats.desc_short_circuits);
+    metrics.histogram("sw.pass_seconds", obs::DefaultTimeBounds())
+        .Observe(stats.wall_seconds);
+  }
+  span.EndWithArgs("{\"pairs\": " + std::to_string(stats.pairs_windowed) +
+                   ", \"comparisons\": " + std::to_string(stats.comparisons) +
+                   ", \"hits\": " + std::to_string(stats.hits) + "}");
 }
 
 // Deterministic merge: replays the pass buffers in key order against a
 // flat hash set, so the accepted pairs, their order, and the comparison
 // count are those of the serial single-pass-at-a-time detector no matter
 // how the passes were interleaved across threads.
-void MergePasses(CandidateRun& run, CandidateResult& result) {
+void MergePasses(CandidateRun& run, CandidateResult& result,
+                 obs::MetricsRegistry& metrics) {
   std::unordered_set<uint64_t> seen = run.prepass_pairs;
   std::vector<OrdinalPair> accepted = run.prepass_accepted;
   size_t total_hits = 0;
@@ -166,6 +206,13 @@ void MergePasses(CandidateRun& run, CandidateResult& result) {
     result.duplicate_eid_pairs.emplace_back(run.instances->eids[a],
                                             run.instances->eids[b]);
   }
+
+  if (metrics.enabled()) {
+    metrics.counter("sw.prepass_pairs").Add(run.prepass_accepted.size());
+    metrics.counter("sw.unique_comparisons").Add(result.comparisons);
+    metrics.counter("sw.unique_duplicates")
+        .Add(result.duplicate_pairs.size());
+  }
 }
 
 }  // namespace
@@ -176,11 +223,24 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
   DetectionResult result;
   size_t num_threads = util::ResolveNumThreads(config_.num_threads());
 
+  // Observability: both handles live for exactly this run. Disabled
+  // instances are no-ops (every record is one branch), so the default
+  // configuration pays nothing.
+  const ObservabilityConfig& obs_cfg = config_.observability();
+  obs::MetricsRegistry metrics(obs_cfg.metrics);
+  obs::Tracer tracer(!obs_cfg.trace_path.empty());
+  obs::Tracer::Span run_span = tracer.StartSpan("detect");
+  if (metrics.enabled()) {
+    metrics.gauge("engine.num_threads")
+        .Set(static_cast<double>(num_threads));
+  }
+
   // --- Key generation phase (KG) -----------------------------------------
   // Candidate discovery and GK construction happen together: both read the
   // document once, mirroring the paper's single-pass key generation. The
   // per-candidate GK tables are independent, so they build concurrently.
   util::Stopwatch kg_watch;
+  obs::Tracer::Span kg_span = tracer.StartSpan("key_generation");
   auto forest_or = CandidateForest::Build(config_, doc);
   if (!forest_or.ok()) return forest_or.status();
   const CandidateForest& forest = forest_or.value();
@@ -188,9 +248,14 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
   std::vector<GkTable> gk(forest.candidates().size());
   util::ParallelFor(forest.candidates().size(), num_threads, [&](size_t t) {
     const CandidateInstances& instances = forest.candidates()[t];
-    gk[t] = GenerateKeys(*instances.config, instances);
+    gk[t] = GenerateKeys(*instances.config, instances, &metrics);
   });
+  kg_span.End();
   result.timer.Add(kPhaseKeyGeneration, kg_watch.ElapsedSeconds());
+  if (metrics.enabled()) {
+    metrics.gauge("engine.num_candidates")
+        .Set(static_cast<double>(forest.candidates().size()));
+  }
 
   // --- Duplicate detection phase (per candidate, bottom-up) ---------------
   // Candidates are processed level by level: depths are longest root
@@ -208,7 +273,8 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
   std::vector<CandidateResult> cand_results(forest.candidates().size());
 
   for (auto& [depth, members] : levels) {
-    (void)depth;
+    obs::Tracer::Span level_span =
+        tracer.StartSpan("level_" + std::to_string(depth));
     // Serial setup: similarity measures (which snapshot the child cluster
     // sets into sorted cid lists) and the exact-OD pre-pass.
     util::Stopwatch sw_watch;
@@ -234,6 +300,7 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
       if (run.cand->exact_od_prepass) RunExactOdPrepass(run);
 
       run.pass_hits.resize(run.table->num_keys);
+      run.pass_stats.resize(run.table->num_keys);
       for (size_t k = 0; k < run.table->num_keys; ++k) {
         pass_tasks.emplace_back(r, k);
       }
@@ -242,26 +309,42 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
     // Multi-pass sorted window (SW): all passes of the level in parallel.
     util::ParallelFor(pass_tasks.size(), num_threads, [&](size_t i) {
       auto [r, key_index] = pass_tasks[i];
-      RunWindowPass(runs[r], key_index);
+      RunWindowPass(runs[r], key_index, metrics, tracer);
     });
 
     // Deterministic merge + transitive closure (TC), serially in
     // processing order.
+    obs::Tracer::Span merge_span = tracer.StartSpan("merge");
     for (CandidateRun& run : runs) {
       CandidateResult& cand_result = cand_results[run.index];
       cand_result.name = run.cand->name;
       cand_result.num_instances = run.instances->NumInstances();
-      MergePasses(run, cand_result);
+      MergePasses(run, cand_result, metrics);
     }
+    merge_span.End();
     result.timer.Add(kPhaseSlidingWindow, sw_watch.ElapsedSeconds());
 
     for (CandidateRun& run : runs) {
       util::Stopwatch tc_watch;
+      obs::Tracer::Span tc_span = tracer.StartSpan("tc/" + run.cand->name);
       cluster_sets[run.index] = ComputeTransitiveClosure(
           run.instances->NumInstances(),
-          cand_results[run.index].duplicate_pairs);
+          cand_results[run.index].duplicate_pairs, &metrics);
+      tc_span.End();
       result.timer.Add(kPhaseTransitiveClosure, tc_watch.ElapsedSeconds());
       cand_results[run.index].clusters = cluster_sets[run.index];
+    }
+
+    // The report rows of this level, in processing order (levels iterate
+    // deepest-first, matching the bottom-up assembly below).
+    if (metrics.enabled()) {
+      for (CandidateRun& run : runs) {
+        for (size_t k = 0; k < run.pass_stats.size(); ++k) {
+          result.report.rows.push_back({run.cand->name, k,
+                                        run.instances->NumInstances(),
+                                        run.pass_stats[k]});
+        }
+      }
     }
   }
 
@@ -270,6 +353,18 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
   for (size_t t : forest.ProcessingOrder()) {
     cand_results[t].gk = std::move(gk[t]);
     result.candidates.push_back(std::move(cand_results[t]));
+  }
+
+  // --- Observability export ----------------------------------------------
+  run_span.End();
+  if (tracer.enabled()) {
+    SXNM_RETURN_IF_ERROR(tracer.WriteChromeTraceFile(obs_cfg.trace_path));
+  }
+  if (metrics.enabled()) {
+    result.metrics = metrics.Snapshot();
+    if (!obs_cfg.report_path.empty()) {
+      SXNM_RETURN_IF_ERROR(result.report.WriteJsonFile(obs_cfg.report_path));
+    }
   }
   return result;
 }

@@ -11,9 +11,11 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sxnm/candidate_tree.h"
 #include "sxnm/cluster_set.h"
 #include "sxnm/config.h"
+#include "sxnm/detection_report.h"
 #include "sxnm/key_generation.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -53,6 +55,15 @@ struct DetectionResult {
   /// Phase timings: kPhaseKeyGeneration / kPhaseSlidingWindow /
   /// kPhaseTransitiveClosure.
   util::PhaseTimer timer;
+
+  /// Engine-wide metrics of this run (kg.*, sw.*, tc.* counters and
+  /// histograms). Empty unless Config::observability().metrics is on.
+  obs::MetricsSnapshot metrics;
+
+  /// Per-candidate × per-pass statistics. Empty unless
+  /// Config::observability().metrics is on. report.TotalComparisons()
+  /// equals the "sw.comparisons" counter in `metrics`.
+  DetectionReport report;
 
   const CandidateResult* Find(std::string_view name) const;
 

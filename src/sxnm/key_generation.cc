@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace sxnm::core {
@@ -20,12 +22,19 @@ std::vector<size_t> GkTable::SortedOrder(size_t key_index) const {
 
 GkTable GenerateKeys(const CandidateConfig& candidate,
                      const std::vector<const xml::Element*>& elements,
-                     const std::vector<xml::ElementId>& eids) {
+                     const std::vector<xml::ElementId>& eids,
+                     obs::MetricsRegistry* metrics) {
   assert(elements.size() == eids.size());
   GkTable table;
   table.num_keys = candidate.keys.size();
   table.num_od = candidate.od.size();
   table.rows.reserve(elements.size());
+
+  // OD-normalization time is banked across rows with a paused stopwatch;
+  // the clock reads happen only when metrics are actually collected.
+  const bool measure = metrics != nullptr && metrics->enabled();
+  util::Stopwatch norm_watch;
+  norm_watch.Pause();
 
   for (size_t i = 0; i < elements.size(); ++i) {
     const xml::Element& element = *elements[i];
@@ -65,20 +74,32 @@ GkTable GenerateKeys(const CandidateConfig& candidate,
 
     row.ods.reserve(candidate.od.size());
     row.norm_ods.reserve(candidate.od.size());
+    if (measure) norm_watch.Resume();
     for (const OdEntry& od : candidate.od) {
       row.ods.push_back(value_of(od.pid));
       row.norm_ods.push_back(
           util::ToLower(util::NormalizeWhitespace(row.ods.back())));
     }
+    if (measure) norm_watch.Pause();
 
     table.rows.push_back(std::move(row));
+  }
+
+  if (measure) {
+    metrics->counter("kg.rows").Add(table.rows.size());
+    metrics->counter("kg.keys_emitted")
+        .Add(table.rows.size() * table.num_keys);
+    metrics->counter("kg.od_values").Add(table.rows.size() * table.num_od);
+    metrics->counter("kg.od_normalize_us")
+        .Add(static_cast<uint64_t>(norm_watch.ElapsedSeconds() * 1e6));
   }
   return table;
 }
 
 GkTable GenerateKeys(const CandidateConfig& candidate,
-                     const CandidateInstances& instances) {
-  return GenerateKeys(candidate, instances.elements, instances.eids);
+                     const CandidateInstances& instances,
+                     obs::MetricsRegistry* metrics) {
+  return GenerateKeys(candidate, instances.elements, instances.eids, metrics);
 }
 
 }  // namespace sxnm::core

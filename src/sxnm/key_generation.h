@@ -15,6 +15,10 @@
 #include "util/status.h"
 #include "xml/node.h"
 
+namespace sxnm::obs {
+class MetricsRegistry;
+}  // namespace sxnm::obs
+
 namespace sxnm::core {
 
 /// One tuple of GK_s.
@@ -50,13 +54,18 @@ struct GkTable {
 /// contribute an empty fragment (the paper's "missing year" case, which
 /// produces poorly sorted keys — Fig. 4 discussion). OD values are the
 /// first value of each OD path, empty when the path selects nothing.
+/// With a non-null `metrics` registry, key generation contributes the
+/// counters kg.rows, kg.keys_emitted, kg.od_values, and kg.od_normalize_us
+/// (time spent lowercasing / whitespace-collapsing OD values, µs).
 GkTable GenerateKeys(const CandidateConfig& candidate,
                      const std::vector<const xml::Element*>& elements,
-                     const std::vector<xml::ElementId>& eids);
+                     const std::vector<xml::ElementId>& eids,
+                     obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience overload over a CandidateInstances record.
 GkTable GenerateKeys(const CandidateConfig& candidate,
-                     const CandidateInstances& instances);
+                     const CandidateInstances& instances,
+                     obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sxnm::core
 

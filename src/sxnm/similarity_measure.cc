@@ -269,6 +269,7 @@ SimilarityVerdict SimilarityMeasure::CompareImpl(const GkRow& a,
     double desc = -1.0;
     if (config_.use_descendants && config_.theory.UsesDescendants()) {
       desc = DescendantSimilarity(a.ordinal, b.ordinal);
+      verdict.desc_evaluated = true;
     }
     verdict.used_descendants = desc >= 0.0;
     verdict.desc_sim = verdict.used_descendants ? desc : 0.0;
@@ -318,11 +319,13 @@ SimilarityVerdict SimilarityMeasure::CompareImpl(const GkRow& a,
     case CombineMode::kDescBoost:
       if (0.5 * (od + 1.0) < t && od < t) {
         verdict.combined = od;
+        verdict.desc_short_circuit = true;
         return verdict;  // reject in every branch
       }
       if (0.5 * od >= t && od >= t) {
         verdict.combined = od;
         verdict.is_duplicate = true;
+        verdict.desc_short_circuit = true;
         return verdict;  // accept in every branch
       }
       break;
@@ -330,11 +333,13 @@ SimilarityVerdict SimilarityMeasure::CompareImpl(const GkRow& a,
       double w = cls.od_weight;
       if (w * od + (1.0 - w) < t && od < t) {
         verdict.combined = od;
+        verdict.desc_short_circuit = true;
         return verdict;
       }
       if (w * od >= t && od >= t) {
         verdict.combined = od;
         verdict.is_duplicate = true;
+        verdict.desc_short_circuit = true;
         return verdict;
       }
       break;
@@ -342,12 +347,14 @@ SimilarityVerdict SimilarityMeasure::CompareImpl(const GkRow& a,
     case CombineMode::kDescGate:
       if (od < t) {
         verdict.combined = od;
+        verdict.desc_short_circuit = true;
         return verdict;  // the gate can only veto, never rescue
       }
       break;
   }
 
   double desc = DescendantSimilarity(a.ordinal, b.ordinal);
+  verdict.desc_evaluated = true;
   verdict.used_descendants = desc >= 0.0;
   verdict.desc_sim = verdict.used_descendants ? desc : 0.0;
 

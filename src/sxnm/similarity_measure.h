@@ -35,6 +35,12 @@ struct SimilarityVerdict {
   bool pruned = false;        // CompareFast bailed out early; od_sim and
                               // combined are upper bounds, is_duplicate is
                               // still correct
+
+  // Kernel accounting for the obs layer (which fast path decided the
+  // verdict). Never feeds back into the classification.
+  bool desc_evaluated = false;      // the descendant Jaccard actually ran
+  bool desc_short_circuit = false;  // descendants were available but the
+                                    // OD bounds alone fixed the verdict
 };
 
 /// Compares instances of one candidate. Descendant information is

@@ -5,15 +5,18 @@
 
 namespace sxnm::core {
 
-void ForEachWindowPair(const std::vector<size_t>& order, size_t window,
-                       const std::function<void(size_t, size_t)>& visit) {
+size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
+                         const std::function<void(size_t, size_t)>& visit) {
   assert(window >= 2);
+  size_t visited = 0;
   for (size_t i = 1; i < order.size(); ++i) {
     size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
     for (size_t j = lo; j < i; ++j) {
       visit(order[j], order[i]);
+      ++visited;
     }
   }
+  return visited;
 }
 
 namespace {
@@ -29,7 +32,7 @@ bool SharePrefix(const std::string& a, const std::string& b, size_t len) {
 
 }  // namespace
 
-void ForEachAdaptiveWindowPair(
+size_t ForEachAdaptiveWindowPair(
     const std::vector<size_t>& order,
     const std::function<const std::string&(size_t)>& key_of,
     size_t base_window, size_t max_window, size_t prefix_len,
@@ -38,6 +41,7 @@ void ForEachAdaptiveWindowPair(
   assert(max_window >= base_window);
   assert(prefix_len >= 1);
 
+  size_t visited = 0;
   for (size_t i = 1; i < order.size(); ++i) {
     const std::string& entering = key_of(order[i]);
     size_t max_span = std::min(i, max_window - 1);
@@ -48,8 +52,10 @@ void ForEachAdaptiveWindowPair(
         break;  // left the equal-prefix block; stop extending
       }
       visit(order[j], order[i]);
+      ++visited;
     }
   }
+  return visited;
 }
 
 size_t WindowPairCount(size_t n, size_t window) {

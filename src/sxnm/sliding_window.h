@@ -19,9 +19,10 @@ namespace sxnm::core {
 /// Calls `visit(a, b)` for every pair of values of `order` at positions
 /// within distance < window of each other, in increasing position order;
 /// `a` precedes `b` in `order`. window >= 2; a window larger than the
-/// sequence degenerates to all pairs.
-void ForEachWindowPair(const std::vector<size_t>& order, size_t window,
-                       const std::function<void(size_t, size_t)>& visit);
+/// sequence degenerates to all pairs. Returns the number of pairs
+/// visited (== WindowPairCount(order.size(), window)).
+size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
+                         const std::function<void(size_t, size_t)>& visit);
 
 /// Number of pairs ForEachWindowPair visits for `n` elements.
 size_t WindowPairCount(size_t n, size_t window);
@@ -36,8 +37,8 @@ size_t WindowPairCount(size_t n, size_t window);
 ///
 /// `key_of(v)` returns the sort key of value `v` of `order` for the
 /// current pass. Requires 2 <= base_window <= max_window and
-/// prefix_len >= 1.
-void ForEachAdaptiveWindowPair(
+/// prefix_len >= 1. Returns the number of pairs visited.
+size_t ForEachAdaptiveWindowPair(
     const std::vector<size_t>& order,
     const std::function<const std::string&(size_t)>& key_of,
     size_t base_window, size_t max_window, size_t prefix_len,

@@ -1,14 +1,31 @@
 #include "sxnm/transitive_closure.h"
 
+#include "obs/metrics.h"
 #include "util/union_find.h"
 
 namespace sxnm::core {
 
 ClusterSet ComputeTransitiveClosure(size_t num_instances,
-                                    const std::vector<OrdinalPair>& pairs) {
+                                    const std::vector<OrdinalPair>& pairs,
+                                    obs::MetricsRegistry* metrics) {
   util::UnionFind uf(num_instances);
-  for (const auto& [a, b] : pairs) uf.Union(a, b);
-  return ClusterSet::FromClusters(uf.Clusters(/*min_size=*/2), num_instances);
+  size_t union_ops = 0;
+  for (const auto& [a, b] : pairs) {
+    if (uf.Union(a, b)) ++union_ops;
+  }
+  std::vector<std::vector<size_t>> clusters = uf.Clusters(/*min_size=*/2);
+
+  if (metrics != nullptr && metrics->enabled()) {
+    metrics->counter("tc.pairs").Add(pairs.size());
+    metrics->counter("tc.union_ops").Add(union_ops);
+    metrics->counter("tc.clusters").Add(clusters.size());
+    obs::Histogram& sizes =
+        metrics->histogram("tc.cluster_size", obs::DefaultSizeBounds());
+    for (const auto& cluster : clusters) {
+      sizes.Observe(static_cast<double>(cluster.size()));
+    }
+  }
+  return ClusterSet::FromClusters(std::move(clusters), num_instances);
 }
 
 }  // namespace sxnm::core

@@ -10,13 +10,23 @@
 
 #include "sxnm/cluster_set.h"
 
+namespace sxnm::obs {
+class MetricsRegistry;
+}  // namespace sxnm::obs
+
 namespace sxnm::core {
 
 /// Closes `pairs` (ordinal pairs over 0..num_instances-1) transitively and
 /// returns the resulting partition; instances untouched by any pair become
 /// singleton clusters.
+///
+/// With a non-null `metrics` registry, contributes the counters tc.pairs
+/// (input pairs), tc.union_ops (unions that actually merged two distinct
+/// sets), tc.clusters (non-singleton clusters produced), and the
+/// histogram tc.cluster_size over the non-singleton cluster sizes.
 ClusterSet ComputeTransitiveClosure(size_t num_instances,
-                                    const std::vector<OrdinalPair>& pairs);
+                                    const std::vector<OrdinalPair>& pairs,
+                                    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sxnm::core
 

@@ -18,12 +18,37 @@ class Stopwatch {
  public:
   Stopwatch() { Restart(); }
 
-  /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Discards accumulated time and starts running from now.
+  void Restart() {
+    start_ = Clock::now();
+    accumulated_ = 0.0;
+    running_ = true;
+  }
 
-  /// Seconds elapsed since construction or the last Restart().
+  /// Stops the watch, banking the running segment into the accumulated
+  /// total. No-op while paused. Pause/Resume let one watch measure a
+  /// phase that is suspended and picked up again — e.g. a span that
+  /// waits on the thread pool, or per-row normalization time summed
+  /// across a key-generation loop.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += SegmentSeconds();
+    running_ = false;
+  }
+
+  /// Starts a new running segment. No-op while already running.
+  void Resume() {
+    if (running_) return;
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  bool IsRunning() const { return running_; }
+
+  /// Accumulated seconds across all segments, including the currently
+  /// running one. Equals time-since-Restart when never paused.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return accumulated_ + (running_ ? SegmentSeconds() : 0.0);
   }
 
   /// Milliseconds elapsed.
@@ -31,7 +56,14 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  double SegmentSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
   Clock::time_point start_;
+  double accumulated_ = 0.0;
+  bool running_ = true;
 };
 
 /// Accumulates elapsed seconds into named phases. Not thread-safe (the

@@ -1,0 +1,219 @@
+// sxnm_obs metrics: sharded counter/histogram correctness (including
+// under the thread pool — test names contain "Parallel" so the tsan
+// preset's filter picks them up), quantile math, and snapshot export.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace sxnm::obs {
+namespace {
+
+TEST(MetricsCounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(MetricsCounterTest, RegistryReturnsSameHandleForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("dup");
+  Counter& b = registry.counter("dup");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+}
+
+TEST(MetricsCounterTest, ParallelAddsAreLossless) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("parallel.adds");
+  constexpr size_t kTasks = 2000;
+  util::ParallelFor(kTasks, /*num_threads=*/8, [&](size_t) {
+    counter.Add(1);
+    counter.Add(2);
+  });
+  EXPECT_EQ(counter.Value(), kTasks * 3);
+}
+
+TEST(MetricsCounterTest, ParallelRegistryLookupsAreSafe) {
+  // Workers resolve metric names concurrently (the detector's per-pass
+  // flush does exactly this); creation must be race-free and every
+  // increment must land.
+  MetricsRegistry registry;
+  constexpr size_t kTasks = 512;
+  util::ParallelFor(kTasks, /*num_threads=*/8, [&](size_t i) {
+    registry.counter(i % 2 == 0 ? "shared.even" : "shared.odd").Add();
+    registry.histogram("shared.hist", DefaultSizeBounds())
+        .Observe(double(i % 8));
+  });
+  EXPECT_EQ(registry.counter("shared.even").Value() +
+                registry.counter("shared.odd").Value(),
+            kTasks);
+  EXPECT_EQ(registry.histogram("shared.hist", DefaultSizeBounds())
+                .TotalCount(),
+            kTasks);
+}
+
+TEST(MetricsHistogramTest, ParallelObservationsAreLossless) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("parallel.obs", std::vector<double>{2, 4, 8});
+  constexpr size_t kTasks = 4000;
+  util::ParallelFor(kTasks, /*num_threads=*/8,
+                    [&](size_t i) { histogram.Observe(double(i % 10)); });
+  EXPECT_EQ(histogram.TotalCount(), kTasks);
+  double expected_sum = 0;
+  for (size_t i = 0; i < kTasks; ++i) expected_sum += double(i % 10);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), expected_sum);
+}
+
+TEST(MetricsHistogramTest, BucketAssignmentUsesLeSemantics) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("le", std::vector<double>{1, 2, 4});
+  histogram.Observe(1.0);  // == bound -> bucket 0
+  histogram.Observe(1.5);  // bucket 1
+  histogram.Observe(4.0);  // == last bound -> bucket 2
+  histogram.Observe(5.0);  // overflow
+  std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(MetricsHistogramTest, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("q", std::vector<double>{10});
+  for (int i = 0; i < 5; ++i) histogram.Observe(5.0);
+  // All five observations sit in the single [0, 10] bucket; the median
+  // rank (2 of 0..4) interpolates to the bucket midpoint.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 10.0);
+}
+
+TEST(MetricsHistogramTest, QuantileIsMonotonicAcrossBuckets) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("mono", std::vector<double>{25, 50, 75, 100});
+  for (int v = 1; v <= 100; ++v) histogram.Observe(double(v));
+  double last = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double value = histogram.Quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+  // The p50 of 1..100 must land in the 25..50 bucket's value range.
+  EXPECT_GE(histogram.Quantile(0.5), 25.0);
+  EXPECT_LE(histogram.Quantile(0.5), 50.0);
+}
+
+TEST(MetricsHistogramTest, QuantileOverflowCollapsesToLastBound) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("ovf", std::vector<double>{10});
+  histogram.Observe(1000.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 10.0);
+}
+
+TEST(MetricsHistogramTest, BucketQuantileOfEmptyDataIsZero) {
+  EXPECT_DOUBLE_EQ(
+      BucketQuantile({1.0, 2.0}, std::vector<uint64_t>{0, 0, 0}, 0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryDropsEveryWrite) {
+  MetricsRegistry registry(/*enabled=*/false);
+  EXPECT_FALSE(registry.enabled());
+  Counter& counter = registry.counter("off.counter");
+  Gauge& gauge = registry.gauge("off.gauge");
+  Histogram& histogram = registry.histogram("off.hist", DefaultTimeBounds());
+  counter.Add(100);
+  gauge.Set(3.5);
+  histogram.Observe(1.0);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("g");
+  gauge.Set(1.0);
+  gauge.Set(7.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 7.25);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.counter("r.c").Add(5);
+  registry.histogram("r.h", std::vector<double>{1}).Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(registry.counter("r.c").Value(), 0u);
+  EXPECT_EQ(registry.histogram("r.h", std::vector<double>{1}).TotalCount(),
+            0u);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.histograms.size(), 1u);
+}
+
+TEST(MetricsSnapshotTest, SamplesAreSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("z.last").Add(1);
+  registry.counter("a.first").Add(2);
+  registry.gauge("m.gauge").Set(4.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[1].name, "z.last");
+  EXPECT_EQ(snapshot.CounterOr("z.last"), 1u);
+  EXPECT_EQ(snapshot.CounterOr("missing", 99), 99u);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeOr("m.gauge"), 4.0);
+  EXPECT_EQ(snapshot.FindHistogram("none"), nullptr);
+  EXPECT_FALSE(snapshot.empty());
+}
+
+TEST(MetricsSnapshotTest, HistogramSampleQuantileMatchesLive) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("s.h", std::vector<double>{10, 20});
+  for (int i = 0; i < 10; ++i) histogram.Observe(5.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const auto* sample = snapshot.FindHistogram("s.h");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->total_count, 10u);
+  EXPECT_DOUBLE_EQ(sample->Quantile(0.5), histogram.Quantile(0.5));
+}
+
+TEST(MetricsSnapshotTest, WriteJsonEmitsAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.counter("c").Add(3);
+  registry.gauge("g").Set(1.5);
+  registry.histogram("h", std::vector<double>{2}).Observe(1.0);
+  std::ostringstream os;
+  registry.Snapshot().WriteJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"c\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g\": 1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h\": {\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos) << json;
+}
+
+TEST(MetricsShardTest, ThisThreadShardIsStableAndInRange) {
+  size_t shard = ThisThreadShard();
+  EXPECT_LT(shard, kNumShards);
+  EXPECT_EQ(ThisThreadShard(), shard);
+}
+
+}  // namespace
+}  // namespace sxnm::obs

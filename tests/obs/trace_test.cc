@@ -1,0 +1,161 @@
+// sxnm_obs tracer: span lifecycle, disabled no-op behavior, and the
+// Chrome trace_event JSON export (golden file).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace sxnm::obs {
+namespace {
+
+TEST(TraceTest, SpanRecordsOneEventWithDuration) {
+  Tracer tracer;
+  {
+    Tracer::Span span = tracer.StartSpan("work");
+  }
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_LT(events[0].tid, kNumShards);
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  Tracer tracer;
+  Tracer::Span span = tracer.StartSpan("once");
+  span.End();
+  span.End();  // second End must not record again
+  EXPECT_EQ(tracer.Events().size(), 1u);
+}
+
+TEST(TraceTest, NestedSpansRecordInnerBeforeOuter) {
+  Tracer tracer;
+  {
+    Tracer::Span outer = tracer.StartSpan("outer");
+    { Tracer::Span inner = tracer.StartSpan("inner"); }
+    (void)outer;
+  }
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer started first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_GE(events[0].dur_us, events[1].dur_us);
+}
+
+TEST(TraceTest, EndWithArgsAttachesArgsJson) {
+  Tracer tracer;
+  Tracer::Span span = tracer.StartSpan("pass");
+  span.EndWithArgs(R"({"pairs": 12})");
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].args_json, R"({"pairs": 12})");
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  EXPECT_NE(os.str().find("\"args\": {\"pairs\": 12}"), std::string::npos);
+}
+
+TEST(TraceTest, MoveAssignmentEndsTheOverwrittenSpan) {
+  Tracer tracer;
+  Tracer::Span span = tracer.StartSpan("first");
+  span = tracer.StartSpan("second");  // must end "first"
+  EXPECT_EQ(tracer.Events().size(), 1u);
+  span.End();
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+}
+
+TEST(TraceTest, DisabledTracerHandsOutInertSpans) {
+  Tracer tracer(/*enabled=*/false);
+  EXPECT_FALSE(tracer.enabled());
+  {
+    Tracer::Span span = tracer.StartSpan("ignored");
+    span.EndWithArgs("{}");
+  }
+  Tracer::Event event;
+  event.name = "also ignored";
+  tracer.Record(std::move(event));
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST(TraceTest, EventsSortByTimestamp) {
+  Tracer tracer;
+  Tracer::Event late;
+  late.name = "late";
+  late.ts_us = 100.0;
+  Tracer::Event early;
+  early.name = "early";
+  early.ts_us = 1.0;
+  tracer.Record(std::move(late));
+  tracer.Record(std::move(early));
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "early");
+  EXPECT_EQ(events[1].name, "late");
+}
+
+TEST(TraceTest, ChromeTraceExportMatchesGolden) {
+  Tracer tracer;
+  Tracer::Event kg;
+  kg.name = "key_generation";
+  kg.tid = 0;
+  kg.ts_us = 1.0;
+  kg.dur_us = 2.5;
+  Tracer::Event pass;
+  pass.name = "movie/pass1";
+  pass.args_json = R"({"pairs": 3})";
+  pass.tid = 1;
+  pass.ts_us = 2.0;
+  pass.dur_us = 0.125;
+  tracer.Record(std::move(kg));
+  tracer.Record(std::move(pass));
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string golden =
+      "{\"traceEvents\": [\n"
+      "  {\"name\": \"key_generation\", \"cat\": \"sxnm\", \"ph\": \"X\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 1.000, \"dur\": 2.500},\n"
+      "  {\"name\": \"movie/pass1\", \"cat\": \"sxnm\", \"ph\": \"X\", "
+      "\"pid\": 1, \"tid\": 1, \"ts\": 2.000, \"dur\": 0.125, "
+      "\"args\": {\"pairs\": 3}}\n"
+      "], \"displayTimeUnit\": \"ms\"}\n";
+  EXPECT_EQ(os.str(), golden);
+}
+
+TEST(TraceTest, WriteChromeTraceFileRoundTrips) {
+  Tracer tracer;
+  { Tracer::Span span = tracer.StartSpan("detect"); }
+  std::string path = ::testing::TempDir() + "/sxnm_trace_test.json";
+  auto status = tracer.WriteChromeTraceFile(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str().rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(content.str().find("\"detect\""), std::string::npos);
+}
+
+TEST(TraceTest, WriteChromeTraceFileFailsOnUnwritablePath) {
+  Tracer tracer;
+  auto status =
+      tracer.WriteChromeTraceFile("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(TraceTest, ClearDropsBufferedEvents) {
+  Tracer tracer;
+  { Tracer::Span span = tracer.StartSpan("gone"); }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+}  // namespace
+}  // namespace sxnm::obs

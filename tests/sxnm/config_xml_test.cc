@@ -120,6 +120,48 @@ TEST(ConfigXmlTest, RoundTripsThroughXml) {
   }
 }
 
+TEST(ConfigXmlTest, ParsesObservabilityElement) {
+  std::string xml = kConfigXml;
+  std::string insert =
+      "  <observability metrics=\"on\" trace=\"/tmp/t.json\" "
+      "report=\"/tmp/r.json\"/>\n  <candidate";
+  xml.replace(xml.find("  <candidate"), 12, insert);
+  auto config = ConfigFromXmlString(xml);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_TRUE(config->observability().metrics);
+  EXPECT_EQ(config->observability().trace_path, "/tmp/t.json");
+  EXPECT_EQ(config->observability().report_path, "/tmp/r.json");
+}
+
+TEST(ConfigXmlTest, ObservabilityRoundTripsThroughXml) {
+  auto original = ConfigFromXmlString(kConfigXml);
+  ASSERT_TRUE(original.ok());
+  // Default (everything off) serializes without the element.
+  EXPECT_EQ(ConfigToXmlString(original.value()).find("observability"),
+            std::string::npos);
+
+  original->mutable_observability().metrics = true;
+  original->mutable_observability().trace_path = "trace.json";
+  original->mutable_observability().report_path = "report.json";
+  std::string serialized = ConfigToXmlString(original.value());
+  auto reparsed = ConfigFromXmlString(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << serialized;
+  EXPECT_TRUE(reparsed->observability().metrics);
+  EXPECT_EQ(reparsed->observability().trace_path, "trace.json");
+  EXPECT_EQ(reparsed->observability().report_path, "report.json");
+}
+
+TEST(ConfigXmlTest, ObservabilityReportWithoutMetricsRejected) {
+  std::string xml = kConfigXml;
+  std::string insert =
+      "  <observability metrics=\"off\" report=\"/tmp/r.json\"/>\n"
+      "  <candidate";
+  xml.replace(xml.find("  <candidate"), 12, insert);
+  auto config = ConfigFromXmlString(xml);
+  EXPECT_FALSE(config.ok());
+}
+
 TEST(ConfigXmlTest, WrongRootRejected) {
   auto config = ConfigFromXmlString("<not-a-config/>");
   ASSERT_FALSE(config.ok());

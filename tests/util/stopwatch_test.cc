@@ -27,6 +27,56 @@ TEST(StopwatchTest, RestartResets) {
   EXPECT_LT(w.ElapsedSeconds(), before);
 }
 
+TEST(StopwatchTest, PauseFreezesElapsedTime) {
+  Stopwatch w;
+  BusyWait(0.002);
+  w.Pause();
+  EXPECT_FALSE(w.IsRunning());
+  double frozen = w.ElapsedSeconds();
+  EXPECT_GE(frozen, 0.002);
+  BusyWait(0.002);
+  EXPECT_DOUBLE_EQ(w.ElapsedSeconds(), frozen);
+}
+
+TEST(StopwatchTest, ResumeAccumulatesAcrossSegments) {
+  Stopwatch w;
+  BusyWait(0.002);
+  w.Pause();
+  double first = w.ElapsedSeconds();
+  BusyWait(0.002);  // not counted
+  EXPECT_DOUBLE_EQ(w.ElapsedSeconds(), first);
+  // Bracket the resumed segment with a reference stopwatch (started
+  // before Resume, read after): however long scheduling stretches the
+  // segment, w may count at most that much — the paused gap stays out.
+  Stopwatch reference;
+  w.Resume();
+  EXPECT_TRUE(w.IsRunning());
+  BusyWait(0.002);
+  double total = w.ElapsedSeconds();
+  double upper = reference.ElapsedSeconds();
+  EXPECT_GE(total, first + 0.002);
+  EXPECT_LE(total, first + upper);
+}
+
+TEST(StopwatchTest, PauseAndResumeAreIdempotent) {
+  Stopwatch w;
+  w.Resume();  // already running: no-op
+  BusyWait(0.001);
+  w.Pause();
+  double frozen = w.ElapsedSeconds();
+  w.Pause();  // already paused: no-op
+  EXPECT_DOUBLE_EQ(w.ElapsedSeconds(), frozen);
+}
+
+TEST(StopwatchTest, RestartClearsAccumulatedTime) {
+  Stopwatch w;
+  BusyWait(0.002);
+  w.Pause();
+  w.Restart();
+  EXPECT_TRUE(w.IsRunning());
+  EXPECT_LT(w.ElapsedSeconds(), 0.002);
+}
+
 TEST(StopwatchTest, MillisMatchesSeconds) {
   Stopwatch w;
   BusyWait(0.001);

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Validate bench JSON output against the documented schema.
+
+Checks the schema_version-2 files produced by the benches:
+
+  * ``micro_pipeline --json BENCH_pipeline.json`` (the checked-in
+    ``BENCH_pipeline.json`` at the repo root), and
+  * ``fig5_scalability --json fig5.json``.
+
+The file kind is auto-detected from the top-level ``bench`` field.
+Beyond shape/type checks this cross-validates the invariants the
+observability layer guarantees, e.g. that the legacy ``comparisons``
+field equals the registry's ``sw.unique_comparisons`` counter and that
+histogram quantiles are monotone.
+
+Usage:
+  tools/check_bench_json.py FILE [FILE ...]
+
+Exits 0 when every file validates, 1 otherwise (one message per
+violation on stderr). See docs/BENCHMARKS.md for the schema.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 2
+
+# Counters the engine always registers (values may legitimately be 0).
+REQUIRED_COUNTERS = [
+    "kg.rows",
+    "kg.keys_emitted",
+    "kg.od_values",
+    "kg.od_normalize_us",
+    "sw.pairs_windowed",
+    "sw.prepass_skips",
+    "sw.comparisons",
+    "sw.hits",
+    "sw.ed_bailouts",
+    "sw.desc_jaccard",
+    "sw.desc_short_circuits",
+    "sw.unique_comparisons",
+    "sw.unique_duplicates",
+    "tc.pairs",
+    "tc.union_ops",
+    "tc.clusters",
+]
+REQUIRED_GAUGES = ["engine.num_threads", "engine.num_candidates"]
+REQUIRED_HISTOGRAMS = ["sw.pass_seconds", "tc.cluster_size"]
+HISTOGRAM_FIELDS = ["count", "sum", "p50", "p90", "p99"]
+PHASE_FIELDS = [
+    "key_generation_s",
+    "sliding_window_s",
+    "transitive_closure_s",
+    "duplicate_detection_s",
+]
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def error(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    def require(self, obj, key, types, where):
+        """Check obj[key] exists and has one of `types`; return it or None."""
+        if not isinstance(obj, dict) or key not in obj:
+            self.error(where, f"missing required field '{key}'")
+            return None
+        value = obj[key]
+        # bool is an int subclass in Python; reject it unless asked for.
+        if isinstance(value, bool) and bool not in types:
+            self.error(where, f"'{key}' must be {types}, got bool")
+            return None
+        if not isinstance(value, tuple(types)):
+            self.error(
+                where, f"'{key}' must be {types}, got {type(value).__name__}")
+            return None
+        return value
+
+    def check_nonneg(self, obj, key, where, types=(int,)):
+        value = self.require(obj, key, types, where)
+        if value is not None and value < 0:
+            self.error(where, f"'{key}' must be non-negative, got {value}")
+        return value
+
+    def check_phases(self, phases, where):
+        for field in PHASE_FIELDS:
+            self.check_nonneg(phases, field, where, types=(int, float))
+
+    def check_metrics(self, metrics, where):
+        counters = self.require(metrics, "counters", (dict,), where)
+        if counters is not None:
+            for name in REQUIRED_COUNTERS:
+                self.check_nonneg(counters, name, f"{where}.counters")
+        gauges = self.require(metrics, "gauges", (dict,), where)
+        if gauges is not None:
+            for name in REQUIRED_GAUGES:
+                self.require(gauges, name, (int, float), f"{where}.gauges")
+        histograms = self.require(metrics, "histograms", (dict,), where)
+        if histograms is not None:
+            for name in REQUIRED_HISTOGRAMS:
+                hist = self.require(histograms, name, (dict,),
+                                    f"{where}.histograms")
+                if hist is not None:
+                    self.check_histogram(hist, f"{where}.histograms.{name}")
+        return counters
+
+    def check_histogram(self, hist, where):
+        for field in HISTOGRAM_FIELDS:
+            self.check_nonneg(hist, field, where, types=(int, float))
+        quantiles = [hist.get(q) for q in ("p50", "p90", "p99")]
+        if all(isinstance(q, (int, float)) for q in quantiles):
+            if not (quantiles[0] <= quantiles[1] <= quantiles[2]):
+                self.error(where, f"quantiles not monotone: {quantiles}")
+
+    # --- micro_pipeline ---------------------------------------------------
+
+    def check_pipeline(self, doc):
+        dataset = self.require(doc, "dataset", (dict,), "top-level")
+        if dataset is not None:
+            self.require(dataset, "generator", (str,), "dataset")
+            for key in ("clean_movies", "window", "repeats"):
+                self.check_nonneg(dataset, key, "dataset")
+        self.check_nonneg(doc, "hardware_threads", "top-level")
+
+        engines = self.require(doc, "engines", (list,), "top-level")
+        if not engines:
+            if engines == []:
+                self.error("engines", "must not be empty")
+            return
+        detected = set()  # (comparisons, pairs) must agree across engines
+        for i, engine in enumerate(engines):
+            where = f"engines[{i}]"
+            if not isinstance(engine, dict):
+                self.error(where, "must be an object")
+                continue
+            name = self.require(engine, "name", (str,), where)
+            if name:
+                where = f"engines[{i}] ({name})"
+            self.check_nonneg(engine, "num_threads", where)
+            self.require(engine, "fast_paths", (bool,), where)
+            phases = self.require(engine, "phases", (dict,), where)
+            if phases is not None:
+                self.check_phases(phases, f"{where}.phases")
+            comparisons = self.check_nonneg(engine, "comparisons", where)
+            pairs = self.check_nonneg(engine, "movie_duplicate_pairs", where)
+            if comparisons is not None and pairs is not None:
+                detected.add((comparisons, pairs))
+            metrics = self.require(engine, "metrics", (dict,), where)
+            if metrics is None:
+                continue
+            counters = self.check_metrics(metrics, f"{where}.metrics")
+            if counters is None or comparisons is None:
+                continue
+            unique = counters.get("sw.unique_comparisons")
+            if isinstance(unique, int) and unique != comparisons:
+                self.error(where,
+                           "'comparisons' disagrees with counter "
+                           f"sw.unique_comparisons: {comparisons} != {unique}")
+            windowed = counters.get("sw.pairs_windowed")
+            kernel = counters.get("sw.comparisons")
+            skips = counters.get("sw.prepass_skips")
+            if all(isinstance(v, int) for v in (windowed, kernel, skips)):
+                if windowed != kernel + skips:
+                    self.error(
+                        where,
+                        "sw.pairs_windowed != sw.comparisons + "
+                        f"sw.prepass_skips: {windowed} != {kernel} + {skips}")
+        if len(detected) > 1:
+            self.error("engines",
+                       "engines disagree on (comparisons, "
+                       f"movie_duplicate_pairs): {sorted(detected)} — "
+                       "fast paths / threading must not change detection")
+
+    # --- fig5_scalability -------------------------------------------------
+
+    def check_fig5(self, doc):
+        self.check_nonneg(doc, "window", "top-level")
+        self.check_nonneg(doc, "seed", "top-level")
+        for panel in ("clean", "few_duplicates", "many_duplicates"):
+            rows = self.require(doc, panel, (list,), "top-level")
+            if rows is None:
+                continue
+            if not rows:
+                self.error(panel, "must not be empty")
+                continue
+            for i, row in enumerate(rows):
+                where = f"{panel}[{i}]"
+                if not isinstance(row, dict):
+                    self.error(where, "must be an object")
+                    continue
+                self.check_nonneg(row, "clean_movies", where)
+                self.check_nonneg(row, "movie_instances", where)
+                phases = self.require(row, "phases", (dict,), where)
+                if phases is not None:
+                    self.check_phases(phases, f"{where}.phases")
+                unique = self.check_nonneg(row, "comparisons", where)
+                kernel = self.check_nonneg(row, "kernel_comparisons", where)
+                windowed = self.check_nonneg(row, "pairs_windowed", where)
+                bailouts = self.check_nonneg(row, "ed_bailouts", where)
+                if None in (unique, kernel, windowed, bailouts):
+                    continue
+                if unique > kernel:
+                    self.error(where,
+                               "unique comparisons exceed kernel invocations: "
+                               f"{unique} > {kernel}")
+                if kernel > windowed:
+                    self.error(where,
+                               "kernel invocations exceed windowed pairs: "
+                               f"{kernel} > {windowed}")
+                if bailouts > kernel:
+                    self.error(where,
+                               "ed_bailouts exceed kernel invocations: "
+                               f"{bailouts} > {kernel}")
+
+    # --- entry point ------------------------------------------------------
+
+    def check(self, doc):
+        if not isinstance(doc, dict):
+            self.error("top-level", "document must be a JSON object")
+            return
+        bench = self.require(doc, "bench", (str,), "top-level")
+        version = self.require(doc, "schema_version", (int,), "top-level")
+        if version is not None and version != SCHEMA_VERSION:
+            self.error("top-level",
+                       f"schema_version must be {SCHEMA_VERSION}, "
+                       f"got {version}")
+        if bench == "micro_pipeline":
+            self.check_pipeline(doc)
+        elif bench == "fig5_scalability":
+            self.check_fig5(doc)
+        elif bench is not None:
+            self.error("top-level", f"unknown bench kind '{bench}'")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        checker = Checker(path)
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            checker.error("top-level", f"cannot load: {e}")
+            doc = None
+        if doc is not None:
+            checker.check(doc)
+        if checker.errors:
+            failed = True
+            for error in checker.errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: OK ({doc['bench']}, "
+                  f"schema_version {doc['schema_version']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
