@@ -118,6 +118,9 @@ struct EngineProfile {
   // Engine metrics of the first repeat (counts are run-deterministic;
   // only the timings vary, and those take the best-of-repeats).
   sxnm::obs::MetricsSnapshot metrics;
+  // Governance outcome of the first repeat: the bench runs without
+  // limits, so this documents that the ungoverned path sheds nothing.
+  sxnm::core::DegradationReport degradation;
 
   size_t comparisons() const {
     return size_t(metrics.CounterOr("sw.unique_comparisons"));
@@ -146,6 +149,7 @@ EngineProfile ProfileVariant(const sxnm::xml::Document& doc,
     }
     if (r == 0) {
       best.metrics = result->metrics;
+      best.degradation = result->degradation;
       best.duplicate_pairs = result->Find("movie")->duplicate_pairs.size();
       best.kg = result->KeyGenerationSeconds();
       best.sw = result->SlidingWindowSeconds();
@@ -216,6 +220,16 @@ int WritePipelineJson(const std::string& path) {
                  baseline.sw / profile.sw);
     }
     sxnm::bench::WriteMetricsField(json, "metrics", profile.metrics);
+    json.BeginObject("degradation");
+    json.Field("degraded", profile.degradation.degraded);
+    json.Field("reason",
+               sxnm::util::StatusCodeName(profile.degradation.reason));
+    json.Field("comparison_budget", profile.degradation.comparison_budget);
+    json.Field("passes_skipped", profile.degradation.PassesSkipped());
+    json.Field("passes_shrunk", profile.degradation.PassesShrunk());
+    json.Field("rows_skipped", profile.degradation.RowsSkipped());
+    json.Field("pairs_elided", profile.degradation.PairsElided());
+    json.EndObject();
     json.EndObject();
   }
   json.EndArray();

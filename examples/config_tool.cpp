@@ -11,6 +11,7 @@
 #include "datagen/movies.h"
 #include "sxnm/config_xml.h"
 #include "sxnm/key_pattern.h"
+#include "util/exit_code.h"
 
 namespace {
 
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
     auto config = sxnm::datagen::MovieConfig(/*window=*/10);
     if (!config.ok()) {
       std::cerr << config.status().ToString() << "\n";
-      return 1;
+      return sxnm::util::kExitConfig;
     }
     std::printf("No config given; showing the built-in Data set 1 "
                 "configuration.\n\n");
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
   auto config = sxnm::core::ConfigFromXmlFile(argv[1]);
   if (!config.ok()) {
     std::cerr << "INVALID: " << config.status().ToString() << "\n";
-    return 1;
+    return sxnm::util::kExitConfig;
   }
   std::printf("OK: %s parses and validates.\n\n", argv[1]);
   PrintSummary(config.value());

@@ -19,6 +19,7 @@
 #include "eval/gold.h"
 #include "eval/metrics.h"
 #include "sxnm/detector.h"
+#include "util/exit_code.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
       clean, sxnm::datagen::DataSet1DirtyPreset(/*seed=*/99), &dirty_stats);
   if (!dirty.ok()) {
     std::cerr << dirty.status().ToString() << "\n";
-    return 1;
+    return sxnm::util::ExitCodeForStatus(dirty.status());
   }
   std::printf("clean movies:      %zu\n", num_movies);
   std::printf("duplicates added:  %zu\n", dirty_stats.duplicates_created);
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
   auto config = sxnm::datagen::MovieConfig(window);
   if (!config.ok()) {
     std::cerr << config.status().ToString() << "\n";
-    return 1;
+    return sxnm::util::kExitConfig;
   }
   config->mutable_observability().metrics = true;
   if (argc > 3) config->mutable_observability().trace_path = argv[3];
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   auto result = sxnm::core::Detector(config.value()).Run(dirty.value());
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
-    return 1;
+    return sxnm::util::ExitCodeForStatus(result.status());
   }
   const sxnm::core::CandidateResult* movie = result->Find("movie");
 
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
       dirty.value(), config->Find("movie")->absolute_path.ToString());
   if (!gold.ok()) {
     std::cerr << gold.status().ToString() << "\n";
-    return 1;
+    return sxnm::util::ExitCodeForStatus(gold.status());
   }
   sxnm::eval::PairMetrics quality =
       sxnm::eval::PairwiseMetrics(gold.value(), movie->clusters);
@@ -103,7 +104,9 @@ int main(int argc, char** argv) {
                   result->report.TotalComparisons()),
               result->report.TotalComparisons() == counter ? "match"
                                                            : "MISMATCH");
-  if (result->report.TotalComparisons() != counter) return 1;
+  if (result->report.TotalComparisons() != counter) {
+    return sxnm::util::kExitRuntime;
+  }
 
   if (argc > 3) std::printf("trace written to %s\n", argv[3]);
   if (argc > 4) std::printf("report written to %s\n", argv[4]);

@@ -18,6 +18,7 @@
 #include "sxnm/config_xml.h"
 #include "sxnm/dedup_writer.h"
 #include "sxnm/detector.h"
+#include "util/exit_code.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "xml/parser.h"
@@ -68,20 +69,48 @@ int main(int argc, char** argv) {
   auto config = sxnm::core::ConfigFromXmlFile(config_path);
   if (!config.ok()) {
     std::cerr << "config error: " << config.status().ToString() << "\n";
-    return 1;
+    return sxnm::util::kExitConfig;
   }
-  auto doc = sxnm::xml::ParseFile(data_path);
-  if (!doc.ok()) {
-    std::cerr << "data error: " << doc.status().ToString() << "\n";
-    return 1;
+  sxnm::core::Config loaded_config = std::move(config).value();
+
+  // Ingest under the configured <limits>: hard caps always apply; with
+  // recover="true" malformed subtrees are skipped and reported with their
+  // line/column instead of failing the whole file.
+  const sxnm::core::RunLimits& limits = loaded_config.limits();
+  sxnm::xml::ParseOptions parse_options = limits.ToParseOptions();
+  sxnm::xml::Document data_doc;
+  if (limits.recover_parse) {
+    auto recovered = sxnm::xml::ParseFileRecovering(data_path, parse_options);
+    if (!recovered.ok()) {
+      std::cerr << "data error: " << recovered.status().ToString() << "\n";
+      return sxnm::util::ExitCodeForStatus(recovered.status());
+    }
+    for (const auto& diag : recovered->diagnostics) {
+      std::fprintf(stderr, "%s: %s\n", data_path.c_str(),
+                   diag.ToString().c_str());
+    }
+    if (!recovered->clean()) {
+      std::fprintf(stderr, "recovered parse: skipped %zu problem(s)\n",
+                   recovered->diagnostics.size());
+    }
+    data_doc = std::move(recovered->doc);
+  } else {
+    auto doc = sxnm::xml::ParseFile(data_path, parse_options);
+    if (!doc.ok()) {
+      std::cerr << "data error: " << doc.status().ToString() << "\n";
+      return sxnm::util::ExitCodeForStatus(doc.status());
+    }
+    data_doc = std::move(doc).value();
   }
 
-  sxnm::core::Config loaded_config = std::move(config).value();
   sxnm::core::Detector detector(loaded_config);
-  auto result = detector.Run(doc.value());
+  auto result = detector.Run(data_doc);
   if (!result.ok()) {
     std::cerr << "detection error: " << result.status().ToString() << "\n";
-    return 1;
+    return sxnm::util::ExitCodeForStatus(result.status());
+  }
+  if (result->degraded()) {
+    std::fprintf(stderr, "%s", result->degradation.ToString().c_str());
   }
 
   sxnm::util::TablePrinter report_table({"candidate", "instances",
@@ -105,7 +134,7 @@ int main(int argc, char** argv) {
     std::printf("\nwindow advice (95%% coverage of sampled similar-pair "
                 "rank distances):\n");
     for (const auto& cand : loaded_config.candidates()) {
-      auto advice = sxnm::eval::AdviseWindow(loaded_config, doc.value(),
+      auto advice = sxnm::eval::AdviseWindow(loaded_config, data_doc,
                                              cand.name);
       if (!advice.ok()) {
         std::printf("  %-12s <error: %s>\n", cand.name.c_str(),
@@ -128,11 +157,11 @@ int main(int argc, char** argv) {
   if (report) {
     sxnm::eval::ReportOptions report_options;
     report_options.with_gold = with_gold;
-    auto rendered = sxnm::eval::RenderReport(loaded_config, doc.value(),
+    auto rendered = sxnm::eval::RenderReport(loaded_config, data_doc,
                                              result.value(), report_options);
     if (!rendered.ok()) {
       std::cerr << "report error: " << rendered.status().ToString() << "\n";
-      return 1;
+      return sxnm::util::ExitCodeForStatus(rendered.status());
     }
     std::printf("\n%s", rendered->c_str());
   }
@@ -140,14 +169,14 @@ int main(int argc, char** argv) {
   if (!out_path.empty()) {
     sxnm::core::DedupStats stats;
     auto deduped =
-        sxnm::core::Deduplicate(doc.value(), result.value(), strategy, &stats);
+        sxnm::core::Deduplicate(data_doc, result.value(), strategy, &stats);
     if (!deduped.ok()) {
       std::cerr << "dedup error: " << deduped.status().ToString() << "\n";
-      return 1;
+      return sxnm::util::ExitCodeForStatus(deduped.status());
     }
     if (!sxnm::xml::WriteDocumentToFile(deduped.value(), out_path)) {
       std::cerr << "cannot write " << out_path << "\n";
-      return 1;
+      return sxnm::util::kExitRuntime;
     }
     std::printf("wrote %s: removed %zu elements across %zu clusters",
                 out_path.c_str(), stats.elements_removed,

@@ -1,0 +1,21 @@
+// Fuzz target for configuration loading: ConfigFromXmlString must reject
+// arbitrary bytes with a structured status (never crash), and any config
+// it does accept must survive an XML round trip.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "sxnm/config_xml.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  auto config = sxnm::core::ConfigFromXmlString(input);
+  if (!config.ok()) return 0;
+
+  auto round_trip = sxnm::core::ConfigFromXmlString(
+      sxnm::core::ConfigToXmlString(config.value()));
+  if (!round_trip.ok()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fuzz target for the XPath-subset parser: arbitrary bytes must either be
+// rejected with a clean status or produce an expression whose ToString()
+// re-parses successfully (print/parse round trip).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "xml/xpath.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  auto parsed = sxnm::xml::XPath::Parse(input);
+  if (!parsed.ok()) return 0;
+
+  auto again = sxnm::xml::XPath::Parse(parsed->ToString());
+  if (!again.ok()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Standalone corpus-replay driver: a main() for the LLVMFuzzerTestOneInput
+// targets on toolchains without libFuzzer (the default gcc build). Each
+// argument is a corpus file or a directory scanned recursively; every
+// input is executed once. This is what the fuzz_replay_* ctest entries
+// run — under ASan/UBSan in the `asan` preset it doubles as a regression
+// gate over the checked-in seed corpus.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path.string());
+    } else {
+      std::fprintf(stderr, "no such corpus input: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      return 1;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+
+  if (files.empty()) {
+    std::fprintf(stderr, "corpus is empty\n");
+    return 1;
+  }
+  std::printf("replayed %zu corpus input(s)\n", files.size());
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "sxnm/config.h"
 
+#include <cstdint>
 #include <set>
 
 #include "util/string_util.h"
@@ -161,10 +162,43 @@ Status ValidateCandidate(const CandidateConfig& c) {
 
 }  // namespace
 
+xml::ParseOptions RunLimits::ToParseOptions() const {
+  xml::ParseOptions options;
+  options.max_depth = max_depth;
+  options.max_input_bytes = max_input_bytes;
+  options.max_nodes = max_nodes;
+  options.max_attr_count = max_attr_count;
+  return options;
+}
+
+size_t RunLimits::ResolveComparisonBudget() const {
+  size_t budget = max_comparisons;
+  if (deadline_seconds > 0.0 && comparisons_per_second > 0.0) {
+    double derived = deadline_seconds * comparisons_per_second;
+    // Saturate instead of overflowing for absurd rate × deadline products.
+    size_t derived_budget =
+        derived >= 9e18 ? SIZE_MAX : static_cast<size_t>(derived);
+    if (budget == 0 || derived_budget < budget) budget = derived_budget;
+  }
+  return budget;
+}
+
+util::Status RunLimits::Validate() const {
+  if (deadline_seconds < 0.0) {
+    return Status::InvalidArgument("limits: deadline_seconds must be >= 0");
+  }
+  if (comparisons_per_second < 0.0) {
+    return Status::InvalidArgument(
+        "limits: comparisons_per_second must be >= 0");
+  }
+  return Status::Ok();
+}
+
 util::Status Config::Validate() const {
   if (candidates_.empty()) {
     return Status::InvalidArgument("configuration has no candidates");
   }
+  SXNM_RETURN_IF_ERROR(limits_.Validate());
   if (!observability_.report_path.empty() && !observability_.metrics) {
     return Status::InvalidArgument(
         "observability: report path set but metrics are off (the report "

@@ -18,6 +18,7 @@
 #include "sxnm/key_pattern.h"
 #include "text/similarity.h"
 #include "util/status.h"
+#include "xml/parser.h"
 #include "xml/xpath.h"
 
 namespace sxnm::core {
@@ -171,6 +172,62 @@ struct ObservabilityConfig {
   bool any() const { return metrics || !trace_path.empty(); }
 };
 
+/// Resource governance for a run: hard ingestion limits (applied by the
+/// tools and examples when they parse data documents) plus a comparison
+/// budget / deadline for the detection phases. Everything defaults to
+/// "ungoverned": the zero-cost path when nothing is configured.
+struct RunLimits {
+  // --- Ingestion (mirrors xml::ParseOptions; 0 = unlimited) ---------------
+  size_t max_depth = 10'000;
+  size_t max_input_bytes = 0;
+  size_t max_nodes = 0;
+  size_t max_attr_count = 1'000;
+
+  /// Parse data documents in recovering mode: malformed subtrees are
+  /// skipped with diagnostics instead of failing the whole file.
+  bool recover_parse = false;
+
+  // --- Detection governance -----------------------------------------------
+
+  /// Hard cap on planned window comparisons across the whole run
+  /// (0 = unlimited). Exceeding it sheds work deterministically:
+  /// passes run in full in deterministic order until the budget is hit,
+  /// the boundary pass shrinks its window to the largest size that still
+  /// fits, and every later pass is skipped. The shed set is a pure
+  /// function of config + data — identical for any num_threads.
+  size_t max_comparisons = 0;
+
+  /// Soft run deadline in seconds (0 = none). With a positive
+  /// `comparisons_per_second`, the deadline converts ONCE at run start
+  /// into a comparison budget (seconds × rate) and degrades exactly like
+  /// max_comparisons — deterministically. With rate = 0, the deadline is
+  /// enforced cooperatively against the wall clock: passes stop early at
+  /// the next poll once it expires. Cooperative results are always
+  /// well-formed but the cut point depends on machine speed.
+  double deadline_seconds = 0.0;
+
+  /// Deadline-to-budget conversion rate (pairs/second). The default is a
+  /// conservative estimate of the comparison kernel's throughput; 0
+  /// selects cooperative wall-clock enforcement.
+  double comparisons_per_second = 1e6;
+
+  /// The xml::ParseOptions equivalent of the ingestion limits.
+  xml::ParseOptions ToParseOptions() const;
+
+  /// True when any detection-phase governance is configured.
+  bool HasGovernance() const {
+    return max_comparisons != 0 || deadline_seconds > 0.0;
+  }
+
+  /// The comparison budget the detector resolves at run start: the
+  /// stricter of max_comparisons and the deadline-derived budget
+  /// (0 = none). Pure function of this struct.
+  size_t ResolveComparisonBudget() const;
+
+  /// Range validation (rates and deadlines non-negative, ...).
+  util::Status Validate() const;
+};
+
 /// The full parameter set P = union of P_s over all candidates.
 class Config {
  public:
@@ -200,6 +257,10 @@ class Config {
   const ObservabilityConfig& observability() const { return observability_; }
   ObservabilityConfig& mutable_observability() { return observability_; }
 
+  /// Resource-governance limits (<limits>/<deadline> in config XML).
+  const RunLimits& limits() const { return limits_; }
+  RunLimits& mutable_limits() { return limits_; }
+
   /// Structural validation: every candidate has >= 1 key and >= 1 OD
   /// entry, every pid resolves, relevancies are positive, window sizes
   /// >= 2, thresholds within [0, 1], similarity functions resolved.
@@ -209,6 +270,7 @@ class Config {
   std::vector<CandidateConfig> candidates_;
   size_t num_threads_ = 1;
   ObservabilityConfig observability_;
+  RunLimits limits_;
 };
 
 /// Fluent construction helper used by examples, tests, and benches:

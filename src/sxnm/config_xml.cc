@@ -1,7 +1,10 @@
 #include "sxnm/config_xml.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
@@ -48,6 +51,77 @@ Result<bool> BoolAttrOr(const Element& e, std::string_view name,
   return Status::ParseError("<" + e.name() + "> attribute '" +
                             std::string(name) + "' is not a boolean: " +
                             *value);
+}
+
+// Parses a non-negative size attribute (supports the full size_t range:
+// byte limits exceed int). Returns `fallback` when absent.
+Result<size_t> SizeAttrOr(const Element& e, std::string_view name,
+                          size_t fallback) {
+  const std::string* value = e.FindAttribute(name);
+  if (value == nullptr) return fallback;
+  std::string trimmed(util::TrimView(*value));
+  if (trimmed.empty() ||
+      trimmed.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::ParseError("<" + e.name() + "> attribute '" +
+                              std::string(name) +
+                              "' is not a non-negative number: " + *value);
+  }
+  errno = 0;
+  unsigned long long parsed = std::strtoull(trimmed.c_str(), nullptr, 10);
+  if (errno != 0) {
+    return Status::ParseError("<" + e.name() + "> attribute '" +
+                              std::string(name) + "' is out of range: " +
+                              *value);
+  }
+  return static_cast<size_t>(parsed);
+}
+
+// <limits max-depth=".." max-input-bytes=".." max-nodes=".." max-attrs=".."
+//         max-comparisons=".." recover="false"/>
+Status ParseLimits(const Element& elem, RunLimits& limits) {
+  auto max_depth = SizeAttrOr(elem, "max-depth", limits.max_depth);
+  if (!max_depth.ok()) return max_depth.status();
+  limits.max_depth = max_depth.value();
+  auto max_bytes = SizeAttrOr(elem, "max-input-bytes", limits.max_input_bytes);
+  if (!max_bytes.ok()) return max_bytes.status();
+  limits.max_input_bytes = max_bytes.value();
+  auto max_nodes = SizeAttrOr(elem, "max-nodes", limits.max_nodes);
+  if (!max_nodes.ok()) return max_nodes.status();
+  limits.max_nodes = max_nodes.value();
+  auto max_attrs = SizeAttrOr(elem, "max-attrs", limits.max_attr_count);
+  if (!max_attrs.ok()) return max_attrs.status();
+  limits.max_attr_count = max_attrs.value();
+  auto max_cmp = SizeAttrOr(elem, "max-comparisons", limits.max_comparisons);
+  if (!max_cmp.ok()) return max_cmp.status();
+  limits.max_comparisons = max_cmp.value();
+  auto recover = BoolAttrOr(elem, "recover", limits.recover_parse);
+  if (!recover.ok()) return recover.status();
+  limits.recover_parse = recover.value();
+  return Status::Ok();
+}
+
+// <deadline seconds="1.5" comparisons-per-second="1000000"/>
+Status ParseDeadline(const Element& elem, RunLimits& limits) {
+  if (const std::string* seconds = elem.FindAttribute("seconds")) {
+    double parsed = util::ParseDoubleOr(*seconds, -1.0);
+    if (parsed < 0.0) {
+      return Status::ParseError(
+          "<deadline> attribute 'seconds' is not a non-negative number: " +
+          *seconds);
+    }
+    limits.deadline_seconds = parsed;
+  }
+  if (const std::string* rate = elem.FindAttribute("comparisons-per-second")) {
+    double parsed = util::ParseDoubleOr(*rate, -1.0);
+    if (parsed < 0.0) {
+      return Status::ParseError(
+          "<deadline> attribute 'comparisons-per-second' is not a "
+          "non-negative number: " +
+          *rate);
+    }
+    limits.comparisons_per_second = parsed;
+  }
+  return Status::Ok();
 }
 
 // <observability metrics="on" trace="trace.json" report="report.json"/>
@@ -215,6 +289,9 @@ Result<CandidateConfig> ParseCandidate(const Element& elem) {
 }  // namespace
 
 util::Result<Config> ConfigFromXml(const xml::Document& doc) {
+  if (util::FaultInjector::Instance().ShouldFail("config.load")) {
+    return Status::Internal("injected fault: configuration load failed");
+  }
   if (doc.root() == nullptr) {
     return Status::ParseError("empty configuration document");
   }
@@ -235,6 +312,12 @@ util::Result<Config> ConfigFromXml(const xml::Document& doc) {
     auto parsed = ParseObservability(*obs);
     if (!parsed.ok()) return parsed.status();
     config.mutable_observability() = std::move(parsed).value();
+  }
+  if (const Element* limits = doc.root()->FirstChildElement("limits")) {
+    SXNM_RETURN_IF_ERROR(ParseLimits(*limits, config.mutable_limits()));
+  }
+  if (const Element* deadline = doc.root()->FirstChildElement("deadline")) {
+    SXNM_RETURN_IF_ERROR(ParseDeadline(*deadline, config.mutable_limits()));
   }
   for (const Element* elem : doc.root()->ChildElements("candidate")) {
     auto candidate = ParseCandidate(*elem);
@@ -268,6 +351,34 @@ xml::Document ConfigToXml(const Config& config) {
     e->SetAttribute("metrics", obs.metrics ? "on" : "off");
     if (!obs.trace_path.empty()) e->SetAttribute("trace", obs.trace_path);
     if (!obs.report_path.empty()) e->SetAttribute("report", obs.report_path);
+  }
+  const RunLimits& limits = config.limits();
+  const RunLimits defaults;
+  if (limits.max_depth != defaults.max_depth ||
+      limits.max_input_bytes != defaults.max_input_bytes ||
+      limits.max_nodes != defaults.max_nodes ||
+      limits.max_attr_count != defaults.max_attr_count ||
+      limits.max_comparisons != defaults.max_comparisons ||
+      limits.recover_parse != defaults.recover_parse) {
+    Element* e = root->AddElement("limits");
+    e->SetAttribute("max-depth", std::to_string(limits.max_depth));
+    e->SetAttribute("max-input-bytes",
+                    std::to_string(limits.max_input_bytes));
+    e->SetAttribute("max-nodes", std::to_string(limits.max_nodes));
+    e->SetAttribute("max-attrs", std::to_string(limits.max_attr_count));
+    if (limits.max_comparisons != 0) {
+      e->SetAttribute("max-comparisons",
+                      std::to_string(limits.max_comparisons));
+    }
+    e->SetAttribute("recover", limits.recover_parse ? "true" : "false");
+  }
+  if (limits.deadline_seconds > 0.0 ||
+      limits.comparisons_per_second != defaults.comparisons_per_second) {
+    Element* e = root->AddElement("deadline");
+    e->SetAttribute("seconds",
+                    util::FormatDouble(limits.deadline_seconds, 6));
+    e->SetAttribute("comparisons-per-second",
+                    util::FormatDouble(limits.comparisons_per_second, 6));
   }
   for (const CandidateConfig& c : config.candidates()) {
     Element* cand = root->AddElement("candidate");

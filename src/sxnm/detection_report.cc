@@ -18,6 +18,60 @@ void PassStats::Accumulate(const PassStats& other) {
   wall_seconds += other.wall_seconds;
 }
 
+size_t DegradationReport::PassesSkipped() const {
+  size_t count = 0;
+  for (const PassDegradation& p : passes) count += p.skipped ? 1 : 0;
+  return count;
+}
+
+size_t DegradationReport::PassesShrunk() const {
+  size_t count = 0;
+  for (const PassDegradation& p : passes) count += p.skipped ? 0 : 1;
+  return count;
+}
+
+size_t DegradationReport::RowsSkipped() const {
+  size_t count = 0;
+  for (const PassDegradation& p : passes) {
+    if (p.skipped) count += p.rows;
+  }
+  return count;
+}
+
+size_t DegradationReport::PairsElided() const {
+  size_t count = 0;
+  for (const PassDegradation& p : passes) count += p.pairs_elided;
+  return count;
+}
+
+std::string DegradationReport::ToString() const {
+  if (!degraded) return "run complete: no degradation\n";
+  std::string out = "DEGRADED (";
+  out += util::StatusCodeName(reason);
+  out += "): ";
+  out += std::to_string(PassesShrunk());
+  out += " pass(es) shrunk, ";
+  out += std::to_string(PassesSkipped());
+  out += " skipped, ";
+  out += std::to_string(PairsElided());
+  out += " pair(s) elided";
+  if (comparison_budget != 0) {
+    out += ", budget " + std::to_string(comparison_budget);
+  }
+  out += "\n";
+  for (const PassDegradation& p : passes) {
+    out += "  " + p.candidate + " pass " + std::to_string(p.key_index + 1);
+    if (p.skipped) {
+      out += ": skipped (" + std::to_string(p.rows) + " rows, " +
+             std::to_string(p.pairs_elided) + " pairs elided)\n";
+    } else {
+      out += ": window shrunk to " + std::to_string(p.window_used) + " (" +
+             std::to_string(p.pairs_elided) + " pairs elided)\n";
+    }
+  }
+  return out;
+}
+
 size_t DetectionReport::TotalComparisons() const {
   size_t total = 0;
   for (const Row& row : rows) total += row.stats.comparisons;
@@ -95,6 +149,28 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+void DegradationReport::WriteJson(std::ostream& os) const {
+  os << "{\"degraded\": " << (degraded ? "true" : "false") << ", \"reason\": \""
+     << util::StatusCodeName(reason)
+     << "\", \"comparison_budget\": " << comparison_budget
+     << ", \"passes_skipped\": " << PassesSkipped()
+     << ", \"passes_shrunk\": " << PassesShrunk()
+     << ", \"rows_skipped\": " << RowsSkipped()
+     << ", \"pairs_elided\": " << PairsElided() << ", \"passes\": [";
+  bool first = true;
+  for (const PassDegradation& p : passes) {
+    os << (first ? "" : ", ");
+    first = false;
+    os << "{\"candidate\": \"" << JsonEscape(p.candidate)
+       << "\", \"pass\": " << p.key_index + 1
+       << ", \"skipped\": " << (p.skipped ? "true" : "false")
+       << ", \"window_used\": " << p.window_used << ", \"rows\": " << p.rows
+       << ", \"pairs_planned\": " << p.pairs_planned
+       << ", \"pairs_elided\": " << p.pairs_elided << "}";
+  }
+  os << "]}";
+}
+
 std::string DetectionReport::ToTable() const {
   util::TablePrinter table({"candidate", "pass", "instances", "windowed",
                             "prepass_skips", "comparisons", "hits",
@@ -113,7 +189,9 @@ std::string DetectionReport::ToTable() const {
   std::vector<std::string> cells = {"TOTAL", "", ""};
   for (std::string& cell : StatsCells(totals)) cells.push_back(std::move(cell));
   table.AddRow(std::move(cells));
-  return table.ToString();
+  std::string out = table.ToString();
+  if (degradation.degraded) out += degradation.ToString();
+  return out;
 }
 
 void DetectionReport::WriteJson(std::ostream& os) const {
@@ -130,6 +208,8 @@ void DetectionReport::WriteJson(std::ostream& os) const {
   }
   os << "\n  ],\n  \"totals\": ";
   WriteStatsJson(os, Totals());
+  os << ",\n  \"degradation\": ";
+  degradation.WriteJson(os);
   os << "\n}\n";
 }
 

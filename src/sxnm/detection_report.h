@@ -34,6 +34,52 @@ struct PassStats {
   void Accumulate(const PassStats& other);
 };
 
+/// How the governance layer degraded one window pass (or a whole
+/// candidate) to honor a comparison budget, deadline, or cancellation.
+struct PassDegradation {
+  std::string candidate;
+  size_t key_index = 0;       // pass within the candidate, 0-based
+  bool skipped = false;       // pass elided entirely (its rows unprocessed)
+  size_t window_used = 0;     // the window the pass actually ran with;
+                              // < the configured window for a shrunk
+                              // boundary pass, 0 when skipped
+  size_t rows = 0;            // GK rows of the pass (instances)
+  size_t pairs_planned = 0;   // WindowPairCount(rows, configured window)
+  size_t pairs_elided = 0;    // planned pairs not enumerated
+};
+
+/// Degradation summary of a governed run. `degraded` is false (and the
+/// per-pass list empty) whenever the run completed all planned work —
+/// governance is free when nothing fires. Totals here are mirrored into
+/// the metrics registry as robust.* counters.
+struct DegradationReport {
+  bool degraded = false;
+
+  /// Why work was shed: kDeadlineExceeded (budget from <deadline> or
+  /// wall-clock expiry), kResourceExhausted (max_comparisons), or
+  /// kCancelled. kOk when not degraded.
+  util::StatusCode reason = util::StatusCode::kOk;
+
+  /// The comparison budget the run resolved at start (0 = none; the
+  /// deadline-derived and max_comparisons budgets are merged).
+  size_t comparison_budget = 0;
+
+  /// Passes that were shrunk or skipped, in deterministic pass order.
+  std::vector<PassDegradation> passes;
+
+  size_t PassesSkipped() const;
+  size_t PassesShrunk() const;
+  /// Rows of skipped passes (a shrunk pass still visits every row).
+  size_t RowsSkipped() const;
+  size_t PairsElided() const;
+
+  /// One-line summary plus one line per degraded pass.
+  std::string ToString() const;
+
+  /// JSON object: {"degraded": ..., "reason": ..., "passes": [...]}.
+  void WriteJson(std::ostream& os) const;
+};
+
 /// Per-candidate × per-pass table for one detection run.
 struct DetectionReport {
   struct Row {
@@ -45,6 +91,11 @@ struct DetectionReport {
 
   /// Rows in bottom-up candidate order, passes in key-definition order.
   std::vector<Row> rows;
+
+  /// Degradation of the run that produced this report (copied from
+  /// DetectionResult::degradation so serialized reports are
+  /// self-contained). Not degraded for ungoverned runs.
+  DegradationReport degradation;
 
   bool empty() const { return rows.empty(); }
 

@@ -12,6 +12,8 @@
 #include "sxnm/similarity_measure.h"
 #include "sxnm/sliding_window.h"
 #include "sxnm/transitive_closure.h"
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -67,6 +69,15 @@ struct PassHit {
   bool is_duplicate;
 };
 
+// The governor's verdict for one window pass, fixed at level setup time
+// (serially, in deterministic pass order) before any worker runs.
+struct PassPlan {
+  bool skip = false;     // pass elided entirely
+  bool shrunk = false;   // boundary pass: window reduced to fit the budget
+  size_t window = 0;     // window to run with (0 when skipped)
+  size_t planned = 0;    // WindowPairCount(instances, configured window)
+};
+
 // Per-candidate state for one depth level of the bottom-up order.
 struct CandidateRun {
   size_t index = 0;  // candidate index t within the forest
@@ -74,6 +85,11 @@ struct CandidateRun {
   const CandidateConfig* cand = nullptr;
   const GkTable* table = nullptr;
   std::unique_ptr<SimilarityMeasure> measure;
+
+  // False when key generation for this candidate was cut off by
+  // cancellation: every pass is then skipped (a partial GK relation would
+  // make the windowing depend on where the cut landed).
+  bool kg_ok = true;
 
   // DE-SNM exact-OD pre-pass output: byte-identical normalized ODs are
   // duplicates by definition. Both sets are read-only while the window
@@ -90,6 +106,13 @@ struct CandidateRun {
   // increments next to an edit-distance DP — and only published to the
   // registry / report when metrics are on.
   std::vector<PassStats> pass_stats;
+
+  // Governance state, all indexed by key_index and single-writer like
+  // pass_hits: the governor's plan, the enumeration outcome (early stops
+  // under cooperative deadline/cancellation), and any injected fault.
+  std::vector<PassPlan> plans;
+  std::vector<WindowRunResult> outcomes;
+  std::vector<util::Status> pass_status;
 };
 
 // DE-SNM-style pre-pass (runs before the window passes so their workers
@@ -126,7 +149,23 @@ void RunExactOdPrepass(CandidateRun& run) {
 // concurrently; the verdict is a pure function of the pair, making the
 // redundant work invisible in the output.
 void RunWindowPass(CandidateRun& run, size_t key_index,
+                   const util::CancellationToken& token,
+                   const util::Deadline& deadline, bool interruptible,
                    obs::MetricsRegistry& metrics, obs::Tracer& tracer) {
+  const PassPlan& plan = run.plans[key_index];
+  if (plan.skip) return;
+  if (util::FaultInjector::Instance().ShouldFail("detector.pass")) {
+    run.pass_status[key_index] = Status::Internal(
+        "injected fault: window pass " + std::to_string(key_index + 1) +
+        " of candidate '" + run.cand->name + "' failed");
+    return;
+  }
+  if (interruptible && (token.cancelled() || deadline.expired())) {
+    // Shed before even sorting: the pass contributes nothing, which the
+    // degradation accounting reads off pairs_windowed == 0.
+    run.outcomes[key_index].stopped_early = true;
+    return;
+  }
   obs::Tracer::Span span = tracer.StartSpan(run.cand->name + "/pass" +
                                             std::to_string(key_index + 1));
   util::Stopwatch watch;
@@ -149,17 +188,29 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
     if (verdict.desc_short_circuit) ++stats.desc_short_circuits;
     hits.push_back({pair, verdict.is_duplicate});
   };
-  if (run.cand->window_policy == WindowPolicy::kAdaptivePrefix) {
-    stats.pairs_windowed = ForEachAdaptiveWindowPair(
-        order,
-        [&](size_t ordinal) -> const std::string& {
-          return table.rows[ordinal].keys[key_index];
-        },
-        run.cand->window_size, run.cand->max_window,
-        run.cand->adaptive_prefix_len, visit);
+  // A shrunk boundary pass always runs the plain fixed window: adaptive
+  // extension would overrun the budget it was shrunk to fit.
+  if (run.cand->window_policy == WindowPolicy::kAdaptivePrefix &&
+      !plan.shrunk) {
+    auto key_of = [&](size_t ordinal) -> const std::string& {
+      return table.rows[ordinal].keys[key_index];
+    };
+    if (interruptible) {
+      run.outcomes[key_index] = ForEachAdaptiveWindowPairInterruptible(
+          order, key_of, plan.window, run.cand->max_window,
+          run.cand->adaptive_prefix_len, token, deadline, visit);
+      stats.pairs_windowed = run.outcomes[key_index].pairs_visited;
+    } else {
+      stats.pairs_windowed = ForEachAdaptiveWindowPair(
+          order, key_of, plan.window, run.cand->max_window,
+          run.cand->adaptive_prefix_len, visit);
+    }
+  } else if (interruptible) {
+    run.outcomes[key_index] = ForEachWindowPairInterruptible(
+        order, plan.window, token, deadline, visit);
+    stats.pairs_windowed = run.outcomes[key_index].pairs_visited;
   } else {
-    stats.pairs_windowed = ForEachWindowPair(order, run.cand->window_size,
-                                             visit);
+    stats.pairs_windowed = ForEachWindowPair(order, plan.window, visit);
   }
   stats.wall_seconds = watch.ElapsedSeconds();
 
@@ -218,10 +269,42 @@ void MergePasses(CandidateRun& run, CandidateResult& result,
 }  // namespace
 
 util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
+  return Run(doc, RunOptions());
+}
+
+util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
+                                            const RunOptions& options) const {
   SXNM_RETURN_IF_ERROR(config_.Validate());
 
   DetectionResult result;
   size_t num_threads = util::ResolveNumThreads(config_.num_threads());
+
+  // --- Resource governance setup ------------------------------------------
+  // A deadline with a positive conversion rate becomes a comparison
+  // budget here, ONCE — after this point the governor never reads the
+  // clock, so the shed work set is a pure function of config + data
+  // (identical for any thread count). Rate 0 keeps a live wall-clock
+  // deadline instead, polled cooperatively.
+  const RunLimits& limits = config_.limits();
+  const util::CancellationToken& token = options.cancellation;
+  const size_t budget = limits.ResolveComparisonBudget();
+  const bool wallclock_mode =
+      limits.deadline_seconds > 0.0 && limits.comparisons_per_second == 0.0;
+  util::Deadline deadline = wallclock_mode
+                                ? util::Deadline::After(limits.deadline_seconds)
+                                : util::Deadline::Infinite();
+  // Which governance source binds first, for the degradation reason.
+  util::StatusCode budget_reason = util::StatusCode::kResourceExhausted;
+  if (limits.deadline_seconds > 0.0 &&
+      (limits.max_comparisons == 0 || budget < limits.max_comparisons)) {
+    budget_reason = util::StatusCode::kDeadlineExceeded;
+  }
+  const bool interruptible =
+      token.can_be_cancelled() || deadline.has_deadline();
+  DegradationReport& degradation = result.degradation;
+  degradation.comparison_budget = budget;
+  bool cancelled = false;      // cancellation observed at a checkpoint
+  bool wall_expired = false;   // cooperative deadline observed expired
 
   // Observability: both handles live for exactly this run. Disabled
   // instances are no-ops (every record is one branch), so the default
@@ -246,10 +329,27 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
   const CandidateForest& forest = forest_or.value();
 
   std::vector<GkTable> gk(forest.candidates().size());
-  util::ParallelFor(forest.candidates().size(), num_threads, [&](size_t t) {
-    const CandidateInstances& instances = forest.candidates()[t];
-    gk[t] = GenerateKeys(*instances.config, instances, &metrics);
-  });
+  std::vector<char> kg_done(forest.candidates().size(), 0);
+  std::vector<util::Status> kg_status(forest.candidates().size());
+  util::ParallelForCancellable(
+      forest.candidates().size(), num_threads, token, [&](size_t t) {
+        const CandidateInstances& instances = forest.candidates()[t];
+        auto keys =
+            GenerateKeysChecked(*instances.config, instances, token, &metrics);
+        if (!keys.ok()) {
+          kg_status[t] = keys.status();
+          return;
+        }
+        if (keys->cancelled) return;  // kg_done stays 0: candidate shed
+        gk[t] = std::move(keys->table);
+        kg_done[t] = 1;
+      });
+  // A genuine key-generation failure (fault injection, future IO) aborts
+  // the run with its own status — degradation is only for shed work. The
+  // lowest candidate index wins so the reported error is deterministic.
+  for (const util::Status& status : kg_status) SXNM_RETURN_IF_ERROR(status);
+  if (token.cancelled()) cancelled = true;
+  if (deadline.expired()) wall_expired = true;
   kg_span.End();
   result.timer.Add(kPhaseKeyGeneration, kg_watch.ElapsedSeconds());
   if (metrics.enabled()) {
@@ -271,6 +371,15 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
 
   std::vector<ClusterSet> cluster_sets(forest.candidates().size());
   std::vector<CandidateResult> cand_results(forest.candidates().size());
+
+  // Budget governor state, threaded across levels. Passes are planned
+  // serially in deterministic order (levels deepest-first, candidates in
+  // processing order, keys in definition order): each runs in full while
+  // the cumulative planned cost fits the budget, the first that does not
+  // fit shrinks its window to the largest size that still does (the
+  // paper's own efficiency knob), and everything after is skipped.
+  size_t budget_spent = 0;
+  bool budget_exhausted = false;
 
   for (auto& [depth, members] : levels) {
     obs::Tracer::Span level_span =
@@ -296,12 +405,48 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
       }
       run.measure = std::make_unique<SimilarityMeasure>(
           *run.cand, *run.instances, std::move(child_sets));
+      run.kg_ok = kg_done[run.index] != 0;
 
-      if (run.cand->exact_od_prepass) RunExactOdPrepass(run);
+      if (run.cand->exact_od_prepass && run.kg_ok) RunExactOdPrepass(run);
 
-      run.pass_hits.resize(run.table->num_keys);
-      run.pass_stats.resize(run.table->num_keys);
-      for (size_t k = 0; k < run.table->num_keys; ++k) {
+      // Sized from the config, not the GK table: a candidate whose key
+      // generation was shed has an empty table but still owes one
+      // (skipped) degradation entry per configured pass.
+      size_t num_keys = run.cand->keys.size();
+      run.pass_hits.resize(num_keys);
+      run.pass_stats.resize(num_keys);
+      run.plans.resize(num_keys);
+      run.outcomes.resize(num_keys);
+      run.pass_status.resize(num_keys);
+
+      size_t n_inst = run.instances->NumInstances();
+      for (size_t k = 0; k < num_keys; ++k) {
+        PassPlan& plan = run.plans[k];
+        plan.planned = WindowPairCount(n_inst, run.cand->window_size);
+        if (token.cancelled()) cancelled = true;
+        if (!run.kg_ok || cancelled || wall_expired) {
+          plan.skip = true;
+        } else if (budget == 0) {
+          plan.window = run.cand->window_size;
+        } else if (budget_exhausted) {
+          plan.skip = true;
+        } else if (budget_spent + plan.planned <= budget) {
+          plan.window = run.cand->window_size;
+          budget_spent += plan.planned;
+        } else {
+          // The boundary pass: shrink to the largest window whose full
+          // pass still fits what is left, then close the budget.
+          budget_exhausted = true;
+          size_t shrunk = LargestWindowWithin(n_inst, run.cand->window_size,
+                                              budget - budget_spent);
+          if (shrunk >= 2) {
+            plan.window = shrunk;
+            plan.shrunk = true;
+            budget_spent += WindowPairCount(n_inst, shrunk);
+          } else {
+            plan.skip = true;
+          }
+        }
         pass_tasks.emplace_back(r, k);
       }
     }
@@ -309,8 +454,16 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
     // Multi-pass sorted window (SW): all passes of the level in parallel.
     util::ParallelFor(pass_tasks.size(), num_threads, [&](size_t i) {
       auto [r, key_index] = pass_tasks[i];
-      RunWindowPass(runs[r], key_index, metrics, tracer);
+      RunWindowPass(runs[r], key_index, token, deadline, interruptible,
+                    metrics, tracer);
     });
+    for (const CandidateRun& run : runs) {
+      for (const util::Status& status : run.pass_status) {
+        SXNM_RETURN_IF_ERROR(status);
+      }
+    }
+    if (token.cancelled()) cancelled = true;
+    if (deadline.expired()) wall_expired = true;
 
     // Deterministic merge + transitive closure (TC), serially in
     // processing order.
@@ -324,7 +477,36 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
     merge_span.End();
     result.timer.Add(kPhaseSlidingWindow, sw_watch.ElapsedSeconds());
 
+    // Degradation accounting, in the same deterministic order the
+    // governor planned in. `pairs_windowed` is what the pass actually
+    // enumerated, so one rule covers skips, shrunk windows, and
+    // cooperative early stops alike.
     for (CandidateRun& run : runs) {
+      for (size_t k = 0; k < run.plans.size(); ++k) {
+        const PassPlan& plan = run.plans[k];
+        if (!plan.skip && !plan.shrunk && !run.outcomes[k].stopped_early) {
+          continue;
+        }
+        size_t executed = plan.skip ? 0 : run.pass_stats[k].pairs_windowed;
+        PassDegradation entry;
+        entry.candidate = run.cand->name;
+        entry.key_index = k;
+        entry.skipped = plan.skip;
+        entry.window_used = plan.window;
+        entry.rows = run.instances->NumInstances();
+        entry.pairs_planned = plan.planned;
+        entry.pairs_elided =
+            plan.planned > executed ? plan.planned - executed : 0;
+        degradation.passes.push_back(std::move(entry));
+      }
+    }
+
+    for (CandidateRun& run : runs) {
+      if (util::FaultInjector::Instance().ShouldFail("tc.closure")) {
+        return Status::Internal(
+            "injected fault: transitive closure failed for candidate '" +
+            run.cand->name + "'");
+      }
       util::Stopwatch tc_watch;
       obs::Tracer::Span tc_span = tracer.StartSpan("tc/" + run.cand->name);
       cluster_sets[run.index] = ComputeTransitiveClosure(
@@ -353,6 +535,28 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc) const {
   for (size_t t : forest.ProcessingOrder()) {
     cand_results[t].gk = std::move(gk[t]);
     result.candidates.push_back(std::move(cand_results[t]));
+  }
+
+  // --- Degradation summary -------------------------------------------------
+  if (token.cancelled()) cancelled = true;
+  if (deadline.expired()) wall_expired = true;
+  if (!degradation.passes.empty()) {
+    degradation.degraded = true;
+    if (cancelled) {
+      degradation.reason = util::StatusCode::kCancelled;
+    } else if (wallclock_mode && wall_expired) {
+      degradation.reason = util::StatusCode::kDeadlineExceeded;
+    } else {
+      degradation.reason = budget_reason;
+    }
+  }
+  if (metrics.enabled()) {
+    metrics.counter("robust.degraded").Add(degradation.degraded ? 1 : 0);
+    metrics.counter("robust.passes_skipped").Add(degradation.PassesSkipped());
+    metrics.counter("robust.passes_shrunk").Add(degradation.PassesShrunk());
+    metrics.counter("robust.rows_skipped").Add(degradation.RowsSkipped());
+    metrics.counter("robust.pairs_elided").Add(degradation.PairsElided());
+    result.report.degradation = degradation;
   }
 
   // --- Observability export ----------------------------------------------

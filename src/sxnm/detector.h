@@ -17,6 +17,7 @@
 #include "sxnm/config.h"
 #include "sxnm/detection_report.h"
 #include "sxnm/key_generation.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "xml/node.h"
@@ -48,6 +49,15 @@ struct CandidateResult {
   GkTable gk;
 };
 
+/// Per-run options orthogonal to the (reusable) configuration.
+struct RunOptions {
+  /// Cooperative cancellation: Run polls this token at phase boundaries
+  /// and every few thousand windowed pairs. A cancelled run still returns
+  /// an OK Result — a partial DetectionResult whose DegradationReport is
+  /// flagged kCancelled — never a half-built error.
+  util::CancellationToken cancellation;
+};
+
 struct DetectionResult {
   /// Per-candidate results in bottom-up processing order.
   std::vector<CandidateResult> candidates;
@@ -64,6 +74,15 @@ struct DetectionResult {
   /// Config::observability().metrics is on. report.TotalComparisons()
   /// equals the "sw.comparisons" counter in `metrics`.
   DetectionReport report;
+
+  /// What the governance layer shed (always populated, metrics or not).
+  /// Not degraded whenever the run completed all planned work. Its totals
+  /// equal the robust.* counters in `metrics` when metrics are on.
+  DegradationReport degradation;
+
+  /// True when RunLimits/cancellation cut work: the result is a valid but
+  /// partial detection (see `degradation` for what was shed).
+  bool degraded() const { return degradation.degraded; }
 
   const CandidateResult* Find(std::string_view name) const;
 
@@ -86,7 +105,17 @@ class Detector {
   /// Runs SXNM over `doc`. The document must have element IDs assigned
   /// (xml::Parse does this; call doc.AssignElementIds() after manual
   /// construction or mutation).
+  ///
+  /// Governance (Config::limits()): a comparison budget — max_comparisons
+  /// and/or a deadline converted once at run start via
+  /// comparisons_per_second — sheds window passes deterministically: the
+  /// same passes are shrunk/skipped for any num_threads. A deadline with
+  /// rate 0 is instead enforced cooperatively against the wall clock
+  /// (machine-dependent cut, always well-formed results). Shed work is
+  /// recorded in DetectionResult::degradation; the run itself stays OK.
   util::Result<DetectionResult> Run(const xml::Document& doc) const;
+  util::Result<DetectionResult> Run(const xml::Document& doc,
+                                    const RunOptions& options) const;
 
  private:
   Config config_;

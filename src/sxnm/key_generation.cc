@@ -5,6 +5,7 @@
 #include <map>
 
 #include "obs/metrics.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -20,10 +21,16 @@ std::vector<size_t> GkTable::SortedOrder(size_t key_index) const {
   return order;
 }
 
-GkTable GenerateKeys(const CandidateConfig& candidate,
-                     const std::vector<const xml::Element*>& elements,
-                     const std::vector<xml::ElementId>& eids,
-                     obs::MetricsRegistry* metrics) {
+namespace {
+
+// The shared row loop behind both entry points. `checked` enables the
+// per-row governance hooks (fault site, cancellation poll) that the plain
+// GenerateKeys skips entirely.
+util::Result<KeyGenResult> GenerateKeysImpl(
+    const CandidateConfig& candidate,
+    const std::vector<const xml::Element*>& elements,
+    const std::vector<xml::ElementId>& eids, bool checked,
+    const util::CancellationToken& token, obs::MetricsRegistry* metrics) {
   assert(elements.size() == eids.size());
   GkTable table;
   table.num_keys = candidate.keys.size();
@@ -37,6 +44,18 @@ GkTable GenerateKeys(const CandidateConfig& candidate,
   norm_watch.Pause();
 
   for (size_t i = 0; i < elements.size(); ++i) {
+    if (checked) {
+      if (util::FaultInjector::Instance().ShouldFail("kg.row")) {
+        return util::Status::Internal(
+            "injected fault: key generation failed on row " +
+            std::to_string(i) + " of candidate '" + candidate.name + "'");
+      }
+      if (token.cancelled()) {
+        KeyGenResult out;
+        out.cancelled = true;
+        return out;
+      }
+    }
     const xml::Element& element = *elements[i];
     GkRow row;
     row.ordinal = i;
@@ -93,13 +112,34 @@ GkTable GenerateKeys(const CandidateConfig& candidate,
     metrics->counter("kg.od_normalize_us")
         .Add(static_cast<uint64_t>(norm_watch.ElapsedSeconds() * 1e6));
   }
-  return table;
+  KeyGenResult out;
+  out.table = std::move(table);
+  return out;
+}
+
+}  // namespace
+
+GkTable GenerateKeys(const CandidateConfig& candidate,
+                     const std::vector<const xml::Element*>& elements,
+                     const std::vector<xml::ElementId>& eids,
+                     obs::MetricsRegistry* metrics) {
+  auto result = GenerateKeysImpl(candidate, elements, eids, /*checked=*/false,
+                                 util::CancellationToken(), metrics);
+  // Unchecked generation has no failure or cancellation path.
+  return std::move(result.value().table);
 }
 
 GkTable GenerateKeys(const CandidateConfig& candidate,
                      const CandidateInstances& instances,
                      obs::MetricsRegistry* metrics) {
   return GenerateKeys(candidate, instances.elements, instances.eids, metrics);
+}
+
+util::Result<KeyGenResult> GenerateKeysChecked(
+    const CandidateConfig& candidate, const CandidateInstances& instances,
+    const util::CancellationToken& token, obs::MetricsRegistry* metrics) {
+  return GenerateKeysImpl(candidate, instances.elements, instances.eids,
+                          /*checked=*/true, token, metrics);
 }
 
 }  // namespace sxnm::core

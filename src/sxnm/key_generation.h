@@ -12,6 +12,7 @@
 
 #include "sxnm/candidate_tree.h"
 #include "sxnm/config.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "xml/node.h"
 
@@ -66,6 +67,22 @@ GkTable GenerateKeys(const CandidateConfig& candidate,
 GkTable GenerateKeys(const CandidateConfig& candidate,
                      const CandidateInstances& instances,
                      obs::MetricsRegistry* metrics = nullptr);
+
+/// Governed key generation, used by the detector:
+///   * polls `token` between rows; on cancellation the partially built
+///     table is discarded and `cancelled` is set (a partial GK relation
+///     would make windowing depend on where the cut landed, so key
+///     generation for a candidate is all-or-nothing);
+///   * checks the "kg.row" fault-injection site per row, failing with
+///     kInternal when the armed fault fires (chaos tests).
+struct KeyGenResult {
+  GkTable table;
+  bool cancelled = false;
+};
+util::Result<KeyGenResult> GenerateKeysChecked(
+    const CandidateConfig& candidate, const CandidateInstances& instances,
+    const util::CancellationToken& token,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sxnm::core
 

@@ -67,4 +67,94 @@ size_t WindowPairCount(size_t n, size_t window) {
   return count;
 }
 
+size_t LargestWindowWithin(size_t n, size_t window, size_t budget) {
+  assert(window >= 2);
+  // WindowPairCount is monotone in the window, so binary search works;
+  // windows are small enough that a linear scan from the top is fine too,
+  // but the search keeps this O(log w) per boundary pass.
+  if (WindowPairCount(n, 2) > budget) return 0;
+  size_t lo = 2, hi = window;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo + 1) / 2;
+    if (WindowPairCount(n, mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+// Shared polling state of the interruptible enumerations.
+struct InterruptPoll {
+  const util::CancellationToken& token;
+  const util::Deadline& deadline;
+  size_t until_check = 0;
+
+  bool ShouldStop() {
+    if (until_check > 0) {
+      --until_check;
+      return false;
+    }
+    until_check = kInterruptCheckInterval - 1;
+    return token.cancelled() || deadline.expired();
+  }
+};
+
+}  // namespace
+
+WindowRunResult ForEachWindowPairInterruptible(
+    const std::vector<size_t>& order, size_t window,
+    const util::CancellationToken& token, const util::Deadline& deadline,
+    const std::function<void(size_t, size_t)>& visit) {
+  assert(window >= 2);
+  WindowRunResult result;
+  InterruptPoll poll{token, deadline};
+  for (size_t i = 1; i < order.size(); ++i) {
+    size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
+    for (size_t j = lo; j < i; ++j) {
+      if (poll.ShouldStop()) {
+        result.stopped_early = true;
+        return result;
+      }
+      visit(order[j], order[i]);
+      ++result.pairs_visited;
+    }
+  }
+  return result;
+}
+
+WindowRunResult ForEachAdaptiveWindowPairInterruptible(
+    const std::vector<size_t>& order,
+    const std::function<const std::string&(size_t)>& key_of,
+    size_t base_window, size_t max_window, size_t prefix_len,
+    const util::CancellationToken& token, const util::Deadline& deadline,
+    const std::function<void(size_t, size_t)>& visit) {
+  assert(base_window >= 2);
+  assert(max_window >= base_window);
+  assert(prefix_len >= 1);
+  WindowRunResult result;
+  InterruptPoll poll{token, deadline};
+  for (size_t i = 1; i < order.size(); ++i) {
+    const std::string& entering = key_of(order[i]);
+    size_t max_span = std::min(i, max_window - 1);
+    for (size_t span = 1; span <= max_span; ++span) {
+      size_t j = i - span;
+      if (span >= base_window &&
+          !SharePrefix(key_of(order[j]), entering, prefix_len)) {
+        break;
+      }
+      if (poll.ShouldStop()) {
+        result.stopped_early = true;
+        return result;
+      }
+      visit(order[j], order[i]);
+      ++result.pairs_visited;
+    }
+  }
+  return result;
+}
+
 }  // namespace sxnm::core

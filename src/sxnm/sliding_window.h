@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/cancellation.h"
+
 namespace sxnm::core {
 
 /// Calls `visit(a, b)` for every pair of values of `order` at positions
@@ -26,6 +28,40 @@ size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
 
 /// Number of pairs ForEachWindowPair visits for `n` elements.
 size_t WindowPairCount(size_t n, size_t window);
+
+/// Largest window w' in [2, window] with WindowPairCount(n, w') <= budget,
+/// or 0 when even w' = 2 exceeds the budget. The governance layer shrinks
+/// a boundary pass to this window — the paper's own efficiency knob —
+/// instead of truncating the pass mid-way.
+size_t LargestWindowWithin(size_t n, size_t window, size_t budget);
+
+/// How often the interruptible enumerations poll cancellation/deadline:
+/// every this many visited pairs (and once up front).
+inline constexpr size_t kInterruptCheckInterval = 4096;
+
+/// Outcome of an interruptible window enumeration.
+struct WindowRunResult {
+  size_t pairs_visited = 0;
+  bool stopped_early = false;  // cancellation or deadline cut the pass short
+};
+
+/// ForEachWindowPair that polls `token`/`deadline` every
+/// kInterruptCheckInterval pairs and stops early when either fires. The
+/// visited pairs are always a prefix of the full enumeration order, so a
+/// cut-short pass is still a valid (smaller) neighborhood.
+WindowRunResult ForEachWindowPairInterruptible(
+    const std::vector<size_t>& order, size_t window,
+    const util::CancellationToken& token, const util::Deadline& deadline,
+    const std::function<void(size_t, size_t)>& visit);
+
+/// Interruptible variant of ForEachAdaptiveWindowPair; same polling and
+/// prefix guarantee.
+WindowRunResult ForEachAdaptiveWindowPairInterruptible(
+    const std::vector<size_t>& order,
+    const std::function<const std::string&(size_t)>& key_of,
+    size_t base_window, size_t max_window, size_t prefix_len,
+    const util::CancellationToken& token, const util::Deadline& deadline,
+    const std::function<void(size_t, size_t)>& visit);
 
 /// Adaptive windowing (the paper's outlook cites Lehti & Fankhauser's
 /// precise blocking [20]): every pair within the base window is visited

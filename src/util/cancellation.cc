@@ -1,0 +1,12 @@
+#include "util/cancellation.h"
+
+#include <limits>
+
+namespace sxnm::util {
+
+double Deadline::RemainingSeconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - Clock::now()).count();
+}
+
+}  // namespace sxnm::util

@@ -1,0 +1,98 @@
+// Cooperative cancellation and deadlines for long-running pipeline
+// stages (parsing, key generation, window passes).
+//
+// A `CancellationSource` owns a flag; the copyable `CancellationToken`
+// handles it hands out are checked cooperatively by workers. Tokens are
+// cheap to copy (shared_ptr to one atomic) and a default-constructed
+// token can never be cancelled, so APIs can take tokens unconditionally.
+//
+// `Deadline` is a wall-clock expiry point. Both are *cooperative*: a
+// stage observes them at its own checkpoints, finishes the unit of work
+// in flight, and returns a partial, internally consistent result flagged
+// kCancelled / kDeadlineExceeded — nothing is torn down mid-write.
+
+#ifndef SXNM_UTIL_CANCELLATION_H_
+#define SXNM_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace sxnm::util {
+
+/// A copyable handle observing one cancellation flag. Thread-safe.
+class CancellationToken {
+ public:
+  /// The default token is never cancelled (no shared state).
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token is connected to a source (i.e. cancellation is
+  /// possible at all). Lets hot loops skip the check entirely.
+  bool can_be_cancelled() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Owns the flag behind a family of tokens. Thread-safe; outliving the
+/// source is fine (tokens keep the flag alive).
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  /// Idempotent; visible to every token immediately.
+  void RequestCancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A wall-clock expiry point. Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now. `seconds <= 0` is already expired.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Never expires (alias of the default constructor, for readability).
+  static Deadline Infinite() { return Deadline(); }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool expired() const { return has_deadline_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry; negative once expired, +inf without a deadline.
+  double RemainingSeconds() const;
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_;
+};
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_CANCELLATION_H_

@@ -1,0 +1,48 @@
+// Stable process exit codes for the command-line tools, so scripts and
+// CI can distinguish failure stages without parsing stderr:
+//
+//   0  success
+//   2  usage error (bad flags/arguments)
+//   3  configuration error (config file failed to load or validate)
+//   4  data parse error (malformed input document)
+//   5  resource limit exceeded (depth/bytes/nodes/attrs/diagnostics caps)
+//   6  cancelled or deadline exceeded
+//   7  runtime error (anything else: IO, internal invariants, ...)
+
+#ifndef SXNM_UTIL_EXIT_CODE_H_
+#define SXNM_UTIL_EXIT_CODE_H_
+
+#include "util/status.h"
+
+namespace sxnm::util {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitConfig = 3;
+inline constexpr int kExitParse = 4;
+inline constexpr int kExitResource = 5;
+inline constexpr int kExitDeadline = 6;
+inline constexpr int kExitRuntime = 7;
+
+/// Maps a non-OK status to the exit code of its failure class. The
+/// configuration stage is positional, not a status code — tools return
+/// kExitConfig directly when loading the config fails.
+inline int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kParseError:
+      return kExitParse;
+    case StatusCode::kResourceExhausted:
+      return kExitResource;
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+      return kExitDeadline;
+    default:
+      return kExitRuntime;
+  }
+}
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_EXIT_CODE_H_

@@ -1,0 +1,54 @@
+#include "util/fault_injection.h"
+
+namespace sxnm::util {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(std::string_view site, uint64_t fire_on_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[std::string(site)];
+  state.fire_on_hit = fire_on_hit == 0 ? 1 : fire_on_hit;
+  state.hits = 0;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.fire_on_hit = 0;
+  for (const auto& [name, state] : sites_) {
+    if (state.fire_on_hit != 0) return;
+  }
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFailSlow(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.fire_on_hit == 0) return false;
+  if (++it->second.hits != it->second.fire_on_hit) return false;
+  it->second.fire_on_hit = 0;  // one-shot
+  bool still_armed = false;
+  for (const auto& [name, state] : sites_) {
+    if (state.fire_on_hit != 0) still_armed = true;
+  }
+  if (!still_armed) any_armed_.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInjector::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace sxnm::util

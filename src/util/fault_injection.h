@@ -1,0 +1,95 @@
+// Deterministic fault injection for chaos testing.
+//
+// A fault *site* is a stable string naming one failure-prone step inside
+// the pipeline (e.g. "kg.row", "xml.node", "detector.pass"). Chaos tests
+// arm a site to fire on its Nth hit; production code asks `ShouldFail`
+// at the site and, when it fires, fails that step through its normal
+// error path — proving the error actually propagates as a clean Status
+// and never leaves an inconsistent result behind.
+//
+// Disarmed (the default, and the only state outside chaos tests) the
+// whole mechanism is one relaxed atomic load per site check. Hit
+// counting is deterministic per site as long as the instrumented step
+// itself executes a deterministic number of times before the fault —
+// which is why sites sit on serial or per-item deterministic code, not
+// on racy fast paths.
+
+#ifndef SXNM_UTIL_FAULT_INJECTION_H_
+#define SXNM_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sxnm::util {
+
+/// One armed fault: fire on the `fire_on_hit`-th call (1-based) of the
+/// named site.
+struct FaultSpec {
+  std::string site;
+  uint64_t fire_on_hit = 1;
+};
+
+/// Process-wide injector. Thread-safe. Use ScopedFault in tests.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `site` to fail once, on its `fire_on_hit`-th hit from now
+  /// (resets the site's hit counter).
+  void Arm(std::string_view site, uint64_t fire_on_hit);
+  void Arm(const FaultSpec& spec) { Arm(spec.site, spec.fire_on_hit); }
+
+  /// Disarms one site / everything; DisarmAll also clears hit counters.
+  void Disarm(std::string_view site);
+  void DisarmAll();
+
+  /// Counts a hit of `site`; true exactly when the armed shot fires (the
+  /// site disarms itself after firing). Always false while nothing is
+  /// armed — a single relaxed atomic load.
+  bool ShouldFail(std::string_view site) {
+    if (!any_armed_.load(std::memory_order_relaxed)) return false;
+    return ShouldFailSlow(site);
+  }
+
+  /// Number of hits `site` has seen since it was last armed.
+  uint64_t HitCount(std::string_view site) const;
+
+ private:
+  FaultInjector() = default;
+  bool ShouldFailSlow(std::string_view site);
+
+  struct SiteState {
+    uint64_t fire_on_hit = 0;  // 0 = disarmed
+    uint64_t hits = 0;
+  };
+
+  std::atomic<bool> any_armed_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+/// RAII arming for tests: arms on construction, disarms its site on
+/// destruction (whether or not it fired).
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view site, uint64_t fire_on_hit = 1)
+      : site_(site) {
+    FaultInjector::Instance().Arm(site_, fire_on_hit);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_FAULT_INJECTION_H_

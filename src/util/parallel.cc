@@ -62,6 +62,42 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+size_t ParallelForCancellable(size_t n, size_t num_threads,
+                              const CancellationToken& token,
+                              const std::function<void(size_t)>& fn) {
+  if (!token.can_be_cancelled()) {
+    ParallelFor(n, num_threads, fn);
+    return n;
+  }
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (token.cancelled()) return i;
+      fn(i);
+    }
+    return n;
+  }
+
+  std::atomic<size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      if (token.cancelled()) return;
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+
+  std::vector<std::thread> helpers;
+  helpers.reserve(num_threads - 1);
+  for (size_t t = 1; t < num_threads; ++t) helpers.emplace_back(drain);
+  drain();
+  for (std::thread& t : helpers) t.join();
+  // Claims are handed out in increasing order, so the executed set is the
+  // prefix [0, min(n, counter)).
+  return std::min(n, next.load(std::memory_order_relaxed));
+}
+
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
   num_threads = std::min(num_threads, n);

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancellation.h"
+
 namespace sxnm::util {
 
 /// Number of hardware threads, at least 1 (hardware_concurrency may
@@ -74,6 +76,16 @@ class ThreadPool {
 /// throw. The call returns after every iteration has finished.
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn);
+
+/// Cancellable variant: iterations are claimed in increasing index order
+/// from a shared counter; once `token` reports cancellation no further
+/// iteration is claimed (iterations already in flight complete). Because
+/// claims are ordered, the set of executed iterations is always a prefix
+/// [0, k) of the index space; returns k. k == n means the loop ran to
+/// completion. A default token degenerates to ParallelFor.
+size_t ParallelForCancellable(size_t n, size_t num_threads,
+                              const CancellationToken& token,
+                              const std::function<void(size_t)>& fn);
 
 }  // namespace sxnm::util
 

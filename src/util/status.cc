@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace sxnm::util {
 
 const char* StatusCodeName(StatusCode code) {
@@ -16,8 +19,20 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
+}
+
+void StatusCheckFailed(const char* message) {
+  std::fprintf(stderr, "sxnm: fatal: %s\n", message);
+  std::fflush(stderr);
+  std::abort();
 }
 
 std::string Status::ToString() const {

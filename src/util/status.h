@@ -8,7 +8,6 @@
 #ifndef SXNM_UTIL_STATUS_H_
 #define SXNM_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
@@ -24,10 +23,25 @@ enum class StatusCode {
   kNotFound,          // a referenced entity does not exist (path id, ...)
   kFailedPrecondition,// operation not valid in the current state
   kInternal,          // invariant violation inside the library
+  kCancelled,         // the caller requested cancellation mid-run
+  kDeadlineExceeded,  // a configured deadline expired before completion
+  kResourceExhausted, // a configured resource limit (depth, bytes, nodes,
+                      // comparison budget, ...) was reached
 };
 
 /// Returns a short stable name for `code`, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
+
+/// Prints `message` to stderr and aborts. Used for Status/Result invariant
+/// violations: these are hard checks, active in release builds too —
+/// accessing `value()` of an error Result must never be silent UB.
+[[noreturn]] void StatusCheckFailed(const char* message);
+
+namespace internal {
+inline void StatusCheck(bool ok, const char* message) {
+  if (!ok) StatusCheckFailed(message);
+}
+}  // namespace internal
 
 /// A success-or-error value. Cheap to copy on success (empty message).
 class Status {
@@ -36,10 +50,13 @@ class Status {
   Status() : code_(StatusCode::kOk) {}
 
   /// Constructs a status with the given code and message. `code` must not
-  /// be kOk — use the default constructor for success.
+  /// be kOk — use the default constructor for success. Hard-checked
+  /// (aborts with a message) in all build modes.
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {
-    assert(code_ != StatusCode::kOk);
+    internal::StatusCheck(code_ != StatusCode::kOk,
+                          "Status constructed with kOk and a message; use "
+                          "Status::Ok()");
   }
 
   static Status Ok() { return Status(); }
@@ -57,6 +74,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -85,34 +111,36 @@ class Result {
 
   /// Implicit construction from a non-OK status (failure).
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    internal::StatusCheck(
+        !status_.ok(), "Result constructed from OK status without a value");
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  /// Accessors require `ok()`.
+  /// Accessors require `ok()`; hard-checked (abort with message) in all
+  /// build modes — an error Result has no value to hand out.
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return *std::move(value_);
   }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
   const T* operator->() const {
-    assert(ok());
+    CheckHasValue();
     return &*value_;
   }
   T* operator->() {
-    assert(ok());
+    CheckHasValue();
     return &*value_;
   }
 
@@ -120,6 +148,13 @@ class Result {
   T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
 
  private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      StatusCheckFailed(("Result::value() called on error Result: " +
+                         status_.ToString()).c_str());
+    }
+  }
+
   Status status_;
   std::optional<T> value_;
 };

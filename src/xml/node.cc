@@ -10,6 +10,22 @@ Element* Node::AsElement() {
   return IsElement() ? static_cast<Element*>(this) : nullptr;
 }
 
+Element::~Element() {
+  // Detach the subtree into a flat worklist before any child is
+  // destroyed, so destruction never recurses element-per-stack-frame on
+  // deeply nested documents.
+  std::vector<std::unique_ptr<Node>> pending;
+  pending.swap(children_);
+  while (!pending.empty()) {
+    std::unique_ptr<Node> node = std::move(pending.back());
+    pending.pop_back();
+    if (Element* e = node == nullptr ? nullptr : node->AsElement()) {
+      for (auto& child : e->children_) pending.push_back(std::move(child));
+      e->children_.clear();
+    }
+  }
+}
+
 const Element* Node::AsElement() const {
   return IsElement() ? static_cast<const Element*>(this) : nullptr;
 }

@@ -102,6 +102,10 @@ class Element : public Node {
   explicit Element(std::string name)
       : Node(NodeKind::kElement), name_(std::move(name)) {}
 
+  /// Iterative teardown: deeply nested documents (bounded only by
+  /// ParseOptions::max_depth) must not recurse ~unique_ptr chains.
+  ~Element() override;
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <memory>
+#include <utility>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace sxnm::xml {
@@ -11,6 +13,7 @@ namespace {
 
 using util::Result;
 using util::Status;
+using util::StatusCode;
 
 bool IsNameStartChar(char c) {
   return util::IsAsciiAlpha(c) || c == '_' || c == ':' ||
@@ -23,23 +26,56 @@ bool IsNameChar(char c) {
 
 class Parser {
  public:
-  Parser(std::string_view input, const ParseOptions& options)
-      : input_(input), options_(options) {}
+  Parser(std::string_view input, const ParseOptions& options, bool recover,
+         std::vector<Diagnostic>* diagnostics)
+      : input_(input),
+        options_(options),
+        recover_(recover),
+        diagnostics_(diagnostics) {}
 
   Result<Document> Run() {
+    if (options_.max_input_bytes != 0 &&
+        input_.size() > options_.max_input_bytes) {
+      return LimitError("input of " + std::to_string(input_.size()) +
+                        " bytes exceeds max_input_bytes=" +
+                        std::to_string(options_.max_input_bytes));
+    }
+
     Document doc;
     SkipProlog(doc);
 
-    if (AtEnd()) return Error("document has no root element");
-    if (Peek() != '<') return Error("expected '<' at document start");
-
-    auto root = ParseElement();
-    if (!root.ok()) return root.status();
-    doc.SetRoot(std::move(root).value());
+    for (;;) {
+      if (AtEnd()) return Error("document has no root element");
+      if (Peek() != '<') {
+        if (!recover_) return Error("expected '<' at document start");
+        SXNM_RETURN_IF_ERROR(
+            Report(StatusCode::kParseError,
+                   "unexpected content before root element"));
+        while (!AtEnd() && Peek() != '<') Advance();
+        SkipMisc();
+        continue;
+      }
+      auto root = ParseTree();
+      if (root.ok()) {
+        doc.SetRoot(std::move(root).value());
+        break;
+      }
+      // ParseTree recovers internally; an error here is a hard limit, the
+      // diagnostics cap, or (in recovering mode) a malformed root start
+      // tag worth retrying past.
+      if (!recover_ || IsHard(root.status())) return root.status();
+      SXNM_RETURN_IF_ERROR(Report(root.status()));
+      SkipMalformedTag();
+      SkipMisc();
+    }
 
     // Trailing misc: whitespace, comments, PIs.
     SkipMisc();
-    if (!AtEnd()) return Error("content after root element");
+    if (!AtEnd()) {
+      if (!recover_) return Error("content after root element");
+      SXNM_RETURN_IF_ERROR(Report(StatusCode::kParseError,
+                                  "content after root element ignored"));
+    }
     return doc;
   }
 
@@ -69,21 +105,126 @@ class Parser {
     return true;
   }
 
-  bool ConsumeLiteral(std::string_view literal) {
-    if (input_.substr(pos_, literal.size()) != literal) return false;
-    for (size_t i = 0; i < literal.size(); ++i) Advance();
-    return true;
-  }
-
   void SkipWhitespace() {
     while (!AtEnd() && util::IsAsciiSpace(Peek())) Advance();
   }
 
-  Status Error(const std::string& message) const {
+  std::string PosSuffix() const {
     char buf[64];
     std::snprintf(buf, sizeof(buf), " at line %zu, column %zu", line_,
                   column_);
-    return Status::ParseError(message + buf);
+    return buf;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + PosSuffix());
+  }
+
+  /// Hard resource-limit violation; never recovered from.
+  Status LimitError(const std::string& message) const {
+    return Status::ResourceExhausted(message + PosSuffix());
+  }
+
+  static bool IsHard(const Status& status) {
+    return status.code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Records a diagnostic at the current position. Fails (hard) once the
+  /// diagnostics cap is reached — a document drowning in errors is
+  /// rejected rather than scanned to the end.
+  Status Report(StatusCode code, std::string message) {
+    if (diagnostics_->size() >= options_.max_diagnostics) {
+      return LimitError("too many parse diagnostics (max_diagnostics=" +
+                        std::to_string(options_.max_diagnostics) + ")");
+    }
+    diagnostics_->push_back({line_, column_, code, std::move(message)});
+    return Status::Ok();
+  }
+
+  Status Report(const Status& failure) {
+    return Report(failure.code(), failure.message());
+  }
+
+  /// Counts one DOM node against max_nodes. Also the "xml.node"
+  /// fault-injection site used by chaos tests.
+  Status CountNode() {
+    if (util::FaultInjector::Instance().ShouldFail("xml.node")) {
+      return Status::ResourceExhausted(
+          "injected fault: xml.node allocation " +
+          std::to_string(nodes_created_ + 1) + PosSuffix());
+    }
+    ++nodes_created_;
+    if (options_.max_nodes != 0 && nodes_created_ > options_.max_nodes) {
+      return LimitError("node limit exceeded (max_nodes=" +
+                        std::to_string(options_.max_nodes) + ")");
+    }
+    return Status::Ok();
+  }
+
+  Status CheckDepth(size_t depth) const {
+    if (options_.max_depth != 0 && depth > options_.max_depth) {
+      return LimitError("element nesting exceeds max_depth=" +
+                        std::to_string(options_.max_depth));
+    }
+    return Status::Ok();
+  }
+
+  // --- Recovery resynchronization ----------------------------------------
+
+  /// Skips the remainder of a malformed tag: everything up to and
+  /// including the next '>', stopping early at a '<' (the next construct).
+  void SkipMalformedTag() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '>') {
+        Advance();
+        return;
+      }
+      if (c == '<') return;
+      Advance();
+    }
+  }
+
+  /// True when `name` occurs at byte offset `at` followed by a non-name
+  /// character (so "<movie" does not match "<movies").
+  bool MatchesNameAt(size_t at, const std::string& name) const {
+    if (input_.compare(at, name.size(), name) != 0) return false;
+    size_t after = at + name.size();
+    return after >= input_.size() || !IsNameChar(input_[after]);
+  }
+
+  /// Textually skips the subtree of an element named `name` whose start
+  /// tag was malformed: scans forward balancing <name>/</name> pairs
+  /// until the matching end tag closes (or input ends). Self-closing
+  /// occurrences do not change the balance. This is the
+  /// next-sibling resynchronization point of recovering mode.
+  void SkipSubtree(const std::string& name) {
+    size_t depth = 1;
+    while (!AtEnd()) {
+      if (Peek() != '<') {
+        Advance();
+        continue;
+      }
+      if (PeekAt(1) == '/' && MatchesNameAt(pos_ + 2, name)) {
+        while (!AtEnd() && Peek() != '>') Advance();
+        if (!AtEnd()) Advance();
+        if (--depth == 0) return;
+        continue;
+      }
+      if (MatchesNameAt(pos_ + 1, name)) {
+        // A nested same-name start tag; self-closing ones don't nest.
+        size_t scan = pos_ + 1 + name.size();
+        while (scan < input_.size() && input_[scan] != '>' &&
+               input_[scan] != '<') {
+          ++scan;
+        }
+        bool self_closing =
+            scan < input_.size() && input_[scan] == '>' && scan > pos_ &&
+            input_[scan - 1] == '/';
+        if (!self_closing) ++depth;
+      }
+      Advance();
+    }
   }
 
   // --- Prolog / misc -------------------------------------------------------
@@ -95,7 +236,7 @@ class Parser {
         (util::IsAsciiSpace(PeekAt(5)) || PeekAt(5) == '?')) {
       size_t end = input_.find("?>", pos_);
       if (end == std::string_view::npos) {
-        // Malformed declaration; leave it for ParseElement to report.
+        // Malformed declaration; leave it for the element parser to report.
         return;
       }
       std::string decl(input_.substr(pos_, end - pos_));
@@ -254,15 +395,24 @@ class Parser {
     return Attribute{std::move(name).value(), std::move(value)};
   }
 
-  // --- Elements and content ------------------------------------------------
+  // --- Start tags -----------------------------------------------------------
 
-  Result<std::unique_ptr<Element>> ParseElement() {
+  struct StartTag {
+    std::unique_ptr<Element> element;
+    bool self_closing = false;
+  };
+
+  /// Parses "<name attr=... (/)>" from the leading '<'. On failure
+  /// `name_out` still holds the element name if one was parsed — recovery
+  /// uses it to skip the whole subtree.
+  Result<StartTag> ParseStartTag(std::string* name_out) {
     if (!Consume('<')) return Error("expected '<'");
     auto name = ParseName();
     if (!name.ok()) return name.status();
+    if (name_out != nullptr) *name_out = name.value();
+    SXNM_RETURN_IF_ERROR(CountNode());
     auto element = std::make_unique<Element>(std::move(name).value());
 
-    // Attributes.
     for (;;) {
       SkipWhitespace();
       if (AtEnd()) return Error("unterminated start tag");
@@ -273,114 +423,252 @@ class Parser {
       if (element->HasAttribute(attr->name)) {
         return Error("duplicate attribute '" + attr->name + "'");
       }
+      if (options_.max_attr_count != 0 &&
+          element->attributes().size() >= options_.max_attr_count) {
+        return LimitError("attribute count on <" + element->name() +
+                          "> exceeds max_attr_count=" +
+                          std::to_string(options_.max_attr_count));
+      }
       element->SetAttribute(attr->name, attr->value);
     }
 
+    StartTag out;
     if (Consume('/')) {
       if (!Consume('>')) return Error("expected '>' after '/'");
-      return element;  // empty-element tag
+      out.self_closing = true;
+    } else if (!Consume('>')) {
+      return Error("expected '>' to close start tag");
     }
-    if (!Consume('>')) return Error("expected '>' to close start tag");
-
-    SXNM_RETURN_IF_ERROR(ParseContent(element.get()));
-
-    // End tag: "</name>" — '<' and '/' already consumed by ParseContent.
-    auto end_name = ParseName();
-    if (!end_name.ok()) return end_name.status();
-    if (end_name.value() != element->name()) {
-      return Error("mismatched end tag </" + end_name.value() +
-                   ">, expected </" + element->name() + ">");
-    }
-    SkipWhitespace();
-    if (!Consume('>')) return Error("expected '>' in end tag");
-    return element;
+    out.element = std::move(element);
+    return out;
   }
 
-  // Parses children of `parent` until the matching end tag's "</" was
-  // consumed.
-  Status ParseContent(Element* parent) {
+  // --- The iterative element-tree parser -----------------------------------
+
+  /// Parses one element subtree starting at '<'. Maintains an explicit
+  /// open-element stack — nesting depth never consumes machine stack. In
+  /// recovering mode, malformed constructs inside the tree are reported
+  /// and skipped; an error return is then either a malformed *root* start
+  /// tag (the caller resynchronizes and retries) or a hard limit.
+  Result<std::unique_ptr<Element>> ParseTree() {
+    auto root_tag = ParseStartTag(nullptr);
+    if (!root_tag.ok()) return root_tag.status();
+    std::unique_ptr<Element> root = std::move(root_tag->element);
+    if (root_tag->self_closing) return root;
+
+    std::vector<Element*> open = {root.get()};
+    SXNM_RETURN_IF_ERROR(CheckDepth(open.size()));
     std::string text;
-    auto flush_text = [&]() {
-      if (text.empty()) return;
-      if (!options_.skip_whitespace_text ||
-          !util::TrimView(text).empty()) {
-        parent->AddChild(std::make_unique<TextNode>(text));
+
+    // Flushes accumulated character data into the innermost open element.
+    auto flush_text = [&]() -> Status {
+      if (text.empty()) return Status::Ok();
+      if (!options_.skip_whitespace_text || !util::TrimView(text).empty()) {
+        SXNM_RETURN_IF_ERROR(CountNode());
+        open.back()->AddChild(std::make_unique<TextNode>(text));
       }
       text.clear();
+      return Status::Ok();
     };
 
-    for (;;) {
-      if (AtEnd()) return Error("unterminated element <" + parent->name() + ">");
+    while (!open.empty()) {
+      if (AtEnd()) {
+        if (!recover_) {
+          return Error("unterminated element <" + open.back()->name() + ">");
+        }
+        SXNM_RETURN_IF_ERROR(flush_text());
+        for (auto it = open.rbegin(); it != open.rend(); ++it) {
+          SXNM_RETURN_IF_ERROR(
+              Report(StatusCode::kParseError, "unterminated element <" +
+                                                  (*it)->name() +
+                                                  ">, closed at end of input"));
+        }
+        open.clear();
+        return root;
+      }
+
       char c = Peek();
-      if (c == '<') {
-        if (PeekAt(1) == '/') {
-          flush_text();
-          Advance();  // '<'
-          Advance();  // '/'
-          return Status::Ok();
+      if (c != '<') {
+        if (c == '&') {
+          Advance();
+          auto ref = ParseReference();
+          if (ref.ok()) {
+            text += ref.value();
+          } else if (!recover_) {
+            return ref.status();
+          } else {
+            SXNM_RETURN_IF_ERROR(Report(ref.status()));
+            text += '&';  // keep the raw ampersand as character data
+          }
+        } else {
+          text.push_back(c);
+          Advance();
         }
-        if (input_.substr(pos_, 4) == "<!--") {
-          flush_text();
-          size_t end = input_.find("-->", pos_ + 4);
-          if (end == std::string_view::npos) {
-            return Error("unterminated comment");
-          }
-          if (options_.keep_comments) {
-            parent->AddChild(std::make_unique<CommentNode>(
-                std::string(input_.substr(pos_ + 4, end - pos_ - 4))));
-          }
-          while (pos_ < end + 3) Advance();
+        continue;
+      }
+
+      // --- End tag ---------------------------------------------------------
+      if (PeekAt(1) == '/') {
+        SXNM_RETURN_IF_ERROR(flush_text());
+        Advance();  // '<'
+        Advance();  // '/'
+        auto end_name = ParseName();
+        if (!end_name.ok()) {
+          if (!recover_) return end_name.status();
+          SXNM_RETURN_IF_ERROR(Report(end_name.status()));
+          SkipMalformedTag();
           continue;
         }
-        if (input_.substr(pos_, 9) == "<![CDATA[") {
-          flush_text();
-          size_t end = input_.find("]]>", pos_ + 9);
-          if (end == std::string_view::npos) {
-            return Error("unterminated CDATA section");
-          }
-          parent->AddChild(std::make_unique<TextNode>(
-              std::string(input_.substr(pos_ + 9, end - pos_ - 9)),
-              /*cdata=*/true));
-          while (pos_ < end + 3) Advance();
+        SkipWhitespace();
+        if (!Consume('>')) {
+          if (!recover_) return Error("expected '>' in end tag");
+          SXNM_RETURN_IF_ERROR(
+              Report(StatusCode::kParseError, "expected '>' in end tag"));
+          SkipMalformedTag();
+        }
+        if (end_name.value() == open.back()->name()) {
+          open.pop_back();
+          if (open.empty()) return root;
           continue;
         }
-        if (PeekAt(1) == '?') {
-          flush_text();
-          size_t end = input_.find("?>", pos_ + 2);
-          if (end == std::string_view::npos) {
-            return Error("unterminated processing instruction");
+        if (!recover_) {
+          return Error("mismatched end tag </" + end_name.value() +
+                       ">, expected </" + open.back()->name() + ">");
+        }
+        // Recovering: an end tag matching an outer open element implicitly
+        // closes everything inside it; a match-nothing end tag is stray.
+        size_t match = open.size();
+        for (size_t i = open.size(); i-- > 0;) {
+          if (open[i]->name() == end_name.value()) {
+            match = i;
+            break;
           }
-          while (pos_ < end + 2) Advance();
+        }
+        if (match == open.size()) {
+          SXNM_RETURN_IF_ERROR(
+              Report(StatusCode::kParseError,
+                     "stray end tag </" + end_name.value() + ">"));
           continue;
         }
-        flush_text();
-        auto child = ParseElement();
-        if (!child.ok()) return child.status();
-        parent->AddChild(std::move(child).value());
-      } else if (c == '&') {
-        Advance();
-        auto ref = ParseReference();
-        if (!ref.ok()) return ref.status();
-        text += ref.value();
-      } else {
-        text.push_back(c);
-        Advance();
+        while (open.size() > match) {
+          if (open.size() > match + 1) {
+            SXNM_RETURN_IF_ERROR(Report(
+                StatusCode::kParseError,
+                "unterminated element <" + open.back()->name() +
+                    ">, implicitly closed by </" + end_name.value() + ">"));
+          }
+          open.pop_back();
+        }
+        if (open.empty()) return root;
+        continue;
+      }
+
+      // --- Comments, CDATA, processing instructions ------------------------
+      if (input_.substr(pos_, 4) == "<!--") {
+        SXNM_RETURN_IF_ERROR(flush_text());
+        size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) {
+          if (!recover_) return Error("unterminated comment");
+          SXNM_RETURN_IF_ERROR(
+              Report(StatusCode::kParseError, "unterminated comment"));
+          while (!AtEnd()) Advance();
+          continue;
+        }
+        if (options_.keep_comments) {
+          SXNM_RETURN_IF_ERROR(CountNode());
+          open.back()->AddChild(std::make_unique<CommentNode>(
+              std::string(input_.substr(pos_ + 4, end - pos_ - 4))));
+        }
+        while (pos_ < end + 3) Advance();
+        continue;
+      }
+      if (input_.substr(pos_, 9) == "<![CDATA[") {
+        SXNM_RETURN_IF_ERROR(flush_text());
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          if (!recover_) return Error("unterminated CDATA section");
+          SXNM_RETURN_IF_ERROR(
+              Report(StatusCode::kParseError, "unterminated CDATA section"));
+          while (!AtEnd()) Advance();
+          continue;
+        }
+        SXNM_RETURN_IF_ERROR(CountNode());
+        open.back()->AddChild(std::make_unique<TextNode>(
+            std::string(input_.substr(pos_ + 9, end - pos_ - 9)),
+            /*cdata=*/true));
+        while (pos_ < end + 3) Advance();
+        continue;
+      }
+      if (PeekAt(1) == '?') {
+        SXNM_RETURN_IF_ERROR(flush_text());
+        size_t end = input_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) {
+          if (!recover_) return Error("unterminated processing instruction");
+          SXNM_RETURN_IF_ERROR(Report(StatusCode::kParseError,
+                                      "unterminated processing instruction"));
+          while (!AtEnd()) Advance();
+          continue;
+        }
+        while (pos_ < end + 2) Advance();
+        continue;
+      }
+
+      // --- Child start tag -------------------------------------------------
+      SXNM_RETURN_IF_ERROR(flush_text());
+      std::string child_name;
+      auto child = ParseStartTag(&child_name);
+      if (!child.ok()) {
+        if (!recover_ || IsHard(child.status())) return child.status();
+        SXNM_RETURN_IF_ERROR(Report(child.status()));
+        SkipMalformedTag();
+        // If the element's name is known, drop its whole subtree and
+        // resynchronize at the next sibling.
+        if (!child_name.empty()) SkipSubtree(child_name);
+        continue;
+      }
+      Element* raw = child->element.get();
+      open.back()->AddChild(std::move(child->element));
+      if (!child->self_closing) {
+        open.push_back(raw);
+        SXNM_RETURN_IF_ERROR(CheckDepth(open.size()));
       }
     }
+    return root;
   }
 
   std::string_view input_;
   ParseOptions options_;
+  bool recover_ = false;
+  std::vector<Diagnostic>* diagnostics_;  // null in strict mode
   size_t pos_ = 0;
   size_t line_ = 1;
   size_t column_ = 1;
+  size_t nodes_created_ = 0;
 };
 
 }  // namespace
 
+std::string Diagnostic::ToString() const {
+  std::string out = "line " + std::to_string(line) + ", column " +
+                    std::to_string(column) + ": ";
+  out += util::StatusCodeName(code);
+  out += ": ";
+  out += message;
+  return out;
+}
+
 util::Result<Document> Parse(std::string_view input,
                              const ParseOptions& options) {
-  return Parser(input, options).Run();
+  return Parser(input, options, /*recover=*/false, nullptr).Run();
+}
+
+util::Result<RecoveredParse> ParseRecovering(std::string_view input,
+                                             const ParseOptions& options) {
+  RecoveredParse out;
+  auto doc = Parser(input, options, /*recover=*/true, &out.diagnostics).Run();
+  if (!doc.ok()) return doc.status();
+  out.doc = std::move(doc).value();
+  return out;
 }
 
 util::Result<std::string> ReadFileToString(const std::string& path) {
@@ -407,6 +695,13 @@ util::Result<Document> ParseFile(const std::string& path,
   auto data = ReadFileToString(path);
   if (!data.ok()) return data.status();
   return Parse(data.value(), options);
+}
+
+util::Result<RecoveredParse> ParseFileRecovering(const std::string& path,
+                                                 const ParseOptions& options) {
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  return ParseRecovering(data.value(), options);
 }
 
 }  // namespace sxnm::xml

@@ -1,0 +1,371 @@
+// Resource governance of Detector::Run: comparison budgets (direct and
+// deadline-derived), cooperative cancellation, the determinism contract
+// (the shed-work set is a pure function of config + data, identical for
+// any num_threads), and the <limits>/<deadline> config XML round trip.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sxnm/config_xml.h"
+#include "sxnm/detector.h"
+#include "sxnm/sliding_window.h"
+#include "util/cancellation.h"
+#include "xml/parser.h"
+
+namespace sxnm::core {
+namespace {
+
+using util::StatusCode;
+
+// A dataset large enough that budgets below the planned total actually
+// bind: 40 movies, a handful of near-duplicate titles.
+std::string MovieXml() {
+  std::ostringstream out;
+  out << "<db><movies>";
+  for (int i = 0; i < 40; ++i) {
+    out << "<movie year=\"" << (1980 + i % 20) << "\"><title>Film Number "
+        << (i / 2) << (i % 2 == 1 ? "x" : "") << "</title></movie>";
+  }
+  out << "</movies></db>";
+  return out.str();
+}
+
+Config MovieConfig() {
+  auto movie = CandidateBuilder("movie", "db/movies/movie")
+                   .Path(1, "title/text()")
+                   .Path(2, "@year")
+                   .Od(1, 0.8)
+                   .Od(2, 0.2, "numeric:5")
+                   .Key({{1, "K1-K5"}, {2, "D3,D4"}})
+                   .Key({{2, "D3,D4"}, {1, "K1,K2"}})
+                   .Window(10)
+                   .OdThreshold(0.75)
+                   .Build();
+  EXPECT_TRUE(movie.ok()) << movie.status().ToString();
+  Config c;
+  EXPECT_TRUE(c.AddCandidate(std::move(movie).value()).ok());
+  return c;
+}
+
+// Planned pairs of one full pass over the 40-row candidate at window 10.
+size_t OnePassPairs() { return WindowPairCount(40, 10); }
+
+xml::Document ParseMovies() {
+  auto doc = xml::Parse(MovieXml());
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(GovernanceTest, UnlimitedRunIsNotDegraded) {
+  xml::Document doc = ParseMovies();
+  Detector detector(MovieConfig());
+  auto result = detector.Run(doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->degraded());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kOk);
+  EXPECT_TRUE(result->degradation.passes.empty());
+  EXPECT_GT(result->Find("movie")->duplicate_pairs.size(), 0u);
+}
+
+TEST(GovernanceTest, BudgetShedsTailPassesAndShrinksBoundary) {
+  xml::Document doc = ParseMovies();
+  Config config = MovieConfig();
+  // 1.5 passes of budget: pass 1 runs in full, pass 2 shrinks its window.
+  config.mutable_limits().max_comparisons = OnePassPairs() * 3 / 2;
+  Detector detector(config);
+  auto result = detector.Run(doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kResourceExhausted);
+  EXPECT_EQ(result->degradation.comparison_budget, OnePassPairs() * 3 / 2);
+  ASSERT_EQ(result->degradation.passes.size(), 1u);
+  const PassDegradation& pass = result->degradation.passes[0];
+  EXPECT_EQ(pass.candidate, "movie");
+  EXPECT_EQ(pass.key_index, 1u);
+  EXPECT_FALSE(pass.skipped);
+  EXPECT_LT(pass.window_used, 10u);
+  EXPECT_GE(pass.window_used, 2u);
+  EXPECT_GT(pass.pairs_elided, 0u);
+  // The run still did real work within budget.
+  EXPECT_LE(result->Find("movie")->comparisons,
+            result->degradation.comparison_budget);
+}
+
+TEST(GovernanceTest, TinyBudgetSkipsEverythingButStaysOk) {
+  xml::Document doc = ParseMovies();
+  Config config = MovieConfig();
+  config.mutable_limits().max_comparisons = 1;  // below any window-2 pass
+  Detector detector(config);
+  auto result = detector.Run(doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  EXPECT_EQ(result->degradation.PassesSkipped(), 2u);
+  EXPECT_EQ(result->Find("movie")->comparisons, 0u);
+  EXPECT_TRUE(result->Find("movie")->duplicate_pairs.empty());
+}
+
+TEST(GovernanceTest, ShedSetIsIdenticalForAnyThreadCount) {
+  xml::Document doc = ParseMovies();
+  for (size_t budget :
+       {size_t{1}, OnePassPairs() / 2, OnePassPairs() * 3 / 2}) {
+    Config serial = MovieConfig();
+    serial.mutable_limits().max_comparisons = budget;
+    serial.set_num_threads(1);
+    auto a = Detector(serial).Run(doc);
+    ASSERT_TRUE(a.ok());
+
+    Config parallel = MovieConfig();
+    parallel.mutable_limits().max_comparisons = budget;
+    parallel.set_num_threads(8);
+    auto b = Detector(parallel).Run(doc);
+    ASSERT_TRUE(b.ok());
+
+    // Identical degradation set...
+    ASSERT_EQ(a->degradation.passes.size(), b->degradation.passes.size())
+        << "budget " << budget;
+    for (size_t i = 0; i < a->degradation.passes.size(); ++i) {
+      const PassDegradation& pa = a->degradation.passes[i];
+      const PassDegradation& pb = b->degradation.passes[i];
+      EXPECT_EQ(pa.candidate, pb.candidate);
+      EXPECT_EQ(pa.key_index, pb.key_index);
+      EXPECT_EQ(pa.skipped, pb.skipped);
+      EXPECT_EQ(pa.window_used, pb.window_used);
+      EXPECT_EQ(pa.pairs_planned, pb.pairs_planned);
+      EXPECT_EQ(pa.pairs_elided, pb.pairs_elided);
+    }
+    // ...and identical detection output.
+    EXPECT_EQ(a->Find("movie")->duplicate_pairs,
+              b->Find("movie")->duplicate_pairs)
+        << "budget " << budget;
+    EXPECT_EQ(a->Find("movie")->comparisons, b->Find("movie")->comparisons);
+  }
+}
+
+TEST(GovernanceTest, DeadlineDerivedBudgetFlagsDeadlineExceeded) {
+  xml::Document doc = ParseMovies();
+  Config config = MovieConfig();
+  // Deadline × rate = one pass of budget (~50% of the two-pass plan):
+  // deterministic degradation attributed to the deadline.
+  config.mutable_limits().deadline_seconds = 1.0;
+  config.mutable_limits().comparisons_per_second =
+      static_cast<double>(OnePassPairs());
+  Detector detector(config);
+  auto result = detector.Run(doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result->degradation.comparison_budget, OnePassPairs());
+  EXPECT_EQ(result->degradation.PassesSkipped(), 1u);  // pass 2 shed whole
+}
+
+TEST(GovernanceTest, DegradationTotalsMatchRobustCounters) {
+  xml::Document doc = ParseMovies();
+  Config config = MovieConfig();
+  config.mutable_limits().max_comparisons = OnePassPairs() / 2;
+  config.mutable_observability().metrics = true;
+  Detector detector(config);
+  auto result = detector.Run(doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  const DegradationReport& deg = result->degradation;
+  EXPECT_EQ(result->metrics.CounterOr("robust.degraded"), 1u);
+  EXPECT_EQ(result->metrics.CounterOr("robust.passes_skipped"),
+            deg.PassesSkipped());
+  EXPECT_EQ(result->metrics.CounterOr("robust.passes_shrunk"),
+            deg.PassesShrunk());
+  EXPECT_EQ(result->metrics.CounterOr("robust.rows_skipped"),
+            deg.RowsSkipped());
+  EXPECT_EQ(result->metrics.CounterOr("robust.pairs_elided"),
+            deg.PairsElided());
+  // The report embeds the same degradation block.
+  EXPECT_TRUE(result->report.degradation.degraded);
+  EXPECT_EQ(result->report.degradation.PairsElided(), deg.PairsElided());
+}
+
+TEST(GovernanceTest, DegradationSurfacesInTableAndJson) {
+  xml::Document doc = ParseMovies();
+  Config config = MovieConfig();
+  config.mutable_limits().max_comparisons = OnePassPairs() / 2;
+  config.mutable_observability().metrics = true;
+  auto result = Detector(config).Run(doc);
+  ASSERT_TRUE(result.ok());
+  std::string table = result->report.ToTable();
+  EXPECT_NE(table.find("DEGRADED"), std::string::npos);
+  std::ostringstream json;
+  result->report.WriteJson(json);
+  EXPECT_NE(json.str().find("\"degradation\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"degraded\": true"), std::string::npos);
+}
+
+TEST(GovernanceTest, PreCancelledRunReturnsEmptyFlaggedResult) {
+  xml::Document doc = ParseMovies();
+  Detector detector(MovieConfig());
+  util::CancellationSource source;
+  source.RequestCancel();
+  RunOptions options;
+  options.cancellation = source.token();
+  auto result = detector.Run(doc, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kCancelled);
+  EXPECT_EQ(result->Find("movie")->comparisons, 0u);
+  EXPECT_TRUE(result->Find("movie")->duplicate_pairs.empty());
+}
+
+TEST(GovernanceTest, CancellationBeatsBudgetInReasonPrecedence) {
+  xml::Document doc = ParseMovies();
+  Config config = MovieConfig();
+  config.mutable_limits().max_comparisons = 1;
+  util::CancellationSource source;
+  source.RequestCancel();
+  RunOptions options;
+  options.cancellation = source.token();
+  auto result = Detector(config).Run(doc, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kCancelled);
+}
+
+TEST(GovernanceTest, WallClockDeadlineAlreadyExpiredStopsEarly) {
+  // rate = 0 selects cooperative wall-clock mode; an already-expired
+  // deadline must shed all window work but still return well-formed
+  // (possibly empty) results.
+  xml::Document doc = ParseMovies();
+  Config config = MovieConfig();
+  config.mutable_limits().deadline_seconds = 1e-9;
+  config.mutable_limits().comparisons_per_second = 0.0;
+  auto result = Detector(config).Run(doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// RunLimits helpers.
+
+TEST(RunLimitsTest, ResolveComparisonBudgetMergesSources) {
+  RunLimits limits;
+  EXPECT_EQ(limits.ResolveComparisonBudget(), 0u);  // unlimited
+  limits.max_comparisons = 500;
+  EXPECT_EQ(limits.ResolveComparisonBudget(), 500u);
+  limits.deadline_seconds = 0.2;  // 0.2s × 1e6/s = 200k... rate default
+  limits.comparisons_per_second = 1000.0;
+  EXPECT_EQ(limits.ResolveComparisonBudget(), 200u);  // deadline wins
+  limits.max_comparisons = 100;
+  EXPECT_EQ(limits.ResolveComparisonBudget(), 100u);  // cap wins
+}
+
+TEST(RunLimitsTest, ValidateRejectsNegativeGovernance) {
+  RunLimits limits;
+  limits.deadline_seconds = -1.0;
+  EXPECT_EQ(limits.Validate().code(), StatusCode::kInvalidArgument);
+  limits.deadline_seconds = 0.0;
+  limits.comparisons_per_second = -5.0;
+  EXPECT_EQ(limits.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunLimitsTest, ToParseOptionsMirrorsIngestionCaps) {
+  RunLimits limits;
+  limits.max_depth = 7;
+  limits.max_input_bytes = 1024;
+  limits.max_nodes = 99;
+  limits.max_attr_count = 3;
+  xml::ParseOptions options = limits.ToParseOptions();
+  EXPECT_EQ(options.max_depth, 7u);
+  EXPECT_EQ(options.max_input_bytes, 1024u);
+  EXPECT_EQ(options.max_nodes, 99u);
+  EXPECT_EQ(options.max_attr_count, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// <limits>/<deadline> XML round trip and error paths.
+
+constexpr const char* kCandidateXml =
+    R"xml(<candidate name="m" path="a/b" window="4">
+         <paths><path id="1" rel="text()"/></paths>
+         <od><entry pid="1" relevance="1"/></od>
+         <keys><key><part pid="1" pattern="K1"/></key></keys>
+       </candidate>)xml";
+
+TEST(LimitsXmlTest, RoundTripPreservesAllFields) {
+  std::string xml = std::string("<sxnm-config>") +
+                    R"xml(<limits max-depth="64" max-input-bytes="1048576"
+                              max-nodes="5000" max-attrs="16"
+                              max-comparisons="123456" recover="true"/>
+                       <deadline seconds="2.5"
+                                 comparisons-per-second="250000"/>)xml" +
+                    kCandidateXml + "</sxnm-config>";
+  auto config = ConfigFromXmlString(xml);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const RunLimits& limits = config->limits();
+  EXPECT_EQ(limits.max_depth, 64u);
+  EXPECT_EQ(limits.max_input_bytes, 1048576u);
+  EXPECT_EQ(limits.max_nodes, 5000u);
+  EXPECT_EQ(limits.max_attr_count, 16u);
+  EXPECT_EQ(limits.max_comparisons, 123456u);
+  EXPECT_TRUE(limits.recover_parse);
+  EXPECT_DOUBLE_EQ(limits.deadline_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(limits.comparisons_per_second, 250000.0);
+
+  auto again = ConfigFromXmlString(ConfigToXmlString(config.value()));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->limits().max_depth, 64u);
+  EXPECT_EQ(again->limits().max_input_bytes, 1048576u);
+  EXPECT_EQ(again->limits().max_nodes, 5000u);
+  EXPECT_EQ(again->limits().max_attr_count, 16u);
+  EXPECT_EQ(again->limits().max_comparisons, 123456u);
+  EXPECT_TRUE(again->limits().recover_parse);
+  EXPECT_DOUBLE_EQ(again->limits().deadline_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(again->limits().comparisons_per_second, 250000.0);
+}
+
+TEST(LimitsXmlTest, DefaultsEmitNoGovernanceElements) {
+  auto config = ConfigFromXmlString(std::string("<sxnm-config>") +
+                                    kCandidateXml + "</sxnm-config>");
+  ASSERT_TRUE(config.ok());
+  std::string xml = ConfigToXmlString(config.value());
+  EXPECT_EQ(xml.find("<limits"), std::string::npos);
+  EXPECT_EQ(xml.find("<deadline"), std::string::npos);
+}
+
+TEST(LimitsXmlTest, BadSizeAttributeIsParseErrorNamingAttribute) {
+  std::string xml = std::string("<sxnm-config>") +
+                    R"xml(<limits max-nodes="lots"/>)xml" + kCandidateXml +
+                    "</sxnm-config>";
+  auto config = ConfigFromXmlString(xml);
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kParseError);
+  EXPECT_NE(config.status().message().find("'max-nodes'"),
+            std::string::npos);
+  EXPECT_NE(config.status().message().find("lots"), std::string::npos);
+}
+
+TEST(LimitsXmlTest, NegativeDeadlineSecondsIsParseError) {
+  std::string xml = std::string("<sxnm-config>") +
+                    R"xml(<deadline seconds="-3"/>)xml" + kCandidateXml +
+                    "</sxnm-config>";
+  auto config = ConfigFromXmlString(xml);
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kParseError);
+  EXPECT_NE(config.status().message().find("'seconds'"), std::string::npos);
+}
+
+TEST(LimitsXmlTest, MalformedConfigXmlCarriesLineAndColumn) {
+  auto config = ConfigFromXmlString("<sxnm-config>\n  <limits</sxnm-config>");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kParseError);
+  EXPECT_NE(config.status().message().find("at line 2, column "),
+            std::string::npos);
+}
+
+TEST(LimitsXmlTest, WrongRootElementIsParseError) {
+  auto config = ConfigFromXmlString("<not-config/>");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kParseError);
+  EXPECT_NE(config.status().message().find("<sxnm-config>"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sxnm::core

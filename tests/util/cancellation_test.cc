@@ -1,0 +1,84 @@
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sxnm::util {
+namespace {
+
+TEST(CancellationTest, DefaultTokenNeverCancels) {
+  CancellationToken token;
+  EXPECT_FALSE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTest, SourceCancelsAllTokens) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = a;  // copies observe the same flag
+  EXPECT_TRUE(a.can_be_cancelled());
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(source.cancel_requested());
+
+  source.RequestCancel();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+
+  source.RequestCancel();  // idempotent
+  EXPECT_TRUE(a.cancelled());
+}
+
+TEST(CancellationTest, TokenOutlivesSource) {
+  CancellationToken token;
+  {
+    CancellationSource source;
+    token = source.token();
+    source.RequestCancel();
+  }
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTest, CancelVisibleAcrossThreads) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  std::thread canceller([&source] { source.RequestCancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.RemainingSeconds(), 1e9);
+}
+
+TEST(DeadlineTest, InfiniteAliasMatchesDefault) {
+  EXPECT_FALSE(Deadline::Infinite().has_deadline());
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  Deadline deadline = Deadline::After(-1.0);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_LE(deadline.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, ZeroSecondsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::After(0.0).expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline deadline = Deadline::After(3600.0);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.expired());
+  double remaining = deadline.RemainingSeconds();
+  EXPECT_GT(remaining, 3500.0);
+  EXPECT_LE(remaining, 3600.0);
+}
+
+}  // namespace
+}  // namespace sxnm::util

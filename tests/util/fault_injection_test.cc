@@ -1,0 +1,87 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sxnm::util {
+namespace {
+
+TEST(FaultInjectionTest, DisarmedNeverFires) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.DisarmAll();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail("some.site"));
+  }
+}
+
+TEST(FaultInjectionTest, FiresExactlyOnceOnNthHit) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.DisarmAll();
+  injector.Arm("test.site", 3);
+  EXPECT_FALSE(injector.ShouldFail("test.site"));  // hit 1
+  EXPECT_FALSE(injector.ShouldFail("test.site"));  // hit 2
+  EXPECT_TRUE(injector.ShouldFail("test.site"));   // hit 3 fires
+  // One-shot: the site disarms itself after firing.
+  EXPECT_FALSE(injector.ShouldFail("test.site"));
+  EXPECT_FALSE(injector.ShouldFail("test.site"));
+  injector.DisarmAll();
+}
+
+TEST(FaultInjectionTest, SitesAreIndependent) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.DisarmAll();
+  injector.Arm("site.a", 1);
+  EXPECT_FALSE(injector.ShouldFail("site.b"));  // unrelated site unaffected
+  EXPECT_TRUE(injector.ShouldFail("site.a"));
+  injector.DisarmAll();
+}
+
+TEST(FaultInjectionTest, HitCountTracksSinceArm) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.DisarmAll();
+  injector.Arm("count.site", 100);
+  injector.ShouldFail("count.site");
+  injector.ShouldFail("count.site");
+  injector.ShouldFail("count.site");
+  EXPECT_EQ(injector.HitCount("count.site"), 3u);
+  injector.Arm("count.site", 100);  // re-arming resets the counter
+  EXPECT_EQ(injector.HitCount("count.site"), 0u);
+  injector.DisarmAll();
+}
+
+TEST(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.DisarmAll();
+  {
+    ScopedFault fault("scoped.site", 5);  // never reaches hit 5
+    EXPECT_FALSE(injector.ShouldFail("scoped.site"));
+  }
+  // Disarmed on scope exit even though it never fired.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.ShouldFail("scoped.site"));
+  }
+}
+
+TEST(FaultInjectionTest, ConcurrentHitsFireExactlyOnce) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.DisarmAll();
+  injector.Arm("parallel.site", 50);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (injector.ShouldFail("parallel.site")) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(fired.load(), 1);
+  injector.DisarmAll();
+}
+
+}  // namespace
+}  // namespace sxnm::util

@@ -78,5 +78,54 @@ TEST(ParallelForTest, ConcurrentSumMatchesSerial) {
   EXPECT_EQ(sum.load(), static_cast<long>(kN) * (kN - 1) / 2);
 }
 
+TEST(ParallelForCancellableTest, UncancelledRunsEverything) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    std::vector<std::atomic<int>> hits(64);
+    CancellationSource source;
+    size_t executed = ParallelForCancellable(
+        hits.size(), threads, source.token(),
+        [&](size_t i) { hits[i].fetch_add(1); });
+    EXPECT_EQ(executed, hits.size());
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForCancellableTest, PreCancelledExecutesNothing) {
+  CancellationSource source;
+  source.RequestCancel();
+  std::atomic<int> ran{0};
+  size_t executed = ParallelForCancellable(
+      100, 4, source.token(), [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelForCancellableTest, ExecutedSetIsAlwaysAPrefix) {
+  // Cancel mid-flight from inside an iteration; whatever k comes back,
+  // exactly the iterations [0, k) must have run — never a gap.
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    std::vector<std::atomic<int>> hits(512);
+    CancellationSource source;
+    size_t executed = ParallelForCancellable(
+        hits.size(), threads, source.token(), [&](size_t i) {
+          hits[i].fetch_add(1);
+          if (i == 40) source.RequestCancel();
+        });
+    ASSERT_GT(executed, 40u);
+    ASSERT_LE(executed, hits.size());
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), i < executed ? 1 : 0) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForCancellableTest, DefaultTokenDegeneratesToParallelFor) {
+  std::vector<std::atomic<int>> hits(32);
+  size_t executed = ParallelForCancellable(
+      hits.size(), 4, CancellationToken(),
+      [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(executed, hits.size());
+}
+
 }  // namespace
 }  // namespace sxnm::util

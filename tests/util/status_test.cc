@@ -71,5 +71,58 @@ TEST(ResultTest, ReturnIfErrorMacroPropagates) {
   EXPECT_EQ(s.message(), "inner");
 }
 
+// The Status/Result invariants are hard checks — active in every build
+// mode, never compiled-out asserts. Death tests pin down both that the
+// violating path aborts with a diagnostic and that the adjacent legal
+// path stays silent.
+
+using StatusCheckDeathTest = ::testing::Test;
+
+TEST(StatusCheckDeathTest, OkCodeWithMessageAborts) {
+  EXPECT_DEATH(Status(StatusCode::kOk, "not allowed"),
+               "Status constructed with kOk");
+  // Legal neighbors of the violating call do not abort.
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status err(StatusCode::kParseError, "fine");
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(StatusCheckDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>(Status::Ok()),
+               "Result constructed from OK status");
+  Result<int> legal = Status::Internal("fine");
+  EXPECT_FALSE(legal.ok());
+}
+
+TEST(StatusCheckDeathTest, ValueOnErrorResultAborts) {
+  Result<int> error = Status::NotFound("gone");
+  EXPECT_DEATH(error.value(), "Result::value\\(\\) called on error Result");
+  EXPECT_DEATH(*error, "called on error Result");
+  Result<std::string> error_str = Status::NotFound("gone");
+  EXPECT_DEATH(error_str->size(), "called on error Result");
+
+  Result<int> fine = 1;
+  EXPECT_EQ(fine.value(), 1);  // ok path never trips the check
+}
+
+TEST(StatusCheckDeathTest, AbortMessageNamesTheStatus) {
+  Result<int> error = Status::ResourceExhausted("node cap");
+  EXPECT_DEATH(error.value(), "RESOURCE_EXHAUSTED: node cap");
+}
+
+TEST(StatusTest, RobustnessCodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace sxnm::util

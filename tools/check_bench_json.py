@@ -107,6 +107,47 @@ class Checker:
                     self.check_histogram(hist, f"{where}.histograms.{name}")
         return counters
 
+    def check_degradation(self, deg, where, counters=None):
+        """Validate the optional per-engine governance block.
+
+        Present since the resource-governance layer: totals of shed work
+        plus the reason. An undegraded run must report zero everywhere,
+        and when the robust.* counters are in the metrics registry they
+        must agree with these totals.
+        """
+        degraded = self.require(deg, "degraded", (bool,), where)
+        reason = self.require(deg, "reason", (str,), where)
+        self.check_nonneg(deg, "comparison_budget", where)
+        totals = {}
+        for key in ("passes_skipped", "passes_shrunk", "rows_skipped",
+                    "pairs_elided"):
+            totals[key] = self.check_nonneg(deg, key, where)
+        if degraded is False:
+            if reason is not None and reason != "OK":
+                self.error(where,
+                           f"undegraded run must have reason OK, got {reason}")
+            for key, value in totals.items():
+                if isinstance(value, int) and value != 0:
+                    self.error(where,
+                               f"undegraded run must shed nothing, "
+                               f"'{key}' is {value}")
+        elif degraded is True and reason == "OK":
+            self.error(where, "degraded run must name a non-OK reason")
+        if isinstance(counters, dict) and "robust.degraded" in counters:
+            if degraded is not None:
+                flagged = counters.get("robust.degraded")
+                if isinstance(flagged, int) and bool(flagged) != degraded:
+                    self.error(where,
+                               "'degraded' disagrees with counter "
+                               f"robust.degraded: {degraded} != {flagged}")
+            for key, value in totals.items():
+                counter = counters.get(f"robust.{key}")
+                if isinstance(value, int) and isinstance(counter, int) \
+                        and value != counter:
+                    self.error(where,
+                               f"'{key}' disagrees with counter "
+                               f"robust.{key}: {value} != {counter}")
+
     def check_histogram(self, hist, where):
         for field in HISTOGRAM_FIELDS:
             self.check_nonneg(hist, field, where, types=(int, float))
@@ -152,6 +193,11 @@ class Checker:
             if metrics is None:
                 continue
             counters = self.check_metrics(metrics, f"{where}.metrics")
+            if "degradation" in engine:  # optional governance block
+                deg = self.require(engine, "degradation", (dict,), where)
+                if deg is not None:
+                    self.check_degradation(deg, f"{where}.degradation",
+                                           counters)
             if counters is None or comparisons is None:
                 continue
             unique = counters.get("sw.unique_comparisons")
