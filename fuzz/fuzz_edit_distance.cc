@@ -1,0 +1,48 @@
+// Fuzz target for the edit-distance kernels: the bit-parallel Myers
+// implementation must agree with the classic row-DP reference on every
+// input (any byte values, including NULs and high-bit bytes), and the
+// bounded variant must honor its min(distance, limit + 1) contract for a
+// spread of limits. Input format: two length-prefix bytes select the
+// split point between the two strings; the payload is capped so replay
+// stays fast even on adversarially long corpus entries.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "text/edit_distance.h"
+#include "text/myers.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  size_t split_seed = (size_t(data[0]) << 8) | data[1];
+  data += 2;
+  size -= 2;
+  size = std::min<size_t>(size, 1024);
+
+  size_t split = size == 0 ? 0 : split_seed % (size + 1);
+  std::string_view a(reinterpret_cast<const char*>(data), split);
+  std::string_view b(reinterpret_cast<const char*>(data) + split,
+                     size - split);
+
+  size_t reference = sxnm::text::LevenshteinDistance(a, b);
+  if (sxnm::text::MyersDistance(a, b) != reference) __builtin_trap();
+
+  for (size_t limit : {size_t{0}, size_t{2}, size_t{7}, size_t{64},
+                       size_t{300}}) {
+    size_t bounded = sxnm::text::MyersBoundedDistance(a, b, limit);
+    if (bounded != std::min(reference, limit + 1)) __builtin_trap();
+  }
+
+  // The similarity wrapper's decision must match the exact similarity:
+  // never pruned when the true value clears the threshold.
+  constexpr double kMinSim = 0.8;
+  bool pruned = false;
+  double bounded_sim =
+      sxnm::text::BoundedEditSimilarity(a, b, kMinSim, &pruned);
+  double exact_sim = sxnm::text::EditSimilarity(a, b);
+  if (pruned && exact_sim >= kMinSim) __builtin_trap();
+  if (!pruned && bounded_sim != exact_sim) __builtin_trap();
+  return 0;
+}

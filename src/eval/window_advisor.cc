@@ -55,7 +55,7 @@ util::Result<WindowAdvice> AdviseWindow(const core::Config& config,
 
   // OD-only similarity as the duplicate proxy (descendant clusters do not
   // exist yet when one tunes the window).
-  core::SimilarityMeasure measure(*cand, instances, {});
+  core::SimilarityMeasure measure(*cand, instances, {}, &gk.od_pool);
   for (size_t s = 0; s < sample; ++s) {
     size_t a = population[s];
     for (size_t b = 0; b < n; ++b) {

@@ -99,7 +99,8 @@ util::Result<DetectionResult> AllPairsDetector::Run(
         child_sets.push_back(&cluster_sets[child]);
       }
     }
-    SimilarityMeasure measure(cand, instances, std::move(child_sets));
+    SimilarityMeasure measure(cand, instances, std::move(child_sets),
+                              &gk[t].od_pool);
 
     CandidateResult cand_result;
     cand_result.name = cand.name;
@@ -178,7 +179,7 @@ util::Result<DetectionResult> TopDownDetector::Run(
     const CandidateInstances& instances = forest.candidates()[t];
     const CandidateConfig& cand = *instances.config;
     // No descendant information in top-down order.
-    SimilarityMeasure measure(cand, instances, {});
+    SimilarityMeasure measure(cand, instances, {}, &gk[t].od_pool);
 
     CandidateResult cand_result;
     cand_result.name = cand.name;

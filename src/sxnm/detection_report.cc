@@ -15,6 +15,9 @@ void PassStats::Accumulate(const PassStats& other) {
   ed_bailouts += other.ed_bailouts;
   desc_invocations += other.desc_invocations;
   desc_short_circuits += other.desc_short_circuits;
+  verdict_cache_hits += other.verdict_cache_hits;
+  interned_equal += other.interned_equal;
+  myers_words += other.myers_words;
   wall_seconds += other.wall_seconds;
 }
 
@@ -108,6 +111,9 @@ std::vector<std::string> StatsCells(const PassStats& s) {
           std::to_string(s.ed_bailouts),
           std::to_string(s.desc_invocations),
           std::to_string(s.desc_short_circuits),
+          std::to_string(s.verdict_cache_hits),
+          std::to_string(s.interned_equal),
+          std::to_string(s.myers_words),
           Ms(s.wall_seconds)};
 }
 
@@ -118,6 +124,9 @@ void WriteStatsJson(std::ostream& os, const PassStats& s) {
      << ", \"ed_bailouts\": " << s.ed_bailouts
      << ", \"desc_invocations\": " << s.desc_invocations
      << ", \"desc_short_circuits\": " << s.desc_short_circuits
+     << ", \"verdict_cache_hits\": " << s.verdict_cache_hits
+     << ", \"interned_equal\": " << s.interned_equal
+     << ", \"myers_words\": " << s.myers_words
      << ", \"wall_seconds\": " << s.wall_seconds << "}";
 }
 
@@ -175,6 +184,7 @@ std::string DetectionReport::ToTable() const {
   util::TablePrinter table({"candidate", "pass", "instances", "windowed",
                             "prepass_skips", "comparisons", "hits",
                             "ed_bailouts", "desc_jaccard", "desc_shortcut",
+                            "cache_hits", "interned_eq", "myers_words",
                             "wall_ms"});
   for (const Row& row : rows) {
     std::vector<std::string> cells = {row.candidate,

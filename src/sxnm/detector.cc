@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -12,6 +13,8 @@
 #include "sxnm/similarity_measure.h"
 #include "sxnm/sliding_window.h"
 #include "sxnm/transitive_closure.h"
+#include "sxnm/verdict_cache.h"
+#include "text/myers.h"
 #include "util/cancellation.h"
 #include "util/fault_injection.h"
 #include "util/parallel.h"
@@ -86,6 +89,11 @@ struct CandidateRun {
   const GkTable* table = nullptr;
   std::unique_ptr<SimilarityMeasure> measure;
 
+  // Cross-pass verdict cache, shared by all of this candidate's window
+  // passes (null when fewer than two passes could share a pair, or fast
+  // paths are off). Internally synchronized.
+  std::unique_ptr<VerdictCache> verdict_cache;
+
   // False when key generation for this candidate was cut off by
   // cancellation: every pass is then skipped (a partial GK relation would
   // make the windowing depend on where the cut landed).
@@ -120,34 +128,65 @@ struct CandidateRun {
 // normalized OD matches an earlier instance's to the group's first
 // instance (the closure expands the group).
 void RunExactOdPrepass(CandidateRun& run) {
-  std::map<std::string, size_t> first_of;
-  for (const GkRow& row : run.table->rows) {
-    std::string key;
-    for (size_t i = 0; i < row.ods.size(); ++i) {
-      // The normalized ODs are precomputed at key generation; rows built
-      // by hand may lack them.
-      key += i < row.norm_ods.size()
-                 ? row.norm_ods[i]
-                 : util::ToLower(util::NormalizeWhitespace(row.ods[i]));
-      key += '\x1f';
+  const GkTable& table = *run.table;
+
+  // Fast path: with every row's normalized ODs interned, two OD tuples
+  // are byte-identical iff their pool-ID tuples match, so the group key
+  // is the raw ID bytes — no string assembly, no byte comparisons.
+  bool all_interned = true;
+  for (const GkRow& row : table.rows) {
+    if (row.norm_ods.size() != row.ods.size()) {
+      all_interned = false;
+      break;
     }
-    auto [it, inserted] = first_of.emplace(std::move(key), row.ordinal);
+  }
+  auto group = [&run](auto& first_of, auto&& key, size_t ordinal) {
+    auto [it, inserted] =
+        first_of.emplace(std::forward<decltype(key)>(key), ordinal);
     if (!inserted) {
-      OrdinalPair pair = std::minmax(it->second, row.ordinal);
+      OrdinalPair pair = std::minmax(it->second, ordinal);
       run.prepass_pairs.insert(PackPair(pair));
       run.prepass_accepted.push_back(pair);
     }
+  };
+  if (all_interned) {
+    std::unordered_map<std::string, size_t> first_of;
+    first_of.reserve(table.rows.size());
+    std::string key;
+    for (const GkRow& row : table.rows) {
+      key.clear();
+      for (const OdRef& ref : row.norm_ods) {
+        uint32_t id = ref.id;
+        key.append(reinterpret_cast<const char*>(&id), sizeof(id));
+      }
+      group(first_of, key, row.ordinal);
+    }
+    return;
+  }
+
+  // Rows built by hand may lack interned ODs; normalize on the fly.
+  std::map<std::string, size_t> first_of;
+  for (const GkRow& row : table.rows) {
+    std::string key;
+    for (size_t i = 0; i < row.ods.size(); ++i) {
+      key += util::ToLower(util::NormalizeWhitespace(row.ods[i]));
+      key += '\x1f';
+    }
+    group(first_of, std::move(key), row.ordinal);
   }
 }
 
 // One window pass: sorts the GK relation by the pass key and compares
 // every windowed pair, buffering (pair, verdict) locally. Pairs already
 // accepted by the exact-OD pre-pass are skipped, exactly as the serial
-// detector skips pairs in its `compared` set. Cross-pass duplicates are
-// *not* filtered here — the deterministic merge drops them — so a pair
-// shared by two key passes is compared twice when the passes run
-// concurrently; the verdict is a pure function of the pair, making the
-// redundant work invisible in the output.
+// detector skips pairs in its `compared` set. A pair windowed by more
+// than one key pass is classified exactly once: the first pass to reach
+// it through the candidate's shared verdict cache owns the comparison,
+// every later pass reuses the published verdict (waiting briefly when
+// the owner is mid-computation on another worker). The verdict is a pure
+// function of the pair, so which pass wins the claim is invisible in the
+// output; without a cache each pass simply computes its own verdicts and
+// the deterministic merge drops the repeats.
 void RunWindowPass(CandidateRun& run, size_t key_index,
                    const util::CancellationToken& token,
                    const util::Deadline& deadline, bool interruptible,
@@ -173,20 +212,42 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   std::vector<size_t> order = table.SortedOrder(key_index);
   std::vector<PassHit>& hits = run.pass_hits[key_index];
   PassStats& stats = run.pass_stats[key_index];
+  VerdictCache* cache = run.verdict_cache.get();
+  // The whole pass runs on one worker thread, so the thread-local Myers
+  // word count brackets exactly this pass's kernel work.
+  const uint64_t myers_before = text::ThreadMyersStats().words;
   auto visit = [&](size_t a, size_t b) {
     OrdinalPair pair = std::minmax(a, b);
-    if (run.prepass_pairs.count(PackPair(pair)) != 0) {
+    uint64_t packed = PackPair(pair);
+    if (run.prepass_pairs.count(packed) != 0) {
       ++stats.prepass_skips;
       return;
     }
-    SimilarityVerdict verdict = run.measure->CompareFast(
-        table.rows[pair.first], table.rows[pair.second]);
+    VerdictCache::Lookup lookup;
+    if (cache != nullptr) lookup = cache->AcquireOrWait(packed);
+    bool is_duplicate;
+    if (cache != nullptr && !lookup.owner) {
+      // Another pass already owns this pair's classification. The hit
+      // still counts as a comparison — `comparisons` counts pair
+      // classifications (pairs_windowed == comparisons + prepass_skips
+      // must keep holding) — while the kernel counters below only ever
+      // count the owning computation, keeping their totals equal to the
+      // serial engine's unique work for any thread count.
+      ++stats.verdict_cache_hits;
+      is_duplicate = lookup.is_duplicate;
+    } else {
+      SimilarityVerdict verdict = run.measure->CompareFast(
+          table.rows[pair.first], table.rows[pair.second]);
+      if (cache != nullptr) cache->Publish(lookup, verdict.is_duplicate);
+      is_duplicate = verdict.is_duplicate;
+      if (verdict.pruned) ++stats.ed_bailouts;
+      if (verdict.desc_evaluated) ++stats.desc_invocations;
+      if (verdict.desc_short_circuit) ++stats.desc_short_circuits;
+      stats.interned_equal += verdict.interned_equal;
+    }
     ++stats.comparisons;
-    if (verdict.is_duplicate) ++stats.hits;
-    if (verdict.pruned) ++stats.ed_bailouts;
-    if (verdict.desc_evaluated) ++stats.desc_invocations;
-    if (verdict.desc_short_circuit) ++stats.desc_short_circuits;
-    hits.push_back({pair, verdict.is_duplicate});
+    if (is_duplicate) ++stats.hits;
+    hits.push_back({pair, is_duplicate});
   };
   // A shrunk boundary pass always runs the plain fixed window: adaptive
   // extension would overrun the budget it was shrunk to fit.
@@ -212,6 +273,7 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   } else {
     stats.pairs_windowed = ForEachWindowPair(order, plan.window, visit);
   }
+  stats.myers_words = text::ThreadMyersStats().words - myers_before;
   stats.wall_seconds = watch.ElapsedSeconds();
 
   // Publish from the worker thread itself: each add lands on the worker's
@@ -224,6 +286,9 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
     metrics.counter("sw.ed_bailouts").Add(stats.ed_bailouts);
     metrics.counter("sw.desc_jaccard").Add(stats.desc_invocations);
     metrics.counter("sw.desc_short_circuits").Add(stats.desc_short_circuits);
+    metrics.counter("sw.verdict_cache_hits").Add(stats.verdict_cache_hits);
+    metrics.counter("sw.interned_equal").Add(stats.interned_equal);
+    metrics.counter("text.myers_words").Add(stats.myers_words);
     metrics.histogram("sw.pass_seconds", obs::DefaultTimeBounds())
         .Observe(stats.wall_seconds);
   }
@@ -235,7 +300,9 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
 // Deterministic merge: replays the pass buffers in key order against a
 // flat hash set, so the accepted pairs, their order, and the comparison
 // count are those of the serial single-pass-at-a-time detector no matter
-// how the passes were interleaved across threads.
+// how the passes were interleaved across threads. Verdict-cache hits
+// record the same (pair, verdict) entries as owned computations, so the
+// replay never needs to know which pass actually ran the kernel.
 void MergePasses(CandidateRun& run, CandidateResult& result,
                  obs::MetricsRegistry& metrics) {
   std::unordered_set<uint64_t> seen = run.prepass_pairs;
@@ -404,7 +471,8 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
         }
       }
       run.measure = std::make_unique<SimilarityMeasure>(
-          *run.cand, *run.instances, std::move(child_sets));
+          *run.cand, *run.instances, std::move(child_sets),
+          &run.table->od_pool);
       run.kg_ok = kg_done[run.index] != 0;
 
       if (run.cand->exact_od_prepass && run.kg_ok) RunExactOdPrepass(run);
@@ -448,6 +516,26 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
           }
         }
         pass_tasks.emplace_back(r, k);
+      }
+
+      // Cross-pass verdict cache: only pays off when at least two passes
+      // can window the same pair. Sized from each planned pass's
+      // worst-case enumeration (adaptive passes may extend any window up
+      // to max_window), so AcquireOrWait can never run out of slots.
+      if (run.cand->enable_fast_paths && run.kg_ok && num_keys >= 2) {
+        size_t distinct_bound = 0;
+        for (const PassPlan& plan : run.plans) {
+          if (plan.skip) continue;
+          size_t w = plan.window;
+          if (run.cand->window_policy == WindowPolicy::kAdaptivePrefix &&
+              !plan.shrunk) {
+            w = std::max(w, run.cand->max_window);
+          }
+          distinct_bound += WindowPairCount(n_inst, w);
+        }
+        if (distinct_bound > 0) {
+          run.verdict_cache = std::make_unique<VerdictCache>(distinct_bound);
+        }
       }
     }
 

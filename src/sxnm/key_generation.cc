@@ -96,8 +96,8 @@ util::Result<KeyGenResult> GenerateKeysImpl(
     if (measure) norm_watch.Resume();
     for (const OdEntry& od : candidate.od) {
       row.ods.push_back(value_of(od.pid));
-      row.norm_ods.push_back(
-          util::ToLower(util::NormalizeWhitespace(row.ods.back())));
+      row.norm_ods.push_back(table.od_pool.Intern(
+          util::ToLower(util::NormalizeWhitespace(row.ods.back()))));
     }
     if (measure) norm_watch.Pause();
 
@@ -111,6 +111,8 @@ util::Result<KeyGenResult> GenerateKeysImpl(
     metrics->counter("kg.od_values").Add(table.rows.size() * table.num_od);
     metrics->counter("kg.od_normalize_us")
         .Add(static_cast<uint64_t>(norm_watch.ElapsedSeconds() * 1e6));
+    metrics->counter("kg.od_pool_strings").Add(table.od_pool.size());
+    metrics->counter("kg.od_pool_bytes").Add(table.od_pool.arena_bytes());
   }
   KeyGenResult out;
   out.table = std::move(table);

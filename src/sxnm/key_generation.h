@@ -12,6 +12,7 @@
 
 #include "sxnm/candidate_tree.h"
 #include "sxnm/config.h"
+#include "sxnm/od_pool.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 #include "xml/node.h"
@@ -30,11 +31,12 @@ struct GkRow {
   std::vector<std::string> ods;   // one per OdEntry, in definition order
 
   /// Lowercased, whitespace-collapsed `ods`, computed once at key
-  /// generation so the default "edit" φ^OD never re-normalizes inside the
-  /// O(n·w) comparison loop. Parallel to `ods`; may be empty on rows
-  /// constructed by hand (the comparison kernels then fall back to
-  /// normalizing on the fly).
-  std::vector<std::string> norm_ods;
+  /// generation and interned into the table's OdPool so the default
+  /// "edit" φ^OD never re-normalizes inside the O(n·w) comparison loop
+  /// and equal values compare by ID without touching bytes. Parallel to
+  /// `ods`; may be empty on rows constructed by hand (the comparison
+  /// kernels then fall back to normalizing on the fly).
+  std::vector<OdRef> norm_ods;
 };
 
 /// The GK relation of one candidate.
@@ -42,6 +44,9 @@ struct GkTable {
   std::vector<GkRow> rows;
   size_t num_keys = 0;
   size_t num_od = 0;
+
+  /// Interning pool the rows' `norm_ods` references resolve against.
+  OdPool od_pool;
 
   /// Row indices sorted lexicographically by keys[key_index]
   /// (stable: ties keep instance order). `key_index < num_keys`.
@@ -56,8 +61,10 @@ struct GkTable {
 /// produces poorly sorted keys — Fig. 4 discussion). OD values are the
 /// first value of each OD path, empty when the path selects nothing.
 /// With a non-null `metrics` registry, key generation contributes the
-/// counters kg.rows, kg.keys_emitted, kg.od_values, and kg.od_normalize_us
-/// (time spent lowercasing / whitespace-collapsing OD values, µs).
+/// counters kg.rows, kg.keys_emitted, kg.od_values, kg.od_normalize_us
+/// (time spent lowercasing / whitespace-collapsing OD values, µs),
+/// kg.od_pool_strings (distinct interned normalized values), and
+/// kg.od_pool_bytes (interning arena size).
 GkTable GenerateKeys(const CandidateConfig& candidate,
                      const std::vector<const xml::Element*>& elements,
                      const std::vector<xml::ElementId>& eids,

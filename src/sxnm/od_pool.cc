@@ -1,0 +1,20 @@
+#include "sxnm/od_pool.h"
+
+#include <cassert>
+
+namespace sxnm::core {
+
+OdRef OdPool::Intern(std::string_view value) {
+  assert(value.size() <= UINT32_MAX);
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    assert(arena_.size() + value.size() <= UINT32_MAX);
+    uint32_t id = static_cast<uint32_t>(offsets_.size());
+    offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+    arena_.append(value);
+    it = index_.emplace(std::string(value), id).first;
+  }
+  return OdRef{it->second, static_cast<uint32_t>(value.size())};
+}
+
+}  // namespace sxnm::core

@@ -1,0 +1,67 @@
+// Per-candidate interning pool for normalized OD values. Dirty XML data
+// is highly repetitive — the same normalized strings recur across
+// records — so key generation interns each value once and GK rows store
+// compact (id, length) references instead of owning strings. Equal IDs
+// mean byte-identical values, which lets the comparison kernel score such
+// component pairs 1.0 without touching any bytes; unequal IDs resolve to
+// contiguous arena views for the edit-distance kernel.
+
+#ifndef SXNM_SXNM_OD_POOL_H_
+#define SXNM_SXNM_OD_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sxnm::core {
+
+/// Interned reference to one normalized OD value: the pool-stable ID plus
+/// the value's byte length (kept inline so length-based pruning and
+/// empty checks never touch the pool).
+struct OdRef {
+  uint32_t id = 0;
+  uint32_t length = 0;
+};
+
+/// Append-only string pool. IDs are dense (0, 1, 2, ...) in first-intern
+/// order and stable for the pool's lifetime; the backing arena keeps all
+/// distinct values contiguous. Not thread-safe for interning; concurrent
+/// read-only View calls are safe once building is done.
+class OdPool {
+ public:
+  /// Returns the existing reference when `value` was interned before,
+  /// otherwise appends it to the arena and assigns the next ID.
+  OdRef Intern(std::string_view value);
+
+  /// The interned bytes of `ref`. `ref` must come from this pool.
+  std::string_view View(OdRef ref) const {
+    return std::string_view(arena_).substr(offsets_[ref.id], ref.length);
+  }
+
+  /// Number of distinct interned values.
+  size_t size() const { return offsets_.size(); }
+
+  /// Bytes held by the arena (distinct values only).
+  size_t arena_bytes() const { return arena_.size(); }
+
+ private:
+  // Heterogeneous lookup: Intern probes with the string_view directly and
+  // only materializes a std::string for genuinely new values.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::string arena_;
+  std::vector<uint32_t> offsets_;  // offsets_[id]: start of the value
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+      index_;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_OD_POOL_H_

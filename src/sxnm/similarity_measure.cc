@@ -33,10 +33,11 @@ size_t SortedOverlap(const std::vector<int>& a, const std::vector<int>& b) {
 
 SimilarityMeasure::SimilarityMeasure(
     const CandidateConfig& config, const CandidateInstances& instances,
-    std::vector<const ClusterSet*> child_cluster_sets)
+    std::vector<const ClusterSet*> child_cluster_sets, const OdPool* od_pool)
     : config_(config),
       instances_(instances),
-      child_cluster_sets_(std::move(child_cluster_sets)) {
+      child_cluster_sets_(std::move(child_cluster_sets)),
+      od_pool_(od_pool) {
   assert(child_cluster_sets_.empty() ||
          child_cluster_sets_.size() == instances_.child_types.size());
 
@@ -65,15 +66,24 @@ SimilarityMeasure::SimilarityMeasure(
 
 double SimilarityMeasure::ComponentSimilarity(const GkRow& a, const GkRow& b,
                                               size_t i, double min_sim,
-                                              bool* pruned_out) const {
-  if (config_.enable_fast_paths && od_is_norm_edit_[i] &&
+                                              bool* pruned_out,
+                                              size_t* interned_out) const {
+  if (config_.enable_fast_paths && od_is_norm_edit_[i] && od_pool_ != nullptr &&
       a.norm_ods.size() == a.ods.size() &&
       b.norm_ods.size() == b.ods.size()) {
+    const OdRef ra = a.norm_ods[i];
+    const OdRef rb = b.norm_ods[i];
+    if (ra.id == rb.id) {
+      // Interned-equal: byte-identical normalized values, so φ^edit is
+      // exactly 1.0 (distance 0) — same result the kernel would produce.
+      if (interned_out != nullptr) ++*interned_out;
+      return 1.0;
+    }
     // "edit" is NormalizedEditSimilarity: lowercase + collapse whitespace,
     // then plain edit similarity. The normalization already happened at
-    // key generation, so only the (bounded) DP remains.
-    return text::BoundedEditSimilarity(a.norm_ods[i], b.norm_ods[i], min_sim,
-                                       pruned_out);
+    // key generation, so only the (bounded) distance kernel remains.
+    return text::BoundedEditSimilarity(od_pool_->View(ra), od_pool_->View(rb),
+                                       min_sim, pruned_out);
   }
   return config_.od[i].similarity(a.ods[i], b.ods[i]);
 }
@@ -89,7 +99,8 @@ double SimilarityMeasure::OdSimilarity(const GkRow& a, const GkRow& b) const {
 
 double SimilarityMeasure::OdSimilarityBounded(const GkRow& a, const GkRow& b,
                                               double min_required,
-                                              bool* pruned_out) const {
+                                              bool* pruned_out,
+                                              size_t* interned_out) const {
   if (pruned_out != nullptr) *pruned_out = false;
 
   double total_weight = 0.0;
@@ -116,7 +127,8 @@ double SimilarityMeasure::OdSimilarityBounded(const GkRow& a, const GkRow& b,
     }
 
     bool comp_pruned = false;
-    double s = ComponentSimilarity(a, b, i, comp_min, &comp_pruned);
+    double s = ComponentSimilarity(a, b, i, comp_min, &comp_pruned,
+                                   interned_out);
     sim += od.relevance * s;
 
     if (min_required > 0.0) {
@@ -288,7 +300,8 @@ SimilarityVerdict SimilarityMeasure::CompareImpl(const GkRow& a,
 
   double min_od = bounded ? MinUsefulOd(desc_possible) : 0.0;
   bool pruned = false;
-  double od = OdSimilarityBounded(a, b, min_od, &pruned);
+  double od = OdSimilarityBounded(a, b, min_od, &pruned,
+                                  &verdict.interned_equal);
   verdict.od_sim = od;
   if (pruned) {
     // Even the upper bound stays below every branch's requirement: not a

@@ -41,6 +41,8 @@ struct SimilarityVerdict {
   bool desc_evaluated = false;      // the descendant Jaccard actually ran
   bool desc_short_circuit = false;  // descendants were available but the
                                     // OD bounds alone fixed the verdict
+  size_t interned_equal = 0;        // OD components scored 1.0 via interned
+                                    // ID equality, no bytes touched
 };
 
 /// Compares instances of one candidate. Descendant information is
@@ -57,9 +59,15 @@ class SimilarityMeasure {
   /// `instances.child_types`. Construction precomputes the per-ordinal
   /// sorted, deduplicated descendant cluster-ID lists (the l_e of Def. 3),
   /// so per-pair descendant comparison is a linear merge.
+  ///
+  /// `od_pool` (when non-null, must outlive this object) is the pool the
+  /// rows' interned `norm_ods` resolve against — normally the GkTable's
+  /// own pool. Without a pool the edit fast path falls back to on-the-fly
+  /// normalization of the raw OD values.
   SimilarityMeasure(const CandidateConfig& config,
                     const CandidateInstances& instances,
-                    std::vector<const ClusterSet*> child_cluster_sets);
+                    std::vector<const ClusterSet*> child_cluster_sets,
+                    const OdPool* od_pool = nullptr);
 
   /// Weighted φ^OD similarity of two GK rows (Def. 2). Relevancies are
   /// normalized to sum to 1 over the *comparable* components: entries
@@ -96,12 +104,15 @@ class SimilarityMeasure {
                                 bool bounded) const;
 
   /// One φ^OD component. When the entry uses the default "edit" function
-  /// and both rows carry precomputed normalized ODs (and fast paths are
-  /// enabled), this runs the bounded edit-distance kernel: the result is
-  /// exact whenever it is >= `min_sim`; otherwise `*pruned_out` is set and
-  /// the result is an upper bound. Other φ functions are always exact.
+  /// and both rows carry interned normalized ODs (and fast paths are
+  /// enabled), equal pool IDs score exactly 1.0 without touching bytes
+  /// (counted into `*interned_out` when non-null); unequal IDs run the
+  /// bounded edit-distance kernel: the result is exact whenever it is
+  /// >= `min_sim`; otherwise `*pruned_out` is set and the result is an
+  /// upper bound. Other φ functions are always exact.
   double ComponentSimilarity(const GkRow& a, const GkRow& b, size_t i,
-                             double min_sim, bool* pruned_out) const;
+                             double min_sim, bool* pruned_out,
+                             size_t* interned_out = nullptr) const;
 
   /// OD similarity that bails out once even a perfect score on the
   /// remaining components cannot lift the renormalized weighted sum to
@@ -110,7 +121,8 @@ class SimilarityMeasure {
   /// requirement used by the caller). `min_required <= 0` disables
   /// pruning.
   double OdSimilarityBounded(const GkRow& a, const GkRow& b,
-                             double min_required, bool* pruned_out) const;
+                             double min_required, bool* pruned_out,
+                             size_t* interned_out = nullptr) const;
 
   /// Smallest OD similarity at which the pair could still be classified a
   /// duplicate in *some* branch of the combine mode (descendants at their
@@ -126,6 +138,7 @@ class SimilarityMeasure {
   const CandidateConfig& config_;
   const CandidateInstances& instances_;
   std::vector<const ClusterSet*> child_cluster_sets_;
+  const OdPool* od_pool_ = nullptr;
 
   /// desc_cids_[slot][ordinal]: sorted unique cluster IDs of the
   /// instance's nearest descendants of child type `slot`.

@@ -1,0 +1,72 @@
+// Cross-pass verdict cache for the sliding-window phase. With k > 1 keys
+// the same instance pair frequently falls into a window of more than one
+// key pass; the seed engine classified such pairs once per pass. The
+// cache records each pair's verdict the first time *any* pass computes
+// it, so every later pass — possibly running concurrently on another
+// worker — reuses the classification instead of re-running the
+// comparison kernel.
+//
+// Determinism contract: the set of pairs classified and every verdict
+// are scheduling-independent, because a verdict is a pure function of
+// the two rows. Exactly one thread (the first to claim the slot) runs
+// the comparison; everyone else blocks until the verdict is published.
+// Detection output and all verdict-derived counters therefore stay
+// bit-identical to the serial engine for any thread count.
+//
+// The table is open-addressed with linear probing over a power-of-two
+// capacity sized by the detector to at least 2x the number of distinct
+// pairs any plan can window, so probe chains stay short and insertion
+// can never fail. Keys are the detector's packed ordinal pairs
+// (lo << 32 | hi with lo < hi), which are never 0 — key 0 is the empty
+// sentinel.
+
+#ifndef SXNM_SXNM_VERDICT_CACHE_H_
+#define SXNM_SXNM_VERDICT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace sxnm::core {
+
+class VerdictCache {
+ public:
+  /// Outcome of AcquireOrWait. When `owner` is true the caller must
+  /// classify the pair and call Publish exactly once with `slot`;
+  /// otherwise `is_duplicate` already holds the published verdict.
+  struct Lookup {
+    bool owner = false;
+    bool is_duplicate = false;
+    size_t slot = 0;
+  };
+
+  /// `max_distinct_pairs` is an upper bound on the number of distinct
+  /// keys that will ever be acquired; capacity is the next power of two
+  /// >= 2x that bound (min 16).
+  explicit VerdictCache(size_t max_distinct_pairs);
+
+  /// Claims `packed_pair` (must be non-zero). First caller becomes the
+  /// owner and must Publish; later callers for the same key wait for the
+  /// owner's verdict. Safe to call from any number of threads.
+  Lookup AcquireOrWait(uint64_t packed_pair);
+
+  /// Publishes the owner's verdict; wakes all waiters on this slot.
+  void Publish(const Lookup& lookup, bool is_duplicate);
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Slot state machine: claimed slots start kComputing and move to
+  // kNo/kYes exactly once, via a release store Publish pairs with the
+  // waiters' acquire loads.
+  enum State : uint8_t { kComputing = 0, kNo = 1, kYes = 2 };
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> keys_;   // 0 = empty
+  std::unique_ptr<std::atomic<uint8_t>[]> states_;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_VERDICT_CACHE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "text/myers.h"
 #include "util/string_util.h"
 
 namespace sxnm::text {
@@ -30,27 +31,12 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
 
 size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
                                   size_t limit) {
-  if (a.size() < b.size()) std::swap(a, b);
-  if (a.size() - b.size() > limit) return limit + 1;
-  if (b.empty()) return a.size();
-
-  std::vector<size_t> row(b.size() + 1);
-  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
-
-  for (size_t i = 1; i <= a.size(); ++i) {
-    size_t diag = row[0];
-    row[0] = i;
-    size_t row_min = row[0];
-    for (size_t j = 1; j <= b.size(); ++j) {
-      size_t up = row[j];
-      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
-      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
-      diag = up;
-      row_min = std::min(row_min, row[j]);
-    }
-    if (row_min > limit) return limit + 1;
-  }
-  return std::min(row[b.size()], limit + 1);
+  // Bit-parallel kernel (text/myers.h): exact, with the same
+  // min(distance, limit + 1) contract the classic bounded row DP had,
+  // but one column costs a handful of word operations instead of a cell
+  // update per pattern character — and the bail-out fires after
+  // O(limit) columns on dissimilar inputs.
+  return MyersBoundedDistance(a, b, limit);
 }
 
 size_t OsaDistance(std::string_view a, std::string_view b) {

@@ -15,11 +15,16 @@
 namespace sxnm::text {
 
 /// Levenshtein distance (unit-cost insert/delete/substitute).
-/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space. This is the classic row DP,
+/// kept as the reference implementation the bit-parallel kernels
+/// (text/myers.h) are differentially tested against.
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
 
 /// Levenshtein distance with early exit: returns `limit + 1` as soon as the
 /// distance provably exceeds `limit`. Used by filters and benchmarks.
+/// Backed by Myers' bit-parallel kernel (text/myers.h), so callers of the
+/// bounded path — notably BoundedEditSimilarity and through it the
+/// sliding-window classifier — get the fast kernel transparently.
 size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
                                   size_t limit);
 

@@ -1,0 +1,171 @@
+#include "text/myers.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sxnm::text {
+
+namespace {
+
+thread_local MyersStats tls_stats;
+
+// Match-bitmask scratch for the single-word kernel. Thread-local and
+// zero outside of kernel calls: building it sets one bit per pattern
+// character and the epilogue clears exactly those entries, so each call
+// touches O(m) slots instead of memsetting all 256.
+thread_local uint64_t tls_peq[256];
+
+// Single-word kernel (pattern length 1..64), Hyyrö's formulation of
+// Myers' recurrences. Returns the exact distance, or limit + 1 once the
+// score minus the remaining columns proves the distance exceeds `limit`.
+size_t SingleWord(std::string_view pattern, std::string_view text,
+                  size_t limit) {
+  const size_t m = pattern.size();
+  const size_t n = text.size();
+  ++tls_stats.single_calls;
+
+  for (size_t i = 0; i < m; ++i) {
+    tls_peq[static_cast<unsigned char>(pattern[i])] |= uint64_t{1} << i;
+  }
+
+  const uint64_t top = uint64_t{1} << (m - 1);
+  uint64_t vp = ~uint64_t{0};
+  uint64_t vn = 0;
+  size_t score = m;
+  size_t processed = n;
+  bool bailed = false;
+
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t eq = tls_peq[static_cast<unsigned char>(text[j])];
+    const uint64_t d0 = (((eq & vp) + vp) ^ vp) | eq | vn;
+    uint64_t hp = vn | ~(d0 | vp);
+    uint64_t hn = vp & d0;
+    if (hp & top) {
+      ++score;
+    } else if (hn & top) {
+      --score;
+    }
+    // The row-0 boundary always has horizontal delta +1 (D[0][j] = j),
+    // hence the 1 shifted into HP.
+    hp = (hp << 1) | 1;
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = d0 & hp;
+    // Each remaining column changes the score by at most one, so
+    // score - remaining lower-bounds the final distance.
+    if (score > limit + (n - 1 - j)) {
+      processed = j + 1;
+      bailed = true;
+      break;
+    }
+  }
+
+  tls_stats.words += processed;
+  for (size_t i = 0; i < m; ++i) {
+    tls_peq[static_cast<unsigned char>(pattern[i])] = 0;
+  }
+  return bailed ? limit + 1 : score;
+}
+
+// Blocked kernel for patterns longer than 64 bytes: ceil(m/64) vertical
+// words per column, with the horizontal delta at each block boundary
+// (hin/hout in {-1, 0, +1}) threaded through the blocks exactly as in
+// Hyyrö 2003. The score tracks row m, i.e. bit (m-1) % 64 of the last
+// block; the unused high bits of a partial last block never feed back
+// into lower rows (the addition only carries upward).
+size_t Blocked(std::string_view pattern, std::string_view text,
+               size_t limit) {
+  const size_t m = pattern.size();
+  const size_t n = text.size();
+  const size_t blocks = (m + 63) / 64;
+  ++tls_stats.blocked_calls;
+
+  std::vector<uint64_t> peq(blocks * 256, 0);
+  for (size_t i = 0; i < m; ++i) {
+    peq[(i / 64) * 256 + static_cast<unsigned char>(pattern[i])] |=
+        uint64_t{1} << (i % 64);
+  }
+  std::vector<uint64_t> vp(blocks, ~uint64_t{0});
+  std::vector<uint64_t> vn(blocks, 0);
+  const uint64_t score_bit = uint64_t{1} << ((m - 1) % 64);
+
+  size_t score = m;
+  size_t processed = n;
+  bool bailed = false;
+
+  for (size_t j = 0; j < n; ++j) {
+    const unsigned char c = static_cast<unsigned char>(text[j]);
+    int hin = 1;  // row-0 boundary: D[0][j] - D[0][j-1] = +1
+    for (size_t b = 0; b < blocks; ++b) {
+      uint64_t x = peq[b * 256 + c];
+      if (hin < 0) x |= 1;  // a -1 entering the block acts like a match
+      const uint64_t pv = vp[b];
+      const uint64_t nv = vn[b];
+      const uint64_t d0 = (((x & pv) + pv) ^ pv) | x | nv;
+      uint64_t hp = nv | ~(d0 | pv);
+      uint64_t hn = pv & d0;
+      const uint64_t top =
+          (b + 1 == blocks) ? score_bit : (uint64_t{1} << 63);
+      int hout = 0;
+      if (hp & top) {
+        hout = 1;
+      } else if (hn & top) {
+        hout = -1;
+      }
+      hp <<= 1;
+      hn <<= 1;
+      if (hin > 0) {
+        hp |= 1;
+      } else if (hin < 0) {
+        hn |= 1;
+      }
+      vp[b] = hn | ~(d0 | hp);
+      vn[b] = d0 & hp;
+      hin = hout;
+    }
+    score = static_cast<size_t>(static_cast<ptrdiff_t>(score) + hin);
+    if (score > limit + (n - 1 - j)) {
+      processed = j + 1;
+      bailed = true;
+      break;
+    }
+  }
+
+  tls_stats.words += processed * blocks;
+  return bailed ? limit + 1 : score;
+}
+
+// `limit` must already be clamped so limit + 1 and the bail-out
+// arithmetic cannot overflow.
+size_t Dispatch(std::string_view a, std::string_view b, size_t limit) {
+  // The shorter string becomes the pattern: fewer bit-vector words per
+  // column, and the single-word kernel applies whenever min <= 64.
+  std::string_view pattern = a.size() <= b.size() ? a : b;
+  std::string_view text = a.size() <= b.size() ? b : a;
+  if (pattern.empty()) return std::min(text.size(), limit + 1);
+  if (pattern.size() <= 64) return SingleWord(pattern, text, limit);
+  return Blocked(pattern, text, limit);
+}
+
+}  // namespace
+
+size_t MyersDistance(std::string_view a, std::string_view b) {
+  // A limit the distance can never exceed disables the bail-out.
+  return Dispatch(a, b, a.size() + b.size());
+}
+
+size_t MyersBoundedDistance(std::string_view a, std::string_view b,
+                            size_t limit) {
+  const size_t gap =
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  if (gap > limit) return limit + 1;
+  // Clamping keeps the bail-out arithmetic overflow-free while
+  // preserving min(distance, limit + 1): a limit at or above the length
+  // sum can never bind.
+  limit = std::min(limit, a.size() + b.size());
+  return Dispatch(a, b, limit);
+}
+
+MyersStats& ThreadMyersStats() { return tls_stats; }
+
+}  // namespace sxnm::text

@@ -1,0 +1,56 @@
+// Myers' bit-parallel Levenshtein distance (Myers, JACM 1999) in the
+// carry-based formulation of Hyyrö (2003), which extends cleanly to
+// patterns longer than one machine word.
+//
+// The shorter input is encoded as per-byte match bitmasks (Peq); one
+// column of the classic DP matrix then advances in a handful of 64-bit
+// word operations instead of one cell update per pattern character.
+// Distances are exact for arbitrary bytes — embedded NULs and high-bit
+// characters are ordinary alphabet symbols (Peq indexes unsigned chars).
+//
+// Two kernels:
+//   * single-word: pattern length <= 64, the hot case for OD values;
+//   * blocked: ceil(m/64) words per column with horizontal-delta carries
+//     threaded between blocks, for longer strings.
+//
+// The classic row DP (text/edit_distance.h: LevenshteinDistance) stays as
+// the reference implementation; differential tests and the fuzz target
+// assert these kernels agree with it on arbitrary inputs.
+
+#ifndef SXNM_TEXT_MYERS_H_
+#define SXNM_TEXT_MYERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sxnm::text {
+
+/// Exact Levenshtein distance via the bit-parallel kernels.
+/// O(ceil(min(|a|,|b|)/64) * max(|a|,|b|)) time.
+size_t MyersDistance(std::string_view a, std::string_view b);
+
+/// Bounded variant: returns min(distance, limit + 1), bailing out of the
+/// column loop as soon as the running score minus the remaining columns
+/// proves the distance exceeds `limit` (each column changes the score by
+/// at most one, so D(a, b) >= score_j - remaining_j is a valid lower
+/// bound).
+size_t MyersBoundedDistance(std::string_view a, std::string_view b,
+                            size_t limit);
+
+/// Per-thread kernel tallies, maintained unconditionally (three integer
+/// bumps per call). The detector snapshots the deltas around each window
+/// pass and publishes them as the text.myers_words counter.
+struct MyersStats {
+  uint64_t words = 0;          // bit-vector words processed (columns ×
+                               // blocks actually advanced)
+  uint64_t single_calls = 0;   // single-word kernel invocations
+  uint64_t blocked_calls = 0;  // blocked kernel invocations
+};
+
+/// The calling thread's tallies; never shared across threads.
+MyersStats& ThreadMyersStats();
+
+}  // namespace sxnm::text
+
+#endif  // SXNM_TEXT_MYERS_H_

@@ -205,9 +205,9 @@ TEST(DescendantSimilarityTest, SortedVectorMatchesSetBasedReference) {
   }
 }
 
-// Random GK rows with properly precomputed normalized ODs, as key
+// Random GK rows with properly interned normalized ODs, as key
 // generation would produce them.
-GkRow RandomRow(size_t ordinal, std::mt19937& rng) {
+GkRow RandomRow(size_t ordinal, std::mt19937& rng, OdPool& pool) {
   static const std::vector<std::string> kWords = {
       "The  Matrix", "the matrix", "The Matrix Reloaded", "Mask of Zorro",
       "MASK OF ZORRO", "Keanu Reeves", "Keanu Reevs", "", "1999", "1998",
@@ -215,7 +215,8 @@ GkRow RandomRow(size_t ordinal, std::mt19937& rng) {
   std::uniform_int_distribution<size_t> word(0, kWords.size() - 1);
   GkRow row = Row(ordinal, {kWords[word(rng)], kWords[word(rng)]});
   for (const std::string& od : row.ods) {
-    row.norm_ods.push_back(util::ToLower(util::NormalizeWhitespace(od)));
+    row.norm_ods.push_back(
+        pool.Intern(util::ToLower(util::NormalizeWhitespace(od))));
   }
   return row;
 }
@@ -240,11 +241,12 @@ TEST(CompareFastTest, ClassifiesIdenticallyToExactAcrossModes) {
     std::vector<std::vector<size_t>> per_instance(2);
     for (auto& list : per_instance) list = {desc(rng), desc(rng)};
     CandidateInstances instances = WithDescendants(&cand, per_instance);
-    SimilarityMeasure measure(cand, instances, {&child});
+    OdPool pool;
+    SimilarityMeasure measure(cand, instances, {&child}, &pool);
 
     for (int iter = 0; iter < 300; ++iter) {
-      GkRow a = RandomRow(0, rng);
-      GkRow b = RandomRow(1, rng);
+      GkRow a = RandomRow(0, rng, pool);
+      GkRow b = RandomRow(1, rng, pool);
       SimilarityVerdict exact = measure.Compare(a, b);
       SimilarityVerdict fast = measure.CompareFast(a, b);
       ASSERT_EQ(fast.is_duplicate, exact.is_duplicate)
@@ -260,6 +262,41 @@ TEST(CompareFastTest, ClassifiesIdenticallyToExactAcrossModes) {
       }
     }
   }
+}
+
+TEST(CompareFastTest, InternedEqualScoresOneWithoutKernel) {
+  // Raw values that differ only in case/whitespace intern to the same
+  // pool ID; CompareFast must score those components exactly 1.0 and
+  // report them in interned_equal.
+  CandidateConfig cand = TwoFieldCandidate();
+  CandidateInstances instances = NoDescendants(&cand, 2);
+  OdPool pool;
+  GkRow a = Row(0, {"The  Matrix", "1999"});
+  GkRow b = Row(1, {"the MATRIX", "1999"});
+  for (GkRow* row : {&a, &b}) {
+    for (const std::string& od : row->ods) {
+      row->norm_ods.push_back(
+          pool.Intern(util::ToLower(util::NormalizeWhitespace(od))));
+    }
+  }
+  ASSERT_EQ(a.norm_ods[0].id, b.norm_ods[0].id);
+
+  SimilarityMeasure measure(cand, instances, {}, &pool);
+  SimilarityVerdict fast = measure.CompareFast(a, b);
+  EXPECT_TRUE(fast.is_duplicate);
+  EXPECT_DOUBLE_EQ(fast.od_sim, 1.0);
+  // Only the first component uses the "edit" φ; the "exact" year is never
+  // routed through the interned fast path.
+  EXPECT_EQ(fast.interned_equal, 1u);
+
+  // An unequal edit component runs the kernel and is not counted.
+  GkRow c = Row(2, {"The Matrix Reloaded", "1999"});
+  for (const std::string& od : c.ods) {
+    c.norm_ods.push_back(
+        pool.Intern(util::ToLower(util::NormalizeWhitespace(od))));
+  }
+  SimilarityVerdict mixed = measure.CompareFast(a, c);
+  EXPECT_EQ(mixed.interned_equal, 0u);
 }
 
 TEST(CompareFastTest, FallsBackWithoutPrecomputedNormOds) {

@@ -1,0 +1,95 @@
+// VerdictCache: compute-once semantics, probing under collisions, and
+// concurrent claim/publish (the "Parallel" test names put these under the
+// tsan preset's filter).
+
+#include "sxnm/verdict_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sxnm::core {
+namespace {
+
+TEST(VerdictCacheTest, FirstClaimOwnsLaterLookupsReuse) {
+  VerdictCache cache(/*max_distinct_pairs=*/8);
+  VerdictCache::Lookup first = cache.AcquireOrWait(42);
+  ASSERT_TRUE(first.owner);
+  cache.Publish(first, /*is_duplicate=*/true);
+
+  VerdictCache::Lookup second = cache.AcquireOrWait(42);
+  EXPECT_FALSE(second.owner);
+  EXPECT_TRUE(second.is_duplicate);
+
+  VerdictCache::Lookup other = cache.AcquireOrWait(43);
+  ASSERT_TRUE(other.owner);
+  cache.Publish(other, /*is_duplicate=*/false);
+  EXPECT_FALSE(cache.AcquireOrWait(43).is_duplicate);
+}
+
+TEST(VerdictCacheTest, CapacityIsAtLeastTwiceTheBoundAndPowerOfTwo) {
+  for (size_t bound : {size_t{0}, size_t{1}, size_t{7}, size_t{100},
+                       size_t{4096}, size_t{100000}}) {
+    VerdictCache cache(bound);
+    EXPECT_GE(cache.capacity(), std::max<size_t>(16, bound * 2)) << bound;
+    EXPECT_EQ(cache.capacity() & (cache.capacity() - 1), 0u) << bound;
+  }
+}
+
+TEST(VerdictCacheTest, ProbingResolvesDenseKeyRanges) {
+  // Packed ordinal pairs are maximally regular; every key must still get
+  // its own slot and verdicts must not cross-contaminate.
+  constexpr size_t kKeys = 1000;
+  VerdictCache cache(kKeys);
+  for (uint64_t key = 1; key <= kKeys; ++key) {
+    VerdictCache::Lookup lookup = cache.AcquireOrWait(key);
+    ASSERT_TRUE(lookup.owner) << key;
+    cache.Publish(lookup, key % 3 == 0);
+  }
+  for (uint64_t key = 1; key <= kKeys; ++key) {
+    VerdictCache::Lookup lookup = cache.AcquireOrWait(key);
+    ASSERT_FALSE(lookup.owner) << key;
+    EXPECT_EQ(lookup.is_duplicate, key % 3 == 0) << key;
+  }
+}
+
+TEST(VerdictCacheTest, ParallelClaimsProduceExactlyOneOwnerPerKey) {
+  constexpr size_t kKeys = 512;
+  constexpr size_t kThreads = 8;
+  VerdictCache cache(kKeys);
+  std::vector<std::atomic<int>> owners(kKeys);
+  for (auto& o : owners) o.store(0);
+  std::atomic<size_t> wrong_verdicts{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the keys at a different stride so claims and
+      // waits interleave heavily.
+      for (size_t i = 0; i < kKeys; ++i) {
+        uint64_t key = 1 + ((i * (t + 1) + t) % kKeys);
+        VerdictCache::Lookup lookup = cache.AcquireOrWait(key);
+        bool expected = key % 2 == 0;
+        if (lookup.owner) {
+          owners[key - 1].fetch_add(1);
+          cache.Publish(lookup, expected);
+        } else if (lookup.is_duplicate != expected) {
+          wrong_verdicts.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (size_t i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(owners[i].load(), 1) << "key " << i + 1;
+  }
+  EXPECT_EQ(wrong_verdicts.load(), 0u);
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -1,0 +1,140 @@
+// Differential and property tests for the bit-parallel Levenshtein
+// kernels: Myers single-word and blocked must agree exactly with the
+// classic row DP (the reference implementation) on arbitrary bytes.
+
+#include "text/myers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "text/edit_distance.h"
+
+namespace sxnm::text {
+namespace {
+
+std::string RandomString(std::mt19937& rng, size_t length,
+                         bool full_byte_range) {
+  static constexpr char kAlpha[] = "abcdefghijklmnopqrstuvwxyz ";
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<size_t> alpha(0, sizeof(kAlpha) - 2);
+  std::string s(length, '\0');
+  for (char& c : s) {
+    c = full_byte_range ? static_cast<char>(byte(rng))
+                        : kAlpha[alpha(rng)];
+  }
+  return s;
+}
+
+TEST(MyersDistanceTest, MatchesClassicDpOnRandomInputs) {
+  // Lengths 0-300 cover the single-word kernel, the blocked kernel, and
+  // the 64/128/192 block boundaries in between. The small alphabet
+  // produces realistic match density; the full byte range exercises
+  // high-bit characters and embedded NULs as ordinary symbols.
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<size_t> len(0, 300);
+  for (int iter = 0; iter < 600; ++iter) {
+    bool full_bytes = iter % 3 == 0;
+    std::string a = RandomString(rng, len(rng), full_bytes);
+    std::string b = RandomString(rng, len(rng), full_bytes);
+    size_t expected = LevenshteinDistance(a, b);
+    ASSERT_EQ(MyersDistance(a, b), expected)
+        << "|a|=" << a.size() << " |b|=" << b.size()
+        << " full_bytes=" << full_bytes;
+  }
+}
+
+TEST(MyersDistanceTest, BlockBoundaryLengths) {
+  // Exact block-edge pattern lengths, where carry threading between the
+  // 64-bit words is easiest to get wrong.
+  std::mt19937 rng(77);
+  for (size_t m : {63u, 64u, 65u, 127u, 128u, 129u, 191u, 192u, 193u}) {
+    for (size_t n : {1u, 64u, 65u, 200u}) {
+      std::string a = RandomString(rng, m, false);
+      std::string b = RandomString(rng, n, false);
+      ASSERT_EQ(MyersDistance(a, b), LevenshteinDistance(a, b))
+          << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(MyersDistanceTest, AllEqualStrings) {
+  for (size_t m : {1u, 40u, 64u, 65u, 130u, 300u}) {
+    for (size_t n : {0u, 1u, 64u, 150u, 300u}) {
+      std::string a(m, 'a');
+      std::string b(n, 'a');
+      ASSERT_EQ(MyersDistance(a, b), std::max(m, n) - std::min(m, n))
+          << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(MyersDistanceTest, HighBitAndNulBytes) {
+  std::string a("\x00\xff\x80praha\x00", 9);
+  std::string b("\x00\xfe\x80praga\x01", 9);
+  EXPECT_EQ(MyersDistance(a, b), LevenshteinDistance(a, b));
+  EXPECT_EQ(MyersDistance(a, a), 0u);
+  std::string long_a(200, '\xc3');
+  std::string long_b = long_a;
+  long_b[7] = '\0';
+  long_b[150] = '\xff';
+  EXPECT_EQ(MyersDistance(long_a, long_b), 2u);
+}
+
+TEST(MyersDistanceTest, EmptyInputs) {
+  EXPECT_EQ(MyersDistance("", ""), 0u);
+  EXPECT_EQ(MyersDistance("abc", ""), 3u);
+  EXPECT_EQ(MyersDistance("", std::string(100, 'x')), 100u);
+}
+
+TEST(MyersBoundedDistanceTest, HonorsMinOfDistanceAndLimitPlusOne) {
+  // The bounded kernel must satisfy the same contract as
+  // BoundedLevenshteinDistance: exactly min(distance, limit + 1), for
+  // every limit including 0 and limits far above the distance.
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<size_t> len(0, 150);
+  std::uniform_int_distribution<size_t> lim(0, 160);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a = RandomString(rng, len(rng), iter % 4 == 0);
+    std::string b = RandomString(rng, len(rng), iter % 4 == 0);
+    size_t limit = lim(rng);
+    size_t exact = LevenshteinDistance(a, b);
+    ASSERT_EQ(MyersBoundedDistance(a, b, limit),
+              std::min(exact, limit + 1))
+        << "|a|=" << a.size() << " |b|=" << b.size() << " limit=" << limit;
+  }
+}
+
+TEST(MyersBoundedDistanceTest, HugeLimitDoesNotOverflow) {
+  EXPECT_EQ(MyersBoundedDistance("kitten", "sitting",
+                                 std::numeric_limits<size_t>::max()),
+            3u);
+}
+
+TEST(MyersStatsTest, CountsWordsAndCalls) {
+  MyersStats& stats = ThreadMyersStats();
+  MyersStats before = stats;
+
+  // Single word: one word per text column.
+  MyersDistance("abcdef", "abcdxy");
+  EXPECT_EQ(stats.single_calls, before.single_calls + 1);
+  EXPECT_EQ(stats.words, before.words + 6);
+
+  // Blocked: ceil(100/64) = 2 words per column, 120 columns.
+  before = stats;
+  MyersDistance(std::string(100, 'a'), std::string(120, 'b'));
+  EXPECT_EQ(stats.blocked_calls, before.blocked_calls + 1);
+  EXPECT_EQ(stats.words, before.words + 2 * 120);
+
+  // A bounded bail-out processes fewer columns than the text has.
+  before = stats;
+  EXPECT_EQ(MyersBoundedDistance(std::string(60, 'a'), std::string(60, 'b'),
+                                 2),
+            3u);
+  EXPECT_LT(stats.words, before.words + 60);
+}
+
+}  // namespace
+}  // namespace sxnm::text

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Validate bench JSON output against the documented schema.
 
-Checks the schema_version-2 files produced by the benches:
+Checks the schema_version-3 files produced by the benches:
 
   * ``micro_pipeline --json BENCH_pipeline.json`` (the checked-in
-    ``BENCH_pipeline.json`` at the repo root), and
+    ``BENCH_pipeline.json`` at the repo root),
+  * ``micro_similarity --json BENCH_similarity.json`` (the checked-in
+    edit-distance kernel comparison at the repo root), and
   * ``fig5_scalability --json fig5.json``.
 
 The file kind is auto-detected from the top-level ``bench`` field.
@@ -23,14 +25,20 @@ violation on stderr). See docs/BENCHMARKS.md for the schema.
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # Counters the engine always registers (values may legitimately be 0).
+# Version 3 added the kernel fast-path counters: kg.od_pool_* (OD value
+# interning), sw.verdict_cache_hits / sw.interned_equal (cross-pass
+# verdict cache and interned-equality shortcut), and text.myers_words
+# (bit-parallel edit-distance kernel work).
 REQUIRED_COUNTERS = [
     "kg.rows",
     "kg.keys_emitted",
     "kg.od_values",
     "kg.od_normalize_us",
+    "kg.od_pool_strings",
+    "kg.od_pool_bytes",
     "sw.pairs_windowed",
     "sw.prepass_skips",
     "sw.comparisons",
@@ -38,8 +46,11 @@ REQUIRED_COUNTERS = [
     "sw.ed_bailouts",
     "sw.desc_jaccard",
     "sw.desc_short_circuits",
+    "sw.verdict_cache_hits",
+    "sw.interned_equal",
     "sw.unique_comparisons",
     "sw.unique_duplicates",
+    "text.myers_words",
     "tc.pairs",
     "tc.union_ops",
     "tc.clusters",
@@ -214,6 +225,19 @@ class Checker:
                         where,
                         "sw.pairs_windowed != sw.comparisons + "
                         f"sw.prepass_skips: {windowed} != {kernel} + {skips}")
+            cache_hits = counters.get("sw.verdict_cache_hits")
+            if all(isinstance(v, int) for v in (cache_hits, kernel, unique)):
+                if cache_hits > kernel:
+                    self.error(where,
+                               "sw.verdict_cache_hits exceed pair "
+                               f"classifications: {cache_hits} > {kernel}")
+                # Every cross-pass repeat is either a cache hit (fast
+                # paths) or a recomputation; in both cases the merge drops
+                # it, so hits can never exceed the repeat count.
+                if cache_hits > kernel - unique:
+                    self.error(where,
+                               "sw.verdict_cache_hits exceed cross-pass "
+                               f"repeats: {cache_hits} > {kernel} - {unique}")
         if len(detected) > 1:
             self.error("engines",
                        "engines disagree on (comparisons, "
@@ -261,6 +285,55 @@ class Checker:
                                "ed_bailouts exceed kernel invocations: "
                                f"{bailouts} > {kernel}")
 
+    # --- micro_similarity -------------------------------------------------
+
+    def check_similarity(self, doc):
+        """Edit-distance kernel comparison: classic row DP vs Myers.
+
+        The checked-in file must demonstrate the bit-parallel kernel's
+        advantage; the floor here (2x on 16..64-char strings) is set
+        below the expected ~3-5x so reruns on slower CI machines still
+        validate.
+        """
+        self.check_nonneg(doc, "repeats", "top-level")
+        kernels = self.require(doc, "kernels", (list,), "top-level")
+        if kernels is None:
+            return
+        if not kernels:
+            self.error("kernels", "must not be empty")
+            return
+        for i, row in enumerate(kernels):
+            where = f"kernels[{i}]"
+            if not isinstance(row, dict):
+                self.error(where, "must be an object")
+                continue
+            length = self.check_nonneg(row, "length", where)
+            if length is not None:
+                where = f"kernels[{i}] (len {length})"
+            classic = self.check_nonneg(row, "classic_dp_ns", where,
+                                        types=(int, float))
+            myers = self.check_nonneg(row, "myers_ns", where,
+                                      types=(int, float))
+            speedup = self.check_nonneg(row, "speedup", where,
+                                        types=(int, float))
+            match = self.require(row, "distances_match", (bool,), where)
+            if match is False:
+                self.error(where,
+                           "kernels disagree on distances — the Myers "
+                           "kernel must be exact")
+            if None in (classic, myers, speedup) or myers <= 0:
+                continue
+            expected = classic / myers
+            if abs(speedup - expected) > 1e-3 * max(expected, 1.0):
+                self.error(where,
+                           f"'speedup' inconsistent: {speedup} != "
+                           f"{classic} / {myers}")
+            if length is not None and 16 <= length <= 64 and speedup < 2.0:
+                self.error(where,
+                           "bit-parallel kernel must be at least 2x the "
+                           f"classic DP on {length}-char strings, "
+                           f"got {speedup:.2f}x")
+
     # --- entry point ------------------------------------------------------
 
     def check(self, doc):
@@ -275,6 +348,8 @@ class Checker:
                        f"got {version}")
         if bench == "micro_pipeline":
             self.check_pipeline(doc)
+        elif bench == "micro_similarity":
+            self.check_similarity(doc)
         elif bench == "fig5_scalability":
             self.check_fig5(doc)
         elif bench is not None:
