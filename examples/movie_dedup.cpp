@@ -2,35 +2,119 @@
 // scenario): generate a clean artificial movie collection, pollute it with
 // duplicates, run SXNM with the observability layer on, and report
 // recall / precision / f-measure against the known ground truth plus the
-// engine's own per-pass DetectionReport and metrics.
-//
-// Usage: movie_dedup [num_movies] [window] [trace.json] [report.json]
-//
-// When given a third argument the run's span trace is written there as
-// Chrome trace_event JSON (open in chrome://tracing or Perfetto); a
-// fourth argument saves the DetectionReport as JSON.
+// engine's own per-pass DetectionReport, metrics, and gold-joined miss
+// diagnosis.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "datagen/dirty_gen.h"
 #include "datagen/movies.h"
 #include "eval/gold.h"
 #include "eval/metrics.h"
+#include "eval/miss_diagnosis.h"
 #include "sxnm/detector.h"
 #include "util/exit_code.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
+namespace {
+
+constexpr char kUsage[] =
+    "Usage: movie_dedup [options] [num_movies] [window]\n"
+    "\n"
+    "Generates a clean movie collection, pollutes it with duplicates, runs\n"
+    "SXNM, and scores the result against the known ground truth.\n"
+    "\n"
+    "Positional arguments:\n"
+    "  num_movies        clean movies to generate (default 2000)\n"
+    "  window            sliding-window size (default 10)\n"
+    "\n"
+    "Options:\n"
+    "  --trace=PATH      write a Chrome trace_event JSON of the run\n"
+    "                    (open in chrome://tracing or Perfetto)\n"
+    "  --report=PATH     write the per-pass DetectionReport as JSON\n"
+    "  --explain=PATH    write the decision-provenance log (NDJSON: one\n"
+    "                    record per pair classification, cluster lineage);\n"
+    "                    inspect with tools/sxnm_explain\n"
+    "  --gold-out=PATH   write the gold labels as TSV\n"
+    "                    (candidate<TAB>ordinal<TAB>eid<TAB>label), the\n"
+    "                    join input for `sxnm_explain misses`\n"
+    "  --help            show this help\n";
+
+struct Options {
+  size_t num_movies = 2000;
+  size_t window = 10;
+  std::string trace_path;
+  std::string report_path;
+  std::string explain_path;
+  std::string gold_out_path;
+};
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+// Returns false (after printing usage) on a parse error or --help.
+bool ParseArgs(int argc, char** argv, Options* opts, int* exit_code) {
+  size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      *exit_code = 0;
+      return false;
+    }
+    if (FlagValue(arg, "--trace", &opts->trace_path) ||
+        FlagValue(arg, "--report", &opts->report_path) ||
+        FlagValue(arg, "--explain", &opts->explain_path) ||
+        FlagValue(arg, "--gold-out", &opts->gold_out_path)) {
+      continue;
+    }
+    if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "unknown option '%s'\n\n%s", arg, kUsage);
+      *exit_code = sxnm::util::kExitUsage;
+      return false;
+    }
+    char* end = nullptr;
+    size_t value = std::strtoul(arg, &end, 10);
+    if (end == arg || *end != '\0') {
+      std::fprintf(stderr, "expected a number, got '%s'\n\n%s", arg, kUsage);
+      *exit_code = sxnm::util::kExitUsage;
+      return false;
+    }
+    if (positional == 0) {
+      opts->num_movies = value;
+    } else if (positional == 1) {
+      opts->window = value;
+    } else {
+      std::fprintf(stderr, "too many positional arguments\n\n%s", kUsage);
+      *exit_code = sxnm::util::kExitUsage;
+      return false;
+    }
+    ++positional;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  size_t num_movies = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
-  size_t window = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+  Options opts;
+  int exit_code = 0;
+  if (!ParseArgs(argc, argv, &opts, &exit_code)) return exit_code;
 
   // Generate clean data (ToXGene substitute), then pollute it (Dirty XML
   // Data Generator substitute).
   sxnm::datagen::MovieDataOptions gen;
-  gen.num_movies = num_movies;
+  gen.num_movies = opts.num_movies;
   gen.seed = 20060326;  // EDBT 2006
   sxnm::xml::Document clean = sxnm::datagen::GenerateCleanMovies(gen);
 
@@ -41,19 +125,20 @@ int main(int argc, char** argv) {
     std::cerr << dirty.status().ToString() << "\n";
     return sxnm::util::ExitCodeForStatus(dirty.status());
   }
-  std::printf("clean movies:      %zu\n", num_movies);
+  std::printf("clean movies:      %zu\n", opts.num_movies);
   std::printf("duplicates added:  %zu\n", dirty_stats.duplicates_created);
   std::printf("values polluted:   %zu\n\n", dirty_stats.values_polluted);
 
   // Configure (Tab. 3(a)) with observability on and run.
-  auto config = sxnm::datagen::MovieConfig(window);
+  auto config = sxnm::datagen::MovieConfig(opts.window);
   if (!config.ok()) {
     std::cerr << config.status().ToString() << "\n";
     return sxnm::util::kExitConfig;
   }
   config->mutable_observability().metrics = true;
-  if (argc > 3) config->mutable_observability().trace_path = argv[3];
-  if (argc > 4) config->mutable_observability().report_path = argv[4];
+  config->mutable_observability().trace_path = opts.trace_path;
+  config->mutable_observability().report_path = opts.report_path;
+  config->mutable_observability().explain_path = opts.explain_path;
 
   auto result = sxnm::core::Detector(config.value()).Run(dirty.value());
   if (!result.ok()) {
@@ -71,7 +156,7 @@ int main(int argc, char** argv) {
   sxnm::eval::PairMetrics quality =
       sxnm::eval::PairwiseMetrics(gold.value(), movie->clusters);
 
-  std::printf("window size:       %zu\n", window);
+  std::printf("window size:       %zu\n", opts.window);
   std::printf("movie instances:   %zu\n", movie->num_instances);
   std::printf("comparisons:       %zu  (naive all-pairs: %zu)\n",
               movie->comparisons,
@@ -91,6 +176,25 @@ int main(int argc, char** argv) {
                      result->DuplicateDetectionSeconds(), 4)});
   phases.Print(std::cout);
 
+  // Gold-joined miss diagnosis: why each gold pair was missed, and what
+  // each window pass contributed on its own.
+  auto diagnosis = sxnm::eval::DiagnoseMisses(config.value(), dirty.value(),
+                                              result.value(), "movie");
+  if (!diagnosis.ok()) {
+    std::cerr << diagnosis.status().ToString() << "\n";
+    return sxnm::util::ExitCodeForStatus(diagnosis.status());
+  }
+  std::printf(
+      "\nmiss diagnosis:    %zu missed pair(s): %zu never windowed, "
+      "%zu windowed but rejected, %zu shed\n",
+      diagnosis->misses.size(),
+      diagnosis->CountKind(sxnm::eval::MissKind::kNeverWindowed),
+      diagnosis->CountKind(sxnm::eval::MissKind::kWindowedButRejected),
+      diagnosis->CountKind(sxnm::eval::MissKind::kShed));
+  sxnm::eval::AttachAttribution(diagnosis.value(), result->report);
+  std::printf("\nper-pass gold attribution:\n%s",
+              result->report.AttributionTable().c_str());
+
   // The engine's own accounting: one row per (candidate, pass).
   std::printf("\nper-pass detection report:\n%s",
               result->report.ToTable().c_str());
@@ -108,7 +212,33 @@ int main(int argc, char** argv) {
     return sxnm::util::kExitRuntime;
   }
 
-  if (argc > 3) std::printf("trace written to %s\n", argv[3]);
-  if (argc > 4) std::printf("report written to %s\n", argv[4]);
+  if (!opts.gold_out_path.empty()) {
+    auto labels = sxnm::eval::GoldLabels(
+        dirty.value(), config->Find("movie")->absolute_path.ToString());
+    if (!labels.ok()) {
+      std::cerr << labels.status().ToString() << "\n";
+      return sxnm::util::ExitCodeForStatus(labels.status());
+    }
+    std::ofstream out(opts.gold_out_path);
+    for (size_t i = 0; i < labels->size(); ++i) {
+      out << "movie\t" << i << "\t" << movie->gk.rows[i].eid << "\t"
+          << (*labels)[i] << "\n";
+    }
+    if (!out) {
+      std::fprintf(stderr, "failed writing gold labels to %s\n",
+                   opts.gold_out_path.c_str());
+      return sxnm::util::kExitRuntime;
+    }
+    std::printf("gold labels written to %s\n", opts.gold_out_path.c_str());
+  }
+  if (!opts.trace_path.empty()) {
+    std::printf("trace written to %s\n", opts.trace_path.c_str());
+  }
+  if (!opts.report_path.empty()) {
+    std::printf("report written to %s\n", opts.report_path.c_str());
+  }
+  if (!opts.explain_path.empty()) {
+    std::printf("explain log written to %s\n", opts.explain_path.c_str());
+  }
   return 0;
 }

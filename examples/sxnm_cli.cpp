@@ -1,7 +1,7 @@
 // sxnm_cli — end-to-end command-line deduplicator.
 //
 //   sxnm_cli <config.xml> <data.xml> [-o out.xml] [--fuse|--first|--richest]
-//            [--report [--gold]] [--advise]
+//            [--report [--gold]] [--advise] [--metrics-out metrics.prom]
 //
 // Loads an SXNM configuration (see examples/config_tool for the format),
 // runs detection over the data file, prints a per-candidate report
@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -29,7 +30,9 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config.xml> <data.xml> [-o out.xml] "
-               "[--fuse|--first|--richest]\n",
+               "[--fuse|--first|--richest]\n"
+               "       [--report [--gold]] [--advise] "
+               "[--metrics-out metrics.prom]\n",
                argv0);
   return 2;
 }
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
   bool report = false;
   bool with_gold = false;
   bool advise = false;
+  std::string metrics_out_path;
 
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
       with_gold = true;
     } else if (std::strcmp(argv[i], "--advise") == 0) {
       advise = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out_path = argv[++i];
     } else {
       return Usage(argv[0]);
     }
@@ -72,6 +78,11 @@ int main(int argc, char** argv) {
     return sxnm::util::kExitConfig;
   }
   sxnm::core::Config loaded_config = std::move(config).value();
+  // Prometheus export needs the metrics registry regardless of what the
+  // config's <observability> says.
+  if (!metrics_out_path.empty()) {
+    loaded_config.mutable_observability().metrics = true;
+  }
 
   // Ingest under the configured <limits>: hard caps always apply; with
   // recover="true" malformed subtrees are skipped and reported with their
@@ -164,6 +175,18 @@ int main(int argc, char** argv) {
       return sxnm::util::ExitCodeForStatus(rendered.status());
     }
     std::printf("\n%s", rendered->c_str());
+  }
+
+  if (!metrics_out_path.empty()) {
+    std::ofstream metrics_out(metrics_out_path);
+    result->metrics.ToPrometheusText(metrics_out);
+    metrics_out.flush();
+    if (!metrics_out) {
+      std::cerr << "cannot write " << metrics_out_path << "\n";
+      return sxnm::util::kExitRuntime;
+    }
+    std::printf("wrote %s (Prometheus text exposition)\n",
+                metrics_out_path.c_str());
   }
 
   if (!out_path.empty()) {

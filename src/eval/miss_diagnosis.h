@@ -1,0 +1,122 @@
+// Gold-joined miss diagnosis: explains every pairwise false negative of
+// a detection run. Each gold duplicate pair the run did not cluster
+// together is classified into exactly one of
+//   * never windowed   — no pass brought the two instances within window
+//                        distance (the paper's poorly-sorted-key failure
+//                        mode, Fig. 4); the per-pass sort-rank gaps say
+//                        how far each key ordering missed,
+//   * windowed but rejected — some pass compared the pair and the
+//                        similarity measure said no; the exact scoring
+//                        breakdown (obs::PairExplain) is attached,
+//   * shed             — the configured plan would have windowed the pair
+//                        but governance skipped/shrunk/cut the pass.
+// False positives are joined back the same way, and each window pass
+// gets a precision/recall attribution row (how many gold pairs it
+// windowed and accepted on its own) that can be attached to the run's
+// DetectionReport.
+//
+// The engine itself never sees gold labels: diagnosis replays windowing
+// from the run's GK relation and degradation report after the fact.
+
+#ifndef SXNM_EVAL_MISS_DIAGNOSIS_H_
+#define SXNM_EVAL_MISS_DIAGNOSIS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/explain.h"
+#include "sxnm/cluster_set.h"
+#include "sxnm/config.h"
+#include "sxnm/detection_report.h"
+#include "sxnm/detector.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::eval {
+
+/// Why a gold duplicate pair was missed.
+enum class MissKind {
+  kNeverWindowed,
+  kWindowedButRejected,
+  kShed,
+};
+
+std::string_view MissKindName(MissKind kind);
+
+/// One pairwise false negative.
+struct MissedPair {
+  core::OrdinalPair pair;
+  MissKind kind = MissKind::kNeverWindowed;
+
+  /// Sort-rank distance |rank(a) - rank(b)| under every pass's key order
+  /// (empty when key generation was shed). A pass windows the pair only
+  /// when this gap is below its window, so min_rank_gap says how close
+  /// the best key came.
+  std::vector<size_t> rank_gaps;
+  size_t min_rank_gap = 0;
+
+  /// kWindowedButRejected: the first pass (0-based, merge order) that
+  /// actually windowed the pair. kShed: the first degraded pass whose
+  /// configured plan would have windowed it. -1 for kNeverWindowed.
+  int pass = -1;
+
+  /// Exact scoring breakdown (kWindowedButRejected, when the run's GK
+  /// relation is available): why the measure said no.
+  bool has_explain = false;
+  obs::PairExplain explain;
+};
+
+/// One pairwise false positive: detected intra-cluster, gold says
+/// distinct objects. The breakdown shows what scored high (or, for pairs
+/// merged only transitively, that the direct score was itself low).
+struct FalsePositivePair {
+  core::OrdinalPair pair;
+  bool has_explain = false;
+  obs::PairExplain explain;
+};
+
+/// Full diagnosis of one candidate's run against the gold standard.
+struct MissDiagnosis {
+  std::string candidate;
+  size_t num_instances = 0;
+  size_t gold_pairs = 0;      // gold intra-cluster pairs
+  size_t detected_pairs = 0;  // detected intra-cluster pairs
+  size_t true_positives = 0;
+
+  /// Every false negative, each classified into exactly one MissKind
+  /// (misses.size() + true_positives == gold_pairs).
+  std::vector<MissedPair> misses;
+
+  std::vector<FalsePositivePair> false_positives;
+
+  /// One row per window pass (AttachAttribution copies these into a
+  /// DetectionReport).
+  std::vector<core::PassAttribution> attribution;
+
+  size_t CountKind(MissKind kind) const;
+
+  /// Human-readable summary: headline counts, the kind partition, then
+  /// one line per miss.
+  std::string ToString() const;
+};
+
+/// Diagnoses `candidate`'s result in `result` against the `_gold`
+/// labels of `doc`. `config` and `doc` must be the ones the run used
+/// (the candidate forest is rebuilt to score rejected pairs exactly as
+/// the run did). Fails when the candidate is unknown, absent from the
+/// result, or the gold instance count disagrees with the run.
+util::Result<MissDiagnosis> DiagnoseMisses(
+    const core::Config& config, const xml::Document& doc,
+    const core::DetectionResult& result, const std::string& candidate,
+    const std::string& gold_attribute = "_gold");
+
+/// Copies the diagnosis's per-pass attribution rows into the report
+/// (rows of other candidates are kept).
+void AttachAttribution(const MissDiagnosis& diagnosis,
+                       core::DetectionReport& report);
+
+}  // namespace sxnm::eval
+
+#endif  // SXNM_EVAL_MISS_DIAGNOSIS_H_

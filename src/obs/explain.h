@@ -1,0 +1,159 @@
+// Decision-provenance log: one NDJSON record per pair classification,
+// plus candidate/instance headers, shed notices, and transitive-closure
+// lineage. The log answers *why* the engine decided anything — which
+// key pass surfaced a pair, which OD components and descendant clusters
+// drove the score, and which union-find merges built each cluster.
+//
+// Determinism contract: records are appended only from the serial merge
+// points of the detector (pass merge, degradation accounting, transitive
+// closure), never from pool workers. Workers buffer raw events; the
+// merge replays them in key order, so the emitted byte stream is
+// identical for any Config::num_threads — the same guarantee the
+// counters already give. Because every append runs on one thread, the
+// log needs no locking.
+//
+// The obs layer stays below sxnm_core, so the records speak in
+// primitives (ordinals, strings, component indices); the detector and
+// the SimilarityMeasure fill them in.
+
+#ifndef SXNM_OBS_EXPLAIN_H_
+#define SXNM_OBS_EXPLAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sxnm::obs {
+
+/// Who actually computed a pair's verdict. `kOwned` is a real kernel
+/// invocation; `kVerdictCache` replays an owned verdict from another
+/// pass; `kPrepass` is the exact-OD prepass accepting byte-identical
+/// tuples before any window runs. Canonicalized at the serial merge:
+/// with a verdict cache, the first merge-order occurrence of a pair is
+/// owned and repeats are cache replays, which reconciles the per-tag
+/// record counts with sw.comparisons / sw.verdict_cache_hits /
+/// sw.prepass_pairs exactly.
+enum class PairProvenance {
+  kOwned,
+  kVerdictCache,
+  kPrepass,
+};
+
+std::string_view PairProvenanceName(PairProvenance provenance);
+
+/// One OD component of a pair comparison, as scored.
+struct ExplainOdComponent {
+  size_t index = 0;          // position in CandidateConfig::od
+  double weight = 0.0;       // configured weight (pre-renormalization)
+  std::string value_a;       // normalized OD text, side a
+  std::string value_b;
+  uint32_t ref_a = 0;        // interned OdPool ids
+  uint32_t ref_b = 0;
+  bool comparable = false;   // both sides non-empty
+  bool interned_equal = false;  // equal pool ids: sim 1.0, bytes untouched
+  bool bailout = false;      // bounded edit distance pruned out
+  int64_t edit_distance = -1;   // -1 when never computed (interned/bailout)
+  double sim = 0.0;
+};
+
+/// One child-candidate slot of the descendant Jaccard.
+struct ExplainDescSlot {
+  size_t child = 0;          // child slot index (candidate order)
+  size_t size_a = 0;         // descendant cluster-id multiset sizes
+  size_t size_b = 0;
+  size_t intersection = 0;
+  size_t union_size = 0;
+  double jaccard = 0.0;
+};
+
+/// Full scoring breakdown of one pair comparison, produced by
+/// SimilarityMeasure::Explain. Mirrors the fast kernel's decision but
+/// keeps every intermediate the kernel is allowed to skip.
+struct PairExplain {
+  std::vector<ExplainOdComponent> components;
+  std::vector<ExplainDescSlot> descendants;
+  bool theory_equal = false;  // equational theory decided the pair
+  bool od_valid = false;      // at least one comparable component
+  double od_sim = 0.0;
+  bool desc_valid = false;    // descendant similarity was defined
+  double desc_sim = 0.0;
+  double score = 0.0;         // combined, what faces the threshold
+  double threshold = 0.0;
+};
+
+/// Append-only NDJSON buffer for one detector run. Disabled logs are
+/// inert: every Append* returns immediately, so the classification hot
+/// path pays one branch and zero allocations when explain is off.
+class ExplainLog {
+ public:
+  explicit ExplainLog(bool enabled) : enabled_(enabled) {}
+  ExplainLog(const ExplainLog&) = delete;
+  ExplainLog& operator=(const ExplainLog&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Candidate header: emitted once per candidate before its records.
+  void AppendCandidate(std::string_view candidate, size_t depth,
+                       size_t num_instances, size_t num_keys,
+                       size_t window, std::string_view window_policy,
+                       double threshold);
+
+  /// One instance row: ordinal, element id, key strings, and the
+  /// instance's sorted rank under every pass (what the miss-diagnosis
+  /// and `sxnm_explain why` replay windowing from).
+  void AppendInstance(std::string_view candidate, size_t ordinal,
+                      size_t eid, const std::vector<std::string>& keys,
+                      const std::vector<size_t>& ranks);
+
+  /// One pair classification. `pass` is 0-based; -1 marks the exact-OD
+  /// prepass. `detail` may be null (prepass and cache replays carry the
+  /// verdict only).
+  void AppendPair(std::string_view candidate, int pass, size_t a, size_t b,
+                  size_t eid_a, size_t eid_b, size_t window_distance,
+                  PairProvenance provenance, const PairExplain* detail,
+                  bool verdict);
+
+  /// Degradation notice for one shed (skipped or shrunk) pass.
+  void AppendShed(std::string_view candidate, int pass, bool skipped,
+                  size_t window_configured, size_t window_used, size_t rows,
+                  size_t pairs_planned, size_t pairs_elided);
+
+  /// Transitive-closure lineage: duplicate pair (a, b) arrived with
+  /// union-find roots root_a/root_b; `root` is the surviving root and
+  /// `merged` is false when the pair was already intra-cluster.
+  void AppendMerge(std::string_view candidate, size_t a, size_t b,
+                   size_t root_a, size_t root_b, size_t root, bool merged);
+
+  /// Final non-trivial cluster membership.
+  void AppendCluster(std::string_view candidate, size_t cluster,
+                     const std::vector<size_t>& members);
+
+  /// Per-provenance pair-record tallies; reconcile with sw.comparisons
+  /// (owned + verdict_cache), sw.verdict_cache_hits, sw.prepass_pairs.
+  uint64_t owned_pairs() const { return owned_pairs_; }
+  uint64_t cache_pairs() const { return cache_pairs_; }
+  uint64_t prepass_pairs() const { return prepass_pairs_; }
+  uint64_t pair_records() const {
+    return owned_pairs_ + cache_pairs_ + prepass_pairs_;
+  }
+
+  /// The NDJSON bytes accumulated so far.
+  const std::string& text() const { return text_; }
+
+  util::Status WriteFile(const std::string& path) const;
+
+ private:
+  bool enabled_;
+  std::string text_;
+  uint64_t owned_pairs_ = 0;
+  uint64_t cache_pairs_ = 0;
+  uint64_t prepass_pairs_ = 0;
+};
+
+}  // namespace sxnm::obs
+
+#endif  // SXNM_OBS_EXPLAIN_H_

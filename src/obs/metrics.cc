@@ -131,9 +131,13 @@ double BucketQuantile(const std::vector<double>& bounds,
       if (i >= bounds.size()) return bounds.back();  // overflow bucket
       double lo = i == 0 ? 0.0 : bounds[i - 1];
       double hi = bounds[i];
-      double frac = counts[i] == 1
-                        ? 1.0
-                        : (target - first) / (last - first);
+      // Clamped: a target rank that falls in the gap between two
+      // occupied buckets belongs to this bucket's lower edge, not an
+      // extrapolation below it (which would break monotonicity in q).
+      double frac =
+          counts[i] == 1
+              ? 1.0
+              : std::clamp((target - first) / (last - first), 0.0, 1.0);
       return lo + frac * (hi - lo);
     }
     below += counts[i];
@@ -156,6 +160,10 @@ std::vector<double> DefaultTimeBounds() {
 
 std::vector<double> DefaultSizeBounds() {
   return {2, 3, 4, 6, 8, 12, 16, 32, 64, 128};
+}
+
+std::vector<double> DefaultSimilarityBounds() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
 }
 
 // --- MetricsSnapshot -------------------------------------------------------
@@ -221,6 +229,56 @@ void MetricsSnapshot::WriteJson(std::ostream& os) const {
     os << "]}";
   }
   os << "\n}";
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+// paths map onto that by replacing everything else with '_'.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "sxnm_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsSnapshot::ToPrometheusText(std::ostream& os) const {
+  for (const CounterSample& c : counters) {
+    std::string name = PrometheusName(c.name);
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : gauges) {
+    std::string name = PrometheusName(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " ";
+    WriteJsonDouble(os, g.value);
+    os << "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    std::string name = PrometheusName(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      os << name << "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        WriteJsonDouble(os, h.bounds[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << name << "_sum ";
+    WriteJsonDouble(os, h.sum);
+    os << "\n";
+    os << name << "_count " << h.total_count << "\n";
+  }
 }
 
 // --- MetricsRegistry -------------------------------------------------------

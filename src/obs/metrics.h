@@ -156,6 +156,11 @@ std::vector<double> DefaultTimeBounds();
 /// window lengths): 2, 3, 4, 6, 8, 12, 16, 32, 64, 128.
 std::vector<double> DefaultSizeBounds();
 
+/// Default histogram bounds for similarity scores: deciles over [0, 1].
+/// The overflow bucket stays empty for well-formed scores, so a nonzero
+/// overflow count flags a kernel emitting out-of-range values.
+std::vector<double> DefaultSimilarityBounds();
+
 /// One read-only, copyable view of a registry at a point in time.
 struct MetricsSnapshot {
   struct CounterSample {
@@ -193,6 +198,12 @@ struct MetricsSnapshot {
   /// Flat JSON object: counters as integers, gauges as doubles,
   /// histograms as {count, sum, buckets: [{le, count}]}.
   void WriteJson(std::ostream& os) const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges as plain samples, histograms as cumulative `_bucket{le=...}`
+  /// series plus `_sum` and `_count`. Dotted metric names are sanitized
+  /// to underscores and prefixed with `sxnm_`.
+  void ToPrometheusText(std::ostream& os) const;
 };
 
 /// Owns the metrics of one engine run (or one process, if long-lived).

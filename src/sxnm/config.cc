@@ -204,6 +204,11 @@ util::Status Config::Validate() const {
         "observability: report path set but metrics are off (the report "
         "is built from the metrics collection)");
   }
+  if (!observability_.explain_path.empty() && !observability_.metrics) {
+    return Status::InvalidArgument(
+        "observability: explain path set but metrics are off (explain "
+        "records are emitted alongside the metrics collection)");
+  }
   std::set<std::string> abs_paths;
   for (const CandidateConfig& c : candidates_) {
     SXNM_RETURN_IF_ERROR(ValidateCandidate(c));

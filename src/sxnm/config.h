@@ -169,6 +169,12 @@ struct ObservabilityConfig {
   /// (requires `metrics`; validated).
   std::string report_path;
 
+  /// When non-empty, write the decision-provenance log (one NDJSON
+  /// record per pair classification, plus instance headers, shed
+  /// notices and cluster lineage) to this path (requires `metrics`;
+  /// validated). Output is byte-identical for any num_threads.
+  std::string explain_path;
+
   bool any() const { return metrics || !trace_path.empty(); }
 };
 

@@ -124,7 +124,8 @@ Status ParseDeadline(const Element& elem, RunLimits& limits) {
   return Status::Ok();
 }
 
-// <observability metrics="on" trace="trace.json" report="report.json"/>
+// <observability metrics="on" trace="trace.json" report="report.json"
+//                 explain="explain.ndjson"/>
 Result<ObservabilityConfig> ParseObservability(const Element& elem) {
   ObservabilityConfig obs;
   auto metrics = BoolAttrOr(elem, "metrics", false);
@@ -132,6 +133,7 @@ Result<ObservabilityConfig> ParseObservability(const Element& elem) {
   obs.metrics = metrics.value();
   obs.trace_path = elem.AttributeOr("trace", "");
   obs.report_path = elem.AttributeOr("report", "");
+  obs.explain_path = elem.AttributeOr("explain", "");
   return obs;
 }
 
@@ -346,11 +348,15 @@ xml::Document ConfigToXml(const Config& config) {
     root->SetAttribute("num-threads", std::to_string(config.num_threads()));
   }
   const ObservabilityConfig& obs = config.observability();
-  if (obs.metrics || !obs.trace_path.empty() || !obs.report_path.empty()) {
+  if (obs.metrics || !obs.trace_path.empty() || !obs.report_path.empty() ||
+      !obs.explain_path.empty()) {
     Element* e = root->AddElement("observability");
     e->SetAttribute("metrics", obs.metrics ? "on" : "off");
     if (!obs.trace_path.empty()) e->SetAttribute("trace", obs.trace_path);
     if (!obs.report_path.empty()) e->SetAttribute("report", obs.report_path);
+    if (!obs.explain_path.empty()) {
+      e->SetAttribute("explain", obs.explain_path);
+    }
   }
   const RunLimits& limits = config.limits();
   const RunLimits defaults;

@@ -1,11 +1,20 @@
 #include "sxnm/detection_report.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 
 namespace sxnm::core {
+
+double PassStats::SimMedian() const {
+  if (sim_buckets.empty()) return 0.0;
+  std::vector<double> bounds = obs::DefaultSimilarityBounds();
+  if (sim_buckets.size() != bounds.size() + 1) return 0.0;
+  return obs::BucketQuantile(bounds, sim_buckets, 0.5);
+}
 
 void PassStats::Accumulate(const PassStats& other) {
   pairs_windowed += other.pairs_windowed;
@@ -19,6 +28,14 @@ void PassStats::Accumulate(const PassStats& other) {
   interned_equal += other.interned_equal;
   myers_words += other.myers_words;
   wall_seconds += other.wall_seconds;
+  if (!other.sim_buckets.empty()) {
+    if (sim_buckets.size() < other.sim_buckets.size()) {
+      sim_buckets.resize(other.sim_buckets.size(), 0);
+    }
+    for (size_t i = 0; i < other.sim_buckets.size(); ++i) {
+      sim_buckets[i] += other.sim_buckets[i];
+    }
+  }
 }
 
 size_t DegradationReport::PassesSkipped() const {
@@ -103,6 +120,14 @@ std::string Ms(double seconds) {
   return os.str();
 }
 
+std::string Fixed2(double value) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << value;
+  return os.str();
+}
+
 std::vector<std::string> StatsCells(const PassStats& s) {
   return {std::to_string(s.pairs_windowed),
           std::to_string(s.prepass_skips),
@@ -114,6 +139,7 @@ std::vector<std::string> StatsCells(const PassStats& s) {
           std::to_string(s.verdict_cache_hits),
           std::to_string(s.interned_equal),
           std::to_string(s.myers_words),
+          Fixed2(s.SimMedian()),
           Ms(s.wall_seconds)};
 }
 
@@ -127,7 +153,11 @@ void WriteStatsJson(std::ostream& os, const PassStats& s) {
      << ", \"verdict_cache_hits\": " << s.verdict_cache_hits
      << ", \"interned_equal\": " << s.interned_equal
      << ", \"myers_words\": " << s.myers_words
-     << ", \"wall_seconds\": " << s.wall_seconds << "}";
+     << ", \"wall_seconds\": " << s.wall_seconds << ", \"sim_buckets\": [";
+  for (size_t i = 0; i < s.sim_buckets.size(); ++i) {
+    os << (i > 0 ? ", " : "") << s.sim_buckets[i];
+  }
+  os << "]}";
 }
 
 // JSON string escaping for candidate names (config-controlled, but a
@@ -185,7 +215,7 @@ std::string DetectionReport::ToTable() const {
                             "prepass_skips", "comparisons", "hits",
                             "ed_bailouts", "desc_jaccard", "desc_shortcut",
                             "cache_hits", "interned_eq", "myers_words",
-                            "wall_ms"});
+                            "sim_p50", "wall_ms"});
   for (const Row& row : rows) {
     std::vector<std::string> cells = {row.candidate,
                                       std::to_string(row.key_index + 1),
@@ -204,6 +234,22 @@ std::string DetectionReport::ToTable() const {
   return out;
 }
 
+std::string DetectionReport::AttributionTable() const {
+  if (attribution.empty()) return "";
+  util::TablePrinter table({"candidate", "pass", "gold_pairs",
+                            "gold_windowed", "accepted", "accepted_gold",
+                            "precision", "recall"});
+  for (const PassAttribution& row : attribution) {
+    table.AddRow({row.candidate, std::to_string(row.key_index + 1),
+                  std::to_string(row.gold_pairs),
+                  std::to_string(row.gold_windowed),
+                  std::to_string(row.accepted),
+                  std::to_string(row.accepted_gold), Fixed2(row.precision),
+                  Fixed2(row.recall)});
+  }
+  return table.ToString();
+}
+
 void DetectionReport::WriteJson(std::ostream& os) const {
   os << "{\n  \"rows\": [";
   bool first = true;
@@ -220,6 +266,23 @@ void DetectionReport::WriteJson(std::ostream& os) const {
   WriteStatsJson(os, Totals());
   os << ",\n  \"degradation\": ";
   degradation.WriteJson(os);
+  if (!attribution.empty()) {
+    os << ",\n  \"attribution\": [";
+    bool first_attr = true;
+    for (const PassAttribution& row : attribution) {
+      os << (first_attr ? "\n" : ",\n");
+      first_attr = false;
+      os << "    {\"candidate\": \"" << JsonEscape(row.candidate)
+         << "\", \"pass\": " << row.key_index + 1
+         << ", \"gold_pairs\": " << row.gold_pairs
+         << ", \"gold_windowed\": " << row.gold_windowed
+         << ", \"accepted\": " << row.accepted
+         << ", \"accepted_gold\": " << row.accepted_gold
+         << ", \"precision\": " << row.precision
+         << ", \"recall\": " << row.recall << "}";
+    }
+    os << "\n  ]";
+  }
   os << "\n}\n";
 }
 

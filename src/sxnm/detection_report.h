@@ -8,6 +8,7 @@
 #define SXNM_SXNM_DETECTION_REPORT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -35,6 +36,15 @@ struct PassStats {
   size_t myers_words = 0;          // 64-bit words processed by the
                                    // bit-parallel edit-distance kernel
   double wall_seconds = 0.0;       // pass task wall time
+
+  /// Combined-score distribution of this pass's owned kernel invocations:
+  /// decile buckets over [0, 1] (bounds 0.1 .. 1.0 plus one overflow
+  /// slot), mirroring the engine-wide sw.similarity histogram. Empty when
+  /// the pass never ran a kernel.
+  std::vector<uint64_t> sim_buckets;
+
+  /// Median of `sim_buckets` (bucket interpolation); 0 when empty.
+  double SimMedian() const;
 
   /// Element-wise sum (wall times add too).
   void Accumulate(const PassStats& other);
@@ -86,6 +96,22 @@ struct DegradationReport {
   void WriteJson(std::ostream& os) const;
 };
 
+/// Gold-joined effectiveness attribution of one window pass: how many of
+/// the candidate's gold duplicate pairs this pass windowed and accepted,
+/// and the precision/recall it contributes on its own. Computed by
+/// eval::DiagnoseMisses (the engine itself never sees gold labels) and
+/// attached to the DetectionReport for rendering next to the cost rows.
+struct PassAttribution {
+  std::string candidate;
+  size_t key_index = 0;       // pass within the candidate, 0-based
+  size_t gold_pairs = 0;      // gold duplicate pairs of the candidate
+  size_t gold_windowed = 0;   // gold pairs this pass actually windowed
+  size_t accepted = 0;        // windowed pairs classified duplicate
+  size_t accepted_gold = 0;   // of those, gold-true
+  double precision = 0.0;     // accepted_gold / accepted (1 when none)
+  double recall = 0.0;        // accepted_gold / gold_pairs (0 when none)
+};
+
 /// Per-candidate × per-pass table for one detection run.
 struct DetectionReport {
   struct Row {
@@ -103,6 +129,10 @@ struct DetectionReport {
   /// self-contained). Not degraded for ungoverned runs.
   DegradationReport degradation;
 
+  /// Per-pass precision/recall attribution rows. Empty unless a gold
+  /// standard was joined in (eval::AttachAttribution).
+  std::vector<PassAttribution> attribution;
+
   bool empty() const { return rows.empty(); }
 
   /// Sum of kernel invocations over all rows. With metrics on this equals
@@ -113,6 +143,10 @@ struct DetectionReport {
 
   /// Aligned ASCII table (one row per pass plus a totals row).
   std::string ToTable() const;
+
+  /// Aligned ASCII table of the attribution rows; empty string when no
+  /// attribution is attached.
+  std::string AttributionTable() const;
 
   /// JSON: {"rows": [...], "totals": {...}}.
   void WriteJson(std::ostream& os) const;

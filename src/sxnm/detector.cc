@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/explain.h"
 #include "obs/trace.h"
 #include "sxnm/similarity_measure.h"
 #include "sxnm/sliding_window.h"
@@ -66,11 +67,23 @@ uint64_t PackPair(OrdinalPair pair) {
 
 // One windowed pair as recorded by a pass worker. Only the verdict's
 // classification survives into the merge; everything else about the
-// verdict is pair-deterministic and need not be kept.
+// verdict is pair-deterministic and need not be kept. `distance` is the
+// pair's sort-rank gap in this pass (filled only when the explain log is
+// on; it rides in the struct's padding, so recording it costs no space).
 struct PassHit {
   OrdinalPair pair;
   bool is_duplicate;
+  uint32_t distance;
 };
+
+// Bucket index of a similarity score under DefaultSimilarityBounds(),
+// matching Histogram::Observe's lower_bound placement so the per-pass
+// sim_buckets and the engine-wide sw.similarity histogram agree.
+size_t SimilarityBucket(double value) {
+  static const std::vector<double> bounds = obs::DefaultSimilarityBounds();
+  return static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+}
 
 // The governor's verdict for one window pass, fixed at level setup time
 // (serially, in deterministic pass order) before any worker runs.
@@ -190,7 +203,8 @@ void RunExactOdPrepass(CandidateRun& run) {
 void RunWindowPass(CandidateRun& run, size_t key_index,
                    const util::CancellationToken& token,
                    const util::Deadline& deadline, bool interruptible,
-                   obs::MetricsRegistry& metrics, obs::Tracer& tracer) {
+                   bool record_distance, obs::MetricsRegistry& metrics,
+                   obs::Tracer& tracer) {
   const PassPlan& plan = run.plans[key_index];
   if (plan.skip) return;
   if (util::FaultInjector::Instance().ShouldFail("detector.pass")) {
@@ -213,6 +227,28 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   std::vector<PassHit>& hits = run.pass_hits[key_index];
   PassStats& stats = run.pass_stats[key_index];
   VerdictCache* cache = run.verdict_cache.get();
+  // Window distances for the explain log come from the inverse rank
+  // array, built only when explain is on — the classification hot path
+  // allocates nothing extra otherwise.
+  std::vector<uint32_t> inv_rank;
+  if (record_distance) {
+    inv_rank.resize(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      inv_rank[order[i]] = static_cast<uint32_t>(i);
+    }
+  }
+  // Per-pass similarity distribution: one engine-wide histogram (handle
+  // resolved once, before the hot loop) plus the report row's decile
+  // buckets. Owned computations only — with a verdict cache each unique
+  // pair contributes once, without one each pass scores independently;
+  // either way the observed multiset is deterministic.
+  const bool track_sim = metrics.enabled();
+  obs::Histogram* sim_hist = nullptr;
+  if (track_sim) {
+    sim_hist =
+        &metrics.histogram("sw.similarity", obs::DefaultSimilarityBounds());
+    stats.sim_buckets.assign(obs::DefaultSimilarityBounds().size() + 1, 0);
+  }
   // The whole pass runs on one worker thread, so the thread-local Myers
   // word count brackets exactly this pass's kernel work.
   const uint64_t myers_before = text::ThreadMyersStats().words;
@@ -244,10 +280,20 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
       if (verdict.desc_evaluated) ++stats.desc_invocations;
       if (verdict.desc_short_circuit) ++stats.desc_short_circuits;
       stats.interned_equal += verdict.interned_equal;
+      if (track_sim) {
+        sim_hist->Observe(verdict.combined);
+        ++stats.sim_buckets[SimilarityBucket(verdict.combined)];
+      }
     }
     ++stats.comparisons;
     if (is_duplicate) ++stats.hits;
-    hits.push_back({pair, is_duplicate});
+    uint32_t distance = 0;
+    if (record_distance) {
+      uint32_t ra = inv_rank[a];
+      uint32_t rb = inv_rank[b];
+      distance = ra > rb ? ra - rb : rb - ra;
+    }
+    hits.push_back({pair, is_duplicate, distance});
   };
   // A shrunk boundary pass always runs the plain fixed window: adaptive
   // extension would overrun the budget it was shrunk to fit.
@@ -297,23 +343,100 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
                    ", \"hits\": " + std::to_string(stats.hits) + "}");
 }
 
+// Explain-log emission for one candidate, from the serial merge point:
+// the candidate header, one instance record per GK row (keys + per-pass
+// sort ranks), one pair record per prepass accept, and one pair record
+// per replayed pass hit. Provenance is canonicalized here rather than
+// taken from the workers: which pass actually owned a cached verdict is
+// scheduling-dependent, but the *count* of owned computations is not, so
+// the first merge-order occurrence of a pair is tagged `owned` (with the
+// full scoring breakdown recomputed exactly) and every repeat
+// `verdict_cache`. The per-tag record counts then reconcile with
+// sw.comparisons / sw.verdict_cache_hits / sw.prepass_pairs, and the
+// byte stream is identical for any num_threads.
+void EmitCandidateExplain(const CandidateRun& run, int depth,
+                          obs::ExplainLog& explain) {
+  const GkTable& table = *run.table;
+  const std::vector<xml::ElementId>& eids = run.instances->eids;
+  explain.AppendCandidate(run.cand->name, static_cast<size_t>(depth),
+                          run.instances->NumInstances(),
+                          run.cand->keys.size(), run.cand->window_size,
+                          WindowPolicyName(run.cand->window_policy),
+                          run.cand->classifier.od_threshold);
+
+  size_t num_keys = run.cand->keys.size();
+  std::vector<std::vector<size_t>> rank_of(num_keys);
+  for (size_t k = 0; k < num_keys; ++k) {
+    std::vector<size_t> order = table.SortedOrder(k);
+    rank_of[k].resize(order.size());
+    for (size_t i = 0; i < order.size(); ++i) rank_of[k][order[i]] = i;
+  }
+  std::vector<size_t> ranks(num_keys);
+  for (size_t ordinal = 0; ordinal < table.rows.size(); ++ordinal) {
+    for (size_t k = 0; k < num_keys; ++k) ranks[k] = rank_of[k][ordinal];
+    explain.AppendInstance(run.cand->name, ordinal,
+                           static_cast<size_t>(eids[ordinal]),
+                           table.rows[ordinal].keys, ranks);
+  }
+
+  for (const auto& [a, b] : run.prepass_accepted) {
+    explain.AppendPair(run.cand->name, /*pass=*/-1, a, b,
+                       static_cast<size_t>(eids[a]),
+                       static_cast<size_t>(eids[b]), /*window_distance=*/0,
+                       obs::PairProvenance::kPrepass, /*detail=*/nullptr,
+                       /*verdict=*/true);
+  }
+}
+
 // Deterministic merge: replays the pass buffers in key order against a
 // flat hash set, so the accepted pairs, their order, and the comparison
 // count are those of the serial single-pass-at-a-time detector no matter
 // how the passes were interleaved across threads. Verdict-cache hits
 // record the same (pair, verdict) entries as owned computations, so the
 // replay never needs to know which pass actually ran the kernel.
-void MergePasses(CandidateRun& run, CandidateResult& result,
-                 obs::MetricsRegistry& metrics) {
+void MergePasses(CandidateRun& run, CandidateResult& result, int depth,
+                 obs::MetricsRegistry& metrics, obs::ExplainLog& explain) {
+  if (explain.enabled()) EmitCandidateExplain(run, depth, explain);
+
   std::unordered_set<uint64_t> seen = run.prepass_pairs;
   std::vector<OrdinalPair> accepted = run.prepass_accepted;
   size_t total_hits = 0;
   for (const auto& hits : run.pass_hits) total_hits += hits.size();
   seen.reserve(seen.size() + total_hits);
 
-  for (const std::vector<PassHit>& hits : run.pass_hits) {
-    for (const PassHit& hit : hits) {
-      if (!seen.insert(PackPair(hit.pair)).second) continue;
+  // Canonical provenance: with a verdict cache, the first merge-order
+  // occurrence of a pair counts as the owned computation; without one,
+  // every pass computed its own verdict, so every record is owned.
+  const bool has_cache = run.verdict_cache != nullptr;
+  std::unordered_set<uint64_t> first_seen;
+  if (explain.enabled() && has_cache) first_seen.reserve(total_hits);
+
+  const std::vector<xml::ElementId>& eids = run.instances->eids;
+  for (size_t k = 0; k < run.pass_hits.size(); ++k) {
+    for (const PassHit& hit : run.pass_hits[k]) {
+      uint64_t packed = PackPair(hit.pair);
+      if (explain.enabled()) {
+        auto [a, b] = hit.pair;
+        obs::PairProvenance provenance = obs::PairProvenance::kOwned;
+        if (has_cache && !first_seen.insert(packed).second) {
+          provenance = obs::PairProvenance::kVerdictCache;
+        }
+        if (provenance == obs::PairProvenance::kOwned) {
+          obs::PairExplain detail =
+              run.measure->Explain(run.table->rows[a], run.table->rows[b]);
+          explain.AppendPair(run.cand->name, static_cast<int>(k), a, b,
+                             static_cast<size_t>(eids[a]),
+                             static_cast<size_t>(eids[b]), hit.distance,
+                             provenance, &detail, hit.is_duplicate);
+        } else {
+          explain.AppendPair(run.cand->name, static_cast<int>(k), a, b,
+                             static_cast<size_t>(eids[a]),
+                             static_cast<size_t>(eids[b]), hit.distance,
+                             provenance, /*detail=*/nullptr,
+                             hit.is_duplicate);
+        }
+      }
+      if (!seen.insert(packed).second) continue;
       ++result.comparisons;
       if (hit.is_duplicate) accepted.push_back(hit.pair);
     }
@@ -379,10 +502,14 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   const ObservabilityConfig& obs_cfg = config_.observability();
   obs::MetricsRegistry metrics(obs_cfg.metrics);
   obs::Tracer tracer(!obs_cfg.trace_path.empty());
+  obs::ExplainLog explain(!obs_cfg.explain_path.empty());
   obs::Tracer::Span run_span = tracer.StartSpan("detect");
   if (metrics.enabled()) {
     metrics.gauge("engine.num_threads")
         .Set(static_cast<double>(num_threads));
+    // Registered up front so the histogram appears in every snapshot,
+    // comparisons or not.
+    metrics.histogram("sw.similarity", obs::DefaultSimilarityBounds());
   }
 
   // --- Key generation phase (KG) -----------------------------------------
@@ -543,7 +670,7 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
     util::ParallelFor(pass_tasks.size(), num_threads, [&](size_t i) {
       auto [r, key_index] = pass_tasks[i];
       RunWindowPass(runs[r], key_index, token, deadline, interruptible,
-                    metrics, tracer);
+                    explain.enabled(), metrics, tracer);
     });
     for (const CandidateRun& run : runs) {
       for (const util::Status& status : run.pass_status) {
@@ -560,7 +687,7 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
       CandidateResult& cand_result = cand_results[run.index];
       cand_result.name = run.cand->name;
       cand_result.num_instances = run.instances->NumInstances();
-      MergePasses(run, cand_result, metrics);
+      MergePasses(run, cand_result, depth, metrics, explain);
     }
     merge_span.End();
     result.timer.Add(kPhaseSlidingWindow, sw_watch.ElapsedSeconds());
@@ -585,6 +712,9 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
         entry.pairs_planned = plan.planned;
         entry.pairs_elided =
             plan.planned > executed ? plan.planned - executed : 0;
+        explain.AppendShed(run.cand->name, static_cast<int>(k), plan.skip,
+                           run.cand->window_size, plan.window, entry.rows,
+                           entry.pairs_planned, entry.pairs_elided);
         degradation.passes.push_back(std::move(entry));
       }
     }
@@ -597,9 +727,25 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
       }
       util::Stopwatch tc_watch;
       obs::Tracer::Span tc_span = tracer.StartSpan("tc/" + run.cand->name);
+      std::vector<MergeStep> lineage;
       cluster_sets[run.index] = ComputeTransitiveClosure(
           run.instances->NumInstances(),
-          cand_results[run.index].duplicate_pairs, &metrics);
+          cand_results[run.index].duplicate_pairs, &metrics,
+          explain.enabled() ? &lineage : nullptr);
+      if (explain.enabled()) {
+        for (const MergeStep& step : lineage) {
+          explain.AppendMerge(run.cand->name, step.pair.first,
+                              step.pair.second, step.root_a, step.root_b,
+                              step.root, step.merged);
+        }
+        const ClusterSet& clusters = cluster_sets[run.index];
+        for (const std::vector<size_t>& members :
+             clusters.NonTrivialClusters()) {
+          explain.AppendCluster(run.cand->name,
+                                static_cast<size_t>(clusters.cid(members[0])),
+                                members);
+        }
+      }
       tc_span.End();
       result.timer.Add(kPhaseTransitiveClosure, tc_watch.ElapsedSeconds());
       cand_results[run.index].clusters = cluster_sets[run.index];
@@ -657,6 +803,9 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
     if (!obs_cfg.report_path.empty()) {
       SXNM_RETURN_IF_ERROR(result.report.WriteJsonFile(obs_cfg.report_path));
     }
+  }
+  if (explain.enabled()) {
+    SXNM_RETURN_IF_ERROR(explain.WriteFile(obs_cfg.explain_path));
   }
   return result;
 }

@@ -413,4 +413,161 @@ SimilarityVerdict SimilarityMeasure::CompareImpl(const GkRow& a,
   return verdict;
 }
 
+obs::PairExplain SimilarityMeasure::Explain(const GkRow& a,
+                                            const GkRow& b) const {
+  const ClassifierConfig& cls = config_.classifier;
+  obs::PairExplain out;
+  out.threshold = cls.od_threshold;
+
+  const bool pooled = od_pool_ != nullptr &&
+                      a.norm_ods.size() == a.ods.size() &&
+                      b.norm_ods.size() == b.ods.size();
+
+  // Exact per-component detail. The explain path never prunes: every
+  // comparable component gets its true similarity and (for the edit φ
+  // with interned normalized values) its true edit distance.
+  double weighted_sim = 0.0;
+  double total_weight = 0.0;
+  out.components.reserve(config_.od.size());
+  for (size_t i = 0; i < config_.od.size(); ++i) {
+    obs::ExplainOdComponent comp;
+    comp.index = i;
+    comp.weight = config_.od[i].relevance;
+    comp.comparable = !(a.ods[i].empty() && b.ods[i].empty());
+    const bool edit_entry = pooled && od_is_norm_edit_[i];
+    if (pooled) {
+      comp.ref_a = a.norm_ods[i].id;
+      comp.ref_b = b.norm_ods[i].id;
+    }
+    if (edit_entry) {
+      comp.value_a = std::string(od_pool_->View(a.norm_ods[i]));
+      comp.value_b = std::string(od_pool_->View(b.norm_ods[i]));
+    } else {
+      comp.value_a = a.ods[i];
+      comp.value_b = b.ods[i];
+    }
+    if (comp.comparable) {
+      comp.interned_equal = edit_entry && a.norm_ods[i].id == b.norm_ods[i].id;
+      if (edit_entry) {
+        comp.edit_distance =
+            comp.interned_equal
+                ? 0
+                : static_cast<int64_t>(text::LevenshteinDistance(
+                      od_pool_->View(a.norm_ods[i]),
+                      od_pool_->View(b.norm_ods[i])));
+      }
+      comp.sim = ComponentSimilarity(a, b, i, /*min_sim=*/0.0, nullptr);
+      weighted_sim += comp.weight * comp.sim;
+      total_weight += comp.weight;
+    }
+    out.components.push_back(std::move(comp));
+  }
+  out.od_valid = total_weight > 0.0;
+  out.od_sim = out.od_valid ? weighted_sim / total_weight : 0.0;
+
+  const bool desc_possible = config_.use_descendants &&
+                             !child_cluster_sets_.empty() &&
+                             cls.mode != CombineMode::kOdOnly;
+
+  // Replay the bounded kernel's pruning decision to flag where the
+  // sliding window would have bailed out (purely informational; the
+  // similarities above stay exact).
+  if (config_.enable_fast_paths && config_.theory.empty()) {
+    double min_required = MinUsefulOd(desc_possible);
+    if (min_required > 0.0) {
+      double sim = 0.0;
+      double remaining = total_weight;
+      for (size_t i = 0; i < config_.od.size(); ++i) {
+        if (a.ods[i].empty() && b.ods[i].empty()) continue;
+        const OdEntry& od = config_.od[i];
+        remaining -= od.relevance;
+        double comp_min = 0.0;
+        double needed = min_required * total_weight - sim - remaining;
+        if (needed > 0.0) comp_min = needed / od.relevance;
+        bool comp_pruned = false;
+        double s = ComponentSimilarity(a, b, i, comp_min, &comp_pruned);
+        sim += od.relevance * s;
+        double upper_bound =
+            total_weight > 0.0 ? (sim + remaining) / total_weight : 0.0;
+        if (comp_pruned || upper_bound < min_required) {
+          out.components[i].bailout = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Descendant detail: one slot per child type with a cluster set, with
+  // the multiset sizes, intersection, and union behind the Jaccard.
+  if (config_.use_descendants) {
+    for (size_t slot = 0; slot < child_cluster_sets_.size(); ++slot) {
+      if (child_cluster_sets_[slot] == nullptr) continue;
+      obs::ExplainDescSlot d;
+      d.child = slot;
+      const std::vector<int>& cids_a = desc_cids_[slot][a.ordinal];
+      const std::vector<int>& cids_b = desc_cids_[slot][b.ordinal];
+      d.size_a = cids_a.size();
+      d.size_b = cids_b.size();
+      d.intersection = SortedOverlap(cids_a, cids_b);
+      d.union_size = d.size_a + d.size_b - d.intersection;
+      d.jaccard = d.union_size == 0
+                      ? 0.0
+                      : static_cast<double>(d.intersection) /
+                            static_cast<double>(d.union_size);
+      out.descendants.push_back(d);
+    }
+  }
+
+  if (!config_.theory.empty()) {
+    // Theory classification: the score facing the user is the OD
+    // similarity; whether the rules fired is recorded explicitly.
+    std::vector<double> comp = ComponentSimilarities(a, b);
+    double desc = -1.0;
+    if (config_.use_descendants && config_.theory.UsesDescendants()) {
+      desc = DescendantSimilarity(a.ordinal, b.ordinal);
+    }
+    out.desc_valid = desc >= 0.0;
+    out.desc_sim = out.desc_valid ? desc : 0.0;
+    std::vector<int> od_pids;
+    od_pids.reserve(config_.od.size());
+    for (const OdEntry& od : config_.od) od_pids.push_back(od.pid);
+    out.theory_equal = config_.theory.Fires(comp, od_pids, desc);
+    out.score = out.od_sim;
+    return out;
+  }
+
+  if (!desc_possible) {
+    out.score = out.od_sim;
+    return out;
+  }
+
+  double desc = DescendantSimilarity(a.ordinal, b.ordinal);
+  out.desc_valid = desc >= 0.0;
+  out.desc_sim = out.desc_valid ? desc : 0.0;
+  if (!out.desc_valid) {
+    out.score = out.od_sim;
+    return out;
+  }
+  switch (cls.mode) {
+    case CombineMode::kOdOnly:
+    case CombineMode::kDescGate:
+      out.score = out.od_sim;
+      break;
+    case CombineMode::kAverage:
+      out.score = 0.5 * (out.od_sim + out.desc_sim);
+      break;
+    case CombineMode::kWeighted:
+      out.score =
+          cls.od_weight * out.od_sim + (1.0 - cls.od_weight) * out.desc_sim;
+      break;
+    case CombineMode::kDescBoost: {
+      double boosted =
+          out.desc_sim >= cls.desc_threshold ? 1.0 : out.desc_sim;
+      out.score = 0.5 * (out.od_sim + boosted);
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace sxnm::core

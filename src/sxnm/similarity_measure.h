@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "obs/explain.h"
 #include "sxnm/candidate_tree.h"
 #include "sxnm/cluster_set.h"
 #include "sxnm/config.h"
@@ -98,6 +99,14 @@ class SimilarityMeasure {
   /// (CandidateConfig::enable_fast_paths) or rows lack precomputed
   /// normalized ODs.
   SimilarityVerdict CompareFast(const GkRow& a, const GkRow& b) const;
+
+  /// Full decision breakdown for the explain log: exact per-component
+  /// similarities (values, interned refs, edit distances), per-child-slot
+  /// descendant Jaccard detail, the exact combined score, and which
+  /// component the bounded kernel would have pruned at (`bailout`).
+  /// Deliberately off the hot path — it recomputes everything without
+  /// pruning, so scores match Compare, not CompareFast's upper bounds.
+  obs::PairExplain Explain(const GkRow& a, const GkRow& b) const;
 
  private:
   SimilarityVerdict CompareImpl(const GkRow& a, const GkRow& b,

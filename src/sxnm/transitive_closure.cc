@@ -7,11 +7,24 @@ namespace sxnm::core {
 
 ClusterSet ComputeTransitiveClosure(size_t num_instances,
                                     const std::vector<OrdinalPair>& pairs,
-                                    obs::MetricsRegistry* metrics) {
+                                    obs::MetricsRegistry* metrics,
+                                    std::vector<MergeStep>* lineage) {
   util::UnionFind uf(num_instances);
   size_t union_ops = 0;
+  if (lineage != nullptr) lineage->reserve(lineage->size() + pairs.size());
   for (const auto& [a, b] : pairs) {
-    if (uf.Union(a, b)) ++union_ops;
+    if (lineage == nullptr) {
+      if (uf.Union(a, b)) ++union_ops;
+      continue;
+    }
+    MergeStep step;
+    step.pair = {a, b};
+    step.root_a = uf.Find(a);
+    step.root_b = uf.Find(b);
+    step.merged = uf.Union(a, b);
+    step.root = uf.Find(a);
+    if (step.merged) ++union_ops;
+    lineage->push_back(step);
   }
   std::vector<std::vector<size_t>> clusters = uf.Clusters(/*min_size=*/2);
 

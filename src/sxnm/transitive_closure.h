@@ -16,6 +16,19 @@ class MetricsRegistry;
 
 namespace sxnm::core {
 
+/// One union-find step of the closure, for the explain log's cluster
+/// lineage: pair (a, b) arrived while the sets had roots `root_a` and
+/// `root_b`; `root` is the surviving root afterwards. `merged` is false
+/// when the pair was already intra-cluster (root_a == root_b), i.e. the
+/// pair added no new information.
+struct MergeStep {
+  OrdinalPair pair;
+  size_t root_a = 0;
+  size_t root_b = 0;
+  size_t root = 0;
+  bool merged = false;
+};
+
 /// Closes `pairs` (ordinal pairs over 0..num_instances-1) transitively and
 /// returns the resulting partition; instances untouched by any pair become
 /// singleton clusters.
@@ -24,9 +37,15 @@ namespace sxnm::core {
 /// (input pairs), tc.union_ops (unions that actually merged two distinct
 /// sets), tc.clusters (non-singleton clusters produced), and the
 /// histogram tc.cluster_size over the non-singleton cluster sizes.
+///
+/// With a non-null `lineage`, appends one MergeStep per input pair in
+/// order — the union-find root trail the explain log serializes. The
+/// trail is a pure function of `pairs`, so it inherits the engine's
+/// determinism guarantees.
 ClusterSet ComputeTransitiveClosure(size_t num_instances,
                                     const std::vector<OrdinalPair>& pairs,
-                                    obs::MetricsRegistry* metrics = nullptr);
+                                    obs::MetricsRegistry* metrics = nullptr,
+                                    std::vector<MergeStep>* lineage = nullptr);
 
 }  // namespace sxnm::core
 

@@ -1,0 +1,175 @@
+// Gold-joined miss diagnosis: every pairwise false negative lands in
+// exactly one MissKind bucket, windowed-but-rejected misses carry the
+// exact rejecting score, governed runs attribute their losses to shed
+// work, and the per-pass attribution rows attach to the DetectionReport.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+#include "eval/miss_diagnosis.h"
+#include "sxnm/detector.h"
+#include "xml/node.h"
+
+namespace sxnm::eval {
+namespace {
+
+xml::Document DirtyMovies(size_t num_movies, unsigned data_seed,
+                          unsigned dirty_seed) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = num_movies;
+  gen.seed = data_seed;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty =
+      datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(dirty_seed));
+  EXPECT_TRUE(dirty.ok());
+  return std::move(dirty).value();
+}
+
+TEST(MissDiagnosisTest, PartitionCoversEveryFalseNegative) {
+  xml::Document dirty = DirtyMovies(200, 7, 3);
+  auto config = datagen::MovieConfig(/*window=*/8);
+  ASSERT_TRUE(config.ok());
+  core::Config cfg = config.value();
+  cfg.mutable_observability().metrics = true;
+  auto result = core::Detector(cfg).Run(dirty);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto diag = DiagnoseMisses(cfg, dirty, result.value(), "movie");
+  ASSERT_TRUE(diag.ok()) << diag.status().ToString();
+
+  // The partition has no remainder: every gold pair is a true positive
+  // or exactly one classified miss.
+  EXPECT_EQ(diag->true_positives + diag->misses.size(), diag->gold_pairs);
+  EXPECT_EQ(diag->CountKind(MissKind::kNeverWindowed) +
+                diag->CountKind(MissKind::kWindowedButRejected) +
+                diag->CountKind(MissKind::kShed),
+            diag->misses.size());
+
+  // Cross-check the headline counts against the pairwise metrics.
+  auto gold = GoldClusterSet(dirty,
+                             cfg.Find("movie")->absolute_path.ToString());
+  ASSERT_TRUE(gold.ok());
+  PairMetrics quality =
+      PairwiseMetrics(gold.value(), result->Find("movie")->clusters);
+  EXPECT_EQ(diag->gold_pairs, quality.gold_pairs);
+  EXPECT_EQ(diag->detected_pairs, quality.detected_pairs);
+  EXPECT_EQ(diag->true_positives, quality.true_positives);
+  EXPECT_EQ(diag->false_positives.size(),
+            quality.detected_pairs - quality.true_positives);
+
+  const size_t window = cfg.Find("movie")->window_size;
+  for (const MissedPair& miss : diag->misses) {
+    ASSERT_EQ(miss.rank_gaps.size(), cfg.Find("movie")->keys.size());
+    switch (miss.kind) {
+      case MissKind::kNeverWindowed:
+        // No pass sorted the two instances within window distance.
+        EXPECT_GE(miss.min_rank_gap, window);
+        EXPECT_EQ(miss.pass, -1);
+        break;
+      case MissKind::kWindowedButRejected:
+        EXPECT_GE(miss.pass, 0);
+        ASSERT_TRUE(miss.has_explain);
+        // Rejected means the exact score faced the threshold and lost.
+        EXPECT_LT(miss.explain.score, miss.explain.threshold + 1e-6);
+        break;
+      case MissKind::kShed:
+        ADD_FAILURE() << "ungoverned run must not shed";
+        break;
+    }
+  }
+}
+
+TEST(MissDiagnosisTest, WorksWithoutMetrics) {
+  // The replay falls back to the degradation report (here: none) when
+  // the run kept no per-pass statistics.
+  xml::Document dirty = DirtyMovies(120, 17, 5);
+  auto config = datagen::MovieConfig(/*window=*/8);
+  ASSERT_TRUE(config.ok());
+  auto result = core::Detector(config.value()).Run(dirty);
+  ASSERT_TRUE(result.ok());
+
+  auto diag = DiagnoseMisses(config.value(), dirty, result.value(), "movie");
+  ASSERT_TRUE(diag.ok()) << diag.status().ToString();
+  EXPECT_EQ(diag->true_positives + diag->misses.size(), diag->gold_pairs);
+  EXPECT_EQ(diag->CountKind(MissKind::kShed), 0u);
+}
+
+TEST(MissDiagnosisTest, AttributionRowsAreConsistent) {
+  xml::Document dirty = DirtyMovies(200, 27, 9);
+  auto config = datagen::MovieConfig(/*window=*/10);
+  ASSERT_TRUE(config.ok());
+  core::Config cfg = config.value();
+  cfg.mutable_observability().metrics = true;
+  auto result = core::Detector(cfg).Run(dirty);
+  ASSERT_TRUE(result.ok());
+
+  auto diag = DiagnoseMisses(cfg, dirty, result.value(), "movie");
+  ASSERT_TRUE(diag.ok()) << diag.status().ToString();
+  ASSERT_EQ(diag->attribution.size(), cfg.Find("movie")->keys.size());
+  bool any_windowed = false;
+  for (const core::PassAttribution& row : diag->attribution) {
+    EXPECT_EQ(row.candidate, "movie");
+    EXPECT_EQ(row.gold_pairs, diag->gold_pairs);
+    EXPECT_LE(row.gold_windowed, row.gold_pairs);
+    EXPECT_LE(row.accepted_gold, row.accepted);
+    EXPECT_LE(row.accepted_gold, row.gold_windowed);
+    EXPECT_GE(row.precision, 0.0);
+    EXPECT_LE(row.precision, 1.0);
+    EXPECT_GE(row.recall, 0.0);
+    EXPECT_LE(row.recall, 1.0);
+    any_windowed = any_windowed || row.gold_windowed > 0;
+  }
+  EXPECT_TRUE(any_windowed);
+
+  // Attach to the report: one attribution row per pass, rendered.
+  AttachAttribution(diag.value(), result->report);
+  EXPECT_EQ(result->report.attribution.size(), diag->attribution.size());
+  std::string table = result->report.AttributionTable();
+  EXPECT_NE(table.find("gold_windowed"), std::string::npos);
+  EXPECT_NE(result->report.ToJson().find("\"attribution\""),
+            std::string::npos);
+}
+
+TEST(MissDiagnosisTest, GovernedRunClassifiesShedPairs) {
+  xml::Document dirty = DirtyMovies(200, 37, 5);
+  auto config = datagen::MovieConfig(/*window=*/10);
+  ASSERT_TRUE(config.ok());
+  core::Config cfg = config.value();
+  cfg.mutable_observability().metrics = true;
+  // Budget for less than one full pass: the rest is shed.
+  cfg.mutable_limits().max_comparisons = 1500;
+  auto result = core::Detector(cfg).Run(dirty);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->degraded());
+
+  auto diag = DiagnoseMisses(cfg, dirty, result.value(), "movie");
+  ASSERT_TRUE(diag.ok()) << diag.status().ToString();
+  EXPECT_EQ(diag->true_positives + diag->misses.size(), diag->gold_pairs);
+  // Work was shed, so some gold pairs must be attributed to it.
+  EXPECT_GT(diag->CountKind(MissKind::kShed), 0u);
+  for (const MissedPair& miss : diag->misses) {
+    if (miss.kind == MissKind::kShed) {
+      EXPECT_GE(miss.pass, 0);
+    }
+  }
+  EXPECT_NE(diag->ToString().find("shed"), std::string::npos);
+}
+
+TEST(MissDiagnosisTest, UnknownCandidateFails) {
+  xml::Document dirty = DirtyMovies(30, 47, 1);
+  auto config = datagen::MovieConfig(/*window=*/6);
+  ASSERT_TRUE(config.ok());
+  auto result = core::Detector(config.value()).Run(dirty);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseMisses(config.value(), dirty, result.value(), "nope");
+  EXPECT_FALSE(diag.ok());
+}
+
+}  // namespace
+}  // namespace sxnm::eval

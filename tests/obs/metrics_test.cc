@@ -132,6 +132,64 @@ TEST(MetricsHistogramTest, BucketQuantileOfEmptyDataIsZero) {
       BucketQuantile({1.0, 2.0}, std::vector<uint64_t>{0, 0, 0}, 0.5), 0.0);
 }
 
+TEST(MetricsHistogramTest, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("empty", std::vector<double>{1, 10});
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsHistogramTest, QuantileOfSingleObservationStaysInItsBucket) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("single", std::vector<double>{10, 20, 40});
+  histogram.Observe(15.0);
+  // One observation in (10, 20]: every quantile must stay inside that
+  // bucket's value range, and must be monotone in q.
+  double last = 0.0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    double value = histogram.Quantile(q);
+    EXPECT_GE(value, 10.0) << "q=" << q;
+    EXPECT_LE(value, 20.0) << "q=" << q;
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+}
+
+TEST(MetricsHistogramTest, QuantileAllOverflowCollapsesEveryQuantile) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("allovf", std::vector<double>{1, 2});
+  for (int i = 0; i < 7; ++i) histogram.Observe(100.0 + i);
+  // The overflow bucket has no upper bound to interpolate toward, so
+  // every rank collapses to the last finite bound.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Quantile(q), 2.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsHistogramTest, QuantileInterpolatesAtBucketBoundaries) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("bndry", std::vector<double>{10, 20});
+  // Two observations in [0, 10], two in (10, 20]: a target rank falling
+  // in the gap between the buckets' occupied ranks must clamp to the
+  // upper bucket's lower edge instead of extrapolating below it (the
+  // unclamped formula returned 5.0 at q=0.5 here — below the q=0.25
+  // answer, i.e. non-monotone).
+  histogram.Observe(5.0);
+  histogram.Observe(5.0);
+  histogram.Observe(15.0);
+  histogram.Observe(15.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.25), 7.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 12.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 20.0);
+}
+
 TEST(MetricsRegistryTest, DisabledRegistryDropsEveryWrite) {
   MetricsRegistry registry(/*enabled=*/false);
   EXPECT_FALSE(registry.enabled());
@@ -207,6 +265,52 @@ TEST(MetricsSnapshotTest, WriteJsonEmitsAllMetricKinds) {
   EXPECT_NE(json.find("\"g\": 1.5"), std::string::npos) << json;
   EXPECT_NE(json.find("\"h\": {\"count\": 1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"+inf\""), std::string::npos) << json;
+}
+
+TEST(MetricsSnapshotTest, PrometheusTextCoversAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.counter("sw.comparisons").Add(42);
+  registry.gauge("run.threads").Set(8.0);
+  registry.histogram("sw.similarity", std::vector<double>{0.5, 1.0})
+      .Observe(0.25);
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  // Dotted names are sanitized and prefixed, each with a TYPE line.
+  EXPECT_NE(text.find("# TYPE sxnm_sw_comparisons counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_sw_comparisons 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE sxnm_run_threads gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_run_threads 8"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE sxnm_sw_similarity histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_sw_similarity_sum 0.25"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_sw_similarity_count 1"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsSnapshotTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("h", std::vector<double>{1, 2});
+  histogram.Observe(0.5);  // bucket le=1
+  histogram.Observe(1.5);  // bucket le=2
+  histogram.Observe(9.0);  // overflow
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  // Prometheus buckets are cumulative, ending with le="+Inf" == _count.
+  EXPECT_NE(text.find("sxnm_h_bucket{le=\"1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_h_bucket{le=\"2\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_h_bucket{le=\"+Inf\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_h_count 3"), std::string::npos) << text;
 }
 
 TEST(MetricsShardTest, ThisThreadShardIsStableAndInRange) {

@@ -152,6 +152,36 @@ TEST(ConfigXmlTest, ObservabilityRoundTripsThroughXml) {
   EXPECT_EQ(reparsed->observability().report_path, "report.json");
 }
 
+TEST(ConfigXmlTest, ExplainAttributeRoundTripsThroughXml) {
+  std::string xml = kConfigXml;
+  std::string insert =
+      "  <observability metrics=\"on\" explain=\"explain.ndjson\"/>\n"
+      "  <candidate";
+  xml.replace(xml.find("  <candidate"), 12, insert);
+  auto config = ConfigFromXmlString(xml);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->observability().explain_path, "explain.ndjson");
+
+  std::string serialized = ConfigToXmlString(config.value());
+  EXPECT_NE(serialized.find("explain=\"explain.ndjson\""),
+            std::string::npos)
+      << serialized;
+  auto reparsed = ConfigFromXmlString(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->observability().explain_path, "explain.ndjson");
+}
+
+TEST(ConfigXmlTest, ExplainWithoutMetricsRejected) {
+  // The explain log rides on the metrics layer (pass stats, counters);
+  // asking for it with metrics off is a config error, same as report.
+  std::string xml = kConfigXml;
+  std::string insert =
+      "  <observability metrics=\"off\" explain=\"/tmp/e.ndjson\"/>\n"
+      "  <candidate";
+  xml.replace(xml.find("  <candidate"), 12, insert);
+  EXPECT_FALSE(ConfigFromXmlString(xml).ok());
+}
+
 TEST(ConfigXmlTest, ObservabilityReportWithoutMetricsRejected) {
   std::string xml = kConfigXml;
   std::string insert =

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate bench JSON output against the documented schema.
 
-Checks the schema_version-3 files produced by the benches:
+Checks the schema_version-4 files produced by the benches:
 
   * ``micro_pipeline --json BENCH_pipeline.json`` (the checked-in
     ``BENCH_pipeline.json`` at the repo root),
@@ -15,8 +15,15 @@ observability layer guarantees, e.g. that the legacy ``comparisons``
 field equals the registry's ``sw.unique_comparisons`` counter and that
 histogram quantiles are monotone.
 
+With ``--explain-schema`` the arguments are instead decision-provenance
+NDJSON logs (``<observability explain="...">``, see
+docs/OBSERVABILITY.md): every record is checked for its type's required
+fields, provenance tags against the enum, scores against [0, 1], and
+the per-candidate merge lineage against the set of accepted pairs.
+
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
+  tools/check_bench_json.py --explain-schema LOG [LOG ...]
 
 Exits 0 when every file validates, 1 otherwise (one message per
 violation on stderr). See docs/BENCHMARKS.md for the schema.
@@ -25,13 +32,15 @@ violation on stderr). See docs/BENCHMARKS.md for the schema.
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # Counters the engine always registers (values may legitimately be 0).
 # Version 3 added the kernel fast-path counters: kg.od_pool_* (OD value
 # interning), sw.verdict_cache_hits / sw.interned_equal (cross-pass
 # verdict cache and interned-equality shortcut), and text.myers_words
-# (bit-parallel edit-distance kernel work).
+# (bit-parallel edit-distance kernel work). Version 4 added the
+# sw.similarity histogram (combined-score distribution of owned kernel
+# invocations).
 REQUIRED_COUNTERS = [
     "kg.rows",
     "kg.keys_emitted",
@@ -56,7 +65,7 @@ REQUIRED_COUNTERS = [
     "tc.clusters",
 ]
 REQUIRED_GAUGES = ["engine.num_threads", "engine.num_candidates"]
-REQUIRED_HISTOGRAMS = ["sw.pass_seconds", "tc.cluster_size"]
+REQUIRED_HISTOGRAMS = ["sw.pass_seconds", "sw.similarity", "tc.cluster_size"]
 HISTOGRAM_FIELDS = ["count", "sum", "p50", "p90", "p99"]
 PHASE_FIELDS = [
     "key_generation_s",
@@ -356,10 +365,177 @@ class Checker:
             self.error("top-level", f"unknown bench kind '{bench}'")
 
 
+# --- decision-provenance NDJSON (--explain-schema) ------------------------
+
+PROVENANCE_ENUM = ("owned", "verdict_cache", "prepass")
+
+# type -> (field, allowed python types); bool before int matters nowhere
+# here because require() rejects bools unless asked for.
+EXPLAIN_REQUIRED = {
+    "candidate": [("candidate", (str,)), ("depth", (int,)),
+                  ("instances", (int,)), ("keys", (int,)),
+                  ("window", (int,)), ("window_policy", (str,)),
+                  ("threshold", (int, float))],
+    "instance": [("candidate", (str,)), ("ordinal", (int,)),
+                 ("eid", (int,)), ("keys", (list,)), ("ranks", (list,))],
+    "pair": [("candidate", (str,)), ("pass", (int,)), ("a", (int,)),
+             ("b", (int,)), ("eid_a", (int,)), ("eid_b", (int,)),
+             ("window_distance", (int,)), ("provenance", (str,)),
+             ("verdict", (bool,))],
+    "shed": [("candidate", (str,)), ("pass", (int,)),
+             ("provenance", (str,)), ("skipped", (bool,)),
+             ("window_configured", (int,)), ("window_used", (int,)),
+             ("rows", (int,)), ("pairs_planned", (int,)),
+             ("pairs_elided", (int,))],
+    "merge": [("candidate", (str,)), ("a", (int,)), ("b", (int,)),
+              ("root_a", (int,)), ("root_b", (int,)), ("root", (int,)),
+              ("merged", (bool,))],
+    "cluster": [("candidate", (str,)), ("cluster", (int,)),
+                ("members", (list,))],
+}
+
+OWNED_DETAIL_FIELDS = [("components", (list,)), ("descendants", (list,)),
+                       ("theory_equal", (bool,)), ("od_valid", (bool,)),
+                       ("od_sim", (int, float)), ("desc_valid", (bool,)),
+                       ("desc_sim", (int, float)), ("score", (int, float)),
+                       ("threshold", (int, float))]
+
+
+class ExplainChecker(Checker):
+    """Validates one explain NDJSON log (shares Checker's plumbing)."""
+
+    def check_unit(self, obj, key, where):
+        value = self.require(obj, key, (int, float), where)
+        if value is not None and not 0.0 <= value <= 1.0:
+            self.error(where, f"'{key}' must be within [0, 1], got {value}")
+        return value
+
+    def check_pair(self, record, where):
+        provenance = record.get("provenance")
+        if provenance not in PROVENANCE_ENUM:
+            self.error(where, f"provenance must be one of {PROVENANCE_ENUM}, "
+                              f"got {provenance!r}")
+        a, b = record.get("a"), record.get("b")
+        if isinstance(a, int) and isinstance(b, int) and not a < b:
+            self.error(where, f"pair must be ordered a < b, got ({a}, {b})")
+        pass_index = record.get("pass")
+        if isinstance(pass_index, int):
+            if provenance == "prepass" and pass_index != -1:
+                self.error(where, "prepass records must carry pass -1, "
+                                  f"got {pass_index}")
+            if provenance != "prepass" and pass_index < 0:
+                self.error(where, f"pass must be >= 0, got {pass_index}")
+        if provenance != "owned":
+            if "score" in record:
+                self.error(where, f"{provenance} records replay a verdict "
+                                  "and must not carry a scoring breakdown")
+            return
+        for field, types in OWNED_DETAIL_FIELDS:
+            self.require(record, field, types, where)
+        for field in ("od_sim", "desc_sim", "score", "threshold"):
+            if isinstance(record.get(field), (int, float)):
+                self.check_unit(record, field, where)
+        for j, component in enumerate(record.get("components") or []):
+            cwhere = f"{where}.components[{j}]"
+            if not isinstance(component, dict):
+                self.error(cwhere, "must be an object")
+                continue
+            self.require(component, "index", (int,), cwhere)
+            self.require(component, "comparable", (bool,), cwhere)
+            self.check_unit(component, "sim", cwhere)
+            distance = self.require(component, "edit_distance", (int,), cwhere)
+            if distance is not None and distance < -1:
+                self.error(cwhere, f"edit_distance must be >= -1, "
+                                   f"got {distance}")
+
+    def check(self, lines):
+        accepted = {}  # candidate -> set of accepted (a, b)
+        merged = {}    # candidate -> set of merge-record (a, b)
+        seen_events = set()  # (candidate, pass, a, b) must be unique
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            where = f"line {lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                self.error(where, f"invalid JSON: {e}")
+                continue
+            if not isinstance(record, dict):
+                self.error(where, "record must be a JSON object")
+                continue
+            kind = record.get("type")
+            if kind not in EXPLAIN_REQUIRED:
+                self.error(where, f"unknown record type {kind!r}")
+                continue
+            where = f"line {lineno} ({kind})"
+            for field, types in EXPLAIN_REQUIRED[kind]:
+                self.require(record, field, types, where)
+            candidate = record.get("candidate")
+            if kind == "candidate":
+                self.check_unit(record, "threshold", where)
+            elif kind == "pair":
+                self.check_pair(record, where)
+                event = (candidate, record.get("pass"), record.get("a"),
+                         record.get("b"))
+                if event in seen_events:
+                    self.error(where, "duplicate classification event "
+                                      f"{event}")
+                seen_events.add(event)
+                if record.get("verdict") is True:
+                    accepted.setdefault(candidate, set()).add(
+                        (record.get("a"), record.get("b")))
+            elif kind == "shed":
+                if record.get("provenance") != "shed":
+                    self.error(where, "shed records must carry "
+                                      "provenance \"shed\"")
+            elif kind == "merge":
+                merged.setdefault(candidate, set()).add(
+                    (record.get("a"), record.get("b")))
+            elif kind == "cluster":
+                members = record.get("members")
+                if isinstance(members, list) and len(members) < 2:
+                    self.error(where, "clusters in the log are non-trivial "
+                                      f"(>= 2 members), got {members}")
+        # The merge lineage replays exactly the deduplicated accepted
+        # pairs — no invented merges, no dropped accepts.
+        for candidate in sorted(set(accepted) | set(merged)):
+            got = merged.get(candidate, set())
+            want = accepted.get(candidate, set())
+            if got != want:
+                self.error(f"candidate '{candidate}'",
+                           "merge lineage disagrees with accepted pairs: "
+                           f"{len(got)} merge record(s) vs "
+                           f"{len(want)} accepted pair(s)")
+
+
+def check_explain_files(paths):
+    failed = False
+    for path in paths:
+        checker = ExplainChecker(path)
+        try:
+            with open(path, encoding="utf-8") as f:
+                checker.check(f)
+        except OSError as e:
+            checker.error("top-level", f"cannot load: {e}")
+        if checker.errors:
+            failed = True
+            for error in checker.errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: OK (explain NDJSON)")
+    return 1 if failed else 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if argv[1] == "--explain-schema":
+        if len(argv) < 3:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        return check_explain_files(argv[2:])
     failed = False
     for path in argv[1:]:
         checker = Checker(path)
