@@ -1,0 +1,99 @@
+// Fuzz target for the subtree hash-consing pool: interned id equality
+// must coincide exactly with xml::StructurallyEqual (sxnm/subtree_pool.h
+// promises a collision-free canonical encoding, not a probabilistic
+// hash). The input drives a little stack machine twice — two length
+// halves build two trees over a deliberately tiny vocabulary plus raw
+// payload bytes (NULs and high-bit bytes included) — and both directions
+// of the equivalence are checked, along with clone/re-intern stability.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sxnm/subtree_pool.h"
+#include "xml/node.h"
+#include "xml/structure.h"
+
+namespace {
+
+// Byte-stream-driven tree builder. Every byte is one instruction; the
+// vocabulary is tiny so that the two halves of an input frequently build
+// structurally identical trees and the equality direction gets exercised.
+std::unique_ptr<sxnm::xml::Element> BuildTree(const uint8_t* data,
+                                              size_t size) {
+  static constexpr const char* kNames[] = {"a", "b", "c"};
+  static constexpr const char* kAttrs[] = {"k", "kk"};
+
+  auto root = std::make_unique<sxnm::xml::Element>("r");
+  std::vector<sxnm::xml::Element*> stack = {root.get()};
+
+  for (size_t i = 0; i < size; ++i) {
+    const uint8_t b = data[i];
+    sxnm::xml::Element* top = stack.back();
+    // Payload: one raw byte derived from the instruction, so NULs and
+    // high-bit bytes flow into names, texts and attribute values.
+    const std::string payload(1, static_cast<char>(b >> 3));
+    switch (b % 6) {
+      case 0: {  // descend into a new child element (bounded depth)
+        sxnm::xml::Element* child = top->AddElement(kNames[(b >> 3) % 3]);
+        if (stack.size() < 16) stack.push_back(child);
+        break;
+      }
+      case 1:  // ascend
+        if (stack.size() > 1) stack.pop_back();
+        break;
+      case 2:
+        top->AddText(payload);
+        break;
+      case 3:
+        top->AddChild(
+            std::make_unique<sxnm::xml::TextNode>(payload, /*cdata=*/true));
+        break;
+      case 4:
+        top->AddChild(std::make_unique<sxnm::xml::CommentNode>(payload));
+        break;
+      case 5:
+        top->SetAttribute(kAttrs[(b >> 3) % 2], payload);
+        break;
+    }
+  }
+  return root;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  size_t split_seed = (size_t(data[0]) << 8) | data[1];
+  data += 2;
+  size -= 2;
+  size = std::min<size_t>(size, 2048);
+  size_t split = size == 0 ? 0 : split_seed % (size + 1);
+
+  std::unique_ptr<sxnm::xml::Element> a = BuildTree(data, split);
+  std::unique_ptr<sxnm::xml::Element> b =
+      BuildTree(data + split, size - split);
+
+  sxnm::core::SubtreePool pool;
+  sxnm::core::SubtreeRef ra = pool.Intern(*a);
+  sxnm::core::SubtreeRef rb = pool.Intern(*b);
+  if (!ra.valid() || !rb.valid()) __builtin_trap();
+
+  // The core equivalence, both directions.
+  if ((ra == rb) != sxnm::xml::StructurallyEqual(*a, *b)) __builtin_trap();
+
+  // Clones are structurally identical by construction: same id, and the
+  // pool learns no new DAG nodes from re-interning.
+  size_t nodes_before = pool.num_nodes();
+  if (pool.Intern(*a->Clone()) != ra) __builtin_trap();
+  if (pool.Intern(*b) != rb) __builtin_trap();
+  if (pool.num_nodes() != nodes_before) __builtin_trap();
+
+  // Accounting invariants: every walked node is either new or shared.
+  if (pool.num_nodes() > pool.nodes_seen()) __builtin_trap();
+  if (pool.num_nodes() == 0 || pool.bytes() == 0) __builtin_trap();
+  return 0;
+}

@@ -157,7 +157,11 @@ util::Result<xml::Document> MakeDirty(const xml::Document& clean,
       int copies = rng.NextInt(rule.min_duplicates, rule.max_duplicates);
       for (int c = 0; c < copies; ++c) {
         std::unique_ptr<xml::Element> copy = target->Clone();
-        PolluteSubtree(copy.get(), options.errors, rng, &local);
+        // The > 0 guard keeps the RNG stream of rules without the knob
+        // byte-identical to the historical one.
+        bool exact = rule.exact_copy_probability > 0 &&
+                     rng.NextBool(rule.exact_copy_probability);
+        if (!exact) PolluteSubtree(copy.get(), options.errors, rng, &local);
         parent->AddChild(std::move(copy));
         ++local.duplicates_created;
       }

@@ -65,6 +65,13 @@ struct DuplicationRule {
   /// [min_duplicates, max_duplicates].
   int min_duplicates = 1;
   int max_duplicates = 1;
+
+  /// Probability that a created duplicate is an *exact* copy — no error
+  /// model applied, the subtree byte-identical to the original. Models
+  /// copy-paste replication (repeated subtrees) and drives the
+  /// DAG-compression fast path; 0 keeps the historical behaviour (and
+  /// the historical RNG stream, so existing corpora are unchanged).
+  double exact_copy_probability = 0.0;
 };
 
 struct DirtyOptions {

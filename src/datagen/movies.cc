@@ -154,6 +154,22 @@ DirtyOptions ManyDuplicatesPreset(uint64_t seed) {
   return options;
 }
 
+DirtyOptions RepeatedSubtreePreset(uint64_t seed) {
+  DirtyOptions options;
+  options.seed = seed;
+  DuplicationRule rule;
+  rule.path = "movie_database/movies/movie";
+  rule.dup_probability = 1.0;
+  rule.min_duplicates = 1;
+  rule.max_duplicates = 3;
+  rule.exact_copy_probability = 0.7;
+  options.rules.push_back(rule);
+  options.errors.field_error_probability = 0.5;
+  options.errors.min_edits = 1;
+  options.errors.max_edits = 3;
+  return options;
+}
+
 util::Result<core::Config> MovieConfig(size_t window) {
   auto movie =
       core::CandidateBuilder("movie", "movie_database/movies/movie")

@@ -57,6 +57,13 @@ DirtyOptions FewDuplicatesPreset(uint64_t seed);
 /// duplicates, 20% for title with exactly one.
 DirtyOptions ManyDuplicatesPreset(uint64_t seed);
 
+/// "repeated subtrees": copy-paste-heavy corpus exercising the
+/// DAG-compression fast path — every movie duplicated (one to three
+/// copies), 70% of the copies byte-exact
+/// (DuplicationRule::exact_copy_probability), the rest with the standard
+/// error model.
+DirtyOptions RepeatedSubtreePreset(uint64_t seed);
+
 /// SXNM configuration for Data set 1 (Tab. 3(a)): candidate movie only,
 /// OD = title/text() (0.8) + @length (0.2), three keys:
 ///   Key 1: title K1-K5, @year D3,D4      (title-led, most distinctive)

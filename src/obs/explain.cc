@@ -66,6 +66,10 @@ std::string_view PairProvenanceName(PairProvenance provenance) {
       return "verdict_cache";
     case PairProvenance::kPrepass:
       return "prepass";
+    case PairProvenance::kDagEqual:
+      return "dag_equal";
+    case PairProvenance::kBatchFilter:
+      return "batch_filter";
   }
   return "unknown";
 }
@@ -121,6 +125,12 @@ void ExplainLog::AppendPair(std::string_view candidate, int pass, size_t a,
       break;
     case PairProvenance::kPrepass:
       ++prepass_pairs_;
+      break;
+    case PairProvenance::kDagEqual:
+      ++dag_pairs_;
+      break;
+    case PairProvenance::kBatchFilter:
+      ++filter_pairs_;
       break;
   }
   text_ += "{\"type\":\"pair\",\"candidate\":";

@@ -32,15 +32,22 @@ namespace sxnm::obs {
 /// Who actually computed a pair's verdict. `kOwned` is a real kernel
 /// invocation; `kVerdictCache` replays an owned verdict from another
 /// pass; `kPrepass` is the exact-OD prepass accepting byte-identical
-/// tuples before any window runs. Canonicalized at the serial merge:
-/// with a verdict cache, the first merge-order occurrence of a pair is
-/// owned and repeats are cache replays, which reconciles the per-tag
-/// record counts with sw.comparisons / sw.verdict_cache_hits /
-/// sw.prepass_pairs exactly.
+/// tuples before any window runs; `kDagEqual` is the DAG shortcut
+/// replaying the memoized self-comparison of two structurally identical
+/// subtrees; `kBatchFilter` is the SoA pre-filter proving the pair below
+/// threshold without running the kernel. Canonicalized at the serial
+/// merge: with a verdict cache, the first merge-order occurrence of a
+/// kernel-scored pair is owned and repeats are cache replays, while dag
+/// and filter pairs keep their tag on every occurrence (those paths
+/// bypass the cache). The per-tag record counts then reconcile with
+/// sw.comparisons / sw.verdict_cache_hits / sw.prepass_pairs /
+/// sw.dag_equal / sw.batch_rejects exactly.
 enum class PairProvenance {
   kOwned,
   kVerdictCache,
   kPrepass,
+  kDagEqual,
+  kBatchFilter,
 };
 
 std::string_view PairProvenanceName(PairProvenance provenance);
@@ -133,12 +140,17 @@ class ExplainLog {
                      const std::vector<size_t>& members);
 
   /// Per-provenance pair-record tallies; reconcile with sw.comparisons
-  /// (owned + verdict_cache), sw.verdict_cache_hits, sw.prepass_pairs.
+  /// (owned + verdict_cache + dag_equal + batch_rejects),
+  /// sw.verdict_cache_hits, sw.prepass_pairs, sw.dag_equal,
+  /// sw.batch_rejects.
   uint64_t owned_pairs() const { return owned_pairs_; }
   uint64_t cache_pairs() const { return cache_pairs_; }
   uint64_t prepass_pairs() const { return prepass_pairs_; }
+  uint64_t dag_pairs() const { return dag_pairs_; }
+  uint64_t filter_pairs() const { return filter_pairs_; }
   uint64_t pair_records() const {
-    return owned_pairs_ + cache_pairs_ + prepass_pairs_;
+    return owned_pairs_ + cache_pairs_ + prepass_pairs_ + dag_pairs_ +
+           filter_pairs_;
   }
 
   /// The NDJSON bytes accumulated so far.
@@ -152,6 +164,8 @@ class ExplainLog {
   uint64_t owned_pairs_ = 0;
   uint64_t cache_pairs_ = 0;
   uint64_t prepass_pairs_ = 0;
+  uint64_t dag_pairs_ = 0;
+  uint64_t filter_pairs_ = 0;
 };
 
 }  // namespace sxnm::obs

@@ -162,6 +162,14 @@ Result<CandidateConfig> ParseCandidate(const Element& elem) {
   auto fast_paths = BoolAttrOr(elem, "fast-paths", true);
   if (!fast_paths.ok()) return fast_paths.status();
   builder.FastPaths(fast_paths.value());
+  auto dag = BoolAttrOr(elem, "dag", true);
+  if (!dag.ok()) return dag.status();
+  builder.Dag(dag.value());
+  // Default follows fast-paths (FastPaths(false) above already turned
+  // batching off), so legacy configs without the attribute stay valid.
+  auto batch = BoolAttrOr(elem, "batch-scoring", fast_paths.value());
+  if (!batch.ok()) return batch.status();
+  builder.BatchScoring(batch.value());
 
   auto policy = ParseWindowPolicy(elem.AttributeOr("window-policy", "fixed"));
   if (!policy.ok()) return policy.status();
@@ -396,6 +404,8 @@ xml::Document ConfigToXml(const Config& config) {
     cand->SetAttribute("exact-od-prepass",
                        c.exact_od_prepass ? "true" : "false");
     cand->SetAttribute("fast-paths", c.enable_fast_paths ? "true" : "false");
+    cand->SetAttribute("dag", c.dag_compression ? "true" : "false");
+    cand->SetAttribute("batch-scoring", c.batch_scoring ? "true" : "false");
     cand->SetAttribute("window-policy", WindowPolicyName(c.window_policy));
     if (c.window_policy == WindowPolicy::kAdaptivePrefix) {
       cand->SetAttribute("adaptive-prefix",

@@ -25,6 +25,8 @@ void PassStats::Accumulate(const PassStats& other) {
   desc_invocations += other.desc_invocations;
   desc_short_circuits += other.desc_short_circuits;
   verdict_cache_hits += other.verdict_cache_hits;
+  dag_equal += other.dag_equal;
+  batch_rejects += other.batch_rejects;
   interned_equal += other.interned_equal;
   myers_words += other.myers_words;
   wall_seconds += other.wall_seconds;
@@ -137,6 +139,8 @@ std::vector<std::string> StatsCells(const PassStats& s) {
           std::to_string(s.desc_invocations),
           std::to_string(s.desc_short_circuits),
           std::to_string(s.verdict_cache_hits),
+          std::to_string(s.dag_equal),
+          std::to_string(s.batch_rejects),
           std::to_string(s.interned_equal),
           std::to_string(s.myers_words),
           Fixed2(s.SimMedian()),
@@ -151,6 +155,8 @@ void WriteStatsJson(std::ostream& os, const PassStats& s) {
      << ", \"desc_invocations\": " << s.desc_invocations
      << ", \"desc_short_circuits\": " << s.desc_short_circuits
      << ", \"verdict_cache_hits\": " << s.verdict_cache_hits
+     << ", \"dag_equal\": " << s.dag_equal
+     << ", \"batch_rejects\": " << s.batch_rejects
      << ", \"interned_equal\": " << s.interned_equal
      << ", \"myers_words\": " << s.myers_words
      << ", \"wall_seconds\": " << s.wall_seconds << ", \"sim_buckets\": [";
@@ -214,7 +220,8 @@ std::string DetectionReport::ToTable() const {
   util::TablePrinter table({"candidate", "pass", "instances", "windowed",
                             "prepass_skips", "comparisons", "hits",
                             "ed_bailouts", "desc_jaccard", "desc_shortcut",
-                            "cache_hits", "interned_eq", "myers_words",
+                            "cache_hits", "dag_eq", "batch_rej",
+                            "interned_eq", "myers_words",
                             "sim_p50", "wall_ms"});
   for (const Row& row : rows) {
     std::vector<std::string> cells = {row.candidate,

@@ -31,6 +31,10 @@ struct PassStats {
                                    // descendant Jaccard skipped
   size_t verdict_cache_hits = 0;   // pair verdicts reused from another
                                    // pass via the cross-pass cache
+  size_t dag_equal = 0;            // pair verdicts replayed from the
+                                   // DAG-interned identical-subtree memo
+  size_t batch_rejects = 0;        // pairs the batched SoA pre-filter
+                                   // proved below threshold (no kernel)
   size_t interned_equal = 0;       // OD components scored 1.0 by interned
                                    // pool-ID equality, no bytes touched
   size_t myers_words = 0;          // 64-bit words processed by the

@@ -6,7 +6,6 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "obs/explain.h"
@@ -18,6 +17,7 @@
 #include "text/myers.h"
 #include "util/cancellation.h"
 #include "util/fault_injection.h"
+#include "util/flat_set.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -65,15 +65,35 @@ uint64_t PackPair(OrdinalPair pair) {
          static_cast<uint64_t>(pair.second);
 }
 
+// Which fast path classified a windowed pair. The distinction is
+// pair-deterministic (dag eligibility and the batched filter's verdict
+// depend only on the pair's rows), so every pass that windows a pair
+// records the same source — the merge relies on this to canonicalize
+// provenance without knowing the scheduling.
+enum class HitSource : uint8_t {
+  kKernel,  // similarity kernel (or a cross-pass cache replay of it)
+  kDag,     // identical interned subtrees: memoized self-comparison
+  kFilter,  // batched SoA pre-filter proved the pair below threshold
+};
+
 // One windowed pair as recorded by a pass worker. Only the verdict's
 // classification survives into the merge; everything else about the
-// verdict is pair-deterministic and need not be kept. `distance` is the
+// verdict is pair-deterministic and need not be kept. The pair is stored
+// pre-packed (what the merge's dedup set keys on anyway), keeping the
+// struct at 16 bytes — every windowed pair writes one of these, so the
+// hit buffers are the largest per-pass memory stream. `distance` is the
 // pair's sort-rank gap in this pass (filled only when the explain log is
-// on; it rides in the struct's padding, so recording it costs no space).
+// on).
 struct PassHit {
-  OrdinalPair pair;
-  bool is_duplicate;
+  uint64_t packed;  // PackPair of the ordinal pair
   uint32_t distance;
+  bool is_duplicate;
+  HitSource source;
+
+  OrdinalPair pair() const {
+    return {static_cast<size_t>(packed >> 32),
+            static_cast<size_t>(packed & 0xffffffffull)};
+  }
 };
 
 // Bucket index of a similarity score under DefaultSimilarityBounds(),
@@ -115,8 +135,22 @@ struct CandidateRun {
   // DE-SNM exact-OD pre-pass output: byte-identical normalized ODs are
   // duplicates by definition. Both sets are read-only while the window
   // passes run.
-  std::unordered_set<uint64_t> prepass_pairs;
+  util::FlatU64Set prepass_pairs;
   std::vector<OrdinalPair> prepass_accepted;
+
+  // DAG shortcut memo: interned subtree id -> the verdict of comparing
+  // any two rows with that id. Built serially at level setup (so it is
+  // identical for any thread count) from one CompareFast of the id's
+  // first row against itself; an id is memoized only when that verdict
+  // never consulted descendant cluster sets — then it is a pure function
+  // of the (byte-identical) row contents, valid for every ordinal pair.
+  // Read-only while the passes run. Empty when dag compression is off.
+  std::unordered_map<uint32_t, bool> dag_verdicts;
+
+  // True when the batched SoA pre-filter may screen this candidate's
+  // pairs (SimilarityMeasure::BatchFilterEligible, checked once here
+  // rather than per pair).
+  bool batch_eligible = false;
 
   // pass_hits[key_index]: the pass's windowed pairs with verdicts, in
   // visit order. Written by exactly one pass task each.
@@ -158,7 +192,7 @@ void RunExactOdPrepass(CandidateRun& run) {
         first_of.emplace(std::forward<decltype(key)>(key), ordinal);
     if (!inserted) {
       OrdinalPair pair = std::minmax(it->second, ordinal);
-      run.prepass_pairs.insert(PackPair(pair));
+      run.prepass_pairs.Insert(PackPair(pair));
       run.prepass_accepted.push_back(pair);
     }
   };
@@ -186,6 +220,34 @@ void RunExactOdPrepass(CandidateRun& run) {
       key += '\x1f';
     }
     group(first_of, std::move(key), row.ordinal);
+  }
+}
+
+// Builds the DAG shortcut memo (CandidateRun::dag_verdicts). Two rows
+// whose elements interned to the same SubtreeRef are byte-identical in
+// every derived field (keys, ODs, normalized ODs), so the kernel's
+// verdict on such a pair equals its verdict on the id's representative
+// row compared against itself — unless descendant similarity entered the
+// decision, which reads per-ordinal cluster sets and may differ between
+// occurrences; those ids are simply left out of the memo and their pairs
+// take the ordinary kernel path. Runs serially before the passes.
+void BuildDagMemo(CandidateRun& run) {
+  const std::vector<GkRow>& rows = run.table->rows;
+  // id -> (first ordinal, multiplicity); only duplicated ids matter.
+  std::unordered_map<uint32_t, std::pair<size_t, size_t>> groups;
+  for (const GkRow& row : rows) {
+    if (!row.subtree.valid()) continue;
+    auto [it, inserted] =
+        groups.emplace(row.subtree.id, std::make_pair(row.ordinal, size_t{1}));
+    if (!inserted) ++it->second.second;
+  }
+  for (const auto& [id, group] : groups) {
+    if (group.second < 2) continue;
+    const GkRow& rep = rows[group.first];
+    SimilarityVerdict verdict = run.measure->CompareFast(rep, rep);
+    if (!verdict.desc_evaluated) {
+      run.dag_verdicts.emplace(id, verdict.is_duplicate);
+    }
   }
 }
 
@@ -225,6 +287,10 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   const GkTable& table = *run.table;
   std::vector<size_t> order = table.SortedOrder(key_index);
   std::vector<PassHit>& hits = run.pass_hits[key_index];
+  // Every windowed pair lands in `hits` (adaptive extensions can add
+  // more); reserving the fixed-window count up front keeps the hot loop
+  // free of growth reallocations.
+  hits.reserve(WindowPairCount(order.size(), plan.window));
   PassStats& stats = run.pass_stats[key_index];
   VerdictCache* cache = run.verdict_cache.get();
   // Window distances for the explain log come from the inverse rank
@@ -252,13 +318,27 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   // The whole pass runs on one worker thread, so the thread-local Myers
   // word count brackets exactly this pass's kernel work.
   const uint64_t myers_before = text::ThreadMyersStats().words;
-  auto visit = [&](size_t a, size_t b) {
-    OrdinalPair pair = std::minmax(a, b);
+
+  // Batched pre-filter state: pairs that pass the prepass and dag checks
+  // are gathered (with their window distances) and screened kBatchSize
+  // at a time; the reject mask is pair-deterministic, so which pairs
+  // share a block is invisible in the output. Survivors run the ordinary
+  // cache/kernel path in gather order.
+  const bool use_dag = !run.dag_verdicts.empty();
+  const bool use_batch = run.batch_eligible;
+  constexpr size_t kBatchSize = 512;
+  std::vector<OrdinalPair> pending;
+  std::vector<uint32_t> pending_distance;
+  BatchFilterScratch scratch;
+  if (use_batch) {
+    pending.reserve(kBatchSize);
+    pending_distance.reserve(kBatchSize);
+  }
+
+  // The ordinary classification of one pair: cross-pass verdict cache,
+  // then the similarity kernel.
+  auto classify = [&](OrdinalPair pair, uint32_t distance) {
     uint64_t packed = PackPair(pair);
-    if (run.prepass_pairs.count(packed) != 0) {
-      ++stats.prepass_skips;
-      return;
-    }
     VerdictCache::Lookup lookup;
     if (cache != nullptr) lookup = cache->AcquireOrWait(packed);
     bool is_duplicate;
@@ -287,13 +367,75 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
     }
     ++stats.comparisons;
     if (is_duplicate) ++stats.hits;
+    hits.push_back({packed, distance, is_duplicate, HitSource::kKernel});
+  };
+
+  auto flush = [&]() {
+    if (pending.empty()) return;
+    run.measure->BatchFilter(table.rows, pending.data(), pending.size(),
+                             &scratch);
+    // Warm the verdict-cache slots of every survivor before the classify
+    // walk: the probes then overlap instead of stalling one DRAM miss per
+    // pair (a block of 512 slots is well within L2).
+    if (cache != nullptr) {
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (scratch.reject[i] == 0) cache->Prefetch(PackPair(pending[i]));
+      }
+    }
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (scratch.reject[i] != 0) {
+        // Provably below threshold: the verdict is false without running
+        // the kernel. Still a pair classification, so the closure
+        // pairs_windowed == comparisons + prepass_skips keeps holding.
+        ++stats.batch_rejects;
+        ++stats.comparisons;
+        hits.push_back({PackPair(pending[i]), pending_distance[i], false,
+                        HitSource::kFilter});
+      } else {
+        classify(pending[i], pending_distance[i]);
+      }
+    }
+    pending.clear();
+    pending_distance.clear();
+  };
+
+  auto visit = [&](size_t a, size_t b) {
+    OrdinalPair pair = std::minmax(a, b);
+    if (!run.prepass_pairs.empty() &&
+        run.prepass_pairs.Contains(PackPair(pair))) {
+      ++stats.prepass_skips;
+      return;
+    }
     uint32_t distance = 0;
     if (record_distance) {
       uint32_t ra = inv_rank[a];
       uint32_t rb = inv_rank[b];
       distance = ra > rb ? ra - rb : rb - ra;
     }
-    hits.push_back({pair, is_duplicate, distance});
+    if (use_dag) {
+      // Structurally identical subtrees with a memoized verdict skip the
+      // kernel (and the verdict cache — every pass replays the same
+      // memo, so there is nothing to share).
+      const SubtreeRef sa = table.rows[pair.first].subtree;
+      if (sa.valid() && sa == table.rows[pair.second].subtree) {
+        auto it = run.dag_verdicts.find(sa.id);
+        if (it != run.dag_verdicts.end()) {
+          ++stats.dag_equal;
+          ++stats.comparisons;
+          if (it->second) ++stats.hits;
+          hits.push_back(
+              {PackPair(pair), distance, it->second, HitSource::kDag});
+          return;
+        }
+      }
+    }
+    if (use_batch) {
+      pending.push_back(pair);
+      pending_distance.push_back(distance);
+      if (pending.size() >= kBatchSize) flush();
+      return;
+    }
+    classify(pair, distance);
   };
   // A shrunk boundary pass always runs the plain fixed window: adaptive
   // extension would overrun the budget it was shrunk to fit.
@@ -319,6 +461,10 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   } else {
     stats.pairs_windowed = ForEachWindowPair(order, plan.window, visit);
   }
+  // Pairs still gathered when the enumeration stopped (end of pass or a
+  // cooperative early stop) were counted into pairs_windowed, so they
+  // must be classified for the counter closure to hold.
+  flush();
   stats.myers_words = text::ThreadMyersStats().words - myers_before;
   stats.wall_seconds = watch.ElapsedSeconds();
 
@@ -333,6 +479,8 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
     metrics.counter("sw.desc_jaccard").Add(stats.desc_invocations);
     metrics.counter("sw.desc_short_circuits").Add(stats.desc_short_circuits);
     metrics.counter("sw.verdict_cache_hits").Add(stats.verdict_cache_hits);
+    metrics.counter("sw.dag_equal").Add(stats.dag_equal);
+    metrics.counter("sw.batch_rejects").Add(stats.batch_rejects);
     metrics.counter("sw.interned_equal").Add(stats.interned_equal);
     metrics.counter("text.myers_words").Add(stats.myers_words);
     metrics.histogram("sw.pass_seconds", obs::DefaultTimeBounds())
@@ -398,27 +546,44 @@ void MergePasses(CandidateRun& run, CandidateResult& result, int depth,
                  obs::MetricsRegistry& metrics, obs::ExplainLog& explain) {
   if (explain.enabled()) EmitCandidateExplain(run, depth, explain);
 
-  std::unordered_set<uint64_t> seen = run.prepass_pairs;
+  util::FlatU64Set seen = run.prepass_pairs;
   std::vector<OrdinalPair> accepted = run.prepass_accepted;
   size_t total_hits = 0;
   for (const auto& hits : run.pass_hits) total_hits += hits.size();
-  seen.reserve(seen.size() + total_hits);
+  seen.Reserve(seen.size() + total_hits);
 
   // Canonical provenance: with a verdict cache, the first merge-order
   // occurrence of a pair counts as the owned computation; without one,
   // every pass computed its own verdict, so every record is owned.
   const bool has_cache = run.verdict_cache != nullptr;
-  std::unordered_set<uint64_t> first_seen;
-  if (explain.enabled() && has_cache) first_seen.reserve(total_hits);
+  util::FlatU64Set first_seen;
+  if (explain.enabled() && has_cache) first_seen.Reserve(total_hits);
 
   const std::vector<xml::ElementId>& eids = run.instances->eids;
+  // Reserve() above sized `seen` for every hit, so no rehash happens
+  // mid-merge and prefetched slots stay valid.
+  constexpr size_t kMergeLookahead = 16;
   for (size_t k = 0; k < run.pass_hits.size(); ++k) {
-    for (const PassHit& hit : run.pass_hits[k]) {
-      uint64_t packed = PackPair(hit.pair);
+    const std::vector<PassHit>& pass = run.pass_hits[k];
+    for (size_t idx = 0; idx < pass.size(); ++idx) {
+      if (idx + kMergeLookahead < pass.size()) {
+        seen.PrefetchKey(pass[idx + kMergeLookahead].packed);
+      }
+      const PassHit& hit = pass[idx];
+      uint64_t packed = hit.packed;
       if (explain.enabled()) {
-        auto [a, b] = hit.pair;
+        auto [a, b] = hit.pair();
+        // Dag and filter hits keep their tag on every occurrence: those
+        // paths bypass the verdict cache (each pass replays the memo /
+        // re-screens deterministically), so there is no owned kernel
+        // record to reconcile against. Kernel hits canonicalize as
+        // before: first merge-order occurrence owned, repeats cached.
         obs::PairProvenance provenance = obs::PairProvenance::kOwned;
-        if (has_cache && !first_seen.insert(packed).second) {
+        if (hit.source == HitSource::kDag) {
+          provenance = obs::PairProvenance::kDagEqual;
+        } else if (hit.source == HitSource::kFilter) {
+          provenance = obs::PairProvenance::kBatchFilter;
+        } else if (has_cache && !first_seen.Insert(packed)) {
           provenance = obs::PairProvenance::kVerdictCache;
         }
         if (provenance == obs::PairProvenance::kOwned) {
@@ -436,9 +601,9 @@ void MergePasses(CandidateRun& run, CandidateResult& result, int depth,
                              hit.is_duplicate);
         }
       }
-      if (!seen.insert(packed).second) continue;
+      if (!seen.Insert(packed)) continue;
       ++result.comparisons;
-      if (hit.is_duplicate) accepted.push_back(hit.pair);
+      if (hit.is_duplicate) accepted.push_back(hit.pair());
     }
   }
   std::sort(accepted.begin(), accepted.end());
@@ -603,6 +768,10 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
       run.kg_ok = kg_done[run.index] != 0;
 
       if (run.cand->exact_od_prepass && run.kg_ok) RunExactOdPrepass(run);
+      if (run.cand->dag_compression && run.kg_ok) BuildDagMemo(run);
+      if (run.kg_ok) {
+        run.batch_eligible = run.measure->BatchFilterEligible(run.table->rows);
+      }
 
       // Sized from the config, not the GK table: a candidate whose key
       // generation was shed has an empty table but still owes one

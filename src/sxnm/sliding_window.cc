@@ -5,59 +5,6 @@
 
 namespace sxnm::core {
 
-size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
-                         const std::function<void(size_t, size_t)>& visit) {
-  assert(window >= 2);
-  size_t visited = 0;
-  for (size_t i = 1; i < order.size(); ++i) {
-    size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
-    for (size_t j = lo; j < i; ++j) {
-      visit(order[j], order[i]);
-      ++visited;
-    }
-  }
-  return visited;
-}
-
-namespace {
-
-bool SharePrefix(const std::string& a, const std::string& b, size_t len) {
-  if (a.size() < len || b.size() < len) {
-    // Keys shorter than the prefix must match entirely (and be equal in
-    // length) to count as "same block".
-    return a == b;
-  }
-  return a.compare(0, len, b, 0, len) == 0;
-}
-
-}  // namespace
-
-size_t ForEachAdaptiveWindowPair(
-    const std::vector<size_t>& order,
-    const std::function<const std::string&(size_t)>& key_of,
-    size_t base_window, size_t max_window, size_t prefix_len,
-    const std::function<void(size_t, size_t)>& visit) {
-  assert(base_window >= 2);
-  assert(max_window >= base_window);
-  assert(prefix_len >= 1);
-
-  size_t visited = 0;
-  for (size_t i = 1; i < order.size(); ++i) {
-    const std::string& entering = key_of(order[i]);
-    size_t max_span = std::min(i, max_window - 1);
-    for (size_t span = 1; span <= max_span; ++span) {
-      size_t j = i - span;
-      if (span >= base_window &&
-          !SharePrefix(key_of(order[j]), entering, prefix_len)) {
-        break;  // left the equal-prefix block; stop extending
-      }
-      visit(order[j], order[i]);
-      ++visited;
-    }
-  }
-  return visited;
-}
-
 size_t WindowPairCount(size_t n, size_t window) {
   assert(window >= 2);
   size_t count = 0;
@@ -83,78 +30,6 @@ size_t LargestWindowWithin(size_t n, size_t window, size_t budget) {
     }
   }
   return lo;
-}
-
-namespace {
-
-// Shared polling state of the interruptible enumerations.
-struct InterruptPoll {
-  const util::CancellationToken& token;
-  const util::Deadline& deadline;
-  size_t until_check = 0;
-
-  bool ShouldStop() {
-    if (until_check > 0) {
-      --until_check;
-      return false;
-    }
-    until_check = kInterruptCheckInterval - 1;
-    return token.cancelled() || deadline.expired();
-  }
-};
-
-}  // namespace
-
-WindowRunResult ForEachWindowPairInterruptible(
-    const std::vector<size_t>& order, size_t window,
-    const util::CancellationToken& token, const util::Deadline& deadline,
-    const std::function<void(size_t, size_t)>& visit) {
-  assert(window >= 2);
-  WindowRunResult result;
-  InterruptPoll poll{token, deadline};
-  for (size_t i = 1; i < order.size(); ++i) {
-    size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
-    for (size_t j = lo; j < i; ++j) {
-      if (poll.ShouldStop()) {
-        result.stopped_early = true;
-        return result;
-      }
-      visit(order[j], order[i]);
-      ++result.pairs_visited;
-    }
-  }
-  return result;
-}
-
-WindowRunResult ForEachAdaptiveWindowPairInterruptible(
-    const std::vector<size_t>& order,
-    const std::function<const std::string&(size_t)>& key_of,
-    size_t base_window, size_t max_window, size_t prefix_len,
-    const util::CancellationToken& token, const util::Deadline& deadline,
-    const std::function<void(size_t, size_t)>& visit) {
-  assert(base_window >= 2);
-  assert(max_window >= base_window);
-  assert(prefix_len >= 1);
-  WindowRunResult result;
-  InterruptPoll poll{token, deadline};
-  for (size_t i = 1; i < order.size(); ++i) {
-    const std::string& entering = key_of(order[i]);
-    size_t max_span = std::min(i, max_window - 1);
-    for (size_t span = 1; span <= max_span; ++span) {
-      size_t j = i - span;
-      if (span >= base_window &&
-          !SharePrefix(key_of(order[j]), entering, prefix_len)) {
-        break;
-      }
-      if (poll.ShouldStop()) {
-        result.stopped_early = true;
-        return result;
-      }
-      visit(order[j], order[i]);
-      ++result.pairs_visited;
-    }
-  }
-  return result;
 }
 
 }  // namespace sxnm::core

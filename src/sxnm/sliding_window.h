@@ -5,12 +5,19 @@
 // already inside. Thus every pair of elements within sort distance < w is
 // visited exactly once per pass, and a full pass costs (n - w + 1)·(w - 1)
 // + C(w-1, 2) comparisons — linear in n for fixed w.
+//
+// The enumerations are templates on the visitor: a window pass visits
+// every windowed pair through this call, so routing it through
+// std::function would put one indirect dispatch on the hottest edge of
+// the whole detector. With the visitor a template parameter the call
+// inlines into the enumeration loop.
 
 #ifndef SXNM_SXNM_SLIDING_WINDOW_H_
 #define SXNM_SXNM_SLIDING_WINDOW_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,8 +30,20 @@ namespace sxnm::core {
 /// `a` precedes `b` in `order`. window >= 2; a window larger than the
 /// sequence degenerates to all pairs. Returns the number of pairs
 /// visited (== WindowPairCount(order.size(), window)).
+template <typename Visit>
 size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
-                         const std::function<void(size_t, size_t)>& visit);
+                         Visit&& visit) {
+  assert(window >= 2);
+  size_t visited = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
+    for (size_t j = lo; j < i; ++j) {
+      visit(order[j], order[i]);
+      ++visited;
+    }
+  }
+  return visited;
+}
 
 /// Number of pairs ForEachWindowPair visits for `n` elements.
 size_t WindowPairCount(size_t n, size_t window);
@@ -45,23 +64,61 @@ struct WindowRunResult {
   bool stopped_early = false;  // cancellation or deadline cut the pass short
 };
 
+namespace internal {
+
+inline bool SharePrefix(const std::string& a, const std::string& b,
+                        size_t len) {
+  if (a.size() < len || b.size() < len) {
+    // Keys shorter than the prefix must match entirely (and be equal in
+    // length) to count as "same block".
+    return a == b;
+  }
+  return a.compare(0, len, b, 0, len) == 0;
+}
+
+// Shared polling state of the interruptible enumerations.
+struct InterruptPoll {
+  const util::CancellationToken& token;
+  const util::Deadline& deadline;
+  size_t until_check = 0;
+
+  bool ShouldStop() {
+    if (until_check > 0) {
+      --until_check;
+      return false;
+    }
+    until_check = kInterruptCheckInterval - 1;
+    return token.cancelled() || deadline.expired();
+  }
+};
+
+}  // namespace internal
+
 /// ForEachWindowPair that polls `token`/`deadline` every
 /// kInterruptCheckInterval pairs and stops early when either fires. The
 /// visited pairs are always a prefix of the full enumeration order, so a
 /// cut-short pass is still a valid (smaller) neighborhood.
+template <typename Visit>
 WindowRunResult ForEachWindowPairInterruptible(
     const std::vector<size_t>& order, size_t window,
     const util::CancellationToken& token, const util::Deadline& deadline,
-    const std::function<void(size_t, size_t)>& visit);
-
-/// Interruptible variant of ForEachAdaptiveWindowPair; same polling and
-/// prefix guarantee.
-WindowRunResult ForEachAdaptiveWindowPairInterruptible(
-    const std::vector<size_t>& order,
-    const std::function<const std::string&(size_t)>& key_of,
-    size_t base_window, size_t max_window, size_t prefix_len,
-    const util::CancellationToken& token, const util::Deadline& deadline,
-    const std::function<void(size_t, size_t)>& visit);
+    Visit&& visit) {
+  assert(window >= 2);
+  WindowRunResult result;
+  internal::InterruptPoll poll{token, deadline};
+  for (size_t i = 1; i < order.size(); ++i) {
+    size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
+    for (size_t j = lo; j < i; ++j) {
+      if (poll.ShouldStop()) {
+        result.stopped_early = true;
+        return result;
+      }
+      visit(order[j], order[i]);
+      ++result.pairs_visited;
+    }
+  }
+  return result;
+}
 
 /// Adaptive windowing (the paper's outlook cites Lehti & Fankhauser's
 /// precise blocking [20]): every pair within the base window is visited
@@ -74,11 +131,64 @@ WindowRunResult ForEachAdaptiveWindowPairInterruptible(
 /// `key_of(v)` returns the sort key of value `v` of `order` for the
 /// current pass. Requires 2 <= base_window <= max_window and
 /// prefix_len >= 1. Returns the number of pairs visited.
-size_t ForEachAdaptiveWindowPair(
-    const std::vector<size_t>& order,
-    const std::function<const std::string&(size_t)>& key_of,
-    size_t base_window, size_t max_window, size_t prefix_len,
-    const std::function<void(size_t, size_t)>& visit);
+template <typename KeyOf, typename Visit>
+size_t ForEachAdaptiveWindowPair(const std::vector<size_t>& order,
+                                 KeyOf&& key_of, size_t base_window,
+                                 size_t max_window, size_t prefix_len,
+                                 Visit&& visit) {
+  assert(base_window >= 2);
+  assert(max_window >= base_window);
+  assert(prefix_len >= 1);
+
+  size_t visited = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const std::string& entering = key_of(order[i]);
+    size_t max_span = std::min(i, max_window - 1);
+    for (size_t span = 1; span <= max_span; ++span) {
+      size_t j = i - span;
+      if (span >= base_window &&
+          !internal::SharePrefix(key_of(order[j]), entering, prefix_len)) {
+        break;  // left the equal-prefix block; stop extending
+      }
+      visit(order[j], order[i]);
+      ++visited;
+    }
+  }
+  return visited;
+}
+
+/// Interruptible variant of ForEachAdaptiveWindowPair; same polling and
+/// prefix guarantee.
+template <typename KeyOf, typename Visit>
+WindowRunResult ForEachAdaptiveWindowPairInterruptible(
+    const std::vector<size_t>& order, KeyOf&& key_of, size_t base_window,
+    size_t max_window, size_t prefix_len,
+    const util::CancellationToken& token, const util::Deadline& deadline,
+    Visit&& visit) {
+  assert(base_window >= 2);
+  assert(max_window >= base_window);
+  assert(prefix_len >= 1);
+  WindowRunResult result;
+  internal::InterruptPoll poll{token, deadline};
+  for (size_t i = 1; i < order.size(); ++i) {
+    const std::string& entering = key_of(order[i]);
+    size_t max_span = std::min(i, max_window - 1);
+    for (size_t span = 1; span <= max_span; ++span) {
+      size_t j = i - span;
+      if (span >= base_window &&
+          !internal::SharePrefix(key_of(order[j]), entering, prefix_len)) {
+        break;
+      }
+      if (poll.ShouldStop()) {
+        result.stopped_early = true;
+        return result;
+      }
+      visit(order[j], order[i]);
+      ++result.pairs_visited;
+    }
+  }
+  return result;
+}
 
 }  // namespace sxnm::core
 

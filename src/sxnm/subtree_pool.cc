@@ -1,0 +1,102 @@
+#include "sxnm/subtree_pool.h"
+
+#include <cstring>
+#include <vector>
+
+namespace sxnm::core {
+
+namespace {
+
+void AppendU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+void AppendSized(std::string& out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+}  // namespace
+
+uint32_t SubtreePool::InternEncoding() {
+  ++nodes_seen_;
+  auto it = index_.find(std::string_view(scratch_));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(index_.size());
+  bytes_ += scratch_.size();
+  index_.emplace(scratch_, id);
+  return id;
+}
+
+SubtreeRef SubtreePool::Intern(const xml::Element& root) {
+  // Explicit post-order: a frame per element with the index of the next
+  // child to descend into; completed children leave their id on `ids`, so
+  // when a frame finishes, the last NumChildren() entries of `ids` are
+  // its children's ids in document order.
+  struct Frame {
+    const xml::Element* element;
+    size_t next_child;
+    size_t ids_base;  // size of `ids` when the frame was pushed
+  };
+  std::vector<Frame> stack;
+  std::vector<uint32_t> ids;
+  stack.push_back({&root, 0, 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const xml::Element* element = frame.element;
+    if (frame.next_child < element->NumChildren()) {
+      const xml::Node* child =
+          element->children()[frame.next_child++].get();
+      if (const xml::Element* e = child->AsElement()) {
+        stack.push_back({e, 0, ids.size()});
+        continue;
+      }
+      // Leaf node kinds are encoded and interned inline.
+      scratch_.clear();
+      switch (child->kind()) {
+        case xml::NodeKind::kText:
+          scratch_.push_back('T');
+          scratch_.append(static_cast<const xml::TextNode*>(child)->text());
+          break;
+        case xml::NodeKind::kCdata:
+          scratch_.push_back('D');
+          scratch_.append(static_cast<const xml::TextNode*>(child)->text());
+          break;
+        case xml::NodeKind::kComment:
+          scratch_.push_back('C');
+          scratch_.append(
+              static_cast<const xml::CommentNode*>(child)->text());
+          break;
+        case xml::NodeKind::kElement:
+          break;  // unreachable: handled above
+      }
+      ids.push_back(InternEncoding());
+      continue;
+    }
+
+    // All children interned: encode this element over their ids.
+    scratch_.clear();
+    scratch_.push_back('E');
+    AppendSized(scratch_, element->name());
+    AppendU32(scratch_, static_cast<uint32_t>(element->attributes().size()));
+    for (const xml::Attribute& attr : element->attributes()) {
+      AppendSized(scratch_, attr.name);
+      AppendSized(scratch_, attr.value);
+    }
+    size_t num_children = ids.size() - frame.ids_base;
+    AppendU32(scratch_, static_cast<uint32_t>(num_children));
+    for (size_t i = frame.ids_base; i < ids.size(); ++i) {
+      AppendU32(scratch_, ids[i]);
+    }
+    ids.resize(frame.ids_base);
+    ids.push_back(InternEncoding());
+    stack.pop_back();
+  }
+
+  return SubtreeRef{ids.back()};
+}
+
+}  // namespace sxnm::core

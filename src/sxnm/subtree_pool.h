@@ -1,0 +1,92 @@
+// Per-candidate hash-consing pool for whole element subtrees — the
+// OdPool idea (strings → ids) lifted to trees. Real XML corpora are full
+// of structurally identical subtrees ("Efficient XML Keyword Search based
+// on DAG-Compression"): exact duplicates created by copy-paste, repeated
+// boilerplate children, shared sub-records. The pool assigns every
+// distinct subtree shape a dense, stable SubtreeRef id bottom-up, so the
+// whole candidate forest collapses to a DAG of distinct nodes:
+//
+//   * equal ids  ⇔  structurally identical subtrees
+//     (xml::StructurallyEqual — the exact relation, not a probabilistic
+//     hash: ids are keyed on the full canonical encoding, so there are no
+//     collisions by construction),
+//   * GK rows carry their instance's root id alongside norm_ods, letting
+//     the detector classify id-equal candidate pairs without touching the
+//     comparison kernel (sw.dag_equal),
+//   * pool size (kg.subtree_pool_nodes/bytes) measures how DAG-compressed
+//     the corpus is: nodes_seen() / num_nodes() is the sharing factor.
+//
+// Not thread-safe for interning; candidates intern during (serial per
+// candidate) key generation.
+
+#ifndef SXNM_SXNM_SUBTREE_POOL_H_
+#define SXNM_SXNM_SUBTREE_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "xml/node.h"
+
+namespace sxnm::core {
+
+/// Interned reference to one subtree shape. Default-constructed refs are
+/// invalid (row not interned — e.g. dag compression disabled).
+struct SubtreeRef {
+  static constexpr uint32_t kInvalidId = 0xffffffffu;
+
+  uint32_t id = kInvalidId;
+
+  bool valid() const { return id != kInvalidId; }
+
+  friend bool operator==(SubtreeRef a, SubtreeRef b) { return a.id == b.id; }
+  friend bool operator!=(SubtreeRef a, SubtreeRef b) { return a.id != b.id; }
+};
+
+/// Append-only subtree interning pool. Ids are dense (0, 1, 2, ...) in
+/// first-intern order and stable for the pool's lifetime. Every DOM node
+/// kind participates in identity: element names, attribute lists (names
+/// and values, in order), text vs CDATA, comments, and child order.
+class SubtreePool {
+ public:
+  /// Interns `root`'s subtree (and, transitively, every node below it)
+  /// and returns the root's id. Iterative post-order — safe for trees as
+  /// deep as the parser admits (ParseOptions::max_depth).
+  SubtreeRef Intern(const xml::Element& root);
+
+  /// Number of distinct DAG nodes (subtree shapes) interned.
+  size_t num_nodes() const { return index_.size(); }
+
+  /// Total DOM nodes walked over all Intern calls; nodes_seen() minus
+  /// num_nodes() is how many nodes DAG-compression deduplicated.
+  size_t nodes_seen() const { return nodes_seen_; }
+
+  /// Bytes retained for the canonical node encodings (the DAG's memory).
+  size_t bytes() const { return bytes_; }
+
+ private:
+  /// Interns one canonical node encoding; `scratch_` holds the encoding.
+  uint32_t InternEncoding();
+
+  // Canonical encodings are injective: every variable-length field is
+  // length-prefixed and children are reduced to their (already unique)
+  // 4-byte ids, so equal encodings imply structurally identical subtrees
+  // by induction over tree height.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+      index_;
+  std::string scratch_;
+  size_t nodes_seen_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_SUBTREE_POOL_H_

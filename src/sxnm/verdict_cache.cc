@@ -3,20 +3,9 @@
 #include <cassert>
 #include <thread>
 
+#include "util/flat_set.h"
+
 namespace sxnm::core {
-
-namespace {
-
-// Finalizer-style mixer (splitmix64): packed pairs are highly regular
-// (adjacent ordinals), so identity hashing would cluster probes.
-uint64_t MixHash(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 VerdictCache::VerdictCache(size_t max_distinct_pairs) {
   size_t capacity = 16;
@@ -25,25 +14,22 @@ VerdictCache::VerdictCache(size_t max_distinct_pairs) {
   while (capacity < max_distinct_pairs * 2) capacity <<= 1;
   capacity_ = capacity;
   mask_ = capacity - 1;
-  keys_ = std::make_unique<std::atomic<uint64_t>[]>(capacity);
-  states_ = std::make_unique<std::atomic<uint8_t>[]>(capacity);
-  for (size_t i = 0; i < capacity; ++i) {
-    keys_[i].store(0, std::memory_order_relaxed);
-    states_[i].store(kComputing, std::memory_order_relaxed);
-  }
+  slots_ = std::make_unique<Slot[]>(capacity);
 }
 
 VerdictCache::Lookup VerdictCache::AcquireOrWait(uint64_t packed_pair) {
   assert(packed_pair != 0);
-  size_t slot = static_cast<size_t>(MixHash(packed_pair)) & mask_;
+  // Packed pairs are highly regular (adjacent ordinals), so identity
+  // hashing would cluster probes; the splitmix64 finalizer scatters them.
+  size_t slot = static_cast<size_t>(util::MixHash64(packed_pair)) & mask_;
   for (;;) {
-    uint64_t existing = keys_[slot].load(std::memory_order_acquire);
+    uint64_t existing = slots_[slot].key.load(std::memory_order_acquire);
     if (existing == 0) {
       // Empty slot: try to claim it. Success makes this thread the owner
       // of the pair's one and only classification.
-      if (keys_[slot].compare_exchange_strong(existing, packed_pair,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_acquire)) {
+      if (slots_[slot].key.compare_exchange_strong(
+              existing, packed_pair, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
         return Lookup{/*owner=*/true, /*is_duplicate=*/false, slot};
       }
       // Lost the race; `existing` now holds the winner's key. Fall
@@ -53,10 +39,10 @@ VerdictCache::Lookup VerdictCache::AcquireOrWait(uint64_t packed_pair) {
       // Someone owns (or owned) this pair; wait for the verdict. The
       // owner never re-enters the cache while computing, so this cannot
       // deadlock.
-      uint8_t state = states_[slot].load(std::memory_order_acquire);
+      uint8_t state = slots_[slot].state.load(std::memory_order_acquire);
       while (state == kComputing) {
         std::this_thread::yield();
-        state = states_[slot].load(std::memory_order_acquire);
+        state = slots_[slot].state.load(std::memory_order_acquire);
       }
       return Lookup{/*owner=*/false, /*is_duplicate=*/state == kYes, slot};
     }
@@ -66,9 +52,10 @@ VerdictCache::Lookup VerdictCache::AcquireOrWait(uint64_t packed_pair) {
 
 void VerdictCache::Publish(const Lookup& lookup, bool is_duplicate) {
   assert(lookup.owner);
-  assert(states_[lookup.slot].load(std::memory_order_relaxed) == kComputing);
-  states_[lookup.slot].store(is_duplicate ? kYes : kNo,
-                             std::memory_order_release);
+  assert(slots_[lookup.slot].state.load(std::memory_order_relaxed) ==
+         kComputing);
+  slots_[lookup.slot].state.store(is_duplicate ? kYes : kNo,
+                                  std::memory_order_release);
 }
 
 }  // namespace sxnm::core

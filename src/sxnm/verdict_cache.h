@@ -16,9 +16,11 @@
 // The table is open-addressed with linear probing over a power-of-two
 // capacity sized by the detector to at least 2x the number of distinct
 // pairs any plan can window, so probe chains stay short and insertion
-// can never fail. Keys are the detector's packed ordinal pairs
-// (lo << 32 | hi with lo < hi), which are never 0 — key 0 is the empty
-// sentinel.
+// can never fail. Key and state live in one slot struct, so the common
+// claim-then-publish sequence touches a single cache line per slot
+// instead of two parallel arrays. Keys are the detector's packed
+// ordinal pairs (lo << 32 | hi with lo < hi), which are never 0 — key 0
+// is the empty sentinel.
 
 #ifndef SXNM_SXNM_VERDICT_CACHE_H_
 #define SXNM_SXNM_VERDICT_CACHE_H_
@@ -26,6 +28,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+
+#include "util/flat_set.h"
 
 namespace sxnm::core {
 
@@ -53,6 +57,15 @@ class VerdictCache {
   /// Publishes the owner's verdict; wakes all waiters on this slot.
   void Publish(const Lookup& lookup, bool is_duplicate);
 
+  /// Hints the pair's home slot into cache ahead of AcquireOrWait. The
+  /// batched scoring path prefetches a whole block of survivors before
+  /// classifying them, overlapping the slot loads that a pair-at-a-time
+  /// walk would serialize one DRAM miss at a time.
+  void Prefetch(uint64_t packed_pair) const {
+    size_t slot = static_cast<size_t>(util::MixHash64(packed_pair)) & mask_;
+    __builtin_prefetch(&slots_[slot], /*rw=*/1);
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:
@@ -61,10 +74,14 @@ class VerdictCache {
   // waiters' acquire loads.
   enum State : uint8_t { kComputing = 0, kNo = 1, kYes = 2 };
 
+  struct Slot {
+    std::atomic<uint64_t> key{0};  // 0 = empty
+    std::atomic<uint8_t> state{kComputing};
+  };
+
   size_t capacity_ = 0;
   size_t mask_ = 0;
-  std::unique_ptr<std::atomic<uint64_t>[]> keys_;   // 0 = empty
-  std::unique_ptr<std::atomic<uint8_t>[]> states_;
+  std::unique_ptr<Slot[]> slots_;
 };
 
 }  // namespace sxnm::core

@@ -1,0 +1,61 @@
+#include "xml/structure.h"
+
+#include <vector>
+
+namespace sxnm::xml {
+
+namespace {
+
+// Local (non-recursive) equality of two nodes: kind plus own payload,
+// child count included so the worklist below can pair children 1:1.
+bool LocallyEqual(const Node& a, const Node& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case NodeKind::kElement: {
+      const auto& ea = static_cast<const Element&>(a);
+      const auto& eb = static_cast<const Element&>(b);
+      if (ea.name() != eb.name()) return false;
+      if (ea.NumChildren() != eb.NumChildren()) return false;
+      const auto& attrs_a = ea.attributes();
+      const auto& attrs_b = eb.attributes();
+      if (attrs_a.size() != attrs_b.size()) return false;
+      for (size_t i = 0; i < attrs_a.size(); ++i) {
+        if (attrs_a[i].name != attrs_b[i].name ||
+            attrs_a[i].value != attrs_b[i].value) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case NodeKind::kText:
+    case NodeKind::kCdata:
+      return static_cast<const TextNode&>(a).text() ==
+             static_cast<const TextNode&>(b).text();
+    case NodeKind::kComment:
+      return static_cast<const CommentNode&>(a).text() ==
+             static_cast<const CommentNode&>(b).text();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool StructurallyEqual(const Element& a, const Element& b) {
+  std::vector<std::pair<const Node*, const Node*>> work;
+  work.emplace_back(&a, &b);
+  while (!work.empty()) {
+    auto [na, nb] = work.back();
+    work.pop_back();
+    if (na == nb) continue;  // shared node: trivially identical
+    if (!LocallyEqual(*na, *nb)) return false;
+    if (const Element* ea = na->AsElement()) {
+      const Element* eb = nb->AsElement();
+      for (size_t i = 0; i < ea->NumChildren(); ++i) {
+        work.emplace_back(ea->children()[i].get(), eb->children()[i].get());
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sxnm::xml

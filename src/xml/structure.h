@@ -1,0 +1,28 @@
+// Structural identity of XML subtrees.
+//
+// Two subtrees are *structurally identical* when they have the same shape
+// and content: equal element names, equal attribute lists (names and
+// values, in document order), equal text/CDATA/comment payloads, and
+// pairwise structurally identical children in the same order. Element IDs
+// and parent links are ignored — identity is a property of the subtree
+// alone, so a clone is always structurally identical to its original.
+//
+// This is the reference relation the SubtreePool hash-consing
+// (sxnm/subtree_pool.h) must agree with: equal SubtreeRef ids if and only
+// if StructurallyEqual. The differential tests and the fuzz_subtree_hash
+// target check exactly that equivalence.
+
+#ifndef SXNM_XML_STRUCTURE_H_
+#define SXNM_XML_STRUCTURE_H_
+
+#include "xml/node.h"
+
+namespace sxnm::xml {
+
+/// True iff the two subtrees are structurally identical. Iterative (no
+/// recursion), so arbitrarily deep documents are safe.
+bool StructurallyEqual(const Element& a, const Element& b);
+
+}  // namespace sxnm::xml
+
+#endif  // SXNM_XML_STRUCTURE_H_

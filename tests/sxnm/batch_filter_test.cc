@@ -1,0 +1,334 @@
+// Batched SoA pre-filter soundness: BatchFilter may only reject a pair
+// the comparison kernel would reject too — over random and adversarial
+// OD values (embedded NULs, high-bit bytes, empties), every combine mode,
+// with and without descendant information — and the SIMD kernels must
+// agree with their scalar references to the last ulp. The "Batched"
+// suite names place these under the sanitizer presets' ctest filters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sxnm/similarity_measure.h"
+#include "util/simd.h"
+#include "util/string_util.h"
+
+namespace sxnm::core {
+namespace {
+
+TEST(BatchedSimdTest, AccumulateWeightedBoundMatchesScalarReference) {
+  std::mt19937 rng(4242);
+  std::uniform_real_distribution<float> mdist(1.0f, 64.0f);
+  std::uniform_real_distribution<float> wdist(0.0f, 1.0f);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{8}, size_t{13}, size_t{64}, size_t{257}}) {
+    std::vector<float> d(n), m(n), w(n);
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = mdist(rng);
+      d[i] = std::uniform_real_distribution<float>(0.0f, m[i])(rng);
+      w[i] = wdist(rng);
+      if (i % 7 == 0) {  // parked zero-weight slot, per the contract
+        d[i] = 0.0f;
+        m[i] = 1.0f;
+        w[i] = 0.0f;
+      }
+    }
+    std::vector<float> acc(n, 0.25f), wsum(n, 0.5f);
+    std::vector<float> acc_ref = acc, wsum_ref = wsum;
+    util::simd::AccumulateWeightedBound(n, d.data(), m.data(), w.data(),
+                                        acc.data(), wsum.data());
+    util::simd::AccumulateWeightedBoundScalar(n, d.data(), m.data(), w.data(),
+                                              acc_ref.data(),
+                                              wsum_ref.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(acc[i], acc_ref[i]) << "n=" << n << " lane " << i;
+      ASSERT_EQ(wsum[i], wsum_ref[i]) << "n=" << n << " lane " << i;
+    }
+  }
+}
+
+TEST(BatchedSimdTest, LessThanMaskMatchesScalarReference) {
+  std::mt19937 rng(777);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  const float threshold = -1e-5f;
+  for (size_t n : {size_t{1}, size_t{4}, size_t{7}, size_t{16}, size_t{129}}) {
+    std::vector<float> x(n);
+    for (float& v : x) v = dist(rng);
+    // Edge lanes: exact threshold (strict compare), signed zeros,
+    // infinities, NaN (never less-than in either backend).
+    if (n >= 7) {
+      x[0] = threshold;
+      x[1] = 0.0f;
+      x[2] = -0.0f;
+      x[3] = std::numeric_limits<float>::infinity();
+      x[4] = -std::numeric_limits<float>::infinity();
+      x[5] = std::numeric_limits<float>::quiet_NaN();
+      x[6] = std::nextafter(threshold, -1.0f);
+    }
+    std::vector<uint8_t> out(n, 0xcc), out_ref(n, 0xaa);
+    util::simd::LessThanMask(n, x.data(), threshold, out.data());
+    util::simd::LessThanMaskScalar(n, x.data(), threshold, out_ref.data());
+    ASSERT_EQ(std::memcmp(out.data(), out_ref.data(), n), 0) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential soundness of the batched screen against the kernel.
+
+GkRow Row(size_t ordinal, std::vector<std::string> ods, OdPool& pool) {
+  GkRow row;
+  row.ordinal = ordinal;
+  row.eid = static_cast<xml::ElementId>(ordinal + 1);
+  row.ods = std::move(ods);
+  for (const std::string& od : row.ods) {
+    row.norm_ods.push_back(
+        pool.Intern(util::ToLower(util::NormalizeWhitespace(od))));
+  }
+  return row;
+}
+
+// Adversarial value pool: empties, near-duplicates, embedded NULs,
+// high-bit bytes, single characters, long strings, values equal after
+// normalization.
+const std::vector<std::string>& Values() {
+  static const std::vector<std::string> kValues = {
+      "",
+      "a",
+      "b",
+      "zz",
+      "The  Matrix",
+      "the matrix",
+      "The Matrix Reloaded",
+      "Mask of Zorro",
+      "MASK OF ZORRO",
+      "qxzz zz",
+      "1999",
+      "2000",
+      std::string("nul\0inside", 10),
+      std::string("nul\0insidf", 10),
+      std::string("\0", 1),
+      "\xff\xfe\x80",
+      "tr\xc3\xa8s long titre avec beaucoup de caract\xc3\xa8res",
+      "a very long object description that shares no characters",
+  };
+  return kValues;
+}
+
+std::vector<GkRow> RandomRows(size_t n, unsigned seed, size_t num_ods,
+                              OdPool& pool) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<size_t> pick(0, Values().size() - 1);
+  std::vector<GkRow> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> ods;
+    for (size_t o = 0; o < num_ods; ++o) ods.push_back(Values()[pick(rng)]);
+    rows.push_back(Row(i, std::move(ods), pool));
+  }
+  return rows;
+}
+
+std::vector<OrdinalPair> AllPairs(size_t n) {
+  std::vector<OrdinalPair> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) pairs.push_back({i, j});
+  }
+  return pairs;
+}
+
+CandidateInstances Leaves(const CandidateConfig* config, size_t n) {
+  CandidateInstances instances;
+  instances.config = config;
+  instances.elements.resize(n, nullptr);
+  instances.eids.resize(n, 0);
+  return instances;
+}
+
+// Runs the screen on every pair of `rows` and checks: (1) every rejected
+// pair is rejected by CompareFast too (soundness); (2) at least one pair
+// was rejected and one survived (the test bites both ways). Returns the
+// reject count.
+size_t CheckSoundness(const SimilarityMeasure& measure,
+                      const std::vector<GkRow>& rows) {
+  std::vector<OrdinalPair> pairs = AllPairs(rows.size());
+  BatchFilterScratch scratch;
+  measure.BatchFilter(rows, pairs.data(), pairs.size(), &scratch);
+
+  size_t rejects = 0;
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (!scratch.reject[p]) continue;
+    ++rejects;
+    const GkRow& a = rows[pairs[p].first];
+    const GkRow& b = rows[pairs[p].second];
+    SimilarityVerdict verdict = measure.CompareFast(a, b);
+    EXPECT_FALSE(verdict.is_duplicate)
+        << "screen rejected a kernel-accepted pair: \"" << a.ods[0]
+        << "\" vs \"" << b.ods[0] << "\" (ordinals " << pairs[p].first
+        << ", " << pairs[p].second << ")";
+  }
+  EXPECT_GT(rejects, 0u) << "screen never fired; the test checks nothing";
+  EXPECT_LT(rejects, pairs.size()) << "screen rejected everything";
+  return rejects;
+}
+
+TEST(BatchedFilterTest, SoundOnEditOnlyCandidate) {
+  CandidateConfig cand = CandidateBuilder("m", "db/m")
+                             .Path(1, "t/text()")
+                             .Od(1, 1.0)
+                             .Key({{1, "C1"}})
+                             .OdThreshold(0.9)
+                             .Build()
+                             .value();
+  OdPool pool;
+  std::vector<GkRow> rows = RandomRows(48, 1, 1, pool);
+  CandidateInstances instances = Leaves(&cand, rows.size());
+  SimilarityMeasure measure(cand, instances, {}, &pool);
+  ASSERT_TRUE(measure.BatchFilterEligible(rows));
+  CheckSoundness(measure, rows);
+}
+
+TEST(BatchedFilterTest, SoundWithNonEditComponentInTheMix) {
+  // The second component's "exact" φ has no cheap bound: the screen must
+  // park it at upper bound 1.0 and stay sound.
+  CandidateConfig cand = CandidateBuilder("m", "db/m")
+                             .Path(1, "t/text()")
+                             .Path(2, "y/text()")
+                             .Od(1, 0.8)
+                             .Od(2, 0.2, "exact")
+                             .Key({{1, "C1"}})
+                             .OdThreshold(0.95)
+                             .Build()
+                             .value();
+  OdPool pool;
+  std::vector<GkRow> rows = RandomRows(40, 2, 2, pool);
+  CandidateInstances instances = Leaves(&cand, rows.size());
+  SimilarityMeasure measure(cand, instances, {}, &pool);
+  ASSERT_TRUE(measure.BatchFilterEligible(rows));
+  CheckSoundness(measure, rows);
+}
+
+TEST(BatchedFilterTest, SoundAcrossCombineModesWithDescendants) {
+  std::mt19937 rng(5150);
+  std::uniform_int_distribution<size_t> num_desc(0, 4);
+  std::uniform_int_distribution<size_t> child(0, 11);
+
+  for (CombineMode mode :
+       {CombineMode::kAverage, CombineMode::kWeighted, CombineMode::kDescBoost,
+        CombineMode::kDescGate}) {
+    CandidateConfig cand = CandidateBuilder("m", "db/m")
+                               .Path(1, "t/text()")
+                               .Od(1, 1.0)
+                               .Key({{1, "C1"}})
+                               .OdThreshold(0.9)
+                               .Mode(mode)
+                               .Build()
+                               .value();
+    cand.classifier.desc_threshold = 0.6;
+    cand.classifier.od_weight = 0.7;
+
+    OdPool pool;
+    std::vector<GkRow> rows = RandomRows(36, 3, 1, pool);
+    CandidateInstances instances = Leaves(&cand, rows.size());
+    instances.child_types = {1};
+    std::vector<std::vector<size_t>> per_instance(rows.size());
+    for (auto& list : per_instance) {
+      list.resize(num_desc(rng));
+      for (size_t& d : list) d = child(rng);
+    }
+    instances.desc_instances = {std::move(per_instance)};
+    ClusterSet clusters = ClusterSet::FromClusters({{0, 1}, {2, 3, 4}}, 12);
+
+    SimilarityMeasure measure(cand, instances, {&clusters}, &pool);
+    ASSERT_TRUE(measure.BatchFilterEligible(rows));
+    SCOPED_TRACE(CombineModeName(mode));
+    CheckSoundness(measure, rows);
+  }
+}
+
+TEST(BatchedFilterTest, RejectsAreStableAcrossBlockSplits) {
+  // Element-wise screening: filtering the same pairs in one call or in
+  // arbitrary sub-blocks must produce identical reject flags, so the
+  // detector's batch size never shows in the results.
+  CandidateConfig cand = CandidateBuilder("m", "db/m")
+                             .Path(1, "t/text()")
+                             .Od(1, 1.0)
+                             .Key({{1, "C1"}})
+                             .OdThreshold(0.9)
+                             .Build()
+                             .value();
+  OdPool pool;
+  std::vector<GkRow> rows = RandomRows(32, 4, 1, pool);
+  CandidateInstances instances = Leaves(&cand, rows.size());
+  SimilarityMeasure measure(cand, instances, {}, &pool);
+  std::vector<OrdinalPair> pairs = AllPairs(rows.size());
+
+  BatchFilterScratch whole;
+  measure.BatchFilter(rows, pairs.data(), pairs.size(), &whole);
+  std::vector<uint8_t> expected(whole.reject.begin(),
+                                whole.reject.begin() +
+                                    static_cast<long>(pairs.size()));
+
+  BatchFilterScratch split;  // reused across blocks, like the detector's
+  for (size_t block : {size_t{1}, size_t{7}, size_t{64}}) {
+    std::vector<uint8_t> got;
+    for (size_t start = 0; start < pairs.size(); start += block) {
+      size_t n = std::min(block, pairs.size() - start);
+      measure.BatchFilter(rows, pairs.data() + start, n, &split);
+      got.insert(got.end(), split.reject.begin(),
+                 split.reject.begin() + static_cast<long>(n));
+    }
+    EXPECT_EQ(got, expected) << "block=" << block;
+  }
+}
+
+TEST(BatchedFilterTest, EligibilityGates) {
+  CandidateConfig cand = CandidateBuilder("m", "db/m")
+                             .Path(1, "t/text()")
+                             .Od(1, 1.0)
+                             .Key({{1, "C1"}})
+                             .OdThreshold(0.9)
+                             .Build()
+                             .value();
+  OdPool pool;
+  std::vector<GkRow> rows = RandomRows(4, 5, 1, pool);
+  CandidateInstances instances = Leaves(&cand, rows.size());
+
+  {
+    SimilarityMeasure measure(cand, instances, {}, &pool);
+    EXPECT_TRUE(measure.BatchFilterEligible(rows));
+  }
+  {
+    CandidateConfig off = cand;
+    off.batch_scoring = false;
+    SimilarityMeasure measure(off, instances, {}, &pool);
+    EXPECT_FALSE(measure.BatchFilterEligible(rows));
+  }
+  {
+    CandidateConfig off = cand;
+    off.enable_fast_paths = false;
+    off.batch_scoring = false;
+    SimilarityMeasure measure(off, instances, {}, &pool);
+    EXPECT_FALSE(measure.BatchFilterEligible(rows));
+  }
+  {
+    // No pool: the rows' interned ids have nothing to resolve against.
+    SimilarityMeasure measure(cand, instances, {});
+    EXPECT_FALSE(measure.BatchFilterEligible(rows));
+  }
+  {
+    // Hand-built rows without interned normalized ODs.
+    std::vector<GkRow> bare = rows;
+    bare[2].norm_ods.clear();
+    SimilarityMeasure measure(cand, instances, {}, &pool);
+    EXPECT_FALSE(measure.BatchFilterEligible(bare));
+  }
+}
+
+}  // namespace
+}  // namespace sxnm::core

@@ -280,6 +280,80 @@ TEST(ConfigXmlTest, DefaultsApplied) {
   EXPECT_TRUE(m->use_descendants);
   EXPECT_DOUBLE_EQ(m->od[0].relevance, 1.0);
   EXPECT_EQ(m->od[0].similarity_name, "edit");
+  EXPECT_TRUE(m->dag_compression) << "dag defaults on";
+  EXPECT_TRUE(m->batch_scoring) << "batch-scoring default follows fast-paths";
+}
+
+// The dag / batch-scoring candidate attributes (see docs/CONFIG.md):
+// parse, defaulting, and the coupling to fast-paths.
+std::string DagCandidateXml(const std::string& attrs) {
+  return R"xml(
+<sxnm-config>
+  <candidate name="m" path="db/m" )xml" +
+         attrs + R"xml(>
+    <paths><path id="1" rel="t/text()"/></paths>
+    <od><entry pid="1"/></od>
+    <keys><key><part pid="1" pattern="C1"/></key></keys>
+  </candidate>
+</sxnm-config>)xml";
+}
+
+TEST(ConfigXmlTest, DagAndBatchScoringAttributesParse) {
+  struct Case {
+    const char* attrs;
+    bool dag;
+    bool batch;
+  };
+  const Case cases[] = {
+      {"", true, true},
+      {"dag=\"false\"", false, true},
+      {"batch-scoring=\"false\"", true, false},
+      {"dag=\"false\" batch-scoring=\"false\"", false, false},
+      // Turning fast paths off drops the batch default with it; the DAG
+      // shortcut is independent of the fast paths.
+      {"fast-paths=\"false\"", true, false},
+      {"fast-paths=\"false\" dag=\"false\"", false, false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.attrs);
+    auto config = ConfigFromXmlString(DagCandidateXml(c.attrs));
+    ASSERT_TRUE(config.ok()) << config.status().ToString();
+    const CandidateConfig* m = config->Find("m");
+    EXPECT_EQ(m->dag_compression, c.dag);
+    EXPECT_EQ(m->batch_scoring, c.batch);
+  }
+}
+
+TEST(ConfigXmlTest, DagAndBatchScoringRoundTripThroughXml) {
+  for (const char* attrs :
+       {"", "dag=\"false\"", "batch-scoring=\"false\"",
+        "dag=\"false\" batch-scoring=\"false\"", "fast-paths=\"false\""}) {
+    SCOPED_TRACE(attrs);
+    auto original = ConfigFromXmlString(DagCandidateXml(attrs));
+    ASSERT_TRUE(original.ok()) << original.status().ToString();
+    auto reparsed = ConfigFromXmlString(ConfigToXmlString(original.value()));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    const CandidateConfig* a = original->Find("m");
+    const CandidateConfig* b = reparsed->Find("m");
+    EXPECT_EQ(a->enable_fast_paths, b->enable_fast_paths);
+    EXPECT_EQ(a->dag_compression, b->dag_compression);
+    EXPECT_EQ(a->batch_scoring, b->batch_scoring);
+  }
+}
+
+TEST(ConfigXmlTest, BatchScoringWithoutFastPathsRejected) {
+  // batch-scoring="true" explicitly contradicts fast-paths="false": the
+  // SoA screen reproduces the bounded kernel's decisions, so it cannot
+  // run against the exact-only kernel (Config::Validate rule).
+  auto config = ConfigFromXmlString(
+      DagCandidateXml("fast-paths=\"false\" batch-scoring=\"true\""));
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(ConfigXmlTest, BadDagBooleanRejected) {
+  EXPECT_FALSE(ConfigFromXmlString(DagCandidateXml("dag=\"maybe\"")).ok());
+  EXPECT_FALSE(
+      ConfigFromXmlString(DagCandidateXml("batch-scoring=\"0.5\"")).ok());
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+// Detector-level guarantees of the DAG-equal shortcut and the batched
+// SoA pre-filter: switching dag_compression / batch_scoring on or off
+// must not change a single duplicate pair or cluster for any thread
+// count; the new counters must close exactly against the windowed-pair
+// total; and the checked-in gold-labeled repeated-subtree corpus must
+// yield identical, high-quality results either way. The suite name
+// matches both the "Dag" and "Batched" sanitizer ctest filters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+#include "sxnm/detector.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+
+namespace sxnm::core {
+namespace {
+
+xml::Document RepeatedSubtreeMovies(size_t num_movies, unsigned data_seed,
+                                    unsigned dirty_seed) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = num_movies;
+  gen.seed = data_seed;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty = datagen::MakeDirty(
+      clean, datagen::RepeatedSubtreePreset(dirty_seed));
+  EXPECT_TRUE(dirty.ok());
+  return std::move(dirty).value();
+}
+
+Config MovieCfg(bool dag, bool batch, size_t threads, bool metrics) {
+  auto config = datagen::MovieConfig(/*window=*/10);
+  EXPECT_TRUE(config.ok());
+  Config cfg = config.value();
+  for (CandidateConfig& cand : cfg.mutable_candidates()) {
+    cand.dag_compression = dag;
+    cand.batch_scoring = batch;
+  }
+  cfg.set_num_threads(threads);
+  if (metrics) cfg.mutable_observability().metrics = true;
+  return cfg;
+}
+
+void ExpectIdenticalResults(const DetectionResult& a,
+                            const DetectionResult& b) {
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateResult& ca = a.candidates[i];
+    const CandidateResult& cb = b.candidates[i];
+    SCOPED_TRACE(ca.name);
+    EXPECT_EQ(ca.name, cb.name);
+    EXPECT_EQ(ca.num_instances, cb.num_instances);
+    EXPECT_EQ(ca.duplicate_pairs, cb.duplicate_pairs);
+    EXPECT_EQ(ca.duplicate_eid_pairs, cb.duplicate_eid_pairs);
+    EXPECT_EQ(ca.comparisons, cb.comparisons)
+        << "dag/filter classifications still count as comparisons";
+    EXPECT_EQ(ca.clusters.clusters(), cb.clusters.clusters());
+  }
+}
+
+TEST(DagBatchedDetectorTest, TogglesPreserveResultsAcrossThreadCounts) {
+  xml::Document dirty = RepeatedSubtreeMovies(250, 31, 13);
+  auto baseline = Detector(MovieCfg(false, false, 1, false)).Run(dirty);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_FALSE(baseline->candidates[0].duplicate_pairs.empty());
+
+  struct Toggle {
+    bool dag;
+    bool batch;
+  };
+  for (Toggle toggle : {Toggle{true, false}, Toggle{false, true},
+                        Toggle{true, true}}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      SCOPED_TRACE("dag=" + std::to_string(toggle.dag) +
+                   " batch=" + std::to_string(toggle.batch) +
+                   " threads=" + std::to_string(threads));
+      auto run =
+          Detector(MovieCfg(toggle.dag, toggle.batch, threads, false))
+              .Run(dirty);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      ExpectIdenticalResults(baseline.value(), run.value());
+    }
+  }
+}
+
+TEST(DagBatchedDetectorTest, ShortcutsFireAndCountersClose) {
+  xml::Document dirty = RepeatedSubtreeMovies(220, 51, 17);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto result = Detector(MovieCfg(true, true, threads, true)).Run(dirty);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const obs::MetricsSnapshot& m = result->metrics;
+
+    // The corpus is 100% duplicated with 70% byte-exact copies: both fast
+    // paths must actually fire, and key generation must have built a
+    // genuinely compressed DAG.
+    EXPECT_GT(m.CounterOr("sw.dag_equal"), 0u);
+    EXPECT_GT(m.CounterOr("kg.subtree_pool_nodes"), 0u);
+    EXPECT_GT(m.CounterOr("kg.subtree_pool_bytes"), 0u);
+
+    // Exact closure: every windowed pair is either prepass-skipped or
+    // classified, and every classification has exactly one provenance.
+    EXPECT_EQ(m.CounterOr("sw.pairs_windowed"),
+              m.CounterOr("sw.comparisons") + m.CounterOr("sw.prepass_skips"));
+    EXPECT_GE(m.CounterOr("sw.comparisons"),
+              m.CounterOr("sw.dag_equal") + m.CounterOr("sw.batch_rejects") +
+                  m.CounterOr("sw.verdict_cache_hits"));
+
+    // Counters are thread-invariant along with the results.
+    if (threads == 1) continue;
+    auto serial = Detector(MovieCfg(true, true, 1, true)).Run(dirty);
+    ASSERT_TRUE(serial.ok());
+    for (const char* counter :
+         {"sw.pairs_windowed", "sw.comparisons", "sw.prepass_skips",
+          "sw.dag_equal", "sw.batch_rejects", "sw.hits"}) {
+      EXPECT_EQ(m.CounterOr(counter), serial->metrics.CounterOr(counter))
+          << counter;
+    }
+  }
+}
+
+TEST(DagBatchedDetectorTest, DagDisabledLeavesPoolEmpty) {
+  xml::Document dirty = RepeatedSubtreeMovies(60, 61, 19);
+  auto result = Detector(MovieCfg(false, false, 1, true)).Run(dirty);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->metrics.CounterOr("sw.dag_equal"), 0u);
+  EXPECT_EQ(result->metrics.CounterOr("sw.batch_rejects"), 0u);
+  EXPECT_EQ(result->metrics.CounterOr("kg.subtree_pool_nodes"), 0u);
+  for (const CandidateResult& cand : result->candidates) {
+    EXPECT_EQ(cand.gk.subtree_pool.num_nodes(), 0u);
+    for (const GkRow& row : cand.gk.rows) {
+      EXPECT_FALSE(row.subtree.valid());
+    }
+  }
+}
+
+// The checked-in gold-labeled corpus (tests/data/repeated_subtree_movies
+// .xml, generated by GenerateCleanMovies + RepeatedSubtreePreset — see
+// tests/data/README.md): results must be identical with the fast paths on
+// and off, and both must actually find the duplicates the gold labels
+// record.
+TEST(DagBatchedDetectorTest, GoldCorpusResultsAreIdenticalAndAccurate) {
+  const std::string path =
+      std::string(SXNM_TEST_DATA_DIR) + "/repeated_subtree_movies.xml";
+  auto doc = xml::ParseFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  auto off = Detector(MovieCfg(false, false, 1, false)).Run(doc.value());
+  auto on = Detector(MovieCfg(true, true, 4, false)).Run(doc.value());
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  ExpectIdenticalResults(off.value(), on.value());
+
+  auto gold =
+      eval::GoldClusterSet(doc.value(), "movie_database/movies/movie");
+  ASSERT_TRUE(gold.ok()) << gold.status().ToString();
+  ASSERT_GT(gold->NumDuplicatePairs(), 0u);
+
+  const CandidateResult* movie = on->Find("movie");
+  ASSERT_NE(movie, nullptr);
+  eval::PairMetrics metrics =
+      eval::PairwiseMetrics(gold.value(), movie->clusters);
+  // The corpus is mostly byte-exact copies; SXNM with the paper's movie
+  // config must do well on it. Loose floors — this guards against the
+  // fast paths silently dropping pairs, not against tuning drift.
+  EXPECT_GT(metrics.recall, 0.7) << metrics.ToString();
+  EXPECT_GT(metrics.precision, 0.9) << metrics.ToString();
+}
+
+}  // namespace
+}  // namespace sxnm::core

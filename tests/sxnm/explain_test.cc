@@ -164,9 +164,14 @@ TEST(ExplainLogTest, ProvenanceCountsReconcileWithCounters) {
   size_t owned = CountOccurrences(text, "\"provenance\":\"owned\"");
   size_t cache = CountOccurrences(text, "\"provenance\":\"verdict_cache\"");
   size_t prepass = CountOccurrences(text, "\"provenance\":\"prepass\"");
-  EXPECT_EQ(owned + cache, result->metrics.CounterOr("sw.comparisons"));
+  size_t dag = CountOccurrences(text, "\"provenance\":\"dag_equal\"");
+  size_t filter = CountOccurrences(text, "\"provenance\":\"batch_filter\"");
+  EXPECT_EQ(owned + cache + dag + filter,
+            result->metrics.CounterOr("sw.comparisons"));
   EXPECT_EQ(cache, result->metrics.CounterOr("sw.verdict_cache_hits"));
   EXPECT_EQ(prepass, result->metrics.CounterOr("sw.prepass_pairs"));
+  EXPECT_EQ(dag, result->metrics.CounterOr("sw.dag_equal"));
+  EXPECT_EQ(filter, result->metrics.CounterOr("sw.batch_rejects"));
   EXPECT_GT(cache, 0u);
 }
 

@@ -94,6 +94,8 @@ TEST(ParallelDetectorTest, FastPathsDoNotChangeAcceptedPairs) {
   Config slow_config = config.value();
   for (CandidateConfig& cand : slow_config.mutable_candidates()) {
     cand.enable_fast_paths = false;
+    cand.dag_compression = false;
+    cand.batch_scoring = false;
   }
 
   auto fast = Detector(config.value()).Run(dirty);
@@ -112,6 +114,8 @@ TEST(ParallelDetectorTest, FastPathsOffParallelStillDeterministic) {
   Config base = config.value();
   for (CandidateConfig& cand : base.mutable_candidates()) {
     cand.enable_fast_paths = false;
+    cand.dag_compression = false;
+    cand.batch_scoring = false;
   }
 
   auto serial = Detector(base).Run(dirty);

@@ -1,0 +1,303 @@
+// SubtreePool hash-consing must realize exactly the xml::StructurallyEqual
+// relation: equal interned ids if and only if the subtrees are
+// structurally identical. These tests probe the canonical encoding with
+// clones, single-aspect perturbations, concatenation-ambiguous shapes,
+// and random trees over a tiny vocabulary (so shape collisions actually
+// occur). The "Dag" suite name places them under the sanitizer presets'
+// ctest filters together with the detector-level DAG tests.
+
+#include "sxnm/subtree_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xml/node.h"
+#include "xml/structure.h"
+
+namespace sxnm::core {
+namespace {
+
+std::unique_ptr<xml::Element> MovieTree() {
+  auto movie = std::make_unique<xml::Element>("movie");
+  movie->SetAttribute("year", "1999");
+  movie->SetAttribute("length", "136");
+  movie->AddElement("title")->AddText("The Matrix");
+  xml::Element* people = movie->AddElement("people");
+  xml::Element* person = people->AddElement("person");
+  person->AddElement("lastname")->AddText("Reeves");
+  person->AddElement("firstname")->AddText("Keanu");
+  movie->AddChild(std::make_unique<xml::CommentNode>("re-release"));
+  return movie;
+}
+
+TEST(DagSubtreePoolTest, CloneInternsToSameId) {
+  SubtreePool pool;
+  std::unique_ptr<xml::Element> original = MovieTree();
+  std::unique_ptr<xml::Element> clone = original->Clone();
+  ASSERT_TRUE(xml::StructurallyEqual(*original, *clone));
+
+  SubtreeRef a = pool.Intern(*original);
+  size_t distinct_after_first = pool.num_nodes();
+  SubtreeRef b = pool.Intern(*clone);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.num_nodes(), distinct_after_first)
+      << "re-interning a clone must add no DAG nodes";
+  EXPECT_EQ(pool.nodes_seen(), 2 * distinct_after_first)
+      << "every DOM node of the clone was walked again";
+  EXPECT_GT(pool.bytes(), 0u);
+}
+
+TEST(DagSubtreePoolTest, DefaultRefIsInvalid) {
+  SubtreeRef ref;
+  EXPECT_FALSE(ref.valid());
+  SubtreePool pool;
+  EXPECT_NE(pool.Intern(*MovieTree()), ref);
+}
+
+// Each perturbation touches exactly one aspect of node identity; all of
+// them must both break StructurallyEqual and produce a fresh id.
+TEST(DagSubtreePoolTest, EveryIdentityAspectChangesTheId) {
+  std::vector<std::pair<const char*, std::unique_ptr<xml::Element>>> variants;
+
+  {
+    auto t = MovieTree();
+    t->set_name("film");
+    variants.emplace_back("element name", std::move(t));
+  }
+  {
+    auto t = MovieTree();
+    t->SetAttribute("year", "1998");
+    variants.emplace_back("attribute value", std::move(t));
+  }
+  {
+    auto t = MovieTree();
+    t->RemoveAttribute("length");
+    t->SetAttribute("runtime", "136");
+    variants.emplace_back("attribute name", std::move(t));
+  }
+  {
+    auto t = MovieTree();
+    t->RemoveAttribute("year");
+    variants.emplace_back("attribute dropped", std::move(t));
+  }
+  {
+    auto t = std::make_unique<xml::Element>("movie");
+    // Same attributes in the opposite order.
+    t->SetAttribute("length", "136");
+    t->SetAttribute("year", "1999");
+    auto reference = MovieTree();
+    for (size_t i = reference->NumChildren(); i > 0; --i) {
+      t->AddChild(reference->TakeChild(0));
+    }
+    variants.emplace_back("attribute order", std::move(t));
+  }
+  {
+    auto t = MovieTree();
+    static_cast<xml::TextNode*>(
+        t->FirstChildElement("title")->children()[0].get())
+        ->set_text("The Matrix Reloaded");
+    variants.emplace_back("text payload", std::move(t));
+  }
+  {
+    auto t = MovieTree();
+    // Same payload as the comment, but as a text node.
+    t->RemoveChild(t->NumChildren() - 1);
+    t->AddText("re-release");
+    variants.emplace_back("comment vs text kind", std::move(t));
+  }
+  {
+    auto t = MovieTree();
+    // Swap <title> and <people>.
+    std::unique_ptr<xml::Node> title = t->TakeChild(0);
+    std::unique_ptr<xml::Node> people = t->TakeChild(0);
+    t->AddChild(std::move(people));
+    t->AddChild(std::move(title));
+    variants.emplace_back("child order", std::move(t));
+  }
+  {
+    auto t = MovieTree();
+    t->AddElement("review")->AddText("ok");
+    variants.emplace_back("extra child", std::move(t));
+  }
+
+  SubtreePool pool;
+  std::unique_ptr<xml::Element> base = MovieTree();
+  SubtreeRef base_id = pool.Intern(*base);
+  for (auto& [what, tree] : variants) {
+    EXPECT_FALSE(xml::StructurallyEqual(*base, *tree)) << what;
+    EXPECT_NE(pool.Intern(*tree), base_id) << what;
+  }
+}
+
+// Text and CDATA carry the same payload type but different node kinds.
+TEST(DagSubtreePoolTest, TextAndCdataAreDistinct) {
+  auto text = std::make_unique<xml::Element>("e");
+  text->AddChild(std::make_unique<xml::TextNode>("payload", /*cdata=*/false));
+  auto cdata = std::make_unique<xml::Element>("e");
+  cdata->AddChild(std::make_unique<xml::TextNode>("payload", /*cdata=*/true));
+
+  EXPECT_FALSE(xml::StructurallyEqual(*text, *cdata));
+  SubtreePool pool;
+  EXPECT_NE(pool.Intern(*text), pool.Intern(*cdata));
+}
+
+// Shapes whose naive (unprefixed) concatenations coincide: the canonical
+// encoding must keep field boundaries.
+TEST(DagSubtreePoolTest, ConcatenationAmbiguitiesDoNotCollide) {
+  std::vector<std::pair<std::unique_ptr<xml::Element>,
+                        std::unique_ptr<xml::Element>>> pairs;
+
+  {
+    // <ab>c</ab> vs <a>bc</a>.
+    auto left = std::make_unique<xml::Element>("ab");
+    left->AddText("c");
+    auto right = std::make_unique<xml::Element>("a");
+    right->AddText("bc");
+    pairs.emplace_back(std::move(left), std::move(right));
+  }
+  {
+    // x="yz" vs xy="z".
+    auto left = std::make_unique<xml::Element>("e");
+    left->SetAttribute("x", "yz");
+    auto right = std::make_unique<xml::Element>("e");
+    right->SetAttribute("xy", "z");
+    pairs.emplace_back(std::move(left), std::move(right));
+  }
+  {
+    // Two text children "ab"+"c" vs one text child "abc".
+    auto left = std::make_unique<xml::Element>("e");
+    left->AddText("ab");
+    left->AddText("c");
+    auto right = std::make_unique<xml::Element>("e");
+    right->AddText("abc");
+    pairs.emplace_back(std::move(left), std::move(right));
+  }
+  {
+    // One attribute "a"="" + name "b" vs attribute "ab"="" — empty values
+    // must still delimit.
+    auto left = std::make_unique<xml::Element>("e");
+    left->SetAttribute("a", "");
+    left->SetAttribute("b", "");
+    auto right = std::make_unique<xml::Element>("e");
+    right->SetAttribute("ab", "");
+    pairs.emplace_back(std::move(left), std::move(right));
+  }
+
+  SubtreePool pool;
+  for (auto& [left, right] : pairs) {
+    ASSERT_FALSE(xml::StructurallyEqual(*left, *right));
+    EXPECT_NE(pool.Intern(*left), pool.Intern(*right));
+  }
+}
+
+// Embedded NULs and high-bit bytes are ordinary payload bytes.
+TEST(DagSubtreePoolTest, NulAndHighBitBytesParticipateInIdentity) {
+  const std::string with_nul("a\0b", 3);
+  const std::string with_other_nul("a\0c", 3);
+  const std::string high_bit = "a\xff\x80";
+
+  auto e1 = std::make_unique<xml::Element>("e");
+  e1->AddText(with_nul);
+  auto e2 = std::make_unique<xml::Element>("e");
+  e2->AddText(with_other_nul);
+  auto e3 = std::make_unique<xml::Element>("e");
+  e3->AddText("ab");
+  auto e4 = std::make_unique<xml::Element>("e");
+  e4->AddText(high_bit);
+  auto e5 = std::make_unique<xml::Element>("e");
+  e5->SetAttribute("k", with_nul);
+
+  SubtreePool pool;
+  SubtreeRef r1 = pool.Intern(*e1);
+  SubtreeRef r2 = pool.Intern(*e2);
+  SubtreeRef r3 = pool.Intern(*e3);
+  SubtreeRef r4 = pool.Intern(*e4);
+  SubtreeRef r5 = pool.Intern(*e5);
+  EXPECT_NE(r1, r2);
+  EXPECT_NE(r1, r3);
+  EXPECT_NE(r1, r4);
+  EXPECT_NE(r1, r5);
+  EXPECT_NE(r2, r3);
+
+  // And clones with the same weird bytes still coincide.
+  EXPECT_EQ(pool.Intern(*e1->Clone()), r1);
+  EXPECT_EQ(pool.Intern(*e4->Clone()), r4);
+}
+
+// The core property, over random trees drawn from a vocabulary small
+// enough that structurally identical trees are frequent: for every pair,
+// id equality must coincide with xml::StructurallyEqual.
+TEST(DagSubtreePoolTest, IdEqualityMatchesStructuralEqualityOnRandomTrees) {
+  std::mt19937 rng(20260808);
+  const std::vector<std::string> names = {"a", "b"};
+  const std::vector<std::string> texts = {"", "x", std::string("n\0l", 3),
+                                          "\xff\x80"};
+  const std::vector<std::string> attr_values = {"", "1"};
+
+  auto coin = [&rng](double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+  };
+  auto pick = [&rng](const std::vector<std::string>& v) -> const std::string& {
+    return v[std::uniform_int_distribution<size_t>(0, v.size() - 1)(rng)];
+  };
+
+  // Recursive lambda via explicit self-parameter.
+  auto build = [&](auto&& self, int depth) -> std::unique_ptr<xml::Element> {
+    auto e = std::make_unique<xml::Element>(pick(names));
+    if (coin(0.4)) e->SetAttribute("k", pick(attr_values));
+    std::uniform_int_distribution<int> num_children(0, depth > 0 ? 2 : 0);
+    int children = num_children(rng);
+    for (int c = 0; c < children; ++c) {
+      switch (std::uniform_int_distribution<int>(0, 3)(rng)) {
+        case 0:
+          e->AddChild(self(self, depth - 1));
+          break;
+        case 1:
+          e->AddChild(std::make_unique<xml::TextNode>(pick(texts)));
+          break;
+        case 2:
+          e->AddChild(
+              std::make_unique<xml::TextNode>(pick(texts), /*cdata=*/true));
+          break;
+        case 3:
+          e->AddChild(std::make_unique<xml::CommentNode>(pick(texts)));
+          break;
+      }
+    }
+    return e;
+  };
+
+  constexpr size_t kTrees = 64;
+  std::vector<std::unique_ptr<xml::Element>> trees;
+  trees.reserve(kTrees);
+  for (size_t i = 0; i < kTrees; ++i) trees.push_back(build(build, 3));
+
+  SubtreePool pool;
+  std::vector<SubtreeRef> ids;
+  ids.reserve(kTrees);
+  for (const auto& tree : trees) ids.push_back(pool.Intern(*tree));
+
+  size_t equal_pairs = 0;
+  for (size_t i = 0; i < kTrees; ++i) {
+    for (size_t j = i + 1; j < kTrees; ++j) {
+      const bool structural = xml::StructurallyEqual(*trees[i], *trees[j]);
+      ASSERT_EQ(ids[i] == ids[j], structural)
+          << "trees " << i << " and " << j;
+      if (structural) ++equal_pairs;
+    }
+  }
+  // The vocabulary is tiny on purpose; without collisions the test would
+  // only ever exercise the inequality direction.
+  EXPECT_GT(equal_pairs, 0u) << "vocabulary too large to collide";
+  EXPECT_LT(pool.num_nodes(), pool.nodes_seen())
+      << "random trees over two tags must share some subtree shapes";
+}
+
+}  // namespace
+}  // namespace sxnm::core
