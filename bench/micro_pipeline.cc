@@ -12,9 +12,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_json.h"
 #include "datagen/dirty_gen.h"
@@ -168,6 +172,70 @@ EngineProfile ProfileVariant(const sxnm::xml::Document& doc,
   return best;
 }
 
+// One arm of the telemetry overhead A/B: best-of-repeats wall-clock of a
+// full detector run, with the periodic sampler either streaming to
+// `telemetry_path` or (empty path) off.
+struct TelemetryProbe {
+  double seconds = 0;
+  size_t duplicate_pairs = 0;
+  size_t samples = 0;  // sample records in the stream (on-arm only)
+};
+
+// Runs the off arm and the on arm strictly interleaved (off, on, off,
+// on, ...) and reports each arm's MEDIAN wall clock. Interleaving makes
+// both arms sample the same frequency/scheduler drift instead of each
+// arm eating a different phase of it, and the median shrugs off the
+// occasional descheduled run that best-of-N turns into a coin flip.
+std::pair<TelemetryProbe, TelemetryProbe> ProfileTelemetryAb(
+    const sxnm::xml::Document& doc, const sxnm::core::Config& base_config,
+    const std::string& telemetry_path, double interval_ms, int repeats) {
+  auto make_detector = [&](const std::string& path) {
+    sxnm::core::Config config = base_config;
+    config.mutable_observability().metrics = true;
+    config.mutable_observability().telemetry_path = path;
+    config.mutable_observability().telemetry_interval_ms = interval_ms;
+    return sxnm::core::Detector(std::move(config));
+  };
+  sxnm::core::Detector off_detector = make_detector("");
+  sxnm::core::Detector on_detector = make_detector(telemetry_path);
+
+  TelemetryProbe off;
+  TelemetryProbe on;
+  std::vector<double> off_times;
+  std::vector<double> on_times;
+  for (int r = 0; r < repeats; ++r) {
+    for (bool with_telemetry : {false, true}) {
+      sxnm::core::Detector& detector =
+          with_telemetry ? on_detector : off_detector;
+      auto start = std::chrono::steady_clock::now();
+      auto result = detector.Run(doc);
+      double seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (!result.ok()) {
+        std::cerr << result.status().ToString() << "\n";
+        std::exit(1);
+      }
+      TelemetryProbe& probe = with_telemetry ? on : off;
+      (with_telemetry ? on_times : off_times).push_back(seconds);
+      probe.duplicate_pairs = result->Find("movie")->duplicate_pairs.size();
+    }
+  }
+  std::sort(off_times.begin(), off_times.end());
+  std::sort(on_times.begin(), on_times.end());
+  off.seconds = off_times[off_times.size() / 2];
+  on.seconds = on_times[on_times.size() / 2];
+  // Each run truncates the stream, so this counts the last repeat's.
+  std::ifstream in(telemetry_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\": \"sample\"") != std::string::npos) {
+      ++on.samples;
+    }
+  }
+  return {off, on};
+}
+
 // Title-only OD at a high threshold over the repeated-subtree corpus:
 // the batched filter's length/byte screens can prove most unrelated
 // neighbor pairs below 0.9, and the DAG shortcut replays the memoized
@@ -225,7 +293,7 @@ int WritePipelineJson(const std::string& path) {
   sxnm::bench::JsonWriter json(out);
   json.BeginObject();
   json.Field("bench", "micro_pipeline");
-  json.Field("schema_version", size_t{5});
+  json.Field("schema_version", size_t{6});
   json.BeginObject("dataset");
   json.Field("generator", "movies+DataSet1DirtyPreset");
   json.Field("clean_movies", kMovies);
@@ -288,12 +356,18 @@ int WritePipelineJson(const std::string& path) {
           sxnm::datagen::RepeatedSubtreePreset(11))
           .value();
   sxnm::core::Config repeated_config = RepeatedSubtreeConfig();
+  // The off arm runs first, straight after corpus generation, and eats
+  // the CPU-frequency ramp: one untimed warm-up plus a deeper best-of
+  // keeps the recorded ratio from drifting with scheduler noise.
+  constexpr int kAbRepeats = 7;
+  (void)ProfileVariant(repeated, repeated_config,
+                       {"warmup", 1, true, false, false}, 1);
   EngineProfile off =
       ProfileVariant(repeated, repeated_config,
-                     {"dag_batch_off", 1, true, false, false}, kRepeats);
+                     {"dag_batch_off", 1, true, false, false}, kAbRepeats);
   EngineProfile on =
       ProfileVariant(repeated, repeated_config,
-                     {"dag_batch_on", 1, true, true, true}, kRepeats);
+                     {"dag_batch_on", 1, true, true, true}, kAbRepeats);
   json.BeginObject("repeated_subtree");
   json.Field("generator", "movies+RepeatedSubtreePreset");
   json.Field("clean_movies", kRepeatedMovies);
@@ -312,9 +386,49 @@ int WritePipelineJson(const std::string& path) {
   json.Field("subtree_pool_bytes",
              size_t(on.metrics.CounterOr("kg.subtree_pool_bytes")));
   json.EndObject();
+
+  // Live-telemetry overhead A/B: the sampler only reads the registry, so
+  // the detection output must be identical with it on, and the wall-clock
+  // cost at the default interval must stay under 2%
+  // (tools/check_bench_json.py enforces both). The sampler's cost is
+  // per-run fixed (worker spawn/join, stream creation, final sample)
+  // plus per-tick, so the probe uses a corpus big enough for a run to
+  // span several sampling intervals — on a short run the fixed cost is
+  // all you would measure, and no real monitoring target is that short.
+  constexpr size_t kTelemetryMovies = 12000;
+  sxnm::datagen::MovieDataOptions tlm_options;
+  tlm_options.num_movies = kTelemetryMovies;
+  tlm_options.seed = 7;
+  sxnm::xml::Document tlm_doc =
+      sxnm::datagen::MakeDirty(
+          sxnm::datagen::GenerateCleanMovies(tlm_options),
+          sxnm::datagen::DataSet1DirtyPreset(7))
+          .value();
+  constexpr double kTelemetryIntervalMs = 250.0;
+  std::string tlm_path = path + ".tlm.ndjsonl";
+  constexpr int kTelemetryRepeats = 9;
+  auto [tlm_off, tlm_on] = ProfileTelemetryAb(
+      tlm_doc, movie_config, tlm_path, kTelemetryIntervalMs, kTelemetryRepeats);
+  std::remove(tlm_path.c_str());
+  json.BeginObject("telemetry");
+  json.Field("interval_ms", kTelemetryIntervalMs);
+  json.Field("repeats", size_t{kTelemetryRepeats});
+  json.Field("clean_movies", kTelemetryMovies);
+  json.Field("window", size_t{10});
+  json.Field("samples", tlm_on.samples);
+  json.Field("telemetry_off_s", tlm_off.seconds);
+  json.Field("telemetry_on_s", tlm_on.seconds);
+  json.Field("overhead_pct", (tlm_on.seconds - tlm_off.seconds) /
+                                 tlm_off.seconds * 100.0);
+  json.Field("duplicate_pairs_off", tlm_off.duplicate_pairs);
+  json.Field("duplicate_pairs_on", tlm_on.duplicate_pairs);
+  json.EndObject();
   json.EndObject();
 
   std::printf("pipeline profile written to %s\n", path.c_str());
+  std::printf("telemetry overhead: off %.4fs -> on %.4fs (%+.2f%%)\n",
+              tlm_off.seconds, tlm_on.seconds,
+              (tlm_on.seconds - tlm_off.seconds) / tlm_off.seconds * 100.0);
   std::printf("SW: serial_legacy %.4fs -> threads4_fast %.4fs (%.2fx)\n",
               baseline.sw, last.sw, baseline.sw / last.sw);
   std::printf("repeated-subtree SW: off %.4fs -> on %.4fs (%.2fx)\n", off.sw,

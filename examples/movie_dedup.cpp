@@ -44,6 +44,11 @@ constexpr char kUsage[] =
     "  --gold-out=PATH   write the gold labels as TSV\n"
     "                    (candidate<TAB>ordinal<TAB>eid<TAB>label), the\n"
     "                    join input for `sxnm_explain misses`\n"
+    "  --telemetry=PATH  stream live NDJSON telemetry samples (counter\n"
+    "                    rates, progress/ETA, RSS) to PATH while the run\n"
+    "                    executes; watch with tools/sxnm_top --follow\n"
+    "  --telemetry-interval-ms=N\n"
+    "                    telemetry sampling period (default 250)\n"
     "  --help            show this help\n";
 
 struct Options {
@@ -53,6 +58,8 @@ struct Options {
   std::string report_path;
   std::string explain_path;
   std::string gold_out_path;
+  std::string telemetry_path;
+  std::string telemetry_interval_ms;
 };
 
 bool FlagValue(const char* arg, const char* name, std::string* out) {
@@ -75,7 +82,10 @@ bool ParseArgs(int argc, char** argv, Options* opts, int* exit_code) {
     if (FlagValue(arg, "--trace", &opts->trace_path) ||
         FlagValue(arg, "--report", &opts->report_path) ||
         FlagValue(arg, "--explain", &opts->explain_path) ||
-        FlagValue(arg, "--gold-out", &opts->gold_out_path)) {
+        FlagValue(arg, "--gold-out", &opts->gold_out_path) ||
+        FlagValue(arg, "--telemetry", &opts->telemetry_path) ||
+        FlagValue(arg, "--telemetry-interval-ms",
+                  &opts->telemetry_interval_ms)) {
       continue;
     }
     if (arg[0] == '-' && arg[1] != '\0') {
@@ -139,6 +149,18 @@ int main(int argc, char** argv) {
   config->mutable_observability().trace_path = opts.trace_path;
   config->mutable_observability().report_path = opts.report_path;
   config->mutable_observability().explain_path = opts.explain_path;
+  config->mutable_observability().telemetry_path = opts.telemetry_path;
+  if (!opts.telemetry_interval_ms.empty()) {
+    double interval =
+        sxnm::util::ParseDoubleOr(opts.telemetry_interval_ms, 0.0);
+    if (interval <= 0.0) {
+      std::fprintf(stderr,
+                   "--telemetry-interval-ms: not a positive number\n\n%s",
+                   kUsage);
+      return sxnm::util::kExitUsage;
+    }
+    config->mutable_observability().telemetry_interval_ms = interval;
+  }
 
   auto result = sxnm::core::Detector(config.value()).Run(dirty.value());
   if (!result.ok()) {
@@ -239,6 +261,10 @@ int main(int argc, char** argv) {
   }
   if (!opts.explain_path.empty()) {
     std::printf("explain log written to %s\n", opts.explain_path.c_str());
+  }
+  if (!opts.telemetry_path.empty()) {
+    std::printf("telemetry written to %s (render with tools/sxnm_top)\n",
+                opts.telemetry_path.c_str());
   }
   return 0;
 }

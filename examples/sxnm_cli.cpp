@@ -2,6 +2,7 @@
 //
 //   sxnm_cli <config.xml> <data.xml> [-o out.xml] [--fuse|--first|--richest]
 //            [--report [--gold]] [--advise] [--metrics-out metrics.prom]
+//            [--telemetry run.tlm.ndjsonl] [--telemetry-interval-ms N]
 //
 // Loads an SXNM configuration (see examples/config_tool for the format),
 // runs detection over the data file, prints a per-candidate report
@@ -32,7 +33,9 @@ int Usage(const char* argv0) {
                "usage: %s <config.xml> <data.xml> [-o out.xml] "
                "[--fuse|--first|--richest]\n"
                "       [--report [--gold]] [--advise] "
-               "[--metrics-out metrics.prom]\n",
+               "[--metrics-out metrics.prom]\n"
+               "       [--telemetry run.tlm.ndjsonl] "
+               "[--telemetry-interval-ms N]\n",
                argv0);
   return 2;
 }
@@ -49,6 +52,8 @@ int main(int argc, char** argv) {
   bool with_gold = false;
   bool advise = false;
   std::string metrics_out_path;
+  std::string telemetry_path;
+  double telemetry_interval_ms = 0.0;  // 0 = keep the config's value
 
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
@@ -67,6 +72,15 @@ int main(int argc, char** argv) {
       advise = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry-interval-ms") == 0 &&
+               i + 1 < argc) {
+      telemetry_interval_ms = sxnm::util::ParseDoubleOr(argv[++i], 0.0);
+      if (telemetry_interval_ms <= 0.0) {
+        std::fprintf(stderr, "--telemetry-interval-ms: not a positive number\n");
+        return Usage(argv[0]);
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -78,10 +92,18 @@ int main(int argc, char** argv) {
     return sxnm::util::kExitConfig;
   }
   sxnm::core::Config loaded_config = std::move(config).value();
-  // Prometheus export needs the metrics registry regardless of what the
-  // config's <observability> says.
+  // Prometheus export and live telemetry both need the metrics registry
+  // regardless of what the config's <observability> says.
   if (!metrics_out_path.empty()) {
     loaded_config.mutable_observability().metrics = true;
+  }
+  if (!telemetry_path.empty()) {
+    loaded_config.mutable_observability().metrics = true;
+    loaded_config.mutable_observability().telemetry_path = telemetry_path;
+  }
+  if (telemetry_interval_ms > 0.0) {
+    loaded_config.mutable_observability().telemetry_interval_ms =
+        telemetry_interval_ms;
   }
 
   // Ingest under the configured <limits>: hard caps always apply; with
@@ -187,6 +209,10 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (Prometheus text exposition)\n",
                 metrics_out_path.c_str());
+  }
+  if (!telemetry_path.empty()) {
+    std::printf("wrote %s (telemetry time series; render with tools/sxnm_top)\n",
+                telemetry_path.c_str());
   }
 
   if (!out_path.empty()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <functional>
+#include <map>
 
 namespace sxnm::obs {
 
@@ -245,24 +247,116 @@ std::string PrometheusName(std::string_view name) {
   return out;
 }
 
+std::mutex& HelpMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Dotted name -> HELP text. Seeded with the engine's own metrics;
+// SetPrometheusHelp adds or overrides entries under HelpMutex().
+std::map<std::string, std::string, std::less<>>& HelpRegistry() {
+  static auto* registry = new std::map<std::string, std::string, std::less<>>{
+      {"cache.verdict_occupancy",
+       "Fill fraction of the cross-pass verdict caches, cumulative over the "
+       "candidates processed so far"},
+      {"engine.num_candidates", "Duplicate candidate definitions in the run"},
+      {"engine.num_threads", "Worker threads configured for the run"},
+      {"kg.keys_emitted", "Object keys emitted during key generation"},
+      {"kg.rows", "Generated key rows (candidate instances x keys)"},
+      {"kg.rows_done", "Key rows fully generated so far (live progress)"},
+      {"kg.rows_total", "Key rows the run plans to generate"},
+      {"progress.phase",
+       "Current engine phase: 0 setup, 1 key generation, 2 sliding window, "
+       "3 transitive closure, 4 done"},
+      {"robust.degraded", "Runs degraded by budget or deadline"},
+      {"robust.pairs_elided", "Window pairs shed by governance"},
+      {"sw.batch_rejects", "Pairs rejected by the vectorized batch filter"},
+      {"sw.comparisons", "Pair similarity evaluations (owned + cache replays)"},
+      {"sw.dag_equal", "Pairs short-circuited by DAG subtree identity"},
+      {"sw.hits", "Pair classifications above the duplicate threshold"},
+      {"sw.pairs_done",
+       "Window pairs processed across all passes so far (live progress)"},
+      {"sw.pairs_planned_total",
+       "Window pairs the run plans to enumerate across all passes"},
+      {"sw.pairs_windowed", "Window pairs enumerated by the pass machinery"},
+      {"sw.prepass_skips", "Pairs resolved by the exact-OD prepass"},
+      {"sw.verdict_cache_hits", "Pairs replayed from the cross-pass cache"},
+      {"tc.clusters", "Duplicate clusters after transitive closure"},
+      {"tc.edges_done",
+       "Accepted pair edges folded into the closure so far (live progress)"},
+      {"tc.pairs", "Accepted pairs fed to transitive closure"},
+      {"tc.union_ops", "Union-find merges performed"},
+  };
+  return *registry;
+}
+
+// HELP text is emitted raw except for the two escapes the exposition
+// format requires.
+void WritePrometheusHelpText(std::ostream& os, std::string_view help) {
+  for (char c : help) {
+    if (c == '\\') {
+      os << "\\\\";
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+}
+
 }  // namespace
 
+void SetPrometheusHelp(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(HelpMutex());
+  HelpRegistry()[std::string(name)] = std::string(help);
+}
+
+std::string PrometheusHelp(std::string_view name) {
+  std::lock_guard<std::mutex> lock(HelpMutex());
+  const auto& registry = HelpRegistry();
+  auto it = registry.find(name);
+  return it == registry.end() ? std::string() : it->second;
+}
+
 void MetricsSnapshot::ToPrometheusText(std::ostream& os) const {
+  // Distinct dotted names can collide after sanitization ("sw.pairs_done"
+  // vs "sw.pairs.done" both become sxnm_sw_pairs_done). Suffix later
+  // arrivals so every emitted family is unique and each # TYPE header
+  // appears exactly once; iteration order (counters, gauges, histograms,
+  // each sorted by name) makes the suffix assignment deterministic.
+  std::map<std::string, int> family_uses;
+  auto family = [&family_uses](const std::string& raw) {
+    std::string base = PrometheusName(raw);
+    int uses = ++family_uses[base];
+    if (uses > 1) base += "_" + std::to_string(uses);
+    return base;
+  };
+  auto headers = [&os](const std::string& raw, const std::string& fam,
+                       const char* type) {
+    std::string help = PrometheusHelp(raw);
+    if (!help.empty()) {
+      os << "# HELP " << fam << " ";
+      WritePrometheusHelpText(os, help);
+      os << "\n";
+    }
+    os << "# TYPE " << fam << " " << type << "\n";
+  };
+
   for (const CounterSample& c : counters) {
-    std::string name = PrometheusName(c.name);
-    os << "# TYPE " << name << " counter\n";
+    std::string name = family(c.name);
+    headers(c.name, name, "counter");
     os << name << " " << c.value << "\n";
   }
   for (const GaugeSample& g : gauges) {
-    std::string name = PrometheusName(g.name);
-    os << "# TYPE " << name << " gauge\n";
+    std::string name = family(g.name);
+    headers(g.name, name, "gauge");
     os << name << " ";
     WriteJsonDouble(os, g.value);
     os << "\n";
   }
   for (const HistogramSample& h : histograms) {
-    std::string name = PrometheusName(h.name);
-    os << "# TYPE " << name << " histogram\n";
+    std::string name = family(h.name);
+    headers(h.name, name, "histogram");
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.counts.size(); ++i) {
       cumulative += h.counts[i];

@@ -202,9 +202,23 @@ struct MetricsSnapshot {
   /// Prometheus text exposition format (version 0.0.4): counters and
   /// gauges as plain samples, histograms as cumulative `_bucket{le=...}`
   /// series plus `_sum` and `_count`. Dotted metric names are sanitized
-  /// to underscores and prefixed with `sxnm_`.
+  /// to underscores and prefixed with `sxnm_`. Each family is emitted
+  /// with one `# HELP` line (when help text is registered — see
+  /// SetPrometheusHelp) and exactly one `# TYPE` line; distinct dotted
+  /// names that sanitize to the same family get a deterministic `_2`,
+  /// `_3`, ... suffix (in counters→gauges→histograms, then sorted-name
+  /// order) so no family is ever emitted twice.
   void ToPrometheusText(std::ostream& os) const;
 };
+
+/// HELP text for a metric's Prometheus family. The engine's own
+/// metrics are pre-registered; embedders can add or override entries
+/// for their metrics before exporting. Thread-safe. `name` is the
+/// registry's dotted name, not the sanitized family name.
+void SetPrometheusHelp(std::string_view name, std::string_view help);
+
+/// Registered HELP text for a dotted metric name; empty when unknown.
+std::string PrometheusHelp(std::string_view name);
 
 /// Owns the metrics of one engine run (or one process, if long-lived).
 /// Metric creation takes a mutex; returned references stay valid for the

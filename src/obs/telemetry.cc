@@ -1,0 +1,303 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace sxnm::obs {
+
+namespace {
+
+void WriteJsonName(std::ostream& os, std::string_view name) {
+  os << '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void WriteJsonDouble(std::ostream& os, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  os << buf;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+const char* RunPhaseName(int phase) {
+  switch (static_cast<RunPhase>(phase)) {
+    case RunPhase::kSetup:
+      return "setup";
+    case RunPhase::kKeyGeneration:
+      return "key_generation";
+    case RunPhase::kSlidingWindow:
+      return "sliding_window";
+    case RunPhase::kTransitiveClosure:
+      return "transitive_closure";
+    case RunPhase::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+void DeriveProgress(const MetricsSnapshot& snapshot, double t_ms,
+                    TelemetrySample* sample) {
+  sample->phase = static_cast<int>(snapshot.GaugeOr("progress.phase", 0.0));
+  sample->fraction = -1.0;
+  sample->eta_s = -1.0;
+
+  // Completion is keyed off the phase whose planned total is known.
+  // The sliding window dominates run time, so once pair totals exist
+  // they drive the estimate; before that, KG row progress does.
+  const double pairs_total = snapshot.GaugeOr("sw.pairs_planned_total", 0.0);
+  const double pairs_done =
+      static_cast<double>(snapshot.CounterOr("sw.pairs_done", 0));
+  const double rows_total = snapshot.GaugeOr("kg.rows_total", 0.0);
+  const double rows_done =
+      static_cast<double>(snapshot.CounterOr("kg.rows_done", 0));
+
+  double done = 0.0;
+  double total = 0.0;
+  if (pairs_total > 0.0) {
+    done = pairs_done;
+    total = pairs_total;
+  } else if (rows_total > 0.0) {
+    done = rows_done;
+    total = rows_total;
+  }
+  if (total <= 0.0) {
+    if (sample->phase >= static_cast<int>(RunPhase::kDone)) {
+      sample->fraction = 1.0;
+      sample->eta_s = 0.0;
+    }
+    return;
+  }
+
+  sample->fraction = std::min(1.0, done / total);
+  if (sample->phase >= static_cast<int>(RunPhase::kDone)) {
+    sample->fraction = 1.0;
+    sample->eta_s = 0.0;
+    return;
+  }
+  // Extrapolate from the cumulative rate since Start(). Budget-shed
+  // passes can finish "early", so this is an estimate, not a promise.
+  if (done > 0.0 && t_ms > 0.0) {
+    const double rate_per_ms = done / t_ms;
+    sample->eta_s = (total - done) / rate_per_ms / 1000.0;
+  }
+}
+
+void TelemetrySample::WriteJson(std::ostream& os) const {
+  os << "{\"type\": \"sample\", \"seq\": " << seq << ", \"t_ms\": ";
+  WriteJsonDouble(os, t_ms);
+  os << ", \"final\": " << (final_sample ? "true" : "false");
+  os << ", \"phase\": " << phase << ", \"phase_name\": \""
+     << RunPhaseName(phase) << "\"";
+  os << ", \"progress\": ";
+  WriteJsonDouble(os, fraction);
+  os << ", \"eta_s\": ";
+  WriteJsonDouble(os, eta_s);
+
+  os << ", \"mem\": {\"sampled\": " << (memory.sampled ? "true" : "false")
+     << ", \"rss_bytes\": " << memory.rss_bytes
+     << ", \"peak_rss_bytes\": " << memory.peak_rss_bytes
+     << ", \"vm_bytes\": " << memory.vm_bytes << "}";
+
+  os << ", \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) os << ", ";
+    WriteJsonName(os, snapshot.counters[i].name);
+    os << ": " << snapshot.counters[i].value;
+  }
+  os << "}, \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) os << ", ";
+    WriteJsonName(os, snapshot.gauges[i].name);
+    os << ": ";
+    WriteJsonDouble(os, snapshot.gauges[i].value);
+  }
+  os << "}, \"rates\": {";
+  for (size_t i = 0; i < rates.size(); ++i) {
+    if (i > 0) os << ", ";
+    WriteJsonName(os, rates[i].first);
+    os << ": ";
+    WriteJsonDouble(os, rates[i].second);
+  }
+  os << "}, \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) os << ", ";
+    WriteJsonName(os, h.name);
+    os << ": {\"count\": " << h.total_count << ", \"sum\": ";
+    WriteJsonDouble(os, h.sum);
+    os << "}";
+  }
+  os << "}}";
+}
+
+TelemetrySampler::TelemetrySampler(const MetricsRegistry* registry,
+                                   TelemetryOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  options_.interval_ms = std::max(1.0, options_.interval_ms);
+  options_.ring_capacity = std::max<size_t>(1, options_.ring_capacity);
+}
+
+TelemetrySampler::~TelemetrySampler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+util::Status TelemetrySampler::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ || worker_.joinable()) {
+    return util::Status::FailedPrecondition("telemetry sampler already started");
+  }
+  if (!options_.path.empty()) {
+    out_.open(options_.path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+      return util::Status::InvalidArgument("cannot open telemetry stream: " +
+                                           options_.path);
+    }
+    out_ << "{\"type\": \"header\", \"version\": 1, \"interval_ms\": ";
+    WriteJsonDouble(out_, options_.interval_ms);
+    out_ << ", \"clock\": \"steady\", \"deterministic\": false}\n";
+    out_.flush();
+    if (!out_) {
+      return util::Status::Internal("telemetry stream write failed: " +
+                                    options_.path);
+    }
+  }
+  stop_requested_ = false;
+  stopped_ = false;
+  running_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  prev_t_ms_ = 0.0;
+  prev_counters_.clear();
+  worker_ = std::thread([this] { WorkerLoop(); });
+  return util::Status::Ok();
+}
+
+void TelemetrySampler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.interval_ms);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    TakeSampleLocked(/*final_sample=*/false, lock);
+  }
+}
+
+void TelemetrySampler::TakeSampleLocked(bool final_sample,
+                                        std::unique_lock<std::mutex>& lock) {
+  // The registry snapshot does not need mu_ (the registry has its own
+  // synchronization) but dropping and re-taking the lock around it
+  // would let Stop() interleave with a periodic sample; holding it
+  // keeps sample order strict and the critical section is short.
+  (void)lock;
+  TelemetrySample sample;
+  sample.seq = total_samples_;
+  sample.t_ms = ElapsedMs(start_time_);
+  sample.final_sample = final_sample;
+  sample.snapshot = registry_->Snapshot();
+  sample.memory = util::ReadProcMemory();
+
+  const double dt_ms = sample.t_ms - prev_t_ms_;
+  if (dt_ms > 0.0) {
+    // Both counter lists are sorted by name: one linear merge pass.
+    size_t j = 0;
+    for (const auto& c : sample.snapshot.counters) {
+      while (j < prev_counters_.size() && prev_counters_[j].first < c.name) {
+        ++j;
+      }
+      uint64_t prev = 0;
+      if (j < prev_counters_.size() && prev_counters_[j].first == c.name) {
+        prev = prev_counters_[j].second;
+      }
+      if (c.value > prev) {
+        sample.rates.emplace_back(
+            c.name, static_cast<double>(c.value - prev) / dt_ms * 1000.0);
+      }
+    }
+  }
+  prev_counters_.clear();
+  prev_counters_.reserve(sample.snapshot.counters.size());
+  for (const auto& c : sample.snapshot.counters) {
+    prev_counters_.emplace_back(c.name, c.value);
+  }
+  prev_t_ms_ = sample.t_ms;
+
+  DeriveProgress(sample.snapshot, sample.t_ms, &sample);
+
+  if (out_.is_open()) {
+    sample.WriteJson(out_);
+    out_ << "\n";
+    out_.flush();  // live tailing: every sample is a complete line
+    if (!out_ && io_status_.ok()) {
+      io_status_ = util::Status::Internal("telemetry stream write failed: " +
+                                          options_.path);
+    }
+  }
+
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  ++total_samples_;
+}
+
+util::Status TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return io_status_;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!stopped_) {
+    if (running_) {
+      // Worker is joined: engine writers quiesced before Stop() was
+      // called, so this sample equals the end-of-run snapshot.
+      TakeSampleLocked(/*final_sample=*/true, lock);
+    }
+    if (out_.is_open()) {
+      out_.close();
+      if (!out_ && io_status_.ok()) {
+        io_status_ = util::Status::Internal("telemetry stream close failed: " +
+                                            options_.path);
+      }
+    }
+    running_ = false;
+    stopped_ = true;
+  }
+  return io_status_;
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stopped_;
+}
+
+std::vector<TelemetrySample> TelemetrySampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TelemetrySample>(ring_.begin(), ring_.end());
+}
+
+uint64_t TelemetrySampler::TotalSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_samples_;
+}
+
+}  // namespace sxnm::obs

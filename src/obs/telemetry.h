@@ -1,0 +1,162 @@
+// Live telemetry: a background sampler that periodically snapshots a
+// MetricsRegistry while a run executes, derives per-interval counter
+// rates and phase progress, attaches process memory accounting, and
+// streams each sample as one NDJSON line (plus a bounded in-memory
+// ring for embedders such as the future sxnm_server).
+//
+// The sampler only ever *reads* the registry — registry reads are
+// safe-but-racy by design — so enabling telemetry cannot perturb
+// detection output. The time series itself is wall-clock-driven and
+// therefore explicitly non-deterministic: the number of mid-run
+// samples and the values they catch in flight vary run to run. Only
+// the stream's *final* sample is deterministic content-wise: Stop()
+// takes it after the worker thread has joined, so once the engine's
+// writers have quiesced it equals the end-of-run MetricsSnapshot.
+
+#ifndef SXNM_OBS_TELEMETRY_H_
+#define SXNM_OBS_TELEMETRY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/proc_stat.h"
+#include "util/status.h"
+
+namespace sxnm::obs {
+
+/// Engine phases published through the `progress.phase` gauge. The
+/// detector sets the gauge at serial points only; SW and TC interleave
+/// per depth level, so the gauge oscillates between kSlidingWindow and
+/// kTransitiveClosure until the last level finishes.
+enum class RunPhase : int {
+  kSetup = 0,
+  kKeyGeneration = 1,
+  kSlidingWindow = 2,
+  kTransitiveClosure = 3,
+  kDone = 4,
+};
+
+/// Human-readable name for a `progress.phase` gauge value ("unknown"
+/// for anything outside the enum).
+const char* RunPhaseName(int phase);
+
+struct TelemetryOptions {
+  /// NDJSON output path. Empty keeps the stream in memory only (ring
+  /// buffer), which is what a long-lived server embedding would use.
+  std::string path;
+  /// Sampling period. Clamped to >= 1ms at Start().
+  double interval_ms = 250.0;
+  /// Ring buffer capacity; oldest samples are dropped beyond this.
+  size_t ring_capacity = 256;
+};
+
+/// One timestamped observation of the registry.
+struct TelemetrySample {
+  uint64_t seq = 0;     // 0-based sample index
+  double t_ms = 0.0;    // steady-clock ms since Start()
+  bool final_sample = false;
+
+  MetricsSnapshot snapshot;
+  util::ProcMemory memory;
+
+  /// Per-second rates for counters that advanced since the previous
+  /// sample, (name, delta/dt). Sorted by name.
+  std::vector<std::pair<std::string, double>> rates;
+
+  /// Derived progress. `phase` mirrors the `progress.phase` gauge;
+  /// `fraction` is the completion estimate of the dominant running
+  /// phase in [0,1], or -1 when unknown; `eta_s` extrapolates the
+  /// remaining work from the cumulative rate, or -1 when unknown.
+  int phase = 0;
+  double fraction = -1.0;
+  double eta_s = -1.0;
+
+  /// One NDJSON record (single line, no trailing newline):
+  /// {"type":"sample","seq":..,"t_ms":..,"final":..,"phase":..,
+  ///  "phase_name":..,"progress":..,"eta_s":..,"mem":{...},
+  ///  "counters":{...},"gauges":{...},"rates":{...},
+  ///  "histograms":{name:{count,sum}}}
+  void WriteJson(std::ostream& os) const;
+};
+
+/// Computes progress fraction and ETA for one sample from the
+/// detector's monotonic progress counters/gauges (kg.rows_done/total,
+/// sw.pairs_done / sw.pairs_planned_total, progress.phase). Exposed
+/// for tests and for offline consumers replaying a snapshot.
+void DeriveProgress(const MetricsSnapshot& snapshot, double t_ms,
+                    TelemetrySample* sample);
+
+/// Background sampler over one registry. Thread-safe; Start/Stop may
+/// be called from any thread but not concurrently with each other.
+/// The registry must outlive the sampler.
+class TelemetrySampler {
+ public:
+  TelemetrySampler(const MetricsRegistry* registry, TelemetryOptions options);
+  /// Joins the worker if still running (without taking the final
+  /// sample — a clean shutdown goes through Stop()).
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Opens the stream (if a path is set), writes the header record,
+  /// and spawns the sampling thread. Fails if already running or if
+  /// the output file cannot be created.
+  util::Status Start();
+
+  /// Signals the worker, joins it, then takes one last sample marked
+  /// `"final":true` and flushes + closes the stream. Safe to call if
+  /// never started (no-op) or twice. Returns the first I/O error seen
+  /// on the stream, if any.
+  util::Status Stop();
+
+  bool running() const;
+
+  /// Copy of the retained ring (oldest first). The final sample, once
+  /// taken, is always the last entry.
+  std::vector<TelemetrySample> Samples() const;
+
+  /// Total samples taken, including those evicted from the ring.
+  uint64_t TotalSamples() const;
+
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  /// Snapshots the registry and appends one sample (under mu_).
+  void TakeSampleLocked(bool final_sample, std::unique_lock<std::mutex>& lock);
+
+  const MetricsRegistry* registry_;
+  TelemetryOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  bool stopped_ = false;  // Stop() completed; final sample taken
+  std::thread worker_;
+
+  std::ofstream out_;
+  util::Status io_status_;
+
+  std::deque<TelemetrySample> ring_;
+  uint64_t total_samples_ = 0;
+  // Previous sample's counters (name -> value) for delta/rate math.
+  std::vector<std::pair<std::string, uint64_t>> prev_counters_;
+  double prev_t_ms_ = 0.0;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace sxnm::obs
+
+#endif  // SXNM_OBS_TELEMETRY_H_

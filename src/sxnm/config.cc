@@ -1,5 +1,6 @@
 #include "sxnm/config.h"
 
+#include <cmath>
 #include <cstdint>
 #include <set>
 
@@ -214,6 +215,16 @@ util::Status Config::Validate() const {
     return Status::InvalidArgument(
         "observability: explain path set but metrics are off (explain "
         "records are emitted alongside the metrics collection)");
+  }
+  if (!observability_.telemetry_path.empty() && !observability_.metrics) {
+    return Status::InvalidArgument(
+        "observability: telemetry path set but metrics are off (the "
+        "sampler streams the metrics registry)");
+  }
+  if (!(observability_.telemetry_interval_ms > 0.0) ||
+      !std::isfinite(observability_.telemetry_interval_ms)) {
+    return Status::InvalidArgument(
+        "observability: telemetry-interval-ms must be a positive number");
   }
   std::set<std::string> abs_paths;
   for (const CandidateConfig& c : candidates_) {

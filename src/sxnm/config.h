@@ -191,6 +191,16 @@ struct ObservabilityConfig {
   /// validated). Output is byte-identical for any num_threads.
   std::string explain_path;
 
+  /// When non-empty, a background sampler streams periodic NDJSON
+  /// telemetry samples (counter rates, phase progress/ETA, RSS) to
+  /// this path while the run executes (requires `metrics`; validated).
+  /// The time series is wall-clock-driven and non-deterministic, but
+  /// enabling it never changes detection output.
+  std::string telemetry_path;
+
+  /// Sampling period for the telemetry stream, in milliseconds.
+  double telemetry_interval_ms = 250.0;
+
   bool any() const { return metrics || !trace_path.empty(); }
 };
 

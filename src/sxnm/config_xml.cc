@@ -125,7 +125,8 @@ Status ParseDeadline(const Element& elem, RunLimits& limits) {
 }
 
 // <observability metrics="on" trace="trace.json" report="report.json"
-//                 explain="explain.ndjson"/>
+//                 explain="explain.ndjson" telemetry="run.tlm.ndjsonl"
+//                 telemetry-interval-ms="250"/>
 Result<ObservabilityConfig> ParseObservability(const Element& elem) {
   ObservabilityConfig obs;
   auto metrics = BoolAttrOr(elem, "metrics", false);
@@ -134,6 +135,18 @@ Result<ObservabilityConfig> ParseObservability(const Element& elem) {
   obs.trace_path = elem.AttributeOr("trace", "");
   obs.report_path = elem.AttributeOr("report", "");
   obs.explain_path = elem.AttributeOr("explain", "");
+  obs.telemetry_path = elem.AttributeOr("telemetry", "");
+  if (const std::string* interval =
+          elem.FindAttribute("telemetry-interval-ms")) {
+    double parsed = util::ParseDoubleOr(*interval, -1.0);
+    if (parsed <= 0.0) {
+      return Status::ParseError(
+          "<observability> attribute 'telemetry-interval-ms' is not a "
+          "positive number: " +
+          *interval);
+    }
+    obs.telemetry_interval_ms = parsed;
+  }
   return obs;
 }
 
@@ -356,14 +369,23 @@ xml::Document ConfigToXml(const Config& config) {
     root->SetAttribute("num-threads", std::to_string(config.num_threads()));
   }
   const ObservabilityConfig& obs = config.observability();
+  const ObservabilityConfig obs_defaults;
   if (obs.metrics || !obs.trace_path.empty() || !obs.report_path.empty() ||
-      !obs.explain_path.empty()) {
+      !obs.explain_path.empty() || !obs.telemetry_path.empty() ||
+      obs.telemetry_interval_ms != obs_defaults.telemetry_interval_ms) {
     Element* e = root->AddElement("observability");
     e->SetAttribute("metrics", obs.metrics ? "on" : "off");
     if (!obs.trace_path.empty()) e->SetAttribute("trace", obs.trace_path);
     if (!obs.report_path.empty()) e->SetAttribute("report", obs.report_path);
     if (!obs.explain_path.empty()) {
       e->SetAttribute("explain", obs.explain_path);
+    }
+    if (!obs.telemetry_path.empty()) {
+      e->SetAttribute("telemetry", obs.telemetry_path);
+    }
+    if (obs.telemetry_interval_ms != obs_defaults.telemetry_interval_ms) {
+      e->SetAttribute("telemetry-interval-ms",
+                      util::FormatDouble(obs.telemetry_interval_ms, 6));
     }
   }
   const RunLimits& limits = config.limits();

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/explain.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "sxnm/similarity_measure.h"
 #include "sxnm/sliding_window.h"
@@ -319,6 +320,16 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   // word count brackets exactly this pass's kernel work.
   const uint64_t myers_before = text::ThreadMyersStats().words;
 
+  // Live progress: batched adds to the shared sw.pairs_done counter (one
+  // null test + local increment per pair; one shard write per batch) so
+  // the telemetry sampler can track completion against
+  // sw.pairs_planned_total mid-pass. Counted per visit, so the total
+  // equals sw.pairs_windowed.
+  obs::Counter* pairs_done =
+      metrics.enabled() ? &metrics.counter("sw.pairs_done") : nullptr;
+  uint32_t pairs_done_pending = 0;
+  constexpr uint32_t kPairsDoneBatch = 1024;
+
   // Batched pre-filter state: pairs that pass the prepass and dag checks
   // are gathered (with their window distances) and screened kBatchSize
   // at a time; the reject mask is pair-deterministic, so which pairs
@@ -400,6 +411,10 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   };
 
   auto visit = [&](size_t a, size_t b) {
+    if (pairs_done != nullptr && ++pairs_done_pending >= kPairsDoneBatch) {
+      pairs_done->Add(pairs_done_pending);
+      pairs_done_pending = 0;
+    }
     OrdinalPair pair = std::minmax(a, b);
     if (!run.prepass_pairs.empty() &&
         run.prepass_pairs.Contains(PackPair(pair))) {
@@ -471,6 +486,7 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   // Publish from the worker thread itself: each add lands on the worker's
   // own shard, exercising the wait-free hot path under the pool.
   if (metrics.enabled()) {
+    pairs_done->Add(pairs_done_pending);
     metrics.counter("sw.pairs_windowed").Add(stats.pairs_windowed);
     metrics.counter("sw.prepass_skips").Add(stats.prepass_skips);
     metrics.counter("sw.comparisons").Add(stats.comparisons);
@@ -669,12 +685,38 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   obs::Tracer tracer(!obs_cfg.trace_path.empty());
   obs::ExplainLog explain(!obs_cfg.explain_path.empty());
   obs::Tracer::Span run_span = tracer.StartSpan("detect");
+  auto set_phase = [&metrics](obs::RunPhase phase) {
+    metrics.gauge("progress.phase")
+        .Set(static_cast<double>(static_cast<int>(phase)));
+  };
   if (metrics.enabled()) {
     metrics.gauge("engine.num_threads")
         .Set(static_cast<double>(num_threads));
     // Registered up front so the histogram appears in every snapshot,
     // comparisons or not.
     metrics.histogram("sw.similarity", obs::DefaultSimilarityBounds());
+    // Progress metrics likewise registered before any sample can be
+    // taken: every telemetry tick carries the full progress family.
+    set_phase(obs::RunPhase::kSetup);
+    metrics.counter("kg.rows_done");
+    metrics.counter("sw.pairs_done");
+    metrics.counter("tc.edges_done");
+    metrics.gauge("kg.rows_total");
+    metrics.gauge("sw.pairs_planned_total");
+    metrics.gauge("cache.verdict_occupancy");
+  }
+
+  // Live telemetry: a read-only background sampler over the registry.
+  // It never writes a metric and the engine never waits on it, so the
+  // detection output is bit-identical with telemetry on or off; the
+  // sampler's destructor covers early-return paths (the stream is then
+  // simply missing its final sample).
+  obs::TelemetryOptions telemetry_options;
+  telemetry_options.path = obs_cfg.telemetry_path;
+  telemetry_options.interval_ms = obs_cfg.telemetry_interval_ms;
+  obs::TelemetrySampler telemetry(&metrics, telemetry_options);
+  if (!obs_cfg.telemetry_path.empty()) {
+    SXNM_RETURN_IF_ERROR(telemetry.Start());
   }
 
   // --- Key generation phase (KG) -----------------------------------------
@@ -683,9 +725,28 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   // per-candidate GK tables are independent, so they build concurrently.
   util::Stopwatch kg_watch;
   obs::Tracer::Span kg_span = tracer.StartSpan("key_generation");
+  if (metrics.enabled()) set_phase(obs::RunPhase::kKeyGeneration);
   auto forest_or = CandidateForest::Build(config_, doc);
   if (!forest_or.ok()) return forest_or.status();
   const CandidateForest& forest = forest_or.value();
+
+  if (metrics.enabled()) {
+    // Planned totals for the progress gauges, published before the work
+    // starts so completion fractions are meaningful from the first
+    // sample. The pair total is pre-governance: budget shedding can
+    // finish "early" relative to it, which makes the derived ETA an
+    // upper-bound estimate.
+    size_t rows_total = 0;
+    size_t pairs_total = 0;
+    for (const CandidateInstances& ci : forest.candidates()) {
+      rows_total += ci.NumInstances();
+      pairs_total += ci.config->keys.size() *
+                     WindowPairCount(ci.NumInstances(), ci.config->window_size);
+    }
+    metrics.gauge("kg.rows_total").Set(static_cast<double>(rows_total));
+    metrics.gauge("sw.pairs_planned_total")
+        .Set(static_cast<double>(pairs_total));
+  }
 
   std::vector<GkTable> gk(forest.candidates().size());
   std::vector<char> kg_done(forest.candidates().size(), 0);
@@ -740,9 +801,16 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   size_t budget_spent = 0;
   bool budget_exhausted = false;
 
+  // Cumulative verdict-cache accounting for the cache.verdict_occupancy
+  // gauge: caches are per candidate run, so the gauge reports the fill
+  // fraction over every cache retired so far.
+  size_t verdict_occupied_total = 0;
+  size_t verdict_capacity_total = 0;
+
   for (auto& [depth, members] : levels) {
     obs::Tracer::Span level_span =
         tracer.StartSpan("level_" + std::to_string(depth));
+    if (metrics.enabled()) set_phase(obs::RunPhase::kSlidingWindow);
     // Serial setup: similarity measures (which snapshot the child cluster
     // sets into sorted cid lists) and the exact-OD pre-pass.
     util::Stopwatch sw_watch;
@@ -857,6 +925,17 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
       cand_result.name = run.cand->name;
       cand_result.num_instances = run.instances->NumInstances();
       MergePasses(run, cand_result, depth, metrics, explain);
+      if (metrics.enabled() && run.verdict_cache != nullptr) {
+        // Serial quiescent point: the level's passes have joined, so the
+        // scan is exact.
+        verdict_occupied_total += run.verdict_cache->Occupancy();
+        verdict_capacity_total += run.verdict_cache->capacity();
+      }
+    }
+    if (metrics.enabled() && verdict_capacity_total > 0) {
+      metrics.gauge("cache.verdict_occupancy")
+          .Set(static_cast<double>(verdict_occupied_total) /
+               static_cast<double>(verdict_capacity_total));
     }
     merge_span.End();
     result.timer.Add(kPhaseSlidingWindow, sw_watch.ElapsedSeconds());
@@ -888,6 +967,7 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
       }
     }
 
+    if (metrics.enabled()) set_phase(obs::RunPhase::kTransitiveClosure);
     for (CandidateRun& run : runs) {
       if (util::FaultInjector::Instance().ShouldFail("tc.closure")) {
         return Status::Internal(
@@ -964,6 +1044,11 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
 
   // --- Observability export ----------------------------------------------
   run_span.End();
+  if (metrics.enabled()) set_phase(obs::RunPhase::kDone);
+  // Stop the sampler before snapshotting: the worker joins first, so the
+  // stream's final sample is taken after every engine writer quiesced
+  // and equals result.metrics below.
+  SXNM_RETURN_IF_ERROR(telemetry.Stop());
   if (tracer.enabled()) {
     SXNM_RETURN_IF_ERROR(tracer.WriteChromeTraceFile(obs_cfg.trace_path));
   }

@@ -43,6 +43,16 @@ util::Result<KeyGenResult> GenerateKeysImpl(
   util::Stopwatch norm_watch;
   norm_watch.Pause();
 
+  // Live progress: batched adds to kg.rows_done let the telemetry
+  // sampler watch key generation advance mid-candidate. Flushed at the
+  // same completion point as kg.rows, so the two agree whenever a
+  // candidate finishes; a cancelled candidate keeps its partial batches
+  // (rows_done measures work performed, not rows kept).
+  obs::Counter* rows_done =
+      measure ? &metrics->counter("kg.rows_done") : nullptr;
+  uint32_t rows_done_pending = 0;
+  constexpr uint32_t kRowsDoneBatch = 256;
+
   for (size_t i = 0; i < elements.size(); ++i) {
     if (checked) {
       if (util::FaultInjector::Instance().ShouldFail("kg.row")) {
@@ -106,9 +116,14 @@ util::Result<KeyGenResult> GenerateKeysImpl(
     }
 
     table.rows.push_back(std::move(row));
+    if (rows_done != nullptr && ++rows_done_pending >= kRowsDoneBatch) {
+      rows_done->Add(rows_done_pending);
+      rows_done_pending = 0;
+    }
   }
 
   if (measure) {
+    rows_done->Add(rows_done_pending);
     metrics->counter("kg.rows").Add(table.rows.size());
     metrics->counter("kg.keys_emitted")
         .Add(table.rows.size() * table.num_keys);

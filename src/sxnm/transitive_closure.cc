@@ -11,8 +11,20 @@ ClusterSet ComputeTransitiveClosure(size_t num_instances,
                                     std::vector<MergeStep>* lineage) {
   util::UnionFind uf(num_instances);
   size_t union_ops = 0;
+  // Live progress: batched adds to tc.edges_done while folding edges;
+  // the remainder flushes with the other tc.* counters below, so the
+  // total always equals tc.pairs.
+  obs::Counter* edges_done = (metrics != nullptr && metrics->enabled())
+                                 ? &metrics->counter("tc.edges_done")
+                                 : nullptr;
+  uint32_t edges_done_pending = 0;
+  constexpr uint32_t kEdgesDoneBatch = 1024;
   if (lineage != nullptr) lineage->reserve(lineage->size() + pairs.size());
   for (const auto& [a, b] : pairs) {
+    if (edges_done != nullptr && ++edges_done_pending >= kEdgesDoneBatch) {
+      edges_done->Add(edges_done_pending);
+      edges_done_pending = 0;
+    }
     if (lineage == nullptr) {
       if (uf.Union(a, b)) ++union_ops;
       continue;
@@ -29,6 +41,7 @@ ClusterSet ComputeTransitiveClosure(size_t num_instances,
   std::vector<std::vector<size_t>> clusters = uf.Clusters(/*min_size=*/2);
 
   if (metrics != nullptr && metrics->enabled()) {
+    edges_done->Add(edges_done_pending);
     metrics->counter("tc.pairs").Add(pairs.size());
     metrics->counter("tc.union_ops").Add(union_ops);
     metrics->counter("tc.clusters").Add(clusters.size());

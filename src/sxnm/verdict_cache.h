@@ -68,6 +68,17 @@ class VerdictCache {
 
   size_t capacity() const { return capacity_; }
 
+  /// Number of claimed slots. A full scan, intended for telemetry at
+  /// quiescent points (e.g. after a candidate's passes merge), not for
+  /// hot paths; racy-but-safe if writers are still active.
+  size_t Occupancy() const {
+    size_t occupied = 0;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].key.load(std::memory_order_relaxed) != 0) ++occupied;
+    }
+    return occupied;
+  }
+
  private:
   // Slot state machine: claimed slots start kComputing and move to
   // kNo/kYes exactly once, via a release store Publish pairs with the

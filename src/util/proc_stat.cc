@@ -1,0 +1,75 @@
+#include "util/proc_stat.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define SXNM_HAVE_RUSAGE 1
+#endif
+
+namespace sxnm::util {
+
+bool ParseStatm(std::string_view statm, size_t page_size_bytes,
+                ProcMemory* out) {
+  // statm: "size resident shared text lib data dt" (pages). Only the
+  // first two fields matter; trailing fields may be absent.
+  size_t fields[2] = {0, 0};
+  size_t pos = 0;
+  for (size_t& field : fields) {
+    while (pos < statm.size() && statm[pos] == ' ') ++pos;
+    size_t start = pos;
+    while (pos < statm.size() && statm[pos] >= '0' && statm[pos] <= '9') {
+      field = field * 10 + static_cast<size_t>(statm[pos] - '0');
+      ++pos;
+    }
+    if (pos == start) return false;
+  }
+  if (pos < statm.size() && statm[pos] != ' ' && statm[pos] != '\n') {
+    return false;
+  }
+  out->vm_bytes = fields[0] * page_size_bytes;
+  out->rss_bytes = fields[1] * page_size_bytes;
+  return true;
+}
+
+ProcMemory ReadProcMemory() {
+  ProcMemory mem;
+
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    char buf[256];
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    long page = sysconf(_SC_PAGESIZE);
+    if (page > 0 &&
+        ParseStatm(std::string_view(buf, n), static_cast<size_t>(page),
+                   &mem)) {
+      mem.sampled = true;
+    }
+  }
+#endif
+
+#if defined(SXNM_HAVE_RUSAGE)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    mem.peak_rss_bytes = static_cast<size_t>(usage.ru_maxrss);
+#else
+    mem.peak_rss_bytes = static_cast<size_t>(usage.ru_maxrss) * 1024;
+#endif
+    if (!mem.sampled) {
+      // No /proc: the high-water mark is the best current-RSS estimate.
+      mem.rss_bytes = mem.peak_rss_bytes;
+    }
+    mem.sampled = true;
+  }
+#endif
+
+  return mem;
+}
+
+}  // namespace sxnm::util

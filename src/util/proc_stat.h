@@ -1,0 +1,37 @@
+// Process memory accounting for the telemetry layer: current RSS and
+// virtual size from /proc/self/statm on Linux, peak RSS from
+// getrusage(2). Platforms without /proc fall back to rusage alone, and
+// platforms without either report zeros with sampled == false — callers
+// (the telemetry sampler, sxnm_top) treat zero-memory samples as
+// "unavailable", never as an error.
+
+#ifndef SXNM_UTIL_PROC_STAT_H_
+#define SXNM_UTIL_PROC_STAT_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace sxnm::util {
+
+/// One point-in-time memory reading of the calling process.
+struct ProcMemory {
+  size_t rss_bytes = 0;       // current resident set size
+  size_t peak_rss_bytes = 0;  // high-water resident set size
+  size_t vm_bytes = 0;        // virtual size (0 where unavailable)
+  bool sampled = false;       // false: no source on this platform
+};
+
+/// Reads the current process's memory accounting. Cheap enough to call
+/// at telemetry-sampler frequency (one small /proc read + one syscall).
+ProcMemory ReadProcMemory();
+
+/// Parses the first two fields of a /proc/<pid>/statm line (total
+/// program size and resident set size, in pages) into vm/rss bytes.
+/// Returns false on malformed input; exposed for tests and for reading
+/// other processes' statm files.
+bool ParseStatm(std::string_view statm, size_t page_size_bytes,
+                ProcMemory* out);
+
+}  // namespace sxnm::util
+
+#endif  // SXNM_UTIL_PROC_STAT_H_

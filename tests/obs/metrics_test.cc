@@ -313,6 +313,88 @@ TEST(MetricsSnapshotTest, PrometheusHistogramBucketsAreCumulative) {
   EXPECT_NE(text.find("sxnm_h_count 3"), std::string::npos) << text;
 }
 
+TEST(MetricsSnapshotTest, PrometheusCollidingNamesGetUniqueFamilies) {
+  // Distinct dotted names can sanitize onto the same Prometheus family:
+  // "sw.pairs_done" and "sw.pairs.done" both map to sxnm_sw_pairs_done.
+  // Later arrivals must be suffixed so each family (and its # TYPE
+  // header) appears exactly once.
+  MetricsRegistry registry;
+  registry.counter("sw.pairs_done").Add(10);
+  registry.gauge("sw.pairs.done").Set(3.0);
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  // The counter wins the base name (counters emit before gauges); the
+  // colliding gauge gets a deterministic _2 suffix.
+  EXPECT_NE(text.find("# TYPE sxnm_sw_pairs_done counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_sw_pairs_done 10"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE sxnm_sw_pairs_done_2 gauge"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_sw_pairs_done_2 3"), std::string::npos) << text;
+  // Exactly one # TYPE per family: the base name's header appears once.
+  size_t first = text.find("# TYPE sxnm_sw_pairs_done counter");
+  EXPECT_EQ(text.find("# TYPE sxnm_sw_pairs_done counter", first + 1),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsSnapshotTest, PrometheusThreeWayCollisionSuffixesInOrder) {
+  MetricsRegistry registry;
+  registry.counter("a.b").Add(1);
+  registry.counter("a_b").Add(2);
+  registry.gauge("a:b").Set(3.0);  // ':' is legal, no collision
+  registry.gauge("a-b").Set(4.0);
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  // Counters sort "a.b" < "a_b"; the gauge "a-b" arrives third. ":" is
+  // a legal Prometheus character so "a:b" keeps its own family.
+  EXPECT_NE(text.find("sxnm_a_b 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("sxnm_a_b_2 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("sxnm_a_b_3 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("sxnm_a:b 3"), std::string::npos) << text;
+}
+
+TEST(MetricsSnapshotTest, PrometheusHelpComesFromTheHelpRegistry) {
+  MetricsRegistry registry;
+  registry.counter("sw.comparisons").Add(5);  // seeded engine metric
+  registry.counter("custom.metric").Add(1);   // no help registered
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("# HELP sxnm_sw_comparisons "), std::string::npos)
+      << text;
+  // HELP precedes TYPE for the same family (exposition-format order).
+  EXPECT_LT(text.find("# HELP sxnm_sw_comparisons "),
+            text.find("# TYPE sxnm_sw_comparisons counter"));
+  // Unknown names emit no HELP line but still get their TYPE.
+  EXPECT_EQ(text.find("# HELP sxnm_custom_metric"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE sxnm_custom_metric counter"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsSnapshotTest, SetPrometheusHelpRegistersAndEscapes) {
+  SetPrometheusHelp("test.help_metric", "line one\nwith \\ backslash");
+  EXPECT_EQ(PrometheusHelp("test.help_metric"),
+            "line one\nwith \\ backslash");
+  MetricsRegistry registry;
+  registry.counter("test.help_metric").Add(1);
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  // The exposition format escapes newline and backslash in HELP text.
+  EXPECT_NE(
+      text.find("# HELP sxnm_test_help_metric line one\\nwith \\\\ backslash"),
+      std::string::npos)
+      << text;
+  EXPECT_EQ(PrometheusHelp("never.registered"), "");
+}
+
 TEST(MetricsShardTest, ThisThreadShardIsStableAndInRange) {
   size_t shard = ThisThreadShard();
   EXPECT_LT(shard, kNumShards);

@@ -1,0 +1,142 @@
+// Artifact export under failure: degraded and cancelled runs still
+// return ok() results, so every observability artifact — trace, report,
+// explain log, telemetry stream — must be written and well-formed, and
+// the telemetry stream must still end in a final sample that equals the
+// end-of-run snapshot. Suite name contains "Telemetry" so the tsan
+// preset runs it with the sampler thread live.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "sxnm/detector.h"
+#include "util/cancellation.h"
+#include "xml/node.h"
+
+namespace sxnm::core {
+namespace {
+
+using util::StatusCode;
+
+xml::Document DirtyMovies(size_t num_movies, unsigned data_seed,
+                          unsigned dirty_seed) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = num_movies;
+  gen.seed = data_seed;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  auto dirty =
+      datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(dirty_seed));
+  EXPECT_TRUE(dirty.ok());
+  return std::move(dirty).value();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Points every artifact at TempDir under `tag` and returns the config.
+Config ArtifactConfig(const std::string& tag, size_t window) {
+  auto config = datagen::MovieConfig(window);
+  EXPECT_TRUE(config.ok());
+  Config cfg = config.value();
+  std::string base = ::testing::TempDir() + "/" + tag;
+  cfg.mutable_observability().metrics = true;
+  cfg.mutable_observability().trace_path = base + ".trace.json";
+  cfg.mutable_observability().report_path = base + ".report.json";
+  cfg.mutable_observability().explain_path = base + ".explain.ndjsonl";
+  cfg.mutable_observability().telemetry_path = base + ".tlm.ndjsonl";
+  cfg.mutable_observability().telemetry_interval_ms = 1.0;
+  return cfg;
+}
+
+void ExpectArtifactsWellFormed(const Config& cfg,
+                               const DetectionResult& result) {
+  const ObservabilityConfig& obs = cfg.observability();
+
+  std::string trace = ReadFile(obs.trace_path);
+  EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(trace.find("\"detect\""), std::string::npos);
+
+  std::string report = ReadFile(obs.report_path);
+  EXPECT_NE(report.find("\"rows\""), std::string::npos);
+  EXPECT_NE(report.find("\"degradation\""), std::string::npos);
+  EXPECT_NE(report.find("\"degraded\": true"), std::string::npos);
+
+  // The explain log may legitimately contain zero pair records (a
+  // pre-cancelled run classifies nothing), but the file must exist.
+  std::ifstream explain(obs.explain_path);
+  EXPECT_TRUE(explain.good()) << obs.explain_path;
+
+  std::vector<std::string> lines = ReadLines(obs.telemetry_path);
+  ASSERT_GE(lines.size(), 2u);  // header + final sample at minimum
+  EXPECT_NE(lines[0].find("\"type\": \"header\""), std::string::npos);
+  const std::string& final_line = lines.back();
+  EXPECT_NE(final_line.find("\"final\": true"), std::string::npos);
+  // Exactly one final sample, and it is last.
+  for (size_t i = 1; i + 1 < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"final\": false"), std::string::npos) << i;
+  }
+  // Writers quiesced before the final sample: it equals the snapshot
+  // the result carries, counter for counter, even though the run shed
+  // work. (A fully-shed run never registers some sliding-window
+  // counters, so the result's own counter list is the ground truth.)
+  ASSERT_FALSE(result.metrics.counters.empty());
+  for (const auto& counter : result.metrics.counters) {
+    std::string needle =
+        "\"" + counter.name + "\": " + std::to_string(counter.value);
+    EXPECT_NE(final_line.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(result.metrics.CounterOr("robust.degraded"), 1u);
+}
+
+TEST(TelemetryArtifactTest, DeadlineDegradedRunStillExportsEverything) {
+  xml::Document dirty = DirtyMovies(120, 13, 3);
+  Config cfg = ArtifactConfig("tlm_artifact_deadline", /*window=*/10);
+  // Deadline × rate converts once at run start into a tiny comparison
+  // budget: deterministic degradation flagged kDeadlineExceeded.
+  cfg.mutable_limits().deadline_seconds = 1.0;
+  cfg.mutable_limits().comparisons_per_second = 50.0;
+  auto result = Detector(cfg).Run(dirty);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kDeadlineExceeded);
+  ExpectArtifactsWellFormed(cfg, result.value());
+}
+
+TEST(TelemetryArtifactTest, CancelledRunStillExportsEverything) {
+  xml::Document dirty = DirtyMovies(100, 23, 5);
+  Config cfg = ArtifactConfig("tlm_artifact_cancelled", /*window=*/8);
+  util::CancellationSource source;
+  source.RequestCancel();
+  RunOptions options;
+  options.cancellation = source.token();
+  auto result = Detector(cfg).Run(dirty, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded());
+  EXPECT_EQ(result->degradation.reason, StatusCode::kCancelled);
+  EXPECT_TRUE(result->Find("movie")->duplicate_pairs.empty());
+  ExpectArtifactsWellFormed(cfg, result.value());
+}
+
+}  // namespace
+}  // namespace sxnm::core
