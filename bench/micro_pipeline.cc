@@ -23,10 +23,13 @@
 #include "bench_json.h"
 #include "datagen/dirty_gen.h"
 #include "datagen/movies.h"
+#include "persist/io.h"
 #include "sxnm/candidate_tree.h"
+#include "sxnm/checkpoint.h"
 #include "sxnm/detector.h"
 #include "sxnm/key_generation.h"
 #include "sxnm/transitive_closure.h"
+#include "util/fault_injection.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -236,6 +239,93 @@ std::pair<TelemetryProbe, TelemetryProbe> ProfileTelemetryAb(
   return {off, on};
 }
 
+// Snapshot cost at the post-KG durability point: the GK relation (rows,
+// keys, interned OD pool) dominates snapshot size, so this measures the
+// worst-case frame payload a checkpoint of a `movies`-sized corpus
+// commits and reloads.
+struct SnapshotProbe {
+  uint64_t bytes = 0;
+  uint64_t frames = 0;
+  double write_ms = 0;
+  double load_ms = 0;
+};
+
+SnapshotProbe ProfileSnapshot(size_t movies, const std::string& path) {
+  sxnm::xml::Document doc = DirtyMovies(movies);
+  auto config = sxnm::datagen::MovieConfig(10).value();
+  auto forest = sxnm::core::CandidateForest::Build(config, doc).value();
+  std::vector<sxnm::core::GkTable> gk;
+  std::vector<char> kg_done;
+  for (const auto& cand : forest.candidates()) {
+    gk.push_back(sxnm::core::GenerateKeys(*cand.config, cand));
+    kg_done.push_back(1);
+  }
+  sxnm::core::EngineSnapshotView view;
+  view.fingerprint.config_fingerprint = sxnm::core::ConfigFingerprint(config);
+  view.fingerprint.doc_fingerprint = sxnm::core::DocumentFingerprint(doc);
+  view.gk = &gk;
+  view.kg_done = &kg_done;
+
+  SnapshotProbe probe;
+  probe.write_ms = 1e100;
+  probe.load_ms = 1e100;
+  constexpr int kProbeRepeats = 5;
+  for (int r = 0; r < kProbeRepeats; ++r) {
+    sxnm::core::SnapshotWriteStats stats;
+    auto start = std::chrono::steady_clock::now();
+    auto status = sxnm::core::SaveEngineSnapshot(view, path, &stats);
+    std::chrono::duration<double, std::milli> write =
+        std::chrono::steady_clock::now() - start;
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      std::exit(1);
+    }
+    probe.bytes = stats.bytes;
+    probe.frames = stats.frames;
+    probe.write_ms = std::min(probe.write_ms, write.count());
+
+    start = std::chrono::steady_clock::now();
+    auto loaded = sxnm::core::LoadEngineSnapshot(path, view.fingerprint);
+    std::chrono::duration<double, std::milli> load =
+        std::chrono::steady_clock::now() - start;
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      std::exit(1);
+    }
+    probe.load_ms = std::min(probe.load_ms, load.count());
+  }
+  sxnm::persist::RemoveFile(path);
+  return probe;
+}
+
+// One arm of the checkpoint overhead A/B: best-of-repeats wall-clock of
+// a full detector run with every-pass checkpointing on (`ckpt_path`
+// non-empty) or off. Phase timers exclude the snapshot commits, so this
+// measures the real wall, not the phase sum.
+std::pair<double, size_t> ProfileCheckpointArm(
+    const sxnm::xml::Document& doc, const sxnm::core::Config& base_config,
+    const std::string& ckpt_path, int repeats) {
+  sxnm::core::Config config = base_config;
+  config.mutable_checkpoint().path = ckpt_path;
+  config.mutable_checkpoint().every_pass = !ckpt_path.empty();
+  sxnm::core::Detector detector(std::move(config));
+  double best = 1e100;
+  size_t pairs = 0;
+  for (int r = 0; r < repeats; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = detector.Run(doc);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      std::exit(1);
+    }
+    best = std::min(best, wall.count());
+    pairs = result->Find("movie")->duplicate_pairs.size();
+  }
+  return {best, pairs};
+}
+
 // Title-only OD at a high threshold over the repeated-subtree corpus:
 // the batched filter's length/byte screens can prove most unrelated
 // neighbor pairs below 0.9, and the DAG shortcut replays the memoized
@@ -293,7 +383,7 @@ int WritePipelineJson(const std::string& path) {
   sxnm::bench::JsonWriter json(out);
   json.BeginObject();
   json.Field("bench", "micro_pipeline");
-  json.Field("schema_version", size_t{6});
+  json.Field("schema_version", size_t{7});
   json.BeginObject("dataset");
   json.Field("generator", "movies+DataSet1DirtyPreset");
   json.Field("clean_movies", kMovies);
@@ -423,9 +513,105 @@ int WritePipelineJson(const std::string& path) {
   json.Field("duplicate_pairs_off", tlm_off.duplicate_pairs);
   json.Field("duplicate_pairs_on", tlm_on.duplicate_pairs);
   json.EndObject();
+
+  // Checkpoint block (schema version 7): (a) snapshot size and
+  // write/load cost at two corpus scales, (b) wall-clock overhead of
+  // every-pass checkpointing vs the same run cold — must stay within 5%,
+  // check_bench_json.py enforces it — and (c) a fault-injected
+  // interrupt + resume proving the persist.* counters and that resumed
+  // output equals the cold run.
+  SnapshotProbe snap_1k = ProfileSnapshot(1000, path + ".ckpt1k");
+  SnapshotProbe snap_10k = ProfileSnapshot(10000, path + ".ckpt10k");
+  json.BeginObject("checkpoint");
+  json.BeginArray("snapshots");
+  for (const auto& [movies, probe] :
+       {std::pair<size_t, const SnapshotProbe&>{1000, snap_1k},
+        {10000, snap_10k}}) {
+    json.BeginObject();
+    json.Field("clean_movies", movies);
+    json.Field("snapshot_bytes", size_t{probe.bytes});
+    json.Field("frames", size_t{probe.frames});
+    json.Field("write_ms", probe.write_ms);
+    json.Field("load_ms", probe.load_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  // The overhead A/B runs a corpus/window sized like the long jobs
+  // checkpointing exists for: a snapshot commit costs a fixed ~tens of
+  // ms (encode + checksum + fsync), so on a sub-100ms toy run it reads
+  // as a huge percentage while on any run worth checkpointing it
+  // vanishes. 12k movies at window 30 keeps the bench honest without
+  // minutes of wall-clock.
+  constexpr int kCkptRepeats = 5;
+  constexpr size_t kCkptWindow = 30;
+  auto ckpt_ab_config = sxnm::datagen::MovieConfig(kCkptWindow).value();
+  std::string ckpt_path = path + ".ckpt";
+  sxnm::persist::RemoveFile(ckpt_path);
+  auto [ckpt_off_s, ckpt_off_pairs] =
+      ProfileCheckpointArm(tlm_doc, ckpt_ab_config, "", kCkptRepeats);
+  auto [ckpt_on_s, ckpt_on_pairs] =
+      ProfileCheckpointArm(tlm_doc, ckpt_ab_config, ckpt_path, kCkptRepeats);
+  json.BeginObject("overhead");
+  json.Field("clean_movies", kTelemetryMovies);
+  json.Field("window", kCkptWindow);
+  json.Field("repeats", size_t{kCkptRepeats});
+  json.Field("checkpoint_off_s", ckpt_off_s);
+  json.Field("checkpoint_on_s", ckpt_on_s);
+  json.Field("overhead_pct", (ckpt_on_s - ckpt_off_s) / ckpt_off_s * 100.0);
+  json.Field("duplicate_pairs_off", ckpt_off_pairs);
+  json.Field("duplicate_pairs_on", ckpt_on_pairs);
+  json.EndObject();
+
+  // Interrupt the multi-level scalability config entering its final
+  // window pass (detector.pass fails after the level-1 commit landed),
+  // then rerun: the second run must load the durable level-1 checkpoint
+  // and finish with output identical to a cold run.
+  auto scal_config = sxnm::datagen::MovieScalabilityConfig(5).value();
+  scal_config.mutable_observability().metrics = true;
+  auto cold = sxnm::core::Detector(scal_config).Run(doc);
+  if (!cold.ok()) {
+    std::cerr << cold.status().ToString() << "\n";
+    return 1;
+  }
+  sxnm::core::Config resume_config = scal_config;
+  resume_config.mutable_checkpoint().path = ckpt_path;
+  resume_config.mutable_checkpoint().every_pass = true;
+  sxnm::persist::RemoveFile(ckpt_path);
+  sxnm::util::FaultInjector::Instance().Arm("detector.pass", 3);
+  auto interrupted = sxnm::core::Detector(resume_config).Run(doc);
+  sxnm::util::FaultInjector::Instance().DisarmAll();
+  if (interrupted.ok()) {
+    std::cerr << "checkpoint resume probe: interrupt arm did not fire\n";
+    return 1;
+  }
+  auto resumed = sxnm::core::Detector(resume_config).Run(doc);
+  if (!resumed.ok()) {
+    std::cerr << resumed.status().ToString() << "\n";
+    return 1;
+  }
+  sxnm::persist::RemoveFile(ckpt_path + ".tmp");
+  json.BeginObject("resume");
+  json.Field("clean_movies", kMovies);
+  json.Field("duplicate_pairs_cold",
+             cold->Find("movie")->duplicate_pairs.size());
+  json.Field("duplicate_pairs_resumed",
+             resumed->Find("movie")->duplicate_pairs.size());
+  json.BeginObject("counters");
+  for (const char* name :
+       {"persist.resume_loads", "persist.resume_levels_restored",
+        "persist.snapshot_writes", "persist.snapshot_bytes_total"}) {
+    json.Field(name, size_t(resumed->metrics.CounterOr(name)));
+  }
+  json.EndObject();
+  json.EndObject();
+  json.EndObject();
   json.EndObject();
 
   std::printf("pipeline profile written to %s\n", path.c_str());
+  std::printf("checkpoint overhead: off %.4fs -> on %.4fs (%+.2f%%)\n",
+              ckpt_off_s, ckpt_on_s,
+              (ckpt_on_s - ckpt_off_s) / ckpt_off_s * 100.0);
   std::printf("telemetry overhead: off %.4fs -> on %.4fs (%+.2f%%)\n",
               tlm_off.seconds, tlm_on.seconds,
               (tlm_on.seconds - tlm_off.seconds) / tlm_off.seconds * 100.0);

@@ -8,7 +8,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -17,6 +16,7 @@
 #include "eval/gold.h"
 #include "eval/metrics.h"
 #include "eval/miss_diagnosis.h"
+#include "persist/io.h"
 #include "sxnm/detector.h"
 #include "util/exit_code.h"
 #include "util/string_util.h"
@@ -241,15 +241,17 @@ int main(int argc, char** argv) {
       std::cerr << labels.status().ToString() << "\n";
       return sxnm::util::ExitCodeForStatus(labels.status());
     }
-    std::ofstream out(opts.gold_out_path);
+    std::string tsv;
     for (size_t i = 0; i < labels->size(); ++i) {
-      out << "movie\t" << i << "\t" << movie->gk.rows[i].eid << "\t"
-          << (*labels)[i] << "\n";
+      tsv += "movie\t" + std::to_string(i) + "\t" +
+             std::to_string(movie->gk.rows[i].eid) + "\t" + (*labels)[i] +
+             "\n";
     }
-    if (!out) {
-      std::fprintf(stderr, "failed writing gold labels to %s\n",
-                   opts.gold_out_path.c_str());
-      return sxnm::util::kExitRuntime;
+    auto wrote = sxnm::persist::AtomicWriteFile(opts.gold_out_path, tsv);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "failed writing gold labels to %s: %s\n",
+                   opts.gold_out_path.c_str(), wrote.ToString().c_str());
+      return sxnm::util::ExitCodeForStatus(wrote);
     }
     std::printf("gold labels written to %s\n", opts.gold_out_path.c_str());
   }

@@ -11,11 +11,12 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "eval/report.h"
+#include "persist/io.h"
 #include "eval/window_advisor.h"
 #include "sxnm/config_xml.h"
 #include "sxnm/dedup_writer.h"
@@ -200,12 +201,14 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_out_path.empty()) {
-    std::ofstream metrics_out(metrics_out_path);
-    result->metrics.ToPrometheusText(metrics_out);
-    metrics_out.flush();
-    if (!metrics_out) {
-      std::cerr << "cannot write " << metrics_out_path << "\n";
-      return sxnm::util::kExitRuntime;
+    std::ostringstream metrics_text;
+    result->metrics.ToPrometheusText(metrics_text);
+    auto wrote =
+        sxnm::persist::AtomicWriteFile(metrics_out_path, metrics_text.str());
+    if (!wrote.ok()) {
+      std::cerr << "cannot write " << metrics_out_path << ": "
+                << wrote.ToString() << "\n";
+      return sxnm::util::ExitCodeForStatus(wrote);
     }
     std::printf("wrote %s (Prometheus text exposition)\n",
                 metrics_out_path.c_str());

@@ -1,7 +1,8 @@
 #include "obs/explain.h"
 
 #include <cstdio>
-#include <fstream>
+
+#include "persist/io.h"
 
 namespace sxnm::obs {
 
@@ -247,19 +248,23 @@ void ExplainLog::AppendCluster(std::string_view candidate, size_t cluster,
   text_ += "}\n";
 }
 
+void ExplainLog::Restore(std::string text, uint64_t owned_pairs,
+                         uint64_t cache_pairs, uint64_t prepass_pairs,
+                         uint64_t dag_pairs, uint64_t filter_pairs) {
+  if (!enabled_) return;
+  text_ = std::move(text);
+  owned_pairs_ = owned_pairs;
+  cache_pairs_ = cache_pairs;
+  prepass_pairs_ = prepass_pairs;
+  dag_pairs_ = dag_pairs;
+  filter_pairs_ = filter_pairs;
+}
+
 util::Status ExplainLog::WriteFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return util::Status::FailedPrecondition(
-        "cannot open explain log path '" + path + "' for writing");
-  }
-  out.write(text_.data(), static_cast<std::streamsize>(text_.size()));
-  out.flush();
-  if (!out) {
-    return util::Status::FailedPrecondition("failed writing explain log to '" +
-                                            path + "'");
-  }
-  return util::Status::Ok();
+  // End-of-run artifact: committed atomically so a crash mid-export never
+  // leaves a half-written NDJSON file that diff-based tooling would trust.
+  // (A future live streaming mode would append instead — see persist/io.h.)
+  return persist::AtomicWriteFile(path, text_);
 }
 
 }  // namespace sxnm::obs

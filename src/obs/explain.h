@@ -156,6 +156,14 @@ class ExplainLog {
   /// The NDJSON bytes accumulated so far.
   const std::string& text() const { return text_; }
 
+  /// Replaces the buffered byte stream and tallies with previously
+  /// captured state (checkpoint resume): later appends continue the
+  /// stream, so a resumed run reproduces the uninterrupted byte stream
+  /// exactly. No-op on a disabled log.
+  void Restore(std::string text, uint64_t owned_pairs, uint64_t cache_pairs,
+               uint64_t prepass_pairs, uint64_t dag_pairs,
+               uint64_t filter_pairs);
+
   util::Status WriteFile(const std::string& path) const;
 
  private:

@@ -430,6 +430,26 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snapshot;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsSnapshot& snapshot) {
+  if (!enabled_) return;
+  for (const auto& sample : snapshot.counters) {
+    counter(sample.name).Add(sample.value);
+  }
+  for (const auto& sample : snapshot.gauges) {
+    gauge(sample.name).Set(sample.value);
+  }
+  for (const auto& sample : snapshot.histograms) {
+    Histogram& hist = histogram(sample.name, sample.bounds);
+    if (hist.bounds().size() + 1 != sample.counts.size()) continue;
+    // All restored weight lands on shard 0; reads only ever sum shards.
+    Histogram::Shard& shard = hist.shards_[0];
+    for (size_t i = 0; i < sample.counts.size(); ++i) {
+      shard.counts[i].fetch_add(sample.counts[i], std::memory_order_relaxed);
+    }
+    AtomicAddDouble(shard.sum, sample.sum);
+  }
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Counter& counter : counters_) counter.Reset();

@@ -241,6 +241,15 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Folds a previously taken snapshot back into this registry: counter
+  /// values are added, gauges set (last write wins), histogram bucket
+  /// counts and sums added (metrics are created on demand, histograms
+  /// with the snapshot's bounds). Used by checkpoint resume to restore
+  /// the counters of completed work so a resumed run's final snapshot
+  /// matches an uninterrupted one. Not safe against concurrent writers;
+  /// a no-op on a disabled registry.
+  void MergeFrom(const MetricsSnapshot& snapshot);
+
   /// Zeroes every metric (keeps registrations). Not safe against
   /// concurrent writers.
   void Reset();

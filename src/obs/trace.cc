@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <tuple>
+
+#include "persist/io.h"
 
 namespace sxnm::obs {
 
@@ -119,18 +121,11 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
 }
 
 util::Status Tracer::WriteChromeTraceFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    return util::Status::FailedPrecondition("cannot open trace file '" +
-                                            path + "' for writing");
-  }
-  WriteChromeTrace(out);
-  out.flush();
-  if (!out) {
-    return util::Status::FailedPrecondition("failed writing trace file '" +
-                                            path + "'");
-  }
-  return util::Status::Ok();
+  // Atomic commit: a crash mid-export leaves the previous trace (or no
+  // file), never JSON that chrome://tracing rejects as truncated.
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  return persist::AtomicWriteFile(path, os.str());
 }
 
 void Tracer::Clear() {

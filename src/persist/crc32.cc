@@ -1,0 +1,77 @@
+#include "persist/crc32.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define SXNM_CRC32_X86 1
+#endif
+
+namespace sxnm::persist {
+
+namespace {
+
+// Table for the reflected CRC-32C polynomial, generated once at startup.
+std::array<uint32_t, 256> BuildTable() {
+  constexpr uint32_t kPoly = 0x82F63B78u;
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+uint32_t Crc32cSoftware(std::string_view data, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  }
+  return crc;
+}
+
+#ifdef SXNM_CRC32_X86
+// SSE4.2 implements this exact polynomial in hardware (CRC-32C is the
+// iSCSI CRC the instruction was added for), ~20x the table walk on the
+// multi-megabyte GK frames. Bit-identical to the software path — the
+// dispatch below is a speed choice, never a format choice.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    std::string_view data, uint32_t crc) {
+  const char* p = data.data();
+  size_t n = data.size();
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, static_cast<unsigned char>(*p));
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+bool HaveSse42() { return __builtin_cpu_supports("sse4.2"); }
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  uint32_t crc = ~seed;
+#ifdef SXNM_CRC32_X86
+  static const bool hw = HaveSse42();
+  if (hw) return ~Crc32cHardware(data, crc);
+#endif
+  return ~Crc32cSoftware(data, crc);
+}
+
+}  // namespace sxnm::persist

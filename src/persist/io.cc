@@ -1,0 +1,179 @@
+#include "persist/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fault_injection.h"
+
+namespace sxnm::persist {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+std::string ErrnoText(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+// Write failures split by class: a full disk is an operational resource
+// problem (retryable after cleanup), everything else means the bytes on
+// disk cannot be trusted.
+Status WriteError(const std::string& what, const std::string& path, int err) {
+  std::string msg = what + " '" + path + "': " + ErrnoText(err);
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  return Status::DataLoss(std::move(msg));
+}
+
+// Parent directory of `path` ("." when the path has no slash), for the
+// directory fsync that makes the rename itself durable.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes eagerly; true on success. Destructor then does nothing.
+  bool Close() {
+    int rc = ::close(fd_);
+    fd_ = -1;
+    return rc == 0;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp_path = path + ".tmp";
+
+  Fd fd(::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644));
+  if (!fd.valid()) {
+    return WriteError("cannot open temp file", tmp_path, errno);
+  }
+
+  // The injected "persist.write" fault models ENOSPC mid-write: the tmp
+  // file is left torn, exactly like a real short write, and the caller
+  // sees kResourceExhausted. The destination is untouched either way.
+  if (util::FaultInjector::Instance().ShouldFail("persist.write")) {
+    return Status::ResourceExhausted(
+        "injected fault: short write (ENOSPC) on '" + tmp_path + "'");
+  }
+
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd.get(), contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return WriteError("write failed on", tmp_path, errno);
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  if (util::FaultInjector::Instance().ShouldFail("persist.fsync")) {
+    return Status::DataLoss("injected fault: fsync failed on '" + tmp_path +
+                            "'");
+  }
+  if (::fsync(fd.get()) != 0) {
+    return WriteError("fsync failed on", tmp_path, errno);
+  }
+  if (!fd.Close()) {
+    return WriteError("close failed on", tmp_path, errno);
+  }
+
+  if (util::FaultInjector::Instance().ShouldFail("persist.rename")) {
+    return Status::DataLoss("injected fault: rename '" + tmp_path +
+                            "' -> '" + path + "' failed");
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return WriteError("rename failed for", path, errno);
+  }
+
+  // Make the rename durable: without the directory fsync a crash can
+  // roll the directory entry back to the old file. The old file is a
+  // consistent state too, so a failure here is reported but nothing is
+  // torn.
+  Fd dir(::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (dir.valid()) {
+    if (::fsync(dir.get()) != 0 && errno != EINVAL && errno != EROFS) {
+      return WriteError("directory fsync failed for", path, errno);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Status::DataLoss("cannot open '" + path + "': " +
+                            ErrnoText(errno));
+  }
+
+  struct stat st;
+  if (::fstat(fd.get(), &st) != 0) {
+    return Status::DataLoss("cannot stat '" + path + "': " + ErrnoText(errno));
+  }
+
+  // The injected "persist.read" fault models a short read / IO error
+  // mid-load: the caller sees kDataLoss, never a half-parsed snapshot.
+  if (util::FaultInjector::Instance().ShouldFail("persist.read")) {
+    return Status::DataLoss("injected fault: short read on '" + path + "'");
+  }
+
+  std::string out;
+  out.resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::read(fd.get(), out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::DataLoss("read failed on '" + path + "': " +
+                              ErrnoText(errno));
+    }
+    if (n == 0) {
+      return Status::DataLoss("short read on '" + path + "': got " +
+                              std::to_string(off) + " of " +
+                              std::to_string(out.size()) + " bytes");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return out;
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool RemoveFile(const std::string& path) {
+  return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+}  // namespace sxnm::persist

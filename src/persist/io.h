@@ -1,0 +1,59 @@
+// Durable file IO for the persistence layer.
+//
+// The one rule every artifact writer in SXNM follows: a path either
+// holds the previous complete file or the new complete file, never a
+// torn mixture. AtomicWriteFile implements the classic commit protocol
+//
+//   write <path>.tmp  ->  fsync(<path>.tmp)  ->  rename onto <path>
+//                     ->  fsync(parent directory)
+//
+// so a crash at any instant leaves the destination untouched (the .tmp
+// may survive as garbage; writers ignore and overwrite it). Readers of
+// checkpoint snapshots therefore never need to cope with partial files —
+// only with external corruption, which the frame checksums catch.
+//
+// Fault sites ("persist.write", "persist.fsync", "persist.rename",
+// "persist.read") let the chaos tests simulate ENOSPC, failed syncs,
+// rename failures, and short reads; each surfaces as a clean
+// kResourceExhausted / kDataLoss status through the normal error path.
+//
+// Live-tailed NDJSON streams (telemetry, and any future explain
+// streaming mode) intentionally do NOT use this helper: their value is
+// being readable *while* the run executes, so they are append-mode by
+// design and their readers (sxnm_top, tail -f) treat a truncated final
+// line as "stream still growing". Every end-of-run artifact — trace
+// JSON, DetectionReport JSON, explain NDJSON, metrics text, dedup
+// documents, snapshots — goes through AtomicWriteFile.
+
+#ifndef SXNM_PERSIST_IO_H_
+#define SXNM_PERSIST_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace sxnm::persist {
+
+/// Atomically replaces `path` with `contents`. On any failure the
+/// destination is left as it was (a stale `path + ".tmp"` may remain and
+/// is harmless). ENOSPC maps to kResourceExhausted; every other write /
+/// fsync / rename failure maps to kDataLoss.
+util::Status AtomicWriteFile(const std::string& path,
+                             std::string_view contents);
+
+/// Reads a whole file. kNotFound when the path does not exist,
+/// kDataLoss on short reads or read errors (including the injected
+/// "persist.read" fault).
+util::Result<std::string> ReadFileToString(const std::string& path);
+
+/// True when `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Best-effort removal of `path`; false when it existed but could not
+/// be removed.
+bool RemoveFile(const std::string& path);
+
+}  // namespace sxnm::persist
+
+#endif  // SXNM_PERSIST_IO_H_

@@ -1,0 +1,261 @@
+#include "persist/snapshot.h"
+
+#include <cstring>
+
+#include "persist/crc32.h"
+#include "persist/io.h"
+
+namespace sxnm::persist {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Encoded sizes of the fixed fields.
+constexpr size_t kHeaderSize = sizeof(kSnapshotMagic) + 4;  // magic + version
+constexpr size_t kFramePrefixSize = 4 + 8;                  // type + len
+constexpr size_t kFrameCrcSize = 4;
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::DataLoss("corrupt snapshot: " + what);
+}
+
+}  // namespace
+
+// --- Encoder ---------------------------------------------------------------
+
+void Encoder::PutU32(uint32_t v) { AppendU32(out_, v); }
+
+void Encoder::PutU64(uint64_t v) { AppendU64(out_, v); }
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutU64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+// --- Decoder ---------------------------------------------------------------
+
+Status Decoder::Need(size_t n) {
+  if (remaining() < n) {
+    return Corrupt("payload truncated: need " + std::to_string(n) +
+                   " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::Ok();
+}
+
+Result<uint8_t> Decoder::GetU8() {
+  SXNM_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+Result<bool> Decoder::GetBool() {
+  auto v = GetU8();
+  if (!v.ok()) return v.status();
+  if (*v > 1) return Corrupt("bool field out of range");
+  return *v == 1;
+}
+
+Result<uint32_t> Decoder::GetU32() {
+  SXNM_RETURN_IF_ERROR(Need(4));
+  uint32_t v = LoadU32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Decoder::GetU64() {
+  SXNM_RETURN_IF_ERROR(Need(8));
+  uint64_t v = LoadU64(bytes_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> Decoder::GetI64() {
+  auto v = GetU64();
+  if (!v.ok()) return v.status();
+  return static_cast<int64_t>(*v);
+}
+
+Result<double> Decoder::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+Result<std::string_view> Decoder::GetString() {
+  auto len = GetU64();
+  if (!len.ok()) return len.status();
+  if (*len > remaining()) {
+    return Corrupt("string length " + std::to_string(*len) +
+                   " exceeds remaining payload " +
+                   std::to_string(remaining()));
+  }
+  std::string_view s = bytes_.substr(pos_, static_cast<size_t>(*len));
+  pos_ += static_cast<size_t>(*len);
+  return s;
+}
+
+Result<uint64_t> Decoder::GetCount(uint64_t max) {
+  auto v = GetU64();
+  if (!v.ok()) return v.status();
+  if (*v > max) {
+    return Corrupt("count " + std::to_string(*v) + " exceeds limit " +
+                   std::to_string(max));
+  }
+  return *v;
+}
+
+// --- SnapshotWriter --------------------------------------------------------
+
+void SnapshotWriter::AddFrame(FrameType type, std::string_view payload) {
+  frames_.push_back({type, std::string(payload)});
+}
+
+std::string SnapshotWriter::Serialize() const {
+  std::string out;
+  size_t total = kHeaderSize;
+  for (const Pending& f : frames_) {
+    total += kFramePrefixSize + f.payload.size() + kFrameCrcSize;
+  }
+  total += kFramePrefixSize + 8 + kFrameCrcSize;  // end frame
+  out.reserve(total);
+
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendU32(out, kSnapshotVersion);
+
+  auto append_frame = [&out](FrameType type, std::string_view payload) {
+    size_t start = out.size();
+    AppendU32(out, static_cast<uint32_t>(type));
+    AppendU64(out, payload.size());
+    out.append(payload.data(), payload.size());
+    uint32_t crc =
+        Crc32c(std::string_view(out.data() + start, out.size() - start));
+    AppendU32(out, crc);
+  };
+
+  for (const Pending& f : frames_) append_frame(f.type, f.payload);
+
+  // Commit marker: frame count including this frame.
+  std::string end_payload;
+  AppendU64(end_payload, frames_.size() + 1);
+  append_frame(FrameType::kEndFrame, end_payload);
+  return out;
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+// --- SnapshotReader --------------------------------------------------------
+
+Result<SnapshotReader> SnapshotReader::Parse(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Corrupt("file shorter than header (" +
+                   std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  uint32_t version = LoadU32(bytes.data() + sizeof(kSnapshotMagic));
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+
+  SnapshotReader reader;
+  reader.version_ = version;
+
+  size_t pos = kHeaderSize;
+  bool saw_end = false;
+  while (pos < bytes.size()) {
+    if (saw_end) return Corrupt("trailing data after end frame");
+    if (bytes.size() - pos < kFramePrefixSize + kFrameCrcSize) {
+      return Corrupt("truncated frame header at offset " +
+                     std::to_string(pos));
+    }
+    uint32_t raw_type = LoadU32(bytes.data() + pos);
+    uint64_t len = LoadU64(bytes.data() + pos + 4);
+    if (len > bytes.size() - pos - kFramePrefixSize - kFrameCrcSize) {
+      return Corrupt("frame at offset " + std::to_string(pos) +
+                     " claims " + std::to_string(len) +
+                     " payload bytes past end of file");
+    }
+    size_t payload_pos = pos + kFramePrefixSize;
+    std::string_view checksummed(bytes.data() + pos,
+                                 kFramePrefixSize + static_cast<size_t>(len));
+    uint32_t stored_crc =
+        LoadU32(bytes.data() + payload_pos + static_cast<size_t>(len));
+    uint32_t computed_crc = Crc32c(checksummed);
+    if (stored_crc != computed_crc) {
+      return Corrupt("checksum mismatch on frame at offset " +
+                     std::to_string(pos));
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(raw_type);
+    frame.payload = bytes.substr(payload_pos, static_cast<size_t>(len));
+    if (frame.type == FrameType::kEndFrame) {
+      Decoder d(frame.payload);
+      auto count = d.GetU64();
+      if (!count.ok()) return count.status();
+      if (*count != reader.frames_.size() + 1) {
+        return Corrupt("end frame counts " + std::to_string(*count) +
+                       " frames, file has " +
+                       std::to_string(reader.frames_.size() + 1));
+      }
+      saw_end = true;
+    } else {
+      reader.frames_.push_back(frame);
+    }
+    pos = payload_pos + static_cast<size_t>(len) + kFrameCrcSize;
+  }
+  if (!saw_end) return Corrupt("missing end frame (torn write?)");
+  return reader;
+}
+
+const Frame* SnapshotReader::Find(FrameType type) const {
+  for (const Frame& f : frames_) {
+    if (f.type == type) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<const Frame*> SnapshotReader::FindAll(FrameType type) const {
+  std::vector<const Frame*> out;
+  for (const Frame& f : frames_) {
+    if (f.type == type) out.push_back(&f);
+  }
+  return out;
+}
+
+}  // namespace sxnm::persist

@@ -1,0 +1,204 @@
+// Engine-state serialization for crash-consistent checkpoint/resume.
+//
+// This maps the detector's resident state onto the persist layer's
+// snapshot container (persist/snapshot.h): the GK relations (rows plus
+// their OdPool; SubtreePool contents are deliberately not serialized —
+// after key generation the engine only ever consumes SubtreeRef *ids*,
+// whose equality survives in the rows themselves), every completed
+// candidate's merged result and cluster set, the degradation and report
+// rows accumulated so far, a metrics snapshot, the explain-log byte
+// stream, and the pass cursor (levels completed + budget governor
+// state). A snapshot additionally carries a (config, document)
+// fingerprint; loading against a different input or config refuses with
+// kFailedPrecondition, and structural corruption surfaces as kDataLoss.
+//
+// Durability points are level boundaries of the bottom-up processing
+// order: after a level's merge + transitive closure, every cluster set
+// downstream levels need is complete, so the snapshot is a consistent
+// cut of the run. Resume replays completed levels from the snapshot and
+// re-runs the interrupted level from its start — output is then
+// bit-identical to an uninterrupted run for any num_threads.
+
+#ifndef SXNM_SXNM_CHECKPOINT_H_
+#define SXNM_SXNM_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "persist/snapshot.h"
+#include "sxnm/config.h"
+#include "sxnm/detection_report.h"
+#include "sxnm/detector.h"
+#include "sxnm/key_generation.h"
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace sxnm::core {
+
+/// Identity of the configuration a snapshot belongs to. Deliberately
+/// EXCLUDES num_threads (resuming with a different thread count is
+/// allowed — the engine is thread-count deterministic), observability
+/// paths, and the checkpoint settings themselves; everything that shapes
+/// detection output is included.
+uint64_t ConfigFingerprint(const Config& config);
+
+/// Identity of the data document: a structural hash over names,
+/// attributes, and text in document order.
+uint64_t DocumentFingerprint(const xml::Document& doc);
+
+/// The pass cursor: where the run stood when the snapshot was taken.
+struct CheckpointCursor {
+  /// Bottom-up levels fully processed (merge + closure done).
+  uint64_t levels_completed = 0;
+
+  /// Budget governor state at the cut, so resumed planning sheds exactly
+  /// the passes an uninterrupted run would.
+  uint64_t budget_spent = 0;
+  bool budget_exhausted = false;
+
+  /// Cumulative verdict-cache occupancy accounting (cache.verdict_occupancy).
+  uint64_t verdict_occupied_total = 0;
+  uint64_t verdict_capacity_total = 0;
+
+  /// Phase wall-clock accumulated before the cut.
+  double kg_seconds = 0.0;
+  double sw_seconds = 0.0;
+  double tc_seconds = 0.0;
+};
+
+/// Snapshot identity header (the kFingerprint frame).
+struct CheckpointFingerprint {
+  uint64_t config_fingerprint = 0;
+  uint64_t doc_fingerprint = 0;
+  /// Observability shape: a snapshot taken without metrics/explain holds
+  /// no counters/byte stream to restore, so resuming with them enabled
+  /// would produce partial output — refused at load.
+  bool metrics_enabled = false;
+  bool explain_enabled = false;
+};
+
+/// Borrowed view of the detector's state for one snapshot write.
+/// Pointers must outlive the SaveEngineSnapshot call; optional parts may
+/// be null.
+struct EngineSnapshotView {
+  CheckpointFingerprint fingerprint;
+  CheckpointCursor cursor;
+
+  /// All candidates' GK relations, indexed by forest candidate index,
+  /// with the kg_done flag of each (0 = key generation was shed).
+  const std::vector<GkTable>* gk = nullptr;
+  const std::vector<char>* kg_done = nullptr;
+
+  /// Merged results of candidates in completed levels, as
+  /// (candidate index, result). `result->clusters` carries the cluster
+  /// set downstream levels read.
+  std::vector<std::pair<uint64_t, const CandidateResult*>> completed;
+
+  const DegradationReport* degradation = nullptr;              // optional
+  const std::vector<DetectionReport::Row>* report_rows = nullptr;  // optional
+  const obs::MetricsSnapshot* metrics = nullptr;               // optional
+  /// Explain byte stream + tallies; both null when explain is off.
+  const std::string* explain_text = nullptr;
+  uint64_t explain_tallies[5] = {0, 0, 0, 0, 0};  // owned, cache, prepass,
+                                                  // dag, filter
+};
+
+/// Owned form of a loaded snapshot.
+struct EngineSnapshot {
+  CheckpointFingerprint fingerprint;
+  CheckpointCursor cursor;
+
+  struct GkState {
+    uint64_t index = 0;
+    bool kg_done = false;
+    GkTable table;
+  };
+  std::vector<GkState> gk;
+
+  struct CompletedCandidate {
+    uint64_t index = 0;
+    CandidateResult result;
+  };
+  std::vector<CompletedCandidate> completed;
+
+  DegradationReport degradation;
+  std::vector<DetectionReport::Row> report_rows;
+  obs::MetricsSnapshot metrics;
+  std::string explain_text;
+  uint64_t explain_tallies[5] = {0, 0, 0, 0, 0};
+};
+
+/// Statistics of one committed snapshot (persist.* metrics).
+struct SnapshotWriteStats {
+  uint64_t bytes = 0;
+  uint64_t frames = 0;
+};
+
+/// Serializes `view` and atomically commits it to `path` (never leaves a
+/// torn file at `path`). Injected persist faults surface as
+/// kResourceExhausted / kDataLoss.
+util::Status SaveEngineSnapshot(const EngineSnapshotView& view,
+                                const std::string& path,
+                                SnapshotWriteStats* stats = nullptr);
+
+/// Loads, verifies, and decodes the snapshot at `path`:
+///   kNotFound           — no snapshot (caller starts fresh);
+///   kDataLoss           — torn, truncated, or checksum-corrupt;
+///   kFailedPrecondition — valid snapshot of a different config,
+///                         document, observability shape, or format
+///                         version.
+util::Result<EngineSnapshot> LoadEngineSnapshot(
+    const std::string& path, const CheckpointFingerprint& expected);
+
+// --- Frame codecs (exposed for the sxnm_snapshot inspector and tests) ----
+
+void EncodeFingerprint(const CheckpointFingerprint& fp, persist::Encoder& enc);
+util::Result<CheckpointFingerprint> DecodeFingerprint(
+    std::string_view payload);
+
+void EncodeCursor(const CheckpointCursor& cursor, persist::Encoder& enc);
+util::Result<CheckpointCursor> DecodeCursor(std::string_view payload);
+
+void EncodeGkTable(const GkTable& table, uint64_t candidate_index,
+                   bool kg_done, persist::Encoder& enc);
+util::Result<EngineSnapshot::GkState> DecodeGkTable(std::string_view payload);
+
+void EncodeCandidateResult(const CandidateResult& result,
+                           uint64_t candidate_index, persist::Encoder& enc);
+util::Result<EngineSnapshot::CompletedCandidate> DecodeCandidateResult(
+    std::string_view payload);
+
+void EncodeClusterSet(const ClusterSet& clusters, persist::Encoder& enc);
+util::Result<ClusterSet> DecodeClusterSet(persist::Decoder& dec);
+
+void EncodeDegradation(const DegradationReport& degradation,
+                       persist::Encoder& enc);
+util::Result<DegradationReport> DecodeDegradation(std::string_view payload);
+
+void EncodeReportRows(const std::vector<DetectionReport::Row>& rows,
+                      persist::Encoder& enc);
+util::Result<std::vector<DetectionReport::Row>> DecodeReportRows(
+    std::string_view payload);
+
+void EncodeMetricsSnapshot(const obs::MetricsSnapshot& snapshot,
+                           persist::Encoder& enc);
+util::Result<obs::MetricsSnapshot> DecodeMetricsSnapshot(
+    std::string_view payload);
+
+/// Verdict-cache contents as exported by VerdictCache::Export. The
+/// detector's level-boundary snapshots never hold a live cache (caches
+/// retire at each level's merge), so this frame is format surface for
+/// finer-grained future checkpoints; it round-trips and fuzzes like the
+/// rest of the format.
+void EncodeVerdictEntries(
+    const std::vector<std::pair<uint64_t, bool>>& entries,
+    persist::Encoder& enc);
+util::Result<std::vector<std::pair<uint64_t, bool>>> DecodeVerdictEntries(
+    std::string_view payload);
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_CHECKPOINT_H_

@@ -204,6 +204,32 @@ struct ObservabilityConfig {
   bool any() const { return metrics || !trace_path.empty(); }
 };
 
+/// Crash-consistent checkpointing for a detection run (`<checkpoint>` in
+/// config XML; format in src/persist). With a non-empty path the
+/// detector commits an atomic snapshot of its resident state — GK
+/// relations, completed candidate results and cluster sets, degradation
+/// and report rows, metrics, explain log, pass cursor — after key
+/// generation and (with `every_pass`) after every completed bottom-up
+/// candidate level. A later run pointed at the same path resumes from
+/// the last durable snapshot and produces clusters, counters, and
+/// explain output bit-identical to an uninterrupted run, for any
+/// num_threads. Snapshots are fingerprinted against config + document;
+/// resuming against different input refuses with kFailedPrecondition,
+/// and a torn or corrupt snapshot fails with kDataLoss (never silently
+/// recomputed — delete the file to start fresh). A successful run
+/// removes its checkpoint file.
+struct CheckpointConfig {
+  /// Snapshot file path; empty (default) disables checkpointing.
+  std::string path;
+
+  /// True (default): snapshot after every completed candidate level —
+  /// the run's pass-boundary durability points. False: snapshot only
+  /// once, after key generation.
+  bool every_pass = true;
+
+  bool enabled() const { return !path.empty(); }
+};
+
 /// Resource governance for a run: hard ingestion limits (applied by the
 /// tools and examples when they parse data documents) plus a comparison
 /// budget / deadline for the detection phases. Everything defaults to
@@ -293,6 +319,10 @@ class Config {
   const RunLimits& limits() const { return limits_; }
   RunLimits& mutable_limits() { return limits_; }
 
+  /// Checkpoint/resume settings (<checkpoint> in config XML).
+  const CheckpointConfig& checkpoint() const { return checkpoint_; }
+  CheckpointConfig& mutable_checkpoint() { return checkpoint_; }
+
   /// Structural validation: every candidate has >= 1 key and >= 1 OD
   /// entry, every pid resolves, relevancies are positive, window sizes
   /// >= 2, thresholds within [0, 1], similarity functions resolved.
@@ -303,6 +333,7 @@ class Config {
   size_t num_threads_ = 1;
   ObservabilityConfig observability_;
   RunLimits limits_;
+  CheckpointConfig checkpoint_;
 };
 
 /// Fluent construction helper used by examples, tests, and benches:

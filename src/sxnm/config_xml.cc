@@ -124,6 +124,19 @@ Status ParseDeadline(const Element& elem, RunLimits& limits) {
   return Status::Ok();
 }
 
+// <checkpoint path="run.ckpt" every-pass="true"/>
+Status ParseCheckpoint(const Element& elem, CheckpointConfig& checkpoint) {
+  checkpoint.path = elem.AttributeOr("path", "");
+  if (checkpoint.path.empty()) {
+    return Status::ParseError(
+        "<checkpoint> requires a non-empty 'path' attribute");
+  }
+  auto every_pass = BoolAttrOr(elem, "every-pass", checkpoint.every_pass);
+  if (!every_pass.ok()) return every_pass.status();
+  checkpoint.every_pass = every_pass.value();
+  return Status::Ok();
+}
+
 // <observability metrics="on" trace="trace.json" report="report.json"
 //                 explain="explain.ndjson" telemetry="run.tlm.ndjsonl"
 //                 telemetry-interval-ms="250"/>
@@ -342,6 +355,9 @@ util::Result<Config> ConfigFromXml(const xml::Document& doc) {
   if (const Element* deadline = doc.root()->FirstChildElement("deadline")) {
     SXNM_RETURN_IF_ERROR(ParseDeadline(*deadline, config.mutable_limits()));
   }
+  if (const Element* ckpt = doc.root()->FirstChildElement("checkpoint")) {
+    SXNM_RETURN_IF_ERROR(ParseCheckpoint(*ckpt, config.mutable_checkpoint()));
+  }
   for (const Element* elem : doc.root()->ChildElements("candidate")) {
     auto candidate = ParseCandidate(*elem);
     if (!candidate.ok()) return candidate.status();
@@ -415,6 +431,12 @@ xml::Document ConfigToXml(const Config& config) {
                     util::FormatDouble(limits.deadline_seconds, 6));
     e->SetAttribute("comparisons-per-second",
                     util::FormatDouble(limits.comparisons_per_second, 6));
+  }
+  if (config.checkpoint().enabled()) {
+    Element* e = root->AddElement("checkpoint");
+    e->SetAttribute("path", config.checkpoint().path);
+    e->SetAttribute("every-pass",
+                    config.checkpoint().every_pass ? "true" : "false");
   }
   for (const CandidateConfig& c : config.candidates()) {
     Element* cand = root->AddElement("candidate");

@@ -4,6 +4,7 @@
 // Format:
 //
 //   <sxnm-config num-threads="4">   <!-- optional; 1 = serial, 0 = auto -->
+//     <checkpoint path="run.ckpt" every-pass="true"/>  <!-- optional -->
 //     <candidate name="movie" path="movie_database/movies/movie"
 //                window="10" use-descendants="true">
 //       <paths>

@@ -1,10 +1,10 @@
 #include "sxnm/detection_report.h"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "persist/io.h"
 #include "util/table_printer.h"
 
 namespace sxnm::core {
@@ -300,18 +300,9 @@ std::string DetectionReport::ToJson() const {
 }
 
 util::Status DetectionReport::WriteJsonFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    return util::Status::FailedPrecondition(
-        "cannot open detection report path '" + path + "' for writing");
-  }
-  WriteJson(out);
-  out.flush();
-  if (!out) {
-    return util::Status::FailedPrecondition(
-        "failed writing detection report to '" + path + "'");
-  }
-  return util::Status::Ok();
+  // Atomic commit: a crash mid-export leaves the previous report (or no
+  // file), never a torn JSON document.
+  return persist::AtomicWriteFile(path, ToJson());
 }
 
 }  // namespace sxnm::core

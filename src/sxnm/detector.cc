@@ -11,6 +11,8 @@
 #include "obs/explain.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "persist/io.h"
+#include "sxnm/checkpoint.h"
 #include "sxnm/similarity_measure.h"
 #include "sxnm/sliding_window.h"
 #include "sxnm/transitive_closure.h"
@@ -706,6 +708,59 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
     metrics.gauge("cache.verdict_occupancy");
   }
 
+  // --- Checkpoint/resume setup ---------------------------------------------
+  // Fingerprints are computed before any work: the load must refuse a
+  // snapshot of a different config or document before the engine trusts
+  // its contents. kNotFound simply means "no snapshot yet" (fresh run);
+  // a torn or corrupt file is a hard kDataLoss — silently recomputing
+  // would hide the data loss the checkpoint was supposed to prevent.
+  const std::string& ckpt_path = !options.checkpoint_path.empty()
+                                     ? options.checkpoint_path
+                                     : config_.checkpoint().path;
+  const bool ckpt_every_pass = !options.checkpoint_path.empty()
+                                   ? options.checkpoint_every_pass
+                                   : config_.checkpoint().every_pass;
+  const bool checkpointing = !ckpt_path.empty();
+  CheckpointFingerprint ckpt_fingerprint;
+  EngineSnapshot resume;
+  bool resumed = false;
+  if (checkpointing) {
+    ckpt_fingerprint.config_fingerprint = ConfigFingerprint(config_);
+    ckpt_fingerprint.doc_fingerprint = DocumentFingerprint(doc);
+    ckpt_fingerprint.metrics_enabled = metrics.enabled();
+    ckpt_fingerprint.explain_enabled = explain.enabled();
+    obs::Tracer::Span load_span = tracer.StartSpan("checkpoint_load");
+    auto loaded = LoadEngineSnapshot(ckpt_path, ckpt_fingerprint);
+    if (loaded.ok()) {
+      resume = std::move(*loaded);
+      resumed = true;
+    } else if (loaded.status().code() != util::StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+  if (resumed) {
+    // Counters, gauges, and histogram buckets continue from the cut, so
+    // the final snapshot equals an uninterrupted run's. engine.num_threads
+    // is re-published afterwards: resuming with a different thread count
+    // is allowed and the gauge reports *this* run.
+    if (metrics.enabled()) {
+      metrics.MergeFrom(resume.metrics);
+      metrics.gauge("engine.num_threads")
+          .Set(static_cast<double>(num_threads));
+      metrics.counter("persist.resume_loads").Add(1);
+      metrics.counter("persist.resume_levels_restored")
+          .Add(resume.cursor.levels_completed);
+    }
+    explain.Restore(std::move(resume.explain_text), resume.explain_tallies[0],
+                    resume.explain_tallies[1], resume.explain_tallies[2],
+                    resume.explain_tallies[3], resume.explain_tallies[4]);
+    result.timer.Add(kPhaseKeyGeneration, resume.cursor.kg_seconds);
+    result.timer.Add(kPhaseSlidingWindow, resume.cursor.sw_seconds);
+    result.timer.Add(kPhaseTransitiveClosure, resume.cursor.tc_seconds);
+    degradation.passes = std::move(resume.degradation.passes);
+    result.report.rows = std::move(resume.report_rows);
+  }
+
   // Live telemetry: a read-only background sampler over the registry.
   // It never writes a metric and the engine never waits on it, so the
   // detection output is bit-identical with telemetry on or off; the
@@ -750,24 +805,45 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
 
   std::vector<GkTable> gk(forest.candidates().size());
   std::vector<char> kg_done(forest.candidates().size(), 0);
-  std::vector<util::Status> kg_status(forest.candidates().size());
-  util::ParallelForCancellable(
-      forest.candidates().size(), num_threads, token, [&](size_t t) {
-        const CandidateInstances& instances = forest.candidates()[t];
-        auto keys =
-            GenerateKeysChecked(*instances.config, instances, token, &metrics);
-        if (!keys.ok()) {
-          kg_status[t] = keys.status();
-          return;
-        }
-        if (keys->cancelled) return;  // kg_done stays 0: candidate shed
-        gk[t] = std::move(keys->table);
-        kg_done[t] = 1;
-      });
-  // A genuine key-generation failure (fault injection, future IO) aborts
-  // the run with its own status — degradation is only for shed work. The
-  // lowest candidate index wins so the reported error is deterministic.
-  for (const util::Status& status : kg_status) SXNM_RETURN_IF_ERROR(status);
+  if (resumed) {
+    // Every snapshot is taken at or after the post-KG durability point,
+    // so the GK relations come back from disk instead of the document.
+    // The fingerprint already proved config + document identity; the
+    // size check below is pure defense against a hand-edited file.
+    if (resume.gk.size() != forest.candidates().size()) {
+      return Status::DataLoss(
+          "corrupt snapshot: GK table count does not match the candidate "
+          "forest");
+    }
+    for (EngineSnapshot::GkState& state : resume.gk) {
+      if (state.index >= gk.size() || kg_done[state.index] != 0) {
+        return Status::DataLoss(
+            "corrupt snapshot: GK frame candidate index invalid or "
+            "duplicated");
+      }
+      gk[state.index] = std::move(state.table);
+      kg_done[state.index] = state.kg_done ? 1 : 0;
+    }
+  } else {
+    std::vector<util::Status> kg_status(forest.candidates().size());
+    util::ParallelForCancellable(
+        forest.candidates().size(), num_threads, token, [&](size_t t) {
+          const CandidateInstances& instances = forest.candidates()[t];
+          auto keys = GenerateKeysChecked(*instances.config, instances, token,
+                                          &metrics);
+          if (!keys.ok()) {
+            kg_status[t] = keys.status();
+            return;
+          }
+          if (keys->cancelled) return;  // kg_done stays 0: candidate shed
+          gk[t] = std::move(keys->table);
+          kg_done[t] = 1;
+        });
+    // A genuine key-generation failure (fault injection, future IO) aborts
+    // the run with its own status — degradation is only for shed work. The
+    // lowest candidate index wins so the reported error is deterministic.
+    for (const util::Status& status : kg_status) SXNM_RETURN_IF_ERROR(status);
+  }
   if (token.cancelled()) cancelled = true;
   if (deadline.expired()) wall_expired = true;
   kg_span.End();
@@ -807,7 +883,98 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   size_t verdict_occupied_total = 0;
   size_t verdict_capacity_total = 0;
 
+  uint64_t levels_restored = 0;
+  if (resumed) {
+    // Governor state continues from the cut so the resumed planner sheds
+    // exactly the passes an uninterrupted run would.
+    budget_spent = static_cast<size_t>(resume.cursor.budget_spent);
+    budget_exhausted = resume.cursor.budget_exhausted;
+    verdict_occupied_total =
+        static_cast<size_t>(resume.cursor.verdict_occupied_total);
+    verdict_capacity_total =
+        static_cast<size_t>(resume.cursor.verdict_capacity_total);
+    levels_restored = resume.cursor.levels_completed;
+    if (levels_restored > levels.size()) {
+      return Status::DataLoss(
+          "corrupt snapshot: cursor names more levels than the forest has");
+    }
+    for (EngineSnapshot::CompletedCandidate& completed : resume.completed) {
+      size_t t = static_cast<size_t>(completed.index);
+      if (t >= cand_results.size() || !cand_results[t].name.empty()) {
+        return Status::DataLoss(
+            "corrupt snapshot: completed-candidate index invalid or "
+            "duplicated");
+      }
+      cluster_sets[t] = completed.result.clusters;
+      cand_results[t] = std::move(completed.result);
+    }
+  }
+
+  // Commits one durable snapshot of everything accumulated so far. The
+  // view borrows the engine's live state; Save serializes and atomically
+  // replaces the file, so a crash mid-write leaves the previous snapshot.
+  auto write_checkpoint = [&](uint64_t levels_completed) -> util::Status {
+    obs::Tracer::Span ckpt_span = tracer.StartSpan("checkpoint_write");
+    EngineSnapshotView view;
+    view.fingerprint = ckpt_fingerprint;
+    view.cursor.levels_completed = levels_completed;
+    view.cursor.budget_spent = budget_spent;
+    view.cursor.budget_exhausted = budget_exhausted;
+    view.cursor.verdict_occupied_total = verdict_occupied_total;
+    view.cursor.verdict_capacity_total = verdict_capacity_total;
+    view.cursor.kg_seconds = result.KeyGenerationSeconds();
+    view.cursor.sw_seconds = result.SlidingWindowSeconds();
+    view.cursor.tc_seconds = result.TransitiveClosureSeconds();
+    view.gk = &gk;
+    view.kg_done = &kg_done;
+    uint64_t ordinal = 0;
+    for (const auto& [level_depth, level_members] : levels) {
+      if (ordinal++ >= levels_completed) break;
+      for (size_t t : level_members) {
+        view.completed.emplace_back(t, &cand_results[t]);
+      }
+    }
+    view.degradation = &degradation;
+    obs::MetricsSnapshot metrics_snapshot;
+    if (metrics.enabled()) {
+      view.report_rows = &result.report.rows;
+      metrics_snapshot = metrics.Snapshot();
+      view.metrics = &metrics_snapshot;
+    }
+    uint64_t explain_tallies[5] = {explain.owned_pairs(), explain.cache_pairs(),
+                                   explain.prepass_pairs(), explain.dag_pairs(),
+                                   explain.filter_pairs()};
+    if (explain.enabled()) {
+      view.explain_text = &explain.text();
+      for (size_t i = 0; i < 5; ++i) view.explain_tallies[i] = explain_tallies[i];
+    }
+    SnapshotWriteStats stats;
+    SXNM_RETURN_IF_ERROR(SaveEngineSnapshot(view, ckpt_path, &stats));
+    if (metrics.enabled()) {
+      // Counted after the commit (and so absent from the frame just
+      // written): persist.* counters describe *this* run's IO, differ
+      // between resumed and uninterrupted runs by design, and are
+      // excluded from determinism digests like the wall-time counters.
+      metrics.counter("persist.snapshot_writes").Add(1);
+      metrics.counter("persist.snapshot_bytes_total").Add(stats.bytes);
+    }
+    return util::Status::Ok();
+  };
+
+  // The post-KG durability point: even with every_pass off, a resumed
+  // run never repeats key generation. Levels "completed" after a
+  // cancellation or wall-clock cut are not checkpointed — their passes
+  // were shed nondeterministically, and a resume must re-run them.
+  if (checkpointing && !resumed && !cancelled && !wall_expired) {
+    SXNM_RETURN_IF_ERROR(write_checkpoint(0));
+  }
+
+  uint64_t level_ordinal = 0;
   for (auto& [depth, members] : levels) {
+    // Fast-forward through levels the snapshot already holds: their
+    // merged results, cluster sets, report rows, shed entries, counters,
+    // and explain records were all restored above.
+    if (level_ordinal++ < levels_restored) continue;
     obs::Tracer::Span level_span =
         tracer.StartSpan("level_" + std::to_string(depth));
     if (metrics.enabled()) set_phase(obs::RunPhase::kSlidingWindow);
@@ -1011,6 +1178,19 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
         }
       }
     }
+
+    // Level boundary: merge + closure done, every cluster set downstream
+    // levels need is final — a consistent cut. Commit it. Cancelled /
+    // wall-expired levels shed work nondeterministically, so they are
+    // never recorded as completed (a resume re-runs them properly). The
+    // FINAL level is not committed: a successful run deletes its
+    // checkpoint moments later anyway, so the commit would be pure
+    // overhead in the common case — a crash between here and completion
+    // resumes from the previous cut and re-runs one level.
+    if (checkpointing && ckpt_every_pass && level_ordinal < levels.size() &&
+        !cancelled && !wall_expired) {
+      SXNM_RETURN_IF_ERROR(write_checkpoint(level_ordinal));
+    }
   }
 
   // Assemble in the canonical bottom-up order, independent of the level
@@ -1060,6 +1240,14 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   }
   if (explain.enabled()) {
     SXNM_RETURN_IF_ERROR(explain.WriteFile(obs_cfg.explain_path));
+  }
+
+  // A deterministically complete run (including budget-shed runs, whose
+  // shed set is final) has nothing left to resume: drop the snapshot.
+  // Cancelled or wall-clock-expired runs keep theirs so a later run can
+  // pick up at the last durable level and finish the job.
+  if (checkpointing && !cancelled && !wall_expired) {
+    persist::RemoveFile(ckpt_path);
   }
   return result;
 }

@@ -56,6 +56,15 @@ struct RunOptions {
   /// an OK Result — a partial DetectionResult whose DegradationReport is
   /// flagged kCancelled — never a half-built error.
   util::CancellationToken cancellation;
+
+  /// Non-empty overrides Config::checkpoint() for this run: durable
+  /// snapshots are committed to / resumed from this path (see
+  /// CheckpointConfig for the full contract).
+  std::string checkpoint_path;
+
+  /// Paired with checkpoint_path (ignored while that is empty): snapshot
+  /// at every completed level (true) or only after key generation.
+  bool checkpoint_every_pass = true;
 };
 
 struct DetectionResult {

@@ -17,4 +17,20 @@ OdRef OdPool::Intern(std::string_view value) {
   return OdRef{it->second, static_cast<uint32_t>(value.size())};
 }
 
+OdPool OdPool::FromParts(std::string arena, std::vector<uint32_t> offsets) {
+  OdPool pool;
+  pool.arena_ = std::move(arena);
+  pool.offsets_ = std::move(offsets);
+  pool.index_.reserve(pool.offsets_.size());
+  for (size_t i = 0; i < pool.offsets_.size(); ++i) {
+    size_t end = i + 1 < pool.offsets_.size() ? pool.offsets_[i + 1]
+                                              : pool.arena_.size();
+    std::string_view value = std::string_view(pool.arena_)
+                                 .substr(pool.offsets_[i],
+                                         end - pool.offsets_[i]);
+    pool.index_.emplace(std::string(value), static_cast<uint32_t>(i));
+  }
+  return pool;
+}
+
 }  // namespace sxnm::core

@@ -46,6 +46,18 @@ class OdPool {
   /// Bytes held by the arena (distinct values only).
   size_t arena_bytes() const { return arena_.size(); }
 
+  /// Raw parts for serialization (checkpointing). Values are appended
+  /// contiguously, so `arena` + `offsets` fully determine the pool:
+  /// value i spans [offsets[i], offsets[i+1]) (the last one runs to the
+  /// arena's end).
+  const std::string& arena() const { return arena_; }
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+  /// Rebuilds a pool from serialized parts. `offsets` must be strictly
+  /// derived from a pool built by Intern (ascending, within the arena);
+  /// the lookup index is reconstructed so further interning works.
+  static OdPool FromParts(std::string arena, std::vector<uint32_t> offsets);
+
  private:
   // Heterogeneous lookup: Intern probes with the string_view directly and
   // only materializes a std::string for genuinely new values.

@@ -1,5 +1,6 @@
 #include "sxnm/verdict_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <thread>
 
@@ -47,6 +48,27 @@ VerdictCache::Lookup VerdictCache::AcquireOrWait(uint64_t packed_pair) {
       return Lookup{/*owner=*/false, /*is_duplicate=*/state == kYes, slot};
     }
     slot = (slot + 1) & mask_;  // occupied by a different pair: probe on
+  }
+}
+
+std::vector<std::pair<uint64_t, bool>> VerdictCache::Export() const {
+  std::vector<std::pair<uint64_t, bool>> entries;
+  for (size_t i = 0; i < capacity_; ++i) {
+    uint64_t key = slots_[i].key.load(std::memory_order_acquire);
+    if (key == 0) continue;
+    uint8_t state = slots_[i].state.load(std::memory_order_acquire);
+    if (state == kComputing) continue;
+    entries.emplace_back(key, state == kYes);
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+void VerdictCache::Import(
+    const std::vector<std::pair<uint64_t, bool>>& entries) {
+  for (const auto& [key, is_duplicate] : entries) {
+    Lookup lookup = AcquireOrWait(key);
+    if (lookup.owner) Publish(lookup, is_duplicate);
   }
 }
 

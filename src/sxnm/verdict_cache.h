@@ -28,6 +28,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "util/flat_set.h"
 
@@ -67,6 +69,17 @@ class VerdictCache {
   }
 
   size_t capacity() const { return capacity_; }
+
+  /// Published (key, verdict) entries sorted by key — a canonical,
+  /// scheduling-independent view of the cache for serialization
+  /// (checkpoint snapshots). Slots still kComputing are skipped; call at
+  /// quiescent points only.
+  std::vector<std::pair<uint64_t, bool>> Export() const;
+
+  /// Re-seeds the cache from exported entries: each becomes a published
+  /// verdict, so later AcquireOrWait calls replay it without owning.
+  /// Keys must fit the capacity bound the cache was constructed with.
+  void Import(const std::vector<std::pair<uint64_t, bool>>& entries);
 
   /// Number of claimed slots. A full scan, intended for telemetry at
   /// quiescent points (e.g. after a candidate's passes merge), not for

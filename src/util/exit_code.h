@@ -8,6 +8,7 @@
 //   5  resource limit exceeded (depth/bytes/nodes/attrs/diagnostics caps)
 //   6  cancelled or deadline exceeded
 //   7  runtime error (anything else: IO, internal invariants, ...)
+//   8  data loss (corrupt/torn snapshot or artifact; checksum mismatch)
 
 #ifndef SXNM_UTIL_EXIT_CODE_H_
 #define SXNM_UTIL_EXIT_CODE_H_
@@ -23,6 +24,7 @@ inline constexpr int kExitParse = 4;
 inline constexpr int kExitResource = 5;
 inline constexpr int kExitDeadline = 6;
 inline constexpr int kExitRuntime = 7;
+inline constexpr int kExitDataLoss = 8;
 
 /// Maps a non-OK status to the exit code of its failure class. The
 /// configuration stage is positional, not a status code — tools return
@@ -38,6 +40,8 @@ inline int ExitCodeForStatus(const Status& status) {
     case StatusCode::kCancelled:
     case StatusCode::kDeadlineExceeded:
       return kExitDeadline;
+    case StatusCode::kDataLoss:
+      return kExitDataLoss;
     default:
       return kExitRuntime;
   }

@@ -1,5 +1,7 @@
 #include "util/fault_injection.h"
 
+#include <csignal>
+
 namespace sxnm::util {
 
 FaultInjector& FaultInjector::Instance() {
@@ -7,11 +9,13 @@ FaultInjector& FaultInjector::Instance() {
   return *instance;
 }
 
-void FaultInjector::Arm(std::string_view site, uint64_t fire_on_hit) {
+void FaultInjector::Arm(std::string_view site, uint64_t fire_on_hit,
+                        FaultAction action) {
   std::lock_guard<std::mutex> lock(mu_);
   SiteState& state = sites_[std::string(site)];
   state.fire_on_hit = fire_on_hit == 0 ? 1 : fire_on_hit;
   state.hits = 0;
+  state.action = action;
   any_armed_.store(true, std::memory_order_relaxed);
 }
 
@@ -36,6 +40,12 @@ bool FaultInjector::ShouldFailSlow(std::string_view site) {
   auto it = sites_.find(site);
   if (it == sites_.end() || it->second.fire_on_hit == 0) return false;
   if (++it->second.hits != it->second.fire_on_hit) return false;
+  if (it->second.action == FaultAction::kKill) {
+    // Die exactly here, as a SIGKILL would land: no unwinding, no
+    // destructors, no buffered-IO flushes. Whatever the instrumented
+    // step had half-done stays half-done on disk.
+    std::raise(SIGKILL);
+  }
   it->second.fire_on_hit = 0;  // one-shot
   bool still_armed = false;
   for (const auto& [name, state] : sites_) {

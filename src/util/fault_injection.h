@@ -27,11 +27,23 @@
 
 namespace sxnm::util {
 
+/// What happens when an armed fault fires. `kFail` makes ShouldFail
+/// return true so the instrumented step fails through its normal error
+/// path. `kKill` raises SIGKILL on the spot — the crash-consistency
+/// tests use it to die *inside* a persistence step (mid snapshot write,
+/// between fsync and rename) exactly as an OOM kill or node preemption
+/// would, with no destructors and no atexit handlers running.
+enum class FaultAction : uint8_t {
+  kFail,
+  kKill,
+};
+
 /// One armed fault: fire on the `fire_on_hit`-th call (1-based) of the
 /// named site.
 struct FaultSpec {
   std::string site;
   uint64_t fire_on_hit = 1;
+  FaultAction action = FaultAction::kFail;
 };
 
 /// Process-wide injector. Thread-safe. Use ScopedFault in tests.
@@ -39,10 +51,14 @@ class FaultInjector {
  public:
   static FaultInjector& Instance();
 
-  /// Arms `site` to fail once, on its `fire_on_hit`-th hit from now
-  /// (resets the site's hit counter).
-  void Arm(std::string_view site, uint64_t fire_on_hit);
-  void Arm(const FaultSpec& spec) { Arm(spec.site, spec.fire_on_hit); }
+  /// Arms `site` to fire once, on its `fire_on_hit`-th hit from now
+  /// (resets the site's hit counter). A `kKill` action terminates the
+  /// process with SIGKILL at the hit instead of returning true.
+  void Arm(std::string_view site, uint64_t fire_on_hit,
+           FaultAction action = FaultAction::kFail);
+  void Arm(const FaultSpec& spec) {
+    Arm(spec.site, spec.fire_on_hit, spec.action);
+  }
 
   /// Disarms one site / everything; DisarmAll also clears hit counters.
   void Disarm(std::string_view site);
@@ -66,6 +82,7 @@ class FaultInjector {
   struct SiteState {
     uint64_t fire_on_hit = 0;  // 0 = disarmed
     uint64_t hits = 0;
+    FaultAction action = FaultAction::kFail;
   };
 
   std::atomic<bool> any_armed_{false};

@@ -27,6 +27,8 @@ enum class StatusCode {
   kDeadlineExceeded,  // a configured deadline expired before completion
   kResourceExhausted, // a configured resource limit (depth, bytes, nodes,
                       // comparison budget, ...) was reached
+  kDataLoss,          // persisted data is unrecoverably corrupt or torn
+                      // (bad checksum, truncated frame, failed fsync)
 };
 
 /// Returns a short stable name for `code`, e.g. "INVALID_ARGUMENT".
@@ -83,6 +85,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

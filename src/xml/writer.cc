@@ -1,6 +1,6 @@
 #include "xml/writer.h"
 
-#include <cstdio>
+#include "persist/io.h"
 
 namespace sxnm::xml {
 
@@ -154,12 +154,9 @@ std::string WriteDocument(const Document& doc, const WriteOptions& options) {
 
 bool WriteDocumentToFile(const Document& doc, const std::string& path,
                          const WriteOptions& options) {
-  std::string data = WriteDocument(doc, options);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  int close_rc = std::fclose(f);
-  return written == data.size() && close_rc == 0;
+  // Atomic commit: dedup output is either the complete document or the
+  // previous file, never a truncated XML prefix.
+  return persist::AtomicWriteFile(path, WriteDocument(doc, options)).ok();
 }
 
 }  // namespace sxnm::xml

@@ -1,0 +1,333 @@
+// Snapshot container format and durable IO: round-trips, the corruption
+// matrix (every class of structural damage must surface as a clean
+// kDataLoss), fault-injected write/read failures, and the atomic commit
+// protocol's crash guarantees.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/crc32.h"
+#include "persist/io.h"
+#include "persist/snapshot.h"
+#include "util/fault_injection.h"
+
+namespace sxnm::persist {
+namespace {
+
+using util::ScopedFault;
+using util::StatusCode;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// --- CRC-32C ---------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  // "123456789" is the classic check value for Castagnoli.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  std::string data = "snapshot payload bytes";
+  uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(Crc32c(flipped), base) << "byte " << i;
+  }
+}
+
+// --- Encoder / Decoder -----------------------------------------------------
+
+TEST(EncoderDecoderTest, RoundTripsEveryType) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutBool(true);
+  enc.PutBool(false);
+  enc.PutU32(0xDEADBEEFu);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutI64(-42);
+  enc.PutDouble(3.25);
+  enc.PutString("hello");
+  enc.PutString("");  // empty strings are legal
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.GetU8().value(), 0xAB);
+  EXPECT_TRUE(dec.GetBool().value());
+  EXPECT_FALSE(dec.GetBool().value());
+  EXPECT_EQ(dec.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.GetU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.GetI64().value(), -42);
+  EXPECT_EQ(dec.GetDouble().value(), 3.25);
+  EXPECT_EQ(dec.GetString().value(), "hello");
+  EXPECT_EQ(dec.GetString().value(), "");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(EncoderDecoderTest, TruncationFailsEveryGetterCleanly) {
+  Decoder empty("");
+  EXPECT_EQ(empty.GetU8().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(empty.GetU32().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(empty.GetU64().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(empty.GetDouble().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(empty.GetString().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(EncoderDecoderTest, BoolRejectsNonCanonicalBytes) {
+  Decoder dec(std::string_view("\x02", 1));
+  EXPECT_EQ(dec.GetBool().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(EncoderDecoderTest, StringLengthBeyondBufferIsDataLoss) {
+  Encoder enc;
+  enc.PutU64(1000);  // claims 1000 bytes, provides 3
+  Encoder full;
+  full.PutString("abc");
+  std::string bytes = enc.bytes() + full.bytes().substr(8);
+  Decoder dec(bytes);
+  EXPECT_EQ(dec.GetString().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(EncoderDecoderTest, GetCountRejectsOversizedClaims) {
+  Encoder enc;
+  enc.PutU64(1u << 20);
+  Decoder dec(enc.bytes());
+  auto count = dec.GetCount(100);
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kDataLoss);
+
+  Decoder dec2(enc.bytes());
+  EXPECT_EQ(dec2.GetCount(1u << 20).value(), 1u << 20);
+}
+
+// --- Snapshot container ----------------------------------------------------
+
+SnapshotWriter MakeWriter() {
+  SnapshotWriter writer;
+  Encoder cursor;
+  cursor.PutU64(3);
+  writer.AddFrame(FrameType::kCursor, std::move(cursor));
+  writer.AddFrame(FrameType::kGkTable, "first table");
+  writer.AddFrame(FrameType::kGkTable, "second table");
+  writer.AddFrame(FrameType::kMetrics, "");
+  return writer;
+}
+
+TEST(SnapshotTest, RoundTripsFramesInOrder) {
+  std::string bytes = MakeWriter().Serialize();
+  auto reader = SnapshotReader::Parse(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->version(), kSnapshotVersion);
+  ASSERT_EQ(reader->frames().size(), 4u);
+
+  const Frame* cursor = reader->Find(FrameType::kCursor);
+  ASSERT_NE(cursor, nullptr);
+  Decoder dec(cursor->payload);
+  EXPECT_EQ(dec.GetU64().value(), 3u);
+
+  auto tables = reader->FindAll(FrameType::kGkTable);
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0]->payload, "first table");
+  EXPECT_EQ(tables[1]->payload, "second table");
+
+  EXPECT_EQ(reader->Find(FrameType::kExplain), nullptr);
+}
+
+TEST(SnapshotTest, EmptySnapshotIsValid) {
+  SnapshotWriter writer;
+  auto reader = SnapshotReader::Parse(writer.Serialize());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->frames().empty());
+}
+
+TEST(SnapshotTest, EveryTruncationPointIsDataLossOrVersionRefusal) {
+  // Chop the file at every byte boundary: nothing may parse except the
+  // full serialization — a torn tail can never half-succeed.
+  std::string bytes = MakeWriter().Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto reader = SnapshotReader::Parse(std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(reader.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss)
+        << "prefix of " << len << " bytes";
+  }
+  EXPECT_TRUE(SnapshotReader::Parse(bytes).ok());
+}
+
+TEST(SnapshotTest, EverySingleBitFlipIsRejected) {
+  // Flip one bit in each byte of the file: magic, version, frame
+  // headers, payloads, checksums, end frame — all damage must surface.
+  std::string bytes = MakeWriter().Serialize();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] ^= 0x10;
+    auto reader = SnapshotReader::Parse(corrupt);
+    ASSERT_FALSE(reader.ok()) << "flip at byte " << i << " parsed";
+    StatusCode code = reader.status().code();
+    // A flip inside the version word is a version refusal, everything
+    // else is corruption.
+    EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                code == StatusCode::kFailedPrecondition)
+        << "flip at byte " << i << ": " << reader.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, TrailingGarbageIsDataLoss) {
+  std::string bytes = MakeWriter().Serialize() + "extra";
+  auto reader = SnapshotReader::Parse(bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, MissingEndFrameIsTornWrite) {
+  // Serialize two writers and splice: a complete frame sequence without
+  // the end frame must be rejected even though every CRC checks out.
+  SnapshotWriter inner;
+  inner.AddFrame(FrameType::kCursor, "cursor");
+  std::string bytes = inner.Serialize();
+  SnapshotWriter empty;
+  size_t end_frame_size = empty.Serialize().size() - (8 + 4);
+  bytes.resize(bytes.size() - end_frame_size);
+  auto reader = SnapshotReader::Parse(bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(reader.status().message().find("end frame"), std::string::npos);
+}
+
+TEST(SnapshotTest, UnsupportedVersionIsFailedPrecondition) {
+  std::string bytes = MakeWriter().Serialize();
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);  // u32 LE low byte
+  auto reader = SnapshotReader::Parse(bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, WrongMagicIsDataLoss) {
+  std::string bytes = MakeWriter().Serialize();
+  bytes[0] = 'X';
+  auto reader = SnapshotReader::Parse(bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+}
+
+// --- Atomic IO -------------------------------------------------------------
+
+class PersistIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Instance().DisarmAll(); }
+  void TearDown() override { util::FaultInjector::Instance().DisarmAll(); }
+};
+
+TEST_F(PersistIoTest, AtomicWriteRoundTrips) {
+  std::string path = TempPath("atomic_roundtrip.bin");
+  std::string payload("binary\0payload", 14);
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  EXPECT_FALSE(PathExists(path + ".tmp")) << "tmp must be renamed away";
+  EXPECT_TRUE(RemoveFile(path));
+}
+
+TEST_F(PersistIoTest, AtomicWriteReplacesExistingContent) {
+  std::string path = TempPath("atomic_replace.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "new content").ok());
+  EXPECT_EQ(ReadAll(path), "new content");
+  RemoveFile(path);
+}
+
+TEST_F(PersistIoTest, ReadMissingFileIsNotFound) {
+  auto read = ReadFileToString(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistIoTest, InjectedWriteFaultLeavesDestinationUntouched) {
+  std::string path = TempPath("fault_write.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "committed").ok());
+  ScopedFault fault("persist.write");
+  auto status = AtomicWriteFile(path, "torn");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ReadAll(path), "committed") << "failed write must not tear";
+  RemoveFile(path);
+  RemoveFile(path + ".tmp");
+}
+
+TEST_F(PersistIoTest, InjectedFsyncFaultLeavesDestinationUntouched) {
+  std::string path = TempPath("fault_fsync.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "committed").ok());
+  ScopedFault fault("persist.fsync");
+  auto status = AtomicWriteFile(path, "torn");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ReadAll(path), "committed");
+  RemoveFile(path);
+  RemoveFile(path + ".tmp");
+}
+
+TEST_F(PersistIoTest, InjectedRenameFaultLeavesDestinationUntouched) {
+  std::string path = TempPath("fault_rename.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "committed").ok());
+  ScopedFault fault("persist.rename");
+  auto status = AtomicWriteFile(path, "torn");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ReadAll(path), "committed");
+  RemoveFile(path);
+  RemoveFile(path + ".tmp");
+}
+
+TEST_F(PersistIoTest, InjectedReadFaultIsDataLoss) {
+  std::string path = TempPath("fault_read.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "data").ok());
+  ScopedFault fault("persist.read");
+  auto read = ReadFileToString(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  RemoveFile(path);
+}
+
+TEST_F(PersistIoTest, StaleTmpFileIsOverwrittenByNextCommit) {
+  // A crash between write and rename leaves path.tmp behind; the next
+  // commit must ignore and replace it.
+  std::string path = TempPath("stale_tmp.bin");
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "stale garbage from a crashed writer";
+  }
+  ASSERT_TRUE(AtomicWriteFile(path, "fresh").ok());
+  EXPECT_EQ(ReadAll(path), "fresh");
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+  RemoveFile(path);
+}
+
+TEST_F(PersistIoTest, WriterWriteFileCommitsParseableSnapshot) {
+  std::string path = TempPath("writer_commit.snap");
+  ASSERT_TRUE(MakeWriter().WriteFile(path).ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  auto reader = SnapshotReader::Parse(*bytes);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->frames().size(), 4u);
+  RemoveFile(path);
+}
+
+}  // namespace
+}  // namespace sxnm::persist

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate bench JSON output against the documented schema.
 
-Checks the schema_version-6 files produced by the benches:
+Checks the schema_version-7 files produced by the benches:
 
   * ``micro_pipeline --json BENCH_pipeline.json`` (the checked-in
     ``BENCH_pipeline.json`` at the repo root),
@@ -39,7 +39,7 @@ violation on stderr). See docs/BENCHMARKS.md for the schema.
 import json
 import sys
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 # Counters the engine always registers (values may legitimately be 0).
 # Version 3 added the kernel fast-path counters: kg.od_pool_* (OD value
@@ -54,6 +54,10 @@ SCHEMA_VERSION = 6
 # family: kg.rows_done / sw.pairs_done / tc.edges_done counters, the
 # progress.phase / kg.rows_total / sw.pairs_planned_total /
 # cache.verdict_occupancy gauges, and the telemetry-overhead block.
+# Version 7 added the checkpoint/resume block: snapshot size and
+# write/load cost at two corpus scales, the every-pass checkpointing
+# overhead ceiling (5%), and the persist.* counters of a fault-injected
+# interrupt + resume.
 REQUIRED_COUNTERS = [
     "kg.rows",
     "kg.rows_done",
@@ -308,6 +312,7 @@ class Checker:
                        "fast paths / threading must not change detection")
         self.check_repeated_subtree(doc)
         self.check_telemetry_overhead(doc)
+        self.check_checkpoint(doc)
 
     def check_repeated_subtree(self, doc):
         """Validate the copy-paste-heavy A/B block (schema version 5).
@@ -418,6 +423,99 @@ class Checker:
             self.error(where,
                        "telemetry overhead must stay within 2% at the "
                        f"default interval, got {overhead:.2f}%")
+
+    def check_checkpoint(self, doc):
+        """Validate the checkpoint/resume block (schema version 7).
+
+        Three sub-blocks: `snapshots` records snapshot size and
+        write/load cost at two corpus scales; `overhead` proves
+        every-pass checkpointing costs at most 5% wall-clock over the
+        same run cold; `resume` proves a fault-interrupted run, resumed
+        from its durable snapshot, reproduces the cold run's output and
+        reports the persist.* counters.
+        """
+        block = self.require(doc, "checkpoint", (dict,), "top-level")
+        if block is None:
+            return
+        snapshots = self.require(block, "snapshots", (list,), "checkpoint")
+        if snapshots is not None:
+            if len(snapshots) < 2:
+                self.error("checkpoint.snapshots",
+                           "must record at least two corpus scales, got "
+                           f"{len(snapshots)}")
+            for i, snap in enumerate(snapshots):
+                where = f"checkpoint.snapshots[{i}]"
+                if not isinstance(snap, dict):
+                    self.error(where, "must be an object")
+                    continue
+                for key in ("clean_movies", "snapshot_bytes", "frames"):
+                    value = self.check_nonneg(snap, key, where)
+                    if value == 0:
+                        self.error(where, f"{key} must be positive")
+                for key in ("write_ms", "load_ms"):
+                    self.check_nonneg(snap, key, where, types=(int, float))
+
+        overhead_block = self.require(block, "overhead", (dict,),
+                                      "checkpoint")
+        if overhead_block is not None:
+            where = "checkpoint.overhead"
+            self.check_nonneg(overhead_block, "clean_movies", where)
+            repeats = self.check_nonneg(overhead_block, "repeats", where)
+            if repeats == 0:
+                self.error(where, "repeats must be positive")
+            off_s = self.check_nonneg(overhead_block, "checkpoint_off_s",
+                                      where, types=(int, float))
+            on_s = self.check_nonneg(overhead_block, "checkpoint_on_s",
+                                     where, types=(int, float))
+            overhead = self.require(overhead_block, "overhead_pct",
+                                    (int, float), where)
+            pairs_off = self.check_nonneg(overhead_block,
+                                          "duplicate_pairs_off", where)
+            pairs_on = self.check_nonneg(overhead_block,
+                                         "duplicate_pairs_on", where)
+            if None not in (pairs_off, pairs_on) and pairs_off != pairs_on:
+                self.error(where,
+                           "checkpointing must not change detection: "
+                           f"duplicate_pairs_off {pairs_off} != "
+                           f"duplicate_pairs_on {pairs_on}")
+            if None not in (off_s, on_s, overhead) and off_s > 0:
+                expected = (on_s - off_s) / off_s * 100.0
+                if abs(overhead - expected) > max(0.05,
+                                                  1e-3 * abs(expected)):
+                    self.error(where,
+                               f"'overhead_pct' inconsistent: {overhead} "
+                               f"!= ({on_s} - {off_s}) / {off_s} * 100")
+                if overhead > 5.0:
+                    self.error(where,
+                               "every-pass checkpointing overhead must "
+                               "stay within 5% of the cold run, got "
+                               f"{overhead:.2f}%")
+
+        resume = self.require(block, "resume", (dict,), "checkpoint")
+        if resume is not None:
+            where = "checkpoint.resume"
+            self.check_nonneg(resume, "clean_movies", where)
+            cold = self.check_nonneg(resume, "duplicate_pairs_cold", where)
+            resumed = self.check_nonneg(resume, "duplicate_pairs_resumed",
+                                        where)
+            if None not in (cold, resumed) and cold != resumed:
+                self.error(where,
+                           "resumed run must reproduce the cold run: "
+                           f"duplicate_pairs_cold {cold} != "
+                           f"duplicate_pairs_resumed {resumed}")
+            counters = self.require(resume, "counters", (dict,), where)
+            if counters is not None:
+                for name, floor in (("persist.resume_loads", 1),
+                                    ("persist.resume_levels_restored", 1),
+                                    ("persist.snapshot_writes", 1),
+                                    ("persist.snapshot_bytes_total", 1)):
+                    value = self.check_nonneg(counters, name,
+                                              f"{where}.counters")
+                    if value is not None and value < floor:
+                        self.error(f"{where}.counters",
+                                   f"{name} must be >= {floor} (the block "
+                                   "records a real fault-injected resume), "
+                                   f"got {value}")
 
     # --- fig5_scalability -------------------------------------------------
 
