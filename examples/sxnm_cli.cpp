@@ -3,11 +3,18 @@
 //   sxnm_cli <config.xml> <data.xml> [-o out.xml] [--fuse|--first|--richest]
 //            [--report [--gold]] [--advise] [--metrics-out metrics.prom]
 //            [--telemetry run.tlm.ndjsonl] [--telemetry-interval-ms N]
+//            [--shards N] [--memory-budget BYTES] [--spill-dir DIR]
 //
 // Loads an SXNM configuration (see examples/config_tool for the format),
 // runs detection over the data file, prints a per-candidate report
 // (instances, comparisons, clusters, phase timings) and optionally writes
 // the de-duplicated document.
+//
+// --shards / --memory-budget / --spill-dir override the config's
+// out-of-core attributes (docs/CONFIG.md): N key-range shards per
+// sliding-window pass and an external-sort memory budget (binary
+// suffixes k/m/g accepted) under which generated-key rows spill to DIR.
+// Detection output is bit-identical for every shard count and budget.
 
 #include <cstdio>
 #include <cstring>
@@ -36,9 +43,34 @@ int Usage(const char* argv0) {
                "       [--report [--gold]] [--advise] "
                "[--metrics-out metrics.prom]\n"
                "       [--telemetry run.tlm.ndjsonl] "
-               "[--telemetry-interval-ms N]\n",
+               "[--telemetry-interval-ms N]\n"
+               "       [--shards N] [--memory-budget BYTES] "
+               "[--spill-dir DIR]\n",
                argv0);
   return 2;
+}
+
+// "268435456", "64K", "256M", "4G" (binary multiples, case-insensitive)
+// -> bytes; -1 on malformed input. Mirrors the config's memory-budget
+// attribute grammar.
+long long ParseByteSizeArg(std::string_view text) {
+  unsigned long long multiplier = 1;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k': case 'K': multiplier = 1ull << 10; break;
+      case 'm': case 'M': multiplier = 1ull << 20; break;
+      case 'g': case 'G': multiplier = 1ull << 30; break;
+      default: break;
+    }
+    if (multiplier != 1) text.remove_suffix(1);
+  }
+  if (text.empty()) return -1;
+  unsigned long long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + static_cast<unsigned long long>(c - '0');
+  }
+  return static_cast<long long>(value * multiplier);
 }
 
 }  // namespace
@@ -55,6 +87,9 @@ int main(int argc, char** argv) {
   std::string metrics_out_path;
   std::string telemetry_path;
   double telemetry_interval_ms = 0.0;  // 0 = keep the config's value
+  long long shards = 0;                // 0 = keep the config's value
+  long long memory_budget = -1;        // -1 = keep the config's value
+  std::string spill_dir;
 
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
@@ -82,6 +117,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--telemetry-interval-ms: not a positive number\n");
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = sxnm::util::ParseNonNegativeInt(argv[++i]);
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards: not a positive integer\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 && i + 1 < argc) {
+      memory_budget = ParseByteSizeArg(argv[++i]);
+      if (memory_budget < 0) {
+        std::fprintf(stderr,
+                     "--memory-budget: not a byte size (try 256M, 4G)\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      spill_dir = argv[++i];
     } else {
       return Usage(argv[0]);
     }
@@ -105,6 +155,16 @@ int main(int argc, char** argv) {
   if (telemetry_interval_ms > 0.0) {
     loaded_config.mutable_observability().telemetry_interval_ms =
         telemetry_interval_ms;
+  }
+  if (shards > 0) {
+    loaded_config.set_shards(static_cast<size_t>(shards));
+  }
+  if (memory_budget >= 0) {
+    loaded_config.set_memory_budget_bytes(
+        static_cast<uint64_t>(memory_budget));
+  }
+  if (!spill_dir.empty()) {
+    loaded_config.set_spill_dir(spill_dir);
   }
 
   // Ingest under the configured <limits>: hard caps always apply; with

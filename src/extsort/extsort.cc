@@ -1,0 +1,200 @@
+#include "extsort/extsort.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "extsort/loser_tree.h"
+#include "extsort/run_file.h"
+#include "persist/io.h"
+#include "util/fault_injection.h"
+
+namespace sxnm::extsort {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Accounting charge per buffered record on top of its bytes: two
+// std::string headers, the seq, and vector slack. Keeps tiny-record
+// workloads from blowing past the budget on invisible overhead.
+constexpr uint64_t kRecordOverhead = 2 * sizeof(std::string) + 16;
+
+}  // namespace
+
+// Merges the spilled runs and the sorted resident tail. Views returned
+// from Next stay valid until the following Next call: only the winning
+// source is advanced, so every other source's block buffer is
+// untouched.
+class MergeStream final : public SortedStream {
+ public:
+  explicit MergeStream(ExternalSorter* sorter) : sorter_(sorter) {}
+
+  Status Init() {
+    size_t spilled = static_cast<size_t>(sorter_->spilled_runs_);
+    bool has_tail = !sorter_->buffer_.empty();
+    size_t k = spilled + (has_tail ? 1 : 0);
+    if (k == 0) {
+      done_ = true;
+      return Status::Ok();
+    }
+    readers_.resize(spilled);
+    current_.resize(k);
+    heads_.assign(k, MergeHead{});
+    for (size_t i = 0; i < spilled; ++i) {
+      Status s = readers_[i].Open(sorter_->RunPath(i));
+      if (!s.ok()) return s;
+      s = AdvanceSource(i);
+      if (!s.ok()) return s;
+    }
+    if (has_tail) {
+      Status s = AdvanceSource(spilled);
+      if (!s.ok()) return s;
+    }
+    tree_.emplace(&heads_);
+    return Status::Ok();
+  }
+
+  Result<bool> Next(SortedRecord* record) override {
+    if (done_) return false;
+    if (last_winner_ != LoserTree::kNone) {
+      Status s = AdvanceSource(last_winner_);
+      if (!s.ok()) return s;
+      tree_->Replay(last_winner_);
+    }
+    size_t w = tree_->winner();
+    if (w == LoserTree::kNone) {
+      done_ = true;
+      return false;
+    }
+    *record = current_[w];
+    last_winner_ = w;
+    return true;
+  }
+
+ private:
+  // Pulls the next record of `source` into current_/heads_.
+  Status AdvanceSource(size_t source) {
+    if (source < readers_.size()) {
+      RunRecord r;
+      Result<bool> more = readers_[source].Next(&r);
+      if (!more.ok()) return more.status();
+      if (*more) {
+        current_[source] = {r.key, r.seq, r.payload};
+        heads_[source] = {r.key, r.seq, false};
+      } else {
+        heads_[source].exhausted = true;
+      }
+      return Status::Ok();
+    }
+    const auto& buffer = sorter_->buffer_;
+    if (tail_pos_ < buffer.size()) {
+      const ExternalSorter::Buffered& b = buffer[tail_pos_++];
+      current_[source] = {b.key, b.seq, b.payload};
+      heads_[source] = {b.key, b.seq, false};
+    } else {
+      heads_[source].exhausted = true;
+    }
+    return Status::Ok();
+  }
+
+  ExternalSorter* sorter_;
+  std::vector<RunReader> readers_;
+  std::vector<SortedRecord> current_;
+  std::vector<MergeHead> heads_;
+  std::optional<LoserTree> tree_;
+  size_t tail_pos_ = 0;
+  size_t last_winner_ = LoserTree::kNone;
+  bool done_ = false;
+};
+
+ExternalSorter::ExternalSorter(ExtSortOptions options)
+    : options_(std::move(options)) {
+  if (options_.temp_dir.empty()) {
+    std::error_code ec;
+    auto tmp = std::filesystem::temp_directory_path(ec);
+    options_.temp_dir = ec ? "." : tmp.string();
+  }
+}
+
+ExternalSorter::~ExternalSorter() {
+  for (uint64_t i = 0; i < spilled_runs_; ++i) {
+    persist::RemoveFile(RunPath(i));
+  }
+}
+
+std::string ExternalSorter::RunPath(uint64_t run_index) const {
+  return options_.temp_dir + "/" + options_.name + "." +
+         std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(run_index) + ".run";
+}
+
+Status ExternalSorter::Add(std::string_view key, std::string_view payload) {
+  buffer_.push_back(
+      {std::string(key), next_seq_++, std::string(payload)});
+  buffered_bytes_ += key.size() + payload.size() + kRecordOverhead;
+  if (options_.memory_budget_bytes > 0 &&
+      buffered_bytes_ >= options_.memory_budget_bytes) {
+    return SpillRun();
+  }
+  return Status::Ok();
+}
+
+namespace {
+// Sort key: (key, insertion seq). Seq values are unique, so this is a
+// strict total order and the merge is deterministic for any budget.
+constexpr auto kRecordLess = [](const auto& a, const auto& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.seq < b.seq;
+};
+}  // namespace
+
+Status ExternalSorter::SpillRun() {
+  if (util::FaultInjector::Instance().ShouldFail(kSpillFaultSite)) {
+    return Status::ResourceExhausted(
+        "injected fault: external-sort spill (" + options_.name + ")");
+  }
+  std::sort(buffer_.begin(), buffer_.end(), kRecordLess);
+  std::vector<RunRecord> records;
+  records.reserve(buffer_.size());
+  for (const Buffered& b : buffer_) {
+    records.push_back({b.key, b.seq, b.payload});
+  }
+  uint64_t bytes = 0;
+  Status s = WriteRunFile(RunPath(spilled_runs_), records, &bytes);
+  if (!s.ok()) return s;
+  ++spilled_runs_;
+  stats_.spilled_runs = spilled_runs_;
+  stats_.spill_bytes += bytes;
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("ExternalSorter::Finish called twice");
+  }
+  finished_ = true;
+  std::sort(buffer_.begin(), buffer_.end(), kRecordLess);
+  stats_.rows = next_seq_;
+  stats_.runs = spilled_runs_ + (buffer_.empty() ? 0 : 1);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    m.counter("extsort.rows").Add(stats_.rows);
+    m.counter("extsort.runs").Add(stats_.runs);
+    m.counter("extsort.spilled_runs").Add(stats_.spilled_runs);
+    m.counter("extsort.spill_bytes").Add(stats_.spill_bytes);
+    m.counter("extsort.merge_fanin").Add(stats_.runs);
+  }
+  auto stream = std::make_unique<MergeStream>(this);
+  Status s = stream->Init();
+  if (!s.ok()) return s;
+  return std::unique_ptr<SortedStream>(std::move(stream));
+}
+
+}  // namespace sxnm::extsort

@@ -1,0 +1,127 @@
+// Budget-bounded external sorter for GK rows (or any (key, payload)
+// records).
+//
+// Records are buffered in memory until the buffer crosses the
+// configured budget, then sorted by (key, insertion seq) and spilled as
+// one run file (run_file.h). Finish() sorts the resident tail and
+// returns a stream that k-way merges every run with a loser tree
+// (loser_tree.h). Because seq is a globally unique insertion ordinal
+// and both the in-run sort and the merge order by (key, seq), the
+// merged sequence is the *stable* sort of the input by key — exactly
+// what std::stable_sort produces in the in-memory path — for any
+// budget, so detection output is bit-identical whether or not the sort
+// spilled.
+//
+// budget 0 means "unbounded": everything stays in one resident run and
+// nothing touches disk. The "extsort.spill" fault site fires at spill
+// time (chaos tests); spill files live under `temp_dir` and are
+// removed by the destructor.
+
+#ifndef SXNM_EXTSORT_EXTSORT_H_
+#define SXNM_EXTSORT_EXTSORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extsort/run_file.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace sxnm::extsort {
+
+/// Fault site armed by chaos tests to fail a spill write.
+inline constexpr std::string_view kSpillFaultSite = "extsort.spill";
+
+struct ExtSortOptions {
+  /// In-memory buffer bound in bytes (keys + payloads + per-record
+  /// overhead). 0 = never spill.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Directory for spill files. Empty = the process temp directory.
+  std::string temp_dir;
+
+  /// Spill file name prefix, e.g. "movie.pass2"; files become
+  /// "<temp_dir>/<name>.<pid>.<counter>.run". Keep it unique per
+  /// concurrent sorter.
+  std::string name = "extsort";
+
+  /// Optional: receives extsort.* counters (rows, runs, spilled_runs,
+  /// spill_bytes, merge_fanin). May be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Run-shape statistics of one sort. Excluded from determinism digests:
+/// they describe *how* the sort executed (budget-dependent), not what
+/// it produced.
+struct ExtSortStats {
+  uint64_t rows = 0;          // records added
+  uint64_t runs = 0;          // merge fan-in (spilled runs + resident tail)
+  uint64_t spilled_runs = 0;  // runs written to disk
+  uint64_t spill_bytes = 0;   // encoded bytes written to disk
+};
+
+/// Output record view; valid until the next Next() call on the stream.
+struct SortedRecord {
+  std::string_view key;
+  uint64_t seq = 0;
+  std::string_view payload;
+};
+
+/// Merge stream over all runs. Obtained from ExternalSorter::Finish();
+/// the sorter must outlive it.
+class SortedStream {
+ public:
+  virtual ~SortedStream() = default;
+
+  /// True with the next record in sorted order, false at a clean end.
+  /// Spill-file corruption surfaces as kDataLoss.
+  virtual util::Result<bool> Next(SortedRecord* record) = 0;
+};
+
+class ExternalSorter {
+ public:
+  explicit ExternalSorter(ExtSortOptions options);
+  ~ExternalSorter();  // removes remaining spill files
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Buffers one record; spills a sorted run when the buffer crosses
+  /// the budget. Spill failures (ENOSPC, injected faults) surface here.
+  util::Status Add(std::string_view key, std::string_view payload);
+
+  /// Sorts the resident tail and returns the merge stream. Call once,
+  /// after the last Add.
+  util::Result<std::unique_ptr<SortedStream>> Finish();
+
+  /// Valid after Finish (counters are also published to
+  /// options.metrics, when given).
+  const ExtSortStats& stats() const { return stats_; }
+
+ private:
+  friend class MergeStream;
+
+  struct Buffered {
+    std::string key;
+    uint64_t seq = 0;
+    std::string payload;
+  };
+
+  util::Status SpillRun();
+  std::string RunPath(uint64_t run_index) const;
+
+  ExtSortOptions options_;
+  std::vector<Buffered> buffer_;
+  uint64_t buffered_bytes_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t spilled_runs_ = 0;
+  bool finished_ = false;
+  ExtSortStats stats_;
+};
+
+}  // namespace sxnm::extsort
+
+#endif  // SXNM_EXTSORT_EXTSORT_H_

@@ -1,0 +1,96 @@
+// Classic loser-tree k-way merge for external sort.
+//
+// A tournament tree over k sources where each internal node remembers
+// the *loser* of its match and the overall winner sits at the root.
+// Replacing the winner re-plays exactly one root-to-leaf path, so each
+// of the N merged records costs ceil(log2 k) comparisons — the textbook
+// bound — versus the 2·log2 k of a binary heap's sift-down.
+//
+// Sources are compared by (key, seq). Seq values are unique across the
+// whole sort (global insertion ordinals), so the merge order is a total
+// order independent of how records were partitioned into runs — the
+// root of the external sorter's determinism guarantee.
+
+#ifndef SXNM_EXTSORT_LOSER_TREE_H_
+#define SXNM_EXTSORT_LOSER_TREE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sxnm::extsort {
+
+/// One merge input. `key`/`seq` mirror the current head record of the
+/// source; `exhausted` marks a drained source (compares greater than
+/// everything, so it sinks and stays out of the way).
+struct MergeHead {
+  std::string_view key;
+  uint64_t seq = 0;
+  bool exhausted = true;
+};
+
+/// Loser tree over an externally owned array of MergeHead slots. The
+/// caller advances the winning source, refreshes its slot, and calls
+/// Replay to restore the tree invariant.
+class LoserTree {
+ public:
+  /// Builds the tree over `heads` (size >= 1). The slots must already
+  /// describe each source's first record (or be exhausted).
+  explicit LoserTree(std::vector<MergeHead>* heads) : heads_(heads) {
+    size_t k = heads_->size();
+    tree_.assign(k, kNone);
+    // Seed by replaying every leaf; O(k log k) once, irrelevant next to
+    // the per-record cost.
+    winner_ = 0;
+    for (size_t i = 0; i < k; ++i) Replay(i);
+  }
+
+  /// Index of the source holding the smallest head, or kNone when every
+  /// source is exhausted.
+  size_t winner() const {
+    return (*heads_)[winner_].exhausted ? kNone : winner_;
+  }
+
+  /// Re-establishes the invariant after the caller refreshed the head
+  /// of `source` (the previous winner, typically).
+  void Replay(size_t source) {
+    size_t k = heads_->size();
+    if (k == 1) {
+      winner_ = 0;
+      return;
+    }
+    size_t candidate = source;
+    // Walk from the leaf's parent to the root, keeping the winner in
+    // `candidate` and the loser in the node.
+    for (size_t node = (source + k) / 2; node >= 1; node /= 2) {
+      size_t& held = tree_[node];
+      if (held != kNone && Less(held, candidate)) {
+        std::swap(held, candidate);
+      } else if (held == kNone) {
+        held = candidate;
+        return;  // first seeding pass: tree not full yet, no winner change
+      }
+    }
+    winner_ = candidate;
+  }
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+ private:
+  bool Less(size_t a, size_t b) const {
+    const MergeHead& ha = (*heads_)[a];
+    const MergeHead& hb = (*heads_)[b];
+    if (ha.exhausted != hb.exhausted) return !ha.exhausted;
+    if (ha.exhausted) return a < b;  // stable order among drained sources
+    if (ha.key != hb.key) return ha.key < hb.key;
+    return ha.seq < hb.seq;
+  }
+
+  std::vector<MergeHead>* heads_;
+  std::vector<size_t> tree_;  // tree_[i]: loser held at internal node i
+  size_t winner_ = 0;
+};
+
+}  // namespace sxnm::extsort
+
+#endif  // SXNM_EXTSORT_LOSER_TREE_H_

@@ -1,0 +1,178 @@
+#include "extsort/run_file.h"
+
+#include <utility>
+
+#include "persist/crc32.h"
+#include "persist/io.h"
+#include "persist/snapshot.h"
+
+namespace sxnm::extsort {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::DataLoss("corrupt spill run " + path + ": " + what);
+}
+
+// Header is fixed-width: magic + u32 version + u64 total records.
+constexpr size_t kHeaderBytes = 8 + 4 + 8;
+
+}  // namespace
+
+Status WriteRunFile(const std::string& path,
+                    const std::vector<RunRecord>& records,
+                    uint64_t* out_bytes) {
+  std::string file;
+  {
+    persist::Encoder header;
+    header.PutU32(kRunFormatVersion);
+    header.PutU64(records.size());
+    file.append(kRunMagic);
+    file.append(header.bytes());
+  }
+
+  size_t i = 0;
+  while (i < records.size()) {
+    // Pack records into one block until it crosses the target size; a
+    // single oversized record still becomes a (large) block of its own.
+    persist::Encoder block;
+    block.PutU64(0);  // record count, patched below
+    uint64_t in_block = 0;
+    while (i < records.size() &&
+           (in_block == 0 || block.bytes().size() < kRunBlockBytes)) {
+      const RunRecord& r = records[i];
+      block.PutString(r.key);
+      block.PutU64(r.seq);
+      block.PutString(r.payload);
+      ++in_block;
+      ++i;
+    }
+    std::string payload = block.TakeBytes();
+    {
+      persist::Encoder count;
+      count.PutU64(in_block);
+      payload.replace(0, 8, count.bytes());
+    }
+    persist::Encoder frame;
+    frame.PutU32(static_cast<uint32_t>(payload.size()));
+    file.append(frame.bytes());
+    uint32_t crc = persist::Crc32c(payload);
+    file.append(payload);
+    persist::Encoder tail;
+    tail.PutU32(crc);
+    file.append(tail.bytes());
+  }
+
+  if (out_bytes != nullptr) *out_bytes = file.size();
+  return persist::AtomicWriteFile(path, file);
+}
+
+Status RunReader::Open(const std::string& path) {
+  path_ = path;
+  in_.open(path, std::ios::binary);
+  if (!in_.is_open()) {
+    return Status::NotFound("spill run not found: " + path);
+  }
+  char header[kHeaderBytes];
+  in_.read(header, sizeof header);
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof header)) {
+    return Corrupt(path_, "truncated header");
+  }
+  if (std::string_view(header, 8) != kRunMagic) {
+    return Corrupt(path_, "bad magic");
+  }
+  persist::Decoder dec(std::string_view(header + 8, sizeof header - 8));
+  uint32_t version = 0;
+  if (auto v = dec.GetU32(); v.ok()) {
+    version = *v;
+  } else {
+    return Corrupt(path_, "truncated header");
+  }
+  if (version != kRunFormatVersion) {
+    return Corrupt(path_, "unknown format version");
+  }
+  if (auto t = dec.GetU64(); t.ok()) {
+    total_records_ = *t;
+  } else {
+    return Corrupt(path_, "truncated header");
+  }
+  return Status::Ok();
+}
+
+Status RunReader::ReadNextBlock() {
+  char len_bytes[4];
+  in_.read(len_bytes, sizeof len_bytes);
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof len_bytes)) {
+    return Corrupt(path_, "truncated block frame");
+  }
+  uint32_t payload_len = 0;
+  {
+    persist::Decoder dec(std::string_view(len_bytes, sizeof len_bytes));
+    auto v = dec.GetU32();
+    if (!v.ok()) return Corrupt(path_, "truncated block frame");
+    payload_len = *v;
+  }
+  if (payload_len < 8) return Corrupt(path_, "block shorter than its count");
+  block_.resize(payload_len);
+  in_.read(block_.data(), static_cast<std::streamsize>(payload_len));
+  if (in_.gcount() != static_cast<std::streamsize>(payload_len)) {
+    return Corrupt(path_, "truncated block payload");
+  }
+  char crc_bytes[4];
+  in_.read(crc_bytes, sizeof crc_bytes);
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof crc_bytes)) {
+    return Corrupt(path_, "truncated block checksum");
+  }
+  uint32_t stored_crc = 0;
+  {
+    persist::Decoder dec(std::string_view(crc_bytes, sizeof crc_bytes));
+    auto v = dec.GetU32();
+    if (!v.ok()) return Corrupt(path_, "truncated block checksum");
+    stored_crc = *v;
+  }
+  if (persist::Crc32c(block_) != stored_crc) {
+    return Corrupt(path_, "block checksum mismatch");
+  }
+  persist::Decoder dec(block_);
+  auto count = dec.GetU64();
+  if (!count.ok()) return Corrupt(path_, "truncated block count");
+  if (*count == 0 || *count > total_records_ - records_seen_) {
+    return Corrupt(path_, "block record count disagrees with header total");
+  }
+  block_remaining_ = *count;
+  block_pos_ = block_.size() - dec.remaining();
+  return Status::Ok();
+}
+
+Result<bool> RunReader::Next(RunRecord* record) {
+  if (block_remaining_ == 0) {
+    if (records_seen_ == total_records_) {
+      // Clean end: the file must hold nothing past the last block.
+      if (in_.peek() != std::ifstream::traits_type::eof()) {
+        return Corrupt(path_, "trailing bytes after final block");
+      }
+      return false;
+    }
+    Status s = ReadNextBlock();
+    if (!s.ok()) return s;
+  }
+  persist::Decoder dec(std::string_view(block_).substr(block_pos_));
+  auto key = dec.GetString();
+  if (!key.ok()) return Corrupt(path_, "truncated record key");
+  auto seq = dec.GetU64();
+  if (!seq.ok()) return Corrupt(path_, "truncated record seq");
+  auto payload = dec.GetString();
+  if (!payload.ok()) return Corrupt(path_, "truncated record payload");
+  record->key = *key;
+  record->seq = *seq;
+  record->payload = *payload;
+  block_pos_ = block_.size() - dec.remaining();
+  --block_remaining_;
+  ++records_seen_;
+  return true;
+}
+
+}  // namespace sxnm::extsort

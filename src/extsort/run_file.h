@@ -1,0 +1,91 @@
+// On-disk format for external-sort spill runs.
+//
+// A run is one sorted batch of (key, seq, payload) records that no
+// longer fits in the sorter's memory budget. Because a run is entirely
+// resident at the moment it spills, the writer serializes it in memory
+// and commits the file through persist::AtomicWriteFile — a run path
+// either holds a complete run or nothing, and the persist fault sites
+// ("persist.write", "persist.fsync", "persist.rename") cover spill
+// writes for free.
+//
+// Layout (all integers little-endian, via persist::Encoder):
+//
+//   header  := magic "SXNMERUN" | u32 version | u64 total_records
+//   block*  := u32 payload_len | payload | u32 crc32c(payload)
+//   payload := u64 record_count | record{record_count}
+//   record  := PutString(key) | u64 seq | PutString(payload)
+//
+// Blocks target kRunBlockBytes so the merge reader holds one decoded
+// block per run — merge memory is O(fan-in × block size), not O(run
+// size). Any mismatch — bad magic, unknown version, CRC failure, a
+// truncated block, or a record count that does not add up to the header
+// total — surfaces as kDataLoss, mirroring the snapshot layer.
+
+#ifndef SXNM_EXTSORT_RUN_FILE_H_
+#define SXNM_EXTSORT_RUN_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sxnm::extsort {
+
+inline constexpr std::string_view kRunMagic = "SXNMERUN";
+inline constexpr uint32_t kRunFormatVersion = 1;
+
+/// Target encoded-payload size of one block. Small enough that a wide
+/// merge stays cheap, large enough that framing overhead disappears.
+inline constexpr size_t kRunBlockBytes = 256 * 1024;
+
+/// One record of a run, viewing into the writer's buffers (writer side)
+/// or the reader's current block (reader side).
+struct RunRecord {
+  std::string_view key;
+  uint64_t seq = 0;  // global insertion ordinal; total-order tie-break
+  std::string_view payload;
+};
+
+/// Serializes `records` (already sorted by (key, seq)) and atomically
+/// commits them to `path`. ENOSPC maps to kResourceExhausted, other IO
+/// failures to kDataLoss (persist::AtomicWriteFile semantics).
+/// `out_bytes`, when non-null, receives the encoded file size.
+util::Status WriteRunFile(const std::string& path,
+                          const std::vector<RunRecord>& records,
+                          uint64_t* out_bytes = nullptr);
+
+/// Streaming reader: decodes one block at a time, so peak memory is one
+/// block regardless of run size.
+class RunReader {
+ public:
+  /// Opens `path` and validates the header. kNotFound when the file is
+  /// missing, kDataLoss on a bad magic/version or truncated header.
+  util::Status Open(const std::string& path);
+
+  /// Advances to the next record. Returns true with `*record` viewing
+  /// into the current block, false at a clean end of the run. Corrupt or
+  /// truncated blocks, and a record total that disagrees with the
+  /// header, fail with kDataLoss. The views stay valid until the next
+  /// Next() call.
+  util::Result<bool> Next(RunRecord* record);
+
+  uint64_t total_records() const { return total_records_; }
+
+ private:
+  util::Status ReadNextBlock();
+
+  std::string path_;
+  std::ifstream in_;
+  uint64_t total_records_ = 0;
+  uint64_t records_seen_ = 0;
+  std::string block_;           // current decoded payload
+  size_t block_pos_ = 0;        // decode cursor within block_
+  uint64_t block_remaining_ = 0;  // records left in the current block
+};
+
+}  // namespace sxnm::extsort
+
+#endif  // SXNM_EXTSORT_RUN_FILE_H_

@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +45,8 @@ const char* RunPhaseName(int phase) {
       return "transitive_closure";
     case RunPhase::kDone:
       return "done";
+    case RunPhase::kExternalSort:
+      return "external_sort";
   }
   return "unknown";
 }
@@ -73,7 +77,7 @@ void DeriveProgress(const MetricsSnapshot& snapshot, double t_ms,
     total = rows_total;
   }
   if (total <= 0.0) {
-    if (sample->phase >= static_cast<int>(RunPhase::kDone)) {
+    if (sample->phase == static_cast<int>(RunPhase::kDone)) {
       sample->fraction = 1.0;
       sample->eta_s = 0.0;
     }
@@ -81,7 +85,7 @@ void DeriveProgress(const MetricsSnapshot& snapshot, double t_ms,
   }
 
   sample->fraction = std::min(1.0, done / total);
-  if (sample->phase >= static_cast<int>(RunPhase::kDone)) {
+  if (sample->phase == static_cast<int>(RunPhase::kDone)) {
     sample->fraction = 1.0;
     sample->eta_s = 0.0;
     return;
@@ -171,6 +175,9 @@ util::Status TelemetrySampler::Start() {
     }
     out_ << "{\"type\": \"header\", \"version\": 1, \"interval_ms\": ";
     WriteJsonDouble(out_, options_.interval_ms);
+    // The producer pid lets a live follower (sxnm_top --follow) detect a
+    // producer that died without writing its final sample.
+    out_ << ", \"pid\": " << ::getpid();
     out_ << ", \"clock\": \"steady\", \"deterministic\": false}\n";
     out_.flush();
     if (!out_) {

@@ -44,6 +44,10 @@ enum class RunPhase : int {
   kSlidingWindow = 2,
   kTransitiveClosure = 3,
   kDone = 4,
+  // Out-of-core order stage: GK rows spilling through the external
+  // sorter before a level's window passes. Appended after kDone so
+  // existing recorded streams keep their phase numbering.
+  kExternalSort = 5,
 };
 
 /// Human-readable name for a `progress.phase` gauge value ("unknown"

@@ -142,8 +142,9 @@ Result<PassStats> DecodePassStats(Decoder& dec) {
 
 uint64_t ConfigFingerprint(const Config& config) {
   // Fingerprint the semantic configuration only: thread count,
-  // observability paths, and the checkpoint settings themselves never
-  // change detection output, so they must not block a resume.
+  // observability paths, the checkpoint settings themselves, and the
+  // out-of-core knobs (shards / memory-budget / spill-dir) never change
+  // detection output, so they must not block a resume.
   Config stripped;
   for (const CandidateConfig& c : config.candidates()) {
     (void)stripped.AddCandidate(c);
@@ -320,6 +321,38 @@ Result<EngineSnapshot::GkState> DecodeGkTable(std::string_view payload) {
   // SubtreePool contents are not serialized: after key generation the
   // engine only compares SubtreeRef ids, which live in the rows.
   return state;
+}
+
+// --- Spill rows (external sort) --------------------------------------------
+
+void EncodeSpillRow(const GkRow& row, const OdPool& pool, Encoder& enc) {
+  enc.PutU64(row.ordinal);
+  enc.PutI64(row.eid);
+  EncodeStringList(row.keys, enc);
+  EncodeStringList(row.ods, enc);
+  enc.PutU64(row.norm_ods.size());
+  for (const OdRef& ref : row.norm_ods) enc.PutString(pool.View(ref));
+  enc.PutU32(row.subtree.id);  // kInvalidId round-trips as invalid
+}
+
+Result<GkRow> DecodeSpillRow(std::string_view payload, OdPool* pool) {
+  Decoder dec(payload);
+  GkRow row;
+  ASSIGN_OR_RETURN(row.ordinal, dec.GetU64());
+  ASSIGN_OR_RETURN(row.eid, dec.GetI64());
+  ASSIGN_OR_RETURN(row.keys, DecodeStringList(dec));
+  ASSIGN_OR_RETURN(row.ods, DecodeStringList(dec));
+  uint64_t num_norm;
+  ASSIGN_OR_RETURN(num_norm, dec.GetCount(dec.remaining() / 8));
+  row.norm_ods.reserve(static_cast<size_t>(num_norm));
+  for (uint64_t i = 0; i < num_norm; ++i) {
+    std::string_view value;
+    ASSIGN_OR_RETURN(value, dec.GetString());
+    row.norm_ods.push_back(pool->Intern(value));
+  }
+  ASSIGN_OR_RETURN(row.subtree.id, dec.GetU32());
+  if (!dec.AtEnd()) return Corrupt("trailing bytes after spill row");
+  return row;
 }
 
 // --- Cluster set -----------------------------------------------------------

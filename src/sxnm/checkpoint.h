@@ -41,8 +41,10 @@ namespace sxnm::core {
 /// Identity of the configuration a snapshot belongs to. Deliberately
 /// EXCLUDES num_threads (resuming with a different thread count is
 /// allowed — the engine is thread-count deterministic), observability
-/// paths, and the checkpoint settings themselves; everything that shapes
-/// detection output is included.
+/// paths, the checkpoint settings themselves, and the out-of-core
+/// knobs (shards / memory-budget / spill-dir, which are
+/// output-identical by construction); everything that shapes detection
+/// output is included.
 uint64_t ConfigFingerprint(const Config& config);
 
 /// Identity of the data document: a structural hash over names,
@@ -187,6 +189,18 @@ void EncodeMetricsSnapshot(const obs::MetricsSnapshot& snapshot,
                            persist::Encoder& enc);
 util::Result<obs::MetricsSnapshot> DecodeMetricsSnapshot(
     std::string_view payload);
+
+/// One GK row serialized for an external-sort spill run. Unlike the
+/// GkTable codec, spill rows travel without their pool: normalized OD
+/// values are materialized inline and re-interned on decode, so a row
+/// is self-contained across the spill/merge round trip. Subtree ids are
+/// carried verbatim (the engine only ever compares them for equality).
+void EncodeSpillRow(const GkRow& row, const OdPool& pool,
+                    persist::Encoder& enc);
+
+/// Decodes a spill row, re-interning its normalized OD values into
+/// `pool`. Structural corruption surfaces as kDataLoss.
+util::Result<GkRow> DecodeSpillRow(std::string_view payload, OdPool* pool);
 
 /// Verdict-cache contents as exported by VerdictCache::Export. The
 /// detector's level-boundary snapshots never hold a live cache (caches

@@ -206,6 +206,9 @@ util::Status Config::Validate() const {
     return Status::InvalidArgument("configuration has no candidates");
   }
   SXNM_RETURN_IF_ERROR(limits_.Validate());
+  if (shards_ == 0) {
+    return Status::InvalidArgument("shards must be >= 1 (1 = unsharded)");
+  }
   if (!observability_.report_path.empty() && !observability_.metrics) {
     return Status::InvalidArgument(
         "observability: report path set but metrics are off (the report "

@@ -10,8 +10,10 @@
 #ifndef SXNM_SXNM_CONFIG_H_
 #define SXNM_SXNM_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sxnm/equational_theory.h"
@@ -311,6 +313,29 @@ class Config {
   size_t num_threads() const { return num_threads_; }
   void set_num_threads(size_t n) { num_threads_ = n; }
 
+  /// Key-range shards per sliding-window pass. Each shard owns a
+  /// contiguous range of entering positions of the sorted order
+  /// (shard_plan.h); merged clusters, counters, and explain output are
+  /// bit-identical for any shard count, so — like num_threads — this is
+  /// a run-shape knob, excluded from the checkpoint fingerprint.
+  /// 1 = unsharded (default).
+  size_t shards() const { return shards_; }
+  void set_shards(size_t n) { shards_ = n; }
+
+  /// In-memory budget (bytes) for each pass's sort of the GK relation.
+  /// 0 (default) keeps the historical fully-resident std::stable_sort;
+  /// > 0 routes pass sorts through the external sorter (src/extsort),
+  /// which spills budget-bounded sorted runs to disk and k-way merges
+  /// them. Output is bit-identical either way for any budget.
+  uint64_t memory_budget_bytes() const { return memory_budget_bytes_; }
+  void set_memory_budget_bytes(uint64_t b) { memory_budget_bytes_ = b; }
+
+  /// Directory for external-sort spill files; empty (default) = the
+  /// process temp directory. Only consulted when memory_budget_bytes
+  /// > 0.
+  const std::string& spill_dir() const { return spill_dir_; }
+  void set_spill_dir(std::string dir) { spill_dir_ = std::move(dir); }
+
   /// Observability switches (metrics registry, tracing, report files).
   const ObservabilityConfig& observability() const { return observability_; }
   ObservabilityConfig& mutable_observability() { return observability_; }
@@ -331,6 +356,9 @@ class Config {
  private:
   std::vector<CandidateConfig> candidates_;
   size_t num_threads_ = 1;
+  size_t shards_ = 1;
+  uint64_t memory_budget_bytes_ = 0;
+  std::string spill_dir_;
   ObservabilityConfig observability_;
   RunLimits limits_;
   CheckpointConfig checkpoint_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 
 #include "util/fault_injection.h"
@@ -322,6 +323,41 @@ Result<CandidateConfig> ParseCandidate(const Element& elem) {
   return builder.Build();
 }
 
+// Byte size with an optional binary-multiple suffix: "268435456",
+// "64K", "256M", "4G" (case-insensitive). Used by the memory-budget
+// attribute, whose values routinely exceed 32 bits.
+util::Result<uint64_t> ParseByteSize(std::string_view text) {
+  uint64_t multiplier = 1;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k': case 'K': multiplier = uint64_t{1} << 10; break;
+      case 'm': case 'M': multiplier = uint64_t{1} << 20; break;
+      case 'g': case 'G': multiplier = uint64_t{1} << 30; break;
+      default: break;
+    }
+    if (multiplier != 1) text.remove_suffix(1);
+  }
+  if (text.empty()) {
+    return Status::ParseError("bad memory-budget: missing number");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("bad memory-budget digit '" +
+                                std::string(1, c) + "'");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::ParseError("memory-budget overflows 64 bits");
+    }
+    value = value * 10 + digit;
+  }
+  if (multiplier != 1 && value > UINT64_MAX / multiplier) {
+    return Status::ParseError("memory-budget overflows 64 bits");
+  }
+  return value * multiplier;
+}
+
 }  // namespace
 
 util::Result<Config> ConfigFromXml(const xml::Document& doc) {
@@ -343,6 +379,22 @@ util::Result<Config> ConfigFromXml(const xml::Document& doc) {
                                 "' (0 = all hardware threads)");
     }
     config.set_num_threads(static_cast<size_t>(n));
+  }
+  if (const std::string* shards = doc.root()->FindAttribute("shards")) {
+    int n = util::ParseNonNegativeInt(util::TrimView(*shards));
+    if (n < 1) {
+      return Status::ParseError("bad shards '" + *shards +
+                                "' (must be a positive integer)");
+    }
+    config.set_shards(static_cast<size_t>(n));
+  }
+  if (const std::string* budget = doc.root()->FindAttribute("memory-budget")) {
+    auto bytes = ParseByteSize(util::TrimView(*budget));
+    if (!bytes.ok()) return bytes.status();
+    config.set_memory_budget_bytes(*bytes);
+  }
+  if (const std::string* dir = doc.root()->FindAttribute("spill-dir")) {
+    config.set_spill_dir(std::string(util::TrimView(*dir)));
   }
   if (const Element* obs = doc.root()->FirstChildElement("observability")) {
     auto parsed = ParseObservability(*obs);
@@ -383,6 +435,18 @@ xml::Document ConfigToXml(const Config& config) {
   auto root = std::make_unique<Element>("sxnm-config");
   if (config.num_threads() != 1) {
     root->SetAttribute("num-threads", std::to_string(config.num_threads()));
+  }
+  if (config.shards() != 1) {
+    root->SetAttribute("shards", std::to_string(config.shards()));
+  }
+  if (config.memory_budget_bytes() != 0) {
+    // Serialized as plain bytes: round-trips every value exactly,
+    // including ones that did not arrive with a K/M/G suffix.
+    root->SetAttribute("memory-budget",
+                       std::to_string(config.memory_budget_bytes()));
+  }
+  if (!config.spill_dir().empty()) {
+    root->SetAttribute("spill-dir", config.spill_dir());
   }
   const ObservabilityConfig& obs = config.observability();
   const ObservabilityConfig obs_defaults;

@@ -1,6 +1,8 @@
 #include "sxnm/detector.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -8,11 +10,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include "extsort/extsort.h"
 #include "obs/explain.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "persist/io.h"
+#include "persist/snapshot.h"
 #include "sxnm/checkpoint.h"
+#include "sxnm/shard_plan.h"
 #include "sxnm/similarity_measure.h"
 #include "sxnm/sliding_window.h"
 #include "sxnm/transitive_closure.h"
@@ -155,22 +160,43 @@ struct CandidateRun {
   // rather than per pair).
   bool batch_eligible = false;
 
-  // pass_hits[key_index]: the pass's windowed pairs with verdicts, in
-  // visit order. Written by exactly one pass task each.
-  std::vector<std::vector<PassHit>> pass_hits;
+  // pass_orders[key_index]: the pass's sorted order, computed once in
+  // the level's order stage (in-memory stable sort, or the external
+  // sorter when a memory budget is set — bit-identical either way) and
+  // read by every shard of the pass plus the explain emitter.
+  std::vector<std::vector<size_t>> pass_orders;
 
-  // pass_stats[key_index]: the pass's report row, written by the same
-  // single task. Collected unconditionally — a handful of integer
-  // increments next to an edit-distance DP — and only published to the
-  // registry / report when metrics are on.
+  // pass_hits[key_index][shard]: the shard's windowed pairs with
+  // verdicts, in visit order. Written by exactly one shard task each.
+  // Concatenating a pass's shard buffers in shard order reproduces the
+  // unsharded pass's visit order exactly (the shard_plan.h owner rule),
+  // which is what keeps the merge — and the explain byte stream —
+  // bit-identical for any shard count.
+  std::vector<std::vector<std::vector<PassHit>>> pass_hits;
+
+  // shard_stats[key_index][shard]: each shard task's tallies, reduced
+  // serially into pass_stats[key_index] (the pass's report row) after
+  // the level's shard tasks join. Collected unconditionally — a handful
+  // of integer increments next to an edit-distance DP — and only
+  // published to the registry / report when metrics are on.
+  std::vector<std::vector<PassStats>> shard_stats;
   std::vector<PassStats> pass_stats;
 
-  // Governance state, all indexed by key_index and single-writer like
-  // pass_hits: the governor's plan, the enumeration outcome (early stops
-  // under cooperative deadline/cancellation), and any injected fault.
+  // The run's shard slices: contiguous owned ranges of entering
+  // positions, shared by all of its passes (ownership is window-
+  // independent; the context accounting uses the candidate's widest
+  // window).
+  std::vector<ShardSlice> shard_plan;
+
+  // Governance state: the governor's plan and order-stage status per
+  // key_index; enumeration outcomes and statuses per (key_index, shard),
+  // single-writer like pass_hits, with shard_outcomes reduced into
+  // outcomes[key_index] after the level joins.
   std::vector<PassPlan> plans;
+  std::vector<std::vector<WindowRunResult>> shard_outcomes;
   std::vector<WindowRunResult> outcomes;
   std::vector<util::Status> pass_status;
+  std::vector<std::vector<util::Status>> shard_status;
 };
 
 // DE-SNM-style pre-pass (runs before the window passes so their workers
@@ -254,18 +280,117 @@ void BuildDagMemo(CandidateRun& run) {
   }
 }
 
-// One window pass: sorts the GK relation by the pass key and compares
-// every windowed pair, buffering (pair, verdict) locally. Pairs already
-// accepted by the exact-OD pre-pass are skipped, exactly as the serial
-// detector skips pairs in its `compared` set. A pair windowed by more
-// than one key pass is classified exactly once: the first pass to reach
-// it through the candidate's shared verdict cache owns the comparison,
-// every later pass reuses the published verdict (waiting briefly when
-// the owner is mid-computation on another worker). The verdict is a pure
-// function of the pair, so which pass wins the claim is invisible in the
-// output; without a cache each pass simply computes its own verdicts and
-// the deterministic merge drops the repeats.
-void RunWindowPass(CandidateRun& run, size_t key_index,
+// Worker-visible spill telemetry, reduced into the extsort gauges at
+// the level's serial quiescent point.
+struct ExtSortHighWater {
+  std::atomic<uint64_t> spill_bytes_peak{0};
+  std::atomic<uint64_t> merge_fanin_max{0};
+
+  void Update(const extsort::ExtSortStats& stats) {
+    auto raise = [](std::atomic<uint64_t>& slot, uint64_t value) {
+      uint64_t seen = slot.load(std::memory_order_relaxed);
+      while (seen < value &&
+             !slot.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+      }
+    };
+    raise(spill_bytes_peak, stats.spill_bytes);
+    raise(merge_fanin_max, stats.runs);
+  }
+};
+
+// The order stage of one pass: computes the sorted order every shard of
+// the pass (and the explain emitter) reads. With no memory budget this
+// is the GK table's resident stable sort; with one, rows are serialized
+// through the spill codec and routed through the external sorter, whose
+// (key, insertion-seq) merge reproduces the stable sort exactly — the
+// two paths yield the same permutation, so detection output is
+// bit-identical either way. Skipped passes still need an order when the
+// explain log is on (instance records carry per-pass sort ranks); they
+// take the resident path — governance skipped their *enumeration*, not
+// the relation. Failures (injected spill faults, ENOSPC, corrupt run
+// files) land in pass_status.
+void ComputePassOrder(CandidateRun& run, size_t key_index, bool explain_on,
+                      uint64_t sorter_budget, const std::string& spill_dir,
+                      obs::MetricsRegistry& metrics,
+                      ExtSortHighWater& high_water) {
+  const PassPlan& plan = run.plans[key_index];
+  if (!run.kg_ok) return;
+  if (plan.skip && !explain_on) return;
+  const GkTable& table = *run.table;
+  if (sorter_budget == 0 || plan.skip) {
+    run.pass_orders[key_index] = table.SortedOrder(key_index);
+    return;
+  }
+  extsort::ExtSortOptions options;
+  options.memory_budget_bytes = sorter_budget;
+  options.temp_dir = spill_dir;
+  options.name = "sxnm." + run.cand->name + ".pass" +
+                 std::to_string(key_index + 1);
+  options.metrics = metrics.enabled() ? &metrics : nullptr;
+  extsort::ExternalSorter sorter(options);
+  for (const GkRow& row : table.rows) {
+    persist::Encoder enc;
+    EncodeSpillRow(row, table.od_pool, enc);
+    Status s = sorter.Add(row.keys[key_index], enc.bytes());
+    if (!s.ok()) {
+      run.pass_status[key_index] = s;
+      return;
+    }
+  }
+  auto stream = sorter.Finish();
+  if (!stream.ok()) {
+    run.pass_status[key_index] = stream.status();
+    return;
+  }
+  std::vector<size_t>& order = run.pass_orders[key_index];
+  order.reserve(table.rows.size());
+  // Full decode rather than peeking the ordinal: the round trip
+  // validates every spilled byte (CRC already guards the frames; this
+  // guards the codec), and the scratch pool is bounded by the pass's
+  // distinct OD values.
+  OdPool scratch_pool;
+  extsort::SortedRecord record;
+  while (true) {
+    auto more = (*stream)->Next(&record);
+    if (!more.ok()) {
+      run.pass_status[key_index] = more.status();
+      return;
+    }
+    if (!*more) break;
+    auto row = DecodeSpillRow(record.payload, &scratch_pool);
+    if (!row.ok()) {
+      run.pass_status[key_index] = row.status();
+      return;
+    }
+    order.push_back(static_cast<size_t>(row->ordinal));
+  }
+  if (order.size() != table.rows.size()) {
+    run.pass_status[key_index] = Status::DataLoss(
+        "external sort of candidate '" + run.cand->name + "' pass " +
+        std::to_string(key_index + 1) + " returned " +
+        std::to_string(order.size()) + " of " +
+        std::to_string(table.rows.size()) + " rows");
+    return;
+  }
+  high_water.Update(sorter.stats());
+}
+
+// One shard of one window pass: enumerates the windowed pairs whose
+// entering position falls in the shard's owned range and compares them,
+// buffering (pair, verdict) locally. Pairs already accepted by the
+// exact-OD pre-pass are skipped, exactly as the serial detector skips
+// pairs in its `compared` set. A pair windowed by more than one key
+// pass is classified exactly once: the first pass to reach it through
+// the candidate's shared verdict cache owns the comparison, every later
+// pass reuses the published verdict (waiting briefly when the owner is
+// mid-computation on another worker). The verdict is a pure function of
+// the pair, so which pass wins the claim is invisible in the output;
+// without a cache each pass simply computes its own verdicts and the
+// deterministic merge drops the repeats. Within one pass no pair spans
+// two shards (each pair belongs to its entering position's owner), so
+// shards of a pass never contend on a pair either.
+void RunWindowPass(CandidateRun& run, size_t key_index, size_t shard,
                    const util::CancellationToken& token,
                    const util::Deadline& deadline, bool interruptible,
                    bool record_distance, obs::MetricsRegistry& metrics,
@@ -273,28 +398,32 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   const PassPlan& plan = run.plans[key_index];
   if (plan.skip) return;
   if (util::FaultInjector::Instance().ShouldFail("detector.pass")) {
-    run.pass_status[key_index] = Status::Internal(
+    run.shard_status[key_index][shard] = Status::Internal(
         "injected fault: window pass " + std::to_string(key_index + 1) +
         " of candidate '" + run.cand->name + "' failed");
     return;
   }
   if (interruptible && (token.cancelled() || deadline.expired())) {
-    // Shed before even sorting: the pass contributes nothing, which the
+    // Shed before enumerating: the shard contributes nothing, which the
     // degradation accounting reads off pairs_windowed == 0.
-    run.outcomes[key_index].stopped_early = true;
+    run.shard_outcomes[key_index][shard].stopped_early = true;
     return;
   }
-  obs::Tracer::Span span = tracer.StartSpan(run.cand->name + "/pass" +
-                                            std::to_string(key_index + 1));
+  const ShardSlice& slice = run.shard_plan[shard];
+  obs::Tracer::Span span = tracer.StartSpan(
+      run.cand->name + "/pass" + std::to_string(key_index + 1) +
+      (run.shard_plan.size() > 1 ? "/shard" + std::to_string(shard)
+                                 : std::string()));
   util::Stopwatch watch;
   const GkTable& table = *run.table;
-  std::vector<size_t> order = table.SortedOrder(key_index);
-  std::vector<PassHit>& hits = run.pass_hits[key_index];
+  const std::vector<size_t>& order = run.pass_orders[key_index];
+  std::vector<PassHit>& hits = run.pass_hits[key_index][shard];
   // Every windowed pair lands in `hits` (adaptive extensions can add
   // more); reserving the fixed-window count up front keeps the hot loop
   // free of growth reallocations.
-  hits.reserve(WindowPairCount(order.size(), plan.window));
-  PassStats& stats = run.pass_stats[key_index];
+  hits.reserve(WindowPairCountRange(order.size(), plan.window,
+                                    slice.owned_begin, slice.owned_end));
+  PassStats& stats = run.shard_stats[key_index][shard];
   VerdictCache* cache = run.verdict_cache.get();
   // Window distances for the explain log come from the inverse rank
   // array, built only when explain is on — the classification hot path
@@ -341,16 +470,16 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
   const bool use_batch = run.batch_eligible;
   constexpr size_t kBatchSize = 512;
   std::vector<OrdinalPair> pending;
-  std::vector<uint32_t> pending_distance;
+  std::vector<size_t> pending_slot;  // index into `hits` per pending pair
   BatchFilterScratch scratch;
   if (use_batch) {
     pending.reserve(kBatchSize);
-    pending_distance.reserve(kBatchSize);
+    pending_slot.reserve(kBatchSize);
   }
 
   // The ordinary classification of one pair: cross-pass verdict cache,
   // then the similarity kernel.
-  auto classify = [&](OrdinalPair pair, uint32_t distance) {
+  auto classify_value = [&](OrdinalPair pair) -> bool {
     uint64_t packed = PackPair(pair);
     VerdictCache::Lookup lookup;
     if (cache != nullptr) lookup = cache->AcquireOrWait(packed);
@@ -380,9 +509,14 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
     }
     ++stats.comparisons;
     if (is_duplicate) ++stats.hits;
-    hits.push_back({packed, distance, is_duplicate, HitSource::kKernel});
+    return is_duplicate;
   };
 
+  // Resolves the gathered pairs against their placeholder slots. The
+  // slot was claimed at visit time, so `hits` stays in pure visit order
+  // no matter where the flush boundaries fall — a shard (or an early
+  // stop) that cuts a batch short produces the same per-pair records as
+  // one that doesn't, which the cross-shard explain identity relies on.
   auto flush = [&]() {
     if (pending.empty()) return;
     run.measure->BatchFilter(table.rows, pending.data(), pending.size(),
@@ -396,20 +530,21 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
       }
     }
     for (size_t i = 0; i < pending.size(); ++i) {
+      PassHit& slot = hits[pending_slot[i]];
       if (scratch.reject[i] != 0) {
         // Provably below threshold: the verdict is false without running
         // the kernel. Still a pair classification, so the closure
         // pairs_windowed == comparisons + prepass_skips keeps holding.
         ++stats.batch_rejects;
         ++stats.comparisons;
-        hits.push_back({PackPair(pending[i]), pending_distance[i], false,
-                        HitSource::kFilter});
+        slot.is_duplicate = false;
+        slot.source = HitSource::kFilter;
       } else {
-        classify(pending[i], pending_distance[i]);
+        slot.is_duplicate = classify_value(pending[i]);
       }
     }
     pending.clear();
-    pending_distance.clear();
+    pending_slot.clear();
   };
 
   auto visit = [&](size_t a, size_t b) {
@@ -447,36 +582,49 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
       }
     }
     if (use_batch) {
+      // Placeholder in visit order; the flush fills the verdict (and
+      // retags filter rejects) in place.
       pending.push_back(pair);
-      pending_distance.push_back(distance);
+      pending_slot.push_back(hits.size());
+      hits.push_back({PackPair(pair), distance, false, HitSource::kKernel});
       if (pending.size() >= kBatchSize) flush();
       return;
     }
-    classify(pair, distance);
+    hits.push_back(
+        {PackPair(pair), distance, classify_value(pair), HitSource::kKernel});
   };
   // A shrunk boundary pass always runs the plain fixed window: adaptive
-  // extension would overrun the budget it was shrunk to fit.
+  // extension would overrun the budget it was shrunk to fit. Only the
+  // shard's owned entering positions are enumerated; the backward scan
+  // reads context rows across the left edge freely (all rows are
+  // resident), so concatenating the shard streams in shard order
+  // reproduces the unsharded enumeration pair for pair.
+  WindowRunResult& outcome = run.shard_outcomes[key_index][shard];
   if (run.cand->window_policy == WindowPolicy::kAdaptivePrefix &&
       !plan.shrunk) {
     auto key_of = [&](size_t ordinal) -> const std::string& {
       return table.rows[ordinal].keys[key_index];
     };
     if (interruptible) {
-      run.outcomes[key_index] = ForEachAdaptiveWindowPairInterruptible(
+      outcome = ForEachAdaptiveWindowPairRangeInterruptible(
           order, key_of, plan.window, run.cand->max_window,
-          run.cand->adaptive_prefix_len, token, deadline, visit);
-      stats.pairs_windowed = run.outcomes[key_index].pairs_visited;
+          run.cand->adaptive_prefix_len, slice.owned_begin, slice.owned_end,
+          token, deadline, visit);
+      stats.pairs_windowed = outcome.pairs_visited;
     } else {
-      stats.pairs_windowed = ForEachAdaptiveWindowPair(
+      stats.pairs_windowed = ForEachAdaptiveWindowPairRange(
           order, key_of, plan.window, run.cand->max_window,
-          run.cand->adaptive_prefix_len, visit);
+          run.cand->adaptive_prefix_len, slice.owned_begin, slice.owned_end,
+          visit);
     }
   } else if (interruptible) {
-    run.outcomes[key_index] = ForEachWindowPairInterruptible(
-        order, plan.window, token, deadline, visit);
-    stats.pairs_windowed = run.outcomes[key_index].pairs_visited;
+    outcome = ForEachWindowPairRangeInterruptible(
+        order, plan.window, slice.owned_begin, slice.owned_end, token,
+        deadline, visit);
+    stats.pairs_windowed = outcome.pairs_visited;
   } else {
-    stats.pairs_windowed = ForEachWindowPair(order, plan.window, visit);
+    stats.pairs_windowed = ForEachWindowPairRange(
+        order, plan.window, slice.owned_begin, slice.owned_end, visit);
   }
   // Pairs still gathered when the enumeration stopped (end of pass or a
   // cooperative early stop) were counted into pairs_windowed, so they
@@ -509,6 +657,34 @@ void RunWindowPass(CandidateRun& run, size_t key_index,
                    ", \"hits\": " + std::to_string(stats.hits) + "}");
 }
 
+// Folds one shard's pass stats into the pass total. Counting fields sum
+// (every windowed pair belongs to exactly one shard); wall_seconds sums
+// too, so the report row reads as the pass's total worker time, and the
+// per-shard wall distribution stays visible in sw.pass_seconds.
+void AccumulateShardStats(PassStats& total, const PassStats& part) {
+  total.pairs_windowed += part.pairs_windowed;
+  total.prepass_skips += part.prepass_skips;
+  total.comparisons += part.comparisons;
+  total.hits += part.hits;
+  total.ed_bailouts += part.ed_bailouts;
+  total.desc_invocations += part.desc_invocations;
+  total.desc_short_circuits += part.desc_short_circuits;
+  total.verdict_cache_hits += part.verdict_cache_hits;
+  total.dag_equal += part.dag_equal;
+  total.batch_rejects += part.batch_rejects;
+  total.interned_equal += part.interned_equal;
+  total.myers_words += part.myers_words;
+  total.wall_seconds += part.wall_seconds;
+  if (!part.sim_buckets.empty()) {
+    if (total.sim_buckets.empty()) {
+      total.sim_buckets.assign(part.sim_buckets.size(), 0);
+    }
+    for (size_t i = 0; i < part.sim_buckets.size(); ++i) {
+      total.sim_buckets[i] += part.sim_buckets[i];
+    }
+  }
+}
+
 // Explain-log emission for one candidate, from the serial merge point:
 // the candidate header, one instance record per GK row (keys + per-pass
 // sort ranks), one pair record per prepass accept, and one pair record
@@ -533,7 +709,10 @@ void EmitCandidateExplain(const CandidateRun& run, int depth,
   size_t num_keys = run.cand->keys.size();
   std::vector<std::vector<size_t>> rank_of(num_keys);
   for (size_t k = 0; k < num_keys; ++k) {
-    std::vector<size_t> order = table.SortedOrder(k);
+    // The order stage computed every pass's order (skipped passes
+    // included — their enumeration was shed, not their relation), so the
+    // ranks here are the same permutations the passes enumerated.
+    const std::vector<size_t>& order = run.pass_orders[k];
     rank_of[k].resize(order.size());
     for (size_t i = 0; i < order.size(); ++i) rank_of[k][order[i]] = i;
   }
@@ -567,7 +746,9 @@ void MergePasses(CandidateRun& run, CandidateResult& result, int depth,
   util::FlatU64Set seen = run.prepass_pairs;
   std::vector<OrdinalPair> accepted = run.prepass_accepted;
   size_t total_hits = 0;
-  for (const auto& hits : run.pass_hits) total_hits += hits.size();
+  for (const auto& shards : run.pass_hits) {
+    for (const auto& hits : shards) total_hits += hits.size();
+  }
   seen.Reserve(seen.size() + total_hits);
 
   // Canonical provenance: with a verdict cache, the first merge-order
@@ -582,46 +763,50 @@ void MergePasses(CandidateRun& run, CandidateResult& result, int depth,
   // mid-merge and prefetched slots stay valid.
   constexpr size_t kMergeLookahead = 16;
   for (size_t k = 0; k < run.pass_hits.size(); ++k) {
-    const std::vector<PassHit>& pass = run.pass_hits[k];
-    for (size_t idx = 0; idx < pass.size(); ++idx) {
-      if (idx + kMergeLookahead < pass.size()) {
-        seen.PrefetchKey(pass[idx + kMergeLookahead].packed);
-      }
-      const PassHit& hit = pass[idx];
-      uint64_t packed = hit.packed;
-      if (explain.enabled()) {
-        auto [a, b] = hit.pair();
-        // Dag and filter hits keep their tag on every occurrence: those
-        // paths bypass the verdict cache (each pass replays the memo /
-        // re-screens deterministically), so there is no owned kernel
-        // record to reconcile against. Kernel hits canonicalize as
-        // before: first merge-order occurrence owned, repeats cached.
-        obs::PairProvenance provenance = obs::PairProvenance::kOwned;
-        if (hit.source == HitSource::kDag) {
-          provenance = obs::PairProvenance::kDagEqual;
-        } else if (hit.source == HitSource::kFilter) {
-          provenance = obs::PairProvenance::kBatchFilter;
-        } else if (has_cache && !first_seen.Insert(packed)) {
-          provenance = obs::PairProvenance::kVerdictCache;
+    // Shards in shard order concatenate to the pass's unsharded hit
+    // stream (the owner rule), so the replay below never knows whether
+    // the pass ran in one piece or many.
+    for (const std::vector<PassHit>& pass : run.pass_hits[k]) {
+      for (size_t idx = 0; idx < pass.size(); ++idx) {
+        if (idx + kMergeLookahead < pass.size()) {
+          seen.PrefetchKey(pass[idx + kMergeLookahead].packed);
         }
-        if (provenance == obs::PairProvenance::kOwned) {
-          obs::PairExplain detail =
-              run.measure->Explain(run.table->rows[a], run.table->rows[b]);
-          explain.AppendPair(run.cand->name, static_cast<int>(k), a, b,
-                             static_cast<size_t>(eids[a]),
-                             static_cast<size_t>(eids[b]), hit.distance,
-                             provenance, &detail, hit.is_duplicate);
-        } else {
-          explain.AppendPair(run.cand->name, static_cast<int>(k), a, b,
-                             static_cast<size_t>(eids[a]),
-                             static_cast<size_t>(eids[b]), hit.distance,
-                             provenance, /*detail=*/nullptr,
-                             hit.is_duplicate);
+        const PassHit& hit = pass[idx];
+        uint64_t packed = hit.packed;
+        if (explain.enabled()) {
+          auto [a, b] = hit.pair();
+          // Dag and filter hits keep their tag on every occurrence: those
+          // paths bypass the verdict cache (each pass replays the memo /
+          // re-screens deterministically), so there is no owned kernel
+          // record to reconcile against. Kernel hits canonicalize as
+          // before: first merge-order occurrence owned, repeats cached.
+          obs::PairProvenance provenance = obs::PairProvenance::kOwned;
+          if (hit.source == HitSource::kDag) {
+            provenance = obs::PairProvenance::kDagEqual;
+          } else if (hit.source == HitSource::kFilter) {
+            provenance = obs::PairProvenance::kBatchFilter;
+          } else if (has_cache && !first_seen.Insert(packed)) {
+            provenance = obs::PairProvenance::kVerdictCache;
+          }
+          if (provenance == obs::PairProvenance::kOwned) {
+            obs::PairExplain detail =
+                run.measure->Explain(run.table->rows[a], run.table->rows[b]);
+            explain.AppendPair(run.cand->name, static_cast<int>(k), a, b,
+                               static_cast<size_t>(eids[a]),
+                               static_cast<size_t>(eids[b]), hit.distance,
+                               provenance, &detail, hit.is_duplicate);
+          } else {
+            explain.AppendPair(run.cand->name, static_cast<int>(k), a, b,
+                               static_cast<size_t>(eids[a]),
+                               static_cast<size_t>(eids[b]), hit.distance,
+                               provenance, /*detail=*/nullptr,
+                               hit.is_duplicate);
+          }
         }
+        if (!seen.Insert(packed)) continue;
+        ++result.comparisons;
+        if (hit.is_duplicate) accepted.push_back(hit.pair());
       }
-      if (!seen.Insert(packed)) continue;
-      ++result.comparisons;
-      if (hit.is_duplicate) accepted.push_back(hit.pair());
     }
   }
   std::sort(accepted.begin(), accepted.end());
@@ -883,6 +1068,14 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   size_t verdict_occupied_total = 0;
   size_t verdict_capacity_total = 0;
 
+  // Out-of-core knobs, fixed for the run. The budget is split evenly
+  // across the level's pass tasks (not its threads — the split, and so
+  // every extsort.* counter, must not depend on the thread count), with
+  // half held back for the merge readers and the decode scratch.
+  const size_t num_shards = config_.shards();
+  const uint64_t memory_budget = config_.memory_budget_bytes();
+  ExtSortHighWater extsort_high_water;
+
   uint64_t levels_restored = 0;
   if (resumed) {
     // Governor state continues from the cut so the resumed planner sheds
@@ -1012,13 +1205,28 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
       // generation was shed has an empty table but still owes one
       // (skipped) degradation entry per configured pass.
       size_t num_keys = run.cand->keys.size();
-      run.pass_hits.resize(num_keys);
+      size_t n_inst = run.instances->NumInstances();
+      // The shard plan partitions entering positions by the candidate's
+      // maximum reach (adaptive passes can extend any window up to
+      // max_window); context_begin is accounting only — rows are
+      // resident, so a shard reads across its left edge freely.
+      size_t reach =
+          run.cand->window_policy == WindowPolicy::kAdaptivePrefix
+              ? std::max(run.cand->max_window, run.cand->window_size)
+              : run.cand->window_size;
+      run.shard_plan = ComputeShardPlan(n_inst, num_shards, reach);
+      run.pass_orders.resize(num_keys);
+      run.pass_hits.assign(num_keys,
+                           std::vector<std::vector<PassHit>>(num_shards));
+      run.shard_stats.assign(num_keys, std::vector<PassStats>(num_shards));
       run.pass_stats.resize(num_keys);
       run.plans.resize(num_keys);
+      run.shard_outcomes.assign(num_keys,
+                                std::vector<WindowRunResult>(num_shards));
       run.outcomes.resize(num_keys);
       run.pass_status.resize(num_keys);
-
-      size_t n_inst = run.instances->NumInstances();
+      run.shard_status.assign(num_keys,
+                              std::vector<util::Status>(num_shards));
       for (size_t k = 0; k < num_keys; ++k) {
         PassPlan& plan = run.plans[k];
         plan.planned = WindowPairCount(n_inst, run.cand->window_size);
@@ -1070,19 +1278,105 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
       }
     }
 
-    // Multi-pass sorted window (SW): all passes of the level in parallel.
+    // Order stage: every pass's sorted order, in parallel. With a memory
+    // budget this is where rows spill and merge back; either way the
+    // orders are fixed before any shard enumerates, so all shards of a
+    // pass read one shared permutation.
+    //
+    // The budget is the envelope for the whole process — the resident
+    // document, GK tables, and cluster state take most of it — so the
+    // spill buffers get a 1/16 slice, split across the level's
+    // concurrent sorters. Dividing by pass count (never thread count)
+    // keeps the extsort.* counters machine-independent.
+    const uint64_t sorter_budget =
+        memory_budget == 0
+            ? 0
+            : std::max<uint64_t>(
+                  memory_budget /
+                      (16 * std::max<size_t>(pass_tasks.size(), 1)),
+                  1);
+    if (metrics.enabled() && memory_budget > 0) {
+      set_phase(obs::RunPhase::kExternalSort);
+    }
     util::ParallelFor(pass_tasks.size(), num_threads, [&](size_t i) {
       auto [r, key_index] = pass_tasks[i];
-      RunWindowPass(runs[r], key_index, token, deadline, interruptible,
-                    explain.enabled(), metrics, tracer);
+      ComputePassOrder(runs[r], key_index, explain.enabled(), sorter_budget,
+                       config_.spill_dir(), metrics, extsort_high_water);
     });
     for (const CandidateRun& run : runs) {
       for (const util::Status& status : run.pass_status) {
         SXNM_RETURN_IF_ERROR(status);
       }
     }
+    if (metrics.enabled() && memory_budget > 0) {
+      set_phase(obs::RunPhase::kSlidingWindow);
+      metrics.gauge("extsort.spill_bytes_peak")
+          .Set(static_cast<double>(
+              extsort_high_water.spill_bytes_peak.load()));
+      metrics.gauge("extsort.merge_fanin_max")
+          .Set(static_cast<double>(
+              extsort_high_water.merge_fanin_max.load()));
+    }
+
+    // Multi-pass sorted window (SW): every (pass, shard) of the level in
+    // parallel. Each task owns a disjoint range of entering positions,
+    // writes only its own buffers, and shares the pass order read-only.
+    std::vector<std::array<size_t, 3>> shard_tasks;  // (run, key, shard)
+    shard_tasks.reserve(pass_tasks.size() * num_shards);
+    for (auto [r, key_index] : pass_tasks) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        shard_tasks.push_back({r, key_index, s});
+      }
+    }
+    util::ParallelFor(shard_tasks.size(), num_threads, [&](size_t i) {
+      auto [r, key_index, s] = shard_tasks[i];
+      RunWindowPass(runs[r], key_index, s, token, deadline, interruptible,
+                    explain.enabled(), metrics, tracer);
+    });
+    for (const CandidateRun& run : runs) {
+      for (const auto& per_key : run.shard_status) {
+        for (const util::Status& status : per_key) {
+          SXNM_RETURN_IF_ERROR(status);
+        }
+      }
+    }
     if (token.cancelled()) cancelled = true;
     if (deadline.expired()) wall_expired = true;
+
+    // Reduce the per-shard stats and outcomes to the per-pass values the
+    // merge, report rows, and degradation accounting read. Serial
+    // quiescent point, so plain sums.
+    for (CandidateRun& run : runs) {
+      for (size_t k = 0; k < run.plans.size(); ++k) {
+        for (const PassStats& part : run.shard_stats[k]) {
+          AccumulateShardStats(run.pass_stats[k], part);
+        }
+        for (const WindowRunResult& part : run.shard_outcomes[k]) {
+          run.outcomes[k].pairs_visited += part.pairs_visited;
+          run.outcomes[k].stopped_early |= part.stopped_early;
+        }
+      }
+    }
+    if (metrics.enabled() && num_shards > 1) {
+      // Run-shape telemetry, published only when sharding is actually
+      // on: a shards=1 run's metric snapshot stays byte-identical to the
+      // unsharded engine's. Excluded from determinism digests like the
+      // persist.* family.
+      metrics.gauge("shard.count").Set(static_cast<double>(num_shards));
+      metrics.counter("shard.tasks").Add(shard_tasks.size());
+      size_t sharded_passes = 0;
+      size_t overlap_rows = 0;
+      for (const CandidateRun& run : runs) {
+        size_t per_pass_overlap = ShardOverlapRows(run.shard_plan);
+        for (const PassPlan& plan : run.plans) {
+          if (plan.skip) continue;
+          ++sharded_passes;
+          overlap_rows += per_pass_overlap;
+        }
+      }
+      metrics.counter("shard.passes").Add(sharded_passes);
+      metrics.counter("shard.overlap_rows").Add(overlap_rows);
+    }
 
     // Deterministic merge + transitive closure (TC), serially in
     // processing order.

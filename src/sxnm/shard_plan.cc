@@ -1,0 +1,35 @@
+#include "sxnm/shard_plan.h"
+
+namespace sxnm::core {
+
+std::vector<ShardSlice> ComputeShardPlan(size_t n, size_t shards,
+                                         size_t window) {
+  if (shards == 0) shards = 1;
+  size_t overlap = window > 0 ? window - 1 : 0;
+  std::vector<ShardSlice> plan;
+  plan.reserve(shards);
+  size_t base = n / shards;
+  size_t remainder = n % shards;
+  size_t begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t size = base + (s < remainder ? 1 : 0);
+    ShardSlice slice;
+    slice.owned_begin = begin;
+    slice.owned_end = begin + size;
+    slice.context_begin =
+        slice.owned_begin > overlap ? slice.owned_begin - overlap : 0;
+    plan.push_back(slice);
+    begin = slice.owned_end;
+  }
+  return plan;
+}
+
+size_t ShardOverlapRows(const std::vector<ShardSlice>& plan) {
+  size_t total = 0;
+  for (const ShardSlice& slice : plan) {
+    total += slice.owned_begin - slice.context_begin;
+  }
+  return total;
+}
+
+}  // namespace sxnm::core

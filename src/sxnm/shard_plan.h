@@ -1,0 +1,50 @@
+// Key-range sharding of one sliding-window pass.
+//
+// A pass enumerates pairs entering-position-major: position i of the
+// sorted order pairs with the window-1 positions before it. That makes
+// the enumeration trivially partitionable by ENTERING position: give
+// each shard a contiguous range [owned_begin, owned_end) of entering
+// positions, replicate the window-1 positions before owned_begin as
+// read-only context, and let the owner rule be
+//
+//   the shard owning entering position i owns every pair
+//   (order[j], order[i]), j in [max(0, i-(window-1)), i).
+//
+// Each windowed pair has exactly one entering position, so every pair
+// is enumerated exactly once, by exactly one shard, and concatenating
+// the shards' pair streams in shard order reproduces the single-shard
+// enumeration order byte for byte — the foundation of the bit-identical
+// merged clusters / counters / explain guarantee.
+
+#ifndef SXNM_SXNM_SHARD_PLAN_H_
+#define SXNM_SXNM_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sxnm::core {
+
+/// One shard's slice of a pass: owned entering positions plus the
+/// replicated context prefix its windows reach back into.
+struct ShardSlice {
+  size_t owned_begin = 0;   // first owned entering position
+  size_t owned_end = 0;     // one past the last owned entering position
+  size_t context_begin = 0; // max(0, owned_begin - (window-1)): replicated
+                            // rows this shard reads but does not own
+};
+
+/// Splits the `n` entering positions of a pass into exactly `shards`
+/// contiguous near-equal slices (earlier slices get the remainder).
+/// Slices may be empty when shards > n. `window` only shapes the
+/// context prefix; ownership is window-independent, so one plan serves
+/// every pass of the same relation. `shards` must be >= 1.
+std::vector<ShardSlice> ComputeShardPlan(size_t n, size_t shards,
+                                         size_t window);
+
+/// Total replicated context rows across a plan (the shard.overlap_rows
+/// counter): sum of owned_begin - context_begin.
+size_t ShardOverlapRows(const std::vector<ShardSlice>& plan);
+
+}  // namespace sxnm::core
+
+#endif  // SXNM_SXNM_SHARD_PLAN_H_

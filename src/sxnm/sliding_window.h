@@ -19,23 +19,26 @@
 #include <cassert>
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/cancellation.h"
 
 namespace sxnm::core {
 
-/// Calls `visit(a, b)` for every pair of values of `order` at positions
-/// within distance < window of each other, in increasing position order;
-/// `a` precedes `b` in `order`. window >= 2; a window larger than the
-/// sequence degenerates to all pairs. Returns the number of pairs
-/// visited (== WindowPairCount(order.size(), window)).
+/// Range variant of ForEachWindowPair, enumerating only the pairs whose
+/// ENTERING position lies in [begin, end). Every windowed pair has
+/// exactly one entering position, so a partition of [0, n) into
+/// contiguous ranges partitions the pair stream: running the ranges in
+/// order and concatenating their visits reproduces the full enumeration
+/// exactly — the owner rule behind key-range sharding (shard_plan.h).
 template <typename Visit>
-size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
-                         Visit&& visit) {
+size_t ForEachWindowPairRange(const std::vector<size_t>& order, size_t window,
+                              size_t begin, size_t end, Visit&& visit) {
   assert(window >= 2);
+  assert(end <= order.size());
   size_t visited = 0;
-  for (size_t i = 1; i < order.size(); ++i) {
+  for (size_t i = std::max<size_t>(begin, 1); i < end; ++i) {
     size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
     for (size_t j = lo; j < i; ++j) {
       visit(order[j], order[i]);
@@ -45,8 +48,25 @@ size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
   return visited;
 }
 
+/// Calls `visit(a, b)` for every pair of values of `order` at positions
+/// within distance < window of each other, in increasing position order;
+/// `a` precedes `b` in `order`. window >= 2; a window larger than the
+/// sequence degenerates to all pairs. Returns the number of pairs
+/// visited (== WindowPairCount(order.size(), window)).
+template <typename Visit>
+size_t ForEachWindowPair(const std::vector<size_t>& order, size_t window,
+                         Visit&& visit) {
+  return ForEachWindowPairRange(order, window, 0, order.size(),
+                                std::forward<Visit>(visit));
+}
+
 /// Number of pairs ForEachWindowPair visits for `n` elements.
 size_t WindowPairCount(size_t n, size_t window);
+
+/// Number of pairs ForEachWindowPairRange visits for entering positions
+/// [begin, end) of `n` elements.
+size_t WindowPairCountRange(size_t n, size_t window, size_t begin,
+                            size_t end);
 
 /// Largest window w' in [2, window] with WindowPairCount(n, w') <= budget,
 /// or 0 when even w' = 2 exceeds the budget. The governance layer shrinks
@@ -95,18 +115,20 @@ struct InterruptPoll {
 }  // namespace internal
 
 /// ForEachWindowPair that polls `token`/`deadline` every
-/// kInterruptCheckInterval pairs and stops early when either fires. The
-/// visited pairs are always a prefix of the full enumeration order, so a
-/// cut-short pass is still a valid (smaller) neighborhood.
+/// kInterruptCheckInterval pairs and stops early when either fires,
+/// with entering positions restricted to [begin, end). The visited
+/// pairs are a prefix of the RANGE's enumeration (per-shard prefix; a
+/// cut-short sharded pass is a union of per-shard prefixes).
 template <typename Visit>
-WindowRunResult ForEachWindowPairInterruptible(
-    const std::vector<size_t>& order, size_t window,
+WindowRunResult ForEachWindowPairRangeInterruptible(
+    const std::vector<size_t>& order, size_t window, size_t begin, size_t end,
     const util::CancellationToken& token, const util::Deadline& deadline,
     Visit&& visit) {
   assert(window >= 2);
+  assert(end <= order.size());
   WindowRunResult result;
   internal::InterruptPoll poll{token, deadline};
-  for (size_t i = 1; i < order.size(); ++i) {
+  for (size_t i = std::max<size_t>(begin, 1); i < end; ++i) {
     size_t lo = (i >= window - 1) ? i - (window - 1) : 0;
     for (size_t j = lo; j < i; ++j) {
       if (poll.ShouldStop()) {
@@ -120,6 +142,19 @@ WindowRunResult ForEachWindowPairInterruptible(
   return result;
 }
 
+/// Full-relation form: polls the same way with the visited pairs a
+/// prefix of the complete enumeration order, so a cut-short pass is
+/// still a valid (smaller) neighborhood.
+template <typename Visit>
+WindowRunResult ForEachWindowPairInterruptible(
+    const std::vector<size_t>& order, size_t window,
+    const util::CancellationToken& token, const util::Deadline& deadline,
+    Visit&& visit) {
+  return ForEachWindowPairRangeInterruptible(order, window, 0, order.size(),
+                                             token, deadline,
+                                             std::forward<Visit>(visit));
+}
+
 /// Adaptive windowing (the paper's outlook cites Lehti & Fankhauser's
 /// precise blocking [20]): every pair within the base window is visited
 /// as usual, and the neighborhood *extends* beyond it — up to
@@ -131,17 +166,23 @@ WindowRunResult ForEachWindowPairInterruptible(
 /// `key_of(v)` returns the sort key of value `v` of `order` for the
 /// current pass. Requires 2 <= base_window <= max_window and
 /// prefix_len >= 1. Returns the number of pairs visited.
+/// Range variant of ForEachAdaptiveWindowPair: entering positions
+/// restricted to [begin, end). The backward scan still reaches through
+/// the range's left edge (context rows of the owning shard), so the
+/// concatenated shard streams reproduce the full adaptive enumeration.
 template <typename KeyOf, typename Visit>
-size_t ForEachAdaptiveWindowPair(const std::vector<size_t>& order,
-                                 KeyOf&& key_of, size_t base_window,
-                                 size_t max_window, size_t prefix_len,
-                                 Visit&& visit) {
+size_t ForEachAdaptiveWindowPairRange(const std::vector<size_t>& order,
+                                      KeyOf&& key_of, size_t base_window,
+                                      size_t max_window, size_t prefix_len,
+                                      size_t begin, size_t end,
+                                      Visit&& visit) {
   assert(base_window >= 2);
   assert(max_window >= base_window);
   assert(prefix_len >= 1);
+  assert(end <= order.size());
 
   size_t visited = 0;
-  for (size_t i = 1; i < order.size(); ++i) {
+  for (size_t i = std::max<size_t>(begin, 1); i < end; ++i) {
     const std::string& entering = key_of(order[i]);
     size_t max_span = std::min(i, max_window - 1);
     for (size_t span = 1; span <= max_span; ++span) {
@@ -157,20 +198,31 @@ size_t ForEachAdaptiveWindowPair(const std::vector<size_t>& order,
   return visited;
 }
 
-/// Interruptible variant of ForEachAdaptiveWindowPair; same polling and
-/// prefix guarantee.
 template <typename KeyOf, typename Visit>
-WindowRunResult ForEachAdaptiveWindowPairInterruptible(
+size_t ForEachAdaptiveWindowPair(const std::vector<size_t>& order,
+                                 KeyOf&& key_of, size_t base_window,
+                                 size_t max_window, size_t prefix_len,
+                                 Visit&& visit) {
+  return ForEachAdaptiveWindowPairRange(
+      order, std::forward<KeyOf>(key_of), base_window, max_window, prefix_len,
+      0, order.size(), std::forward<Visit>(visit));
+}
+
+/// Interruptible range variant of ForEachAdaptiveWindowPair; same
+/// polling and per-range prefix guarantee.
+template <typename KeyOf, typename Visit>
+WindowRunResult ForEachAdaptiveWindowPairRangeInterruptible(
     const std::vector<size_t>& order, KeyOf&& key_of, size_t base_window,
-    size_t max_window, size_t prefix_len,
+    size_t max_window, size_t prefix_len, size_t begin, size_t end,
     const util::CancellationToken& token, const util::Deadline& deadline,
     Visit&& visit) {
   assert(base_window >= 2);
   assert(max_window >= base_window);
   assert(prefix_len >= 1);
+  assert(end <= order.size());
   WindowRunResult result;
   internal::InterruptPoll poll{token, deadline};
-  for (size_t i = 1; i < order.size(); ++i) {
+  for (size_t i = std::max<size_t>(begin, 1); i < end; ++i) {
     const std::string& entering = key_of(order[i]);
     size_t max_span = std::min(i, max_window - 1);
     for (size_t span = 1; span <= max_span; ++span) {
@@ -188,6 +240,19 @@ WindowRunResult ForEachAdaptiveWindowPairInterruptible(
     }
   }
   return result;
+}
+
+/// Interruptible variant of ForEachAdaptiveWindowPair; same polling and
+/// prefix guarantee.
+template <typename KeyOf, typename Visit>
+WindowRunResult ForEachAdaptiveWindowPairInterruptible(
+    const std::vector<size_t>& order, KeyOf&& key_of, size_t base_window,
+    size_t max_window, size_t prefix_len,
+    const util::CancellationToken& token, const util::Deadline& deadline,
+    Visit&& visit) {
+  return ForEachAdaptiveWindowPairRangeInterruptible(
+      order, std::forward<KeyOf>(key_of), base_window, max_window, prefix_len,
+      0, order.size(), token, deadline, std::forward<Visit>(visit));
 }
 
 }  // namespace sxnm::core

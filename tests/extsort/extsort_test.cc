@@ -1,0 +1,307 @@
+// External-sort edge cases: empty input, the no-spill resident path,
+// duplicate keys spanning run boundaries (the stable-merge contract the
+// sharded detector's bit-identity rests on), corruption of spill bytes,
+// and the fault sites the crash/chaos suites arm.
+
+#include "extsort/extsort.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "extsort/run_file.h"
+#include "obs/metrics.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace sxnm::extsort {
+namespace {
+
+using util::StatusCode;
+
+std::string TestDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+struct Row {
+  std::string key;
+  std::string payload;
+};
+
+// Drains the sorter's merge stream, checking seq monotonicity per key.
+std::vector<Row> Drain(SortedStream& stream) {
+  std::vector<Row> out;
+  SortedRecord record;
+  while (true) {
+    auto more = stream.Next(&record);
+    EXPECT_TRUE(more.ok()) << more.status().message();
+    if (!more.ok() || !*more) break;
+    out.push_back({std::string(record.key), std::string(record.payload)});
+  }
+  return out;
+}
+
+// The reference order: stable sort by key, insertion order on ties.
+std::vector<Row> StableReference(std::vector<Row> rows) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.key < b.key; });
+  return rows;
+}
+
+void ExpectSameRows(const std::vector<Row>& got,
+                    const std::vector<Row>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key) << "row " << i;
+    EXPECT_EQ(got[i].payload, want[i].payload) << "row " << i;
+  }
+}
+
+TEST(ExtSortTest, EmptyInputYieldsEmptyStream) {
+  ExternalSorter sorter(ExtSortOptions{});
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  SortedRecord record;
+  auto more = (*stream)->Next(&record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+  EXPECT_EQ(sorter.stats().rows, 0u);
+  EXPECT_EQ(sorter.stats().runs, 0u);
+  EXPECT_EQ(sorter.stats().spilled_runs, 0u);
+}
+
+TEST(ExtSortTest, UnboundedBudgetNeverSpills) {
+  std::string dir = TestDir("extsort_nospill");
+  ExtSortOptions options;
+  options.temp_dir = dir;
+  ExternalSorter sorter(options);
+  std::vector<Row> rows = {{"b", "1"}, {"a", "2"}, {"b", "3"}, {"a", "4"}};
+  for (const Row& r : rows) ASSERT_TRUE(sorter.Add(r.key, r.payload).ok());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  ExpectSameRows(Drain(**stream), StableReference(rows));
+  EXPECT_EQ(sorter.stats().rows, 4u);
+  EXPECT_EQ(sorter.stats().runs, 1u);
+  EXPECT_EQ(sorter.stats().spilled_runs, 0u);
+  EXPECT_EQ(sorter.stats().spill_bytes, 0u);
+  // Nothing ever touched the spill directory.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+}
+
+TEST(ExtSortTest, DuplicateKeysAcrossRunBoundariesStaySeqStable) {
+  std::string dir = TestDir("extsort_spill");
+  ExtSortOptions options;
+  options.temp_dir = dir;
+  options.memory_budget_bytes = 256;  // a handful of records per run
+  ExternalSorter sorter(options);
+  // Heavily duplicated keys so every run holds ties with its neighbors:
+  // the merge must interleave them back into insertion order.
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({"key" + std::to_string(i % 5), "payload" +
+                    std::to_string(i)});
+  }
+  for (const Row& r : rows) ASSERT_TRUE(sorter.Add(r.key, r.payload).ok());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  ExpectSameRows(Drain(**stream), StableReference(rows));
+  EXPECT_EQ(sorter.stats().rows, 200u);
+  EXPECT_GE(sorter.stats().spilled_runs, 2u);
+  EXPECT_GT(sorter.stats().spill_bytes, 0u);
+  EXPECT_GE(sorter.stats().runs, sorter.stats().spilled_runs);
+}
+
+TEST(ExtSortTest, SpillFilesRemovedByDestructor) {
+  std::string dir = TestDir("extsort_cleanup");
+  {
+    ExtSortOptions options;
+    options.temp_dir = dir;
+    options.memory_budget_bytes = 64;
+    ExternalSorter sorter(options);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          sorter.Add("k" + std::to_string(i), "some payload bytes").ok());
+    }
+    auto stream = sorter.Finish();
+    ASSERT_TRUE(stream.ok());
+    EXPECT_GE(sorter.stats().spilled_runs, 2u);
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+}
+
+TEST(ExtSortTest, FinishTwiceIsFailedPrecondition) {
+  ExternalSorter sorter(ExtSortOptions{});
+  ASSERT_TRUE(sorter.Finish().ok());
+  auto again = sorter.Finish();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExtSortTest, PublishesMetricsCounters) {
+  std::string dir = TestDir("extsort_metrics");
+  obs::MetricsRegistry metrics(true);
+  ExtSortOptions options;
+  options.temp_dir = dir;
+  options.memory_budget_bytes = 128;
+  options.metrics = &metrics;
+  ExternalSorter sorter(options);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sorter.Add("k" + std::to_string(i), "payload").ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  obs::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("extsort.rows", 0), 50u);
+  EXPECT_EQ(snapshot.CounterOr("extsort.runs", 0), sorter.stats().runs);
+  EXPECT_EQ(snapshot.CounterOr("extsort.spilled_runs", 0),
+            sorter.stats().spilled_runs);
+  EXPECT_EQ(snapshot.CounterOr("extsort.spill_bytes", 0),
+            sorter.stats().spill_bytes);
+  EXPECT_GE(snapshot.CounterOr("extsort.merge_fanin", 0), 2u);
+}
+
+TEST(ExtSortTest, InjectedSpillFaultIsResourceExhausted) {
+  std::string dir = TestDir("extsort_fault");
+  ExtSortOptions options;
+  options.temp_dir = dir;
+  options.memory_budget_bytes = 64;
+  ExternalSorter sorter(options);
+  util::ScopedFault fault(kSpillFaultSite);
+  util::Status failed = util::Status::Ok();
+  for (int i = 0; i < 100 && failed.ok(); ++i) {
+    failed = sorter.Add("k" + std::to_string(i), "some payload bytes");
+  }
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExtSortTest, PersistWriteFaultSurfacesThroughAdd) {
+  std::string dir = TestDir("extsort_write_fault");
+  ExtSortOptions options;
+  options.temp_dir = dir;
+  options.memory_budget_bytes = 64;
+  ExternalSorter sorter(options);
+  // The "persist.write" fault models ENOSPC mid-write, so the spill
+  // surfaces it as kResourceExhausted (AtomicWriteFile semantics).
+  util::ScopedFault fault("persist.write");
+  util::Status failed = util::Status::Ok();
+  for (int i = 0; i < 100 && failed.ok(); ++i) {
+    failed = sorter.Add("k" + std::to_string(i), "some payload bytes");
+  }
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kResourceExhausted);
+}
+
+// --- run_file framing ------------------------------------------------------
+
+std::vector<RunRecord> SampleRecords() {
+  static const std::vector<std::pair<std::string, std::string>> kRows = {
+      {"alpha", "p0"}, {"alpha", "p1"}, {"beta", "p2"}, {"gamma", "p3"}};
+  std::vector<RunRecord> records;
+  for (size_t i = 0; i < kRows.size(); ++i) {
+    records.push_back({kRows[i].first, i, kRows[i].second});
+  }
+  return records;
+}
+
+TEST(RunFileTest, RoundTripsRecords) {
+  std::string path = TestDir("run_roundtrip") + "/r.run";
+  std::vector<RunRecord> records = SampleRecords();
+  uint64_t bytes = 0;
+  ASSERT_TRUE(WriteRunFile(path, records, &bytes).ok());
+  EXPECT_EQ(bytes, std::filesystem::file_size(path));
+  RunReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.total_records(), records.size());
+  RunRecord r;
+  for (const RunRecord& want : records) {
+    auto more = reader.Next(&r);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(r.key, want.key);
+    EXPECT_EQ(r.seq, want.seq);
+    EXPECT_EQ(r.payload, want.payload);
+  }
+  auto end = reader.Next(&r);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
+TEST(RunFileTest, MissingFileIsNotFound) {
+  RunReader reader;
+  util::Status s = reader.Open(TestDir("run_missing") + "/nope.run");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(RunFileTest, FlippedPayloadByteIsDataLoss) {
+  std::string path = TestDir("run_corrupt") + "/r.run";
+  ASSERT_TRUE(WriteRunFile(path, SampleRecords()).ok());
+  // Flip one byte in the block payload (past the 20-byte header + 4-byte
+  // length frame), which must trip the block CRC.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(30);
+  char c;
+  f.seekg(30);
+  f.get(c);
+  f.seekp(30);
+  f.put(static_cast<char>(c ^ 0x40));
+  f.close();
+  RunReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  RunRecord r;
+  util::StatusCode code = StatusCode::kOk;
+  while (true) {
+    auto more = reader.Next(&r);
+    if (!more.ok()) {
+      code = more.status().code();
+      break;
+    }
+    if (!*more) break;
+  }
+  EXPECT_EQ(code, StatusCode::kDataLoss);
+}
+
+TEST(RunFileTest, TruncatedFileIsDataLoss) {
+  std::string path = TestDir("run_trunc") + "/r.run";
+  ASSERT_TRUE(WriteRunFile(path, SampleRecords()).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 5);
+  RunReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  RunRecord r;
+  util::StatusCode code = StatusCode::kOk;
+  while (true) {
+    auto more = reader.Next(&r);
+    if (!more.ok()) {
+      code = more.status().code();
+      break;
+    }
+    if (!*more) break;
+  }
+  EXPECT_EQ(code, StatusCode::kDataLoss);
+}
+
+TEST(RunFileTest, BadMagicIsDataLoss) {
+  std::string path = TestDir("run_magic") + "/r.run";
+  ASSERT_TRUE(WriteRunFile(path, SampleRecords()).ok());
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(0);
+  f.put('X');
+  f.close();
+  RunReader reader;
+  util::Status s = reader.Open(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace sxnm::extsort

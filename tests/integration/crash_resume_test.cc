@@ -11,6 +11,7 @@
 #include <sys/wait.h>
 
 #include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <unistd.h>
@@ -20,6 +21,7 @@
 
 #include "datagen/dirty_gen.h"
 #include "datagen/movies.h"
+#include "extsort/extsort.h"
 #include "persist/io.h"
 #include "sxnm/detector.h"
 #include "util/fault_injection.h"
@@ -189,6 +191,58 @@ TEST_F(CrashResumeTest, KillMatrixParallelPlainKernels) {
   for (const KillPoint& kill : kKillPoints) {
     RunCrashMatrixCell(kill, /*num_threads=*/4, /*dag_and_batch=*/false);
   }
+}
+
+TEST_F(CrashResumeTest, KillDuringExternalSortSpillResumesIdentically) {
+  // An out-of-core run (memory budget + shards) SIGKILLed inside a
+  // spill-file write: the checkpoint path still holds nothing or one
+  // complete snapshot, and the resumed run — which re-sorts its levels
+  // from scratch, ignoring the dead incarnation's orphaned .run files —
+  // equals the uninterrupted baseline.
+  auto config_or = datagen::MovieScalabilityConfig(/*window=*/5);
+  ASSERT_TRUE(config_or.ok());
+  Config config = config_or.value();
+  config.set_num_threads(4);
+  config.set_shards(2);
+  config.set_memory_budget_bytes(64 * 1024);  // small enough to spill
+  std::string spill_dir = TempPath("crash_spill_dir");
+  std::filesystem::remove_all(spill_dir);
+  std::filesystem::create_directories(spill_dir);
+  config.set_spill_dir(spill_dir);
+  xml::Document doc = DirtyMovies(80, 31, 4);
+
+  auto baseline = Detector(config).Run(doc);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::string ckpt = TempPath("crash_spill.ckpt");
+  persist::RemoveFile(ckpt);
+  persist::RemoveFile(ckpt + ".tmp");
+  Config run_config = config;
+  run_config.mutable_checkpoint().path = ckpt;
+
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    util::FaultInjector::Instance().Arm(extsort::kSpillFaultSite, 1,
+                                        util::FaultAction::kKill);
+    auto result = Detector(run_config).Run(doc);
+    (void)result;
+    ::_exit(42);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited instead of dying in the spill (status " << wstatus
+      << ") — the budget must be small enough to force spilling";
+  EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  auto resumed = Detector(run_config).Run(doc);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectIdenticalResults(baseline.value(), resumed.value());
+  EXPECT_FALSE(persist::PathExists(ckpt))
+      << "completed resume must remove the snapshot";
+  persist::RemoveFile(ckpt + ".tmp");
+  std::filesystem::remove_all(spill_dir);  // orphaned .run files expected
 }
 
 TEST_F(CrashResumeTest, RepeatedCrashesMakeForwardProgress) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "extsort/extsort.h"
 #include "sxnm/config_xml.h"
 #include "sxnm/detector.h"
 #include "util/fault_injection.h"
@@ -132,6 +133,29 @@ TEST_F(ChaosTest, EveryFaultSiteLeavesDetectorReusable) {
     ASSERT_TRUE(clean.ok()) << site << ": " << clean.status().ToString();
     EXPECT_FALSE(clean->degraded()) << site;
   }
+}
+
+TEST_F(ChaosTest, ExtSortSpillFaultFailsCleanlyAndDetectorStaysReusable) {
+  // With a memory budget every pass order goes through the external
+  // sorter; an injected spill failure (ENOSPC on the run file) must
+  // surface as kResourceExhausted naming the spill — and the same
+  // detector must run clean (and still spill) afterwards.
+  auto doc = xml::Parse(kMovies);
+  ASSERT_TRUE(doc.ok());
+  Config config = LoadConfig();
+  config.set_memory_budget_bytes(1);  // every row over budget: spill per Add
+  config.set_shards(2);
+  Detector detector(config);
+  {
+    ScopedFault fault(extsort::kSpillFaultSite);
+    auto result = detector.Run(doc.value());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(result.status().message().find("spill"), std::string::npos);
+  }
+  auto clean = detector.Run(doc.value());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_FALSE(clean->degraded());
 }
 
 TEST_F(ChaosTest, FaultInParallelKeyGenerationPropagatesDeterministically) {

@@ -350,6 +350,78 @@ TEST(ConfigXmlTest, BatchScoringWithoutFastPathsRejected) {
   EXPECT_FALSE(config.ok());
 }
 
+std::string OutOfCoreConfigXml(const std::string& root_attrs) {
+  return "<sxnm-config " + root_attrs + R"xml(>
+  <candidate name="m" path="db/m">
+    <paths><path id="1" rel="a/text()"/></paths>
+    <od><entry pid="1" relevance="1"/></od>
+    <keys><key><part pid="1" pattern="K1"/></key></keys>
+  </candidate>
+</sxnm-config>)xml";
+}
+
+TEST(ConfigXmlTest, OutOfCoreAttributesParse) {
+  auto config = ConfigFromXmlString(OutOfCoreConfigXml(
+      "shards=\"4\" memory-budget=\"64M\" spill-dir=\"/tmp/sxnm\""));
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->shards(), 4u);
+  EXPECT_EQ(config->memory_budget_bytes(), 64ull * 1024 * 1024);
+  EXPECT_EQ(config->spill_dir(), "/tmp/sxnm");
+}
+
+TEST(ConfigXmlTest, MemoryBudgetSuffixesAreCaseInsensitive) {
+  struct Case {
+    const char* text;
+    uint64_t bytes;
+  };
+  for (const Case& c : {Case{"4096", 4096ull}, Case{"64k", 64ull * 1024},
+                        Case{"64K", 64ull * 1024},
+                        Case{"256m", 256ull * 1024 * 1024},
+                        Case{"2G", 2ull * 1024 * 1024 * 1024}}) {
+    SCOPED_TRACE(c.text);
+    auto config = ConfigFromXmlString(OutOfCoreConfigXml(
+        std::string("memory-budget=\"") + c.text + "\""));
+    ASSERT_TRUE(config.ok()) << config.status().ToString();
+    EXPECT_EQ(config->memory_budget_bytes(), c.bytes);
+  }
+}
+
+TEST(ConfigXmlTest, OutOfCoreAttributesRoundTripThroughXml) {
+  for (const char* attrs :
+       {"", "shards=\"3\"", "memory-budget=\"128K\"",
+        "shards=\"8\" memory-budget=\"1G\" spill-dir=\"/var/tmp\""}) {
+    SCOPED_TRACE(attrs);
+    auto original = ConfigFromXmlString(OutOfCoreConfigXml(attrs));
+    ASSERT_TRUE(original.ok()) << original.status().ToString();
+    std::string serialized = ConfigToXmlString(original.value());
+    auto reparsed = ConfigFromXmlString(serialized);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->shards(), original->shards());
+    EXPECT_EQ(reparsed->memory_budget_bytes(),
+              original->memory_budget_bytes());
+    EXPECT_EQ(reparsed->spill_dir(), original->spill_dir());
+    if (std::string(attrs).empty()) {
+      // Defaults stay implicit: no new attributes on legacy configs.
+      EXPECT_EQ(serialized.find("shards"), std::string::npos);
+      EXPECT_EQ(serialized.find("memory-budget"), std::string::npos);
+      EXPECT_EQ(serialized.find("spill-dir"), std::string::npos);
+    }
+  }
+}
+
+TEST(ConfigXmlTest, BadOutOfCoreAttributesRejected) {
+  EXPECT_FALSE(
+      ConfigFromXmlString(OutOfCoreConfigXml("shards=\"0\"")).ok());
+  EXPECT_FALSE(
+      ConfigFromXmlString(OutOfCoreConfigXml("shards=\"-2\"")).ok());
+  EXPECT_FALSE(
+      ConfigFromXmlString(OutOfCoreConfigXml("memory-budget=\"abc\"")).ok());
+  EXPECT_FALSE(
+      ConfigFromXmlString(OutOfCoreConfigXml("memory-budget=\"64Q\"")).ok());
+  EXPECT_FALSE(
+      ConfigFromXmlString(OutOfCoreConfigXml("memory-budget=\"\"")).ok());
+}
+
 TEST(ConfigXmlTest, BadDagBooleanRejected) {
   EXPECT_FALSE(ConfigFromXmlString(DagCandidateXml("dag=\"maybe\"")).ok());
   EXPECT_FALSE(

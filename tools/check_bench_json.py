@@ -28,9 +28,13 @@ monotone counters, well-formed memory accounting, and exactly one
 ``final`` sample in last position.
 
 Usage:
-  tools/check_bench_json.py FILE [FILE ...]
+  tools/check_bench_json.py [--min-gk-rows N] FILE [FILE ...]
   tools/check_bench_json.py --explain-schema LOG [LOG ...]
   tools/check_bench_json.py --telemetry-schema STREAM [STREAM ...]
+
+``--min-gk-rows N`` additionally requires each fig5 file to carry an
+``out_of_core`` block covering at least N generated-key rows — the
+opt-in `bench_scale` ctest uses it to pin the >= 1M-row point.
 
 Exits 0 when every file validates, 1 otherwise (one message per
 violation on stderr). See docs/BENCHMARKS.md for the schema.
@@ -39,7 +43,7 @@ violation on stderr). See docs/BENCHMARKS.md for the schema.
 import json
 import sys
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 # Counters the engine always registers (values may legitimately be 0).
 # Version 3 added the kernel fast-path counters: kg.od_pool_* (OD value
@@ -57,7 +61,10 @@ SCHEMA_VERSION = 7
 # Version 7 added the checkpoint/resume block: snapshot size and
 # write/load cost at two corpus scales, the every-pass checkpointing
 # overhead ceiling (5%), and the persist.* counters of a fault-injected
-# interrupt + resume.
+# interrupt + resume. Version 8 added the out-of-core layer: the fig5
+# `out_of_core` block (external-sort spill + key-range sharded passes)
+# with its RSS-ceiling, spill/merge floors, and shards=1-vs-N identity
+# sub-check; pipeline/similarity files carry the bump only.
 REQUIRED_COUNTERS = [
     "kg.rows",
     "kg.rows_done",
@@ -107,8 +114,9 @@ PHASE_FIELDS = [
 
 
 class Checker:
-    def __init__(self, path):
+    def __init__(self, path, min_gk_rows=0):
         self.path = path
+        self.min_gk_rows = min_gk_rows
         self.errors = []
 
     def error(self, where, message):
@@ -557,6 +565,106 @@ class Checker:
                     self.error(where,
                                "ed_bailouts exceed kernel invocations: "
                                f"{bailouts} > {kernel}")
+        self.check_out_of_core(doc)
+
+    def check_out_of_core(self, doc):
+        """Validate the out-of-core block (schema version 8, optional —
+        written by ``fig5_scalability --scale-movies``).
+
+        The block records one sharded run with external-sort spilling
+        under a memory budget: the spill path must actually fire
+        (spilled_runs / merge_fanin floors), the process's peak RSS
+        must stay within ``memory_budget_bytes * rss_slack``, and the
+        embedded identity sub-check must prove shards=1 and shards=N
+        detect the same duplicates.
+        """
+        block = doc.get("out_of_core")
+        if block is None:
+            if self.min_gk_rows:
+                self.error("top-level",
+                           "--min-gk-rows requires an out_of_core block, "
+                           "rerun fig5_scalability with --scale-movies")
+            return
+        where = "out_of_core"
+        if not isinstance(block, dict):
+            self.error(where, "must be an object")
+            return
+        for key in ("clean_movies", "movie_instances"):
+            value = self.check_nonneg(block, key, where)
+            if value == 0:
+                self.error(where, f"{key} must be positive")
+        gk_rows = self.check_nonneg(block, "gk_rows", where)
+        if gk_rows == 0:
+            self.error(where, "gk_rows must be positive")
+        if self.min_gk_rows and isinstance(gk_rows, int) \
+                and gk_rows < self.min_gk_rows:
+            self.error(where,
+                       f"gk_rows must cover at least {self.min_gk_rows} "
+                       f"generated-key rows, got {gk_rows}")
+        shards = self.check_nonneg(block, "shards", where)
+        if shards is not None and shards < 2:
+            self.error(where,
+                       f"the sharded run must use >= 2 shards, got {shards}")
+        budget = self.check_nonneg(block, "memory_budget_bytes", where)
+        if budget == 0:
+            self.error(where, "memory_budget_bytes must be positive "
+                              "(0 disables spilling)")
+        peak = self.check_nonneg(block, "peak_rss_bytes", where)
+        slack = self.require(block, "rss_slack", (int, float), where)
+        if slack is not None and slack < 1.0:
+            self.error(where, f"rss_slack must be >= 1, got {slack}")
+        if None not in (peak, budget, slack) and budget > 0 \
+                and peak > budget * slack:
+            self.error(where,
+                       "peak RSS breaches the memory budget: "
+                       f"{peak} > {budget} * {slack}")
+        spilled = self.check_nonneg(block, "spilled_runs", where)
+        if spilled is not None and spilled < 1:
+            self.error(where,
+                       "spilled_runs must be >= 1 — the run must "
+                       "actually exercise the external-sort spill path")
+        spill_bytes = self.check_nonneg(block, "spill_bytes", where)
+        if spill_bytes is not None and spilled and spill_bytes < 1:
+            self.error(where, "spilled runs must account spill_bytes > 0")
+        fanin = self.check_nonneg(block, "merge_fanin_max", where)
+        if fanin is not None and fanin < 2:
+            self.error(where,
+                       "merge_fanin_max must be >= 2 — at least one "
+                       f"pass must merge multiple runs, got {fanin}")
+        self.check_nonneg(block, "overlap_rows", where)
+        self.check_nonneg(block, "duplicate_pairs", where)
+        phases = self.require(block, "phases", (dict,), where)
+        if phases is not None:
+            self.check_phases(phases, f"{where}.phases")
+
+        identity = self.require(block, "identity", (dict,), where)
+        if identity is None:
+            return
+        where = "out_of_core.identity"
+        self.check_nonneg(identity, "clean_movies", where)
+        self.check_nonneg(identity, "shards", where)
+        single = self.check_nonneg(identity, "duplicate_pairs_single", where)
+        sharded = self.check_nonneg(identity, "duplicate_pairs_sharded",
+                                    where)
+        if None not in (single, sharded) and single != sharded:
+            self.error(where,
+                       "sharding must not change detection: "
+                       f"duplicate_pairs_single {single} != "
+                       f"duplicate_pairs_sharded {sharded}")
+        comp_single = self.check_nonneg(identity, "comparisons_single", where)
+        comp_sharded = self.check_nonneg(identity, "comparisons_sharded",
+                                         where)
+        if None not in (comp_single, comp_sharded) \
+                and comp_single != comp_sharded:
+            self.error(where,
+                       "sharding must not change the comparison count: "
+                       f"comparisons_single {comp_single} != "
+                       f"comparisons_sharded {comp_sharded}")
+        identical = self.require(identity, "identical", (bool,), where)
+        if identical is False:
+            self.error(where,
+                       "the bench's own shards=1 vs shards=N comparison "
+                       "failed — sharded detection is not bit-identical")
 
     # --- micro_similarity -------------------------------------------------
 
@@ -831,7 +939,9 @@ TELEMETRY_REQUIRED_COUNTERS = ["kg.rows_done", "sw.pairs_done",
 TELEMETRY_REQUIRED_GAUGES = ["progress.phase", "kg.rows_total",
                              "sw.pairs_planned_total",
                              "cache.verdict_occupancy"]
-TELEMETRY_PHASES = (0, 1, 2, 3, 4)  # setup, kg, sw, tc, done
+# setup, kg, sw, tc, done, external sort (v8; samples during the spill
+# + merge stage of an out-of-core run).
+TELEMETRY_PHASES = (0, 1, 2, 3, 4, 5)
 
 
 class TelemetryChecker(Checker):
@@ -952,6 +1062,12 @@ class TelemetryChecker(Checker):
                                              types=(int, float))
                 if interval == 0:
                     self.error(where, "interval_ms must be positive")
+                # pid (v8): optional — streams from older engines lack
+                # it; when present it must be a positive process id.
+                if "pid" in record:
+                    pid = self.check_nonneg(record, "pid", where)
+                    if pid == 0:
+                        self.error(where, "pid must be positive")
                 continue
             if kind != "sample":
                 self.error(where, f"unknown record type {kind!r}")
@@ -1021,9 +1137,21 @@ def main(argv):
             print(__doc__.strip(), file=sys.stderr)
             return 2
         return check_telemetry_files(argv[2:])
+    min_gk_rows = 0
+    if argv[1] == "--min-gk-rows":
+        if len(argv) < 4:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        try:
+            min_gk_rows = int(argv[2])
+        except ValueError:
+            print(f"--min-gk-rows: not an integer: {argv[2]}",
+                  file=sys.stderr)
+            return 2
+        argv = argv[:1] + argv[3:]
     failed = False
     for path in argv[1:]:
-        checker = Checker(path)
+        checker = Checker(path, min_gk_rows=min_gk_rows)
         try:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Follow-mode liveness tests for sxnm_top.
+
+Drives ``sxnm_top --follow`` against synthetic telemetry streams and
+asserts the exit behavior around producer death:
+
+  1. a stream whose header names a dead pid and that never received its
+     final sample makes --follow exit 1 (instead of tailing forever);
+  2. the same truncated stream with a live producer pid keeps the
+     dashboard tailing (we kill it after a grace period);
+  3. a finished stream (final sample present) exits 0 even though the
+     producer is long gone;
+  4. --pid with a dead process and a stream file that never appears
+     exits 1 from the wait-for-file loop.
+
+Usage: sxnm_top_follow_test.py /path/to/sxnm_top
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def dead_pid():
+    """Pid of a process that has already exited and been reaped."""
+    child = subprocess.Popen(["sleep", "0"])
+    child.wait()
+    return child.pid
+
+
+def write_stream(path, pid, final):
+    header = {"type": "header", "version": 1, "interval_ms": 50,
+              "clock": "steady", "deterministic": False}
+    if pid is not None:
+        header["pid"] = pid
+    sample = {"type": "sample", "seq": 0, "t_ms": 1.0, "final": final,
+              "phase": 4 if final else 2,
+              "phase_name": "done" if final else "sliding_window",
+              "progress": 1.0 if final else 0.5, "eta_s": 0,
+              "mem": {"sampled": False},
+              "counters": {"sw.comparisons": 10}, "gauges": {},
+              "rates": {}}
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps(header) + "\n")
+        f.write(json.dumps(sample) + "\n")
+
+
+def run_follow(tool, stream, extra=(), timeout=10):
+    return subprocess.run(
+        [sys.executable, tool, "--follow", "--plain", "--poll-ms", "20",
+         *extra, stream],
+        capture_output=True, text=True, timeout=timeout)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} /path/to/sxnm_top", file=sys.stderr)
+        return 2
+    tool = sys.argv[1]
+    failures = []
+
+    def check(name, ok, detail=""):
+        print(f"{'ok  ' if ok else 'FAIL'} {name}" +
+              (f": {detail}" if detail and not ok else ""))
+        if not ok:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory(prefix="sxnm_top_test.") as tmp:
+        # 1. Dead producer, truncated stream -> exit 1 with a diagnostic.
+        stream = os.path.join(tmp, "dead.tlm.ndjsonl")
+        write_stream(stream, dead_pid(), final=False)
+        proc = run_follow(tool, stream)
+        check("dead producer exits nonzero", proc.returncode == 1,
+              f"rc={proc.returncode} stderr={proc.stderr!r}")
+        check("dead producer names the condition",
+              "died without a final sample" in proc.stderr, proc.stderr)
+
+        # 2. Live producer, truncated stream -> keeps tailing. Use our
+        # own pid as the producer; the follow process must still be
+        # running after a grace period, then die with us... so instead
+        # give it a child that outlives the grace period.
+        stream = os.path.join(tmp, "live.tlm.ndjsonl")
+        producer = subprocess.Popen(["sleep", "30"])
+        try:
+            write_stream(stream, producer.pid, final=False)
+            tail = subprocess.Popen(
+                [sys.executable, tool, "--follow", "--plain",
+                 "--poll-ms", "20", stream],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            time.sleep(1.0)
+            still_tailing = tail.poll() is None
+            check("live producer keeps the tail running", still_tailing,
+                  f"rc={tail.poll()}")
+        finally:
+            producer.kill()
+            producer.wait()
+        # The producer is now dead; the tail must notice and exit 1.
+        try:
+            tail_rc = tail.wait(timeout=10)
+            check("tail exits once the producer dies", tail_rc == 1,
+                  f"rc={tail_rc}")
+        except subprocess.TimeoutExpired:
+            tail.kill()
+            tail.wait()
+            check("tail exits once the producer dies", False, "timeout")
+
+        # 3. Finished stream, dead producer -> normal success.
+        stream = os.path.join(tmp, "final.tlm.ndjsonl")
+        write_stream(stream, dead_pid(), final=True)
+        proc = run_follow(tool, stream)
+        check("finished stream exits 0", proc.returncode == 0,
+              f"rc={proc.returncode} stderr={proc.stderr!r}")
+
+        # 4. Stream never appears and --pid is dead -> wait loop aborts.
+        stream = os.path.join(tmp, "never.tlm.ndjsonl")
+        proc = run_follow(tool, stream, extra=["--pid", str(dead_pid())])
+        check("missing stream with dead --pid exits nonzero",
+              proc.returncode == 1,
+              f"rc={proc.returncode} stderr={proc.stderr!r}")
+
+        # 5. Legacy stream without a pid field parses and renders
+        # normally in one-shot mode (pid stays optional).
+        stream = os.path.join(tmp, "legacy.tlm.ndjsonl")
+        write_stream(stream, None, final=True)
+        proc = subprocess.run(
+            [sys.executable, tool, "--plain", stream],
+            capture_output=True, text=True, timeout=10)
+        check("legacy pid-less stream renders", proc.returncode == 0,
+              f"rc={proc.returncode} stderr={proc.stderr!r}")
+
+    if failures:
+        print(f"{len(failures)} case(s) failed: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("all sxnm_top follow cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
