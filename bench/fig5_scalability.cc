@@ -16,6 +16,7 @@
 //
 // Usage: fig5_scalability [--json <path>] [--scale-movies N]
 //                         [--scale-budget BYTES] [--scale-shards S]
+//                         [--profile <path.folded>] [--profile-hz N]
 //                         [max_movies] [seed]
 //
 // --json additionally writes the panels machine-readably (per-size phase
@@ -29,6 +30,11 @@
 // engine's extsort/shard counters and the process's peak RSS
 // (util::ReadProcMemory). The opt-in `bench_scale` ctest drives this
 // at >= 1M generated-key rows.
+//
+// --profile attaches the sampling profiler (schema version 9) to every
+// panel run and leaves the last (largest) run's folded-stack profile at
+// <path.folded>; render with tools/sxnm_flame. --profile-hz overrides
+// the 97 Hz default.
 
 #include <algorithm>
 #include <cstdio>
@@ -60,11 +66,18 @@ struct PanelRow {
   double dd() const { return sw + tc; }
 };
 
+// Set by --profile / --profile-hz; every panel run is profiled and the
+// folded file holds the last (largest) run's spans.
+std::string g_profile_path;
+double g_profile_hz = 97.0;
+
 sxnm::util::Result<PanelRow> RunOne(const sxnm::xml::Document& doc,
                                     size_t clean_movies) {
   auto config = sxnm::datagen::MovieScalabilityConfig(/*window=*/3);
   if (!config.ok()) return config.status();
   config->mutable_observability().metrics = true;
+  config->mutable_observability().profile_path = g_profile_path;
+  config->mutable_observability().profile_hz = g_profile_hz;
   sxnm::core::Detector detector(std::move(config).value());
   auto result = detector.Run(doc);
   if (!result.ok()) return result.status();
@@ -153,6 +166,27 @@ uint64_t ExtractSizeFlag(int* argc, char** argv, std::string_view name,
   return value;
 }
 
+// Parses `--name VALUE` / `--name=VALUE` out of argv, compacting argv
+// like ExtractSizeFlag; returns "" when absent.
+std::string ExtractStringFlag(int* argc, char** argv, std::string_view name) {
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == name && i + 1 < *argc) {
+      value = argv[++i];
+    } else if (arg.size() > name.size() + 1 &&
+               arg.substr(0, name.size()) == name &&
+               arg[name.size()] == '=') {
+      value = std::string(arg.substr(name.size() + 1));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return value;
+}
+
 struct OutOfCoreRun {
   PanelRow row;  // timings + detection counters of the sharded run
   uint64_t gk_rows = 0;
@@ -210,6 +244,9 @@ int main(int argc, char** argv) {
   uint64_t scale_budget = ExtractSizeFlag(&argc, argv, "--scale-budget",
                                           uint64_t{2} << 30);
   uint64_t scale_shards = ExtractSizeFlag(&argc, argv, "--scale-shards", 4);
+  g_profile_path = ExtractStringFlag(&argc, argv, "--profile");
+  uint64_t profile_hz = ExtractSizeFlag(&argc, argv, "--profile-hz", 0);
+  if (profile_hz > 0) g_profile_hz = double(profile_hz);
   size_t max_movies = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8000;
   uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
 
@@ -369,7 +406,7 @@ int main(int argc, char** argv) {
     sxnm::bench::JsonWriter json(out);
     json.BeginObject();
     json.Field("bench", "fig5_scalability");
-    json.Field("schema_version", size_t{8});
+    json.Field("schema_version", size_t{9});
     json.Field("window", size_t{3});
     json.Field("seed", size_t(seed));
     WritePanelJson(json, "clean", clean_rows);
@@ -411,6 +448,11 @@ int main(int argc, char** argv) {
     }
     json.EndObject();
     std::printf("panel data written to %s\n", json_path.c_str());
+  }
+  if (!g_profile_path.empty()) {
+    std::printf("profile written to %s (last run's spans; render with "
+                "tools/sxnm_flame)\n",
+                g_profile_path.c_str());
   }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "obs/profiler.h"
 #include "datagen/dirty_gen.h"
 #include "datagen/movies.h"
 #include "persist/io.h"
@@ -239,6 +240,59 @@ std::pair<TelemetryProbe, TelemetryProbe> ProfileTelemetryAb(
   return {off, on};
 }
 
+// One arm pair of the sampling-profiler overhead A/B, interleaved like
+// ProfileTelemetryAb (off, on, off, on, ...) with per-arm medians. The
+// on arm additionally keeps the last repeat's span-attributed profile
+// for the JSON block's sample table.
+struct ProfilerProbe {
+  double seconds = 0;
+  size_t duplicate_pairs = 0;
+  sxnm::obs::CpuProfile profile;  // on arm only
+};
+
+std::pair<ProfilerProbe, ProfilerProbe> ProfileProfilerAb(
+    const sxnm::xml::Document& doc, const sxnm::core::Config& base_config,
+    const std::string& folded_path, double hz, int repeats) {
+  auto make_detector = [&](const std::string& path) {
+    sxnm::core::Config config = base_config;
+    config.mutable_observability().metrics = true;
+    config.mutable_observability().profile_path = path;
+    config.mutable_observability().profile_hz = hz;
+    return sxnm::core::Detector(std::move(config));
+  };
+  sxnm::core::Detector off_detector = make_detector("");
+  sxnm::core::Detector on_detector = make_detector(folded_path);
+
+  ProfilerProbe off;
+  ProfilerProbe on;
+  std::vector<double> off_times;
+  std::vector<double> on_times;
+  for (int r = 0; r < repeats; ++r) {
+    for (bool with_profiler : {false, true}) {
+      sxnm::core::Detector& detector =
+          with_profiler ? on_detector : off_detector;
+      auto start = std::chrono::steady_clock::now();
+      auto result = detector.Run(doc);
+      double seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (!result.ok()) {
+        std::cerr << result.status().ToString() << "\n";
+        std::exit(1);
+      }
+      ProfilerProbe& probe = with_profiler ? on : off;
+      (with_profiler ? on_times : off_times).push_back(seconds);
+      probe.duplicate_pairs = result->Find("movie")->duplicate_pairs.size();
+      if (with_profiler) probe.profile = std::move(result->profile);
+    }
+  }
+  std::sort(off_times.begin(), off_times.end());
+  std::sort(on_times.begin(), on_times.end());
+  off.seconds = off_times[off_times.size() / 2];
+  on.seconds = on_times[on_times.size() / 2];
+  return {off, on};
+}
+
 // Snapshot cost at the post-KG durability point: the GK relation (rows,
 // keys, interned OD pool) dominates snapshot size, so this measures the
 // worst-case frame payload a checkpoint of a `movies`-sized corpus
@@ -383,7 +437,7 @@ int WritePipelineJson(const std::string& path) {
   sxnm::bench::JsonWriter json(out);
   json.BeginObject();
   json.Field("bench", "micro_pipeline");
-  json.Field("schema_version", size_t{8});
+  json.Field("schema_version", size_t{9});
   json.BeginObject("dataset");
   json.Field("generator", "movies+DataSet1DirtyPreset");
   json.Field("clean_movies", kMovies);
@@ -514,6 +568,47 @@ int WritePipelineJson(const std::string& path) {
   json.Field("duplicate_pairs_on", tlm_on.duplicate_pairs);
   json.EndObject();
 
+  // Sampling-profiler overhead A/B (schema version 9): the profiler is
+  // timer-driven and its handler only snapshots a per-thread span array
+  // into a ring buffer, so detection must be bit-identical with it on
+  // and the wall-clock cost at the default 97 Hz must stay under 3%
+  // (tools/check_bench_json.py enforces both). Reuses the telemetry
+  // corpus: long enough for hundreds of samples to land.
+  constexpr double kProfileHz = 97.0;
+  constexpr int kProfileRepeats = 9;
+  std::string folded_path = path + ".folded";
+  auto [prof_off, prof_on] = ProfileProfilerAb(
+      tlm_doc, movie_config, folded_path, kProfileHz, kProfileRepeats);
+  std::remove(folded_path.c_str());
+  json.BeginObject("profile");
+  json.Field("hz", kProfileHz);
+  json.Field("backend", prof_on.profile.backend);
+  json.Field("repeats", size_t{kProfileRepeats});
+  json.Field("clean_movies", kTelemetryMovies);
+  json.Field("window", size_t{10});
+  json.Field("samples", size_t{prof_on.profile.total_samples});
+  json.Field("dropped_samples", size_t{prof_on.profile.dropped_samples});
+  json.Field("profile_off_s", prof_off.seconds);
+  json.Field("profile_on_s", prof_on.seconds);
+  json.Field("overhead_pct", (prof_on.seconds - prof_off.seconds) /
+                                 prof_off.seconds * 100.0);
+  json.Field("duplicate_pairs_off", prof_off.duplicate_pairs);
+  json.Field("duplicate_pairs_on", prof_on.duplicate_pairs);
+  json.BeginArray("top_spans");
+  {
+    size_t emitted = 0;
+    for (const auto& entry : prof_on.profile.entries) {
+      if (emitted++ == 10) break;
+      json.BeginObject();
+      json.Field("path", entry.path);
+      json.Field("self_samples", size_t{entry.self_samples});
+      json.Field("total_samples", size_t{entry.total_samples});
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+
   // Checkpoint block (schema version 7): (a) snapshot size and
   // write/load cost at two corpus scales, (b) wall-clock overhead of
   // every-pass checkpointing vs the same run cold — must stay within 5%,
@@ -615,6 +710,12 @@ int WritePipelineJson(const std::string& path) {
   std::printf("telemetry overhead: off %.4fs -> on %.4fs (%+.2f%%)\n",
               tlm_off.seconds, tlm_on.seconds,
               (tlm_on.seconds - tlm_off.seconds) / tlm_off.seconds * 100.0);
+  std::printf("profiler overhead:  off %.4fs -> on %.4fs (%+.2f%%), "
+              "%llu samples via %s\n",
+              prof_off.seconds, prof_on.seconds,
+              (prof_on.seconds - prof_off.seconds) / prof_off.seconds * 100.0,
+              static_cast<unsigned long long>(prof_on.profile.total_samples),
+              prof_on.profile.backend.c_str());
   std::printf("SW: serial_legacy %.4fs -> threads4_fast %.4fs (%.2fx)\n",
               baseline.sw, last.sw, baseline.sw / last.sw);
   std::printf("repeated-subtree SW: off %.4fs -> on %.4fs (%.2fx)\n", off.sw,

@@ -49,6 +49,10 @@ constexpr char kUsage[] =
     "                    executes; watch with tools/sxnm_top --follow\n"
     "  --telemetry-interval-ms=N\n"
     "                    telemetry sampling period (default 250)\n"
+    "  --profile=PATH    sample CPU by span and write a folded-stack\n"
+    "                    profile (flamegraph.pl format) to PATH; render\n"
+    "                    with tools/sxnm_flame\n"
+    "  --profile-hz=N    profiler sampling rate (default 97)\n"
     "  --help            show this help\n";
 
 struct Options {
@@ -60,6 +64,8 @@ struct Options {
   std::string gold_out_path;
   std::string telemetry_path;
   std::string telemetry_interval_ms;
+  std::string profile_path;
+  std::string profile_hz;
 };
 
 bool FlagValue(const char* arg, const char* name, std::string* out) {
@@ -85,7 +91,9 @@ bool ParseArgs(int argc, char** argv, Options* opts, int* exit_code) {
         FlagValue(arg, "--gold-out", &opts->gold_out_path) ||
         FlagValue(arg, "--telemetry", &opts->telemetry_path) ||
         FlagValue(arg, "--telemetry-interval-ms",
-                  &opts->telemetry_interval_ms)) {
+                  &opts->telemetry_interval_ms) ||
+        FlagValue(arg, "--profile", &opts->profile_path) ||
+        FlagValue(arg, "--profile-hz", &opts->profile_hz)) {
       continue;
     }
     if (arg[0] == '-' && arg[1] != '\0') {
@@ -160,6 +168,16 @@ int main(int argc, char** argv) {
       return sxnm::util::kExitUsage;
     }
     config->mutable_observability().telemetry_interval_ms = interval;
+  }
+  config->mutable_observability().profile_path = opts.profile_path;
+  if (!opts.profile_hz.empty()) {
+    double hz = sxnm::util::ParseDoubleOr(opts.profile_hz, 0.0);
+    if (hz <= 0.0) {
+      std::fprintf(stderr, "--profile-hz: not a positive number\n\n%s",
+                   kUsage);
+      return sxnm::util::kExitUsage;
+    }
+    config->mutable_observability().profile_hz = hz;
   }
 
   auto result = sxnm::core::Detector(config.value()).Run(dirty.value());
@@ -267,6 +285,14 @@ int main(int argc, char** argv) {
   if (!opts.telemetry_path.empty()) {
     std::printf("telemetry written to %s (render with tools/sxnm_top)\n",
                 opts.telemetry_path.c_str());
+  }
+  if (!opts.profile_path.empty()) {
+    std::printf(
+        "profile written to %s (%llu samples via %s; render with "
+        "tools/sxnm_flame)\n",
+        opts.profile_path.c_str(),
+        static_cast<unsigned long long>(result->profile.total_samples),
+        result->profile.backend.c_str());
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 //   sxnm_cli <config.xml> <data.xml> [-o out.xml] [--fuse|--first|--richest]
 //            [--report [--gold]] [--advise] [--metrics-out metrics.prom]
 //            [--telemetry run.tlm.ndjsonl] [--telemetry-interval-ms N]
+//            [--profile run.folded] [--profile-hz N]
 //            [--shards N] [--memory-budget BYTES] [--spill-dir DIR]
 //
 // Loads an SXNM configuration (see examples/config_tool for the format),
@@ -44,6 +45,7 @@ int Usage(const char* argv0) {
                "[--metrics-out metrics.prom]\n"
                "       [--telemetry run.tlm.ndjsonl] "
                "[--telemetry-interval-ms N]\n"
+               "       [--profile run.folded] [--profile-hz N]\n"
                "       [--shards N] [--memory-budget BYTES] "
                "[--spill-dir DIR]\n",
                argv0);
@@ -87,6 +89,8 @@ int main(int argc, char** argv) {
   std::string metrics_out_path;
   std::string telemetry_path;
   double telemetry_interval_ms = 0.0;  // 0 = keep the config's value
+  std::string profile_path;
+  double profile_hz = 0.0;             // 0 = keep the config's value
   long long shards = 0;                // 0 = keep the config's value
   long long memory_budget = -1;        // -1 = keep the config's value
   std::string spill_dir;
@@ -115,6 +119,14 @@ int main(int argc, char** argv) {
       telemetry_interval_ms = sxnm::util::ParseDoubleOr(argv[++i], 0.0);
       if (telemetry_interval_ms <= 0.0) {
         std::fprintf(stderr, "--telemetry-interval-ms: not a positive number\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = sxnm::util::ParseDoubleOr(argv[++i], 0.0);
+      if (profile_hz <= 0.0) {
+        std::fprintf(stderr, "--profile-hz: not a positive number\n");
         return Usage(argv[0]);
       }
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -155,6 +167,12 @@ int main(int argc, char** argv) {
   if (telemetry_interval_ms > 0.0) {
     loaded_config.mutable_observability().telemetry_interval_ms =
         telemetry_interval_ms;
+  }
+  if (!profile_path.empty()) {
+    loaded_config.mutable_observability().profile_path = profile_path;
+  }
+  if (profile_hz > 0.0) {
+    loaded_config.mutable_observability().profile_hz = profile_hz;
   }
   if (shards > 0) {
     loaded_config.set_shards(static_cast<size_t>(shards));
@@ -276,6 +294,13 @@ int main(int argc, char** argv) {
   if (!telemetry_path.empty()) {
     std::printf("wrote %s (telemetry time series; render with tools/sxnm_top)\n",
                 telemetry_path.c_str());
+  }
+  if (!profile_path.empty()) {
+    std::printf(
+        "wrote %s (%llu CPU samples via %s; render with tools/sxnm_flame)\n",
+        profile_path.c_str(),
+        static_cast<unsigned long long>(result->profile.total_samples),
+        result->profile.backend.c_str());
   }
 
   if (!out_path.empty()) {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <sstream>
 
 namespace sxnm::obs {
 
@@ -304,6 +306,35 @@ void WritePrometheusHelpText(std::ostream& os, std::string_view help) {
   }
 }
 
+// Label values escape backslash, double-quote, and newline (exposition
+// format 0.0.4). Bucket bounds are numeric today, but the helper keeps
+// any future label emission correct by construction.
+void WritePrometheusLabelValue(std::ostream& os, std::string_view value) {
+  for (char c : value) {
+    if (c == '\\') {
+      os << "\\\\";
+    } else if (c == '"') {
+      os << "\\\"";
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+}
+
+// Sample values use Prometheus spellings for the specials ("+Inf",
+// "-Inf", "NaN"), which %g alone would render as inf/nan.
+void WritePrometheusDouble(std::ostream& os, double value) {
+  if (std::isnan(value)) {
+    os << "NaN";
+  } else if (std::isinf(value)) {
+    os << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    WriteJsonDouble(os, value);
+  }
+}
+
 }  // namespace
 
 void SetPrometheusHelp(std::string_view name, std::string_view help) {
@@ -351,7 +382,7 @@ void MetricsSnapshot::ToPrometheusText(std::ostream& os) const {
     std::string name = family(g.name);
     headers(g.name, name, "gauge");
     os << name << " ";
-    WriteJsonDouble(os, g.value);
+    WritePrometheusDouble(os, g.value);
     os << "\n";
   }
   for (const HistogramSample& h : histograms) {
@@ -362,14 +393,16 @@ void MetricsSnapshot::ToPrometheusText(std::ostream& os) const {
       cumulative += h.counts[i];
       os << name << "_bucket{le=\"";
       if (i < h.bounds.size()) {
-        WriteJsonDouble(os, h.bounds[i]);
+        std::ostringstream bound;
+        WritePrometheusDouble(bound, h.bounds[i]);
+        WritePrometheusLabelValue(os, bound.str());
       } else {
         os << "+Inf";
       }
       os << "\"} " << cumulative << "\n";
     }
     os << name << "_sum ";
-    WriteJsonDouble(os, h.sum);
+    WritePrometheusDouble(os, h.sum);
     os << "\n";
     os << name << "_count " << h.total_count << "\n";
   }

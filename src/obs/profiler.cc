@@ -1,0 +1,542 @@
+#include "obs/profiler.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "persist/io.h"
+
+// The signal backend needs Linux-only timer plumbing: per-thread CPU
+// clocks attached to POSIX timers that deliver SIGPROF to a specific
+// thread (SIGEV_THREAD_ID). Everything else falls back to the portable
+// polling backend.
+#if defined(__linux__) && defined(SIGEV_THREAD_ID)
+#define SXNM_PROFILER_HAVE_SIGPROF 1
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#else
+#define SXNM_PROFILER_HAVE_SIGPROF 0
+#endif
+
+namespace sxnm::obs {
+
+namespace {
+
+constexpr char kUnattributed[] = "(unattributed)";
+
+struct Slot {
+  uint32_t depth = 0;
+  uint32_t frames[spanpath::kMaxDepth];
+};
+
+// Per-thread sampling state for the signal backend. Reached from the
+// SIGPROF handler via siginfo's sival_ptr (no TLS lookup in the
+// handler). Instances live forever in a process-wide pool: a stale
+// timer signal racing thread teardown can touch a recycled state (at
+// worst corrupting one sample slot) but never freed memory.
+struct ThreadState {
+  std::atomic<bool> armed{false};
+  spanpath::ThreadStack* stack = nullptr;
+  size_t capacity = 0;
+  Slot* slots = nullptr;
+  std::atomic<uint64_t> head{0};  // producer: signal handler
+  std::atomic<uint64_t> tail{0};  // consumer: drainer (registry-lock serialized)
+  std::atomic<uint64_t> dropped{0};
+  uint64_t trunc_base = 0;
+#if SXNM_PROFILER_HAVE_SIGPROF
+  timer_t timer{};
+  bool timer_ok = false;
+#endif
+};
+
+struct StatePool {
+  std::mutex mu;
+  std::vector<ThreadState*> free_states;
+};
+
+StatePool& ThePool() {
+  static StatePool* pool = new StatePool();
+  return *pool;
+}
+
+ThreadState* AcquireState(size_t capacity) {
+  StatePool& pool = ThePool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  for (size_t i = 0; i < pool.free_states.size(); ++i) {
+    if (pool.free_states[i]->capacity == capacity) {
+      ThreadState* st = pool.free_states[i];
+      pool.free_states.erase(pool.free_states.begin() +
+                             static_cast<ptrdiff_t>(i));
+      return st;
+    }
+  }
+  ThreadState* st = new ThreadState();
+  st->capacity = capacity;
+  st->slots = new Slot[capacity];
+  return st;
+}
+
+void ReleaseState(ThreadState* st) {
+  StatePool& pool = ThePool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  pool.free_states.push_back(st);
+}
+
+#if SXNM_PROFILER_HAVE_SIGPROF
+// Async-signal-safe: only relaxed/acquire/release atomics and plain
+// stores into the preallocated ring; errno preserved.
+void SigprofHandler(int /*signo*/, siginfo_t* info, void* /*uctx*/) {
+  if (info == nullptr || info->si_code != SI_TIMER) return;
+  auto* st = static_cast<ThreadState*>(info->si_value.sival_ptr);
+  if (st == nullptr || !st->armed.load(std::memory_order_acquire)) return;
+  int saved_errno = errno;
+  uint64_t head = st->head.load(std::memory_order_relaxed);
+  uint64_t tail = st->tail.load(std::memory_order_acquire);
+  if (head - tail >= st->capacity) {
+    st->dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Slot& slot = st->slots[head % st->capacity];
+    slot.depth = st->stack->Snapshot(slot.frames);
+    st->head.store(head + 1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+
+// Installed on first profiler start and left in place for the process
+// lifetime: restoring SIG_DFL while a deleted timer's signal is still
+// pending would terminate the process. With no profiler running every
+// state is disarmed and the handler is a no-op.
+void InstallSigprofHandlerOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &SigprofHandler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGPROF, &sa, nullptr);
+  });
+}
+#endif  // SXNM_PROFILER_HAVE_SIGPROF
+
+std::string SanitizeFrame(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ';' || c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+void WriteSeconds(std::ostream& os, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+  os << buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CpuProfile
+// ---------------------------------------------------------------------------
+
+const CpuProfile::Entry* CpuProfile::TopSelf() const {
+  // Entries are sorted self-descending, so the first with self samples
+  // (if any) leads the vector.
+  if (entries.empty() || entries.front().self_samples == 0) return nullptr;
+  return &entries.front();
+}
+
+void CpuProfile::WriteFolded(std::ostream& os) const {
+  // One line per leaf-sampled path. Sorted by path for a stable diff.
+  std::vector<const Entry*> leaves;
+  for (const Entry& e : entries) {
+    if (e.self_samples > 0) leaves.push_back(&e);
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const Entry* a, const Entry* b) { return a->path < b->path; });
+  for (const Entry* e : leaves) {
+    os << e->path << ' ' << e->self_samples << '\n';
+  }
+}
+
+util::Status CpuProfile::WriteFoldedFile(const std::string& path) const {
+  std::ostringstream os;
+  WriteFolded(os);
+  return persist::AtomicWriteFile(path, os.str());
+}
+
+void CpuProfile::WriteJson(std::ostream& os) const {
+  os << "{\"enabled\": " << (enabled ? "true" : "false");
+  if (!enabled) {
+    os << "}";
+    return;
+  }
+  os << ", \"backend\": ";
+  WriteJsonString(os, backend);
+  os << ", \"hz\": ";
+  WriteSeconds(os, hz);
+  os << ", \"samples\": " << total_samples
+     << ", \"dropped\": " << dropped_samples
+     << ", \"truncated\": " << truncated_frames << ", \"spans\": [";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"path\": ";
+    WriteJsonString(os, e.path);
+    os << ", \"self_samples\": " << e.self_samples
+       << ", \"total_samples\": " << e.total_samples << ", \"self_s\": ";
+    WriteSeconds(os, SecondsOf(e.self_samples));
+    os << ", \"total_s\": ";
+    WriteSeconds(os, SecondsOf(e.total_samples));
+    os << "}";
+  }
+  os << "]}";
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------------
+
+struct Profiler::Impl {
+  explicit Impl(ProfilerOptions opts) : options(opts) {
+    options.hz = std::min(1000.0, std::max(1.0, options.hz));
+    if (options.ring_capacity < 16) options.ring_capacity = 16;
+    period_ns = static_cast<uint64_t>(1e9 / options.hz);
+    unattributed_id = spanpath::InternName(kUnattributed);
+  }
+
+  ProfilerOptions options;
+  uint64_t period_ns = 0;
+  uint32_t unattributed_id = 0;
+
+  std::mutex run_mu;
+  bool running = false;
+  bool use_sigprof = false;
+
+  // Aggregated leaf counts keyed by interned span path; guarded by
+  // agg_mu. Lock order: spanpath registry lock -> agg_mu.
+  std::mutex agg_mu;
+  std::map<std::vector<uint32_t>, uint64_t> leaf_counts;
+  uint64_t dropped = 0;
+  uint64_t truncated = 0;
+
+  // Drainer (signal backend) or sampler (fallback backend) thread.
+  std::thread worker;
+  std::mutex worker_mu;
+  std::condition_variable worker_cv;
+  bool worker_stop = false;
+
+  // Fallback-backend bookkeeping, touched only by the sampler thread.
+  std::map<spanpath::ThreadStack*, uint64_t> last_cpu_ns;
+  std::map<spanpath::ThreadStack*, uint64_t> carry_ns;
+
+  void AddSamples(const uint32_t* frames, uint32_t depth, uint64_t count) {
+    std::vector<uint32_t> path;
+    if (depth == 0) {
+      path.push_back(unattributed_id);
+    } else {
+      path.assign(frames, frames + depth);
+    }
+    std::lock_guard<std::mutex> lock(agg_mu);
+    leaf_counts[path] += count;
+  }
+
+  // Consumes every complete sample in `st`'s ring. Callers hold the
+  // spanpath registry lock (drainer via ForEachThreadStack, detach via
+  // the unregister hook), which serializes the consumer side.
+  void DrainState(ThreadState* st) {
+    uint64_t head = st->head.load(std::memory_order_acquire);
+    uint64_t tail = st->tail.load(std::memory_order_relaxed);
+    while (tail != head) {
+      const Slot& slot = st->slots[tail % st->capacity];
+      AddSamples(slot.frames, std::min<uint32_t>(slot.depth, spanpath::kMaxDepth),
+                 1);
+      ++tail;
+    }
+    st->tail.store(tail, std::memory_order_release);
+  }
+
+  void Attach(spanpath::ThreadStack* stack, bool on_thread) {
+#if SXNM_PROFILER_HAVE_SIGPROF
+    ThreadState* st = AcquireState(options.ring_capacity);
+    st->stack = stack;
+    st->head.store(0, std::memory_order_relaxed);
+    st->tail.store(0, std::memory_order_relaxed);
+    st->dropped.store(0, std::memory_order_relaxed);
+    st->trunc_base = stack->truncated.load(std::memory_order_relaxed);
+
+    clockid_t clock{};
+    bool have_clock = false;
+    if (on_thread) {
+      clock = CLOCK_THREAD_CPUTIME_ID;
+      have_clock = true;
+    } else {
+      have_clock = pthread_getcpuclockid(stack->pthread_handle, &clock) == 0;
+    }
+    st->timer_ok = false;
+    if (have_clock) {
+      struct sigevent sev;
+      std::memset(&sev, 0, sizeof(sev));
+      sev.sigev_notify = SIGEV_THREAD_ID;
+      sev.sigev_signo = SIGPROF;
+      sev.sigev_value.sival_ptr = st;
+      sev.sigev_notify_thread_id = static_cast<pid_t>(stack->tid);
+      if (timer_create(clock, &sev, &st->timer) == 0) {
+        struct itimerspec spec;
+        std::memset(&spec, 0, sizeof(spec));
+        spec.it_interval.tv_sec = static_cast<time_t>(period_ns / 1000000000);
+        spec.it_interval.tv_nsec = static_cast<long>(period_ns % 1000000000);
+        spec.it_value = spec.it_interval;
+        if (timer_settime(st->timer, 0, &spec, nullptr) == 0) {
+          st->timer_ok = true;
+        } else {
+          timer_delete(st->timer);
+        }
+      }
+    }
+    st->armed.store(true, std::memory_order_release);
+    stack->profiler_state.store(st, std::memory_order_release);
+#else
+    (void)stack;
+    (void)on_thread;
+#endif
+  }
+
+  void Detach(spanpath::ThreadStack* stack) {
+    auto* st = static_cast<ThreadState*>(
+        stack->profiler_state.load(std::memory_order_acquire));
+    if (st == nullptr) return;
+    stack->profiler_state.store(nullptr, std::memory_order_release);
+#if SXNM_PROFILER_HAVE_SIGPROF
+    if (st->timer_ok) {
+      timer_delete(st->timer);
+      st->timer_ok = false;
+    }
+#endif
+    st->armed.store(false, std::memory_order_release);
+    DrainState(st);
+    {
+      std::lock_guard<std::mutex> lock(agg_mu);
+      dropped += st->dropped.load(std::memory_order_relaxed);
+      uint64_t trunc_now = stack->truncated.load(std::memory_order_relaxed);
+      if (trunc_now > st->trunc_base) truncated += trunc_now - st->trunc_base;
+    }
+    ReleaseState(st);
+  }
+
+  void DrainerLoop() {
+    auto interval = std::chrono::duration<double, std::milli>(
+        std::max(1.0, options.drain_interval_ms));
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(worker_mu);
+        worker_cv.wait_for(lock, interval, [this] { return worker_stop; });
+        if (worker_stop) return;
+      }
+      spanpath::ForEachThreadStack([this](spanpath::ThreadStack* stack) {
+        auto* st = static_cast<ThreadState*>(
+            stack->profiler_state.load(std::memory_order_acquire));
+        if (st != nullptr) DrainState(st);
+      });
+    }
+  }
+
+  void SamplerLoop() {
+    auto interval =
+        std::chrono::nanoseconds(static_cast<int64_t>(period_ns));
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(worker_mu);
+        worker_cv.wait_for(lock, interval, [this] { return worker_stop; });
+        if (worker_stop) return;
+      }
+      spanpath::ForEachThreadStack([this](spanpath::ThreadStack* stack) {
+        clockid_t clock{};
+        if (pthread_getcpuclockid(stack->pthread_handle, &clock) != 0) return;
+        struct timespec ts;
+        if (clock_gettime(clock, &ts) != 0) return;
+        uint64_t now_ns = static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+                          static_cast<uint64_t>(ts.tv_nsec);
+        auto [it, first_seen] = last_cpu_ns.try_emplace(stack, now_ns);
+        if (first_seen) return;  // baseline only; pre-start CPU not charged
+        uint64_t prev = it->second;
+        it->second = now_ns;
+        if (now_ns <= prev) {
+          // Stack recycled to a fresh thread: its CPU clock restarted.
+          carry_ns[stack] = 0;
+          return;
+        }
+        uint64_t delta = now_ns - prev + carry_ns[stack];
+        uint64_t samples = delta / period_ns;
+        carry_ns[stack] = delta % period_ns;
+        if (samples == 0) return;
+        // Bound the per-tick cost of a thread that burned CPU faster
+        // than we polled; the undercount only flattens bursts.
+        samples = std::min<uint64_t>(samples, 4);
+        uint32_t frames[spanpath::kMaxDepth];
+        uint32_t depth = stack->Snapshot(frames);
+        AddSamples(frames, depth, samples);
+      });
+    }
+  }
+
+  CpuProfile BuildProfile() {
+    CpuProfile profile;
+    profile.enabled = true;
+    profile.backend = use_sigprof ? "sigprof" : "cputime-poll";
+    profile.hz = options.hz;
+    std::lock_guard<std::mutex> lock(agg_mu);
+    profile.dropped_samples = dropped;
+    profile.truncated_frames = truncated;
+    // self/total per path: a leaf count contributes self to its exact
+    // path and total to every prefix (itself included).
+    std::map<std::vector<uint32_t>, std::pair<uint64_t, uint64_t>> agg;
+    for (const auto& [path, count] : leaf_counts) {
+      profile.total_samples += count;
+      agg[path].first += count;
+      std::vector<uint32_t> prefix;
+      prefix.reserve(path.size());
+      for (uint32_t id : path) {
+        prefix.push_back(id);
+        agg[prefix].second += count;
+      }
+    }
+    profile.entries.reserve(agg.size());
+    for (const auto& [path, self_total] : agg) {
+      CpuProfile::Entry entry;
+      std::string joined;
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) joined += ';';
+        joined += SanitizeFrame(spanpath::NameOf(path[i]));
+      }
+      entry.path = std::move(joined);
+      entry.self_samples = self_total.first;
+      entry.total_samples = self_total.second;
+      profile.entries.push_back(std::move(entry));
+    }
+    std::sort(profile.entries.begin(), profile.entries.end(),
+              [](const CpuProfile::Entry& a, const CpuProfile::Entry& b) {
+                if (a.self_samples != b.self_samples) {
+                  return a.self_samples > b.self_samples;
+                }
+                return a.path < b.path;
+              });
+    return profile;
+  }
+
+  static void HookRegister(void* ctx, spanpath::ThreadStack* stack,
+                           bool on_thread) {
+    auto* impl = static_cast<Impl*>(ctx);
+    if (impl->use_sigprof) impl->Attach(stack, on_thread);
+  }
+
+  static void HookUnregister(void* ctx, spanpath::ThreadStack* stack,
+                             bool /*on_thread*/) {
+    auto* impl = static_cast<Impl*>(ctx);
+    if (impl->use_sigprof) impl->Detach(stack);
+  }
+};
+
+Profiler::Profiler(ProfilerOptions options)
+    : impl_(new Impl(std::move(options))) {}
+
+Profiler::~Profiler() {
+  if (running()) Stop();
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(impl_->run_mu);
+  return impl_->running;
+}
+
+util::Status Profiler::Start() {
+  std::lock_guard<std::mutex> lock(impl_->run_mu);
+  if (impl_->running) {
+    return util::Status::FailedPrecondition("profiler already running");
+  }
+  impl_->use_sigprof =
+      SXNM_PROFILER_HAVE_SIGPROF != 0 && !impl_->options.force_fallback;
+#if SXNM_PROFILER_HAVE_SIGPROF
+  if (impl_->use_sigprof) InstallSigprofHandlerOnce();
+#endif
+  {
+    std::lock_guard<std::mutex> agg_lock(impl_->agg_mu);
+    impl_->leaf_counts.clear();
+    impl_->dropped = 0;
+    impl_->truncated = 0;
+  }
+  impl_->last_cpu_ns.clear();
+  impl_->carry_ns.clear();
+
+  spanpath::ThreadHooks hooks;
+  hooks.on_register = &Impl::HookRegister;
+  hooks.on_unregister = &Impl::HookUnregister;
+  hooks.ctx = impl_.get();
+  if (!spanpath::InstallThreadHooks(hooks)) {
+    return util::Status::FailedPrecondition(
+        "another profiler is already running in this process");
+  }
+
+  impl_->worker_stop = false;
+  if (impl_->use_sigprof) {
+    impl_->worker = std::thread([impl = impl_.get()] { impl->DrainerLoop(); });
+  } else {
+    impl_->worker = std::thread([impl = impl_.get()] { impl->SamplerLoop(); });
+  }
+  impl_->running = true;
+  return util::Status::Ok();
+}
+
+CpuProfile Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(impl_->run_mu);
+  if (!impl_->running) return CpuProfile();
+  {
+    std::lock_guard<std::mutex> worker_lock(impl_->worker_mu);
+    impl_->worker_stop = true;
+  }
+  impl_->worker_cv.notify_all();
+  impl_->worker.join();
+  // Removing the hooks detaches (disarms, deletes timer, final-drains)
+  // every still-registered thread; threads that exited mid-run already
+  // detached through their unregister hook.
+  spanpath::RemoveThreadHooks(impl_.get());
+  impl_->running = false;
+  return impl_->BuildProfile();
+}
+
+}  // namespace sxnm::obs

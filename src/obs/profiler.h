@@ -1,0 +1,131 @@
+// In-process sampling CPU profiler, attributing CPU time to the span
+// paths maintained by obs::Tracer (see spanpath in obs/trace.h).
+//
+// Two backends:
+//   - "sigprof" (Linux): one POSIX CPU-time timer per span-pushing
+//     thread (`timer_create` on the thread's CPU clock, SIGEV_THREAD_ID
+//     delivery of SIGPROF). The async-signal-safe handler snapshots the
+//     thread's span-path stack into a per-thread bounded ring buffer —
+//     no locks, no allocation, only relaxed/release atomics. A drainer
+//     thread empties the rings off the hot path into the aggregate.
+//   - "cputime-poll" (portable fallback, also used when
+//     ProfilerOptions::force_fallback is set): a sampler thread polls
+//     every registered thread's CPU clock (`pthread_getcpuclockid`) at
+//     the sampling period and charges elapsed CPU to a cross-thread
+//     snapshot of that thread's span stack.
+//
+// Both backends sample *CPU* time, not wall time: blocked threads are
+// never charged. The profiler is an observer — detection output is
+// bit-identical with profiling on or off, for any thread count.
+//
+// At most one profiler can be running per process (it owns the global
+// span-path thread hooks). Overhead at the default 97 Hz is within the
+// bench gate's 3% ceiling; with no profiler running and no trace/profile
+// configured, span bookkeeping costs a single branch.
+
+#ifndef SXNM_OBS_PROFILER_H_
+#define SXNM_OBS_PROFILER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace sxnm::obs {
+
+/// Aggregated CPU profile keyed by span path. Produced by
+/// Profiler::Stop; a default-constructed profile has enabled == false.
+struct CpuProfile {
+  struct Entry {
+    /// Semicolon-joined span path, root first (frame names sanitized so
+    /// they contain no ';' or whitespace). CPU burned on a profiled
+    /// thread outside any span appears under "(unattributed)".
+    std::string path;
+    /// Samples whose deepest frame was exactly this path.
+    uint64_t self_samples = 0;
+    /// Samples landing on this path or any descendant.
+    uint64_t total_samples = 0;
+  };
+
+  bool enabled = false;
+  std::string backend;  // "sigprof" or "cputime-poll"
+  double hz = 0.0;
+  uint64_t total_samples = 0;
+  /// Samples lost to full ring buffers (signal backend only).
+  uint64_t dropped_samples = 0;
+  /// Span pushes dropped because a thread's stack was deeper than
+  /// spanpath::kMaxDepth while the profiler ran.
+  uint64_t truncated_frames = 0;
+  /// Entries sorted by self_samples descending, then path ascending.
+  std::vector<Entry> entries;
+
+  double period_seconds() const { return hz > 0.0 ? 1.0 / hz : 0.0; }
+  double SecondsOf(uint64_t samples) const {
+    return static_cast<double>(samples) * period_seconds();
+  }
+
+  /// First entry with self samples, or nullptr (entries are top-first).
+  const Entry* TopSelf() const;
+
+  /// flamegraph.pl-compatible folded stacks: one "a;b;c N" line per
+  /// path with self samples.
+  void WriteFolded(std::ostream& os) const;
+
+  /// WriteFolded through an atomic tmp+fsync+rename commit: a crash
+  /// leaves the previous file (or none), never a torn profile.
+  util::Status WriteFoldedFile(const std::string& path) const;
+
+  /// The DetectionReport "profile" block (a JSON object, no trailing
+  /// newline): metadata plus per-path self/total samples and seconds.
+  void WriteJson(std::ostream& os) const;
+};
+
+struct ProfilerOptions {
+  /// Sampling frequency per thread-CPU-second. Clamped to [1, 1000].
+  double hz = 97.0;
+  /// Use the portable polling backend even where SIGPROF timers are
+  /// available (tests; keeps sanitizer runs signal-free).
+  bool force_fallback = false;
+  /// Per-thread ring capacity, signal backend. Drained every
+  /// drain_interval_ms, so the default survives > 2500 Hz bursts.
+  size_t ring_capacity = 512;
+  double drain_interval_ms = 50.0;
+};
+
+/// Timer-driven sampling profiler. Start installs the span-path thread
+/// hooks (and, on the signal backend, per-thread CPU timers); Stop
+/// tears everything down and returns the aggregated profile.
+class Profiler {
+ public:
+  explicit Profiler(ProfilerOptions options = {});
+  ~Profiler();  // stops (discarding the profile) if still running
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Begins sampling. Fails if this or another profiler is already
+  /// running (the span-path hooks are a process-wide singleton).
+  util::Status Start();
+
+  /// Ends sampling and returns the aggregate. Idempotent: a second
+  /// Stop (or Stop without Start) returns a disabled profile.
+  CpuProfile Stop();
+
+  bool running() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sxnm::obs
+
+#endif  // SXNM_OBS_PROFILER_H_

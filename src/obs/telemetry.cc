@@ -109,6 +109,13 @@ void TelemetrySample::WriteJson(std::ostream& os) const {
   os << ", \"eta_s\": ";
   WriteJsonDouble(os, eta_s);
 
+  os << ", \"cpu_user_pct\": ";
+  WriteJsonDouble(os, cpu_user_pct);
+  os << ", \"cpu_sys_pct\": ";
+  WriteJsonDouble(os, cpu_sys_pct);
+  os << ", \"threads\": " << threads;
+  os << ", \"cpu_sampled\": " << (cpu_sampled ? "true" : "false");
+
   os << ", \"mem\": {\"sampled\": " << (memory.sampled ? "true" : "false")
      << ", \"rss_bytes\": " << memory.rss_bytes
      << ", \"peak_rss_bytes\": " << memory.peak_rss_bytes
@@ -191,6 +198,7 @@ util::Status TelemetrySampler::Start() {
   start_time_ = std::chrono::steady_clock::now();
   prev_t_ms_ = 0.0;
   prev_counters_.clear();
+  prev_cpu_ = util::ReadProcCpu();  // CPU% baseline for the first sample
   worker_ = std::thread([this] { WorkerLoop(); });
   return util::Status::Ok();
 }
@@ -220,6 +228,22 @@ void TelemetrySampler::TakeSampleLocked(bool final_sample,
   sample.final_sample = final_sample;
   sample.snapshot = registry_->Snapshot();
   sample.memory = util::ReadProcMemory();
+
+  const util::ProcCpu cpu = util::ReadProcCpu();
+  sample.cpu_sampled = cpu.sampled;
+  sample.threads = cpu.threads;
+  {
+    const double dt_s = (sample.t_ms - prev_t_ms_) / 1000.0;
+    if (cpu.sampled && dt_s > 0.0) {
+      // Monotonic-clamped: a rusage hiccup can never yield a negative
+      // utilization.
+      const double du = std::max(0.0, cpu.user_seconds - prev_cpu_.user_seconds);
+      const double ds = std::max(0.0, cpu.sys_seconds - prev_cpu_.sys_seconds);
+      sample.cpu_user_pct = du / dt_s * 100.0;
+      sample.cpu_sys_pct = ds / dt_s * 100.0;
+    }
+    prev_cpu_ = cpu;
+  }
 
   const double dt_ms = sample.t_ms - prev_t_ms_;
   if (dt_ms > 0.0) {

@@ -73,6 +73,18 @@ struct TelemetrySample {
   MetricsSnapshot snapshot;
   util::ProcMemory memory;
 
+  /// Process CPU utilization over the interval since the previous
+  /// sample (or since Start() for the first): user/system CPU seconds
+  /// per wall second, as a percentage. 100% == one saturated core, so
+  /// a parallel phase legitimately exceeds 100. Monotonic-clamped to
+  /// >= 0. `threads` is the live thread count at sample time (0 where
+  /// /proc is unavailable); `cpu_sampled` is false when the platform
+  /// has no CPU-time source at all.
+  double cpu_user_pct = 0.0;
+  double cpu_sys_pct = 0.0;
+  int threads = 0;
+  bool cpu_sampled = false;
+
   /// Per-second rates for counters that advanced since the previous
   /// sample, (name, delta/dt). Sorted by name.
   std::vector<std::pair<std::string, double>> rates;
@@ -87,7 +99,8 @@ struct TelemetrySample {
 
   /// One NDJSON record (single line, no trailing newline):
   /// {"type":"sample","seq":..,"t_ms":..,"final":..,"phase":..,
-  ///  "phase_name":..,"progress":..,"eta_s":..,"mem":{...},
+  ///  "phase_name":..,"progress":..,"eta_s":..,
+  ///  "cpu_user_pct":..,"cpu_sys_pct":..,"threads":..,"mem":{...},
   ///  "counters":{...},"gauges":{...},"rates":{...},
   ///  "histograms":{name:{count,sum}}}
   void WriteJson(std::ostream& os) const;
@@ -158,6 +171,9 @@ class TelemetrySampler {
   // Previous sample's counters (name -> value) for delta/rate math.
   std::vector<std::pair<std::string, uint64_t>> prev_counters_;
   double prev_t_ms_ = 0.0;
+  // Previous CPU reading (baseline taken at Start()) for the per-sample
+  // cpu_user_pct / cpu_sys_pct utilization deltas.
+  util::ProcCpu prev_cpu_;
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -1,13 +1,163 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <sstream>
 #include <tuple>
+#include <unordered_map>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
 
 #include "persist/io.h"
 
 namespace sxnm::obs {
+
+namespace spanpath {
+
+namespace {
+
+uint64_t CurrentTid() {
+#ifdef __linux__
+  return static_cast<uint64_t>(syscall(SYS_gettid));
+#else
+  return 0;
+#endif
+}
+
+// Interned span names. A deque keeps element addresses stable across
+// growth; ids are indices. Bounded by the number of distinct span names
+// ever started (a handful per run), so it is never trimmed.
+struct NameTable {
+  std::mutex mu;
+  std::deque<std::string> names;
+  std::unordered_map<std::string, uint32_t> ids;
+};
+
+NameTable& Names() {
+  static NameTable* table = new NameTable();
+  return *table;
+}
+
+// Registered thread stacks plus the (single) profiler hook set. Stacks
+// are pooled for the process lifetime: a ThreadStack handed to a thread
+// is returned to `pool` when the thread exits and recycled for the next
+// thread, but its memory is never freed — a late async signal aimed at
+// an exiting thread can therefore never touch freed memory.
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadStack*> stacks;  // currently registered threads
+  std::vector<ThreadStack*> pool;    // retired, reusable
+  ThreadHooks hooks;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void UnregisterThread(ThreadStack* stack) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.hooks.on_unregister != nullptr) {
+    reg.hooks.on_unregister(reg.hooks.ctx, stack, /*on_thread=*/true);
+  }
+  auto it = std::find(reg.stacks.begin(), reg.stacks.end(), stack);
+  if (it != reg.stacks.end()) reg.stacks.erase(it);
+  reg.pool.push_back(stack);
+}
+
+// Thread-local registration handle: registers on construction (first
+// ThisThreadStack call), unregisters when the thread exits.
+struct ThreadSlot {
+  ThreadStack* stack = nullptr;
+
+  ThreadSlot() {
+    Registry& reg = TheRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (!reg.pool.empty()) {
+      stack = reg.pool.back();
+      reg.pool.pop_back();
+      stack->depth.store(0, std::memory_order_relaxed);
+      stack->truncated.store(0, std::memory_order_relaxed);
+      stack->profiler_state.store(nullptr, std::memory_order_relaxed);
+    } else {
+      stack = new ThreadStack();
+    }
+    stack->tid = CurrentTid();
+    stack->pthread_handle = pthread_self();
+    reg.stacks.push_back(stack);
+    if (reg.hooks.on_register != nullptr) {
+      reg.hooks.on_register(reg.hooks.ctx, stack, /*on_thread=*/true);
+    }
+  }
+
+  ~ThreadSlot() { UnregisterThread(stack); }
+};
+
+}  // namespace
+
+uint32_t InternName(const std::string& name) {
+  NameTable& table = Names();
+  std::lock_guard<std::mutex> lock(table.mu);
+  auto it = table.ids.find(name);
+  if (it != table.ids.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(table.names.size());
+  table.names.push_back(name);
+  table.ids.emplace(name, id);
+  return id;
+}
+
+std::string NameOf(uint32_t id) {
+  NameTable& table = Names();
+  std::lock_guard<std::mutex> lock(table.mu);
+  if (id >= table.names.size()) return "?";
+  return table.names[id];
+}
+
+ThreadStack* ThisThreadStack() {
+  static thread_local ThreadSlot slot;
+  return slot.stack;
+}
+
+bool InstallThreadHooks(const ThreadHooks& hooks) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.hooks.on_register != nullptr || reg.hooks.on_unregister != nullptr) {
+    return false;
+  }
+  reg.hooks = hooks;
+  if (reg.hooks.on_register != nullptr) {
+    for (ThreadStack* stack : reg.stacks) {
+      reg.hooks.on_register(reg.hooks.ctx, stack, /*on_thread=*/false);
+    }
+  }
+  return true;
+}
+
+void RemoveThreadHooks(void* ctx) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.hooks.ctx != ctx) return;
+  if (reg.hooks.on_unregister != nullptr) {
+    for (ThreadStack* stack : reg.stacks) {
+      reg.hooks.on_unregister(reg.hooks.ctx, stack, /*on_thread=*/false);
+    }
+  }
+  reg.hooks = ThreadHooks();
+}
+
+void ForEachThreadStack(const std::function<void(ThreadStack*)>& fn) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadStack* stack : reg.stacks) fn(stack);
+}
+
+}  // namespace spanpath
 
 namespace {
 
@@ -48,7 +198,10 @@ Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
     tracer_ = other.tracer_;
     name_ = std::move(other.name_);
     start_ = other.start_;
+    record_ = other.record_;
+    pushed_ = other.pushed_;
     other.tracer_ = nullptr;
+    other.pushed_ = nullptr;
   }
   return *this;
 }
@@ -59,6 +212,12 @@ void Tracer::Span::EndWithArgs(std::string args_json) {
   if (tracer_ == nullptr) return;
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
+
+  if (pushed_ != nullptr) {
+    pushed_->Pop();
+    pushed_ = nullptr;
+  }
+  if (!record_) return;
 
   auto now = std::chrono::steady_clock::now();
   Event event;
@@ -72,12 +231,19 @@ void Tracer::Span::EndWithArgs(std::string args_json) {
   tracer->Record(std::move(event));
 }
 
-Tracer::Tracer(bool enabled)
-    : enabled_(enabled), epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer(bool enabled, bool track_paths)
+    : enabled_(enabled),
+      track_paths_(track_paths),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer::Span Tracer::StartSpan(std::string name) {
-  if (!enabled_) return Span();
-  return Span(this, std::move(name));
+  if (!enabled_ && !track_paths_) return Span();
+  spanpath::ThreadStack* pushed = nullptr;
+  if (track_paths_) {
+    spanpath::ThreadStack* stack = spanpath::ThisThreadStack();
+    if (stack->Push(spanpath::InternName(name))) pushed = stack;
+  }
+  return Span(this, std::move(name), enabled_, pushed);
 }
 
 void Tracer::Record(Event event) {

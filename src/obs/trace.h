@@ -12,9 +12,13 @@
 #ifndef SXNM_OBS_TRACE_H_
 #define SXNM_OBS_TRACE_H_
 
+#include <pthread.h>
+
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -24,6 +28,115 @@
 #include "util/status.h"
 
 namespace sxnm::obs {
+
+// ---------------------------------------------------------------------------
+// Span-path tracking for the sampling profiler (obs/profiler.h).
+//
+// Every thread that opens a path-tracked span maintains a small lock-free
+// stack of interned span-name ids. The stack is designed so that an
+// async-signal handler running ON the same thread (SIGPROF sampling), or a
+// sampler thread reading ANOTHER thread's stack (portable fallback), can
+// snapshot the current span path without taking locks or allocating.
+//
+// Writer protocol (owning thread only):
+//   push: frames[d].store(id, relaxed); depth.store(d + 1, release);
+//   pop:  depth.store(d - 1, release);
+// The release store on depth orders the frame write before the depth bump,
+// so any reader that observes depth == d + 1 also observes frames[d].
+// Same-thread signal handlers additionally get program-order guarantees.
+// Cross-thread readers may race with a concurrent push/pop and snapshot a
+// path that is one frame stale — acceptable for a sampling profiler.
+// ---------------------------------------------------------------------------
+namespace spanpath {
+
+/// Maximum tracked span nesting. Deeper pushes are counted (truncated)
+/// and dropped; the engine's real nesting is ~5 deep.
+inline constexpr size_t kMaxDepth = 16;
+
+/// Per-thread lock-free span-path stack. Allocated once per thread on
+/// first use and pooled for the process lifetime (never freed), so a
+/// late async signal can never dereference freed memory.
+struct ThreadStack {
+  std::array<std::atomic<uint32_t>, kMaxDepth> frames{};
+  std::atomic<uint32_t> depth{0};
+  /// Pushes dropped because the stack was full.
+  std::atomic<uint64_t> truncated{0};
+  /// Kernel thread id (gettid) of the owning thread; 0 if unknown.
+  uint64_t tid = 0;
+  /// pthread handle of the owning thread (for pthread_getcpuclockid).
+  pthread_t pthread_handle{};
+  /// Opaque per-thread profiler state (owned by the active profiler).
+  std::atomic<void*> profiler_state{nullptr};
+
+  /// Owning-thread push. Returns true when the frame was recorded (the
+  /// matching End must then Pop).
+  bool Push(uint32_t name_id) {
+    uint32_t d = depth.load(std::memory_order_relaxed);
+    if (d >= kMaxDepth) {
+      truncated.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    frames[d].store(name_id, std::memory_order_relaxed);
+    depth.store(d + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owning-thread pop (no-op on an empty stack).
+  void Pop() {
+    uint32_t d = depth.load(std::memory_order_relaxed);
+    if (d > 0) depth.store(d - 1, std::memory_order_release);
+  }
+
+  /// Snapshot into `out[0..kMaxDepth)`; returns the captured depth.
+  /// Safe from the owning thread's signal handler; cross-thread callers
+  /// get a best-effort (possibly one-frame-stale) path.
+  uint32_t Snapshot(uint32_t* out) const {
+    uint32_t d = depth.load(std::memory_order_acquire);
+    if (d > kMaxDepth) d = kMaxDepth;
+    for (uint32_t i = 0; i < d; ++i) {
+      out[i] = frames[i].load(std::memory_order_relaxed);
+    }
+    return d;
+  }
+};
+
+/// Interns a span name, returning a stable process-wide id. Never call
+/// from a signal handler (takes a lock, may allocate).
+uint32_t InternName(const std::string& name);
+
+/// Name for an interned id ("?" for unknown ids). Thread-safe.
+std::string NameOf(uint32_t id);
+
+/// The calling thread's stack; registers the thread (and fires the
+/// active registration hook, if any) on first use. Thread-safe.
+ThreadStack* ThisThreadStack();
+
+/// Registration hooks: an active profiler installs these to learn about
+/// span-pushing threads. `on_thread` is true when the callback runs on
+/// the thread being registered (lazy first-use registration) and false
+/// when it runs from InstallThreadHooks/RemoveThreadHooks for threads
+/// that were already registered. Callbacks run under the registry lock:
+/// they must not re-enter spanpath registration.
+struct ThreadHooks {
+  void (*on_register)(void* ctx, ThreadStack* stack, bool on_thread) = nullptr;
+  void (*on_unregister)(void* ctx, ThreadStack* stack, bool on_thread) =
+      nullptr;
+  void* ctx = nullptr;
+};
+
+/// Installs hooks and invokes on_register for every already-registered
+/// thread before returning. Fails (returns false) if hooks are already
+/// installed — at most one profiler can be active.
+bool InstallThreadHooks(const ThreadHooks& hooks);
+
+/// Invokes on_unregister for every still-registered thread, then clears
+/// the hooks. No-op when `ctx` does not match the installed hooks.
+void RemoveThreadHooks(void* ctx);
+
+/// Visits every registered thread stack under the registry lock.
+void ForEachThreadStack(const std::function<void(ThreadStack*)>& fn);
+
+}  // namespace spanpath
 
 class Tracer {
  public:
@@ -57,21 +170,33 @@ class Tracer {
 
    private:
     friend class Tracer;
-    Span(Tracer* tracer, std::string name)
+    Span(Tracer* tracer, std::string name, bool record,
+         spanpath::ThreadStack* pushed)
         : tracer_(tracer),
           name_(std::move(name)),
-          start_(std::chrono::steady_clock::now()) {}
+          start_(std::chrono::steady_clock::now()),
+          record_(record),
+          pushed_(pushed) {}
 
     Tracer* tracer_ = nullptr;  // nullptr = inert / already ended
     std::string name_;
     std::chrono::steady_clock::time_point start_;
+    bool record_ = false;  // emit a Chrome trace event on End
+    // Span-path stack this span pushed a frame onto (nullptr = none).
+    // Spans must End on the thread that started them.
+    spanpath::ThreadStack* pushed_ = nullptr;
   };
 
-  explicit Tracer(bool enabled = true);
+  /// `enabled` buffers Chrome trace events; `track_paths` additionally
+  /// maintains the per-thread span-path stacks the sampling profiler
+  /// snapshots. With both off, StartSpan hands out inert spans whose
+  /// whole lifecycle costs one branch.
+  explicit Tracer(bool enabled = true, bool track_paths = false);
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   bool enabled() const { return enabled_; }
+  bool track_paths() const { return track_paths_; }
 
   /// Opens a span on the calling thread. Thread-safe.
   Span StartSpan(std::string name);
@@ -98,6 +223,7 @@ class Tracer {
   };
 
   bool enabled_;
+  bool track_paths_;
   std::chrono::steady_clock::time_point epoch_;
   mutable std::array<Buffer, kNumShards> buffers_;
 };

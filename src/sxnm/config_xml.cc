@@ -140,7 +140,8 @@ Status ParseCheckpoint(const Element& elem, CheckpointConfig& checkpoint) {
 
 // <observability metrics="on" trace="trace.json" report="report.json"
 //                 explain="explain.ndjson" telemetry="run.tlm.ndjsonl"
-//                 telemetry-interval-ms="250"/>
+//                 telemetry-interval-ms="250" profile="run.folded"
+//                 profile-hz="97"/>
 Result<ObservabilityConfig> ParseObservability(const Element& elem) {
   ObservabilityConfig obs;
   auto metrics = BoolAttrOr(elem, "metrics", false);
@@ -160,6 +161,17 @@ Result<ObservabilityConfig> ParseObservability(const Element& elem) {
           *interval);
     }
     obs.telemetry_interval_ms = parsed;
+  }
+  obs.profile_path = elem.AttributeOr("profile", "");
+  if (const std::string* hz = elem.FindAttribute("profile-hz")) {
+    double parsed = util::ParseDoubleOr(*hz, -1.0);
+    if (parsed <= 0.0) {
+      return Status::ParseError(
+          "<observability> attribute 'profile-hz' is not a positive "
+          "number: " +
+          *hz);
+    }
+    obs.profile_hz = parsed;
   }
   return obs;
 }
@@ -452,7 +464,9 @@ xml::Document ConfigToXml(const Config& config) {
   const ObservabilityConfig obs_defaults;
   if (obs.metrics || !obs.trace_path.empty() || !obs.report_path.empty() ||
       !obs.explain_path.empty() || !obs.telemetry_path.empty() ||
-      obs.telemetry_interval_ms != obs_defaults.telemetry_interval_ms) {
+      obs.telemetry_interval_ms != obs_defaults.telemetry_interval_ms ||
+      !obs.profile_path.empty() ||
+      obs.profile_hz != obs_defaults.profile_hz) {
     Element* e = root->AddElement("observability");
     e->SetAttribute("metrics", obs.metrics ? "on" : "off");
     if (!obs.trace_path.empty()) e->SetAttribute("trace", obs.trace_path);
@@ -466,6 +480,12 @@ xml::Document ConfigToXml(const Config& config) {
     if (obs.telemetry_interval_ms != obs_defaults.telemetry_interval_ms) {
       e->SetAttribute("telemetry-interval-ms",
                       util::FormatDouble(obs.telemetry_interval_ms, 6));
+    }
+    if (!obs.profile_path.empty()) {
+      e->SetAttribute("profile", obs.profile_path);
+    }
+    if (obs.profile_hz != obs_defaults.profile_hz) {
+      e->SetAttribute("profile-hz", util::FormatDouble(obs.profile_hz, 6));
     }
   }
   const RunLimits& limits = config.limits();

@@ -290,6 +290,10 @@ void DetectionReport::WriteJson(std::ostream& os) const {
     }
     os << "\n  ]";
   }
+  if (profile.enabled) {
+    os << ",\n  \"profile\": ";
+    profile.WriteJson(os);
+  }
   os << "\n}\n";
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "util/status.h"
 
 namespace sxnm::core {
@@ -136,6 +137,11 @@ struct DetectionReport {
   /// Per-pass precision/recall attribution rows. Empty unless a gold
   /// standard was joined in (eval::AttachAttribution).
   std::vector<PassAttribution> attribution;
+
+  /// Span-attributed CPU profile of the run (profile.enabled == false
+  /// unless the run was profiled via ObservabilityConfig::profile_path).
+  /// Serialized as the report's "profile" block.
+  obs::CpuProfile profile;
 
   bool empty() const { return rows.empty(); }
 

@@ -12,6 +12,7 @@
 
 #include "extsort/extsort.h"
 #include "obs/explain.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "persist/io.h"
@@ -312,13 +313,14 @@ struct ExtSortHighWater {
 // files) land in pass_status.
 void ComputePassOrder(CandidateRun& run, size_t key_index, bool explain_on,
                       uint64_t sorter_budget, const std::string& spill_dir,
-                      obs::MetricsRegistry& metrics,
+                      obs::MetricsRegistry& metrics, obs::Tracer& tracer,
                       ExtSortHighWater& high_water) {
   const PassPlan& plan = run.plans[key_index];
   if (!run.kg_ok) return;
   if (plan.skip && !explain_on) return;
   const GkTable& table = *run.table;
   if (sorter_budget == 0 || plan.skip) {
+    obs::Tracer::Span sort_span = tracer.StartSpan("sw/sort");
     run.pass_orders[key_index] = table.SortedOrder(key_index);
     return;
   }
@@ -329,15 +331,19 @@ void ComputePassOrder(CandidateRun& run, size_t key_index, bool explain_on,
                  std::to_string(key_index + 1);
   options.metrics = metrics.enabled() ? &metrics : nullptr;
   extsort::ExternalSorter sorter(options);
-  for (const GkRow& row : table.rows) {
-    persist::Encoder enc;
-    EncodeSpillRow(row, table.od_pool, enc);
-    Status s = sorter.Add(row.keys[key_index], enc.bytes());
-    if (!s.ok()) {
-      run.pass_status[key_index] = s;
-      return;
+  {
+    obs::Tracer::Span spill_span = tracer.StartSpan("extsort/spill");
+    for (const GkRow& row : table.rows) {
+      persist::Encoder enc;
+      EncodeSpillRow(row, table.od_pool, enc);
+      Status s = sorter.Add(row.keys[key_index], enc.bytes());
+      if (!s.ok()) {
+        run.pass_status[key_index] = s;
+        return;
+      }
     }
   }
+  obs::Tracer::Span merge_span = tracer.StartSpan("extsort/merge");
   auto stream = sorter.Finish();
   if (!stream.ok()) {
     run.pass_status[key_index] = stream.status();
@@ -600,6 +606,9 @@ void RunWindowPass(CandidateRun& run, size_t key_index, size_t shard,
   // resident), so concatenating the shard streams in shard order
   // reproduces the unsharded enumeration pair for pair.
   WindowRunResult& outcome = run.shard_outcomes[key_index][shard];
+  // Kernel-level attribution for the sampling profiler: the window
+  // enumeration plus every pair classification it triggers.
+  obs::Tracer::Span classify_span = tracer.StartSpan("sw/classify");
   if (run.cand->window_policy == WindowPolicy::kAdaptivePrefix &&
       !plan.shrunk) {
     auto key_of = [&](size_t ordinal) -> const std::string& {
@@ -630,6 +639,7 @@ void RunWindowPass(CandidateRun& run, size_t key_index, size_t shard,
   // cooperative early stop) were counted into pairs_windowed, so they
   // must be classified for the counter closure to hold.
   flush();
+  classify_span.End();
   stats.myers_words = text::ThreadMyersStats().words - myers_before;
   stats.wall_seconds = watch.ElapsedSeconds();
 
@@ -869,8 +879,19 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
   // configuration pays nothing.
   const ObservabilityConfig& obs_cfg = config_.observability();
   obs::MetricsRegistry metrics(obs_cfg.metrics);
-  obs::Tracer tracer(!obs_cfg.trace_path.empty());
+  const bool profiling = !obs_cfg.profile_path.empty();
+  // Span paths are tracked only when the profiler needs them; a traced
+  // but unprofiled run pays nothing extra for them.
+  obs::Tracer tracer(!obs_cfg.trace_path.empty(), profiling);
   obs::ExplainLog explain(!obs_cfg.explain_path.empty());
+  // The sampling profiler observes the span-path stacks; it never
+  // writes engine state, so output is bit-identical with it on or off.
+  obs::ProfilerOptions profiler_options;
+  profiler_options.hz = obs_cfg.profile_hz;
+  obs::Profiler profiler(profiler_options);
+  if (profiling) {
+    SXNM_RETURN_IF_ERROR(profiler.Start());
+  }
   obs::Tracer::Span run_span = tracer.StartSpan("detect");
   auto set_phase = [&metrics](obs::RunPhase phase) {
     metrics.gauge("progress.phase")
@@ -1014,8 +1035,10 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
     util::ParallelForCancellable(
         forest.candidates().size(), num_threads, token, [&](size_t t) {
           const CandidateInstances& instances = forest.candidates()[t];
+          obs::Tracer::Span gen_span = tracer.StartSpan("kg/generate");
           auto keys = GenerateKeysChecked(*instances.config, instances, token,
                                           &metrics);
+          gen_span.End();
           if (!keys.ok()) {
             kg_status[t] = keys.status();
             return;
@@ -1301,7 +1324,8 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
     util::ParallelFor(pass_tasks.size(), num_threads, [&](size_t i) {
       auto [r, key_index] = pass_tasks[i];
       ComputePassOrder(runs[r], key_index, explain.enabled(), sorter_budget,
-                       config_.spill_dir(), metrics, extsort_high_water);
+                       config_.spill_dir(), metrics, tracer,
+                       extsort_high_water);
     });
     for (const CandidateRun& run : runs) {
       for (const util::Status& status : run.pass_status) {
@@ -1518,6 +1542,15 @@ util::Result<DetectionResult> Detector::Run(const xml::Document& doc,
 
   // --- Observability export ----------------------------------------------
   run_span.End();
+  if (profiling) {
+    // Stop after the run span ends (all spans popped, samples final)
+    // and before the telemetry final sample, which then reflects the
+    // fully quiesced engine. The folded file commits atomically: a
+    // crash leaves the previous profile or none, never a torn one.
+    result.profile = profiler.Stop();
+    SXNM_RETURN_IF_ERROR(result.profile.WriteFoldedFile(obs_cfg.profile_path));
+    if (metrics.enabled()) result.report.profile = result.profile;
+  }
   if (metrics.enabled()) set_phase(obs::RunPhase::kDone);
   // Stop the sampler before snapshotting: the worker joins first, so the
   // stream's final sample is taken after every engine writer quiesced

@@ -89,6 +89,11 @@ struct DetectionResult {
   /// equal the robust.* counters in `metrics` when metrics are on.
   DegradationReport degradation;
 
+  /// Span-attributed CPU profile of the run. Disabled (enabled == false)
+  /// unless Config::observability().profile_path was set; with metrics
+  /// on it is also embedded in `report` as the "profile" block.
+  obs::CpuProfile profile;
+
   /// True when RunLimits/cancellation cut work: the result is a valid but
   /// partial detection (see `degradation` for what was shed).
   bool degraded() const { return degradation.degraded; }

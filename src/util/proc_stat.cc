@@ -34,6 +34,71 @@ bool ParseStatm(std::string_view statm, size_t page_size_bytes,
   return true;
 }
 
+bool ParseStatusThreads(std::string_view status, int* threads) {
+  // /proc/<pid>/status is "Key:\tvalue" lines; find the "Threads:" line
+  // at a line start so a value can never be mistaken for the key.
+  constexpr std::string_view kKey = "Threads:";
+  size_t pos = 0;
+  while (pos < status.size()) {
+    size_t eol = status.find('\n', pos);
+    std::string_view line = status.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    if (line.substr(0, kKey.size()) == kKey) {
+      size_t i = kKey.size();
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      size_t start = i;
+      long value = 0;
+      while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        value = value * 10 + (line[i] - '0');
+        if (value > 1 << 30) return false;
+        ++i;
+      }
+      if (i == start) return false;
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                                 line[i] == '\r')) {
+        ++i;
+      }
+      if (i != line.size()) return false;
+      *threads = static_cast<int>(value);
+      return true;
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return false;
+}
+
+ProcCpu ReadProcCpu() {
+  ProcCpu cpu;
+
+#if defined(SXNM_HAVE_RUSAGE)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    cpu.user_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                       static_cast<double>(usage.ru_utime.tv_usec) / 1e6;
+    cpu.sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
+                      static_cast<double>(usage.ru_stime.tv_usec) / 1e6;
+    cpu.sampled = true;
+  }
+#endif
+
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    int threads = 0;
+    if (ParseStatusThreads(std::string_view(buf, n), &threads)) {
+      cpu.threads = threads;
+    }
+  }
+#endif
+
+  return cpu;
+}
+
 ProcMemory ReadProcMemory() {
   ProcMemory mem;
 

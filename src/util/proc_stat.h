@@ -32,6 +32,25 @@ ProcMemory ReadProcMemory();
 bool ParseStatm(std::string_view statm, size_t page_size_bytes,
                 ProcMemory* out);
 
+/// One point-in-time CPU reading of the calling process: cumulative
+/// user/system CPU seconds (getrusage, all threads) plus the current
+/// thread count (/proc/self/status on Linux, 0 where unavailable).
+struct ProcCpu {
+  double user_seconds = 0.0;  // cumulative user CPU, all threads
+  double sys_seconds = 0.0;   // cumulative system CPU, all threads
+  int threads = 0;            // live threads (0: unknown on this platform)
+  bool sampled = false;       // false: no CPU source on this platform
+};
+
+/// Reads the current process's CPU accounting. Telemetry-sampler cheap
+/// (one syscall + one small /proc read).
+ProcCpu ReadProcCpu();
+
+/// Extracts the "Threads:" field from /proc/<pid>/status content.
+/// Returns false when the field is missing or malformed; exposed for
+/// tests and for reading other processes' status files.
+bool ParseStatusThreads(std::string_view status, int* threads);
+
 }  // namespace sxnm::util
 
 #endif  // SXNM_UTIL_PROC_STAT_H_

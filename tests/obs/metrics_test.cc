@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -393,6 +394,48 @@ TEST(MetricsSnapshotTest, SetPrometheusHelpRegistersAndEscapes) {
       std::string::npos)
       << text;
   EXPECT_EQ(PrometheusHelp("never.registered"), "");
+}
+
+TEST(MetricsSnapshotTest, PrometheusSpecialGaugeValuesUseExpositionSpellings) {
+  MetricsRegistry registry;
+  registry.gauge("special.nan").Set(std::numeric_limits<double>::quiet_NaN());
+  registry.gauge("special.pinf").Set(std::numeric_limits<double>::infinity());
+  registry.gauge("special.ninf").Set(-std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  // The exposition format spells the specials NaN / +Inf / -Inf; the
+  // plain printf forms ("nan", "inf") are not valid sample values.
+  EXPECT_NE(text.find("sxnm_special_nan NaN"), std::string::npos) << text;
+  EXPECT_NE(text.find("sxnm_special_pinf +Inf"), std::string::npos) << text;
+  EXPECT_NE(text.find("sxnm_special_ninf -Inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf\n"), std::string::npos) << text;
+}
+
+TEST(MetricsSnapshotTest, PrometheusNonFiniteHistogramBoundsAndSum) {
+  MetricsRegistry registry;
+  registry
+      .histogram("special.hist",
+                 std::vector<double>{0.25,
+                                     std::numeric_limits<double>::infinity()})
+      .Observe(0.1);
+  registry.histogram("special.hist", std::vector<double>{})
+      .Observe(std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  registry.Snapshot().ToPrometheusText(os);
+  std::string text = os.str();
+  // Finite bounds render as plain numbers in the le label; the
+  // explicit infinite bound uses the canonical "+Inf" spelling, and an
+  // infinite observation makes the sum "+Inf" too.
+  EXPECT_NE(text.find("sxnm_special_hist_bucket{le=\"0.25\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_special_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_special_hist_sum +Inf"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sxnm_special_hist_count 2"), std::string::npos) << text;
 }
 
 TEST(MetricsShardTest, ThisThreadShardIsStableAndInRange) {

@@ -1,0 +1,436 @@
+// sxnm_obs sampling profiler: span-path stack protocol, both sampling
+// backends, folded/JSON export, the profiling-on ≡ profiling-off
+// detection identity, and crash consistency of the .folded artifact
+// (fork + SIGKILL mid-run must leave it absent or well-formed).
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/dirty_gen.h"
+#include "datagen/movies.h"
+#include "obs/trace.h"
+#include "sxnm/detector.h"
+
+#ifdef __linux__
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace sxnm::obs {
+namespace {
+
+// --- span-path stack (trace.h spanpath) -----------------------------------
+
+TEST(SpanPathTest, InternReturnsStableIds) {
+  uint32_t a = spanpath::InternName("spanpath-test-a");
+  uint32_t b = spanpath::InternName("spanpath-test-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(spanpath::InternName("spanpath-test-a"), a);
+  EXPECT_EQ(spanpath::NameOf(a), "spanpath-test-a");
+  EXPECT_EQ(spanpath::NameOf(b), "spanpath-test-b");
+}
+
+TEST(SpanPathTest, PushPopSnapshotRoundTrips) {
+  spanpath::ThreadStack& stack = *spanpath::ThisThreadStack();
+  uint32_t base = stack.depth.load(std::memory_order_acquire);
+  uint32_t outer = spanpath::InternName("outer");
+  uint32_t inner = spanpath::InternName("inner");
+  ASSERT_TRUE(stack.Push(outer));
+  ASSERT_TRUE(stack.Push(inner));
+  uint32_t frames[spanpath::kMaxDepth];
+  uint32_t depth = stack.Snapshot(frames);
+  ASSERT_EQ(depth, base + 2);
+  EXPECT_EQ(frames[base], outer);
+  EXPECT_EQ(frames[base + 1], inner);
+  stack.Pop();
+  stack.Pop();
+  EXPECT_EQ(stack.depth.load(std::memory_order_acquire), base);
+}
+
+TEST(SpanPathTest, PushBeyondMaxDepthCountsTruncation) {
+  spanpath::ThreadStack& stack = *spanpath::ThisThreadStack();
+  uint32_t base = stack.depth.load(std::memory_order_acquire);
+  uint64_t truncated_before =
+      stack.truncated.load(std::memory_order_relaxed);
+  uint32_t id = spanpath::InternName("deep");
+  uint32_t pushed = 0;
+  for (uint32_t i = base; i < spanpath::kMaxDepth; ++i) {
+    ASSERT_TRUE(stack.Push(id));
+    ++pushed;
+  }
+  EXPECT_FALSE(stack.Push(id));  // over capacity: dropped, counted
+  EXPECT_EQ(stack.truncated.load(std::memory_order_relaxed),
+            truncated_before + 1);
+  for (uint32_t i = 0; i < pushed; ++i) stack.Pop();
+  EXPECT_EQ(stack.depth.load(std::memory_order_acquire), base);
+}
+
+TEST(SpanPathTest, TracerWithTrackPathsPushesSpanFrames) {
+  Tracer tracer(/*enabled=*/false, /*track_paths=*/true);
+  spanpath::ThreadStack& stack = *spanpath::ThisThreadStack();
+  uint32_t base = stack.depth.load(std::memory_order_acquire);
+  {
+    Tracer::Span outer = tracer.StartSpan("path-outer");
+    EXPECT_EQ(stack.depth.load(std::memory_order_acquire), base + 1);
+    {
+      Tracer::Span inner = tracer.StartSpan("path-inner");
+      uint32_t frames[spanpath::kMaxDepth];
+      uint32_t depth = stack.Snapshot(frames);
+      ASSERT_EQ(depth, base + 2);
+      EXPECT_EQ(spanpath::NameOf(frames[base]), "path-outer");
+      EXPECT_EQ(spanpath::NameOf(frames[base + 1]), "path-inner");
+    }
+    EXPECT_EQ(stack.depth.load(std::memory_order_acquire), base + 1);
+  }
+  EXPECT_EQ(stack.depth.load(std::memory_order_acquire), base);
+}
+
+TEST(SpanPathTest, FullyDisabledTracerPushesNothing) {
+  Tracer tracer(/*enabled=*/false, /*track_paths=*/false);
+  spanpath::ThreadStack& stack = *spanpath::ThisThreadStack();
+  uint32_t base = stack.depth.load(std::memory_order_acquire);
+  Tracer::Span span = tracer.StartSpan("invisible");
+  EXPECT_EQ(stack.depth.load(std::memory_order_acquire), base);
+}
+
+// --- profiler lifecycle ---------------------------------------------------
+
+TEST(ProfilerTest, StopWithoutStartReturnsDisabledProfile) {
+  Profiler profiler;
+  CpuProfile profile = profiler.Stop();
+  EXPECT_FALSE(profile.enabled);
+  EXPECT_EQ(profile.total_samples, 0u);
+}
+
+TEST(ProfilerTest, DoubleStartFailsAndStopIsIdempotent) {
+  Profiler profiler;
+  ASSERT_TRUE(profiler.Start().ok());
+  EXPECT_FALSE(profiler.Start().ok());
+  CpuProfile first = profiler.Stop();
+  EXPECT_TRUE(first.enabled);
+  CpuProfile second = profiler.Stop();
+  EXPECT_FALSE(second.enabled);
+}
+
+TEST(ProfilerTest, SecondConcurrentProfilerIsRejected) {
+  Profiler a;
+  Profiler b;
+  ASSERT_TRUE(a.Start().ok());
+  util::Status status = b.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  (void)a.Stop();
+  // With the hooks released, a new profiler may start again.
+  ASSERT_TRUE(b.Start().ok());
+  (void)b.Stop();
+}
+
+// Burns CPU inside `span_name` until the profiler collected work or the
+// deadline passes. Returns the profile.
+CpuProfile BurnAndProfile(ProfilerOptions options,
+                          const std::string& span_name) {
+  Tracer tracer(/*enabled=*/false, /*track_paths=*/true);
+  Profiler profiler(options);
+  EXPECT_TRUE(profiler.Start().ok());
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(5);
+  volatile uint64_t sink = 0;
+  {
+    Tracer::Span span = tracer.StartSpan(span_name);
+    // ~1.5s of CPU is > 100 expected ticks at the rates used below.
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (int i = 0; i < 2000000; ++i) sink = sink + uint64_t(i) * 31;
+      auto elapsed = std::chrono::steady_clock::now();
+      if (elapsed + std::chrono::milliseconds(3500) > deadline) break;
+    }
+  }
+  return profiler.Stop();
+}
+
+TEST(ProfilerTest, FallbackBackendAttributesCpuToSpans) {
+  ProfilerOptions options;
+  options.hz = 251.0;
+  options.force_fallback = true;
+  CpuProfile profile = BurnAndProfile(options, "burn_fallback");
+  EXPECT_TRUE(profile.enabled);
+  EXPECT_EQ(profile.backend, "cputime-poll");
+  ASSERT_GT(profile.total_samples, 0u);
+  uint64_t burn_samples = 0;
+  for (const CpuProfile::Entry& entry : profile.entries) {
+    if (entry.path.find("burn_fallback") != std::string::npos) {
+      burn_samples += entry.self_samples;
+    }
+  }
+  // The burn loop dominates this thread's CPU; most samples must land
+  // in its span (the rest are test scaffolding / other live threads).
+  EXPECT_GT(burn_samples, profile.total_samples / 4);
+}
+
+#ifdef __linux__
+TEST(ProfilerTest, SigprofBackendAttributesCpuToSpans) {
+  ProfilerOptions options;
+  options.hz = 251.0;
+  CpuProfile profile = BurnAndProfile(options, "burn_sigprof");
+  EXPECT_TRUE(profile.enabled);
+  EXPECT_EQ(profile.backend, "sigprof");
+  ASSERT_GT(profile.total_samples, 0u);
+  uint64_t burn_samples = 0;
+  for (const CpuProfile::Entry& entry : profile.entries) {
+    if (entry.path.find("burn_sigprof") != std::string::npos) {
+      burn_samples += entry.self_samples;
+    }
+  }
+  EXPECT_GT(burn_samples, profile.total_samples / 4);
+}
+#endif
+
+TEST(ProfilerTest, ThreadsRegisteredMidRunAreSampled) {
+  ProfilerOptions options;
+  options.hz = 499.0;
+  options.force_fallback = true;
+  Tracer tracer(/*enabled=*/false, /*track_paths=*/true);
+  Profiler profiler(options);
+  ASSERT_TRUE(profiler.Start().ok());
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    volatile uint64_t sink = 0;
+    Tracer::Span span = tracer.StartSpan("late_worker");
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 100000; ++i) sink = sink + uint64_t(i);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_relaxed);
+  worker.join();
+  CpuProfile profile = profiler.Stop();
+  bool saw_worker = false;
+  for (const CpuProfile::Entry& entry : profile.entries) {
+    saw_worker |= entry.path.find("late_worker") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_worker);
+}
+
+// --- export ---------------------------------------------------------------
+
+CpuProfile SampleProfile() {
+  CpuProfile profile;
+  profile.enabled = true;
+  profile.backend = "cputime-poll";
+  profile.hz = 100.0;
+  profile.total_samples = 10;
+  profile.entries = {
+      {"detect;sw_classify", 6, 7},
+      {"detect", 3, 10},
+      {"(unattributed)", 1, 1},
+  };
+  return profile;
+}
+
+TEST(CpuProfileTest, WriteFoldedEmitsOneSanitizedLinePerSelfPath) {
+  std::ostringstream os;
+  SampleProfile().WriteFolded(os);
+  std::string folded = os.str();
+  std::istringstream in(folded);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    // The count parses; the path carries no whitespace.
+    EXPECT_GT(std::stoul(line.substr(space + 1)), 0u) << line;
+    EXPECT_EQ(line.substr(0, space).find(' '), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, 3u);
+  // Sanitized at profile build time; WriteFolded preserves the paths.
+  EXPECT_NE(folded.find("detect;sw_classify 6"), std::string::npos);
+  EXPECT_NE(folded.find("(unattributed) 1"), std::string::npos);
+}
+
+TEST(CpuProfileTest, BuildSanitizesFrameNames) {
+  // End-to-end: a span name with folded-format metacharacters must come
+  // back sanitized from the profiler aggregation.
+  ProfilerOptions options;
+  options.hz = 499.0;
+  options.force_fallback = true;
+  CpuProfile profile = BurnAndProfile(options, "bad name;with\tmeta");
+  for (const CpuProfile::Entry& entry : profile.entries) {
+    auto space = entry.path.find_first_of(" \t\n");
+    if (entry.path == "(unattributed)") continue;
+    EXPECT_EQ(space, std::string::npos) << entry.path;
+  }
+}
+
+TEST(CpuProfileTest, TopSelfSkipsZeroSelfEntries) {
+  CpuProfile profile = SampleProfile();
+  ASSERT_NE(profile.TopSelf(), nullptr);
+  EXPECT_EQ(profile.TopSelf()->path, "detect;sw_classify");
+  profile.entries.clear();
+  EXPECT_EQ(profile.TopSelf(), nullptr);
+}
+
+TEST(CpuProfileTest, WriteJsonEmitsReportBlock) {
+  std::ostringstream os;
+  SampleProfile().WriteJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"backend\": \"cputime-poll\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"self_samples\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"total_samples\": 10"), std::string::npos);
+}
+
+// --- detector integration -------------------------------------------------
+
+xml::Document ProfiledCorpus(size_t movies) {
+  datagen::MovieDataOptions gen;
+  gen.num_movies = movies;
+  gen.seed = 20060326;
+  xml::Document clean = datagen::GenerateCleanMovies(gen);
+  return datagen::MakeDirty(clean, datagen::DataSet1DirtyPreset(99))
+      .value();
+}
+
+// Profiling must be a pure observer: identical duplicate pairs and
+// identical engine counters with it on and off, at 1 and 4 threads.
+TEST(ProfilerDetectorTest, ProfilingOnEqualsOffAcrossThreadCounts) {
+  xml::Document doc = ProfiledCorpus(300);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    core::Config base = datagen::MovieConfig(10).value();
+    base.set_num_threads(threads);
+    base.mutable_observability().metrics = true;
+
+    core::Config off_config = base;
+    auto off = core::Detector(off_config).Run(doc);
+    ASSERT_TRUE(off.ok());
+
+    core::Config on_config = base;
+    std::string folded = ::testing::TempDir() + "/identity_" +
+                         std::to_string(threads) + ".folded";
+    on_config.mutable_observability().profile_path = folded;
+    on_config.mutable_observability().profile_hz = 499.0;
+    auto on = core::Detector(on_config).Run(doc);
+    ASSERT_TRUE(on.ok());
+
+    EXPECT_FALSE(off->profile.enabled);
+    EXPECT_TRUE(on->profile.enabled);
+    const auto* off_movie = off->Find("movie");
+    const auto* on_movie = on->Find("movie");
+    ASSERT_NE(off_movie, nullptr);
+    ASSERT_NE(on_movie, nullptr);
+    EXPECT_EQ(off_movie->duplicate_pairs, on_movie->duplicate_pairs)
+        << "threads=" << threads;
+    for (const char* counter :
+         {"sw.comparisons", "sw.unique_comparisons", "sw.pairs_windowed",
+          "sw.hits", "tc.clusters"}) {
+      EXPECT_EQ(off->metrics.CounterOr(counter),
+                on->metrics.CounterOr(counter))
+          << counter << " threads=" << threads;
+    }
+    // The committed artifact is well-formed folded text.
+    std::ifstream in(folded);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      EXPECT_NO_THROW((void)std::stoul(line.substr(space + 1))) << line;
+    }
+    std::remove(folded.c_str());
+  }
+}
+
+TEST(ProfilerDetectorTest, ReportCarriesProfileBlockWhenProfiled) {
+  xml::Document doc = ProfiledCorpus(200);
+  core::Config config = datagen::MovieConfig(10).value();
+  config.mutable_observability().metrics = true;
+  std::string folded = ::testing::TempDir() + "/report_block.folded";
+  config.mutable_observability().profile_path = folded;
+  auto result = core::Detector(config).Run(doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.profile.enabled);
+  std::string json = result->report.ToJson();
+  EXPECT_NE(json.find("\"profile\": "), std::string::npos);
+  EXPECT_NE(json.find("\"backend\": "), std::string::npos);
+  std::remove(folded.c_str());
+}
+
+TEST(ProfilerDetectorTest, UnprofiledReportOmitsProfileBlock) {
+  xml::Document doc = ProfiledCorpus(100);
+  core::Config config = datagen::MovieConfig(10).value();
+  config.mutable_observability().metrics = true;
+  auto result = core::Detector(config).Run(doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->report.profile.enabled);
+  EXPECT_EQ(result->report.ToJson().find("\"profile\": "),
+            std::string::npos);
+}
+
+// --- crash consistency ----------------------------------------------------
+
+#ifdef __linux__
+// SIGKILL mid-profiled-run: the .folded artifact is committed atomically
+// at run end (tmp + fsync + rename), so after the kill it must be
+// either absent or complete well-formed folded text — never torn.
+TEST(ProfilerCrashTest, SigkillMidRunLeavesFoldedAbsentOrWellFormed) {
+  std::string folded =
+      ::testing::TempDir() + "/crash_profile_" +
+      std::to_string(static_cast<long>(getpid())) + ".folded";
+  std::remove(folded.c_str());
+
+  pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Child: a profiled run large enough to outlive the parent's kill
+    // delay. _exit on every path — gtest must not double-report.
+    xml::Document doc = ProfiledCorpus(4000);
+    core::Config config = datagen::MovieConfig(10).value();
+    config.mutable_observability().metrics = true;
+    config.mutable_observability().profile_path = folded;
+    auto result = core::Detector(config).Run(doc);
+    _exit(result.ok() ? 0 : 1);
+  }
+
+  // Let the child reach the profiled run, then kill it hard. Whether it
+  // dies mid-run or after committing is timing-dependent — both ends of
+  // the race are valid; the artifact invariant must hold in either.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  kill(child, SIGKILL);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+
+  std::ifstream in(folded);
+  if (in.good()) {
+    // A committed file may be empty (a fast run can finish between
+    // sampler ticks); the invariant is that no line is ever torn.
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos)
+          << "torn folded line: " << line;
+      for (char c : line.substr(space + 1)) {
+        ASSERT_TRUE(c >= '0' && c <= '9')
+            << "torn folded count: " << line;
+      }
+    }
+  }
+  std::remove(folded.c_str());
+}
+#endif
+
+}  // namespace
+}  // namespace sxnm::obs

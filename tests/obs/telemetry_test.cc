@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -268,6 +269,48 @@ TEST(TelemetryTest, SampleWriteJsonIsOneWellFormedLine) {
             std::string::npos);
   EXPECT_NE(line.find("\"sw.comparisons\": 3"), std::string::npos);
   EXPECT_NE(line.find("\"cache.verdict_occupancy\": 0.5"), std::string::npos);
+}
+
+TEST(TelemetryTest, SampleWriteJsonCarriesCpuFields) {
+  TelemetrySample sample;
+  sample.seq = 0;
+  sample.t_ms = 50.0;
+  sample.cpu_user_pct = 140.5;  // >100%: two busy threads on one tick
+  sample.cpu_sys_pct = 3.25;
+  sample.threads = 4;
+  sample.cpu_sampled = true;
+  std::ostringstream os;
+  sample.WriteJson(os);
+  std::string line = os.str();
+  EXPECT_NE(line.find("\"cpu_user_pct\": 140.5"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cpu_sys_pct\": 3.25"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"threads\": 4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cpu_sampled\": true"), std::string::npos) << line;
+}
+
+TEST(TelemetryTest, LiveSamplesCarryCpuAccounting) {
+  MetricsRegistry registry(true);
+  TelemetryOptions options;  // ring only
+  options.interval_ms = 5.0;
+  TelemetrySampler sampler(&registry, options);
+  ASSERT_TRUE(sampler.Start().ok());
+  // Burn a little CPU so the utilization deltas have something to see.
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < (uint64_t{1} << 23); ++i) sink = sink + i;
+  ASSERT_TRUE(sampler.Stop().ok());
+
+  std::vector<TelemetrySample> samples = sampler.Samples();
+  ASSERT_FALSE(samples.empty());
+  for (const TelemetrySample& sample : samples) {
+    // Utilization can be zero on a coarse clock tick but never negative,
+    // and on Linux every sample sees at least this test's own threads.
+    EXPECT_GE(sample.cpu_user_pct, 0.0);
+    EXPECT_GE(sample.cpu_sys_pct, 0.0);
+#if defined(__linux__)
+    EXPECT_TRUE(sample.cpu_sampled);
+    EXPECT_GE(sample.threads, 1);
+#endif
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace sxnm::util {
@@ -84,6 +85,68 @@ TEST(ProcStatTest, ReadProcMemoryGrowsAfterAllocation) {
   // RSS should reflect the touched block (allow generous slack for
   // allocator behavior: at least half the block must show up).
   EXPECT_GE(after.rss_bytes + (16u << 20), before.rss_bytes + (32u << 20));
+}
+
+TEST(ProcStatTest, ParseStatusThreadsFindsTheThreadsLine) {
+  int threads = 0;
+  ASSERT_TRUE(ParseStatusThreads(
+      "Name:\tsxnm\nVmRSS:\t    1234 kB\nThreads:\t7\nSigQ:\t0/127\n",
+      &threads));
+  EXPECT_EQ(threads, 7);
+}
+
+TEST(ProcStatTest, ParseStatusThreadsAllowsTrailingWhitespaceAndNoNewline) {
+  int threads = 0;
+  ASSERT_TRUE(ParseStatusThreads("Threads: 12 \r\n", &threads));
+  EXPECT_EQ(threads, 12);
+  // A status snapshot truncated before the final newline still parses.
+  ASSERT_TRUE(ParseStatusThreads("Name:\tx\nThreads:\t3", &threads));
+  EXPECT_EQ(threads, 3);
+}
+
+TEST(ProcStatTest, ParseStatusThreadsRequiresKeyAtLineStart) {
+  int threads = 0;
+  // "Threads:" appearing inside another line's value is not the key.
+  EXPECT_FALSE(ParseStatusThreads("SigPnd:\tThreads: 9\n", &threads));
+  EXPECT_FALSE(ParseStatusThreads("NonVolThreads:\t5\n", &threads));
+}
+
+TEST(ProcStatTest, ParseStatusThreadsRejectsMissingOrMalformed) {
+  int threads = -1;
+  EXPECT_FALSE(ParseStatusThreads("", &threads));
+  EXPECT_FALSE(ParseStatusThreads("Name:\tsxnm\n", &threads));
+  EXPECT_FALSE(ParseStatusThreads("Threads:\t\n", &threads));    // no digits
+  EXPECT_FALSE(ParseStatusThreads("Threads:\t1x\n", &threads));  // junk
+  // Absurd counts (beyond 2^30) are treated as corruption, not data.
+  EXPECT_FALSE(ParseStatusThreads("Threads:\t2147483648\n", &threads));
+}
+
+TEST(ProcStatTest, ReadProcCpuReportsLiveProcess) {
+  ProcCpu cpu = ReadProcCpu();
+  // getrusage exists on any unix this test runs on.
+  ASSERT_TRUE(cpu.sampled);
+  EXPECT_GE(cpu.user_seconds, 0.0);
+  EXPECT_GE(cpu.sys_seconds, 0.0);
+#if defined(__linux__)
+  // /proc/self/status is always present on Linux; a gtest binary has at
+  // least its main thread.
+  EXPECT_GE(cpu.threads, 1);
+#endif
+}
+
+TEST(ProcStatTest, ReadProcCpuAdvancesAfterBurningCpu) {
+  ProcCpu before = ReadProcCpu();
+  ASSERT_TRUE(before.sampled);
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < (uint64_t{1} << 25); ++i) {
+    sink = sink + i * 31;
+  }
+  ProcCpu after = ReadProcCpu();
+  ASSERT_TRUE(after.sampled);
+  // Cumulative CPU time is monotone; the burn loop should move it, but
+  // clock granularity only guarantees non-decrease.
+  EXPECT_GE(after.user_seconds + after.sys_seconds,
+            before.user_seconds + before.sys_seconds);
 }
 
 }  // namespace

@@ -24,13 +24,20 @@ the per-candidate merge lineage against the set of accepted pairs.
 With ``--telemetry-schema`` the arguments are live-telemetry NDJSON
 streams (``<observability telemetry="...">``): one header record, then
 samples with non-decreasing timestamps, strictly sequential ``seq``,
-monotone counters, well-formed memory accounting, and exactly one
+monotone counters, well-formed memory accounting, CPU utilization
+(``cpu_user_pct`` / ``cpu_sys_pct`` / ``threads``), and exactly one
 ``final`` sample in last position.
+
+With ``--profile-folded-schema`` the arguments are folded-stack CPU
+profiles (``<observability profile="...">``): every line must be
+``root;child;leaf COUNT`` with non-empty frames and a non-negative
+integer count, and the file must contain at least one stack.
 
 Usage:
   tools/check_bench_json.py [--min-gk-rows N] FILE [FILE ...]
   tools/check_bench_json.py --explain-schema LOG [LOG ...]
   tools/check_bench_json.py --telemetry-schema STREAM [STREAM ...]
+  tools/check_bench_json.py --profile-folded-schema FOLDED [FOLDED ...]
 
 ``--min-gk-rows N`` additionally requires each fig5 file to carry an
 ``out_of_core`` block covering at least N generated-key rows — the
@@ -43,7 +50,7 @@ violation on stderr). See docs/BENCHMARKS.md for the schema.
 import json
 import sys
 
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 # Counters the engine always registers (values may legitimately be 0).
 # Version 3 added the kernel fast-path counters: kg.od_pool_* (OD value
@@ -64,7 +71,13 @@ SCHEMA_VERSION = 8
 # interrupt + resume. Version 8 added the out-of-core layer: the fig5
 # `out_of_core` block (external-sort spill + key-range sharded passes)
 # with its RSS-ceiling, spill/merge floors, and shards=1-vs-N identity
-# sub-check; pipeline/similarity files carry the bump only.
+# sub-check; pipeline/similarity files carry the bump only. Version 9
+# added the in-process sampling profiler: the pipeline `profile` A/B
+# block (profiling-on wall-clock overhead <= 3% over profiling-off,
+# bit-identical detection, and the span-attributed sample table whose
+# top self-CPU span must be non-empty); telemetry samples additionally
+# carry cpu_user_pct / cpu_sys_pct / threads; similarity/fig5 files
+# carry the bump only.
 REQUIRED_COUNTERS = [
     "kg.rows",
     "kg.rows_done",
@@ -321,6 +334,7 @@ class Checker:
         self.check_repeated_subtree(doc)
         self.check_telemetry_overhead(doc)
         self.check_checkpoint(doc)
+        self.check_profile(doc)
 
     def check_repeated_subtree(self, doc):
         """Validate the copy-paste-heavy A/B block (schema version 5).
@@ -524,6 +538,99 @@ class Checker:
                                    f"{name} must be >= {floor} (the block "
                                    "records a real fault-injected resume), "
                                    f"got {value}")
+
+    def check_profile(self, doc):
+        """Validate the sampling-profiler A/B block (schema version 9).
+
+        The same full run profiled and unprofiled: profiling must be
+        performance-isolated (<= 3% wall-clock overhead at the default
+        97 Hz) and must not change detection. The block also records
+        the span-attributed sample table of the profiled run; its top
+        self-CPU span proves samples landed in real engine spans, not
+        just the scaffolding.
+        """
+        block = self.require(doc, "profile", (dict,), "top-level")
+        if block is None:
+            return
+        where = "profile"
+        hz = self.check_nonneg(block, "hz", where, types=(int, float))
+        if hz == 0:
+            self.error(where, "hz must be positive")
+        backend = self.require(block, "backend", (str,), where)
+        if backend not in (None, "sigprof", "cputime-poll"):
+            self.error(where, "backend must be 'sigprof' or "
+                              f"'cputime-poll', got {backend!r}")
+        repeats = self.check_nonneg(block, "repeats", where)
+        if repeats == 0:
+            self.error(where, "repeats must be positive")
+        self.check_nonneg(block, "clean_movies", where)
+        self.check_nonneg(block, "window", where)
+        samples = self.check_nonneg(block, "samples", where)
+        if samples == 0:
+            self.error(where,
+                       "samples is 0 — the profiled run must be long "
+                       "enough for the sampler to land ticks")
+        self.check_nonneg(block, "dropped_samples", where)
+        off_s = self.check_nonneg(block, "profile_off_s", where,
+                                  types=(int, float))
+        on_s = self.check_nonneg(block, "profile_on_s", where,
+                                 types=(int, float))
+        overhead = self.require(block, "overhead_pct", (int, float), where)
+        pairs_off = self.check_nonneg(block, "duplicate_pairs_off", where)
+        pairs_on = self.check_nonneg(block, "duplicate_pairs_on", where)
+        if None not in (pairs_off, pairs_on) and pairs_off != pairs_on:
+            self.error(where,
+                       "profiling must not change detection: "
+                       f"duplicate_pairs_off {pairs_off} != "
+                       f"duplicate_pairs_on {pairs_on}")
+        spans = self.require(block, "top_spans", (list,), where)
+        if spans is not None:
+            if not spans:
+                self.error(f"{where}.top_spans",
+                           "must not be empty — the profile must "
+                           "attribute samples to spans")
+            prev_self = None
+            for i, span in enumerate(spans):
+                swhere = f"{where}.top_spans[{i}]"
+                if not isinstance(span, dict):
+                    self.error(swhere, "must be an object")
+                    continue
+                path = self.require(span, "path", (str,), swhere)
+                if path == "":
+                    self.error(swhere, "path must be non-empty")
+                self_samples = self.check_nonneg(span, "self_samples",
+                                                 swhere)
+                total = self.check_nonneg(span, "total_samples", swhere)
+                if None not in (self_samples, total)                         and self_samples > total:
+                    self.error(swhere,
+                               "self_samples exceed total_samples: "
+                               f"{self_samples} > {total}")
+                if isinstance(self_samples, int):
+                    if isinstance(prev_self, int)                             and self_samples > prev_self:
+                        self.error(swhere,
+                                   "top_spans must be sorted by "
+                                   "self_samples descending")
+                    prev_self = self_samples
+            if spans and isinstance(spans[0], dict):
+                top_self = spans[0].get("self_samples")
+                if isinstance(top_self, int) and top_self == 0:
+                    self.error(f"{where}.top_spans[0]",
+                               "the top span must have self CPU — a "
+                               "profile with no self samples anywhere "
+                               "attributed nothing")
+        if None in (off_s, on_s, overhead) or off_s <= 0:
+            return
+        expected = (on_s - off_s) / off_s * 100.0
+        # Seconds are rounded for printing; allow absolute slack well
+        # below the 3.0 ceiling.
+        if abs(overhead - expected) > max(0.05, 1e-3 * abs(expected)):
+            self.error(where,
+                       f"'overhead_pct' inconsistent: {overhead} != "
+                       f"({on_s} - {off_s}) / {off_s} * 100")
+        if overhead > 3.0:
+            self.error(where,
+                       "sampling-profiler overhead must stay within 3% "
+                       f"at the default rate, got {overhead:.2f}%")
 
     # --- fig5_scalability -------------------------------------------------
 
@@ -976,6 +1083,13 @@ class TelemetryChecker(Checker):
             self.require(mem, "sampled", (bool,), f"{where}.mem")
             for field in ("rss_bytes", "peak_rss_bytes", "vm_bytes"):
                 self.check_nonneg(mem, field, f"{where}.mem")
+        # CPU utilization (v9): getrusage deltas over the sample window,
+        # clamped to >= 0. 100% means one saturated core, so parallel
+        # phases legitimately exceed 100.
+        self.check_nonneg(record, "cpu_user_pct", where, types=(int, float))
+        self.check_nonneg(record, "cpu_sys_pct", where, types=(int, float))
+        self.check_nonneg(record, "threads", where)
+        self.require(record, "cpu_sampled", (bool,), where)
         counters = self.require(record, "counters", (dict,), where)
         if counters is not None:
             for name in TELEMETRY_REQUIRED_COUNTERS:
@@ -1087,6 +1201,61 @@ class TelemetryChecker(Checker):
                        "live tail, not for a checked-in stream)")
 
 
+# --- folded-stack profiles (--profile-folded-schema) ----------------------
+
+
+class FoldedChecker(Checker):
+    """Validates one folded-stack CPU profile (flamegraph.pl format)."""
+
+    def check(self, lines):
+        stacks = 0
+        for lineno, line in enumerate(lines, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            where = f"line {lineno}"
+            head, sep, count_text = line.rpartition(" ")
+            if not sep or not head:
+                self.error(where, f"expected 'path COUNT', got {line!r}")
+                continue
+            try:
+                count = int(count_text)
+            except ValueError:
+                self.error(where, f"sample count {count_text!r} is not an "
+                                  "integer")
+                continue
+            if count < 0:
+                self.error(where, f"negative sample count {count}")
+            frames = head.split(";")
+            for frame in frames:
+                if not frame:
+                    self.error(where, f"empty frame in path {head!r}")
+                elif any(c in frame for c in " \t"):
+                    self.error(where, f"unescaped whitespace in frame "
+                                      f"{frame!r}")
+            stacks += 1
+        if stacks == 0:
+            self.error("top-level", "profile has no stacks")
+
+
+def check_folded_files(paths):
+    failed = False
+    for path in paths:
+        checker = FoldedChecker(path)
+        try:
+            with open(path, encoding="utf-8") as f:
+                checker.check(f)
+        except OSError as e:
+            checker.error("top-level", f"cannot load: {e}")
+        if checker.errors:
+            failed = True
+            for error in checker.errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: OK (folded-stack profile)")
+    return 1 if failed else 0
+
+
 def check_telemetry_files(paths):
     failed = False
     for path in paths:
@@ -1137,6 +1306,11 @@ def main(argv):
             print(__doc__.strip(), file=sys.stderr)
             return 2
         return check_telemetry_files(argv[2:])
+    if argv[1] == "--profile-folded-schema":
+        if len(argv) < 3:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        return check_folded_files(argv[2:])
     min_gk_rows = 0
     if argv[1] == "--min-gk-rows":
         if len(argv) < 4:
